@@ -1,0 +1,206 @@
+//! Micro-benchmarks of the substrate kernels: event calendar throughput,
+//! RNG, path formation, probing, the crypto primitives and game solving.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use idpa_core::bundle::BundleId;
+use idpa_core::contract::Contract;
+use idpa_core::history::HistoryProfile;
+use idpa_core::path::form_connection;
+use idpa_core::quality::{EdgeQuality, Weights};
+use idpa_core::routing::{PathPolicy, RoutingStrategy, RoutingView};
+use idpa_core::utility::UtilityModel;
+use idpa_crypto::bigint::BigUint;
+use idpa_crypto::blind::BlindingFactor;
+use idpa_crypto::chacha20::ChaCha20;
+use idpa_crypto::rsa::RsaKeyPair;
+use idpa_crypto::sha256::Sha256;
+use idpa_desim::rng::Xoshiro256StarStar;
+use idpa_desim::{Calendar, SimTime};
+use idpa_overlay::{NodeId, NodeKind, ProbeEstimator, Topology};
+use std::hint::black_box;
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("calendar_schedule_pop_10k", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        b.iter(|| {
+            let mut cal = Calendar::new();
+            for i in 0..10_000u32 {
+                let t = (rng.next() % 1_000_000) as f64 / 1000.0;
+                cal.schedule(SimTime::new(t), i);
+            }
+            let mut count = 0;
+            while let Some(e) = cal.pop() {
+                count += black_box(e.event) as u64;
+            }
+            black_box(count)
+        })
+    });
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("xoshiro_1m_draws", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+struct BenchView {
+    topology: Topology,
+}
+
+impl RoutingView for BenchView {
+    fn live_neighbors(&self, s: NodeId) -> Vec<NodeId> {
+        self.topology.neighbors(s).to_vec()
+    }
+    fn availability(&self, s: NodeId, v: NodeId) -> f64 {
+        ((s.index() * 13 + v.index() * 7) % 100) as f64 / 100.0
+    }
+    fn transmission_cost(&self, _: NodeId, _: NodeId) -> f64 {
+        1.0
+    }
+    fn participation_cost(&self, _: NodeId) -> f64 {
+        5.0
+    }
+}
+
+fn bench_path_formation(c: &mut Criterion) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+    let view = BenchView {
+        topology: Topology::random(40, 5, &mut rng),
+    };
+    let contract = Contract::new(BundleId(0), NodeId(39), 50.0, 100.0);
+    let kinds = vec![NodeKind::Good; 40];
+    let quality = EdgeQuality::new(Weights::balanced());
+    let policy = PathPolicy::new(0.75, 8);
+
+    let mut g = c.benchmark_group("core");
+    for (label, strategy) in [
+        ("path_random", RoutingStrategy::Random),
+        ("path_model1", RoutingStrategy::Utility(UtilityModel::ModelI)),
+        (
+            "path_model2_la2",
+            RoutingStrategy::Utility(UtilityModel::ModelII { lookahead: 2 }),
+        ),
+        (
+            "path_model2_la3",
+            RoutingStrategy::Utility(UtilityModel::ModelII { lookahead: 3 }),
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            let mut histories: Vec<HistoryProfile> =
+                (0..40).map(|i| HistoryProfile::new(NodeId(i))).collect();
+            let mut conn = 0u32;
+            b.iter(|| {
+                let out = form_connection(
+                    NodeId(0),
+                    conn,
+                    &contract,
+                    conn.min(20),
+                    &view,
+                    &mut histories,
+                    &kinds,
+                    &quality,
+                    strategy,
+                    &policy,
+                    &mut rng,
+                );
+                conn += 1;
+                black_box(out.forwarders.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_probing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlay");
+    g.bench_function("probe_round_d5", |b| {
+        let mut est = ProbeEstimator::new(NodeId(0), 5.0, (1..=5).map(NodeId).collect());
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            est.probe_round(|v| (v.index() as u64 + round) % 3 != 0, &mut rng);
+            black_box(est.availability(NodeId(1)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+    let keys = RsaKeyPair::generate(512, &mut rng);
+
+    let mut g = c.benchmark_group("crypto");
+    g.bench_function("rsa512_sign_montgomery", |b| {
+        let m = BigUint::from_u64(0xdead_beef);
+        b.iter(|| black_box(keys.raw_sign(&m)))
+    });
+    g.bench_function("rsa512_sign_plain_modpow", |b| {
+        // The same-width exponentiation without the Montgomery fast path:
+        // a dense 511-bit exponent driven through division-based modpow.
+        let m = BigUint::from_u64(0xdead_beef);
+        let n = keys.public().modulus().clone();
+        let mut fake_d = BigUint::zero();
+        for i in 0..n.bits() - 1 {
+            if i % 2 == 0 {
+                fake_d.set_bit(i);
+            }
+        }
+        b.iter(|| black_box(m.modpow(&fake_d, &n)))
+    });
+    g.bench_function("rsa512_verify", |b| {
+        let sig = keys.raw_sign(&BigUint::from_u64(0xdead_beef));
+        b.iter(|| black_box(keys.public().raw_verify(&sig)))
+    });
+    g.bench_function("blind_unblind", |b| {
+        let m = BigUint::from_u64(42);
+        b.iter(|| {
+            let bf = BlindingFactor::random(keys.public(), &mut rng);
+            let blinded = bf.blind(keys.public(), &m);
+            let sig = keys.raw_sign(&blinded);
+            black_box(bf.unblind(keys.public(), &sig))
+        })
+    });
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("sha256_4k", |b| {
+        let data = vec![0xabu8; 4096];
+        b.iter(|| black_box(Sha256::digest(&data)))
+    });
+    g.bench_function("chacha20_4k", |b| {
+        let key = [7u8; 32];
+        let nonce = [1u8; 12];
+        let data = vec![0u8; 4096];
+        b.iter(|| black_box(ChaCha20::encrypt(&key, &nonce, &data)))
+    });
+    g.finish();
+}
+
+fn bench_games(c: &mut Criterion) {
+    use idpa_game::NormalFormGame;
+    let mut g = c.benchmark_group("game");
+    g.bench_function("iterated_elimination_3x3x3", |b| {
+        let game = NormalFormGame::from_fn(vec![3, 3, 3], |p| {
+            p.iter().map(|&s| s as f64).collect()
+        });
+        b.iter(|| black_box(game.iterated_elimination()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_calendar,
+    bench_path_formation,
+    bench_probing,
+    bench_crypto,
+    bench_games
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table 2 regeneration: routing efficiency over the f x tau grid,
+//! utility model I.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idpa_bench::{model_one, run_point};
+use std::hint::black_box;
+
+fn table2(c: &mut Criterion) {
+    println!("table2 (bench scale): routing efficiency, model I");
+    for f in [0.1, 0.5, 0.9] {
+        let row: Vec<String> = [0.5, 1.0, 2.0, 4.0]
+            .iter()
+            .map(|&tau| format!("{:.1}", run_point(f, model_one(), tau, 42).routing_efficiency))
+            .collect();
+        println!("  f={f:.1}: {}", row.join("  "));
+    }
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for tau in [0.5, 4.0] {
+        g.bench_function(format!("cell_f0.5_tau{tau}"), |b| {
+            b.iter(|| black_box(run_point(0.5, model_one(), black_box(tau), 42)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Adversary models (§1, §2.4, §5).
+//!
+//! * **Random routing**: "We model an adversary's routing strategy as
+//!   random routing" — realised by [`crate::routing::RoutingStrategy::Random`],
+//!   which malicious nodes use regardless of the configured good-node
+//!   strategy.
+//! * **Availability attack** (§5 attack 1): "malicious nodes become highly
+//!   available and wait for paths to be reformed through them" —
+//!   [`apply_availability_attack`] rewrites the attackers' churn schedules
+//!   to permanent uptime.
+//! * **Intersection attack** (§1, §2.1): a passive observer correlates the
+//!   sets of *active* nodes across the recurring connections it can see;
+//!   the initiator must lie in every such set, so the candidate set shrinks
+//!   with each observation — [`IntersectionAttack`].
+
+use std::collections::HashSet;
+
+use idpa_netmodel::NodeSchedule;
+use idpa_overlay::NodeId;
+
+/// Rewrites the schedules of `attackers` to a single session spanning
+/// `[0, horizon]` — the §5 availability attack. Returns the modified trace.
+#[must_use]
+pub fn apply_availability_attack(
+    mut schedules: Vec<NodeSchedule>,
+    attackers: &[NodeId],
+    horizon: f64,
+) -> Vec<NodeSchedule> {
+    assert!(horizon > 0.0, "horizon must be positive");
+    for &a in attackers {
+        schedules[a.index()] = NodeSchedule::from_sessions(vec![(0.0, horizon)]);
+    }
+    schedules
+}
+
+/// A passive intersection attack on initiator anonymity.
+///
+/// Each time the adversary observes one of the target's recurring
+/// connections (i.e. a malicious node sits on the path, or the attacker
+/// taps the responder), it intersects its candidate-initiator set with the
+/// set of nodes active at that moment. `‖candidates‖ = 1` means the
+/// initiator is exposed.
+#[derive(Debug, Clone, Default)]
+pub struct IntersectionAttack {
+    candidates: Option<HashSet<NodeId>>,
+    observations: u32,
+}
+
+impl IntersectionAttack {
+    /// A fresh attack with no observations.
+    #[must_use]
+    pub fn new() -> Self {
+        IntersectionAttack::default()
+    }
+
+    /// Incorporates one observation: the set of nodes active while a
+    /// target connection ran. (The true initiator is always active during
+    /// its own connection, so it survives every intersection.)
+    pub fn observe(&mut self, active: &HashSet<NodeId>) {
+        self.observations += 1;
+        match &mut self.candidates {
+            None => self.candidates = Some(active.clone()),
+            Some(c) => c.retain(|n| active.contains(n)),
+        }
+    }
+
+    /// Observations incorporated so far.
+    #[must_use]
+    pub fn observations(&self) -> u32 {
+        self.observations
+    }
+
+    /// Size of the current candidate set (`usize::MAX` before any
+    /// observation — every node is a candidate).
+    #[must_use]
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.as_ref().map_or(usize::MAX, HashSet::len)
+    }
+
+    /// The candidate set, if any observation happened.
+    #[must_use]
+    pub fn candidates(&self) -> Option<&HashSet<NodeId>> {
+        self.candidates.as_ref()
+    }
+
+    /// Whether the attack has narrowed the candidates to exactly one node.
+    #[must_use]
+    pub fn exposed(&self) -> bool {
+        self.candidate_count() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idpa_desim::SimTime;
+
+    fn set(ids: &[usize]) -> HashSet<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn availability_attack_pins_attackers_up() {
+        let schedules = vec![
+            NodeSchedule::from_sessions(vec![(0.0, 10.0)]),
+            NodeSchedule::from_sessions(vec![(5.0, 10.0)]),
+        ];
+        let out = apply_availability_attack(schedules, &[NodeId(1)], 100.0);
+        assert!(out[1].is_up(SimTime::new(0.0)));
+        assert!(out[1].is_up(SimTime::new(99.0)));
+        assert_eq!(out[1].availability(), 1.0);
+        // Non-attacker untouched.
+        assert!(!out[0].is_up(SimTime::new(50.0)));
+    }
+
+    #[test]
+    fn intersection_shrinks_candidates() {
+        let mut atk = IntersectionAttack::new();
+        assert_eq!(atk.candidate_count(), usize::MAX);
+        atk.observe(&set(&[0, 1, 2, 3]));
+        assert_eq!(atk.candidate_count(), 4);
+        atk.observe(&set(&[0, 1, 5]));
+        assert_eq!(atk.candidate_count(), 2);
+        atk.observe(&set(&[1, 7]));
+        assert!(atk.exposed());
+        assert!(atk.candidates().unwrap().contains(&NodeId(1)));
+        assert_eq!(atk.observations(), 3);
+    }
+
+    #[test]
+    fn true_initiator_survives_every_intersection() {
+        // The initiator (node 0) is in every active set by construction.
+        let mut atk = IntersectionAttack::new();
+        for extra in [[1, 2], [3, 4], [5, 6]] {
+            let mut s = set(&extra);
+            s.insert(NodeId(0));
+            atk.observe(&s);
+        }
+        assert!(atk.candidates().unwrap().contains(&NodeId(0)));
+        assert!(atk.exposed());
+    }
+
+    #[test]
+    fn fewer_observations_leave_more_anonymity() {
+        // The quantitative point of minimising path reformations: each
+        // observation can only shrink the candidate set.
+        let observations = [
+            set(&[0, 1, 2, 3, 4, 5]),
+            set(&[0, 1, 2, 3]),
+            set(&[0, 2, 3]),
+            set(&[0, 3]),
+        ];
+        let mut few = IntersectionAttack::new();
+        few.observe(&observations[0]);
+        few.observe(&observations[1]);
+        let mut many = IntersectionAttack::new();
+        for o in &observations {
+            many.observe(o);
+        }
+        assert!(few.candidate_count() >= many.candidate_count());
+    }
+
+    #[test]
+    fn disjoint_observation_empties_candidates() {
+        let mut atk = IntersectionAttack::new();
+        atk.observe(&set(&[1, 2]));
+        atk.observe(&set(&[3, 4]));
+        assert_eq!(atk.candidate_count(), 0);
+        assert!(!atk.exposed());
+    }
+}

@@ -1,0 +1,340 @@
+//! Route-formation cryptography (§2.2, §5).
+//!
+//! Two pieces of the protocol need actual cryptographic sealing:
+//!
+//! 1. **Contract propagation.** "The establishment of the forwarding path
+//!    is based on propagation of contract information (P_f and P_r)
+//!    through the intermediate nodes" — and the mechanism "cannot leak the
+//!    identity information". The initiator seals the contract in layers
+//!    (ChaCha20 under per-hop keys): each forwarder peels exactly one
+//!    layer, learning the terms but nothing the inner layers carry.
+//!
+//! 2. **Path validation.** "Each intermediate forwarder also includes path
+//!    information which is then used by I to recreate the path and
+//!    validate it." Each forwarder appends a [`PathRecord`] MAC'd under the
+//!    bundle key as the confirmation flows back; [`validate_path`] checks
+//!    the chain is complete, in order, and untampered before the initiator
+//!    pays.
+
+use idpa_crypto::chacha20::ChaCha20;
+use idpa_crypto::hmac::{hmac_sha256, verify_hmac};
+use idpa_crypto::sha256::Sha256;
+use idpa_overlay::NodeId;
+
+use crate::bundle::BundleId;
+use crate::contract::Contract;
+
+/// A symmetric per-hop key (in a deployment, established via the hop's
+/// public key; the simulation derives it from shared secrets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopKey(pub [u8; 32]);
+
+impl HopKey {
+    /// Derives a hop key from a bundle secret and the hop index.
+    #[must_use]
+    pub fn derive(bundle_secret: &[u8], hop: u32) -> Self {
+        let mut h = Sha256::new();
+        h.update(bundle_secret);
+        h.update(b"hop-key");
+        h.update(&hop.to_be_bytes());
+        HopKey(h.finalize())
+    }
+}
+
+/// Magic tag marking a successfully unsealed contract: without it, a
+/// partially peeled onion (which is still ciphertext of the same length)
+/// could parse as garbage terms.
+const CONTRACT_MAGIC: &[u8; 8] = b"IDPACTRT";
+
+/// Canonical byte encoding of the contract terms a forwarder needs.
+#[must_use]
+pub fn encode_contract(contract: &Contract) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + 8 + 8 + 8);
+    out.extend_from_slice(CONTRACT_MAGIC);
+    out.extend_from_slice(&contract.bundle.0.to_be_bytes());
+    out.extend_from_slice(&(contract.responder.index() as u64).to_be_bytes());
+    out.extend_from_slice(&contract.pf.to_be_bytes());
+    out.extend_from_slice(&contract.pr.to_be_bytes());
+    out
+}
+
+/// Decodes [`encode_contract`]'s output.
+#[must_use]
+pub fn decode_contract(bytes: &[u8]) -> Option<Contract> {
+    if bytes.len() != 40 || &bytes[..8] != CONTRACT_MAGIC {
+        return None;
+    }
+    let bytes = &bytes[8..];
+    let bundle = u64::from_be_bytes(bytes[0..8].try_into().ok()?);
+    let responder = u64::from_be_bytes(bytes[8..16].try_into().ok()?) as usize;
+    let pf = f64::from_be_bytes(bytes[16..24].try_into().ok()?);
+    let pr = f64::from_be_bytes(bytes[24..32].try_into().ok()?);
+    if !pf.is_finite() || !pr.is_finite() || pf < 0.0 || pr < 0.0 {
+        return None;
+    }
+    Some(Contract::new(BundleId(bundle), NodeId(responder), pf, pr))
+}
+
+fn layer_nonce(layer: u32) -> [u8; 12] {
+    let mut nonce = [0u8; 12];
+    nonce[..4].copy_from_slice(&layer.to_be_bytes());
+    nonce
+}
+
+/// Seals `payload` in onion layers: the **first** key in `hop_keys`
+/// belongs to the first forwarder and is applied last, so it is the first
+/// peeled.
+#[must_use]
+pub fn seal_layers(payload: &[u8], hop_keys: &[HopKey]) -> Vec<u8> {
+    let mut data = payload.to_vec();
+    for (layer, key) in hop_keys.iter().enumerate().rev() {
+        data = ChaCha20::encrypt(&key.0, &layer_nonce(layer as u32), &data);
+    }
+    data
+}
+
+/// Peels one layer (to be called by hop `layer` with its own key).
+#[must_use]
+pub fn peel_layer(sealed: &[u8], key: &HopKey, layer: u32) -> Vec<u8> {
+    ChaCha20::decrypt(&key.0, &layer_nonce(layer), sealed)
+}
+
+/// One hop's path-information record, appended to the confirmation on the
+/// reverse path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathRecord {
+    /// Connection index within the bundle.
+    pub connection: u32,
+    /// Hop position (0 = first forwarder after the initiator).
+    pub hop: u32,
+    /// The forwarder that served this hop.
+    pub node: NodeId,
+    /// MAC under the bundle key over `(connection, hop, node)`.
+    pub mac: [u8; 32],
+}
+
+impl PathRecord {
+    fn message(connection: u32, hop: u32, node: NodeId) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(4 + 4 + 8);
+        msg.extend_from_slice(&connection.to_be_bytes());
+        msg.extend_from_slice(&hop.to_be_bytes());
+        msg.extend_from_slice(&(node.index() as u64).to_be_bytes());
+        msg
+    }
+
+    /// Issues the record (executed by the forwarder holding the bundle
+    /// key material on the reverse path).
+    #[must_use]
+    pub fn issue(bundle_key: &[u8], connection: u32, hop: u32, node: NodeId) -> Self {
+        PathRecord {
+            connection,
+            hop,
+            node,
+            mac: hmac_sha256(bundle_key, &Self::message(connection, hop, node)),
+        }
+    }
+
+    /// Verifies the MAC.
+    #[must_use]
+    pub fn verify(&self, bundle_key: &[u8]) -> bool {
+        verify_hmac(
+            bundle_key,
+            &Self::message(self.connection, self.hop, self.node),
+            &self.mac,
+        )
+    }
+}
+
+/// Why path validation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathValidationError {
+    /// A record's MAC did not verify (tampering).
+    BadMac {
+        /// Index of the offending record.
+        index: usize,
+    },
+    /// Records are not a contiguous hop sequence starting at 0.
+    BrokenChain {
+        /// The hop index expected at the break.
+        expected_hop: u32,
+    },
+    /// Records mix connection ids.
+    MixedConnections,
+    /// No records at all.
+    Empty,
+}
+
+/// Validates a reverse-path record chain and reconstructs the forwarder
+/// sequence — what the initiator runs before authorising payment.
+pub fn validate_path(
+    records: &[PathRecord],
+    bundle_key: &[u8],
+) -> Result<Vec<NodeId>, PathValidationError> {
+    if records.is_empty() {
+        return Err(PathValidationError::Empty);
+    }
+    let connection = records[0].connection;
+    let mut path = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        if r.connection != connection {
+            return Err(PathValidationError::MixedConnections);
+        }
+        if !r.verify(bundle_key) {
+            return Err(PathValidationError::BadMac { index: i });
+        }
+        if r.hop != i as u32 {
+            return Err(PathValidationError::BrokenChain {
+                expected_hop: i as u32,
+            });
+        }
+        path.push(r.node);
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &[u8] = b"bundle key material";
+
+    fn contract() -> Contract {
+        Contract::new(BundleId(5), NodeId(9), 62.5, 125.0)
+    }
+
+    #[test]
+    fn contract_encoding_round_trips() {
+        let c = contract();
+        let decoded = decode_contract(&encode_contract(&c)).unwrap();
+        assert_eq!(decoded, c);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_contract(&[]).is_none());
+        assert!(decode_contract(&[0u8; 39]).is_none());
+        let mut bytes = encode_contract(&contract());
+        // Corrupt pf into a negative number.
+        bytes[24..32].copy_from_slice(&(-5.0f64).to_be_bytes());
+        assert!(decode_contract(&bytes).is_none());
+        // Corrupt the magic.
+        let mut bytes = encode_contract(&contract());
+        bytes[0] ^= 1;
+        assert!(decode_contract(&bytes).is_none());
+    }
+
+    #[test]
+    fn onion_peels_in_hop_order() {
+        let secret = b"bundle secret";
+        let keys: Vec<HopKey> = (0..3).map(|h| HopKey::derive(secret, h)).collect();
+        let payload = encode_contract(&contract());
+        let sealed = seal_layers(&payload, &keys);
+        assert_ne!(sealed, payload);
+
+        // Hop 0 peels first, then 1, then 2.
+        let after0 = peel_layer(&sealed, &keys[0], 0);
+        assert!(decode_contract(&after0).is_none(), "still sealed for hop 1");
+        let after1 = peel_layer(&after0, &keys[1], 1);
+        let after2 = peel_layer(&after1, &keys[2], 2);
+        assert_eq!(decode_contract(&after2).unwrap(), contract());
+    }
+
+    #[test]
+    fn wrong_key_leaves_payload_sealed() {
+        let secret = b"bundle secret";
+        let keys: Vec<HopKey> = (0..2).map(|h| HopKey::derive(secret, h)).collect();
+        let wrong = HopKey::derive(b"other secret", 0);
+        let sealed = seal_layers(&encode_contract(&contract()), &keys);
+        let peeled = peel_layer(&peel_layer(&sealed, &wrong, 0), &keys[1], 1);
+        assert!(decode_contract(&peeled).is_none());
+    }
+
+    #[test]
+    fn hop_keys_are_distinct() {
+        let a = HopKey::derive(b"s", 0);
+        let b = HopKey::derive(b"s", 1);
+        let c = HopKey::derive(b"t", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn path_validation_reconstructs_hops() {
+        let records: Vec<PathRecord> = (0..4)
+            .map(|h| PathRecord::issue(KEY, 2, h, NodeId(10 + h as usize)))
+            .collect();
+        let path = validate_path(&records, KEY).unwrap();
+        assert_eq!(
+            path,
+            vec![NodeId(10), NodeId(11), NodeId(12), NodeId(13)]
+        );
+    }
+
+    #[test]
+    fn tampered_record_detected() {
+        let mut records: Vec<PathRecord> = (0..3)
+            .map(|h| PathRecord::issue(KEY, 2, h, NodeId(h as usize)))
+            .collect();
+        records[1].node = NodeId(42); // claim a different forwarder
+        assert_eq!(
+            validate_path(&records, KEY),
+            Err(PathValidationError::BadMac { index: 1 })
+        );
+    }
+
+    #[test]
+    fn reordered_chain_detected() {
+        let r0 = PathRecord::issue(KEY, 2, 0, NodeId(1));
+        let r1 = PathRecord::issue(KEY, 2, 1, NodeId(2));
+        assert_eq!(
+            validate_path(&[r1, r0], KEY),
+            Err(PathValidationError::BrokenChain { expected_hop: 0 })
+        );
+    }
+
+    #[test]
+    fn dropped_hop_detected() {
+        let r0 = PathRecord::issue(KEY, 2, 0, NodeId(1));
+        let r2 = PathRecord::issue(KEY, 2, 2, NodeId(3));
+        assert_eq!(
+            validate_path(&[r0, r2], KEY),
+            Err(PathValidationError::BrokenChain { expected_hop: 1 })
+        );
+    }
+
+    #[test]
+    fn mixed_connections_detected() {
+        let r0 = PathRecord::issue(KEY, 2, 0, NodeId(1));
+        let other = PathRecord::issue(KEY, 3, 1, NodeId(2));
+        assert_eq!(
+            validate_path(&[r0, other], KEY),
+            Err(PathValidationError::MixedConnections)
+        );
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert_eq!(validate_path(&[], KEY), Err(PathValidationError::Empty));
+    }
+
+    #[test]
+    fn wrong_bundle_key_rejected() {
+        let records = vec![PathRecord::issue(KEY, 2, 0, NodeId(1))];
+        assert!(matches!(
+            validate_path(&records, b"another key"),
+            Err(PathValidationError::BadMac { .. })
+        ));
+    }
+
+    #[test]
+    fn node_on_two_positions_validates() {
+        // The paper allows a node to occupy two positions on one path.
+        let records = vec![
+            PathRecord::issue(KEY, 0, 0, NodeId(5)),
+            PathRecord::issue(KEY, 0, 1, NodeId(7)),
+            PathRecord::issue(KEY, 0, 2, NodeId(5)),
+        ];
+        let path = validate_path(&records, KEY).unwrap();
+        assert_eq!(path, vec![NodeId(5), NodeId(7), NodeId(5)]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Connection history profiles (§2.3, Table 1).
+//!
+//! "Each node stores history information about connections passing through
+//! it. Thus if a node s lies on a path π^i with connection identifier cid,
+//! it stores the corresponding predecessor and successor hops. ... The
+//! ratio of the number of entries corresponding to (s, v) and the maximum
+//! possible entries (k − 1) is called its selectivity."
+//!
+//! Records are keyed by bundle so that selectivity for connection `k` of a
+//! bundle looks only at that bundle's earlier connections, and the
+//! predecessor is stored so a node occupying two positions on one path can
+//! distinguish its outgoing edges per position.
+
+use std::collections::HashMap;
+
+use idpa_overlay::NodeId;
+
+use crate::bundle::BundleId;
+
+/// One history record — the paper's Table 1 row, extended with the bundle
+/// and connection index that scope it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryRecord {
+    /// The bundle (set of recurring connections) the path belonged to.
+    pub bundle: BundleId,
+    /// Connection index within the bundle (`π^i`).
+    pub connection: u32,
+    /// Predecessor hop (the paper's "Predecessor" column).
+    pub predecessor: NodeId,
+    /// Successor hop (the paper's "Successor" column).
+    pub successor: NodeId,
+}
+
+/// A node's history profile `H^k(s)`, with an optional retention bound.
+#[derive(Debug, Clone)]
+pub struct HistoryProfile {
+    owner: NodeId,
+    /// Records grouped by bundle, in insertion (connection) order.
+    records: HashMap<BundleId, Vec<HistoryRecord>>,
+    /// Maximum records retained per bundle (`None` = unbounded). The paper
+    /// notes "the amount of history information stored at a node also
+    /// influences the quality of the edge" — this is the ablation knob.
+    capacity_per_bundle: Option<usize>,
+}
+
+impl HistoryProfile {
+    /// Unbounded history for `owner`.
+    #[must_use]
+    pub fn new(owner: NodeId) -> Self {
+        HistoryProfile {
+            owner,
+            records: HashMap::new(),
+            capacity_per_bundle: None,
+        }
+    }
+
+    /// History bounded to the most recent `capacity` records per bundle.
+    #[must_use]
+    pub fn with_capacity(owner: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        HistoryProfile {
+            owner,
+            records: HashMap::new(),
+            capacity_per_bundle: Some(capacity),
+        }
+    }
+
+    /// The owning node.
+    #[must_use]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Records a hop: on connection `connection` of `bundle`, the owner
+    /// received from `predecessor` and forwarded to `successor`.
+    pub fn record(
+        &mut self,
+        bundle: BundleId,
+        connection: u32,
+        predecessor: NodeId,
+        successor: NodeId,
+    ) {
+        let entry = self.records.entry(bundle).or_default();
+        entry.push(HistoryRecord {
+            bundle,
+            connection,
+            predecessor,
+            successor,
+        });
+        if let Some(cap) = self.capacity_per_bundle {
+            if entry.len() > cap {
+                let drop = entry.len() - cap;
+                entry.drain(..drop);
+            }
+        }
+    }
+
+    /// All retained records for a bundle (insertion order).
+    #[must_use]
+    pub fn bundle_records(&self, bundle: BundleId) -> &[HistoryRecord] {
+        self.records.get(&bundle).map_or(&[], Vec::as_slice)
+    }
+
+    /// Selectivity `σ(s, v)` when forming a new connection after `priors`
+    /// completed connections of `bundle`: the number of those prior
+    /// connections on which the owner forwarded to `v`, divided by the
+    /// maximum possible `priors`.
+    ///
+    /// In the paper's 1-based notation this is the σ used while forming
+    /// `π^k` with `priors = k − 1`. Zero-based connection indices
+    /// `0..priors` are the priors. Multiple appearances of the edge on one
+    /// prior connection (a node occupying two positions) count once — the
+    /// numerator counts *connections*, matching the denominator.
+    #[must_use]
+    pub fn selectivity(&self, bundle: BundleId, priors: u32, v: NodeId) -> f64 {
+        if priors == 0 {
+            return 0.0;
+        }
+        let Some(records) = self.records.get(&bundle) else {
+            return 0.0;
+        };
+        let mut seen = std::collections::HashSet::new();
+        for r in records {
+            if r.connection < priors && r.successor == v {
+                seen.insert(r.connection);
+            }
+        }
+        seen.len() as f64 / f64::from(priors)
+    }
+
+    /// Position-aware selectivity: like [`HistoryProfile::selectivity`] but
+    /// restricted to records whose predecessor matches — "by using the
+    /// predecessor information, a node can differentiate between outgoing
+    /// edges for two different positions on the same path".
+    #[must_use]
+    pub fn selectivity_from(
+        &self,
+        bundle: BundleId,
+        priors: u32,
+        predecessor: NodeId,
+        v: NodeId,
+    ) -> f64 {
+        if priors == 0 {
+            return 0.0;
+        }
+        let Some(records) = self.records.get(&bundle) else {
+            return 0.0;
+        };
+        let mut seen = std::collections::HashSet::new();
+        for r in records {
+            if r.connection < priors && r.successor == v && r.predecessor == predecessor {
+                seen.insert(r.connection);
+            }
+        }
+        seen.len() as f64 / f64::from(priors)
+    }
+
+    /// Total records retained (all bundles).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// Whether no records are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+    const B: BundleId = BundleId(7);
+
+    #[test]
+    fn empty_profile_has_zero_selectivity() {
+        let h = HistoryProfile::new(n(0));
+        assert_eq!(h.selectivity(B, 5, n(1)), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn selectivity_counts_prior_connections() {
+        let mut h = HistoryProfile::new(n(0));
+        // Owner forwarded to node 1 on connections 0 and 2, to node 2 on 1.
+        h.record(B, 0, n(9), n(1));
+        h.record(B, 1, n(9), n(2));
+        h.record(B, 2, n(9), n(1));
+        // Forming the 4th connection, priors = 3: edge (s,1) appeared on
+        // prior connections {0, 2} => 2/3; edge (s,2) on {1} => 1/3.
+        assert!((h.selectivity(B, 3, n(1)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.selectivity(B, 3, n(2)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selectivity_is_one_for_always_chosen_edge() {
+        let mut h = HistoryProfile::new(n(0));
+        for c in 0..4 {
+            h.record(B, c, n(9), n(1));
+        }
+        // All 4 prior connections used (s,1) => σ = 4/4 = 1.
+        assert_eq!(h.selectivity(B, 4, n(1)), 1.0);
+    }
+
+    #[test]
+    fn duplicate_edge_on_one_connection_counts_once() {
+        let mut h = HistoryProfile::new(n(0));
+        // Node occupies two positions on connection 0, forwarding to n1
+        // both times.
+        h.record(B, 0, n(8), n(1));
+        h.record(B, 0, n(9), n(1));
+        assert_eq!(h.selectivity(B, 1, n(1)), 1.0);
+    }
+
+    #[test]
+    fn position_aware_selectivity_distinguishes_predecessors() {
+        let mut h = HistoryProfile::new(n(0));
+        h.record(B, 0, n(8), n(1)); // position A forwards to 1
+        h.record(B, 0, n(9), n(2)); // position B forwards to 2
+        assert_eq!(h.selectivity_from(B, 1, n(8), n(1)), 1.0);
+        assert_eq!(h.selectivity_from(B, 1, n(8), n(2)), 0.0);
+        assert_eq!(h.selectivity_from(B, 1, n(9), n(2)), 1.0);
+    }
+
+    #[test]
+    fn selectivity_scoped_per_bundle() {
+        let mut h = HistoryProfile::new(n(0));
+        h.record(BundleId(1), 0, n(9), n(1));
+        assert_eq!(h.selectivity(BundleId(2), 2, n(1)), 0.0);
+    }
+
+    #[test]
+    fn future_connections_do_not_count() {
+        let mut h = HistoryProfile::new(n(0));
+        h.record(B, 5, n(9), n(1)); // a later connection
+        assert_eq!(h.selectivity(B, 3, n(1)), 0.0);
+    }
+
+    #[test]
+    fn zero_priors_has_no_history() {
+        let mut h = HistoryProfile::new(n(0));
+        h.record(B, 0, n(9), n(1));
+        assert_eq!(h.selectivity(B, 0, n(1)), 0.0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let mut h = HistoryProfile::with_capacity(n(0), 2);
+        h.record(B, 0, n(9), n(1));
+        h.record(B, 1, n(9), n(2));
+        h.record(B, 2, n(9), n(3));
+        assert_eq!(h.bundle_records(B).len(), 2);
+        // The record for connection 0 was evicted.
+        assert_eq!(h.selectivity(B, 3, n(1)), 0.0);
+        assert!((h.selectivity(B, 3, n(2)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_history_lowers_selectivity() {
+        // The ablation the paper hints at: less retained history => lower
+        // measured selectivity for long-running bundles.
+        let mut unbounded = HistoryProfile::new(n(0));
+        let mut bounded = HistoryProfile::with_capacity(n(0), 3);
+        for c in 0..10 {
+            unbounded.record(B, c, n(9), n(1));
+            bounded.record(B, c, n(9), n(1));
+        }
+        assert!(
+            bounded.selectivity(B, 10, n(1)) < unbounded.selectivity(B, 10, n(1))
+        );
+    }
+}

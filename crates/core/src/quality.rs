@@ -1,0 +1,162 @@
+//! Edge quality (§2.3).
+//!
+//! `q(s, v) = w_s·σ(s, v) + w_a·α(v)` with `w_s + w_a = 1`: a convex
+//! combination of *selectivity* (how consistently the edge was used on the
+//! bundle's earlier connections) and *availability* (the probing-estimated
+//! session-time share of the neighbor). "The edge quality of the last edge
+//! in the path π^k is always 1 because it ends in R." Path quality is the
+//! sum of its edge qualities.
+
+/// The weights `(w_s, w_a)` of selectivity and availability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    ws: f64,
+    wa: f64,
+}
+
+impl Weights {
+    /// Creates weights; they must be non-negative and sum to 1.
+    #[must_use]
+    pub fn new(ws: f64, wa: f64) -> Self {
+        assert!(
+            ws >= 0.0 && wa >= 0.0 && (ws + wa - 1.0).abs() < 1e-9,
+            "weights must be non-negative and sum to 1, got ({ws}, {wa})"
+        );
+        Weights { ws, wa }
+    }
+
+    /// The paper's default `w_s = w_a = 0.5`.
+    #[must_use]
+    pub fn balanced() -> Self {
+        Weights { ws: 0.5, wa: 0.5 }
+    }
+
+    /// Selectivity weight `w_s`.
+    #[must_use]
+    pub fn ws(&self) -> f64 {
+        self.ws
+    }
+
+    /// Availability weight `w_a`.
+    #[must_use]
+    pub fn wa(&self) -> f64 {
+        self.wa
+    }
+}
+
+/// Edge-quality computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeQuality {
+    weights: Weights,
+}
+
+impl EdgeQuality {
+    /// Creates the evaluator with the given weights.
+    #[must_use]
+    pub fn new(weights: Weights) -> Self {
+        EdgeQuality { weights }
+    }
+
+    /// The weights in use.
+    #[must_use]
+    pub fn weights(&self) -> Weights {
+        self.weights
+    }
+
+    /// `q = w_s·σ + w_a·α`. Inputs must already be in `[0, 1]`.
+    #[must_use]
+    pub fn edge(&self, selectivity: f64, availability: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&selectivity), "σ={selectivity}");
+        debug_assert!((0.0..=1.0).contains(&availability), "α={availability}");
+        self.weights.ws * selectivity + self.weights.wa * availability
+    }
+
+    /// The fixed quality of the final edge into the responder.
+    #[must_use]
+    pub fn responder_edge(&self) -> f64 {
+        1.0
+    }
+
+    /// Path quality: the sum of edge qualities (§2.3). The caller passes
+    /// the qualities of the forwarder-to-forwarder edges; the final edge
+    /// into R contributes its fixed 1.
+    #[must_use]
+    pub fn path(&self, interior_edge_qualities: &[f64]) -> f64 {
+        interior_edge_qualities.iter().sum::<f64>() + self.responder_edge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_weights() {
+        let w = Weights::balanced();
+        assert_eq!(w.ws(), 0.5);
+        assert_eq!(w.wa(), 0.5);
+    }
+
+    #[test]
+    fn quality_is_convex_combination() {
+        let q = EdgeQuality::new(Weights::balanced());
+        assert_eq!(q.edge(1.0, 0.0), 0.5);
+        assert_eq!(q.edge(0.0, 1.0), 0.5);
+        assert_eq!(q.edge(1.0, 1.0), 1.0);
+        assert_eq!(q.edge(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn skewed_weights_prioritise_their_component() {
+        let history_heavy = EdgeQuality::new(Weights::new(0.9, 0.1));
+        let avail_heavy = EdgeQuality::new(Weights::new(0.1, 0.9));
+        // A historically used but flaky edge vs a fresh highly available one.
+        let used_flaky = (1.0, 0.2);
+        let fresh_stable = (0.0, 0.9);
+        assert!(
+            history_heavy.edge(used_flaky.0, used_flaky.1)
+                > history_heavy.edge(fresh_stable.0, fresh_stable.1)
+        );
+        assert!(
+            avail_heavy.edge(used_flaky.0, used_flaky.1)
+                < avail_heavy.edge(fresh_stable.0, fresh_stable.1)
+        );
+    }
+
+    #[test]
+    fn quality_bounded_in_unit_interval() {
+        let q = EdgeQuality::new(Weights::new(0.3, 0.7));
+        for s in [0.0, 0.25, 0.5, 1.0] {
+            for a in [0.0, 0.25, 0.5, 1.0] {
+                let v = q.edge(s, a);
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn path_quality_sums_edges_plus_responder() {
+        let q = EdgeQuality::new(Weights::balanced());
+        assert_eq!(q.path(&[]), 1.0); // direct I -> f -> R degenerate
+        assert!((q.path(&[0.5, 0.25]) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn responder_edge_is_always_one() {
+        for (ws, wa) in [(0.0, 1.0), (1.0, 0.0), (0.5, 0.5)] {
+            assert_eq!(EdgeQuality::new(Weights::new(ws, wa)).responder_edge(), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn weights_must_sum_to_one() {
+        let _ = Weights::new(0.5, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn negative_weights_rejected() {
+        let _ = Weights::new(-0.5, 1.5);
+    }
+}

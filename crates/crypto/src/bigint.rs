@@ -1,0 +1,745 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Little-endian `u64` limbs, always normalized (no trailing zero limbs;
+//! zero is the empty limb vector). Provides exactly the operations RSA
+//! needs: comparison, add/sub, schoolbook multiply, Knuth Algorithm D
+//! division, modular exponentiation by square-and-multiply, extended
+//! Euclid for modular inverses.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    #[must_use]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a single machine word.
+    #[must_use]
+    pub fn from_u64(x: u64) -> Self {
+        if x == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![x] }
+        }
+    }
+
+    /// From a 128-bit value.
+    #[must_use]
+    pub fn from_u128(x: u128) -> Self {
+        let lo = x as u64;
+        let hi = (x >> 64) as u64;
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
+        n.normalize();
+        n
+    }
+
+    /// From big-endian bytes (the conventional wire format for RSA values).
+    #[must_use]
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | u64::from(b);
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// To big-endian bytes, minimal length (empty for zero).
+    #[must_use]
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let first = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+                out.extend_from_slice(&bytes[first..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// The little-endian limbs (no trailing zeros). For interop with
+    /// limb-level algorithms (Montgomery arithmetic).
+    #[must_use]
+    pub fn to_limbs(&self) -> Vec<u64> {
+        self.limbs.clone()
+    }
+
+    /// Builds from little-endian limbs (trailing zeros allowed).
+    #[must_use]
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Whether the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether the value is one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Whether the lowest bit is set.
+    #[must_use]
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|&l| l & 1 == 1)
+    }
+
+    /// Whether the value fits and equals the given u64.
+    #[must_use]
+    pub fn eq_u64(&self, x: u64) -> bool {
+        match (self.limbs.len(), x) {
+            (0, 0) => true,
+            (1, _) => self.limbs[0] == x,
+            _ => false,
+        }
+    }
+
+    /// Bit length (0 for zero).
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Value of bit `i` (false beyond the top).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i`, growing as needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let (limb, off) = (i / 64, i % 64);
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << off;
+    }
+
+    /// Three-way comparison.
+    #[must_use]
+    pub fn cmp_ref(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`; panics if `other > self`.
+    #[must_use]
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(
+            self.cmp_ref(other) != Ordering::Less,
+            "BigUint subtraction underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self * other` (schoolbook; fine at RSA sizes).
+    #[must_use]
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = u128::from(a) * u128::from(b) + u128::from(out[i + j]) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = u128::from(out[k]) + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    #[must_use]
+    pub fn shl(&self, bits: usize) -> Self {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    #[must_use]
+    pub fn shr(&self, bits: usize) -> Self {
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            for i in 0..out.len() {
+                let hi = out.get(i + 1).copied().unwrap_or(0);
+                out[i] = (out[i] >> bit_shift) | (hi << (64 - bit_shift));
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `(self / divisor, self % divisor)`; panics on division by zero.
+    #[must_use]
+    pub fn divrem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp_ref(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.divrem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        self.divrem_knuth(divisor)
+    }
+
+    /// Fast path: divide by a single limb.
+    fn divrem_u64(&self, d: u64) -> (Self, u64) {
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | u128::from(self.limbs[i]);
+            q[i] = (cur / u128::from(d)) as u64;
+            rem = cur % u128::from(d);
+        }
+        let mut qn = BigUint { limbs: q };
+        qn.normalize();
+        (qn, rem as u64)
+    }
+
+    /// Knuth TAOCP Vol. 2, Algorithm 4.3.1 D.
+    fn divrem_knuth(&self, divisor: &Self) -> (Self, Self) {
+        let n = divisor.limbs.len();
+        let m = self.limbs.len() - n;
+
+        // D1: normalize so the divisor's top bit is set.
+        let shift = divisor.limbs[n - 1].leading_zeros() as usize;
+        let v = divisor.shl(shift).limbs;
+        let mut u = self.shl(shift).limbs;
+        u.resize(self.limbs.len() + 1, 0); // extra high limb u[m+n]
+
+        let mut q = vec![0u64; m + 1];
+        const B: u128 = 1 << 64;
+
+        // D2-D7: main loop.
+        for j in (0..=m).rev() {
+            // D3: estimate qhat.
+            let top = (u128::from(u[j + n]) << 64) | u128::from(u[j + n - 1]);
+            let mut qhat = top / u128::from(v[n - 1]);
+            let mut rhat = top % u128::from(v[n - 1]);
+            while qhat >= B
+                || qhat * u128::from(v[n - 2]) > (rhat << 64) + u128::from(u[j + n - 2])
+            {
+                qhat -= 1;
+                rhat += u128::from(v[n - 1]);
+                if rhat >= B {
+                    break;
+                }
+            }
+
+            // D4: multiply and subtract u[j..j+n+1] -= qhat * v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * u128::from(v[i]) + carry;
+                carry = p >> 64;
+                let sub = i128::from(u[j + i]) - ((p as u64) as i128) + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = i128::from(u[j + n]) - (carry as i128) + borrow;
+            u[j + n] = sub as u64;
+
+            // D5/D6: if we subtracted too much, add back.
+            if sub < 0 {
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let t = u128::from(u[j + i]) + u128::from(v[i]) + carry;
+                    u[j + i] = t as u64;
+                    carry = t >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qhat as u64;
+        }
+
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        let mut remainder = BigUint {
+            limbs: u[..n].to_vec(),
+        };
+        remainder.normalize();
+        (quotient, remainder.shr(shift))
+    }
+
+    /// `self % modulus`.
+    #[must_use]
+    pub fn rem(&self, modulus: &Self) -> Self {
+        self.divrem(modulus).1
+    }
+
+    /// `self * other mod modulus`.
+    #[must_use]
+    pub fn mulmod(&self, other: &Self, modulus: &Self) -> Self {
+        self.mul(other).rem(modulus)
+    }
+
+    /// `self ^ exponent mod modulus` by left-to-right square-and-multiply.
+    /// `modulus` must be ≥ 2.
+    #[must_use]
+    pub fn modpow(&self, exponent: &Self, modulus: &Self) -> Self {
+        assert!(
+            !modulus.is_zero() && !modulus.is_one(),
+            "modpow needs modulus >= 2"
+        );
+        if exponent.is_zero() {
+            return BigUint::one();
+        }
+        let base = self.rem(modulus);
+        let mut acc = BigUint::one();
+        for i in (0..exponent.bits()).rev() {
+            acc = acc.mulmod(&acc, modulus);
+            if exponent.bit(i) {
+                acc = acc.mulmod(&base, modulus);
+            }
+        }
+        acc
+    }
+
+    /// Greatest common divisor (Euclid).
+    #[must_use]
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse: `x` with `self·x ≡ 1 (mod modulus)`, or `None` when
+    /// `gcd(self, modulus) != 1`. Extended Euclid with sign tracking.
+    #[must_use]
+    pub fn mod_inverse(&self, modulus: &Self) -> Option<Self> {
+        if modulus.is_zero() || modulus.is_one() {
+            return None;
+        }
+        // Invariants: r_old = s_old_sign * s_old * self (mod modulus) etc.
+        let mut r_old = self.rem(modulus);
+        let mut r_new = modulus.clone();
+        // Coefficients of `self`: (value, is_negative).
+        let mut s_old = (BigUint::one(), false);
+        let mut s_new = (BigUint::zero(), false);
+        // Loop computes gcd(self mod m, m) while tracking Bezout coefficient.
+        while !r_new.is_zero() {
+            let (q, r) = r_old.divrem(&r_new);
+            r_old = std::mem::replace(&mut r_new, r);
+            // s = s_old - q * s_new  (signed arithmetic on magnitudes)
+            let q_s_new = q.mul(&s_new.0);
+            let s = signed_sub(&s_old, &(q_s_new, s_new.1));
+            s_old = std::mem::replace(&mut s_new, s);
+        }
+        if !r_old.is_one() {
+            return None;
+        }
+        // Map the signed coefficient into [0, modulus).
+        let (mag, neg) = s_old;
+        let mag = mag.rem(modulus);
+        Some(if neg && !mag.is_zero() {
+            modulus.sub(&mag)
+        } else {
+            mag
+        })
+    }
+}
+
+/// `a - b` on (magnitude, is_negative) pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - (-b) = a + b ; (-a) - b = -(a + b)
+        (false, true) => (a.0.add(&b.0), false),
+        (true, false) => (a.0.add(&b.0), true),
+        // Same sign: compare magnitudes.
+        (a_neg, _) => {
+            if a.0.cmp_ref(&b.0) != Ordering::Less {
+                (a.0.sub(&b.0), a_neg)
+            } else {
+                (b.0.sub(&a.0), !a_neg)
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_ref(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_ref(other)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(x: u128) -> BigUint {
+        BigUint::from_u128(x)
+    }
+
+    #[test]
+    fn construction_and_normalization() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(BigUint::from_u64(0).is_zero());
+        assert_eq!(BigUint::from_u128(u128::from(u64::MAX) + 1).bits(), 65);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let cases: &[&[u8]] = &[
+            &[],
+            &[1],
+            &[0xff],
+            &[1, 0],
+            &[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04, 0x05],
+        ];
+        for &bytes in cases {
+            let n = BigUint::from_bytes_be(bytes);
+            let back = n.to_bytes_be();
+            // Leading zeros are dropped.
+            let canonical: Vec<u8> = bytes
+                .iter()
+                .copied()
+                .skip_while(|&b| b == 0)
+                .collect();
+            assert_eq!(back, canonical, "input {bytes:?}");
+        }
+    }
+
+    #[test]
+    fn from_bytes_ignores_leading_zeros() {
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 5]),
+            BigUint::from_u64(5)
+        );
+    }
+
+    #[test]
+    fn add_matches_u128() {
+        let pairs = [(0u128, 0u128), (1, 2), (u64::MAX as u128, 1), (1 << 100, 1 << 99)];
+        for (a, b) in pairs {
+            assert_eq!(big(a).add(&big(b)), big(a + b));
+        }
+    }
+
+    #[test]
+    fn sub_matches_u128() {
+        let pairs = [(5u128, 3u128), (u128::MAX / 2, 12345), (1 << 64, 1)];
+        for (a, b) in pairs {
+            assert_eq!(big(a).sub(&big(b)), big(a - b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = big(1).sub(&big(2));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let pairs = [(0u128, 7u128), (3, 4), (u64::MAX as u128, u64::MAX as u128)];
+        for (a, b) in pairs {
+            assert_eq!(big(a).mul(&big(b)), big(a * b));
+        }
+    }
+
+    #[test]
+    fn mul_large_cross_check() {
+        // (2^200 - 1)^2 = 2^400 - 2^201 + 1
+        let mut a = BigUint::zero();
+        for i in 0..200 {
+            a.set_bit(i);
+        }
+        let sq = a.mul(&a);
+        let mut expect = BigUint::zero();
+        expect.set_bit(400);
+        let mut sub = BigUint::zero();
+        sub.set_bit(201);
+        let expect = expect.sub(&sub).add(&BigUint::one());
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn shifts_match_u128() {
+        let x = 0xdead_beef_cafe_babe_u128;
+        // u128 reference is only valid while x << s does not overflow.
+        for s in [0, 1, 7, 63, 64] {
+            assert_eq!(big(x).shl(s), big(x << s), "shl {s}");
+        }
+        // Beyond u128: verify structurally via shr round trip and bit count.
+        for s in [65usize, 100, 300] {
+            let shifted = big(x).shl(s);
+            assert_eq!(shifted.bits(), 64 + s);
+            assert_eq!(shifted.shr(s), big(x), "shl/shr round trip {s}");
+        }
+        for s in [0, 1, 7, 63, 64, 65, 127, 200] {
+            let expect = if s >= 128 { 0 } else { x >> s };
+            assert_eq!(big(x).shr(s), big(expect), "shr {s}");
+        }
+    }
+
+    #[test]
+    fn divrem_small_cases() {
+        let (q, r) = big(17).divrem(&big(5));
+        assert_eq!((q, r), (big(3), big(2)));
+        let (q, r) = big(5).divrem(&big(17));
+        assert_eq!((q, r), (big(0), big(5)));
+        let (q, r) = big(17).divrem(&big(17));
+        assert_eq!((q, r), (big(1), big(0)));
+    }
+
+    #[test]
+    fn divrem_matches_u128() {
+        let pairs = [
+            (u128::MAX, 3u128),
+            (u128::MAX, u64::MAX as u128),
+            (u128::MAX, (u64::MAX as u128) + 1),
+            ((1 << 127) + 12345, (1 << 65) + 7),
+        ];
+        for (a, b) in pairs {
+            let (q, r) = big(a).divrem(&big(b));
+            assert_eq!(q, big(a / b), "q for {a}/{b}");
+            assert_eq!(r, big(a % b), "r for {a}%{b}");
+        }
+    }
+
+    #[test]
+    fn divrem_knuth_addback_branch() {
+        // A case constructed to exercise the rare D6 add-back: dividend
+        // with pattern forcing qhat overestimation.
+        let u = BigUint {
+            limbs: vec![0, 0, 0x8000_0000_0000_0000, 0x7fff_ffff_ffff_ffff],
+        };
+        let v = BigUint {
+            limbs: vec![1, 0x8000_0000_0000_0000],
+        };
+        let (q, r) = u.divrem(&v);
+        // Verify by reconstruction.
+        assert_eq!(q.mul(&v).add(&r), u);
+        assert!(r.cmp_ref(&v) == Ordering::Less);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(1).divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        // 4^13 mod 497 = 445 (classic worked example)
+        assert_eq!(big(4).modpow(&big(13), &big(497)), big(445));
+        // Fermat: a^(p-1) ≡ 1 mod p for prime p
+        assert_eq!(big(2).modpow(&big(1_000_002), &big(1_000_003)), big(1));
+        // exponent zero
+        assert_eq!(big(99).modpow(&BigUint::zero(), &big(7)), big(1));
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(5)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+    }
+
+    #[test]
+    fn mod_inverse_small() {
+        // 3 * 4 = 12 ≡ 1 mod 11
+        assert_eq!(big(3).mod_inverse(&big(11)), Some(big(4)));
+        // No inverse when not coprime.
+        assert_eq!(big(6).mod_inverse(&big(9)), None);
+        // Inverse of 1 is 1.
+        assert_eq!(big(1).mod_inverse(&big(7)), Some(big(1)));
+    }
+
+    #[test]
+    fn mod_inverse_verifies() {
+        let m = big(1_000_003); // prime
+        for a in [2u128, 3, 999, 123_456, 1_000_002] {
+            let inv = big(a).mod_inverse(&m).expect("coprime");
+            assert_eq!(big(a).mulmod(&inv, &m), BigUint::one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        let mut x = BigUint::zero();
+        assert_eq!(x.bits(), 0);
+        x.set_bit(70);
+        assert_eq!(x.bits(), 71);
+        assert!(x.bit(70));
+        assert!(!x.bit(69));
+        assert!(!x.bit(500));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(big(5) < big(6));
+        assert!(big(1 << 64) > big(u64::MAX as u128));
+        assert_eq!(big(42).cmp_ref(&big(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", BigUint::zero()), "0x0");
+        assert_eq!(format!("{:?}", big(0xdead)), "0xdead");
+        assert_eq!(
+            format!("{:?}", big((1u128 << 64) + 0xff)),
+            "0x100000000000000ff"
+        );
+    }
+}

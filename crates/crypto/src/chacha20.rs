@@ -1,0 +1,202 @@
+//! ChaCha20 stream cipher (RFC 8439), used to seal the layered contract and
+//! confirmation records that flow along a forwarding path, so intermediate
+//! forwarders cannot read the initiator's identity or payment terms meant
+//! for other hops.
+
+/// ChaCha20 keystream generator / stream cipher.
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+    counter: u32,
+    /// Unused keystream bytes from the current block.
+    pending: [u8; 64],
+    pending_off: usize,
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 256-bit key and 96-bit nonce, with the block
+    /// counter starting at `counter` (RFC 8439 uses 1 for encryption).
+    #[must_use]
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut k = [0u32; 8];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            k[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        let mut n = [0u32; 3];
+        for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+            n[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha20 {
+            key: k,
+            nonce: n,
+            counter,
+            pending: [0; 64],
+            pending_off: 64,
+        }
+    }
+
+    fn block(&self, counter: u32) -> [u8; 64] {
+        const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut x = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = x[i].wrapping_add(state[i]);
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream into `data` in place (encryption == decryption).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.pending_off == 64 {
+                self.pending = self.block(self.counter);
+                self.counter = self.counter.checked_add(1).expect("keystream exhausted");
+                self.pending_off = 0;
+            }
+            *byte ^= self.pending[self.pending_off];
+            self.pending_off += 1;
+        }
+    }
+
+    /// Convenience: returns the encryption of `data` without mutating it.
+    #[must_use]
+    pub fn encrypt(key: &[u8; 32], nonce: &[u8; 12], data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        ChaCha20::new(key, nonce, 1).apply(&mut out);
+        out
+    }
+
+    /// Convenience: inverse of [`ChaCha20::encrypt`].
+    #[must_use]
+    pub fn decrypt(key: &[u8; 32], nonce: &[u8; 12], data: &[u8]) -> Vec<u8> {
+        // Symmetric cipher: same operation.
+        ChaCha20::encrypt(key, nonce, data)
+    }
+}
+
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_function_vector() {
+        // RFC 8439 §2.3.2 test vector.
+        let key = rfc_key();
+        let nonce = [0u8, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let c = ChaCha20::new(&key, &nonce, 1);
+        let block = c.block(1);
+        assert_eq!(
+            hex(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+        );
+        // Words 12..16 of the §2.3.2 state after the block function are
+        // d19c12b5 b94e16de e883d0cb 4e3c50a2, serialized little-endian.
+        assert_eq!(hex(&block[48..64]), "b5129cd1de164eb9cbd083e8a2503c4e");
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2.
+        let key = rfc_key();
+        let nonce = [0u8, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = ChaCha20::encrypt(&key, &nonce, plaintext);
+        assert_eq!(
+            hex(&ct[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        assert_eq!(ct.len(), plaintext.len());
+        assert_eq!(ChaCha20::decrypt(&key, &nonce, &ct), plaintext);
+    }
+
+    #[test]
+    fn round_trip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let msg = b"initiator identity must not leak".to_vec();
+        let ct = ChaCha20::encrypt(&key, &nonce, &msg);
+        assert_ne!(ct, msg);
+        assert_eq!(ChaCha20::decrypt(&key, &nonce, &ct), msg);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let key = [9u8; 32];
+        let nonce = [1u8; 12];
+        let msg: Vec<u8> = (0..300).map(|i| (i % 256) as u8).collect();
+        let oneshot = ChaCha20::encrypt(&key, &nonce, &msg);
+        let mut streamed = msg.clone();
+        let mut c = ChaCha20::new(&key, &nonce, 1);
+        // Apply in uneven pieces crossing the 64-byte block boundary.
+        let (a, rest) = streamed.split_at_mut(10);
+        c.apply(a);
+        let (b, tail) = rest.split_at_mut(120);
+        c.apply(b);
+        c.apply(tail);
+        assert_eq!(streamed, oneshot);
+    }
+
+    #[test]
+    fn different_nonces_give_different_keystreams() {
+        let key = [5u8; 32];
+        let msg = vec![0u8; 64];
+        let a = ChaCha20::encrypt(&key, &[0u8; 12], &msg);
+        let b = ChaCha20::encrypt(&key, &[1u8; 12], &msg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn layered_onion_peels_in_reverse() {
+        // Two layers of sealing, peeled in reverse order, recover plaintext:
+        // the pattern used for contract propagation along a path.
+        let k1 = [1u8; 32];
+        let k2 = [2u8; 32];
+        let nonce = [0u8; 12];
+        let msg = b"contract: Pf=50 Pr=100".to_vec();
+        let layer1 = ChaCha20::encrypt(&k1, &nonce, &msg);
+        let layer2 = ChaCha20::encrypt(&k2, &nonce, &layer1);
+        let peel2 = ChaCha20::decrypt(&k2, &nonce, &layer2);
+        let peel1 = ChaCha20::decrypt(&k1, &nonce, &peel2);
+        assert_eq!(peel1, msg);
+    }
+}

@@ -1,0 +1,233 @@
+//! Primality testing and prime generation for RSA key material.
+
+use idpa_desim::rng::Xoshiro256StarStar;
+
+use crate::bigint::BigUint;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// At 32 rounds the error probability is below 4^-32 ≈ 5·10^-20 for a
+/// random candidate — far beyond what the simulated payment system needs.
+#[must_use]
+pub fn is_probable_prime(n: &BigUint, rounds: u32, rng: &mut Xoshiro256StarStar) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    if n.eq_u64(2) {
+        return true;
+    }
+    if !n.is_odd() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p_big = BigUint::from_u64(p);
+        if n.cmp_ref(&p_big) == std::cmp::Ordering::Equal {
+            return true;
+        }
+        if n.rem(&p_big).is_zero() {
+            return false;
+        }
+    }
+
+    // Write n - 1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    let s = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr(s);
+
+    'witness: for _ in 0..rounds {
+        let a = random_below(&n_minus_1, rng); // a ∈ [0, n-2]
+        let a = a.add(&one); // a ∈ [1, n-1]
+        if a.is_one() || a.cmp_ref(&n_minus_1) == std::cmp::Ordering::Equal {
+            continue;
+        }
+        let mut x = a.modpow(&d, n);
+        if x.is_one() || x.cmp_ref(&n_minus_1) == std::cmp::Ordering::Equal {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mulmod(&x, n);
+            if x.cmp_ref(&n_minus_1) == std::cmp::Ordering::Equal {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Number of trailing zero bits (input must be non-zero).
+fn trailing_zeros(n: &BigUint) -> usize {
+    debug_assert!(!n.is_zero());
+    let mut i = 0;
+    while !n.bit(i) {
+        i += 1;
+    }
+    i
+}
+
+/// Uniform random value in `[0, bound)`; `bound` must be non-zero.
+/// Rejection sampling over the minimal bit width.
+pub fn random_below(bound: &BigUint, rng: &mut Xoshiro256StarStar) -> BigUint {
+    assert!(!bound.is_zero(), "random_below of zero bound");
+    let bits = bound.bits();
+    loop {
+        let candidate = random_bits(bits, rng);
+        if candidate.cmp_ref(bound) == std::cmp::Ordering::Less {
+            return candidate;
+        }
+    }
+}
+
+/// Uniform random integer with at most `bits` bits.
+#[must_use]
+pub fn random_bits(bits: usize, rng: &mut Xoshiro256StarStar) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let n_bytes = bits.div_ceil(8);
+    let mut bytes = vec![0u8; n_bytes];
+    for chunk in bytes.chunks_mut(8) {
+        let r = rng.next().to_be_bytes();
+        let len = chunk.len();
+        chunk.copy_from_slice(&r[..len]);
+    }
+    // Mask excess bits in the leading byte.
+    let excess = n_bytes * 8 - bits;
+    bytes[0] &= 0xffu8 >> excess;
+    BigUint::from_bytes_be(&bytes)
+}
+
+/// Generates a random probable prime of exactly `bits` bits (top bit set).
+///
+/// The top **two** bits are set so that the product of two such primes has
+/// exactly `2·bits` bits, giving RSA moduli of predictable size.
+#[must_use]
+pub fn generate_prime(bits: usize, rng: &mut Xoshiro256StarStar) -> BigUint {
+    assert!(bits >= 16, "prime size too small to be meaningful: {bits}");
+    loop {
+        let mut candidate = random_bits(bits, rng);
+        candidate.set_bit(bits - 1);
+        candidate.set_bit(bits - 2);
+        if !candidate.is_odd() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if is_probable_prime(&candidate, 32, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn small_primes_recognised() {
+        let mut r = rng(1);
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 211, 223, 65537] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng(2);
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 91, 221, 65535, 65537 * 3] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // 561, 1105, 1729, 2465: Fermat pseudoprimes to many bases, but
+        // Miller-Rabin must reject them.
+        let mut r = rng(3);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut r),
+                "Carmichael {c} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        // 2^89 - 1 is a Mersenne prime.
+        let mut p = BigUint::zero();
+        p.set_bit(89);
+        let p = p.sub(&BigUint::one());
+        assert!(is_probable_prime(&p, 16, &mut rng(4)));
+    }
+
+    #[test]
+    fn known_large_composite_rejected() {
+        // 2^67 - 1 = 193707721 × 761838257287 (the famous Cole factorisation).
+        let mut c = BigUint::zero();
+        c.set_bit(67);
+        let c = c.sub(&BigUint::one());
+        assert!(!is_probable_prime(&c, 16, &mut rng(5)));
+    }
+
+    #[test]
+    fn random_below_stays_in_range() {
+        let mut r = rng(6);
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..1000 {
+            let x = random_below(&bound, &mut r);
+            assert!(x.cmp_ref(&bound) == std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn random_bits_respects_width() {
+        let mut r = rng(7);
+        for bits in [1usize, 7, 8, 9, 64, 65, 100] {
+            for _ in 0..50 {
+                assert!(random_bits(bits, &mut r).bits() <= bits, "width {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_prime_has_exact_size() {
+        let mut r = rng(8);
+        let p = generate_prime(96, &mut r);
+        assert_eq!(p.bits(), 96);
+        assert!(p.is_odd());
+        assert!(p.bit(94), "second-highest bit set");
+    }
+
+    #[test]
+    fn generated_primes_differ() {
+        let mut r = rng(9);
+        let p = generate_prime(64, &mut r);
+        let q = generate_prime(64, &mut r);
+        assert_ne!(p, q);
+    }
+
+    #[test]
+    fn product_of_generated_primes_has_double_bits() {
+        let mut r = rng(10);
+        let p = generate_prime(80, &mut r);
+        let q = generate_prime(80, &mut r);
+        assert_eq!(p.mul(&q).bits(), 160);
+    }
+}

@@ -1,0 +1,194 @@
+//! Textbook RSA key generation, signing and verification.
+//!
+//! The payment system signs *hashes* of token serials (full-domain-hash
+//! style would require a hash into Z_n; for the simulated bank, signing the
+//! SHA-256 digest interpreted as an integer is sufficient — the security
+//! arguments the paper needs are unlinkability and unforgeability at the
+//! protocol level, not modern EUF-CMA bounds).
+
+use idpa_desim::rng::Xoshiro256StarStar;
+
+use crate::bigint::BigUint;
+use crate::montgomery::MontgomeryCtx;
+use crate::prime::generate_prime;
+use crate::sha256::Sha256;
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+impl RsaPublicKey {
+    /// The modulus.
+    #[must_use]
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The public exponent.
+    #[must_use]
+    pub fn exponent(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// Raw RSA verification primitive: `sig^e mod n`.
+    #[must_use]
+    pub fn raw_verify(&self, sig: &BigUint) -> BigUint {
+        sig.modpow(&self.e, &self.n)
+    }
+
+    /// Verifies a signature over `message` produced by
+    /// [`RsaKeyPair::sign_message`].
+    #[must_use]
+    pub fn verify_message(&self, message: &[u8], sig: &BigUint) -> bool {
+        let digest = BigUint::from_bytes_be(&Sha256::digest(message)).rem(&self.n);
+        self.raw_verify(sig) == digest
+    }
+}
+
+/// An RSA key pair.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    d: BigUint,
+    /// Montgomery context over n: signing exponentiates by the full-size
+    /// private exponent, where Montgomery reduction pays off most.
+    mont: MontgomeryCtx,
+}
+
+/// The conventional public exponent 65537.
+#[must_use]
+pub fn f4() -> BigUint {
+    BigUint::from_u64(65537)
+}
+
+impl RsaKeyPair {
+    /// Generates a key pair with a modulus of `modulus_bits` bits
+    /// (two primes of half that size) and exponent 65537.
+    ///
+    /// `modulus_bits` must be even and at least 128. Simulation-scale keys
+    /// (512–1024 bits) generate quickly; nothing here is hardened for real
+    /// deployment.
+    #[must_use]
+    pub fn generate(modulus_bits: usize, rng: &mut Xoshiro256StarStar) -> Self {
+        assert!(
+            modulus_bits >= 128 && modulus_bits % 2 == 0,
+            "modulus_bits must be even and >= 128, got {modulus_bits}"
+        );
+        let e = f4();
+        let one = BigUint::one();
+        loop {
+            let p = generate_prime(modulus_bits / 2, rng);
+            let q = generate_prime(modulus_bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            // e must be invertible mod phi.
+            let Some(d) = e.mod_inverse(&phi) else {
+                continue;
+            };
+            let mont = MontgomeryCtx::new(&n);
+            return RsaKeyPair {
+                public: RsaPublicKey { n, e },
+                d,
+                mont,
+            };
+        }
+    }
+
+    /// The public half.
+    #[must_use]
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Raw RSA signing primitive: `m^d mod n` (Montgomery fast path).
+    #[must_use]
+    pub fn raw_sign(&self, m: &BigUint) -> BigUint {
+        self.mont.modpow(m, &self.d)
+    }
+
+    /// Signs SHA-256(message) interpreted as an integer mod n.
+    #[must_use]
+    pub fn sign_message(&self, message: &[u8]) -> BigUint {
+        let digest =
+            BigUint::from_bytes_be(&Sha256::digest(message)).rem(self.public.modulus());
+        self.raw_sign(&digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    fn test_keys(seed: u64) -> RsaKeyPair {
+        // 256-bit keys keep the test suite fast; the math is size-agnostic.
+        RsaKeyPair::generate(256, &mut rng(seed))
+    }
+
+    #[test]
+    fn modulus_has_requested_size() {
+        let kp = test_keys(1);
+        assert_eq!(kp.public().modulus().bits(), 256);
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = test_keys(2);
+        let sig = kp.sign_message(b"pay the forwarder 50 units");
+        assert!(kp.public().verify_message(b"pay the forwarder 50 units", &sig));
+    }
+
+    #[test]
+    fn verification_rejects_wrong_message() {
+        let kp = test_keys(3);
+        let sig = kp.sign_message(b"original");
+        assert!(!kp.public().verify_message(b"tampered", &sig));
+    }
+
+    #[test]
+    fn verification_rejects_wrong_key() {
+        let kp1 = test_keys(4);
+        let kp2 = test_keys(5);
+        let sig = kp1.sign_message(b"msg");
+        assert!(!kp2.public().verify_message(b"msg", &sig));
+    }
+
+    #[test]
+    fn raw_primitives_invert() {
+        let kp = test_keys(6);
+        let m = BigUint::from_u64(123_456_789);
+        let sig = kp.raw_sign(&m);
+        assert_eq!(kp.public().raw_verify(&sig), m);
+    }
+
+    #[test]
+    fn encryption_direction_also_inverts() {
+        // RSA is a trapdoor permutation: e then d also round-trips.
+        let kp = test_keys(7);
+        let m = BigUint::from_u64(42);
+        let c = m.modpow(kp.public().exponent(), kp.public().modulus());
+        let back = kp.raw_sign(&c);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_keys() {
+        assert_ne!(test_keys(8).public().modulus(), test_keys(9).public().modulus());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = test_keys(10);
+        let b = test_keys(10);
+        assert_eq!(a.public(), b.public());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the cryptographic substrate.
+
+use idpa_crypto::bigint::BigUint;
+use idpa_crypto::montgomery::MontgomeryCtx;
+use idpa_crypto::chacha20::ChaCha20;
+use idpa_crypto::hmac::{hmac_sha256, verify_hmac};
+use idpa_crypto::sha256::Sha256;
+use proptest::prelude::*;
+
+fn from_words(words: &[u64]) -> BigUint {
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
+    BigUint::from_bytes_be(&bytes)
+}
+
+proptest! {
+    /// Exponent laws: a^(x+y) = a^x · a^y (mod m).
+    #[test]
+    fn modpow_exponent_addition(a in 2u64.., x in 0u64..2000, y in 0u64..2000, m in 2u64..) {
+        let a = BigUint::from_u64(a);
+        let m = BigUint::from_u64(m);
+        let lhs = a.modpow(&BigUint::from_u64(x + y), &m);
+        let rhs = a
+            .modpow(&BigUint::from_u64(x), &m)
+            .mulmod(&a.modpow(&BigUint::from_u64(y), &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// (a·b)^e = a^e · b^e (mod m) — the homomorphism blind signatures
+    /// rely on.
+    #[test]
+    fn modpow_is_multiplicative(a in 1u64.., b in 1u64.., e in 0u64..500, m in 2u64..) {
+        let (a, b, m) = (BigUint::from_u64(a), BigUint::from_u64(b), BigUint::from_u64(m));
+        let e = BigUint::from_u64(e);
+        let lhs = a.mulmod(&b, &m).modpow(&e, &m);
+        let rhs = a.modpow(&e, &m).mulmod(&b.modpow(&e, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// gcd divides both arguments and is the largest such (spot-check via
+    /// the gcd identity gcd(a,b)*lcm-free check: gcd divides both and
+    /// gcd(a/g, b/g) == 1).
+    #[test]
+    fn gcd_properties(a_w in prop::collection::vec(any::<u64>(), 1..3),
+                      b_w in prop::collection::vec(any::<u64>(), 1..3)) {
+        let a = from_words(&a_w);
+        let b = from_words(&b_w);
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+        let (aq, _) = a.divrem(&g);
+        let (bq, _) = b.divrem(&g);
+        prop_assert!(aq.gcd(&bq).is_one());
+    }
+
+    /// SHA-256 digests are stable and sensitive to any single-bit flip.
+    #[test]
+    fn sha256_bit_sensitivity(data in prop::collection::vec(any::<u8>(), 1..200),
+                              bit in 0usize..8, idx_seed in any::<usize>()) {
+        let d1 = Sha256::digest(&data);
+        let mut mutated = data.clone();
+        let idx = idx_seed % mutated.len();
+        mutated[idx] ^= 1 << bit;
+        let d2 = Sha256::digest(&mutated);
+        prop_assert_ne!(d1, d2);
+        prop_assert_eq!(d1, Sha256::digest(&data), "deterministic");
+    }
+
+    /// Incremental hashing equals one-shot hashing at any split point.
+    #[test]
+    fn sha256_incremental_any_split(data in prop::collection::vec(any::<u8>(), 0..300),
+                                    split_seed in any::<usize>()) {
+        let split = if data.is_empty() { 0 } else { split_seed % (data.len() + 1) };
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    /// HMAC verifies its own output and rejects any MAC bit flip.
+    #[test]
+    fn hmac_round_trip_and_rejection(key in prop::collection::vec(any::<u8>(), 0..100),
+                                     msg in prop::collection::vec(any::<u8>(), 0..100),
+                                     flip in 0usize..256) {
+        let mac = hmac_sha256(&key, &msg);
+        prop_assert!(verify_hmac(&key, &msg, &mac));
+        let mut bad = mac;
+        bad[flip / 8] ^= 1 << (flip % 8);
+        prop_assert!(!verify_hmac(&key, &msg, &bad));
+    }
+
+    /// Montgomery modpow agrees with plain modpow on arbitrary odd moduli.
+    #[test]
+    fn montgomery_agrees_with_plain(base_w in prop::collection::vec(any::<u64>(), 1..4),
+                                    exp in any::<u64>(),
+                                    modulus_w in prop::collection::vec(any::<u64>(), 1..4)) {
+        let base = from_words(&base_w);
+        let mut modulus = from_words(&modulus_w);
+        modulus.set_bit(0); // force odd
+        prop_assume!(!modulus.is_one());
+        let exp = BigUint::from_u64(exp);
+        let ctx = MontgomeryCtx::new(&modulus);
+        prop_assert_eq!(ctx.modpow(&base, &exp), base.modpow(&exp, &modulus));
+    }
+
+    /// ChaCha20 decryption inverts encryption for any key/nonce/payload.
+    #[test]
+    fn chacha_round_trip(key in prop::collection::vec(any::<u8>(), 32..=32),
+                         nonce in prop::collection::vec(any::<u8>(), 12..=12),
+                         msg in prop::collection::vec(any::<u8>(), 0..500)) {
+        let key: [u8; 32] = key.try_into().unwrap();
+        let nonce: [u8; 12] = nonce.try_into().unwrap();
+        let ct = ChaCha20::encrypt(&key, &nonce, &msg);
+        prop_assert_eq!(ct.len(), msg.len());
+        prop_assert_eq!(ChaCha20::decrypt(&key, &nonce, &ct), msg);
+    }
+}

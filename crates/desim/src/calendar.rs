@@ -1,0 +1,250 @@
+//! The event calendar: a priority queue of timestamped events.
+//!
+//! Events at equal timestamps are delivered in scheduling (FIFO) order.
+//! This tie-break is load-bearing: the paper's experiments compare routing
+//! strategies under common random numbers, which is only meaningful if the
+//! event order is a pure function of the schedule calls.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// An event popped from the calendar: when it fires, its id, and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventEntry<E> {
+    /// Time at which the event fires.
+    pub time: SimTime,
+    /// The id handed out by [`Calendar::schedule`].
+    pub id: EventId,
+    /// The user payload.
+    pub event: E,
+}
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq gives FIFO order among equal timestamps.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event calendar over user-defined event payloads `E`.
+///
+/// ```
+/// use idpa_desim::{Calendar, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime::new(2.0), "later");
+/// cal.schedule(SimTime::new(1.0), "sooner");
+/// assert_eq!(cal.pop().unwrap().event, "sooner");
+/// assert_eq!(cal.pop().unwrap().event, "later");
+/// assert!(cal.pop().is_none());
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar.
+    #[must_use]
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `event` to fire at `time`. Returns an id that can be used
+    /// with [`Calendar::cancel`].
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will be silently skipped when reached), `false` if
+    /// it already fired, was already cancelled, or never existed.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Lazy deletion: mark and skip on pop. We cannot cheaply know whether
+        // the event already fired, so report true only on first insertion.
+        self.cancelled.insert(id.0)
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// ones. Returns `None` when the calendar is exhausted.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some(EventEntry {
+                time: entry.time,
+                id: EventId(entry.seq),
+                event: entry.event,
+            });
+        }
+        None
+    }
+
+    /// Time of the earliest pending (non-cancelled) event, if any.
+    ///
+    /// Cancelled events at the head are dropped as a side effect, so this is
+    /// `O(k log n)` for `k` cancelled heads but amortised cheap.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.contains(&head.seq) {
+                let seq = head.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(head.time);
+        }
+        None
+    }
+
+    /// Number of pending entries, **including** lazily cancelled ones.
+    #[must_use]
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of pending live (non-cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(m: f64) -> SimTime {
+        SimTime::new(m)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(t(3.0), 'c');
+        cal.schedule(t(1.0), 'a');
+        cal.schedule(t(2.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| cal.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule(t(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(t(1.0), "a");
+        cal.schedule(t(2.0), "b");
+        assert!(cal.cancel(a));
+        assert_eq!(cal.pop().unwrap().event, "b");
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_twice_reports_false() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(t(1.0), ());
+        assert!(cal.cancel(a));
+        assert!(!cal.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_id_reports_false() {
+        let mut cal: Calendar<()> = Calendar::new();
+        assert!(!cal.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_heads() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(t(1.0), "a");
+        cal.schedule(t(2.0), "b");
+        cal.cancel(a);
+        assert_eq!(cal.peek_time(), Some(t(2.0)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut cal = Calendar::new();
+        let a = cal.schedule(t(1.0), ());
+        cal.schedule(t(2.0), ());
+        assert_eq!(cal.len(), 2);
+        cal.cancel(a);
+        assert_eq!(cal.len(), 1);
+        assert!(!cal.is_empty());
+        cal.pop();
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut cal = Calendar::new();
+        cal.schedule(t(10.0), 10);
+        cal.schedule(t(5.0), 5);
+        assert_eq!(cal.pop().unwrap().event, 5);
+        cal.schedule(t(7.0), 7);
+        assert_eq!(cal.pop().unwrap().event, 7);
+        assert_eq!(cal.pop().unwrap().event, 10);
+    }
+}

@@ -1,0 +1,32 @@
+//! # idpa-desim — deterministic discrete-event simulation kernel
+//!
+//! The evaluation in *Incentive-Driven P2P Anonymity System* (Ray, Slutzki,
+//! Zhang; ICPP 2007) is performed entirely with an event-driven simulator.
+//! This crate provides that substrate:
+//!
+//! * a [`Calendar`] of timestamped events with deterministic FIFO tie-breaking,
+//! * an [`Engine`] that drives a user-supplied [`Process`] until a horizon,
+//! * reproducible random-number streams ([`rng::SplitMix64`],
+//!   [`rng::Xoshiro256StarStar`], [`rng::StreamFactory`]) so that every
+//!   experiment in the paper reproduction is replayable from a single seed,
+//! * statistics collectors ([`stats::OnlineStats`], [`stats::Ecdf`],
+//!   [`stats::Histogram`], [`stats::ConfidenceInterval`]) used to produce the
+//!   paper's mean-with-95%-CI figures and payoff CDFs.
+//!
+//! The kernel is intentionally single-threaded: determinism of the event
+//! order is a correctness requirement (experiments are compared across
+//! routing strategies with common random numbers). Parallelism lives one
+//! level up, across independent replications (see `idpa-sim`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use calendar::{Calendar, EventEntry, EventId};
+pub use engine::{Engine, Process, StopReason};
+pub use time::SimTime;

@@ -1,0 +1,345 @@
+//! Mixed-strategy Nash equilibria for two-player games.
+//!
+//! Pure equilibria do not always exist (matching-pennies-like structures
+//! appear when an adversary's evasion and a defender's detection interact),
+//! so the framework also solves for mixed equilibria by **support
+//! enumeration**: guess the supports, solve the indifference conditions
+//! with Gaussian elimination, verify feasibility and the absence of
+//! profitable deviations. Complete for nondegenerate bimatrix games at the
+//! sizes the forwarding analysis needs (strategy counts ≤ ~6).
+
+use crate::normal::NormalFormGame;
+
+/// A mixed-strategy profile of a 2-player game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedEquilibrium {
+    /// Player 0's distribution over its pure strategies.
+    pub p0: Vec<f64>,
+    /// Player 1's distribution over its pure strategies.
+    pub p1: Vec<f64>,
+    /// Player 0's expected payoff.
+    pub value0: f64,
+    /// Player 1's expected payoff.
+    pub value1: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+impl MixedEquilibrium {
+    /// Whether both distributions are (numerically) valid probabilities.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let ok = |p: &[f64]| {
+            p.iter().all(|&x| x >= -EPS)
+                && (p.iter().sum::<f64>() - 1.0).abs() < 1e-6
+        };
+        ok(&self.p0) && ok(&self.p1)
+    }
+}
+
+/// Solves the square linear system `A·x = b` by Gaussian elimination with
+/// partial pivoting. Returns `None` for (near-)singular systems.
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Enumerates subsets of `0..n` with exactly `k` elements.
+fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..n {
+            current.push(i);
+            rec(i + 1, n, k, current, out);
+            current.pop();
+        }
+    }
+    rec(0, n, k, &mut current, &mut out);
+    out
+}
+
+/// Given supports `(s0, s1)` of equal size, solves the indifference system
+/// for the *other* player's mixture and checks feasibility + deviations.
+fn try_supports(
+    game: &NormalFormGame,
+    s0: &[usize],
+    s1: &[usize],
+) -> Option<MixedEquilibrium> {
+    let k = s0.len();
+    debug_assert_eq!(k, s1.len());
+
+    // Player 1's mixture y (over s1) makes player 0 indifferent across s0:
+    //   Σ_j y_j·u0(i, j) − v0 = 0  for i ∈ s0 ;  Σ_j y_j = 1.
+    // Unknowns: y (k) and v0 — a (k+1)×(k+1) system.
+    let mut a = vec![vec![0.0; k + 1]; k + 1];
+    let mut b = vec![0.0; k + 1];
+    for (row, &i) in s0.iter().enumerate() {
+        for (col, &j) in s1.iter().enumerate() {
+            a[row][col] = game.payoff(&[i, j], 0);
+        }
+        a[row][k] = -1.0; // −v0
+    }
+    for col in 0..k {
+        a[k][col] = 1.0;
+    }
+    b[k] = 1.0;
+    let sol = solve_linear(a, b)?;
+    let (y, v0) = (sol[..k].to_vec(), sol[k]);
+
+    // Player 0's mixture x (over s0) makes player 1 indifferent across s1.
+    let mut a = vec![vec![0.0; k + 1]; k + 1];
+    let mut b = vec![0.0; k + 1];
+    for (row, &j) in s1.iter().enumerate() {
+        for (col, &i) in s0.iter().enumerate() {
+            a[row][col] = game.payoff(&[i, j], 1);
+        }
+        a[row][k] = -1.0; // −v1
+    }
+    for col in 0..k {
+        a[k][col] = 1.0;
+    }
+    b[k] = 1.0;
+    let sol = solve_linear(a, b)?;
+    let (x, v1) = (sol[..k].to_vec(), sol[k]);
+
+    // Feasibility: probabilities non-negative.
+    if x.iter().chain(&y).any(|&p| p < -EPS) {
+        return None;
+    }
+
+    // Expand to full-length distributions.
+    let mut p0 = vec![0.0; game.n_strategies(0)];
+    for (col, &i) in s0.iter().enumerate() {
+        p0[i] = x[col].max(0.0);
+    }
+    let mut p1 = vec![0.0; game.n_strategies(1)];
+    for (col, &j) in s1.iter().enumerate() {
+        p1[j] = y[col].max(0.0);
+    }
+
+    // No profitable deviation outside the supports.
+    for i in 0..game.n_strategies(0) {
+        let u: f64 = (0..game.n_strategies(1))
+            .map(|j| p1[j] * game.payoff(&[i, j], 0))
+            .sum();
+        if u > v0 + 1e-6 {
+            return None;
+        }
+    }
+    for j in 0..game.n_strategies(1) {
+        let u: f64 = (0..game.n_strategies(0))
+            .map(|i| p0[i] * game.payoff(&[i, j], 1))
+            .sum();
+        if u > v1 + 1e-6 {
+            return None;
+        }
+    }
+
+    Some(MixedEquilibrium {
+        p0,
+        p1,
+        value0: v0,
+        value1: v1,
+    })
+}
+
+/// Finds mixed Nash equilibria of a 2-player game by support enumeration
+/// over equal-size supports (complete for nondegenerate games). Includes
+/// pure equilibria (support size 1). Panics if the game is not 2-player.
+#[must_use]
+pub fn mixed_nash_2p(game: &NormalFormGame) -> Vec<MixedEquilibrium> {
+    assert_eq!(game.n_players(), 2, "support enumeration is 2-player");
+    let (n0, n1) = (game.n_strategies(0), game.n_strategies(1));
+    let mut found: Vec<MixedEquilibrium> = Vec::new();
+    for k in 1..=n0.min(n1) {
+        for s0 in subsets(n0, k) {
+            for s1 in subsets(n1, k) {
+                if let Some(eq) = try_supports(game, &s0, &s1) {
+                    if eq.is_valid()
+                        && !found.iter().any(|e| {
+                            e.p0.iter().zip(&eq.p0).all(|(a, b)| (a - b).abs() < 1e-6)
+                                && e.p1.iter().zip(&eq.p1).all(|(a, b)| (a - b).abs() < 1e-6)
+                        })
+                    {
+                        found.push(eq);
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matching_pennies() -> NormalFormGame {
+        NormalFormGame::from_fn(vec![2, 2], |p| {
+            if p[0] == p[1] {
+                vec![1.0, -1.0]
+            } else {
+                vec![-1.0, 1.0]
+            }
+        })
+    }
+
+    fn battle_of_sexes() -> NormalFormGame {
+        NormalFormGame::from_fn(vec![2, 2], |p| match (p[0], p[1]) {
+            (0, 0) => vec![2.0, 1.0],
+            (1, 1) => vec![1.0, 2.0],
+            _ => vec![0.0, 0.0],
+        })
+    }
+
+    fn rock_paper_scissors() -> NormalFormGame {
+        NormalFormGame::from_fn(vec![3, 3], |p| {
+            let (a, b) = (p[0] as i32, p[1] as i32);
+            let win = (a - b).rem_euclid(3);
+            match win {
+                0 => vec![0.0, 0.0],
+                1 => vec![1.0, -1.0],
+                _ => vec![-1.0, 1.0],
+            }
+        })
+    }
+
+    #[test]
+    fn matching_pennies_has_unique_mixed_equilibrium() {
+        let eqs = mixed_nash_2p(&matching_pennies());
+        assert_eq!(eqs.len(), 1);
+        let eq = &eqs[0];
+        assert!((eq.p0[0] - 0.5).abs() < 1e-9);
+        assert!((eq.p1[0] - 0.5).abs() < 1e-9);
+        assert!(eq.value0.abs() < 1e-9);
+        assert!(eq.value1.abs() < 1e-9);
+    }
+
+    #[test]
+    fn battle_of_sexes_has_three_equilibria() {
+        let eqs = mixed_nash_2p(&battle_of_sexes());
+        // Two pure + one fully mixed.
+        assert_eq!(eqs.len(), 3, "{eqs:#?}");
+        let mixed = eqs
+            .iter()
+            .find(|e| e.p0.iter().all(|&p| p > 0.01))
+            .expect("fully mixed equilibrium");
+        // Mixed BoS: p0 = (2/3, 1/3), p1 = (1/3, 2/3).
+        assert!((mixed.p0[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((mixed.p1[0] - 1.0 / 3.0).abs() < 1e-9);
+        // Mixed value is 2/3 for both.
+        assert!((mixed.value0 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rock_paper_scissors_is_uniform() {
+        let eqs = mixed_nash_2p(&rock_paper_scissors());
+        assert_eq!(eqs.len(), 1);
+        for p in eqs[0].p0.iter().chain(&eqs[0].p1) {
+            assert!((p - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prisoners_dilemma_yields_only_pure_defection() {
+        let pd = NormalFormGame::from_fn(vec![2, 2], |p| match (p[0], p[1]) {
+            (0, 0) => vec![3.0, 3.0],
+            (0, 1) => vec![0.0, 5.0],
+            (1, 0) => vec![5.0, 0.0],
+            (1, 1) => vec![1.0, 1.0],
+            _ => unreachable!(),
+        });
+        let eqs = mixed_nash_2p(&pd);
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].p0, vec![0.0, 1.0]);
+        assert_eq!(eqs[0].p1, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn equilibria_are_consistent_with_pure_enumeration() {
+        // Every pure Nash equilibrium must appear among the mixed ones.
+        let game = battle_of_sexes();
+        let pure = game.pure_nash_equilibria();
+        let mixed = mixed_nash_2p(&game);
+        for profile in pure {
+            let found = mixed.iter().any(|e| {
+                e.p0[profile[0]] > 0.99 && e.p1[profile[1]] > 0.99
+            });
+            assert!(found, "pure {profile:?} missing from mixed set");
+        }
+    }
+
+    #[test]
+    fn asymmetric_strategy_counts_supported() {
+        // 2x3 game: player 1's third strategy strictly dominated.
+        let game = NormalFormGame::from_fn(vec![2, 3], |p| {
+            let u1 = match p[1] {
+                0 => 1.0,
+                1 => 1.0,
+                _ => -10.0,
+            };
+            let u0 = if p[0] == p[1] % 2 { 1.0 } else { -1.0 };
+            vec![u0, u1]
+        });
+        let eqs = mixed_nash_2p(&game);
+        assert!(!eqs.is_empty());
+        for eq in &eqs {
+            assert!(eq.is_valid());
+            assert!(eq.p1[2] < 1e-9, "dominated strategy unplayed");
+        }
+    }
+
+    #[test]
+    fn linear_solver_handles_singular_matrices() {
+        let a = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_linear(a, vec![5.0, 10.0]).unwrap();
+        assert!((2.0 * x[0] + x[1] - 5.0).abs() < 1e-9);
+        assert!((x[0] + 3.0 * x[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "2-player")]
+    fn three_player_games_rejected() {
+        let g = NormalFormGame::from_fn(vec![2, 2, 2], |_| vec![0.0; 3]);
+        let _ = mixed_nash_2p(&g);
+    }
+}

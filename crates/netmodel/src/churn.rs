@@ -1,0 +1,351 @@
+//! Churn: per-node join/leave schedules.
+//!
+//! §3 of the paper: "A poisson process is used to simulate the joining of
+//! nodes" and "the session time of peers is modeled using a Pareto
+//! distribution and the median session time is set as 60 mins". §2.1 defines
+//! a peer's availability as "the ratio of the sum of its session times to
+//! its lifetime, where the lifetime is from the time of the initial entry of
+//! the peer node into the system to the time of its final departure".
+//!
+//! We pre-generate, per node, the full alternating up/down schedule over the
+//! simulation horizon. Pre-generation (rather than sampling lazily during
+//! the run) is what makes common-random-number comparisons across routing
+//! strategies exact: the churn trace is bit-identical for every strategy.
+
+use idpa_desim::rng::Xoshiro256StarStar;
+use idpa_desim::SimTime;
+
+use crate::dist::{Exponential, Pareto};
+
+/// Parameters of the churn process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Number of peers (the paper uses N = 40).
+    pub n_nodes: usize,
+    /// Rate of the Poisson join process (nodes per minute). Successive nodes
+    /// enter the system at exponential inter-arrival times with this rate.
+    pub join_rate: f64,
+    /// Median of the Pareto session-time distribution, minutes (paper: 60).
+    pub session_median: f64,
+    /// Pareto shape (tail index) of session times. Measurement studies of
+    /// P2P session times report shapes between 1 and 2; default 1.5.
+    pub session_shape: f64,
+    /// Mean of the exponential downtime between sessions, minutes.
+    pub downtime_mean: f64,
+    /// End of the generated schedule, minutes.
+    pub horizon: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            n_nodes: 40,
+            join_rate: 2.0,
+            session_median: 60.0,
+            session_shape: 1.5,
+            downtime_mean: 30.0,
+            horizon: 24.0 * 60.0,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Validates parameter ranges, panicking with a descriptive message on
+    /// nonsense input (zero nodes, non-positive rates, ...).
+    pub fn validate(&self) {
+        assert!(self.n_nodes > 0, "need at least one node");
+        assert!(self.join_rate > 0.0, "join_rate must be positive");
+        assert!(self.session_median > 0.0, "session_median must be positive");
+        assert!(self.session_shape > 0.0, "session_shape must be positive");
+        assert!(self.downtime_mean > 0.0, "downtime_mean must be positive");
+        assert!(self.horizon > 0.0, "horizon must be positive");
+    }
+}
+
+/// One node's alternating up/down schedule: a sorted list of disjoint
+/// `[up, down)` intervals clamped to the horizon.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeSchedule {
+    sessions: Vec<(f64, f64)>,
+}
+
+impl NodeSchedule {
+    /// Builds a schedule from explicit intervals; they must be sorted,
+    /// disjoint, and well-formed (`start < end`).
+    #[must_use]
+    pub fn from_sessions(sessions: Vec<(f64, f64)>) -> Self {
+        for w in sessions.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "sessions must be sorted and disjoint: {w:?}"
+            );
+        }
+        for &(s, e) in &sessions {
+            assert!(s < e, "empty or inverted session ({s}, {e})");
+            assert!(s >= 0.0, "negative session start {s}");
+        }
+        NodeSchedule { sessions }
+    }
+
+    /// The `[start, end)` session intervals, sorted.
+    #[must_use]
+    pub fn sessions(&self) -> &[(f64, f64)] {
+        &self.sessions
+    }
+
+    /// Whether the node is up at time `t`.
+    #[must_use]
+    pub fn is_up(&self, t: SimTime) -> bool {
+        let t = t.minutes();
+        // Sessions are sorted; find the last session starting at or before t.
+        match self.sessions.partition_point(|&(s, _)| s <= t) {
+            0 => false,
+            i => t < self.sessions[i - 1].1,
+        }
+    }
+
+    /// First join time, or `None` if the node never came up.
+    #[must_use]
+    pub fn first_join(&self) -> Option<f64> {
+        self.sessions.first().map(|&(s, _)| s)
+    }
+
+    /// Final departure time, or `None` if the node never came up.
+    #[must_use]
+    pub fn final_departure(&self) -> Option<f64> {
+        self.sessions.last().map(|&(_, e)| e)
+    }
+
+    /// The paper's availability metric: total session time divided by
+    /// lifetime (first join to final departure). Zero for a node with no
+    /// sessions; 1.0 for a node with a single uninterrupted session.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        let (Some(first), Some(last)) = (self.first_join(), self.final_departure()) else {
+            return 0.0;
+        };
+        let lifetime = last - first;
+        if lifetime <= 0.0 {
+            return 0.0;
+        }
+        let up: f64 = self.sessions.iter().map(|&(s, e)| e - s).sum();
+        up / lifetime
+    }
+
+    /// Total time the node is up within `[0, horizon]`.
+    #[must_use]
+    pub fn uptime(&self) -> f64 {
+        self.sessions.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// The next up/down transition strictly after `t`, if any. Used by the
+    /// simulator to schedule join/leave events.
+    #[must_use]
+    pub fn next_transition_after(&self, t: SimTime) -> Option<f64> {
+        let t = t.minutes();
+        for &(s, e) in &self.sessions {
+            if s > t {
+                return Some(s);
+            }
+            if e > t {
+                return Some(e);
+            }
+        }
+        None
+    }
+}
+
+/// Generator for a full system churn trace.
+#[derive(Debug, Clone)]
+pub struct ChurnModel {
+    config: ChurnConfig,
+}
+
+impl ChurnModel {
+    /// Creates a churn model over validated configuration.
+    #[must_use]
+    pub fn new(config: ChurnConfig) -> Self {
+        config.validate();
+        ChurnModel { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChurnConfig {
+        &self.config
+    }
+
+    /// Generates one schedule per node. Node join times form a Poisson
+    /// process (exponential inter-arrivals); each node then alternates
+    /// Pareto up-periods and exponential down-periods until the horizon.
+    #[must_use]
+    pub fn generate(&self, rng: &mut Xoshiro256StarStar) -> Vec<NodeSchedule> {
+        let cfg = &self.config;
+        let join_gap = Exponential::new(cfg.join_rate);
+        let session = Pareto::from_median(cfg.session_median, cfg.session_shape);
+        let downtime = Exponential::from_mean(cfg.downtime_mean);
+
+        let mut schedules = Vec::with_capacity(cfg.n_nodes);
+        let mut arrival = 0.0;
+        for _ in 0..cfg.n_nodes {
+            arrival += join_gap.sample(rng);
+            let mut sessions = Vec::new();
+            let mut t = arrival;
+            while t < cfg.horizon {
+                let up_end = (t + session.sample(rng)).min(cfg.horizon);
+                if up_end > t {
+                    sessions.push((t, up_end));
+                }
+                t = up_end + downtime.sample(rng);
+            }
+            schedules.push(NodeSchedule::from_sessions(sessions));
+        }
+        schedules
+    }
+
+    /// Convenience: generate and return only the availability of each node.
+    #[must_use]
+    pub fn availabilities(&self, rng: &mut Xoshiro256StarStar) -> Vec<f64> {
+        self.generate(rng)
+            .iter()
+            .map(NodeSchedule::availability)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    fn default_model() -> ChurnModel {
+        ChurnModel::new(ChurnConfig::default())
+    }
+
+    #[test]
+    fn generates_one_schedule_per_node() {
+        let scheds = default_model().generate(&mut rng(1));
+        assert_eq!(scheds.len(), 40);
+    }
+
+    #[test]
+    fn schedules_are_sorted_disjoint_and_within_horizon() {
+        let cfg = ChurnConfig::default();
+        let scheds = ChurnModel::new(cfg).generate(&mut rng(2));
+        for sched in &scheds {
+            let mut prev_end = 0.0;
+            for &(s, e) in sched.sessions() {
+                assert!(s < e, "degenerate session");
+                assert!(s >= prev_end, "overlapping sessions");
+                assert!(e <= cfg.horizon + 1e-9, "session beyond horizon");
+                prev_end = e;
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = default_model().generate(&mut rng(3));
+        let b = default_model().generate(&mut rng(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn is_up_matches_sessions() {
+        let sched = NodeSchedule::from_sessions(vec![(1.0, 3.0), (5.0, 8.0)]);
+        assert!(!sched.is_up(SimTime::new(0.5)));
+        assert!(sched.is_up(SimTime::new(1.0)));
+        assert!(sched.is_up(SimTime::new(2.9)));
+        assert!(!sched.is_up(SimTime::new(3.0)));
+        assert!(!sched.is_up(SimTime::new(4.0)));
+        assert!(sched.is_up(SimTime::new(5.0)));
+        assert!(!sched.is_up(SimTime::new(8.0)));
+    }
+
+    #[test]
+    fn availability_definition_matches_paper() {
+        // Sessions of length 2 and 3 over a lifetime of 7 (from 1 to 8).
+        let sched = NodeSchedule::from_sessions(vec![(1.0, 3.0), (5.0, 8.0)]);
+        assert!((sched.availability() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_of_single_session_is_one() {
+        let sched = NodeSchedule::from_sessions(vec![(2.0, 9.0)]);
+        assert_eq!(sched.availability(), 1.0);
+    }
+
+    #[test]
+    fn availability_of_empty_schedule_is_zero() {
+        assert_eq!(NodeSchedule::default().availability(), 0.0);
+    }
+
+    #[test]
+    fn next_transition_walks_boundaries() {
+        let sched = NodeSchedule::from_sessions(vec![(1.0, 3.0), (5.0, 8.0)]);
+        assert_eq!(sched.next_transition_after(SimTime::new(0.0)), Some(1.0));
+        assert_eq!(sched.next_transition_after(SimTime::new(1.0)), Some(3.0));
+        assert_eq!(sched.next_transition_after(SimTime::new(3.0)), Some(5.0));
+        assert_eq!(sched.next_transition_after(SimTime::new(6.0)), Some(8.0));
+        assert_eq!(sched.next_transition_after(SimTime::new(8.0)), None);
+    }
+
+    #[test]
+    fn median_session_time_near_configured() {
+        // Collect raw session lengths over many nodes; the empirical median
+        // should approximate the configured 60-minute median. Sessions are
+        // truncated at the horizon, which biases the median down slightly,
+        // so generate with a long horizon.
+        let cfg = ChurnConfig {
+            n_nodes: 2000,
+            horizon: 10_000.0,
+            ..ChurnConfig::default()
+        };
+        let scheds = ChurnModel::new(cfg).generate(&mut rng(4));
+        let mut lengths: Vec<f64> = scheds
+            .iter()
+            .flat_map(|s| s.sessions().iter().map(|&(a, b)| b - a))
+            .collect();
+        lengths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = lengths[lengths.len() / 2];
+        assert!(
+            (median - 60.0).abs() / 60.0 < 0.1,
+            "median session {median}"
+        );
+    }
+
+    #[test]
+    fn join_times_follow_configured_rate() {
+        let cfg = ChurnConfig {
+            n_nodes: 5000,
+            join_rate: 2.0,
+            horizon: 1e7,
+            ..ChurnConfig::default()
+        };
+        let scheds = ChurnModel::new(cfg).generate(&mut rng(5));
+        let last_join = scheds
+            .iter()
+            .filter_map(NodeSchedule::first_join)
+            .fold(0.0f64, f64::max);
+        // 5000 arrivals at rate 2/min ≈ 2500 minutes.
+        assert!((last_join - 2500.0).abs() < 200.0, "last_join={last_join}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn from_sessions_rejects_overlap() {
+        let _ = NodeSchedule::from_sessions(vec![(1.0, 4.0), (3.0, 5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one node")]
+    fn config_rejects_zero_nodes() {
+        let _ = ChurnModel::new(ChurnConfig {
+            n_nodes: 0,
+            ..ChurnConfig::default()
+        });
+    }
+}

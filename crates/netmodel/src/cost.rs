@@ -1,0 +1,218 @@
+//! The cost model of §2.4.1.
+//!
+//! * **Participation cost** `C^p`: a one-time cost per peer session ("the
+//!   cost of running a software associated with a particular application
+//!   for a peer session").
+//! * **Transmission cost** `C^t = b·l`: payload size `b` times per-unit
+//!   transmission cost `l` to the next hop. §3 adds: "We model the
+//!   transmission cost between two peers as being proportional to the
+//!   communication bandwidth between them" — we realise this as
+//!   `l(i,j) = cost_scale / bandwidth(i,j)`, i.e. cheap links are the
+//!   high-bandwidth ones, which is the reading under which a selfish peer
+//!   "forwards traffic on low bandwidth links" to conserve its own access
+//!   bandwidth (the Shrivastava–Banerjee behaviour the paper cites).
+
+use idpa_desim::rng::Xoshiro256StarStar;
+use rand::RngExt;
+
+/// Parameters of the cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostConfig {
+    /// Number of peers.
+    pub n_nodes: usize,
+    /// One-time participation cost `C^p` per peer session.
+    pub participation_cost: f64,
+    /// Payload size `b` (arbitrary units; the paper leaves it abstract).
+    pub payload_size: f64,
+    /// Lower bound of the uniform link-bandwidth distribution.
+    pub bandwidth_lo: f64,
+    /// Upper bound of the uniform link-bandwidth distribution.
+    pub bandwidth_hi: f64,
+    /// Numerator of the per-unit cost: `l(i,j) = cost_scale / bw(i,j)`.
+    pub cost_scale: f64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        CostConfig {
+            n_nodes: 40,
+            participation_cost: 5.0,
+            payload_size: 1.0,
+            bandwidth_lo: 1.0,
+            bandwidth_hi: 10.0,
+            cost_scale: 10.0,
+        }
+    }
+}
+
+impl CostConfig {
+    /// Panics on out-of-range parameters.
+    pub fn validate(&self) {
+        assert!(self.n_nodes > 0, "need at least one node");
+        assert!(self.participation_cost >= 0.0, "negative C^p");
+        assert!(self.payload_size > 0.0, "payload size must be positive");
+        assert!(
+            0.0 < self.bandwidth_lo && self.bandwidth_lo <= self.bandwidth_hi,
+            "invalid bandwidth range [{}, {}]",
+            self.bandwidth_lo,
+            self.bandwidth_hi
+        );
+        assert!(self.cost_scale > 0.0, "cost_scale must be positive");
+    }
+}
+
+/// A symmetric peer-to-peer bandwidth matrix and the derived costs.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    config: CostConfig,
+    /// Upper-triangular storage of the symmetric bandwidth matrix:
+    /// entry (i, j) for i < j is at `i*n - i*(i+1)/2 + (j - i - 1)`.
+    bandwidth: Vec<f64>,
+}
+
+impl CostModel {
+    /// Samples a symmetric bandwidth matrix with i.i.d. uniform entries.
+    #[must_use]
+    pub fn generate(config: CostConfig, rng: &mut Xoshiro256StarStar) -> Self {
+        config.validate();
+        let n = config.n_nodes;
+        let mut bandwidth = Vec::with_capacity(n * (n - 1) / 2);
+        for _ in 0..n * (n - 1) / 2 {
+            bandwidth.push(rng.random_range(config.bandwidth_lo..=config.bandwidth_hi));
+        }
+        CostModel { config, bandwidth }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CostConfig {
+        &self.config
+    }
+
+    fn tri_index(&self, i: usize, j: usize) -> usize {
+        let n = self.config.n_nodes;
+        debug_assert!(i < j && j < n);
+        i * n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Bandwidth between peers `i` and `j` (symmetric; `i != j`).
+    #[must_use]
+    pub fn bandwidth(&self, i: usize, j: usize) -> f64 {
+        assert!(i != j, "no self-link bandwidth");
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.bandwidth[self.tri_index(a, b)]
+    }
+
+    /// Per-unit transmission cost `l(i,j) = cost_scale / bandwidth(i,j)`.
+    #[must_use]
+    pub fn unit_cost(&self, i: usize, j: usize) -> f64 {
+        self.config.cost_scale / self.bandwidth(i, j)
+    }
+
+    /// Transmission cost `C^t(i,j) = b · l(i,j)` for one forwarding instance.
+    #[must_use]
+    pub fn transmission_cost(&self, i: usize, j: usize) -> f64 {
+        self.config.payload_size * self.unit_cost(i, j)
+    }
+
+    /// Participation cost `C^p` (constant across peers in the base model).
+    #[must_use]
+    pub fn participation_cost(&self) -> f64 {
+        self.config.participation_cost
+    }
+
+    /// Largest possible transmission cost under this configuration — a
+    /// useful bound when choosing `P_f` to satisfy Prop. 3.
+    #[must_use]
+    pub fn max_transmission_cost(&self) -> f64 {
+        self.config.payload_size * self.config.cost_scale / self.config.bandwidth_lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(seed: u64) -> CostModel {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        CostModel::generate(CostConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn bandwidth_is_symmetric() {
+        let m = model(1);
+        for i in 0..10 {
+            for j in 0..10 {
+                if i != j {
+                    assert_eq!(m.bandwidth(i, j), m.bandwidth(j, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_in_configured_range() {
+        let m = model(2);
+        let n = m.config().n_nodes;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let bw = m.bandwidth(i, j);
+                assert!((1.0..=10.0).contains(&bw), "bw={bw}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_inversely_proportional_to_bandwidth() {
+        let m = model(3);
+        // Find two pairs with different bandwidths; the one with more
+        // bandwidth must cost less.
+        let (hi_bw, lo_bw) = if m.bandwidth(0, 1) > m.bandwidth(2, 3) {
+            ((0, 1), (2, 3))
+        } else {
+            ((2, 3), (0, 1))
+        };
+        assert!(m.transmission_cost(hi_bw.0, hi_bw.1) <= m.transmission_cost(lo_bw.0, lo_bw.1));
+    }
+
+    #[test]
+    fn transmission_cost_scales_with_payload() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let cfg = CostConfig {
+            payload_size: 2.0,
+            ..CostConfig::default()
+        };
+        let m2 = CostModel::generate(cfg, &mut rng);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let m1 = CostModel::generate(CostConfig::default(), &mut rng);
+        // Same seed => same bandwidth matrix => exactly double cost.
+        assert!(
+            (m2.transmission_cost(0, 1) - 2.0 * m1.transmission_cost(0, 1)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn max_transmission_cost_bounds_all_links() {
+        let m = model(5);
+        let n = m.config().n_nodes;
+        let bound = m.max_transmission_cost();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert!(m.transmission_cost(i, j) <= bound + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-link")]
+    fn self_link_is_rejected() {
+        let _ = model(6).bandwidth(3, 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = model(7);
+        let b = model(7);
+        assert_eq!(a.bandwidth(0, 5), b.bandwidth(0, 5));
+    }
+}

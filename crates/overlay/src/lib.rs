@@ -1,0 +1,27 @@
+//! # idpa-overlay — the P2P overlay substrate
+//!
+//! The paper's system model (§2.2–2.3): "a network of N nodes which
+//! participate in anonymous forwarding of data packets. Each node s
+//! maintains information about a fixed number d of neighbors which can be
+//! used as potential forwarders" — the neighbor set `D(s)`. Each peer
+//! estimates the availability of its neighbors *locally*, by **active
+//! probing**: at the start of each probing period it checks each neighbor's
+//! liveness and accumulates observed session time; availability is each
+//! neighbor's share of total observed session time.
+//!
+//! This crate provides:
+//! * [`NodeId`] / [`NodeKind`] — peer identities and good/malicious roles,
+//! * [`Topology`] — the random fixed-degree neighbor relation `D(s)`,
+//! * [`ProbeEstimator`] — the §2.3 availability estimator
+//!   (`α_s(v) = t_s(v) / Σ_{u∈D(s)} t_s(u)`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod probe;
+pub mod topology;
+
+pub use node::{NodeId, NodeKind};
+pub use probe::ProbeEstimator;
+pub use topology::Topology;

@@ -1,0 +1,125 @@
+//! Peer identities and roles.
+
+use std::fmt;
+
+/// Identifier of a peer: index into the system's node table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Role of a peer in the threat model of §2.4 / §3.
+///
+/// The paper: "the primary objective of an adversary in an anonymous
+/// forwarding system is to identify the end points of a communication and
+/// therefore its routing decision is not aligned with any economic
+/// incentive. We model an adversary's routing strategy as random routing."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A selfish-but-rational peer: maximises its utility, so it routes by
+    /// edge/path quality.
+    Good,
+    /// An adversary: participates, but routes randomly (and, in the
+    /// availability-attack variant, manipulates its own uptime).
+    Malicious,
+}
+
+impl NodeKind {
+    /// Whether this peer plays the utility-maximising strategy.
+    #[must_use]
+    pub fn is_good(self) -> bool {
+        matches!(self, NodeKind::Good)
+    }
+}
+
+/// Assigns roles to `n` nodes with exactly `⌊f·n⌉` malicious ones, chosen
+/// from the *end* of a caller-shuffled permutation so that the workload
+/// (which draws initiators/responders by id) is unaffected by `f` under
+/// common random numbers.
+#[must_use]
+pub fn assign_roles(permutation: &[usize], f: f64) -> Vec<NodeKind> {
+    assert!((0.0..=1.0).contains(&f), "fraction out of range: {f}");
+    let n = permutation.len();
+    let n_bad = (f * n as f64).round() as usize;
+    let mut kinds = vec![NodeKind::Good; n];
+    for &idx in &permutation[n - n_bad..] {
+        kinds[idx] = NodeKind::Malicious;
+    }
+    kinds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+    }
+
+    #[test]
+    fn assign_roles_counts() {
+        let perm: Vec<usize> = (0..40).collect();
+        let kinds = assign_roles(&perm, 0.1);
+        let bad = kinds.iter().filter(|k| !k.is_good()).count();
+        assert_eq!(bad, 4);
+    }
+
+    #[test]
+    fn assign_roles_zero_and_one() {
+        let perm: Vec<usize> = (0..10).collect();
+        assert!(assign_roles(&perm, 0.0).iter().all(|k| k.is_good()));
+        assert!(assign_roles(&perm, 1.0).iter().all(|k| !k.is_good()));
+    }
+
+    #[test]
+    fn assign_roles_uses_tail_of_permutation() {
+        let perm = vec![5, 4, 3, 2, 1, 0];
+        let kinds = assign_roles(&perm, 0.5);
+        // Tail of the permutation is [2, 1, 0] => those ids are malicious.
+        assert_eq!(kinds[0], NodeKind::Malicious);
+        assert_eq!(kinds[1], NodeKind::Malicious);
+        assert_eq!(kinds[2], NodeKind::Malicious);
+        assert_eq!(kinds[3], NodeKind::Good);
+        assert_eq!(kinds[5], NodeKind::Good);
+    }
+
+    #[test]
+    fn growing_f_only_adds_malicious_nodes() {
+        // Monotonicity: a node malicious at f=0.2 stays malicious at f=0.5.
+        let perm: Vec<usize> = (0..40).rev().collect();
+        let low = assign_roles(&perm, 0.2);
+        let high = assign_roles(&perm, 0.5);
+        for i in 0..40 {
+            if low[i] == NodeKind::Malicious {
+                assert_eq!(high[i], NodeKind::Malicious);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn assign_roles_rejects_bad_fraction() {
+        let _ = assign_roles(&[0, 1], 1.5);
+    }
+}

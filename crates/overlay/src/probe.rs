@@ -1,0 +1,334 @@
+//! Active-probing availability estimation (§2.3 of the paper).
+//!
+//! > "When a peer first joins the system, it initializes the session time of
+//! > each of its neighbors to 0. At the start of each probing period a peer
+//! > s checks the liveness of each neighbor. If the neighbor is alive, its
+//! > session time t_s is updated as t_s^new = t_s^old + T, where T is the
+//! > probing time period. If a new neighbor is found, its session time is
+//! > updated as t_s^new = rand(0, T) ... Finally availability of a neighbor
+//! > u ∈ D(s) is calculated as α(u) = t_s(u) / Σ_{v∈D(s)} t_s(v)."
+//!
+//! Note the estimator is *relative*: α sums to 1 over the neighbor set (when
+//! any session time is non-zero), so it ranks neighbors by observed uptime
+//! rather than measuring absolute uptime fraction.
+
+use idpa_desim::rng::Xoshiro256StarStar;
+use rand::RngExt;
+
+use crate::node::NodeId;
+
+/// Per-node availability estimator driven by periodic liveness probes.
+#[derive(Debug, Clone)]
+pub struct ProbeEstimator {
+    owner: NodeId,
+    period: f64,
+    neighbors: Vec<NodeId>,
+    /// Accumulated observed session time per neighbor, parallel to
+    /// `neighbors`.
+    session_time: Vec<f64>,
+    /// Whether the neighbor was seen alive at least once (drives the
+    /// "new neighbor found" initialisation rule).
+    ever_seen: Vec<bool>,
+    /// Round at which each neighbor was last observed alive (0 if never).
+    last_alive_round: Vec<u64>,
+    rounds: u64,
+}
+
+impl ProbeEstimator {
+    /// Creates the estimator for `owner` with probing period `period`
+    /// minutes over neighbor set `neighbors`. All session times start at 0,
+    /// as the paper specifies for a freshly joined peer.
+    #[must_use]
+    pub fn new(owner: NodeId, period: f64, neighbors: Vec<NodeId>) -> Self {
+        assert!(period > 0.0, "probing period must be positive");
+        let n = neighbors.len();
+        ProbeEstimator {
+            owner,
+            period,
+            neighbors,
+            session_time: vec![0.0; n],
+            ever_seen: vec![false; n],
+            last_alive_round: vec![0; n],
+            rounds: 0,
+        }
+    }
+
+    /// The probing period `T`.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// The owning node.
+    #[must_use]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Number of probe rounds executed.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Executes one probing round. `is_alive(v)` reports neighbor liveness
+    /// at probe time; `rng` supplies the `rand(0, T)` initialisation for a
+    /// neighbor seen alive for the first time.
+    pub fn probe_round(
+        &mut self,
+        mut is_alive: impl FnMut(NodeId) -> bool,
+        rng: &mut Xoshiro256StarStar,
+    ) {
+        self.rounds += 1;
+        for (i, &v) in self.neighbors.iter().enumerate() {
+            if !is_alive(v) {
+                continue;
+            }
+            self.last_alive_round[i] = self.rounds;
+            if self.ever_seen[i] {
+                self.session_time[i] += self.period;
+            } else {
+                // First sighting: the neighbor has been up for an unknown
+                // fraction of the period — initialise uniformly in (0, T).
+                self.ever_seen[i] = true;
+                self.session_time[i] = rng.random_range(0.0..self.period);
+            }
+        }
+    }
+
+    /// Observed session time `t_s(v)`; 0 for a neighbor never seen alive or
+    /// a node outside `D(s)`.
+    #[must_use]
+    pub fn session_time(&self, v: NodeId) -> f64 {
+        self.neighbors
+            .iter()
+            .position(|&u| u == v)
+            .map_or(0.0, |i| self.session_time[i])
+    }
+
+    /// The §2.3 availability estimate `α_s(v) ∈ [0, 1]`.
+    ///
+    /// Before any neighbor has been observed alive, every availability is 0
+    /// (the paper's initialisation); afterwards the estimates over `D(s)`
+    /// sum to 1.
+    #[must_use]
+    pub fn availability(&self, v: NodeId) -> f64 {
+        let total: f64 = self.session_time.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.session_time(v) / total
+    }
+
+    /// All `(neighbor, availability)` pairs.
+    #[must_use]
+    pub fn availabilities(&self) -> Vec<(NodeId, f64)> {
+        self.neighbors
+            .iter()
+            .map(|&v| (v, self.availability(v)))
+            .collect()
+    }
+
+    /// Consecutive probe rounds since `v` was last seen alive (`None` for
+    /// non-neighbors; `rounds()` for a neighbor never seen). Drives the
+    /// neighbor-replacement policy.
+    #[must_use]
+    pub fn rounds_since_alive(&self, v: NodeId) -> Option<u64> {
+        let i = self.neighbors.iter().position(|&u| u == v)?;
+        Some(self.rounds - self.last_alive_round[i])
+    }
+
+    /// Replaces neighbor `old` with `new`, resetting the paper's "new
+    /// neighbor found" state: session time restarts at zero and the next
+    /// sighting re-initialises it to `rand(0, T)`. Returns `false` (no
+    /// change) if `old` is not a neighbor or `new` already is.
+    pub fn replace_neighbor(&mut self, old: NodeId, new: NodeId) -> bool {
+        if self.neighbors.contains(&new) {
+            return false;
+        }
+        let Some(i) = self.neighbors.iter().position(|&u| u == old) else {
+            return false;
+        };
+        self.neighbors[i] = new;
+        self.session_time[i] = 0.0;
+        self.ever_seen[i] = false;
+        self.last_alive_round[i] = self.rounds;
+        true
+    }
+
+    /// The current neighbor set (it changes under replacement).
+    #[must_use]
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    fn estimator() -> ProbeEstimator {
+        ProbeEstimator::new(NodeId(0), 5.0, vec![NodeId(1), NodeId(2), NodeId(3)])
+    }
+
+    #[test]
+    fn initial_availability_is_zero() {
+        let est = estimator();
+        assert_eq!(est.availability(NodeId(1)), 0.0);
+        assert_eq!(est.session_time(NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn first_sighting_initialises_in_zero_period() {
+        let mut est = estimator();
+        let mut r = rng(1);
+        est.probe_round(|v| v == NodeId(1), &mut r);
+        let t = est.session_time(NodeId(1));
+        assert!(t >= 0.0 && t < 5.0, "t={t}");
+        assert_eq!(est.session_time(NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn subsequent_sightings_add_full_period() {
+        let mut est = estimator();
+        let mut r = rng(2);
+        est.probe_round(|v| v == NodeId(1), &mut r);
+        let t0 = est.session_time(NodeId(1));
+        est.probe_round(|v| v == NodeId(1), &mut r);
+        est.probe_round(|v| v == NodeId(1), &mut r);
+        assert!((est.session_time(NodeId(1)) - (t0 + 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_is_share_of_total() {
+        let mut est = estimator();
+        let mut r = rng(3);
+        // Node 1 alive for 4 rounds, node 2 for 2 rounds, node 3 never.
+        for round in 0..4 {
+            est.probe_round(
+                |v| v == NodeId(1) || (v == NodeId(2) && round < 2),
+                &mut r,
+            );
+        }
+        let a1 = est.availability(NodeId(1));
+        let a2 = est.availability(NodeId(2));
+        let a3 = est.availability(NodeId(3));
+        assert!(a1 > a2, "a1={a1} a2={a2}");
+        assert_eq!(a3, 0.0);
+        assert!((a1 + a2 + a3 - 1.0).abs() < 1e-12, "availabilities sum to 1");
+    }
+
+    #[test]
+    fn availability_of_stranger_is_zero() {
+        let mut est = estimator();
+        let mut r = rng(4);
+        est.probe_round(|_| true, &mut r);
+        assert_eq!(est.availability(NodeId(99)), 0.0);
+    }
+
+    #[test]
+    fn down_neighbor_gains_nothing() {
+        let mut est = estimator();
+        let mut r = rng(5);
+        for _ in 0..10 {
+            est.probe_round(|v| v != NodeId(3), &mut r);
+        }
+        assert_eq!(est.session_time(NodeId(3)), 0.0);
+        assert_eq!(est.availability(NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn rejoin_resumes_accumulation() {
+        // A neighbor that goes down and comes back keeps its accumulated
+        // session time and continues adding full periods (the estimator has
+        // already "found" it).
+        let mut est = estimator();
+        let mut r = rng(6);
+        est.probe_round(|v| v == NodeId(1), &mut r);
+        let t0 = est.session_time(NodeId(1));
+        est.probe_round(|_| false, &mut r); // down
+        est.probe_round(|v| v == NodeId(1), &mut r); // back up
+        assert!((est.session_time(NodeId(1)) - (t0 + 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_counter_increments() {
+        let mut est = estimator();
+        let mut r = rng(7);
+        for _ in 0..3 {
+            est.probe_round(|_| false, &mut r);
+        }
+        assert_eq!(est.rounds(), 3);
+    }
+
+    #[test]
+    fn higher_observed_uptime_means_higher_availability() {
+        // Statistical form of the paper's claim: "a neighbor with a higher
+        // observed session time has a higher availability".
+        let mut est = ProbeEstimator::new(NodeId(0), 1.0, vec![NodeId(1), NodeId(2)]);
+        let mut r = rng(8);
+        for round in 0..100 {
+            // Node 1 up 80% of rounds, node 2 up 20%.
+            est.probe_round(
+                |v| {
+                    (v == NodeId(1) && round % 5 != 0)
+                        || (v == NodeId(2) && round % 5 == 0)
+                },
+                &mut r,
+            );
+        }
+        assert!(est.availability(NodeId(1)) > est.availability(NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn rejects_zero_period() {
+        let _ = ProbeEstimator::new(NodeId(0), 0.0, vec![]);
+    }
+
+    #[test]
+    fn rounds_since_alive_tracks_silence() {
+        let mut est = estimator();
+        let mut r = rng(9);
+        est.probe_round(|v| v == NodeId(1), &mut r);
+        assert_eq!(est.rounds_since_alive(NodeId(1)), Some(0));
+        est.probe_round(|_| false, &mut r);
+        est.probe_round(|_| false, &mut r);
+        assert_eq!(est.rounds_since_alive(NodeId(1)), Some(2));
+        // Never-seen neighbor: silence equals total rounds.
+        assert_eq!(est.rounds_since_alive(NodeId(3)), Some(3));
+        // Non-neighbor.
+        assert_eq!(est.rounds_since_alive(NodeId(42)), None);
+    }
+
+    #[test]
+    fn replace_neighbor_resets_state() {
+        let mut est = estimator();
+        let mut r = rng(10);
+        for _ in 0..3 {
+            est.probe_round(|v| v == NodeId(1), &mut r);
+        }
+        assert!(est.session_time(NodeId(1)) > 0.0);
+        assert!(est.replace_neighbor(NodeId(1), NodeId(7)));
+        assert!(est.neighbors().contains(&NodeId(7)));
+        assert!(!est.neighbors().contains(&NodeId(1)));
+        assert_eq!(est.session_time(NodeId(7)), 0.0);
+        assert_eq!(est.session_time(NodeId(1)), 0.0, "old neighbor forgotten");
+        // Next sighting re-initialises with the rand(0, T) rule.
+        est.probe_round(|v| v == NodeId(7), &mut r);
+        let t = est.session_time(NodeId(7));
+        assert!(t >= 0.0 && t < 5.0, "t={t}");
+    }
+
+    #[test]
+    fn replace_rejects_duplicates_and_strangers() {
+        let mut est = estimator();
+        assert!(!est.replace_neighbor(NodeId(1), NodeId(2)), "already a neighbor");
+        assert!(!est.replace_neighbor(NodeId(42), NodeId(7)), "not a neighbor");
+        assert_eq!(est.neighbors(), &[NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

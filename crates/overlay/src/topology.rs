@@ -1,0 +1,222 @@
+//! The neighbor relation `D(s)`.
+//!
+//! §3: "each node randomly selects d nodes as its neighbors" (d = 5 in the
+//! paper's experiments). The relation is directed — `v ∈ D(s)` does not
+//! imply `s ∈ D(v)` — matching the paper's phrasing that each node
+//! *maintains information about* its own d potential forwarders.
+
+use idpa_desim::rng::Xoshiro256StarStar;
+use rand::RngExt;
+
+use crate::node::NodeId;
+
+/// A directed, fixed-out-degree neighbor relation over `n` nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    neighbors: Vec<Vec<NodeId>>,
+    degree: usize,
+}
+
+impl Topology {
+    /// Samples a topology where every node independently picks `degree`
+    /// distinct random neighbors (never itself).
+    ///
+    /// Panics if `degree >= n` (a node cannot have `n` distinct non-self
+    /// neighbors) or `n == 0`.
+    #[must_use]
+    pub fn random(n: usize, degree: usize, rng: &mut Xoshiro256StarStar) -> Self {
+        assert!(n > 0, "empty topology");
+        assert!(
+            degree < n,
+            "degree {degree} impossible with {n} nodes (needs degree < n)"
+        );
+        let mut neighbors = Vec::with_capacity(n);
+        for s in 0..n {
+            // Partial Fisher-Yates over the candidate set {0..n} \ {s}.
+            let mut candidates: Vec<usize> = (0..n).filter(|&v| v != s).collect();
+            let mut chosen = Vec::with_capacity(degree);
+            for k in 0..degree {
+                let pick = rng.random_range(k..candidates.len());
+                candidates.swap(k, pick);
+                chosen.push(NodeId(candidates[k]));
+            }
+            chosen.sort_unstable();
+            neighbors.push(chosen);
+        }
+        Topology {
+            neighbors,
+            degree,
+        }
+    }
+
+    /// Builds a topology from explicit adjacency lists (used by tests and
+    /// the worked example of Figs. 1–2). Validates no self-loops and no
+    /// duplicate neighbors.
+    #[must_use]
+    pub fn from_lists(lists: Vec<Vec<NodeId>>) -> Self {
+        let n = lists.len();
+        let mut degree = 0;
+        for (s, nbrs) in lists.iter().enumerate() {
+            degree = degree.max(nbrs.len());
+            let mut seen = std::collections::HashSet::new();
+            for &v in nbrs {
+                assert!(v.index() < n, "neighbor {v} out of range");
+                assert!(v.index() != s, "self-loop at {s}");
+                assert!(seen.insert(v), "duplicate neighbor {v} at node {s}");
+            }
+        }
+        Topology {
+            neighbors: lists,
+            degree,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the topology has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The configured out-degree `d`.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The neighbor set `D(s)`.
+    #[must_use]
+    pub fn neighbors(&self, s: NodeId) -> &[NodeId] {
+        &self.neighbors[s.index()]
+    }
+
+    /// Whether `v ∈ D(s)`.
+    #[must_use]
+    pub fn is_neighbor(&self, s: NodeId, v: NodeId) -> bool {
+        self.neighbors[s.index()].binary_search(&v).is_ok()
+    }
+
+    /// Nodes that have `v` in their neighbor set (the reverse relation);
+    /// O(n·d), intended for analysis, not hot paths.
+    #[must_use]
+    pub fn reverse_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        (0..self.len())
+            .map(NodeId)
+            .filter(|&s| s != v && self.is_neighbor(s, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_topology_has_exact_degree() {
+        let t = Topology::random(40, 5, &mut rng(1));
+        assert_eq!(t.len(), 40);
+        assert_eq!(t.degree(), 5);
+        for s in 0..40 {
+            assert_eq!(t.neighbors(NodeId(s)).len(), 5);
+        }
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let t = Topology::random(40, 5, &mut rng(2));
+        for s in 0..40 {
+            let nbrs = t.neighbors(NodeId(s));
+            assert!(nbrs.iter().all(|v| v.index() != s));
+            let mut uniq = nbrs.to_vec();
+            uniq.dedup();
+            assert_eq!(uniq.len(), nbrs.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Topology::random(20, 4, &mut rng(3));
+        let b = Topology::random(20, 4, &mut rng(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn is_neighbor_agrees_with_lists() {
+        let t = Topology::random(15, 3, &mut rng(4));
+        for s in 0..15 {
+            for v in 0..15 {
+                let expect = t.neighbors(NodeId(s)).contains(&NodeId(v));
+                assert_eq!(t.is_neighbor(NodeId(s), NodeId(v)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_neighbors_inverts_relation() {
+        let t = Topology::random(12, 3, &mut rng(5));
+        for v in 0..12 {
+            for s in t.reverse_neighbors(NodeId(v)) {
+                assert!(t.is_neighbor(s, NodeId(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_saturates_at_n_minus_1() {
+        let t = Topology::random(5, 4, &mut rng(6));
+        for s in 0..5 {
+            assert_eq!(t.neighbors(NodeId(s)).len(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs degree < n")]
+    fn rejects_impossible_degree() {
+        let _ = Topology::random(5, 5, &mut rng(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn from_lists_rejects_self_loop() {
+        let _ = Topology::from_lists(vec![vec![NodeId(0)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate neighbor")]
+    fn from_lists_rejects_duplicates() {
+        let _ = Topology::from_lists(vec![vec![NodeId(1), NodeId(1)], vec![]]);
+    }
+
+    #[test]
+    fn neighbor_choice_is_roughly_uniform() {
+        // Aggregate in-degree over many topologies should be near-uniform.
+        let n = 10;
+        let mut indeg = vec![0usize; n];
+        let mut r = rng(8);
+        for _ in 0..2000 {
+            let t = Topology::random(n, 3, &mut r);
+            for s in 0..n {
+                for v in t.neighbors(NodeId(s)) {
+                    indeg[v.index()] += 1;
+                }
+            }
+        }
+        let total: usize = indeg.iter().sum();
+        let expected = total as f64 / n as f64;
+        for (i, &c) in indeg.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() / expected < 0.05,
+                "node {i} in-degree {c} vs expected {expected}"
+            );
+        }
+    }
+}

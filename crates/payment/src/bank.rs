@@ -1,0 +1,403 @@
+//! The central bank: accounts, blind-signed withdrawal, deposit with
+//! double-spend detection.
+//!
+//! The bank is trusted for *payment integrity* only — it sees account
+//! balances and deposited token serials, but by construction (blind
+//! signatures) it cannot link a deposit back to a withdrawal, so it never
+//! learns which initiator paid which forwarder.
+
+use std::collections::{HashMap, HashSet};
+
+use idpa_crypto::bigint::BigUint;
+use idpa_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use idpa_desim::rng::Xoshiro256StarStar;
+
+use crate::audit::{AuditEvent, AuditLog};
+use crate::token::{denominations, PendingWithdrawal, Token, TokenId, Wallet, WithdrawError};
+
+/// Identifier of a bank account (peers and the escrow service hold these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccountId(pub u64);
+
+/// Errors during deposit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepositError {
+    /// The token's bank signature is invalid (forgery).
+    InvalidSignature,
+    /// The token's serial has already been deposited (double spend).
+    DoubleSpend,
+    /// The target account does not exist.
+    UnknownAccount,
+}
+
+/// The central bank.
+pub struct Bank {
+    keys: RsaKeyPair,
+    accounts: HashMap<AccountId, u64>,
+    spent: HashSet<TokenId>,
+    next_account: u64,
+    /// Total value of tokens signed but not yet deposited — outstanding
+    /// bearer liability (used by the conservation-of-value invariant).
+    outstanding: u64,
+    /// Tamper-evident log of every balance-affecting operation.
+    audit: AuditLog,
+}
+
+impl Bank {
+    /// Creates a bank with fresh RSA keys of `modulus_bits`.
+    #[must_use]
+    pub fn new(modulus_bits: usize, rng: &mut Xoshiro256StarStar) -> Self {
+        Bank {
+            keys: RsaKeyPair::generate(modulus_bits, rng),
+            accounts: HashMap::new(),
+            spent: HashSet::new(),
+            next_account: 0,
+            outstanding: 0,
+            audit: AuditLog::new(),
+        }
+    }
+
+    /// The bank's public key (token verification).
+    #[must_use]
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.keys.public()
+    }
+
+    /// Opens an account with an initial balance, returning its id.
+    pub fn open_account(&mut self, initial_balance: u64) -> AccountId {
+        let id = AccountId(self.next_account);
+        self.next_account += 1;
+        self.accounts.insert(id, initial_balance);
+        self.audit.append(AuditEvent::Open {
+            account: id,
+            balance: initial_balance,
+        });
+        id
+    }
+
+    /// Balance of an account, or `None` if unknown.
+    #[must_use]
+    pub fn balance(&self, account: AccountId) -> Option<u64> {
+        self.accounts.get(&account).copied()
+    }
+
+    /// Executes the bank side of a withdrawal: debits the account by the
+    /// declared value and blind-signs the representative. The serial stays
+    /// hidden inside the blinding.
+    pub fn withdraw_blinded(
+        &mut self,
+        account: AccountId,
+        declared_value: u64,
+        blinded: &BigUint,
+    ) -> Result<BigUint, WithdrawError> {
+        let balance = self
+            .accounts
+            .get_mut(&account)
+            .ok_or(WithdrawError::UnknownAccount)?;
+        if *balance < declared_value {
+            return Err(WithdrawError::InsufficientFunds);
+        }
+        *balance -= declared_value;
+        self.outstanding += declared_value;
+        self.audit.append(AuditEvent::Withdraw {
+            account,
+            value: declared_value,
+        });
+        Ok(self.keys.raw_sign(blinded))
+    }
+
+    /// Client-plus-bank convenience: withdraws `amount` as binary
+    /// denominations into `wallet`.
+    pub fn withdraw_into_wallet(
+        &mut self,
+        account: AccountId,
+        amount: u64,
+        wallet: &mut Wallet,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Result<(), WithdrawError> {
+        // Check funds up-front so a partial failure cannot strand value.
+        let balance = self
+            .accounts
+            .get(&account)
+            .ok_or(WithdrawError::UnknownAccount)?;
+        if *balance < amount {
+            return Err(WithdrawError::InsufficientFunds);
+        }
+        for value in denominations(amount) {
+            let pending = PendingWithdrawal::prepare(value, self.public_key(), rng);
+            let blind_sig = self
+                .withdraw_blinded(account, value, pending.blinded())
+                .expect("funds were checked");
+            wallet.put(pending.complete(&self.keys.public().clone(), &blind_sig));
+        }
+        Ok(())
+    }
+
+    /// Deposits a bearer token into an account: verifies the signature,
+    /// rejects double spends, credits the face value.
+    pub fn deposit(&mut self, account: AccountId, token: &Token) -> Result<(), DepositError> {
+        if !self.accounts.contains_key(&account) {
+            return Err(DepositError::UnknownAccount);
+        }
+        if !token.verify(self.keys.public()) {
+            return Err(DepositError::InvalidSignature);
+        }
+        if self.spent.contains(&token.id) {
+            return Err(DepositError::DoubleSpend);
+        }
+        self.spent.insert(token.id);
+        self.outstanding = self.outstanding.saturating_sub(token.value);
+        *self.accounts.get_mut(&account).expect("checked") += token.value;
+        let mut serial_prefix = [0u8; 8];
+        serial_prefix.copy_from_slice(&token.id.0[..8]);
+        self.audit.append(AuditEvent::Deposit {
+            account,
+            value: token.value,
+            serial_prefix,
+        });
+        Ok(())
+    }
+
+    /// Account-to-account ledger transfer (used by escrow payouts, which
+    /// need no anonymity — forwarder payees are known to the bank by
+    /// design; only the initiator side is hidden).
+    pub fn transfer(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: u64,
+    ) -> Result<(), WithdrawError> {
+        if !self.accounts.contains_key(&to) {
+            return Err(WithdrawError::UnknownAccount);
+        }
+        let src = self
+            .accounts
+            .get_mut(&from)
+            .ok_or(WithdrawError::UnknownAccount)?;
+        if *src < amount {
+            return Err(WithdrawError::InsufficientFunds);
+        }
+        *src -= amount;
+        *self.accounts.get_mut(&to).expect("checked above") += amount;
+        self.audit.append(AuditEvent::Transfer { from, to, amount });
+        Ok(())
+    }
+
+    /// Sum of all account balances.
+    #[must_use]
+    pub fn total_deposits(&self) -> u64 {
+        self.accounts.values().sum()
+    }
+
+    /// Outstanding bearer-token liability (withdrawn, not yet deposited).
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// Number of serials seen (telemetry / tests).
+    #[must_use]
+    pub fn spent_serials(&self) -> usize {
+        self.spent.len()
+    }
+
+    /// The tamper-evident audit log.
+    #[must_use]
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::PendingWithdrawal;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    fn bank(seed: u64) -> Bank {
+        Bank::new(256, &mut rng(seed))
+    }
+
+    #[test]
+    fn open_account_and_balance() {
+        let mut b = bank(1);
+        let acct = b.open_account(100);
+        assert_eq!(b.balance(acct), Some(100));
+        assert_eq!(b.balance(AccountId(999)), None);
+    }
+
+    #[test]
+    fn withdraw_deposit_round_trip_moves_value() {
+        let mut b = bank(2);
+        let mut r = rng(3);
+        let alice = b.open_account(100);
+        let bob = b.open_account(0);
+
+        let mut wallet = Wallet::new();
+        b.withdraw_into_wallet(alice, 37, &mut wallet, &mut r).unwrap();
+        assert_eq!(b.balance(alice), Some(63));
+        assert_eq!(wallet.balance(), 37);
+        assert_eq!(b.outstanding(), 37);
+
+        for token in wallet.take_exact(37).unwrap() {
+            b.deposit(bob, &token).unwrap();
+        }
+        assert_eq!(b.balance(bob), Some(37));
+        assert_eq!(b.outstanding(), 0);
+    }
+
+    #[test]
+    fn conservation_of_value() {
+        let mut b = bank(4);
+        let mut r = rng(5);
+        let alice = b.open_account(1000);
+        let bob = b.open_account(500);
+        let total_before = b.total_deposits();
+
+        let mut wallet = Wallet::new();
+        b.withdraw_into_wallet(alice, 123, &mut wallet, &mut r).unwrap();
+        assert_eq!(b.total_deposits() + b.outstanding(), total_before);
+
+        for token in wallet.take_exact(123).unwrap() {
+            b.deposit(bob, &token).unwrap();
+        }
+        assert_eq!(b.total_deposits(), total_before);
+    }
+
+    #[test]
+    fn insufficient_funds_rejected_atomically() {
+        let mut b = bank(6);
+        let mut r = rng(7);
+        let alice = b.open_account(10);
+        let mut wallet = Wallet::new();
+        let err = b.withdraw_into_wallet(alice, 11, &mut wallet, &mut r);
+        assert_eq!(err, Err(WithdrawError::InsufficientFunds));
+        assert_eq!(b.balance(alice), Some(10), "no partial debit");
+        assert!(wallet.is_empty());
+    }
+
+    #[test]
+    fn double_spend_detected() {
+        let mut b = bank(8);
+        let mut r = rng(9);
+        let alice = b.open_account(100);
+        let bob = b.open_account(0);
+        let carol = b.open_account(0);
+
+        let mut wallet = Wallet::new();
+        b.withdraw_into_wallet(alice, 1, &mut wallet, &mut r).unwrap();
+        let token = wallet.take_exact(1).unwrap().pop().unwrap();
+
+        b.deposit(bob, &token).unwrap();
+        assert_eq!(b.deposit(carol, &token), Err(DepositError::DoubleSpend));
+        assert_eq!(b.balance(carol), Some(0));
+    }
+
+    #[test]
+    fn forged_token_rejected() {
+        let mut b = bank(10);
+        let mut r = rng(11);
+        let bob = b.open_account(0);
+        // Forge: self-signed garbage.
+        let forged = Token {
+            id: TokenId::random(&mut r),
+            value: 1_000_000,
+            signature: BigUint::from_u64(12345),
+        };
+        assert_eq!(b.deposit(bob, &forged), Err(DepositError::InvalidSignature));
+    }
+
+    #[test]
+    fn inflated_value_rejected() {
+        let mut b = bank(12);
+        let mut r = rng(13);
+        let alice = b.open_account(100);
+        let bob = b.open_account(0);
+        let mut wallet = Wallet::new();
+        b.withdraw_into_wallet(alice, 2, &mut wallet, &mut r).unwrap();
+        let mut token = wallet.take_exact(2).unwrap().pop().unwrap();
+        token.value = 200; // claim a bigger denomination
+        assert_eq!(b.deposit(bob, &token), Err(DepositError::InvalidSignature));
+    }
+
+    #[test]
+    fn deposit_to_unknown_account_rejected() {
+        let mut b = bank(14);
+        let mut r = rng(15);
+        let alice = b.open_account(100);
+        let mut wallet = Wallet::new();
+        b.withdraw_into_wallet(alice, 1, &mut wallet, &mut r).unwrap();
+        let token = wallet.take_exact(1).unwrap().pop().unwrap();
+        assert_eq!(
+            b.deposit(AccountId(404), &token),
+            Err(DepositError::UnknownAccount)
+        );
+        // The serial must NOT be burned by the failed attempt.
+        let bob = b.open_account(0);
+        assert_eq!(b.deposit(bob, &token), Ok(()));
+    }
+
+    #[test]
+    fn unlinkability_bank_never_sees_serial_at_withdrawal() {
+        // Mechanical check: the blinded representative the bank signs is
+        // unequal to the digest it later verifies at deposit.
+        let mut b = bank(16);
+        let mut r = rng(17);
+        let alice = b.open_account(10);
+        let pending = PendingWithdrawal::prepare(1, b.public_key(), &mut r);
+        let seen_by_bank = pending.blinded().clone();
+        let blind_sig = b.withdraw_blinded(alice, 1, &seen_by_bank).unwrap();
+        let token = pending.complete(&b.public_key().clone(), &blind_sig);
+        let digest = crate::token::token_digest(&token.id, token.value, b.public_key());
+        assert_ne!(seen_by_bank, digest);
+        assert!(token.verify(b.public_key()));
+    }
+
+    #[test]
+    fn account_ids_are_sequential_and_distinct() {
+        let mut b = bank(18);
+        let a = b.open_account(0);
+        let c = b.open_account(0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn audit_log_chains_and_replays_ledger() {
+        let mut b = bank(19);
+        let mut r = rng(20);
+        let alice = b.open_account(100);
+        let bob = b.open_account(0);
+        let mut wallet = Wallet::new();
+        b.withdraw_into_wallet(alice, 5, &mut wallet, &mut r).unwrap();
+        for t in wallet.take_exact(5).unwrap() {
+            b.deposit(bob, &t).unwrap();
+        }
+        b.transfer(bob, alice, 2).unwrap();
+
+        // The chain verifies, and replaying it reconstructs every balance.
+        assert_eq!(b.audit().verify(), Ok(()));
+        assert_eq!(
+            b.audit().replay_balance(alice),
+            i128::from(b.balance(alice).unwrap())
+        );
+        assert_eq!(
+            b.audit().replay_balance(bob),
+            i128::from(b.balance(bob).unwrap())
+        );
+    }
+
+    #[test]
+    fn failed_operations_leave_no_audit_entries() {
+        let mut b = bank(21);
+        let mut r = rng(22);
+        let alice = b.open_account(1);
+        let before = b.audit().len();
+        let mut w = Wallet::new();
+        let _ = b.withdraw_into_wallet(alice, 100, &mut w, &mut r); // fails
+        let _ = b.transfer(alice, AccountId(404), 1); // fails
+        assert_eq!(b.audit().len(), before, "failures must not be logged");
+    }
+}

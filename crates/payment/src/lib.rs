@@ -1,0 +1,42 @@
+//! # idpa-payment — the anonymity-preserving payment system
+//!
+//! §2.2 of the paper: "After evaluating the path quality, the initiator
+//! uses a central entity (bank) to make payments to the forwarders. ...
+//! The payment is made by I only after all the connections in π are
+//! completed." §5 adds that the payment mechanism must not decrease the
+//! anonymity the forwarding system provides, and that it must "handle
+//! typical scenarios of cheating and malicious attacks".
+//!
+//! The design implemented here (the paper's own protocol details live in
+//! its unavailable technical report; DESIGN.md §5 documents the
+//! substitution):
+//!
+//! * **Bearer tokens with Chaum blind signatures** ([`token`]): the
+//!   initiator withdraws tokens whose serial numbers the bank never sees,
+//!   so settling them later cannot be linked back to the withdrawal — the
+//!   bank learns *that* forwarders were paid, never *which initiator* paid
+//!   them.
+//! * **A central bank** ([`bank`]): accounts, withdrawal (debit + blind
+//!   sign), deposit (verify + double-spend check + credit).
+//! * **Receipts** ([`receipt`]): per-forwarding-instance records MAC'd
+//!   with a per-bundle key, which is what lets the initiator validate the
+//!   reconstructed path and lets forwarders prove their participation.
+//! * **Escrow settlement** ([`escrow`]): the initiator funds an escrow with
+//!   bearer tokens *before* the connection bundle runs (no non-payment
+//!   cheating), and after the bundle completes each forwarder is paid
+//!   `m·P_f + P_r/‖π‖` against validated receipts (no over-claiming).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod bank;
+pub mod escrow;
+pub mod receipt;
+pub mod token;
+
+pub use audit::{AuditEvent, AuditLog};
+pub use bank::{AccountId, Bank, DepositError};
+pub use escrow::{Escrow, SettlementError, SettlementReport};
+pub use receipt::{Receipt, ReceiptBook};
+pub use token::{Token, TokenId, Wallet, WithdrawError};

@@ -1,0 +1,130 @@
+//! Property-based tests of the payment system: under arbitrary operation
+//! sequences, value is conserved and cheats are rejected.
+
+use idpa_desim::rng::Xoshiro256StarStar;
+use idpa_payment::bank::{AccountId, Bank};
+use idpa_payment::token::{Token, Wallet};
+use proptest::prelude::*;
+
+/// A randomised operation against the bank.
+#[derive(Debug, Clone)]
+enum Op {
+    Withdraw { account: usize, amount: u64 },
+    DepositNext { account: usize },
+    ReplayLastDeposit { account: usize },
+    Transfer { from: usize, to: usize, amount: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..4, 1u64..50).prop_map(|(account, amount)| Op::Withdraw { account, amount }),
+        (0usize..4).prop_map(|account| Op::DepositNext { account }),
+        (0usize..4).prop_map(|account| Op::ReplayLastDeposit { account }),
+        (0usize..4, 0usize..4, 1u64..50)
+            .prop_map(|(from, to, amount)| Op::Transfer { from, to, amount }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation: deposits + outstanding tokens stay constant under any
+    /// mix of withdrawals, deposits, replays and transfers.
+    #[test]
+    fn value_conserved_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(), 1..25),
+                                           seed in any::<u64>()) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut bank = Bank::new(256, &mut rng);
+        let accounts: Vec<AccountId> = (0..4).map(|_| bank.open_account(500)).collect();
+        let initial = bank.total_deposits();
+
+        // Bearer tokens in flight, and the last deposited token (for
+        // double-spend replays).
+        let mut in_flight: Vec<Token> = Vec::new();
+        let mut last_deposited: Option<Token> = None;
+
+        for op in &ops {
+            match *op {
+                Op::Withdraw { account, amount } => {
+                    let mut w = Wallet::new();
+                    if bank
+                        .withdraw_into_wallet(accounts[account], amount, &mut w, &mut rng)
+                        .is_ok()
+                    {
+                        let balance = w.balance();
+                        in_flight.extend(w.take_exact(balance).unwrap());
+                    }
+                }
+                Op::DepositNext { account } => {
+                    if let Some(token) = in_flight.pop() {
+                        bank.deposit(accounts[account], &token).unwrap();
+                        last_deposited = Some(token);
+                    }
+                }
+                Op::ReplayLastDeposit { account } => {
+                    if let Some(token) = &last_deposited {
+                        // A replay must always bounce.
+                        prop_assert!(bank.deposit(accounts[account], token).is_err());
+                    }
+                }
+                Op::Transfer { from, to, amount } => {
+                    let _ = bank.transfer(accounts[from], accounts[to], amount);
+                }
+            }
+            // The conservation invariant holds after EVERY operation.
+            prop_assert_eq!(
+                bank.total_deposits() + bank.outstanding(),
+                initial,
+                "conservation violated after {:?}", op
+            );
+        }
+
+        // Depositing the remaining in-flight tokens restores all value to
+        // ledger balances.
+        let sink = bank.open_account(0);
+        for token in &in_flight {
+            bank.deposit(sink, token).unwrap();
+        }
+        prop_assert_eq!(bank.total_deposits(), initial);
+        prop_assert_eq!(bank.outstanding(), 0);
+    }
+
+    /// No sequence of operations can mint value into a single account
+    /// beyond what the system held initially.
+    #[test]
+    fn no_account_exceeds_total_supply(ops in prop::collection::vec(op_strategy(), 1..20),
+                                       seed in any::<u64>()) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut bank = Bank::new(256, &mut rng);
+        let accounts: Vec<AccountId> = (0..4).map(|_| bank.open_account(100)).collect();
+        let supply = bank.total_deposits();
+        let mut in_flight: Vec<Token> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Withdraw { account, amount } => {
+                    let mut w = Wallet::new();
+                    if bank
+                        .withdraw_into_wallet(accounts[account], amount, &mut w, &mut rng)
+                        .is_ok()
+                    {
+                        let b = w.balance();
+                        in_flight.extend(w.take_exact(b).unwrap());
+                    }
+                }
+                Op::DepositNext { account } => {
+                    if let Some(t) = in_flight.pop() {
+                        bank.deposit(accounts[account], &t).unwrap();
+                    }
+                }
+                Op::ReplayLastDeposit { .. } => {}
+                Op::Transfer { from, to, amount } => {
+                    let _ = bank.transfer(accounts[from], accounts[to], amount);
+                }
+            }
+            for &acct in &accounts {
+                prop_assert!(bank.balance(acct).unwrap() <= supply);
+            }
+        }
+    }
+}

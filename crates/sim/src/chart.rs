@@ -1,0 +1,245 @@
+//! Terminal chart rendering for the regenerated figures.
+//!
+//! The paper's artifacts are *figures*; reproducing them should produce
+//! something a human can eyeball. This module renders multi-series line
+//! charts (Figs. 3–5) and CDF step plots (Figs. 6–7) as Unicode grids —
+//! no plotting dependency, works in any terminal, diffable in CI logs.
+
+use std::fmt::Write as _;
+
+/// One named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, sorted by x.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series, validating sortedness and finiteness.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        assert!(
+            points
+                .windows(2)
+                .all(|w| w[0].0 <= w[1].0),
+            "series points must be sorted by x"
+        );
+        assert!(
+            points.iter().all(|&(x, y)| x.is_finite() && y.is_finite()),
+            "non-finite point in series"
+        );
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 6] = ['o', 'x', '+', '*', '#', '@'];
+
+/// Renders an ASCII line chart of the series onto a `width × height`
+/// character grid with y-axis labels and an x-axis ruler.
+#[must_use]
+pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    assert!(!series.is_empty(), "nothing to plot");
+    assert!(series.len() <= GLYPHS.len(), "too many series");
+
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+    assert!(!all.is_empty(), "all series empty");
+    let (mut x_lo, mut x_hi) = bounds(all.iter().map(|p| p.0));
+    let (mut y_lo, mut y_hi) = bounds(all.iter().map(|p| p.1));
+    if (x_hi - x_lo).abs() < 1e-12 {
+        x_lo -= 0.5;
+        x_hi += 0.5;
+    }
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_lo -= 0.5;
+        y_hi += 0.5;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si];
+        // Plot each point; connect consecutive points with interpolation
+        // at column resolution for a line-like appearance.
+        for w in s.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let c0 = col(x0, x_lo, x_hi, width);
+            let c1 = col(x1, x_lo, x_hi, width);
+            for c in c0..=c1 {
+                let t = if c1 == c0 {
+                    0.0
+                } else {
+                    (c - c0) as f64 / (c1 - c0) as f64
+                };
+                let y = y0 + t * (y1 - y0);
+                let r = row(y, y_lo, y_hi, height);
+                grid[r][c] = glyph;
+            }
+        }
+        // Lone points (single-point series).
+        if s.points.len() == 1 {
+            let (x, y) = s.points[0];
+            grid[row(y, y_lo, y_hi, height)][col(x, x_lo, x_hi, width)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (i, line) in grid.iter().enumerate() {
+        // Y labels on the first, middle and last rows.
+        let y_here = y_hi - (y_hi - y_lo) * i as f64 / (height - 1) as f64;
+        let label = if i == 0 || i == height - 1 || i == height / 2 {
+            format!("{y_here:>9.1} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        let _ = writeln!(out, "{label}{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "{:>10}{:<w$.1}{:>8.1}",
+        "",
+        x_lo,
+        x_hi,
+        w = width - 7
+    );
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", GLYPHS[i], s.label))
+        .collect();
+    let _ = writeln!(out, "{:>10}{}", "", legend.join("   "));
+    out
+}
+
+/// Renders an ECDF step chart: series points are `(value, F(value))`.
+#[must_use]
+pub fn cdf_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    // A CDF is just a line chart with y clamped to [0, 1]; reuse the
+    // renderer but force the y-range by adding invisible anchors.
+    let mut anchored: Vec<Series> = series.to_vec();
+    if let Some(first) = anchored.first_mut() {
+        if let (Some(&(x0, _)), Some(&(x1, _))) = (first.points.first(), first.points.last()) {
+            first.points.insert(0, (x0, 0.0));
+            first.points.push((x1, 1.0));
+        }
+    }
+    line_chart(title, &anchored, width, height)
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn col(x: f64, lo: f64, hi: f64, width: usize) -> usize {
+    let t = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((t * (width - 1) as f64).round() as usize).min(width - 1)
+}
+
+fn row(y: f64, lo: f64, hi: f64, height: usize) -> usize {
+    let t = ((y - lo) / (hi - lo)).clamp(0.0, 1.0);
+    let from_bottom = (t * (height - 1) as f64).round() as usize;
+    height - 1 - from_bottom.min(height - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Vec<Series> {
+        vec![
+            Series::new("up", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]),
+            Series::new("down", vec![(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]),
+        ]
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let chart = line_chart("payoff vs f", &simple(), 40, 10);
+        assert!(chart.starts_with("payoff vs f\n"));
+        assert!(chart.contains('|'), "y axis");
+        assert!(chart.contains('+'), "origin");
+        assert!(chart.contains("o up"));
+        assert!(chart.contains("x down"));
+    }
+
+    #[test]
+    fn grid_has_requested_dimensions() {
+        let chart = line_chart("t", &simple(), 40, 10);
+        let grid_lines: Vec<&str> = chart
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        assert_eq!(grid_lines.len(), 10);
+        for l in grid_lines {
+            let after = l.split('|').nth(1).unwrap();
+            assert_eq!(after.chars().count(), 40);
+        }
+    }
+
+    #[test]
+    fn increasing_series_rises_leftward_to_rightward() {
+        let s = vec![Series::new("up", vec![(0.0, 0.0), (10.0, 10.0)])];
+        let chart = line_chart("t", &s, 30, 8);
+        let rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
+        // Top row contains the glyph near the right edge; bottom row near
+        // the left edge.
+        let top_pos = rows[0].find('o').expect("top glyph");
+        let bottom_pos = rows[7].rfind('o').expect("bottom glyph");
+        assert!(top_pos > bottom_pos);
+    }
+
+    #[test]
+    fn constant_series_renders_flat() {
+        let s = vec![Series::new("flat", vec![(0.0, 5.0), (10.0, 5.0)])];
+        let chart = line_chart("t", &s, 30, 8);
+        let glyph_rows: Vec<usize> = chart
+            .lines()
+            .filter(|l| l.contains('|'))
+            .enumerate()
+            .filter(|(_, l)| l.contains('o'))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(glyph_rows.len(), 1, "all glyphs on one row");
+    }
+
+    #[test]
+    fn cdf_chart_anchors_unit_interval() {
+        let s = vec![Series::new(
+            "cdf",
+            vec![(10.0, 0.25), (20.0, 0.5), (30.0, 1.0)],
+        )];
+        let chart = cdf_chart("payoff CDF", &s, 30, 8);
+        assert!(chart.contains("1.0") || chart.contains("1.0 |") || chart.contains("      1.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by x")]
+    fn unsorted_series_rejected() {
+        let _ = Series::new("bad", vec![(2.0, 0.0), (1.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many series")]
+    fn too_many_series_rejected() {
+        let many: Vec<Series> = (0..7)
+            .map(|i| Series::new(format!("s{i}"), vec![(0.0, 0.0)]))
+            .collect();
+        let _ = line_chart("t", &many, 30, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_rejected() {
+        let _ = line_chart("t", &simple(), 5, 2);
+    }
+}

@@ -1,0 +1,869 @@
+//! One driver per paper table/figure, plus the ablations from DESIGN.md.
+//!
+//! Every experiment sweeps its axis with **common random numbers** (the
+//! same replication seeds across all points of the sweep) and runs
+//! replications in parallel with rayon. Output is a markdown table (shape
+//! comparison against the paper) plus a CSV per experiment under the
+//! output directory.
+
+use std::path::PathBuf;
+
+use idpa_core::routing::{AdversaryStrategy, RoutingStrategy};
+use idpa_core::utility::UtilityModel;
+use idpa_desim::stats::{Ecdf, OnlineStats};
+use idpa_game::forwarding::{
+    dominance_threshold, participation_threshold, ForwardingStageGame,
+};
+use rayon::prelude::*;
+
+use crate::chart::{cdf_chart, line_chart, Series};
+use crate::report::{fmt_ci, Table};
+use crate::runner::{RunResult, SimulationRun};
+use crate::scenario::ScenarioConfig;
+
+/// Options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Replications per sweep point.
+    pub reps: u64,
+    /// Scale down the workload for smoke runs.
+    pub quick: bool,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            reps: 10,
+            quick: false,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Options {
+    fn base_config(&self, seed: u64) -> ScenarioConfig {
+        if self.quick {
+            ScenarioConfig::quick_test(seed)
+        } else {
+            ScenarioConfig {
+                seed,
+                ..ScenarioConfig::default()
+            }
+        }
+    }
+}
+
+/// The model II configuration used throughout the experiments (lookahead 2
+/// keeps full-scale sweeps tractable; the lookahead ablation explores 1–4).
+#[must_use]
+pub fn model_two() -> RoutingStrategy {
+    RoutingStrategy::Utility(UtilityModel::ModelII { lookahead: 2 })
+}
+
+/// Model I as a strategy.
+#[must_use]
+pub fn model_one() -> RoutingStrategy {
+    RoutingStrategy::Utility(UtilityModel::ModelI)
+}
+
+/// Runs `reps` replications of `make(seed)` in parallel.
+fn replicate(opts: &Options, make: impl Fn(u64) -> ScenarioConfig + Sync) -> Vec<RunResult> {
+    (0..opts.reps)
+        .into_par_iter()
+        .map(|rep| SimulationRun::execute(make(1000 + rep)))
+        .collect()
+}
+
+fn stats_of(results: &[RunResult], f: impl Fn(&RunResult) -> f64) -> OnlineStats {
+    let mut s = OnlineStats::new();
+    for r in results {
+        s.push(f(r));
+    }
+    s
+}
+
+/// The adversary fractions swept in the figures.
+const F_SWEEP: [f64; 10] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Figs. 3 and 4: average payoff of a non-malicious node vs `f`, with 95%
+/// confidence intervals, for the given utility model.
+pub fn fig_payoff_vs_f(opts: &Options, strategy: RoutingStrategy, name: &str) -> String {
+    let mut table = Table::new(&["f", "avg good payoff", "95% CI half-width"]);
+    let mut points = Vec::new();
+    for f in F_SWEEP {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            adversary_fraction: f,
+            good_strategy: strategy,
+            ..opts.base_config(seed)
+        });
+        let s = stats_of(&results, |r| r.avg_good_payoff);
+        let ci = s.ci95();
+        points.push((f, ci.mean));
+        table.row(vec![
+            format!("{f:.1}"),
+            format!("{:.1}", ci.mean),
+            format!("{:.1}", ci.half_width),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, name);
+    let chart = line_chart(
+        "avg good-node payoff vs f",
+        &[Series::new("payoff", points)],
+        60,
+        12,
+    );
+    format!(
+        "## {name}: average payoff for a non-malicious node\n\n{}\n```text\n{chart}```\n",
+        table.to_markdown()
+    )
+}
+
+/// Fig. 5: average forwarder-set size vs `f` for Random / Model I / Model II.
+pub fn fig5(opts: &Options) -> String {
+    let strategies: [(&str, RoutingStrategy); 3] = [
+        ("random", RoutingStrategy::Random),
+        ("model-1", model_one()),
+        ("model-2", model_two()),
+    ];
+    let mut table = Table::new(&["f", "random", "model I", "model II"]);
+    let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
+    for f in F_SWEEP {
+        let mut cells = vec![format!("{f:.1}")];
+        for (si, (_, strategy)) in strategies.iter().enumerate() {
+            let results = replicate(opts, |seed| ScenarioConfig {
+                adversary_fraction: f,
+                good_strategy: *strategy,
+                ..opts.base_config(seed)
+            });
+            let s = stats_of(&results, |r| r.avg_forwarder_set);
+            curves[si].push((f, s.mean()));
+            cells.push(fmt_ci(s.mean(), s.ci95().half_width));
+        }
+        table.row(cells);
+    }
+    let _ = table.write_csv(&opts.out_dir, "fig5_forwarder_set");
+    let series: Vec<Series> = strategies
+        .iter()
+        .zip(&curves)
+        .map(|((label, _), pts)| Series::new(*label, pts.clone()))
+        .collect();
+    let chart = line_chart("forwarder set ‖π‖ vs f", &series, 60, 12);
+    format!(
+        "## fig5: average forwarder-set size ‖π‖ by routing strategy\n\n{}\n```text\n{chart}```\n",
+        table.to_markdown()
+    )
+}
+
+/// Figs. 6–7: CDF of good-node payoffs at a fixed `f`, per strategy.
+/// Reports deciles in the markdown table; full curves go to CSV.
+pub fn fig_payoff_cdf(opts: &Options, f: f64, name: &str) -> String {
+    let strategies: [(&str, RoutingStrategy); 3] = [
+        ("random", RoutingStrategy::Random),
+        ("model-1", model_one()),
+        ("model-2", model_two()),
+    ];
+    let mut curves: Vec<(&str, Ecdf)> = Vec::new();
+    for (label, strategy) in strategies {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            adversary_fraction: f,
+            good_strategy: strategy,
+            ..opts.base_config(seed)
+        });
+        let mut ecdf = Ecdf::new();
+        for r in &results {
+            for &p in &r.good_payoffs {
+                ecdf.push(p);
+            }
+        }
+        curves.push((label, ecdf));
+    }
+
+    // Deciles table.
+    let mut table = Table::new(&["quantile", "random", "model I", "model II"]);
+    for q in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let mut cells = vec![format!("{q:.1}")];
+        for (_, ecdf) in &mut curves {
+            cells.push(format!("{:.0}", ecdf.quantile(q)));
+        }
+        table.row(cells);
+    }
+
+    // Full curves to CSV.
+    let mut csv = Table::new(&["strategy", "payoff", "cdf"]);
+    for (label, ecdf) in &mut curves {
+        for (x, p) in ecdf.points() {
+            csv.row(vec![(*label).into(), format!("{x:.3}"), format!("{p:.5}")]);
+        }
+    }
+    let _ = csv.write_csv(&opts.out_dir, name);
+
+    // Variance summary (the paper's observation: model I has the largest
+    // spread, random the smallest).
+    let mut summary = Table::new(&["strategy", "mean", "std dev", "max"]);
+    for (label, ecdf) in &mut curves {
+        let mut s = OnlineStats::new();
+        for (x, _) in ecdf.points() {
+            s.push(x);
+        }
+        summary.row(vec![
+            (*label).into(),
+            format!("{:.1}", s.mean()),
+            format!("{:.1}", s.std_dev()),
+            format!("{:.1}", s.max()),
+        ]);
+    }
+
+    // Render the CDFs (downsampled to percentiles for the terminal).
+    let series: Vec<Series> = curves
+        .iter_mut()
+        .map(|(label, ecdf)| {
+            let pts: Vec<(f64, f64)> = (1..=100)
+                .map(|p| {
+                    let q = f64::from(p) / 100.0;
+                    (ecdf.quantile(q), q)
+                })
+                .collect();
+            Series::new(*label, pts)
+        })
+        .collect();
+    let chart = cdf_chart("payoff CDF (x = payoff, y = F(x))", &series, 64, 14);
+    format!(
+        "## {name}: CDF of good-node payoff at f={f}\n\n### Payoff deciles\n\n{}\n### Distribution summary\n\n{}\n```text\n{chart}```\n",
+        table.to_markdown(),
+        summary.to_markdown()
+    )
+}
+
+/// Table 2: routing efficiency (avg payoff / avg #forwarders) for utility
+/// model I over `f × τ`.
+pub fn table2(opts: &Options) -> String {
+    let taus = [0.5, 1.0, 2.0, 4.0];
+    let fs = [0.1, 0.5, 0.9];
+    let mut table = Table::new(&["", "tau=0.5", "tau=1", "tau=2", "tau=4"]);
+    let mut col_means = vec![OnlineStats::new(); taus.len()];
+    for f in fs {
+        let mut cells = vec![format!("f={f:.1}")];
+        for (ti, &tau) in taus.iter().enumerate() {
+            let results = replicate(opts, |seed| ScenarioConfig {
+                adversary_fraction: f,
+                tau,
+                good_strategy: model_one(),
+                ..opts.base_config(seed)
+            });
+            let s = stats_of(&results, |r| r.routing_efficiency);
+            col_means[ti].push(s.mean());
+            cells.push(format!("{:.0}", s.mean()));
+        }
+        table.row(cells);
+    }
+    let mut mean_row = vec!["mean".to_string()];
+    for c in &col_means {
+        mean_row.push(format!("{:.0}", c.mean()));
+    }
+    table.row(mean_row);
+    let _ = table.write_csv(&opts.out_dir, "table2_routing_efficiency");
+    format!(
+        "## table2: routing efficiency, utility model I\n\n{}",
+        table.to_markdown()
+    )
+}
+
+/// Prop. 1: new-edge fraction (`E[X]`) and reformation rate, utility vs
+/// random routing.
+pub fn prop1(opts: &Options) -> String {
+    let strategies: [(&str, RoutingStrategy); 3] = [
+        ("random", RoutingStrategy::Random),
+        ("model-1", model_one()),
+        ("model-2", model_two()),
+    ];
+    let mut table = Table::new(&["strategy", "new-edge fraction E[X]", "reformation rate"]);
+    for (label, strategy) in strategies {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            good_strategy: strategy,
+            ..opts.base_config(seed)
+        });
+        let ex = stats_of(&results, |r| r.new_edge_fraction);
+        let rr = stats_of(&results, |r| r.reformation_rate);
+        table.row(vec![
+            label.into(),
+            fmt_ci(ex.mean(), ex.ci95().half_width),
+            fmt_ci(rr.mean(), rr.ci95().half_width),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "prop1_reformations");
+    format!(
+        "## prop1: path reformations, utility vs random routing\n\n{}",
+        table.to_markdown()
+    )
+}
+
+/// Props. 2–3: numeric verification of the participation and dominance
+/// thresholds in the stage game.
+pub fn props23(_opts: &Options) -> String {
+    let (cp, ct) = (5.0, 2.0);
+    let (n, l, k) = (40, 4.0, 20);
+    let p2 = participation_threshold(cp, ct, n, l, k);
+    let p3 = dominance_threshold(cp, ct);
+
+    let mut table = Table::new(&["P_f", "vs Prop.2 thr", "session payoff > 0", "vs Prop.3 thr", "forwarding dominant"]);
+    for pf in [p2 * 0.5, p2 * 0.99, p2 * 1.01, p3 * 0.99, p3 * 1.01, p3 * 2.0, 50.0] {
+        let payoff = idpa_game::forwarding::expected_session_payoff(pf, cp, ct, n, l, k);
+        let game = ForwardingStageGame {
+            pf,
+            pr: 0.0, // worst case for dominance: no routing benefit
+            cp,
+            ct,
+            q_random: 0.0,
+            q_nonrandom: 0.0,
+        };
+        table.row(vec![
+            format!("{pf:.2}"),
+            if pf > p2 { "above" } else { "below" }.into(),
+            format!("{}", payoff > 0.0),
+            if pf > p3 { "above" } else { "below" }.into(),
+            format!("{}", game.forwarding_is_dominant(2)),
+        ]);
+    }
+    format!(
+        "## props23: thresholds (Prop.2 = {p2:.2}, Prop.3 = {p3:.2}; C^p={cp}, C^t={ct}, N={n}, L={l}, k={k})\n\n{}",
+        table.to_markdown()
+    )
+}
+
+/// Ablation: `w_s`/`w_a` weighting.
+pub fn ablation_weights(opts: &Options) -> String {
+    let mut table = Table::new(&["w_s", "w_a", "‖π‖", "avg good payoff", "E[X]"]);
+    for ws in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            weights: (ws, 1.0 - ws),
+            good_strategy: model_one(),
+            adversary_fraction: 0.1,
+            ..opts.base_config(seed)
+        });
+        let set = stats_of(&results, |r| r.avg_forwarder_set);
+        let pay = stats_of(&results, |r| r.avg_good_payoff);
+        let ex = stats_of(&results, |r| r.new_edge_fraction);
+        table.row(vec![
+            format!("{ws:.2}"),
+            format!("{:.2}", 1.0 - ws),
+            format!("{:.2}", set.mean()),
+            format!("{:.0}", pay.mean()),
+            format!("{:.3}", ex.mean()),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "ablation_weights");
+    format!("## ablation-weights: selectivity vs availability weighting\n\n{}", table.to_markdown())
+}
+
+/// Ablation: τ continuum.
+pub fn ablation_tau(opts: &Options) -> String {
+    let mut table = Table::new(&["tau", "routing efficiency", "‖π‖", "avg good payoff"]);
+    for tau in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            tau,
+            good_strategy: model_one(),
+            adversary_fraction: 0.1,
+            ..opts.base_config(seed)
+        });
+        let eff = stats_of(&results, |r| r.routing_efficiency);
+        let set = stats_of(&results, |r| r.avg_forwarder_set);
+        let pay = stats_of(&results, |r| r.avg_good_payoff);
+        table.row(vec![
+            format!("{tau}"),
+            format!("{:.0}", eff.mean()),
+            format!("{:.2}", set.mean()),
+            format!("{:.0}", pay.mean()),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "ablation_tau");
+    format!("## ablation-tau: routing-to-forwarding benefit ratio\n\n{}", table.to_markdown())
+}
+
+/// Ablation: neighbor degree `d`.
+pub fn ablation_degree(opts: &Options) -> String {
+    let mut table = Table::new(&["d", "‖π‖", "path length L", "Q(π)"]);
+    for d in [3usize, 5, 8, 12] {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            degree: d,
+            good_strategy: model_one(),
+            adversary_fraction: 0.1,
+            ..opts.base_config(seed)
+        });
+        let set = stats_of(&results, |r| r.avg_forwarder_set);
+        let len = stats_of(&results, |r| r.avg_path_length);
+        let q = stats_of(&results, |r| r.avg_path_quality);
+        table.row(vec![
+            d.to_string(),
+            format!("{:.2}", set.mean()),
+            format!("{:.2}", len.mean()),
+            format!("{:.3}", q.mean()),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "ablation_degree");
+    format!("## ablation-degree: neighbor-set size d\n\n{}", table.to_markdown())
+}
+
+/// Ablation: probing period `T`.
+pub fn ablation_probe(opts: &Options) -> String {
+    let mut table = Table::new(&["T (min)", "‖π‖", "avg good payoff"]);
+    for t in [1.0, 5.0, 15.0, 60.0] {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            probe_period: t,
+            good_strategy: model_one(),
+            adversary_fraction: 0.1,
+            ..opts.base_config(seed)
+        });
+        let set = stats_of(&results, |r| r.avg_forwarder_set);
+        let pay = stats_of(&results, |r| r.avg_good_payoff);
+        table.row(vec![
+            format!("{t}"),
+            format!("{:.2}", set.mean()),
+            format!("{:.0}", pay.mean()),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "ablation_probe");
+    format!("## ablation-probe: probing period sensitivity\n\n{}", table.to_markdown())
+}
+
+/// Ablation: bounded history retention.
+pub fn ablation_history(opts: &Options) -> String {
+    let mut table = Table::new(&["history capacity", "‖π‖", "E[X]"]);
+    for cap in [Some(1usize), Some(2), Some(5), Some(20), None] {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            history_capacity: cap,
+            good_strategy: model_one(),
+            adversary_fraction: 0.1,
+            ..opts.base_config(seed)
+        });
+        let set = stats_of(&results, |r| r.avg_forwarder_set);
+        let ex = stats_of(&results, |r| r.new_edge_fraction);
+        table.row(vec![
+            cap.map_or("unbounded".into(), |c| c.to_string()),
+            format!("{:.2}", set.mean()),
+            format!("{:.3}", ex.mean()),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "ablation_history");
+    format!("## ablation-history: history retention bound\n\n{}", table.to_markdown())
+}
+
+/// Ablation: model II lookahead horizon (depth of the §2.4.3 backward
+/// induction). Depth 1 degenerates to model I.
+pub fn ablation_lookahead(opts: &Options) -> String {
+    let mut table = Table::new(&["lookahead", "‖π‖", "avg good payoff", "E[X]"]);
+    for la in [1u8, 2, 3, 4] {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            good_strategy: RoutingStrategy::Utility(UtilityModel::ModelII { lookahead: la }),
+            adversary_fraction: 0.1,
+            ..opts.base_config(seed)
+        });
+        let set = stats_of(&results, |r| r.avg_forwarder_set);
+        let pay = stats_of(&results, |r| r.avg_good_payoff);
+        let ex = stats_of(&results, |r| r.new_edge_fraction);
+        table.row(vec![
+            la.to_string(),
+            format!("{:.2}", set.mean()),
+            format!("{:.0}", pay.mean()),
+            format!("{:.3}", ex.mean()),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "ablation_lookahead");
+    format!(
+        "## ablation-lookahead: model II backward-induction horizon\n\n{}",
+        table.to_markdown()
+    )
+}
+
+/// Ablation: recurring-connection count (`max-connections` in §3) vs the
+/// intersection attack — more rounds per pair give the attacker more
+/// observations.
+pub fn ablation_rounds(opts: &Options) -> String {
+    let mut table = Table::new(&["avg rounds/pair", "exposure rate", "anonymity degree", "‖π‖"]);
+    for rounds in [5usize, 10, 20, 40] {
+        let results = replicate(opts, |seed| {
+            let mut cfg = opts.base_config(seed);
+            cfg.total_transmissions = cfg.n_pairs * rounds;
+            cfg.max_connections = (rounds * 2) as u32;
+            cfg.adversary_fraction = 0.3;
+            cfg.good_strategy = model_one();
+            cfg
+        });
+        let exp = stats_of(&results, |r| r.attack_exposure_rate);
+        let anon = stats_of(&results, |r| r.avg_anonymity_degree);
+        let set = stats_of(&results, |r| r.avg_forwarder_set);
+        table.row(vec![
+            rounds.to_string(),
+            format!("{:.3}", exp.mean()),
+            format!("{:.3}", anon.mean()),
+            format!("{:.2}", set.mean()),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "ablation_rounds");
+    format!(
+        "## ablation-rounds: recurring connections vs intersection attack\n\n{}",
+        table.to_markdown()
+    )
+}
+
+/// Ablation: termination mode — Crowds coin vs hop-distance forwarding
+/// (the two §2.2 variants), at matched expected path length.
+pub fn ablation_termination(opts: &Options) -> String {
+    use idpa_core::routing::PathPolicy;
+    let modes: [(&str, PathPolicy); 4] = [
+        ("crowds p=0.67 (E[L]=3)", PathPolicy::new(2.0 / 3.0, 8)),
+        ("hop-distance L=3", PathPolicy::hop_distance(3)),
+        ("crowds p=0.75 (E[L]=4)", PathPolicy::new(0.75, 8)),
+        ("hop-distance L=4", PathPolicy::hop_distance(4)),
+    ];
+    let mut table = Table::new(&["termination", "L", "‖π‖", "Q(π)", "avg good payoff"]);
+    for (label, policy) in modes {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            policy,
+            good_strategy: model_one(),
+            adversary_fraction: 0.1,
+            ..opts.base_config(seed)
+        });
+        let len = stats_of(&results, |r| r.avg_path_length);
+        let set = stats_of(&results, |r| r.avg_forwarder_set);
+        let q = stats_of(&results, |r| r.avg_path_quality);
+        let pay = stats_of(&results, |r| r.avg_good_payoff);
+        table.row(vec![
+            label.into(),
+            format!("{:.2}", len.mean()),
+            format!("{:.2}", set.mean()),
+            format!("{:.3}", q.mean()),
+            format!("{:.0}", pay.mean()),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "ablation_termination");
+    format!(
+        "## ablation-termination: Crowds coin vs hop-distance forwarding\n\n{}",
+        table.to_markdown()
+    )
+}
+
+/// Ablation: dynamic neighbor replacement (replace a neighbor after N
+/// silent probe rounds; §2.3's "new neighbor found" rule re-initialises
+/// the replacement).
+pub fn ablation_replacement(opts: &Options) -> String {
+    let mut table = Table::new(&["replace after", "‖π‖", "avg good payoff", "E[X]"]);
+    for rounds in [None, Some(3u64), Some(10), Some(30)] {
+        let results = replicate(opts, |seed| ScenarioConfig {
+            neighbor_replacement_rounds: rounds,
+            good_strategy: model_one(),
+            adversary_fraction: 0.1,
+            ..opts.base_config(seed)
+        });
+        let set = stats_of(&results, |r| r.avg_forwarder_set);
+        let pay = stats_of(&results, |r| r.avg_good_payoff);
+        let ex = stats_of(&results, |r| r.new_edge_fraction);
+        table.row(vec![
+            rounds.map_or("never".into(), |r| format!("{r} rounds")),
+            format!("{:.2}", set.mean()),
+            format!("{:.0}", pay.mean()),
+            format!("{:.3}", ex.mean()),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "ablation_replacement");
+    format!(
+        "## ablation-replacement: dynamic neighbor maintenance\n\n{}",
+        table.to_markdown()
+    )
+}
+
+/// §5 availability attack: attacker payoff share and anonymity impact.
+pub fn attack_availability(opts: &Options) -> String {
+    let mut table = Table::new(&[
+        "f",
+        "attack",
+        "avg malicious payoff",
+        "avg good payoff",
+        "anonymity degree",
+    ]);
+    for f in [0.1, 0.3, 0.5] {
+        for attack in [false, true] {
+            let results = replicate(opts, |seed| ScenarioConfig {
+                adversary_fraction: f,
+                availability_attack: attack,
+                good_strategy: model_one(),
+                ..opts.base_config(seed)
+            });
+            let mal = stats_of(&results, |r| {
+                let v = &r.malicious_payoffs;
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            });
+            let good = stats_of(&results, |r| r.avg_good_payoff);
+            let anon = stats_of(&results, |r| r.avg_anonymity_degree);
+            table.row(vec![
+                format!("{f:.1}"),
+                if attack { "on" } else { "off" }.into(),
+                format!("{:.0}", mal.mean()),
+                format!("{:.0}", good.mean()),
+                format!("{:.3}", anon.mean()),
+            ]);
+        }
+    }
+    let _ = table.write_csv(&opts.out_dir, "attack_availability");
+    format!("## attack-availability: §5 availability attack\n\n{}", table.to_markdown())
+}
+
+/// §4-motivated collusion attack: malicious nodes steer traffic to each
+/// other instead of routing uniformly. Measures how much payment they
+/// capture and what it costs good nodes and anonymity.
+pub fn attack_collusion(opts: &Options) -> String {
+    let mut table = Table::new(&[
+        "f",
+        "adversary",
+        "avg malicious payoff",
+        "avg good payoff",
+        "anonymity degree",
+        "‖π‖",
+    ]);
+    for f in [0.1, 0.3, 0.5] {
+        for (label, strategy) in [
+            ("random", AdversaryStrategy::Random),
+            ("colluding", AdversaryStrategy::Colluding),
+        ] {
+            let results = replicate(opts, |seed| ScenarioConfig {
+                adversary_fraction: f,
+                adversary_strategy: strategy,
+                good_strategy: model_one(),
+                ..opts.base_config(seed)
+            });
+            let mal = stats_of(&results, |r| {
+                if r.malicious_payoffs.is_empty() {
+                    0.0
+                } else {
+                    r.malicious_payoffs.iter().sum::<f64>() / r.malicious_payoffs.len() as f64
+                }
+            });
+            let good = stats_of(&results, |r| r.avg_good_payoff);
+            let anon = stats_of(&results, |r| r.avg_anonymity_degree);
+            let set = stats_of(&results, |r| r.avg_forwarder_set);
+            table.row(vec![
+                format!("{f:.1}"),
+                label.into(),
+                format!("{:.0}", mal.mean()),
+                format!("{:.0}", good.mean()),
+                format!("{:.3}", anon.mean()),
+                format!("{:.2}", set.mean()),
+            ]);
+        }
+    }
+    let _ = table.write_csv(&opts.out_dir, "attack_collusion");
+    format!(
+        "## attack-collusion: colluding vs random adversaries
+
+{}",
+        table.to_markdown()
+    )
+}
+
+/// Timeline: how the system's metrics evolve over the simulated day —
+/// run the same seeded world to increasing horizons (common random
+/// numbers make the prefixes identical) and snapshot payoff and anonymity.
+pub fn timeline(opts: &Options) -> String {
+    let fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let mut table = Table::new(&["horizon (min)", "connections", "avg good payoff", "anonymity degree"]);
+    let mut payoff_pts = Vec::new();
+    let mut anon_pts = Vec::new();
+    for frac in fractions {
+        // Generate the FULL world, then stop the engine early: each point
+        // is a true prefix of the same trajectory (common random numbers).
+        let results: Vec<crate::runner::RunResult> = (0..opts.reps)
+            .into_par_iter()
+            .map(|rep| {
+                let cfg = ScenarioConfig {
+                    adversary_fraction: 0.3,
+                    good_strategy: model_one(),
+                    ..opts.base_config(1000 + rep)
+                };
+                let world = crate::world::World::generate(&cfg);
+                let horizon =
+                    idpa_desim::SimTime::new(cfg.churn.horizon * frac);
+                let mut run = SimulationRun::new(cfg, world);
+                let mut engine = idpa_desim::Engine::new();
+                run.schedule_all(&mut engine);
+                engine.run(&mut run, Some(horizon));
+                run.finish()
+            })
+            .collect();
+        let conns = stats_of(&results, |r| r.connections as f64);
+        let pay = stats_of(&results, |r| r.avg_good_payoff);
+        let anon = stats_of(&results, |r| r.avg_anonymity_degree);
+        let horizon = ScenarioConfig::default().churn.horizon * frac;
+        payoff_pts.push((horizon, pay.mean()));
+        anon_pts.push((horizon, anon.mean()));
+        table.row(vec![
+            format!("{horizon:.0}"),
+            format!("{:.0}", conns.mean()),
+            format!("{:.0}", pay.mean()),
+            format!("{:.3}", anon.mean()),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "timeline");
+    let chart = line_chart(
+        "anonymity degree left to the attacker vs horizon (f=0.3)",
+        &[Series::new("anonymity", anon_pts)],
+        60,
+        12,
+    );
+    format!(
+        "## timeline: metric evolution over the simulated day\n\n{}\n```text\n{chart}```\n",
+        table.to_markdown()
+    )
+}
+
+/// Intersection-attack resistance by routing strategy.
+pub fn attack_intersection(opts: &Options) -> String {
+    let strategies: [(&str, RoutingStrategy); 3] = [
+        ("random", RoutingStrategy::Random),
+        ("model-1", model_one()),
+        ("model-2", model_two()),
+    ];
+    let mut table = Table::new(&["f", "strategy", "exposure rate", "anonymity degree"]);
+    for f in [0.1, 0.3, 0.5] {
+        for (label, strategy) in strategies {
+            let results = replicate(opts, |seed| ScenarioConfig {
+                adversary_fraction: f,
+                good_strategy: strategy,
+                ..opts.base_config(seed)
+            });
+            let exp = stats_of(&results, |r| r.attack_exposure_rate);
+            let anon = stats_of(&results, |r| r.avg_anonymity_degree);
+            table.row(vec![
+                format!("{f:.1}"),
+                label.into(),
+                format!("{:.3}", exp.mean()),
+                format!("{:.3}", anon.mean()),
+            ]);
+        }
+    }
+    let _ = table.write_csv(&opts.out_dir, "attack_intersection");
+    format!(
+        "## attack-intersection: passive intersection attack vs strategy\n\n{}",
+        table.to_markdown()
+    )
+}
+
+/// Crowds predecessor analysis (closed form): how far the substrate
+/// protocol's own probable-innocence guarantee stretches at the paper's
+/// scale — the theoretical backdrop for the intersection-attack results.
+pub fn crowds_analysis(opts: &Options) -> String {
+    use idpa_core::metrics::{
+        crowds_min_network_size, crowds_predecessor_probability, crowds_probable_innocence,
+    };
+    let n = 40;
+    let p_f = 0.75;
+    let mut table = Table::new(&[
+        "collaborators c",
+        "P(pred = initiator)",
+        "probable innocence",
+        "min N for innocence",
+    ]);
+    let mut points = Vec::new();
+    for c in [0usize, 2, 4, 8, 12, 16, 20, 24] {
+        let p = crowds_predecessor_probability(n, c, p_f);
+        points.push((c as f64, p));
+        table.row(vec![
+            c.to_string(),
+            format!("{p:.3}"),
+            crowds_probable_innocence(n, c, p_f).to_string(),
+            format!("{:.0}", crowds_min_network_size(c, p_f)),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "crowds_analysis");
+    let chart = line_chart(
+        "P(first collaborator's predecessor = initiator), N=40, p_f=0.75",
+        &[Series::new("P", points)],
+        60,
+        12,
+    );
+    format!(
+        "## crowds-analysis: Reiter-Rubin predecessor bound at paper scale\n\n{}\n```text\n{chart}```\n",
+        table.to_markdown()
+    )
+}
+
+/// Every experiment by name, in DESIGN.md order.
+#[must_use]
+pub fn registry() -> Vec<(&'static str, fn(&Options) -> String)> {
+    vec![
+        ("fig3", (|o| fig_payoff_vs_f(o, model_one(), "fig3_payoff_model1")) as fn(&Options) -> String),
+        ("fig4", |o| fig_payoff_vs_f(o, model_two(), "fig4_payoff_model2")),
+        ("fig5", fig5),
+        ("fig6", |o| fig_payoff_cdf(o, 0.1, "fig6_payoff_cdf_f01")),
+        ("fig7", |o| fig_payoff_cdf(o, 0.5, "fig7_payoff_cdf_f05")),
+        ("table2", table2),
+        ("prop1", prop1),
+        ("props23", props23),
+        ("ablation-weights", ablation_weights),
+        ("ablation-tau", ablation_tau),
+        ("ablation-degree", ablation_degree),
+        ("ablation-probe", ablation_probe),
+        ("ablation-history", ablation_history),
+        ("ablation-lookahead", ablation_lookahead),
+        ("ablation-rounds", ablation_rounds),
+        ("ablation-replacement", ablation_replacement),
+        ("ablation-termination", ablation_termination),
+        ("attack-availability", attack_availability),
+        ("attack-collusion", attack_collusion),
+        ("attack-intersection", attack_intersection),
+        ("timeline", timeline),
+        ("crowds-analysis", crowds_analysis),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> Options {
+        Options {
+            reps: 2,
+            quick: true,
+            out_dir: std::env::temp_dir().join("idpa_exp_test"),
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_paper_artifacts() {
+        let names: Vec<&str> = registry().iter().map(|(n, _)| *n).collect();
+        for required in ["fig3", "fig4", "fig5", "fig6", "fig7", "table2"] {
+            assert!(names.contains(&required), "{required} missing");
+        }
+    }
+
+    #[test]
+    fn props23_runs_and_reports_thresholds() {
+        let out = props23(&quick_opts());
+        assert!(out.contains("Prop.2 = 4.50"));
+        assert!(out.contains("Prop.3 = 7.00"));
+        // Above both thresholds everything holds.
+        assert!(out.contains("50.00"));
+    }
+
+    #[test]
+    fn table2_emits_all_rows() {
+        let out = table2(&quick_opts());
+        assert!(out.contains("f=0.1"));
+        assert!(out.contains("f=0.9"));
+        assert!(out.contains("mean"));
+    }
+
+    #[test]
+    fn fig5_runs_quick() {
+        let out = fig5(&Options {
+            reps: 1,
+            ..quick_opts()
+        });
+        assert!(out.contains("model II"));
+        assert!(out.lines().count() > 10);
+    }
+}

@@ -1,0 +1,31 @@
+//! # idpa-sim — the full-system experiment driver
+//!
+//! Composes every substrate into the paper's §3 evaluation: a discrete-
+//! event simulation of N = 40 peers under Poisson joins and Pareto session
+//! times, 100 (I, R) pairs exchanging 2000 recurring transmissions under
+//! the `(P_f, P_r)` incentive contract, with a fraction `f` of malicious
+//! (randomly routing) nodes — measuring good-node payoffs, forwarder-set
+//! sizes, payoff CDFs and routing efficiency.
+//!
+//! * [`scenario`] — configuration mirroring the paper's §3 parameters;
+//! * [`world`] — the sampled static world (topology, churn trace, costs,
+//!   roles, workload);
+//! * [`runner`] — the event-driven run (probe events + transmissions);
+//! * [`experiments`] — one driver per paper table/figure plus ablations;
+//! * [`report`] — markdown/CSV table emission;
+//! * [`chart`] — terminal line/CDF charts so regenerated figures are
+//!   visually comparable to the paper's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod world;
+
+pub use runner::{RunResult, SimulationRun};
+pub use scenario::ScenarioConfig;
+pub use world::World;

@@ -1,0 +1,103 @@
+//! `idpa-sim` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! idpa-sim [EXPERIMENT ...] [--reps N] [--quick] [--out DIR] [--list]
+//! ```
+//!
+//! With no experiment names, runs everything in the registry. Markdown
+//! goes to stdout; per-experiment CSVs to the output directory.
+
+use std::process::ExitCode;
+
+use idpa_sim::experiments::{registry, Options};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Trace tooling: `idpa-sim trace-export [SEED]` dumps the synthetic
+    // churn trace of the paper-scale scenario as CSV (stdout), in the
+    // format `idpa_netmodel::trace` re-imports for measured-trace replay.
+    if args.first().map(String::as_str) == Some("trace-export") {
+        let seed: u64 = args
+            .get(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+        let cfg = idpa_sim::ScenarioConfig {
+            seed,
+            ..idpa_sim::ScenarioConfig::default()
+        };
+        let world = idpa_sim::World::generate(&cfg);
+        print!("{}", idpa_netmodel::trace::to_csv(&world.schedules));
+        return ExitCode::SUCCESS;
+    }
+    let mut opts = Options::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for (name, _) in registry() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--quick" => opts.quick = true,
+            "--reps" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--reps needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                opts.reps = v;
+            }
+            "--out" => {
+                let Some(v) = iter.next() else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                opts.out_dir = v.into();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: idpa-sim [EXPERIMENT ...] [--reps N] [--quick] [--out DIR] [--list]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            name if !name.starts_with('-') => selected.push(name.to_string()),
+            other => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let reg = registry();
+    let to_run: Vec<&(&str, fn(&Options) -> String)> = if selected.is_empty() {
+        reg.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for name in &selected {
+            match reg.iter().find(|(n, _)| n == name) {
+                Some(entry) => picked.push(entry),
+                None => {
+                    eprintln!("unknown experiment '{name}'; try --list");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        picked
+    };
+
+    println!(
+        "# idpa-sim results (reps = {}, {} scale)\n",
+        opts.reps,
+        if opts.quick { "quick" } else { "paper" }
+    );
+    for (name, run) in to_run {
+        eprintln!("[running {name} ...]");
+        let started = std::time::Instant::now();
+        let output = run(&opts);
+        eprintln!("[{name} done in {:.1?}]", started.elapsed());
+        println!("{output}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,157 @@
+//! Table and CSV emission for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned markdown table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV form to `dir/name.csv` (creating `dir`).
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{name}.csv")), self.to_csv())
+    }
+}
+
+/// Formats `mean ± half` with sensible precision.
+#[must_use]
+pub fn fmt_ci(mean: f64, half: f64) -> String {
+    format!("{mean:.1} ± {half:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_render() {
+        let mut t = Table::new(&["f", "payoff"]);
+        t.row(vec!["0.1".into(), "409".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| f   | payoff |"));
+        assert!(md.contains("| 0.1 | 409    |"));
+        assert!(md.lines().count() == 3);
+    }
+
+    #[test]
+    fn csv_render_and_escaping() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",plain\n");
+    }
+
+    #[test]
+    fn csv_written_to_disk() {
+        let dir = std::env::temp_dir().join("idpa_report_test");
+        let mut t = Table::new(&["k"]);
+        t.row(vec!["1".into()]);
+        t.write_csv(&dir, "unit").unwrap();
+        let content = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert_eq!(content, "k\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ci_formatting() {
+        assert_eq!(fmt_ci(409.25, 12.04), "409.2 ± 12.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(&["one"]);
+        t.row(vec!["a".into(), "b".into()]);
+    }
+}

@@ -1,0 +1,557 @@
+//! The event-driven simulation run.
+//!
+//! Two event kinds drive the run: periodic **probe ticks** (each live node
+//! probes its neighbors' liveness, maintaining its availability estimates
+//! `α_s(v)`) and **transmissions** (one connection of one (I, R) pair,
+//! formed hop by hop under the incentive mechanism). After the horizon the
+//! per-bundle accounting is settled into per-node payoffs
+//! (`m·P_f + P_r/‖π‖ − costs`).
+
+use std::collections::HashSet;
+
+use idpa_core::adversary::IntersectionAttack;
+use idpa_core::bundle::{BundleAccounting, BundleId};
+use idpa_core::contract::Contract;
+use idpa_core::history::HistoryProfile;
+use idpa_core::metrics::{self, ReformationTracker};
+use idpa_core::path::form_connection_with_adversary;
+use idpa_core::quality::{EdgeQuality, Weights};
+use idpa_core::routing::RoutingView;
+use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
+use idpa_desim::{Engine, Process, SimTime};
+use idpa_netmodel::{CostModel, NodeSchedule};
+use idpa_overlay::{NodeId, ProbeEstimator};
+
+use crate::scenario::ScenarioConfig;
+use crate::world::World;
+
+/// Events of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// Global probe tick: every live node runs one probing round.
+    Probe,
+    /// One transmission of one (I, R) pair.
+    Transmit {
+        /// Index of the pair in the workload.
+        pair: usize,
+        /// Connection index within the pair's bundle.
+        conn: u32,
+    },
+}
+
+/// The live snapshot the routing layer reads during one transmission.
+struct RunView<'a> {
+    schedules: &'a [NodeSchedule],
+    probes: &'a [ProbeEstimator],
+    costs: &'a CostModel,
+    now: SimTime,
+}
+
+impl RoutingView for RunView<'_> {
+    fn live_neighbors(&self, s: NodeId) -> Vec<NodeId> {
+        // D(s) is maintained by the node itself (its probe estimator), so
+        // neighbor replacement is visible to routing.
+        self.probes[s.index()]
+            .neighbors()
+            .iter()
+            .copied()
+            .filter(|v| self.schedules[v.index()].is_up(self.now))
+            .collect()
+    }
+
+    fn availability(&self, s: NodeId, v: NodeId) -> f64 {
+        self.probes[s.index()].availability(v)
+    }
+
+    fn transmission_cost(&self, s: NodeId, v: NodeId) -> f64 {
+        self.costs.transmission_cost(s.index(), v.index())
+    }
+
+    fn participation_cost(&self, _: NodeId) -> f64 {
+        self.costs.participation_cost()
+    }
+}
+
+/// Aggregated outcome of one simulation run.
+///
+/// Payoffs are aggregated **per (bundle, forwarder) participation** — the
+/// paper's unit: a forwarder on a bundle earns `m·P_f + P_r/‖π‖ − costs`
+/// for its `m` forwarding instances on that bundle. This is the unit in
+/// which Figs. 3–4's decline with `f` and Figs. 6–7's CDFs are expressed;
+/// a lifetime-total-per-node aggregation would be dominated by `P_f` and
+/// mask the routing-benefit dilution the paper studies.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-(bundle, good forwarder) payoffs (the Figs. 6–7 CDF samples).
+    pub good_payoffs: Vec<f64>,
+    /// Per-(bundle, malicious forwarder) payoffs.
+    pub malicious_payoffs: Vec<f64>,
+    /// Lifetime total payoff per node (indexed by `NodeId`).
+    pub node_totals: Vec<f64>,
+    /// Mean per-(bundle, good forwarder) payoff (the Figs. 3–4 metric).
+    pub avg_good_payoff: f64,
+    /// Mean forwarder-set size over pairs (the Fig. 5 metric).
+    pub avg_forwarder_set: f64,
+    /// Mean path length `L` over pairs.
+    pub avg_path_length: f64,
+    /// Mean `Q(π) = L/‖π‖` over pairs.
+    pub avg_path_quality: f64,
+    /// `avg payoff / avg #forwarders` (the Table 2 metric).
+    pub routing_efficiency: f64,
+    /// Mean fraction of new edges per connection (Prop. 1's `E[X]`).
+    pub new_edge_fraction: f64,
+    /// Mean fraction of post-first connections that changed an edge.
+    pub reformation_rate: f64,
+    /// Connections actually formed.
+    pub connections: u64,
+    /// Fraction of pairs whose initiator the intersection attack narrowed
+    /// to a single candidate.
+    pub attack_exposure_rate: f64,
+    /// Mean anonymity degree left by the intersection attack (1 = full
+    /// anonymity).
+    pub avg_anonymity_degree: f64,
+}
+
+/// The simulation process: owns all mutable run state.
+pub struct SimulationRun {
+    cfg: ScenarioConfig,
+    world: World,
+    probes: Vec<ProbeEstimator>,
+    histories: Vec<HistoryProfile>,
+    bundles: Vec<BundleAccounting>,
+    trackers: Vec<ReformationTracker>,
+    attacks: Vec<IntersectionAttack>,
+    initiator_costs: Vec<f64>,
+    quality: EdgeQuality,
+    routing_rng: Xoshiro256StarStar,
+    probe_rng: Xoshiro256StarStar,
+    connections: u64,
+}
+
+impl SimulationRun {
+    /// Builds the run state over a sampled world.
+    #[must_use]
+    pub fn new(cfg: ScenarioConfig, world: World) -> Self {
+        let streams = StreamFactory::new(cfg.seed);
+        let probes = (0..cfg.n_nodes)
+            .map(|i| {
+                ProbeEstimator::new(
+                    NodeId(i),
+                    cfg.probe_period,
+                    world.topology.neighbors(NodeId(i)).to_vec(),
+                )
+            })
+            .collect();
+        let histories = (0..cfg.n_nodes)
+            .map(|i| match cfg.history_capacity {
+                Some(cap) => HistoryProfile::with_capacity(NodeId(i), cap),
+                None => HistoryProfile::new(NodeId(i)),
+            })
+            .collect();
+        let n_pairs = world.pairs.len();
+        SimulationRun {
+            quality: EdgeQuality::new(Weights::new(cfg.weights.0, cfg.weights.1)),
+            probes,
+            histories,
+            bundles: vec![BundleAccounting::new(); n_pairs],
+            trackers: vec![ReformationTracker::new(); n_pairs],
+            attacks: vec![IntersectionAttack::new(); n_pairs],
+            initiator_costs: vec![0.0; n_pairs],
+            routing_rng: streams.stream("routing"),
+            probe_rng: streams.stream("probing"),
+            connections: 0,
+            cfg,
+            world,
+        }
+    }
+
+    /// Convenience: generate the world, run to the horizon, aggregate.
+    #[must_use]
+    pub fn execute(cfg: ScenarioConfig) -> RunResult {
+        let horizon = SimTime::new(cfg.churn.horizon);
+        let world = World::generate(&cfg);
+        let mut run = SimulationRun::new(cfg, world);
+        let mut engine = Engine::new();
+        run.schedule_all(&mut engine);
+        engine.run(&mut run, Some(horizon));
+        run.finish()
+    }
+
+    /// Schedules every probe tick and transmission.
+    pub fn schedule_all(&self, engine: &mut Engine<Ev>) {
+        let mut t = self.cfg.probe_period;
+        while t < self.cfg.churn.horizon {
+            engine.schedule_at(SimTime::new(t), Ev::Probe);
+            t += self.cfg.probe_period;
+        }
+        for (pair, wl) in self.world.pairs.iter().enumerate() {
+            for (conn, &time) in wl.times.iter().enumerate() {
+                engine.schedule_at(
+                    SimTime::new(time),
+                    Ev::Transmit {
+                        pair,
+                        conn: conn as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_probe(&mut self, now: SimTime) {
+        for i in 0..self.cfg.n_nodes {
+            // Only live nodes probe.
+            if !self.world.schedules[i].is_up(now) {
+                continue;
+            }
+            let schedules = &self.world.schedules;
+            self.probes[i].probe_round(
+                |v| schedules[v.index()].is_up(now),
+                &mut self.probe_rng,
+            );
+            if let Some(threshold) = self.cfg.neighbor_replacement_rounds {
+                self.maintain_neighbors(i, threshold);
+            }
+        }
+    }
+
+    /// Replaces neighbors silent for `threshold`+ probe rounds with fresh
+    /// random peers — the dynamic-neighbor-set reading of §2.3's "if a new
+    /// neighbor is found" rule.
+    fn maintain_neighbors(&mut self, i: usize, threshold: u64) {
+        use rand::RngExt;
+        let stale: Vec<NodeId> = self.probes[i]
+            .neighbors()
+            .iter()
+            .copied()
+            .filter(|&v| {
+                self.probes[i]
+                    .rounds_since_alive(v)
+                    .is_some_and(|r| r >= threshold)
+            })
+            .collect();
+        for old in stale {
+            // Draw a replacement: not self, not already a neighbor.
+            let candidate = (0..16).find_map(|_| {
+                let c = NodeId(self.probe_rng.random_range(0..self.cfg.n_nodes));
+                (c.index() != i && !self.probes[i].neighbors().contains(&c)).then_some(c)
+            });
+            if let Some(new) = candidate {
+                self.probes[i].replace_neighbor(old, new);
+            }
+        }
+    }
+
+    fn handle_transmit(&mut self, now: SimTime, pair: usize, conn: u32) {
+        let wl = &self.world.pairs[pair];
+        let contract = Contract::from_tau(
+            BundleId(pair as u64),
+            wl.responder,
+            wl.pf,
+            self.cfg.tau,
+        );
+        let priors = self.bundles[pair].connections();
+        let view = RunView {
+            schedules: &self.world.schedules,
+            probes: &self.probes,
+            costs: &self.world.costs,
+            now,
+        };
+        let outcome = form_connection_with_adversary(
+            wl.initiator,
+            conn,
+            &contract,
+            priors,
+            &view,
+            &mut self.histories,
+            &self.world.kinds,
+            &self.quality,
+            self.cfg.good_strategy,
+            self.cfg.adversary_strategy,
+            &self.cfg.policy,
+            &mut self.routing_rng,
+        );
+        self.connections += 1;
+        self.initiator_costs[pair] += outcome.initiator_cost;
+        self.trackers[pair].record(&outcome.edges(wl.initiator, wl.responder));
+
+        // Intersection attack: if any malicious node sat on the path, the
+        // adversary observes the set of currently-live nodes.
+        let observed = outcome
+            .forwarders
+            .iter()
+            .any(|f| !self.world.kinds[f.index()].is_good());
+        if observed {
+            // The attacker intersects the active sets it can see. Its own
+            // colluders are never initiator candidates (it knows them), so
+            // only good nodes enter the observation.
+            let active: HashSet<NodeId> = (0..self.cfg.n_nodes)
+                .map(NodeId)
+                .filter(|n| {
+                    self.world.kinds[n.index()].is_good()
+                        && self.world.schedules[n.index()].is_up(now)
+                })
+                .collect();
+            self.attacks[pair].observe(&active);
+        }
+
+        self.bundles[pair].record_connection(&outcome.forwarders, &outcome.hop_costs);
+    }
+
+    /// Settles all bundles into the aggregate result.
+    #[must_use]
+    pub fn finish(self) -> RunResult {
+        let n = self.cfg.n_nodes;
+        let cp = self.world.costs.participation_cost();
+        let mut payoff = vec![0.0f64; n];
+        let mut set_sizes = Vec::with_capacity(self.bundles.len());
+        let mut lengths = Vec::with_capacity(self.bundles.len());
+        let mut qualities = Vec::with_capacity(self.bundles.len());
+
+        let mut good_payoffs: Vec<f64> = Vec::new();
+        let mut malicious_payoffs: Vec<f64> = Vec::new();
+        for (pair, bundle) in self.bundles.iter().enumerate() {
+            if bundle.connections() == 0 {
+                continue;
+            }
+            let wl = &self.world.pairs[pair];
+            let pr = self.cfg.tau * wl.pf;
+            for (node, p) in bundle.payoffs(wl.pf, pr, cp) {
+                payoff[node.index()] += p;
+                if self.world.kinds[node.index()].is_good() {
+                    good_payoffs.push(p);
+                } else {
+                    malicious_payoffs.push(p);
+                }
+            }
+            set_sizes.push(bundle.forwarder_set_size() as f64);
+            lengths.push(bundle.average_path_length());
+            qualities.push(metrics::path_quality(
+                bundle.average_path_length(),
+                bundle.forwarder_set_size(),
+            ));
+        }
+
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        let avg_good_payoff = mean(&good_payoffs);
+        let avg_forwarder_set = mean(&set_sizes);
+
+        let exposure = self
+            .attacks
+            .iter()
+            .filter(|a| a.observations() > 0)
+            .filter(|a| a.exposed())
+            .count();
+        let observed_attacks = self
+            .attacks
+            .iter()
+            .filter(|a| a.observations() > 0)
+            .count();
+        // Anonymity is measured over the attacker's candidate pool: the
+        // good (non-colluding) nodes.
+        let n_good = self.world.kinds.iter().filter(|k| k.is_good()).count().max(1);
+        let degrees: Vec<f64> = self
+            .attacks
+            .iter()
+            .map(|a| {
+                let c = if a.observations() == 0 {
+                    n_good
+                } else {
+                    a.candidate_count()
+                };
+                metrics::candidate_set_degree(c.min(n_good), n_good)
+            })
+            .collect();
+
+        RunResult {
+            avg_good_payoff,
+            avg_forwarder_set,
+            avg_path_length: mean(&lengths),
+            avg_path_quality: mean(&qualities),
+            routing_efficiency: metrics::routing_efficiency(avg_good_payoff, avg_forwarder_set),
+            new_edge_fraction: mean(
+                &self
+                    .trackers
+                    .iter()
+                    .filter(|t| t.distinct_edges() > 0)
+                    .map(ReformationTracker::new_edge_fraction)
+                    .collect::<Vec<_>>(),
+            ),
+            reformation_rate: mean(
+                &self
+                    .trackers
+                    .iter()
+                    .filter(|t| t.distinct_edges() > 0)
+                    .map(ReformationTracker::reformation_rate)
+                    .collect::<Vec<_>>(),
+            ),
+            connections: self.connections,
+            attack_exposure_rate: if observed_attacks == 0 {
+                0.0
+            } else {
+                exposure as f64 / observed_attacks as f64
+            },
+            avg_anonymity_degree: mean(&degrees),
+            good_payoffs,
+            malicious_payoffs,
+            node_totals: payoff,
+        }
+    }
+}
+
+impl Process for SimulationRun {
+    type Event = Ev;
+
+    fn handle(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        event: Ev,
+    ) -> idpa_desim::engine::Control {
+        let now = engine.now();
+        match event {
+            Ev::Probe => self.handle_probe(now),
+            Ev::Transmit { pair, conn } => self.handle_transmit(now, pair, conn),
+        }
+        idpa_desim::engine::Control::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idpa_core::routing::RoutingStrategy;
+    use idpa_core::utility::UtilityModel;
+
+    fn run_with(f: f64, strategy: RoutingStrategy, seed: u64) -> RunResult {
+        let cfg = ScenarioConfig {
+            adversary_fraction: f,
+            good_strategy: strategy,
+            ..ScenarioConfig::quick_test(seed)
+        };
+        SimulationRun::execute(cfg)
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = run_with(0.1, RoutingStrategy::Utility(UtilityModel::ModelI), 1);
+        let b = run_with(0.1, RoutingStrategy::Utility(UtilityModel::ModelI), 1);
+        assert_eq!(a.avg_good_payoff, b.avg_good_payoff);
+        assert_eq!(a.good_payoffs, b.good_payoffs);
+        assert_eq!(a.connections, b.connections);
+    }
+
+    #[test]
+    fn all_transmissions_form_connections() {
+        let r = run_with(0.0, RoutingStrategy::Utility(UtilityModel::ModelI), 2);
+        assert_eq!(r.connections, 200);
+    }
+
+    #[test]
+    fn payoffs_are_mostly_positive_with_paper_benefits() {
+        // P_f in [50,100] dwarfs costs, so participating nodes profit.
+        let r = run_with(0.0, RoutingStrategy::Utility(UtilityModel::ModelI), 3);
+        assert!(r.avg_good_payoff > 0.0, "avg={}", r.avg_good_payoff);
+    }
+
+    #[test]
+    fn utility_routing_beats_random_on_forwarder_set() {
+        // The Fig. 5 headline, at test scale.
+        let seed = 4;
+        let util = run_with(0.1, RoutingStrategy::Utility(UtilityModel::ModelI), seed);
+        let rand = run_with(0.1, RoutingStrategy::Random, seed);
+        assert!(
+            util.avg_forwarder_set < rand.avg_forwarder_set,
+            "utility {} vs random {}",
+            util.avg_forwarder_set,
+            rand.avg_forwarder_set
+        );
+    }
+
+    #[test]
+    fn utility_routing_reduces_reformations() {
+        // Prop. 1, empirically.
+        let seed = 5;
+        let util = run_with(0.0, RoutingStrategy::Utility(UtilityModel::ModelI), seed);
+        let rand = run_with(0.0, RoutingStrategy::Random, seed);
+        assert!(
+            util.new_edge_fraction < rand.new_edge_fraction,
+            "utility {} vs random {}",
+            util.new_edge_fraction,
+            rand.new_edge_fraction
+        );
+    }
+
+    #[test]
+    fn more_adversaries_reduce_good_payoff() {
+        // Figs. 3–4: payoff decreases as f grows (compare extremes to
+        // tolerate noise at test scale).
+        let strategy = RoutingStrategy::Utility(UtilityModel::ModelI);
+        let low = run_with(0.0, strategy, 6);
+        let high = run_with(0.6, strategy, 6);
+        assert!(
+            high.avg_good_payoff < low.avg_good_payoff,
+            "f=0: {}, f=0.6: {}",
+            low.avg_good_payoff,
+            high.avg_good_payoff
+        );
+    }
+
+    #[test]
+    fn path_lengths_within_policy_bound() {
+        let r = run_with(0.2, RoutingStrategy::Random, 7);
+        assert!(r.avg_path_length <= 8.0);
+        assert!(r.avg_path_length > 0.0);
+    }
+
+    #[test]
+    fn attack_metrics_present_with_adversaries() {
+        let r = run_with(0.5, RoutingStrategy::Random, 8);
+        assert!(r.avg_anonymity_degree <= 1.0);
+        assert!((0.0..=1.0).contains(&r.attack_exposure_rate));
+    }
+
+    #[test]
+    fn no_adversaries_no_attack_observations() {
+        let r = run_with(0.0, RoutingStrategy::Utility(UtilityModel::ModelI), 9);
+        assert_eq!(r.attack_exposure_rate, 0.0);
+        assert_eq!(r.avg_anonymity_degree, 1.0);
+    }
+
+    #[test]
+    fn node_totals_cover_all_nodes() {
+        let r = run_with(0.3, RoutingStrategy::Utility(UtilityModel::ModelI), 10);
+        assert_eq!(r.node_totals.len(), 20);
+        // Per-participation samples exist for both populations at f=0.3.
+        assert!(!r.good_payoffs.is_empty());
+        assert!(!r.malicious_payoffs.is_empty());
+    }
+
+    #[test]
+    fn neighbor_replacement_changes_neighbor_sets() {
+        let base = ScenarioConfig::quick_test(13);
+        let static_run = SimulationRun::execute(base);
+        let dynamic = SimulationRun::execute(ScenarioConfig {
+            neighbor_replacement_rounds: Some(3),
+            ..base
+        });
+        // Both runs complete all transmissions; the replacement policy is
+        // behaviour-changing but must not break accounting invariants.
+        assert_eq!(static_run.connections, dynamic.connections);
+        assert!(dynamic.avg_forwarder_set > 0.0);
+        assert!((0.0..=1.0).contains(&dynamic.new_edge_fraction));
+    }
+
+    #[test]
+    fn participation_payoffs_sum_to_node_totals() {
+        let r = run_with(0.2, RoutingStrategy::Utility(UtilityModel::ModelI), 11);
+        let samples: f64 = r.good_payoffs.iter().sum::<f64>()
+            + r.malicious_payoffs.iter().sum::<f64>();
+        let totals: f64 = r.node_totals.iter().sum();
+        assert!((samples - totals).abs() < 1e-6);
+    }
+}

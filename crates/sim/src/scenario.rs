@@ -1,0 +1,218 @@
+//! Scenario configuration (§3 of the paper).
+//!
+//! Defaults reproduce the paper's stated setup: "a small network size of
+//! N = 40", "each node randomly selects d nodes as its neighbors (d = 5)",
+//! "100 (I, R) pairs and a total of 2000 message transmissions, for an
+//! average of 20 communication rounds for a single (I, R) pair", `P_f`
+//! uniform in `[50, 100]`, `τ ∈ {0.5, 1, 2, 4}`, `w_s = w_a = 0.5`,
+//! Pareto session times with a 60-minute median, Poisson joins, and a
+//! fraction `f` of adversaries that route randomly.
+
+use idpa_core::routing::{AdversaryStrategy, PathPolicy, RoutingStrategy};
+use idpa_core::utility::UtilityModel;
+use idpa_netmodel::{ChurnConfig, CostConfig};
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of peers `N`.
+    pub n_nodes: usize,
+    /// Neighbor-set size `d`.
+    pub degree: usize,
+    /// Number of (I, R) pairs.
+    pub n_pairs: usize,
+    /// Total message transmissions across all pairs.
+    pub total_transmissions: usize,
+    /// Cap on connections per pair (`max-connections` in §3).
+    pub max_connections: u32,
+    /// `P_f` is drawn uniformly from this range per pair.
+    pub pf_range: (f64, f64),
+    /// `τ = P_r / P_f`.
+    pub tau: f64,
+    /// `(w_s, w_a)` edge-quality weights.
+    pub weights: (f64, f64),
+    /// Fraction `f` of malicious nodes.
+    pub adversary_fraction: f64,
+    /// Routing strategy of good nodes (the Figs. 5–7 axis).
+    pub good_strategy: RoutingStrategy,
+    /// Routing strategy of malicious nodes (§2.4 base model: random).
+    pub adversary_strategy: AdversaryStrategy,
+    /// Path termination policy.
+    pub policy: PathPolicy,
+    /// Churn model parameters.
+    pub churn: ChurnConfig,
+    /// Cost model parameters.
+    pub cost: CostConfig,
+    /// Active-probing period `T` (minutes).
+    pub probe_period: f64,
+    /// Transmissions are scheduled uniformly in `[warmup, horizon]`.
+    pub warmup: f64,
+    /// Master seed; every stochastic component derives its stream from it.
+    pub seed: u64,
+    /// §5 availability attack: adversaries force permanent uptime.
+    pub availability_attack: bool,
+    /// Retention bound for history profiles (`None` = unbounded).
+    pub history_capacity: Option<usize>,
+    /// Neighbor maintenance: replace a neighbor after this many probe
+    /// rounds of observed silence (`None` = static neighbor sets). The
+    /// probing rule's "if a new neighbor is found" clause (§2.3) is what
+    /// re-initialises the replacement's session time.
+    pub neighbor_replacement_rounds: Option<u64>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        let churn = ChurnConfig {
+            n_nodes: 40,
+            join_rate: 2.0,
+            session_median: 60.0,
+            session_shape: 1.5,
+            downtime_mean: 30.0,
+            horizon: 24.0 * 60.0,
+        };
+        let cost = CostConfig {
+            n_nodes: 40,
+            participation_cost: 5.0,
+            payload_size: 1.0,
+            bandwidth_lo: 1.0,
+            bandwidth_hi: 10.0,
+            cost_scale: 10.0,
+        };
+        ScenarioConfig {
+            n_nodes: 40,
+            degree: 5,
+            n_pairs: 100,
+            total_transmissions: 2000,
+            max_connections: 40,
+            pf_range: (50.0, 100.0),
+            tau: 1.0,
+            weights: (0.5, 0.5),
+            adversary_fraction: 0.0,
+            good_strategy: RoutingStrategy::Utility(UtilityModel::ModelI),
+            adversary_strategy: AdversaryStrategy::Random,
+            policy: PathPolicy::new(0.75, 8),
+            churn,
+            cost,
+            probe_period: 5.0,
+            warmup: 60.0,
+            seed: 1,
+            availability_attack: false,
+            history_capacity: None,
+            neighbor_replacement_rounds: None,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Validates cross-field consistency (panics with a message otherwise).
+    pub fn validate(&self) {
+        assert!(self.n_nodes >= 4, "need at least 4 nodes");
+        assert_eq!(self.churn.n_nodes, self.n_nodes, "churn size mismatch");
+        assert_eq!(self.cost.n_nodes, self.n_nodes, "cost size mismatch");
+        assert!(self.degree < self.n_nodes, "degree must be < N");
+        assert!(self.n_pairs > 0 && self.total_transmissions > 0);
+        assert!(self.max_connections > 0);
+        assert!(
+            self.n_pairs * self.max_connections as usize >= self.total_transmissions,
+            "max_connections x n_pairs cannot absorb total_transmissions"
+        );
+        assert!(
+            self.pf_range.0 > 0.0 && self.pf_range.1 >= self.pf_range.0,
+            "invalid P_f range"
+        );
+        assert!(self.tau >= 0.0);
+        assert!(
+            (0.0..=1.0).contains(&self.adversary_fraction),
+            "f out of range"
+        );
+        assert!(self.probe_period > 0.0);
+        assert!(
+            self.warmup < self.churn.horizon,
+            "warmup must precede the horizon"
+        );
+        self.churn.validate();
+        self.cost.validate();
+        // Weights validated by construction in EdgeQuality.
+        let _ = idpa_core::quality::Weights::new(self.weights.0, self.weights.1);
+    }
+
+    /// A scaled-down scenario for fast tests: 20 nodes, 20 pairs,
+    /// 200 transmissions.
+    #[must_use]
+    pub fn quick_test(seed: u64) -> Self {
+        let mut cfg = ScenarioConfig {
+            n_nodes: 20,
+            n_pairs: 20,
+            total_transmissions: 200,
+            seed,
+            ..ScenarioConfig::default()
+        };
+        cfg.churn.n_nodes = 20;
+        cfg.cost.n_nodes = 20;
+        cfg
+    }
+
+    /// Applies a new node count consistently across sub-configs.
+    #[must_use]
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        self.n_nodes = n;
+        self.churn.n_nodes = n;
+        self.cost.n_nodes = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.n_nodes, 40);
+        assert_eq!(cfg.degree, 5);
+        assert_eq!(cfg.n_pairs, 100);
+        assert_eq!(cfg.total_transmissions, 2000);
+        assert_eq!(cfg.pf_range, (50.0, 100.0));
+        assert_eq!(cfg.weights, (0.5, 0.5));
+        assert_eq!(cfg.churn.session_median, 60.0);
+        cfg.validate();
+    }
+
+    #[test]
+    fn average_rounds_per_pair_is_twenty() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.total_transmissions / cfg.n_pairs, 20);
+    }
+
+    #[test]
+    fn quick_test_is_consistent() {
+        ScenarioConfig::quick_test(7).validate();
+    }
+
+    #[test]
+    fn with_nodes_updates_subconfigs() {
+        let cfg = ScenarioConfig::default().with_nodes(10);
+        cfg.validate();
+        assert_eq!(cfg.churn.n_nodes, 10);
+        assert_eq!(cfg.cost.n_nodes, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn size mismatch")]
+    fn inconsistent_sizes_rejected() {
+        let mut cfg = ScenarioConfig::default();
+        cfg.n_nodes = 30; // without updating churn/cost
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "f out of range")]
+    fn bad_fraction_rejected() {
+        let cfg = ScenarioConfig {
+            adversary_fraction: 1.5,
+            ..ScenarioConfig::default()
+        };
+        cfg.validate();
+    }
+}

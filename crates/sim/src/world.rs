@@ -1,0 +1,277 @@
+//! The sampled static world of one run.
+//!
+//! Everything stochastic that is *not* a routing decision is sampled up
+//! front from named substreams of the master seed: the topology, the churn
+//! trace, the bandwidth matrix, the role assignment and the (I, R)
+//! workload. Pre-sampling gives common random numbers across the routing
+//! strategies being compared — the comparisons in Figs. 5–7 are
+//! within-world.
+
+use idpa_core::adversary::apply_availability_attack;
+use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
+use idpa_netmodel::{ChurnModel, CostModel, NodeSchedule};
+use idpa_overlay::{node::assign_roles, NodeId, NodeKind, Topology};
+use rand::RngExt;
+
+use crate::scenario::ScenarioConfig;
+
+/// One (I, R) pair's workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairWorkload {
+    /// The initiator.
+    pub initiator: NodeId,
+    /// The responder.
+    pub responder: NodeId,
+    /// This pair's forwarding benefit `P_f` (uniform in the configured
+    /// range) — `P_r = τ·P_f`.
+    pub pf: f64,
+    /// Transmission times (minutes), sorted ascending.
+    pub times: Vec<f64>,
+}
+
+/// The static world: everything sampled before the event loop starts.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Node roles (good / malicious).
+    pub kinds: Vec<NodeKind>,
+    /// The neighbor relation.
+    pub topology: Topology,
+    /// Per-node churn schedules.
+    pub schedules: Vec<NodeSchedule>,
+    /// The bandwidth/cost matrix.
+    pub costs: CostModel,
+    /// The (I, R) workload.
+    pub pairs: Vec<PairWorkload>,
+}
+
+impl World {
+    /// Samples a world from the scenario's master seed.
+    #[must_use]
+    pub fn generate(cfg: &ScenarioConfig) -> Self {
+        cfg.validate();
+        let streams = StreamFactory::new(cfg.seed);
+
+        let topology = Topology::random(cfg.n_nodes, cfg.degree, &mut streams.stream("topology"));
+
+        let mut schedules = ChurnModel::new(cfg.churn).generate(&mut streams.stream("churn"));
+
+        let costs = CostModel::generate(cfg.cost, &mut streams.stream("bandwidth"));
+
+        // Roles: shuffle ids once, take the tail as malicious. Using a
+        // dedicated stream keeps the workload identical across f values.
+        let mut role_rng = streams.stream("roles");
+        let mut perm: Vec<usize> = (0..cfg.n_nodes).collect();
+        for i in (1..perm.len()).rev() {
+            let j = role_rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        let kinds = assign_roles(&perm, cfg.adversary_fraction);
+
+        if cfg.availability_attack {
+            let attackers: Vec<NodeId> = kinds
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| !k.is_good())
+                .map(|(i, _)| NodeId(i))
+                .collect();
+            schedules = apply_availability_attack(schedules, &attackers, cfg.churn.horizon);
+        }
+
+        let pairs = Self::generate_workload(cfg, &mut streams.stream("workload"));
+
+        World {
+            kinds,
+            topology,
+            schedules,
+            costs,
+            pairs,
+        }
+    }
+
+    /// Samples the (I, R) pairs and assigns each of the
+    /// `total_transmissions` messages to a random pair (subject to
+    /// `max_connections`), at a uniform time in `[warmup, horizon]`.
+    fn generate_workload(cfg: &ScenarioConfig, rng: &mut Xoshiro256StarStar) -> Vec<PairWorkload> {
+        let mut pairs: Vec<PairWorkload> = (0..cfg.n_pairs)
+            .map(|_| {
+                let initiator = NodeId(rng.random_range(0..cfg.n_nodes));
+                let responder = loop {
+                    let r = NodeId(rng.random_range(0..cfg.n_nodes));
+                    if r != initiator {
+                        break r;
+                    }
+                };
+                let pf = rng.random_range(cfg.pf_range.0..=cfg.pf_range.1);
+                PairWorkload {
+                    initiator,
+                    responder,
+                    pf,
+                    times: Vec::new(),
+                }
+            })
+            .collect();
+
+        let mut assigned = 0usize;
+        let mut attempts = 0usize;
+        while assigned < cfg.total_transmissions {
+            attempts += 1;
+            assert!(
+                attempts < cfg.total_transmissions * 100,
+                "workload assignment cannot satisfy max_connections"
+            );
+            let p = rng.random_range(0..pairs.len());
+            if pairs[p].times.len() >= cfg.max_connections as usize {
+                continue;
+            }
+            let t = rng.random_range(cfg.warmup..cfg.churn.horizon);
+            pairs[p].times.push(t);
+            assigned += 1;
+        }
+        for p in &mut pairs {
+            p.times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        }
+        pairs
+    }
+
+    /// Number of good nodes.
+    #[must_use]
+    pub fn good_count(&self) -> usize {
+        self.kinds.iter().filter(|k| k.is_good()).count()
+    }
+
+    /// Ids of good nodes.
+    #[must_use]
+    pub fn good_nodes(&self) -> Vec<NodeId> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.is_good())
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    fn world(seed: u64) -> World {
+        World::generate(&ScenarioConfig::quick_test(seed))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = world(3);
+        let b = world(3);
+        assert_eq!(a.kinds, b.kinds);
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.schedules, b.schedules);
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn workload_totals_match_config() {
+        let cfg = ScenarioConfig::quick_test(1);
+        let w = World::generate(&cfg);
+        let total: usize = w.pairs.iter().map(|p| p.times.len()).sum();
+        assert_eq!(total, cfg.total_transmissions);
+        assert_eq!(w.pairs.len(), cfg.n_pairs);
+    }
+
+    #[test]
+    fn max_connections_respected() {
+        let cfg = ScenarioConfig {
+            max_connections: 12,
+            ..ScenarioConfig::quick_test(2)
+        };
+        let w = World::generate(&cfg);
+        assert!(w.pairs.iter().all(|p| p.times.len() <= 12));
+        // The cap binds: with 200 transmissions over 20 pairs (mean 10),
+        // some pair would exceed 12 without the cap.
+        assert!(w.pairs.iter().any(|p| p.times.len() == 12));
+    }
+
+    #[test]
+    fn initiators_differ_from_responders() {
+        let w = world(4);
+        assert!(w.pairs.iter().all(|p| p.initiator != p.responder));
+    }
+
+    #[test]
+    fn pf_in_configured_range() {
+        let w = world(5);
+        assert!(w.pairs.iter().all(|p| (50.0..=100.0).contains(&p.pf)));
+    }
+
+    #[test]
+    fn transmission_times_sorted_within_window() {
+        let cfg = ScenarioConfig::quick_test(6);
+        let w = World::generate(&cfg);
+        for p in &w.pairs {
+            assert!(p.times.windows(2).all(|t| t[0] <= t[1]));
+            assert!(p
+                .times
+                .iter()
+                .all(|&t| t >= cfg.warmup && t < cfg.churn.horizon));
+        }
+    }
+
+    #[test]
+    fn adversary_fraction_respected() {
+        let cfg = ScenarioConfig {
+            adversary_fraction: 0.5,
+            ..ScenarioConfig::quick_test(7)
+        };
+        let w = World::generate(&cfg);
+        assert_eq!(w.good_count(), 10);
+    }
+
+    #[test]
+    fn workload_invariant_under_adversary_fraction() {
+        // Common random numbers: changing f must not change the workload,
+        // topology or churn trace.
+        let base = ScenarioConfig::quick_test(8);
+        let w0 = World::generate(&base);
+        let w5 = World::generate(&ScenarioConfig {
+            adversary_fraction: 0.5,
+            ..base
+        });
+        assert_eq!(w0.pairs, w5.pairs);
+        assert_eq!(w0.topology, w5.topology);
+        assert_eq!(w0.schedules, w5.schedules);
+    }
+
+    #[test]
+    fn growing_f_preserves_existing_adversaries() {
+        let base = ScenarioConfig::quick_test(9);
+        let w2 = World::generate(&ScenarioConfig {
+            adversary_fraction: 0.2,
+            ..base
+        });
+        let w6 = World::generate(&ScenarioConfig {
+            adversary_fraction: 0.6,
+            ..base
+        });
+        for i in 0..base.n_nodes {
+            if !w2.kinds[i].is_good() {
+                assert!(!w6.kinds[i].is_good(), "node {i} flipped back to good");
+            }
+        }
+    }
+
+    #[test]
+    fn availability_attack_pins_adversaries() {
+        let cfg = ScenarioConfig {
+            adversary_fraction: 0.3,
+            availability_attack: true,
+            ..ScenarioConfig::quick_test(10)
+        };
+        let w = World::generate(&cfg);
+        for (i, k) in w.kinds.iter().enumerate() {
+            if !k.is_good() {
+                assert_eq!(w.schedules[i].availability(), 1.0);
+            }
+        }
+    }
+}

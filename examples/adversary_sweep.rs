@@ -1,0 +1,39 @@
+//! Sweep the malicious-node fraction `f` and watch the incentive
+//! mechanism degrade gracefully — a command-line miniature of the paper's
+//! Figures 3 and 5.
+//!
+//! ```text
+//! cargo run --release --example adversary_sweep
+//! ```
+
+use idpa::prelude::*;
+
+fn main() {
+    println!("f     | payoff (model I) | ‖π‖ model I | ‖π‖ random | anonymity");
+    println!("------+------------------+-------------+------------+----------");
+    for step in 0..=9 {
+        let f = f64::from(step) / 10.0;
+        let utility = SimulationRun::execute(ScenarioConfig {
+            adversary_fraction: f,
+            good_strategy: RoutingStrategy::Utility(UtilityModel::ModelI),
+            seed: 11,
+            ..ScenarioConfig::default()
+        });
+        let random = SimulationRun::execute(ScenarioConfig {
+            adversary_fraction: f,
+            good_strategy: RoutingStrategy::Random,
+            seed: 11,
+            ..ScenarioConfig::default()
+        });
+        println!(
+            "{f:.1}   | {:>16.1} | {:>11.1} | {:>10.1} | {:>8.3}",
+            utility.avg_good_payoff,
+            utility.avg_forwarder_set,
+            random.avg_forwarder_set,
+            utility.avg_anonymity_degree,
+        );
+    }
+    println!();
+    println!("expected shape (paper Figs. 3 & 5): payoff decreases with f; the");
+    println!("utility-routing forwarder set stays well below random routing's.");
+}

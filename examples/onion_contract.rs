@@ -1,0 +1,78 @@
+//! Contract propagation and path validation, cryptographically (§2.2, §5).
+//!
+//! The initiator seals the `(P_f, P_r)` contract in onion layers so each
+//! forwarder learns the terms without learning who initiated; on the
+//! reverse path every forwarder appends a MAC'd path record, and the
+//! initiator validates the chain before authorising payment.
+//!
+//! ```text
+//! cargo run --release --example onion_contract
+//! ```
+
+use idpa::core::envelope::{
+    decode_contract, encode_contract, peel_layer, seal_layers, validate_path, HopKey,
+    PathRecord, PathValidationError,
+};
+use idpa::prelude::*;
+
+fn main() {
+    // The contract for a bundle toward responder n9.
+    let contract = Contract::new(BundleId(17), NodeId(9), 75.0, 150.0);
+    println!("[1] contract: P_f={} P_r={} responder={}", contract.pf, contract.pr, contract.responder);
+
+    // The initiator expects up to 3 hops; one key per hop position,
+    // derived from the bundle secret.
+    let bundle_secret = b"bundle-17-secret";
+    let hop_keys: Vec<HopKey> = (0..3).map(|h| HopKey::derive(bundle_secret, h)).collect();
+
+    // Seal: layered ChaCha20, outermost layer for the first hop.
+    let sealed = seal_layers(&encode_contract(&contract), &hop_keys);
+    println!("[2] contract sealed in {} onion layers ({} bytes)", hop_keys.len(), sealed.len());
+    assert!(decode_contract(&sealed).is_none(), "sealed blob must be opaque");
+
+    // Each hop peels its own layer; only the last sees the plaintext.
+    let after0 = peel_layer(&sealed, &hop_keys[0], 0);
+    println!("[3] hop 0 peeled its layer: readable = {}", decode_contract(&after0).is_some());
+    let after1 = peel_layer(&after0, &hop_keys[1], 1);
+    println!("    hop 1 peeled its layer: readable = {}", decode_contract(&after1).is_some());
+    let after2 = peel_layer(&after1, &hop_keys[2], 2);
+    let recovered = decode_contract(&after2).expect("innermost layer is the contract");
+    println!("    hop 2 peeled its layer: readable = true -> P_f={} P_r={}", recovered.pf, recovered.pr);
+    assert_eq!(recovered, contract);
+
+    // Reverse path: the forwarders f=n3, n5, n7 each append a MAC'd record.
+    let bundle_key = b"bundle-17-mac-key";
+    let records: Vec<PathRecord> = [3usize, 5, 7]
+        .iter()
+        .enumerate()
+        .map(|(hop, &node)| PathRecord::issue(bundle_key, 0, hop as u32, NodeId(node)))
+        .collect();
+
+    // The initiator recreates and validates the path before paying.
+    let path = validate_path(&records, bundle_key).expect("honest chain validates");
+    println!("[4] initiator validated the path: I -> {} -> R",
+        path.iter().map(ToString::to_string).collect::<Vec<_>>().join(" -> "));
+
+    // A malicious forwarder tries to splice itself out / divert credit.
+    let mut tampered = records.clone();
+    tampered[1].node = NodeId(4);
+    match validate_path(&tampered, bundle_key) {
+        Err(PathValidationError::BadMac { index }) => {
+            println!("[5] tampered record detected at index {index}: payment withheld");
+        }
+        other => panic!("tampering must be detected, got {other:?}"),
+    }
+
+    // Dropping a hop breaks the chain.
+    let dropped = vec![records[0].clone(), records[2].clone()];
+    match validate_path(&dropped, bundle_key) {
+        Err(PathValidationError::BrokenChain { expected_hop }) => {
+            println!("[6] dropped hop detected (expected hop {expected_hop}): payment withheld");
+        }
+        other => panic!("drop must be detected, got {other:?}"),
+    }
+
+    println!("\nThe contract propagated without naming the initiator, and the");
+    println!("initiator could still verify exactly who forwarded — the two");
+    println!("properties §2.2 requires of route formation.");
+}

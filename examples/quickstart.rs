@@ -1,0 +1,54 @@
+//! Quickstart: simulate the paper's default scenario and print the headline
+//! metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use idpa::prelude::*;
+
+fn main() {
+    // The paper's §3 setup: N = 40 peers, d = 5 neighbors, 100 (I, R)
+    // pairs, 2000 transmissions, P_f ∈ [50, 100], τ = 1, w_s = w_a = 0.5,
+    // Pareto sessions with a 60-minute median, 10% malicious nodes.
+    let cfg = ScenarioConfig {
+        adversary_fraction: 0.1,
+        good_strategy: RoutingStrategy::Utility(UtilityModel::ModelI),
+        seed: 2007,
+        ..ScenarioConfig::default()
+    };
+
+    println!("simulating: N={} d={} pairs={} transmissions={} f={}",
+        cfg.n_nodes, cfg.degree, cfg.n_pairs, cfg.total_transmissions,
+        cfg.adversary_fraction);
+
+    let result = SimulationRun::execute(cfg);
+
+    println!();
+    println!("connections formed ........ {}", result.connections);
+    println!("avg path length L ......... {:.2} hops", result.avg_path_length);
+    println!("avg forwarder set ‖π‖ ..... {:.2} nodes", result.avg_forwarder_set);
+    println!("path quality Q(π)=L/‖π‖ ... {:.3}", result.avg_path_quality);
+    println!("avg good-node payoff ...... {:.1}", result.avg_good_payoff);
+    println!("routing efficiency ........ {:.1}", result.routing_efficiency);
+    println!("new-edge fraction E[X] .... {:.3}", result.new_edge_fraction);
+    println!("anonymity degree .......... {:.3}", result.avg_anonymity_degree);
+
+    // Compare against the adversary baseline: random routing.
+    let random = SimulationRun::execute(ScenarioConfig {
+        good_strategy: RoutingStrategy::Random,
+        adversary_fraction: 0.1,
+        seed: 2007,
+        ..ScenarioConfig::default()
+    });
+    println!();
+    println!(
+        "vs random routing: ‖π‖ {:.2} -> {:.2}, E[X] {:.3} -> {:.3}",
+        random.avg_forwarder_set,
+        result.avg_forwarder_set,
+        random.new_edge_fraction,
+        result.new_edge_fraction,
+    );
+    println!("(utility-driven routing keeps the forwarder set small and stable,");
+    println!(" which is exactly what resists intersection attacks)");
+}

@@ -1,0 +1,151 @@
+//! Failure injection and boundary scenarios: the simulator must produce
+//! sane (not merely non-crashing) results when the world degenerates.
+
+use idpa::core::routing::AdversaryStrategy;
+use idpa::netmodel::ChurnConfig;
+use idpa::prelude::*;
+
+fn base(seed: u64) -> ScenarioConfig {
+    ScenarioConfig::quick_test(seed)
+}
+
+#[test]
+fn all_nodes_malicious_still_completes() {
+    let r = SimulationRun::execute(ScenarioConfig {
+        adversary_fraction: 1.0,
+        ..base(1)
+    });
+    assert_eq!(r.connections, 200);
+    assert!(r.good_payoffs.is_empty(), "no good nodes to pay");
+    assert_eq!(r.avg_good_payoff, 0.0);
+    assert!(!r.malicious_payoffs.is_empty());
+}
+
+#[test]
+fn minimal_network_of_four_nodes() {
+    let cfg = ScenarioConfig {
+        degree: 2,
+        n_pairs: 2,
+        total_transmissions: 20,
+        max_connections: 20,
+        ..base(2).with_nodes(4)
+    };
+    let r = SimulationRun::execute(cfg);
+    assert_eq!(r.connections, 20);
+    assert!(r.avg_forwarder_set <= 4.0);
+}
+
+#[test]
+fn extreme_churn_forces_direct_delivery_sometimes() {
+    // Sessions of ~1 minute median with hour-long downtimes: neighbors are
+    // almost never up, so most connections degrade toward direct I -> R.
+    let mut cfg = base(3);
+    cfg.churn = ChurnConfig {
+        n_nodes: cfg.n_nodes,
+        join_rate: 2.0,
+        session_median: 1.0,
+        session_shape: 1.5,
+        downtime_mean: 60.0,
+        horizon: cfg.churn.horizon,
+    };
+    let r = SimulationRun::execute(cfg);
+    assert_eq!(r.connections, 200, "every transmission still completes");
+    assert!(
+        r.avg_path_length < 1.5,
+        "paths collapse under extreme churn: L={}",
+        r.avg_path_length
+    );
+}
+
+#[test]
+fn zero_routing_benefit_still_runs() {
+    let r = SimulationRun::execute(ScenarioConfig {
+        tau: 0.0,
+        ..base(4)
+    });
+    assert_eq!(r.connections, 200);
+    // With tau = 0 payoffs are pure forwarding benefit minus costs.
+    assert!(r.avg_good_payoff > 0.0);
+}
+
+#[test]
+fn costs_exceeding_benefits_suppress_forwarding() {
+    // P_f below every node's participation + transmission cost: rational
+    // nodes decline, so utility-routed paths are all direct.
+    let mut cfg = base(5);
+    cfg.pf_range = (0.1, 0.2);
+    cfg.cost.participation_cost = 50.0;
+    let r = SimulationRun::execute(cfg);
+    assert_eq!(r.connections, 200);
+    assert_eq!(
+        r.avg_path_length, 0.0,
+        "no rational node forwards at a loss"
+    );
+    assert_eq!(r.avg_forwarder_set, 0.0);
+}
+
+#[test]
+fn single_connection_per_pair_has_no_history_effects() {
+    let cfg = ScenarioConfig {
+        n_pairs: 200,
+        total_transmissions: 200,
+        max_connections: 1,
+        ..base(6)
+    };
+    let r = SimulationRun::execute(cfg);
+    assert_eq!(r.connections, 200);
+    // One connection per bundle: no reformations are even possible.
+    assert_eq!(r.reformation_rate, 0.0);
+}
+
+#[test]
+fn colluding_adversaries_with_no_colluder_neighbors_fall_back() {
+    // f small enough that most malicious nodes have no malicious neighbor:
+    // collusion must degrade gracefully to random (and complete the run).
+    let r = SimulationRun::execute(ScenarioConfig {
+        adversary_fraction: 0.05,
+        adversary_strategy: AdversaryStrategy::Colluding,
+        ..base(7)
+    });
+    assert_eq!(r.connections, 200);
+}
+
+#[test]
+fn horizon_before_any_transmission_yields_empty_run() {
+    let cfg = ScenarioConfig {
+        ..base(8)
+    };
+    let world = World::generate(&cfg);
+    let mut run = SimulationRun::new(cfg, world);
+    let mut engine = Engine::new();
+    run.schedule_all(&mut engine);
+    // Stop before the warmup ends: no transmissions fire.
+    engine.run(&mut run, Some(SimTime::new(cfg.warmup * 0.5)));
+    let r = run.finish();
+    assert_eq!(r.connections, 0);
+    assert_eq!(r.avg_forwarder_set, 0.0);
+    assert_eq!(r.avg_good_payoff, 0.0);
+    assert_eq!(r.attack_exposure_rate, 0.0);
+}
+
+#[test]
+fn degenerate_weights_still_work() {
+    for weights in [(0.0, 1.0), (1.0, 0.0)] {
+        let r = SimulationRun::execute(ScenarioConfig {
+            weights,
+            ..base(9)
+        });
+        assert_eq!(r.connections, 200, "weights {weights:?}");
+    }
+}
+
+#[test]
+fn probing_disabled_by_huge_period_degrades_not_crashes() {
+    // Probe period beyond the horizon: availability estimates stay zero,
+    // quality reduces to selectivity only.
+    let mut cfg = base(10);
+    cfg.probe_period = cfg.churn.horizon * 2.0;
+    let r = SimulationRun::execute(cfg);
+    assert_eq!(r.connections, 200);
+    assert!(r.avg_forwarder_set > 0.0);
+}

@@ -1,0 +1,190 @@
+//! Shape tests: the qualitative claims of the paper's evaluation (§3),
+//! asserted at test scale with common random numbers.
+//!
+//! These are the guardrails for the reproduction: if a refactor flips who
+//! wins in Fig. 5 or the direction of Fig. 3, these tests fail.
+
+use idpa::prelude::*;
+
+fn run(f: f64, strategy: RoutingStrategy, seed: u64) -> RunResult {
+    SimulationRun::execute(ScenarioConfig {
+        adversary_fraction: f,
+        good_strategy: strategy,
+        ..ScenarioConfig::quick_test(seed)
+    })
+}
+
+fn mean_over_seeds(f: f64, strategy: RoutingStrategy, metric: impl Fn(&RunResult) -> f64) -> f64 {
+    let seeds = [1u64, 2, 3];
+    seeds
+        .iter()
+        .map(|&s| metric(&run(f, strategy, s)))
+        .sum::<f64>()
+        / seeds.len() as f64
+}
+
+const MODEL1: RoutingStrategy = RoutingStrategy::Utility(UtilityModel::ModelI);
+const MODEL2: RoutingStrategy = RoutingStrategy::Utility(UtilityModel::ModelII { lookahead: 2 });
+
+/// Fig. 3/4 shape: good-node payoff decreases as the malicious fraction
+/// grows, for both utility models.
+#[test]
+fn payoff_declines_with_adversary_fraction() {
+    for strategy in [MODEL1, MODEL2] {
+        let low = mean_over_seeds(0.1, strategy, |r| r.avg_good_payoff);
+        let high = mean_over_seeds(0.7, strategy, |r| r.avg_good_payoff);
+        assert!(
+            high < low,
+            "{strategy:?}: payoff must decline, got {low} -> {high}"
+        );
+    }
+}
+
+/// Fig. 3 shape: "at low values of f, the average payoff is appreciably
+/// high" — concretely, well above zero despite costs.
+#[test]
+fn payoff_appreciably_high_at_low_f() {
+    let payoff = mean_over_seeds(0.1, MODEL1, |r| r.avg_good_payoff);
+    assert!(payoff > 100.0, "payoff {payoff}");
+}
+
+/// Fig. 5 shape: both utility models beat random routing on forwarder-set
+/// size at every adversary level tested.
+#[test]
+fn utility_models_beat_random_on_forwarder_set() {
+    for f in [0.1, 0.5] {
+        let random = mean_over_seeds(f, RoutingStrategy::Random, |r| r.avg_forwarder_set);
+        for strategy in [MODEL1, MODEL2] {
+            let set = mean_over_seeds(f, strategy, |r| r.avg_forwarder_set);
+            assert!(
+                set < random * 0.9,
+                "f={f} {strategy:?}: {set} !< {random}"
+            );
+        }
+    }
+}
+
+/// Fig. 5 shape: the forwarder set grows with f under utility routing
+/// (malicious random routers scatter paths).
+#[test]
+fn forwarder_set_grows_with_adversaries() {
+    let low = mean_over_seeds(0.1, MODEL1, |r| r.avg_forwarder_set);
+    let high = mean_over_seeds(0.7, MODEL1, |r| r.avg_forwarder_set);
+    assert!(high > low, "{low} -> {high}");
+}
+
+/// Figs. 6–7 shape: utility model I produces a higher maximum payoff and a
+/// larger payoff variance than random routing; random routing has the
+/// smallest variance.
+#[test]
+fn model_one_concentrates_payoffs() {
+    let seed = 2;
+    let m1 = run(0.1, MODEL1, seed);
+    let rnd = run(0.1, RoutingStrategy::Random, seed);
+
+    let stats = |v: &[f64]| {
+        let mut s = OnlineStats::new();
+        for &x in v {
+            s.push(x);
+        }
+        s
+    };
+    let s1 = stats(&m1.good_payoffs);
+    let sr = stats(&rnd.good_payoffs);
+    assert!(s1.max() > sr.max(), "max: {} !> {}", s1.max(), sr.max());
+    assert!(
+        s1.std_dev() > sr.std_dev(),
+        "std: {} !> {}",
+        s1.std_dev(),
+        sr.std_dev()
+    );
+}
+
+/// Table 2 shape: routing efficiency decreases as f grows.
+#[test]
+fn routing_efficiency_decreases_with_f() {
+    let low = mean_over_seeds(0.1, MODEL1, |r| r.routing_efficiency);
+    let high = mean_over_seeds(0.9, MODEL1, |r| r.routing_efficiency);
+    assert!(high < low, "{low} -> {high}");
+}
+
+/// Table 2 shape: higher τ tends to increase routing efficiency (compare
+/// the extremes of the paper's τ set, averaged over seeds).
+#[test]
+fn higher_tau_raises_routing_efficiency() {
+    let eff = |tau: f64| {
+        let seeds = [1u64, 2, 3, 4];
+        seeds
+            .iter()
+            .map(|&s| {
+                SimulationRun::execute(ScenarioConfig {
+                    adversary_fraction: 0.1,
+                    tau,
+                    good_strategy: MODEL1,
+                    ..ScenarioConfig::quick_test(s)
+                })
+                .routing_efficiency
+            })
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let low_tau = eff(0.5);
+    let high_tau = eff(4.0);
+    assert!(
+        high_tau > low_tau,
+        "tau=0.5: {low_tau}, tau=4: {high_tau}"
+    );
+}
+
+/// Prop. 1 shape: utility routing has a lower new-edge fraction (fewer
+/// path reformations) than random routing.
+#[test]
+fn utility_routing_reduces_path_reformations() {
+    let random = mean_over_seeds(0.0, RoutingStrategy::Random, |r| r.new_edge_fraction);
+    for strategy in [MODEL1, MODEL2] {
+        let frac = mean_over_seeds(0.0, strategy, |r| r.new_edge_fraction);
+        assert!(frac < random, "{strategy:?}: {frac} !< {random}");
+    }
+}
+
+/// §5 availability attack shape: pinning adversaries always-on increases
+/// their payoff share (they capture more forwarding).
+#[test]
+fn availability_attack_pays_the_attacker() {
+    let avg = |attack: bool| {
+        let seeds = [1u64, 2, 3];
+        seeds
+            .iter()
+            .map(|&s| {
+                let r = SimulationRun::execute(ScenarioConfig {
+                    adversary_fraction: 0.3,
+                    availability_attack: attack,
+                    good_strategy: MODEL1,
+                    ..ScenarioConfig::quick_test(s)
+                });
+                if r.malicious_payoffs.is_empty() {
+                    0.0
+                } else {
+                    r.malicious_payoffs.iter().sum::<f64>() / r.malicious_payoffs.len() as f64
+                }
+            })
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let off = avg(false);
+    let on = avg(true);
+    assert!(on > off, "attack must pay: off={off}, on={on}");
+}
+
+/// Intersection attack: utility routing leaves at least as much anonymity
+/// as random routing (fewer observations through malicious nodes at equal
+/// f because paths are stable and short-setted).
+#[test]
+fn utility_routing_preserves_anonymity_against_intersection() {
+    let rnd = mean_over_seeds(0.3, RoutingStrategy::Random, |r| r.avg_anonymity_degree);
+    let m1 = mean_over_seeds(0.3, MODEL1, |r| r.avg_anonymity_degree);
+    assert!(
+        m1 >= rnd - 0.05,
+        "model I anonymity {m1} vs random {rnd}"
+    );
+}

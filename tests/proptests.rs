@@ -1,0 +1,284 @@
+//! Property-based tests over the core data structures and invariants.
+
+use idpa::core::bundle::BundleAccounting;
+use idpa::core::history::HistoryProfile;
+use idpa::core::metrics::{anonymity_degree, entropy_bits, ReformationTracker};
+use idpa::crypto::bigint::BigUint;
+use idpa::desim::calendar::Calendar;
+use idpa::desim::stats::{Ecdf, OnlineStats};
+use idpa::netmodel::{ChurnConfig, ChurnModel, Pareto};
+use idpa::prelude::*;
+use proptest::prelude::*;
+
+fn biguint_from(parts: &[u64]) -> BigUint {
+    // Build from big-endian bytes of the parts.
+    let bytes: Vec<u8> = parts.iter().flat_map(|p| p.to_be_bytes()).collect();
+    BigUint::from_bytes_be(&bytes)
+}
+
+proptest! {
+    // ---------------- bigint ------------------------------------------
+
+    /// Division reconstruction: a = q*b + r with r < b, for arbitrary
+    /// widths (covers the Knuth Algorithm D path).
+    #[test]
+    fn bigint_divrem_reconstructs(a in prop::collection::vec(any::<u64>(), 1..6),
+                                  b in prop::collection::vec(any::<u64>(), 1..4)) {
+        let a = biguint_from(&a);
+        let b = biguint_from(&b);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    /// Add/sub round trip.
+    #[test]
+    fn bigint_add_sub_round_trip(a in prop::collection::vec(any::<u64>(), 1..5),
+                                 b in prop::collection::vec(any::<u64>(), 1..5)) {
+        let a = biguint_from(&a);
+        let b = biguint_from(&b);
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    /// Multiplication is commutative and distributes over addition.
+    #[test]
+    fn bigint_mul_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (BigUint::from_u64(a), BigUint::from_u64(b), BigUint::from_u64(c));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    /// Byte serialisation round-trips.
+    #[test]
+    fn bigint_bytes_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let n = BigUint::from_bytes_be(&bytes);
+        let back = BigUint::from_bytes_be(&n.to_bytes_be());
+        prop_assert_eq!(n, back);
+    }
+
+    /// Modular inverse, when it exists, actually inverts.
+    #[test]
+    fn bigint_mod_inverse_inverts(a in 1u64.., m in 3u64..) {
+        let a = BigUint::from_u64(a);
+        let m = BigUint::from_u64(m);
+        if let Some(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!(a.mulmod(&inv, &m), BigUint::one());
+        }
+    }
+
+    // ---------------- stats -------------------------------------------
+
+    /// OnlineStats::merge equals pushing everything into one collector.
+    #[test]
+    fn stats_merge_is_concatenation(xs in prop::collection::vec(-1e6f64..1e6, 0..50),
+                                    ys in prop::collection::vec(-1e6f64..1e6, 0..50)) {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        let mut whole = OnlineStats::new();
+        for &x in &xs { a.push(x); whole.push(x); }
+        for &y in &ys { b.push(y); whole.push(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
+        }
+    }
+
+    /// ECDF is monotone non-decreasing and bounded by [0, 1].
+    #[test]
+    fn ecdf_is_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+                        probes in prop::collection::vec(-2e3f64..2e3, 2..20)) {
+        let mut e = Ecdf::from_samples(xs);
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for p in sorted {
+            let v = e.eval(p);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Every quantile is an element of the sample.
+    #[test]
+    fn ecdf_quantile_is_a_sample(xs in prop::collection::vec(-1e3f64..1e3, 1..50),
+                                 q in 0.0f64..=1.0) {
+        let mut e = Ecdf::from_samples(xs.clone());
+        let v = e.quantile(q);
+        prop_assert!(xs.contains(&v));
+    }
+
+    // ---------------- desim calendar ------------------------------------
+
+    /// The calendar pops every scheduled event exactly once, in
+    /// non-decreasing time order.
+    #[test]
+    fn calendar_pops_sorted_and_complete(times in prop::collection::vec(0.0f64..1e4, 0..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::new(t), i);
+        }
+        let mut popped = Vec::new();
+        let mut prev = SimTime::ZERO;
+        while let Some(entry) = cal.pop() {
+            prop_assert!(entry.time >= prev);
+            prev = entry.time;
+            popped.push(entry.event);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    // ---------------- netmodel ------------------------------------------
+
+    /// Pareto samples never fall below the scale parameter and the CDF at
+    /// the empirical median is near 1/2.
+    #[test]
+    fn pareto_respects_support(median in 1.0f64..1e3, shape in 0.5f64..5.0, seed in any::<u64>()) {
+        let d = Pareto::from_median(median, shape);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= d.scale());
+            prop_assert!((0.0..=1.0).contains(&d.cdf(x)));
+        }
+        prop_assert!((d.cdf(median) - 0.5).abs() < 1e-9);
+    }
+
+    /// Churn schedules are sorted, disjoint, within the horizon, and
+    /// availability lies in [0, 1].
+    #[test]
+    fn churn_schedules_are_wellformed(seed in any::<u64>(), n in 1usize..30) {
+        let cfg = ChurnConfig { n_nodes: n, ..ChurnConfig::default() };
+        let scheds = ChurnModel::new(cfg).generate(
+            &mut Xoshiro256StarStar::seed_from_u64(seed));
+        for s in &scheds {
+            let mut prev_end = 0.0;
+            for &(a, b) in s.sessions() {
+                prop_assert!(a < b);
+                prop_assert!(a >= prev_end);
+                prop_assert!(b <= cfg.horizon + 1e-9);
+                prev_end = b;
+            }
+            let avail = s.availability();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&avail));
+        }
+    }
+
+    // ---------------- overlay -------------------------------------------
+
+    /// Random topologies always have exact degree, no self-loops, no
+    /// duplicates.
+    #[test]
+    fn topology_invariants(seed in any::<u64>(), n in 2usize..40) {
+        let d = (n - 1).min(5);
+        let t = Topology::random(n, d, &mut Xoshiro256StarStar::seed_from_u64(seed));
+        for i in 0..n {
+            let nbrs = t.neighbors(NodeId(i));
+            prop_assert_eq!(nbrs.len(), d);
+            prop_assert!(nbrs.iter().all(|v| v.index() != i));
+            let mut uniq = nbrs.to_vec();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), d);
+        }
+    }
+
+    /// Probe availability estimates sum to 1 over the neighbor set once
+    /// anything was observed, and each lies in [0, 1].
+    #[test]
+    fn probe_availability_is_a_distribution(
+        seed in any::<u64>(),
+        liveness in prop::collection::vec(prop::collection::vec(any::<bool>(), 4), 1..30),
+    ) {
+        let mut est = ProbeEstimator::new(
+            NodeId(0), 1.0, (1..=4).map(NodeId).collect());
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut anything = false;
+        for round in &liveness {
+            anything |= round.iter().any(|&b| b);
+            est.probe_round(|v| round[v.index() - 1], &mut rng);
+        }
+        let total: f64 = (1..=4).map(|i| est.availability(NodeId(i))).sum();
+        if anything {
+            prop_assert!((total - 1.0).abs() < 1e-9, "total {}", total);
+        } else {
+            prop_assert_eq!(total, 0.0);
+        }
+    }
+
+    // ---------------- core ----------------------------------------------
+
+    /// Selectivity is a probability and the per-target selectivities over
+    /// one predecessor sum to at most 1.
+    #[test]
+    fn selectivity_is_bounded(succs in prop::collection::vec(0usize..5, 0..30)) {
+        let mut h = HistoryProfile::new(NodeId(9));
+        for (conn, &s) in succs.iter().enumerate() {
+            h.record(BundleId(0), conn as u32, NodeId(8), NodeId(s));
+        }
+        let priors = succs.len() as u32;
+        let mut total = 0.0;
+        for v in 0..5 {
+            let sigma = h.selectivity(BundleId(0), priors, NodeId(v));
+            prop_assert!((0.0..=1.0).contains(&sigma));
+            total += sigma;
+        }
+        prop_assert!(total <= 1.0 + 1e-9);
+    }
+
+    /// Bundle payoffs: gross benefits over a bundle sum to
+    /// `instances*P_f + P_r` (the routing pool is fully distributed).
+    #[test]
+    fn bundle_benefit_conservation(
+        paths in prop::collection::vec(prop::collection::vec(0usize..8, 1..5), 1..10),
+        pf in 1.0f64..100.0,
+        pr in 0.0f64..400.0,
+    ) {
+        let mut b = BundleAccounting::new();
+        let mut total_instances = 0usize;
+        for p in &paths {
+            let nodes: Vec<NodeId> = p.iter().map(|&i| NodeId(i)).collect();
+            let costs = vec![0.0; nodes.len()];
+            total_instances += nodes.len();
+            b.record_connection(&nodes, &costs);
+        }
+        let gross: f64 = b.forwarder_set().iter()
+            .map(|&f| b.gross_benefit(f, pf, pr))
+            .sum();
+        let expect = total_instances as f64 * pf + pr;
+        prop_assert!((gross - expect).abs() < 1e-6, "gross {} expect {}", gross, expect);
+    }
+
+    /// The reformation tracker's new-edge fraction is a probability, and
+    /// replaying identical paths drives it down monotonically.
+    #[test]
+    fn reformation_fraction_bounded(edges in prop::collection::vec((0usize..10, 0usize..10), 1..10),
+                                    reps in 1usize..10) {
+        let mut t = ReformationTracker::new();
+        let path: Vec<(NodeId, NodeId)> =
+            edges.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
+        let mut prev = 1.0;
+        for _ in 0..reps {
+            t.record(&path);
+            let frac = t.new_edge_fraction();
+            prop_assert!((0.0..=1.0).contains(&frac));
+            prop_assert!(frac <= prev + 1e-12);
+            prev = frac;
+        }
+    }
+
+    /// Entropy-based degree of anonymity stays in [0, 1] for arbitrary
+    /// normalised distributions.
+    #[test]
+    fn anonymity_degree_bounded(weights in prop::collection::vec(0.01f64..10.0, 2..20)) {
+        let total: f64 = weights.iter().sum();
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let h = entropy_bits(&probs);
+        prop_assert!(h >= 0.0);
+        let d = anonymity_degree(&probs);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+    }
+}
