@@ -2,26 +2,19 @@
 //! utility model I. Prints the bench-scale series once, then benchmarks
 //! the per-point regeneration cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use idpa_bench::harness::Harness;
 use idpa_bench::{model_one, run_point};
-use std::hint::black_box;
 
-fn fig3(c: &mut Criterion) {
+fn main() {
     println!("fig3 (bench scale): f -> avg good payoff");
     for step in 0..5 {
         let f = f64::from(step) * 0.2;
         let r = run_point(f, model_one(), 1.0, 42);
         println!("  f={f:.1}: {:.1}", r.avg_good_payoff);
     }
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(10);
+    let mut h = Harness::new();
     for f in [0.1, 0.5, 0.9] {
-        g.bench_function(format!("point_f{f}"), |b| {
-            b.iter(|| black_box(run_point(black_box(f), model_one(), 1.0, 42)))
-        });
+        h.bench(&format!("fig3/point_f{f}"), || run_point(f, model_one(), 1.0, 42));
     }
-    g.finish();
+    h.write_json_default().expect("write bench report");
 }
-
-criterion_group!(benches, fig3);
-criterion_main!(benches);

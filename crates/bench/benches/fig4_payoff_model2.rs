@@ -1,26 +1,19 @@
 //! Fig. 4 regeneration: average good-node payoff vs adversary fraction,
 //! utility model II (lookahead path-quality routing).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use idpa_bench::harness::Harness;
 use idpa_bench::{model_two, run_point};
-use std::hint::black_box;
 
-fn fig4(c: &mut Criterion) {
+fn main() {
     println!("fig4 (bench scale): f -> avg good payoff (model II)");
     for step in 0..5 {
         let f = f64::from(step) * 0.2;
         let r = run_point(f, model_two(), 1.0, 42);
         println!("  f={f:.1}: {:.1}", r.avg_good_payoff);
     }
-    let mut g = c.benchmark_group("fig4");
-    g.sample_size(10);
+    let mut h = Harness::new();
     for f in [0.1, 0.5] {
-        g.bench_function(format!("point_f{f}"), |b| {
-            b.iter(|| black_box(run_point(black_box(f), model_two(), 1.0, 42)))
-        });
+        h.bench(&format!("fig4/point_f{f}"), || run_point(f, model_two(), 1.0, 42));
     }
-    g.finish();
+    h.write_json_default().expect("write bench report");
 }
-
-criterion_group!(benches, fig4);
-criterion_main!(benches);

@@ -1,12 +1,11 @@
 //! Fig. 5 regeneration: forwarder-set size under random / model I /
 //! model II routing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use idpa_bench::harness::Harness;
 use idpa_bench::{model_one, model_two, run_point};
 use idpa_core::routing::RoutingStrategy;
-use std::hint::black_box;
 
-fn fig5(c: &mut Criterion) {
+fn main() {
     println!("fig5 (bench scale): f -> ||pi|| per strategy");
     for f in [0.1, 0.5] {
         let rnd = run_point(f, RoutingStrategy::Random, 1.0, 42);
@@ -17,19 +16,9 @@ fn fig5(c: &mut Criterion) {
             rnd.avg_forwarder_set, m1.avg_forwarder_set, m2.avg_forwarder_set
         );
     }
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
-    g.bench_function("random", |b| {
-        b.iter(|| black_box(run_point(0.1, RoutingStrategy::Random, 1.0, 42)))
-    });
-    g.bench_function("model1", |b| {
-        b.iter(|| black_box(run_point(0.1, model_one(), 1.0, 42)))
-    });
-    g.bench_function("model2", |b| {
-        b.iter(|| black_box(run_point(0.1, model_two(), 1.0, 42)))
-    });
-    g.finish();
+    let mut h = Harness::new();
+    h.bench("fig5/random", || run_point(0.1, RoutingStrategy::Random, 1.0, 42));
+    h.bench("fig5/model1", || run_point(0.1, model_one(), 1.0, 42));
+    h.bench("fig5/model2", || run_point(0.1, model_two(), 1.0, 42));
+    h.write_json_default().expect("write bench report");
 }
-
-criterion_group!(benches, fig5);
-criterion_main!(benches);

@@ -1,29 +1,22 @@
 //! Fig. 6 regeneration: CDF of good-node payoffs at f = 0.1 (deciles
 //! printed), plus the cost of building the ECDF from run samples.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use idpa_bench::harness::Harness;
 use idpa_bench::{model_one, run_point};
 use idpa_desim::stats::Ecdf;
-use std::hint::black_box;
 
-fn fig6(c: &mut Criterion) {
+fn main() {
     let r = run_point(0.1, model_one(), 1.0, 42);
     let mut ecdf = Ecdf::from_samples(r.good_payoffs.iter().copied());
     println!("fig6 (bench scale): payoff deciles at f=0.1 (model I)");
     for q in [0.25, 0.5, 0.75, 1.0] {
         println!("  q{q:.2}: {:.0}", ecdf.quantile(q));
     }
-    let mut g = c.benchmark_group("fig6");
-    g.sample_size(10);
-    g.bench_function("run_and_cdf", |b| {
-        b.iter(|| {
-            let r = run_point(0.1, model_one(), 1.0, 42);
-            let mut e = Ecdf::from_samples(r.good_payoffs.iter().copied());
-            black_box(e.quantile(0.5))
-        })
+    let mut h = Harness::new();
+    h.bench("fig6/run_and_cdf", || {
+        let r = run_point(0.1, model_one(), 1.0, 42);
+        let mut e = Ecdf::from_samples(r.good_payoffs.iter().copied());
+        e.quantile(0.5)
     });
-    g.finish();
+    h.write_json_default().expect("write bench report");
 }
-
-criterion_group!(benches, fig6);
-criterion_main!(benches);

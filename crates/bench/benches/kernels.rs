@@ -1,13 +1,18 @@
 //! Micro-benchmarks of the substrate kernels: event calendar throughput,
-//! RNG, path formation, probing, the crypto primitives and game solving.
+//! RNG, selectivity lookups (indexed vs rescan), path formation, model II
+//! lookahead (memoised vs naive recursion), probing, the crypto
+//! primitives and game solving.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use idpa_bench::harness::Harness;
 use idpa_core::bundle::BundleId;
 use idpa_core::contract::Contract;
 use idpa_core::history::HistoryProfile;
 use idpa_core::path::form_connection;
 use idpa_core::quality::{EdgeQuality, Weights};
-use idpa_core::routing::{PathPolicy, RoutingStrategy, RoutingView};
+use idpa_core::routing::{
+    continuation_quality_with, edge_quality_of, PathPolicy, RouteScratch, RoutingStrategy,
+    RoutingView,
+};
 use idpa_core::utility::UtilityModel;
 use idpa_crypto::bigint::BigUint;
 use idpa_crypto::blind::BlindingFactor;
@@ -19,36 +24,28 @@ use idpa_desim::{Calendar, SimTime};
 use idpa_overlay::{NodeId, NodeKind, ProbeEstimator, Topology};
 use std::hint::black_box;
 
-fn bench_calendar(c: &mut Criterion) {
-    let mut g = c.benchmark_group("desim");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("calendar_schedule_pop_10k", |b| {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
-        b.iter(|| {
-            let mut cal = Calendar::new();
-            for i in 0..10_000u32 {
-                let t = (rng.next() % 1_000_000) as f64 / 1000.0;
-                cal.schedule(SimTime::new(t), i);
-            }
-            let mut count = 0;
-            while let Some(e) = cal.pop() {
-                count += black_box(e.event) as u64;
-            }
-            black_box(count)
-        })
+fn bench_calendar(h: &mut Harness) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    h.bench("desim/calendar_schedule_pop_10k", || {
+        let mut cal = Calendar::new();
+        for i in 0..10_000u32 {
+            let t = (rng.next() % 1_000_000) as f64 / 1000.0;
+            cal.schedule(SimTime::new(t), i);
+        }
+        let mut count = 0;
+        while let Some(e) = cal.pop() {
+            count += black_box(e.event) as u64;
+        }
+        count
     });
-    g.throughput(Throughput::Elements(1_000_000));
-    g.bench_function("xoshiro_1m_draws", |b| {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1_000_000 {
-                acc = acc.wrapping_add(rng.next());
-            }
-            black_box(acc)
-        })
+    let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+    h.bench("desim/xoshiro_1m_draws", || {
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc = acc.wrapping_add(rng.next());
+        }
+        acc
     });
-    g.finish();
 }
 
 struct BenchView {
@@ -58,6 +55,10 @@ struct BenchView {
 impl RoutingView for BenchView {
     fn live_neighbors(&self, s: NodeId) -> Vec<NodeId> {
         self.topology.neighbors(s).to_vec()
+    }
+    fn live_neighbors_into(&self, s: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(self.topology.neighbors(s));
     }
     fn availability(&self, s: NodeId, v: NodeId) -> f64 {
         ((s.index() * 13 + v.index() * 7) % 100) as f64 / 100.0
@@ -70,7 +71,177 @@ impl RoutingView for BenchView {
     }
 }
 
-fn bench_path_formation(c: &mut Criterion) {
+/// A history profile loaded with `records` hops on one bundle: the
+/// selectivity-lookup workload.
+fn loaded_history(records: u32) -> HistoryProfile {
+    let mut hist = HistoryProfile::new(NodeId(0));
+    let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+    use rand::RngExt;
+    for conn in 0..records {
+        let pred = NodeId(rng.random_range(1..8usize));
+        let succ = NodeId(rng.random_range(8..16usize));
+        hist.record(BundleId(0), conn, pred, succ);
+    }
+    hist
+}
+
+fn bench_selectivity(h: &mut Harness) {
+    let hist = loaded_history(512);
+    let priors = 512;
+    h.bench("history/selectivity_indexed_512", || {
+        let mut acc = 0.0;
+        for v in 8..16 {
+            acc += hist.selectivity(BundleId(0), priors, NodeId(v));
+        }
+        acc
+    });
+    h.bench("history/selectivity_rescan_512", || {
+        let mut acc = 0.0;
+        for v in 8..16 {
+            acc += hist.selectivity_rescan(BundleId(0), priors, NodeId(v));
+        }
+        acc
+    });
+    h.bench("history/selectivity_from_indexed_512", || {
+        let mut acc = 0.0;
+        for v in 8..16 {
+            acc += hist.selectivity_from(BundleId(0), priors, NodeId(1), NodeId(v));
+        }
+        acc
+    });
+    h.bench("history/selectivity_from_rescan_512", || {
+        let mut acc = 0.0;
+        for v in 8..16 {
+            acc += hist.selectivity_from_rescan(BundleId(0), priors, NodeId(1), NodeId(v));
+        }
+        acc
+    });
+}
+
+/// The pre-memoisation model II recursion (the seed's algorithm), kept
+/// here as the before-side of the lookahead speedup measurement.
+#[allow(clippy::too_many_arguments)]
+fn continuation_rec_nomemo(
+    from: NodeId,
+    depth: u8,
+    contract: &Contract,
+    priors: u32,
+    histories: &[HistoryProfile],
+    view: &impl RoutingView,
+    quality: &EdgeQuality,
+    visited: &mut Vec<NodeId>,
+) -> (f64, usize) {
+    let deliver = (quality.responder_edge(), 1usize);
+    if depth == 0 {
+        return deliver;
+    }
+    let mut best: Option<(f64, usize)> = None;
+    let mut best_avg = f64::NEG_INFINITY;
+    for v in view.live_neighbors(from) {
+        if v == contract.responder || visited.contains(&v) {
+            continue;
+        }
+        let q_edge = edge_quality_of(
+            from,
+            v,
+            contract,
+            priors,
+            &histories[from.index()],
+            view,
+            quality,
+        );
+        visited.push(v);
+        let (tail_sum, tail_edges) = continuation_rec_nomemo(
+            v,
+            depth - 1,
+            contract,
+            priors,
+            histories,
+            view,
+            quality,
+            visited,
+        );
+        visited.pop();
+        let cand = (q_edge + tail_sum, 1 + tail_edges);
+        let cand_avg = cand.0 / cand.1 as f64;
+        if cand_avg > best_avg + 1e-12 {
+            best = Some(cand);
+            best_avg = cand_avg;
+        }
+    }
+    best.unwrap_or(deliver)
+}
+
+fn bench_model2_lookahead(h: &mut Harness) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+    let view = BenchView {
+        topology: Topology::random(40, 5, &mut rng),
+    };
+    let contract = Contract::new(BundleId(0), NodeId(39), 50.0, 100.0);
+    let quality = EdgeQuality::new(Weights::balanced());
+    // Warmed-up histories, as mid-run routing sees them: every node has
+    // prior records over its real neighbor edges.
+    use rand::RngExt;
+    let mut histories: Vec<HistoryProfile> =
+        (0..40).map(|i| HistoryProfile::new(NodeId(i))).collect();
+    for i in 0..40usize {
+        let nbrs = view.topology.neighbors(NodeId(i)).to_vec();
+        for conn in 0..64u32 {
+            let pred = nbrs[rng.random_range(0..nbrs.len())];
+            let succ = nbrs[rng.random_range(0..nbrs.len())];
+            histories[i].record(BundleId(0), conn, pred, succ);
+        }
+    }
+    // One transmission evaluates the continuation for every candidate of
+    // every hop: approximate with all 5 neighbors of node 0.
+    let candidates: Vec<NodeId> = view.live_neighbors(NodeId(0));
+    for la in [3u8, 4u8, 5u8] {
+        let mut scratch = RouteScratch::new();
+        h.bench(&format!("core/model2_cont_memo_la{la}"), || {
+            scratch.begin_transmission();
+            let mut acc = 0.0;
+            for &j in &candidates {
+                let q_edge =
+                    edge_quality_of(NodeId(0), j, &contract, 20, &histories[0], &view, &quality);
+                acc += continuation_quality_with(
+                    &mut scratch,
+                    NodeId(0),
+                    j,
+                    q_edge,
+                    la,
+                    &contract,
+                    20,
+                    &histories,
+                    &view,
+                    &quality,
+                );
+            }
+            acc
+        });
+        h.bench(&format!("core/model2_cont_nomemo_la{la}"), || {
+            let mut acc = 0.0;
+            for &j in &candidates {
+                let q_edge =
+                    edge_quality_of(NodeId(0), j, &contract, 20, &histories[0], &view, &quality);
+                let mut visited = vec![NodeId(0), j];
+                let (total, edges) = continuation_rec_nomemo(
+                    j,
+                    la.saturating_sub(1),
+                    &contract,
+                    20,
+                    &histories,
+                    &view,
+                    &quality,
+                    &mut visited,
+                );
+                acc += (q_edge + total) / (1.0 + edges as f64);
+            }
+            acc
+        });
+    }
+}
+
+fn bench_path_formation(h: &mut Harness) {
     let mut rng = Xoshiro256StarStar::seed_from_u64(3);
     let view = BenchView {
         topology: Topology::random(40, 5, &mut rng),
@@ -80,73 +251,61 @@ fn bench_path_formation(c: &mut Criterion) {
     let quality = EdgeQuality::new(Weights::balanced());
     let policy = PathPolicy::new(0.75, 8);
 
-    let mut g = c.benchmark_group("core");
     for (label, strategy) in [
-        ("path_random", RoutingStrategy::Random),
-        ("path_model1", RoutingStrategy::Utility(UtilityModel::ModelI)),
+        ("core/path_random", RoutingStrategy::Random),
+        ("core/path_model1", RoutingStrategy::Utility(UtilityModel::ModelI)),
         (
-            "path_model2_la2",
+            "core/path_model2_la2",
             RoutingStrategy::Utility(UtilityModel::ModelII { lookahead: 2 }),
         ),
         (
-            "path_model2_la3",
+            "core/path_model2_la3",
             RoutingStrategy::Utility(UtilityModel::ModelII { lookahead: 3 }),
         ),
     ] {
-        g.bench_function(label, |b| {
-            let mut histories: Vec<HistoryProfile> =
-                (0..40).map(|i| HistoryProfile::new(NodeId(i))).collect();
-            let mut conn = 0u32;
-            b.iter(|| {
-                let out = form_connection(
-                    NodeId(0),
-                    conn,
-                    &contract,
-                    conn.min(20),
-                    &view,
-                    &mut histories,
-                    &kinds,
-                    &quality,
-                    strategy,
-                    &policy,
-                    &mut rng,
-                );
-                conn += 1;
-                black_box(out.forwarders.len())
-            })
+        let mut histories: Vec<HistoryProfile> =
+            (0..40).map(|i| HistoryProfile::new(NodeId(i))).collect();
+        let mut conn = 0u32;
+        h.bench(label, || {
+            let out = form_connection(
+                NodeId(0),
+                conn,
+                &contract,
+                conn.min(20),
+                &view,
+                &mut histories,
+                &kinds,
+                &quality,
+                strategy,
+                &policy,
+                &mut rng,
+            );
+            conn += 1;
+            out.forwarders.len()
         });
     }
-    g.finish();
 }
 
-fn bench_probing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("overlay");
-    g.bench_function("probe_round_d5", |b| {
-        let mut est = ProbeEstimator::new(NodeId(0), 5.0, (1..=5).map(NodeId).collect());
-        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
-        let mut round = 0u64;
-        b.iter(|| {
-            round += 1;
-            est.probe_round(|v| (v.index() as u64 + round) % 3 != 0, &mut rng);
-            black_box(est.availability(NodeId(1)))
-        })
+fn bench_probing(h: &mut Harness) {
+    let mut est = ProbeEstimator::new(NodeId(0), 5.0, (1..=5).map(NodeId).collect());
+    let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+    let mut round = 0u64;
+    h.bench("overlay/probe_round_d5", || {
+        round += 1;
+        est.probe_round(|v| (v.index() as u64 + round) % 3 != 0, &mut rng);
+        est.availability(NodeId(1))
     });
-    g.finish();
 }
 
-fn bench_crypto(c: &mut Criterion) {
+fn bench_crypto(h: &mut Harness) {
     let mut rng = Xoshiro256StarStar::seed_from_u64(5);
     let keys = RsaKeyPair::generate(512, &mut rng);
 
-    let mut g = c.benchmark_group("crypto");
-    g.bench_function("rsa512_sign_montgomery", |b| {
-        let m = BigUint::from_u64(0xdead_beef);
-        b.iter(|| black_box(keys.raw_sign(&m)))
-    });
-    g.bench_function("rsa512_sign_plain_modpow", |b| {
+    let m = BigUint::from_u64(0xdead_beef);
+    h.bench("crypto/rsa512_sign_montgomery", || keys.raw_sign(&m));
+    {
         // The same-width exponentiation without the Montgomery fast path:
         // a dense 511-bit exponent driven through division-based modpow.
-        let m = BigUint::from_u64(0xdead_beef);
         let n = keys.public().modulus().clone();
         let mut fake_d = BigUint::zero();
         for i in 0..n.bits() - 1 {
@@ -154,53 +313,42 @@ fn bench_crypto(c: &mut Criterion) {
                 fake_d.set_bit(i);
             }
         }
-        b.iter(|| black_box(m.modpow(&fake_d, &n)))
+        h.bench("crypto/rsa512_sign_plain_modpow", || m.modpow(&fake_d, &n));
+    }
+    let sig = keys.raw_sign(&m);
+    h.bench("crypto/rsa512_verify", || keys.public().raw_verify(&sig));
+    h.bench("crypto/blind_unblind", || {
+        let bf = BlindingFactor::random(keys.public(), &mut rng);
+        let blinded = bf.blind(keys.public(), &m);
+        let sig = keys.raw_sign(&blinded);
+        bf.unblind(keys.public(), &sig)
     });
-    g.bench_function("rsa512_verify", |b| {
-        let sig = keys.raw_sign(&BigUint::from_u64(0xdead_beef));
-        b.iter(|| black_box(keys.public().raw_verify(&sig)))
-    });
-    g.bench_function("blind_unblind", |b| {
-        let m = BigUint::from_u64(42);
-        b.iter(|| {
-            let bf = BlindingFactor::random(keys.public(), &mut rng);
-            let blinded = bf.blind(keys.public(), &m);
-            let sig = keys.raw_sign(&blinded);
-            black_box(bf.unblind(keys.public(), &sig))
-        })
-    });
-    g.throughput(Throughput::Bytes(4096));
-    g.bench_function("sha256_4k", |b| {
-        let data = vec![0xabu8; 4096];
-        b.iter(|| black_box(Sha256::digest(&data)))
-    });
-    g.bench_function("chacha20_4k", |b| {
-        let key = [7u8; 32];
-        let nonce = [1u8; 12];
-        let data = vec![0u8; 4096];
-        b.iter(|| black_box(ChaCha20::encrypt(&key, &nonce, &data)))
-    });
-    g.finish();
+    let data = vec![0xabu8; 4096];
+    h.bench("crypto/sha256_4k", || Sha256::digest(&data));
+    let key = [7u8; 32];
+    let nonce = [1u8; 12];
+    let zeros = vec![0u8; 4096];
+    h.bench("crypto/chacha20_4k", || ChaCha20::encrypt(&key, &nonce, &zeros));
 }
 
-fn bench_games(c: &mut Criterion) {
+fn bench_games(h: &mut Harness) {
     use idpa_game::NormalFormGame;
-    let mut g = c.benchmark_group("game");
-    g.bench_function("iterated_elimination_3x3x3", |b| {
-        let game = NormalFormGame::from_fn(vec![3, 3, 3], |p| {
-            p.iter().map(|&s| s as f64).collect()
-        });
-        b.iter(|| black_box(game.iterated_elimination()))
+    let game = NormalFormGame::from_fn(vec![3, 3, 3], |p| {
+        p.iter().map(|&s| s as f64).collect()
     });
-    g.finish();
+    h.bench("game/iterated_elimination_3x3x3", || {
+        game.iterated_elimination()
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_calendar,
-    bench_path_formation,
-    bench_probing,
-    bench_crypto,
-    bench_games
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_calendar(&mut h);
+    bench_selectivity(&mut h);
+    bench_model2_lookahead(&mut h);
+    bench_path_formation(&mut h);
+    bench_probing(&mut h);
+    bench_crypto(&mut h);
+    bench_games(&mut h);
+    h.write_json_default().expect("write bench report");
+}

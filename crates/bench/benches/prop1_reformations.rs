@@ -1,28 +1,23 @@
 //! Prop. 1 regeneration: new-edge fraction E[X] under utility vs random
 //! routing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use idpa_bench::harness::Harness;
 use idpa_bench::{model_one, run_point};
 use idpa_core::routing::RoutingStrategy;
-use std::hint::black_box;
 
-fn prop1(c: &mut Criterion) {
+fn main() {
     let rnd = run_point(0.0, RoutingStrategy::Random, 1.0, 42);
     let m1 = run_point(0.0, model_one(), 1.0, 42);
     println!(
         "prop1 (bench scale): E[X] random={:.3} modelI={:.3}",
         rnd.new_edge_fraction, m1.new_edge_fraction
     );
-    let mut g = c.benchmark_group("prop1");
-    g.sample_size(10);
-    g.bench_function("random", |b| {
-        b.iter(|| black_box(run_point(0.0, RoutingStrategy::Random, 1.0, 42).new_edge_fraction))
+    let mut h = Harness::new();
+    h.bench("prop1/random", || {
+        run_point(0.0, RoutingStrategy::Random, 1.0, 42).new_edge_fraction
     });
-    g.bench_function("model1", |b| {
-        b.iter(|| black_box(run_point(0.0, model_one(), 1.0, 42).new_edge_fraction))
+    h.bench("prop1/model1", || {
+        run_point(0.0, model_one(), 1.0, 42).new_edge_fraction
     });
-    g.finish();
+    h.write_json_default().expect("write bench report");
 }
-
-criterion_group!(benches, prop1);
-criterion_main!(benches);

@@ -1,14 +1,14 @@
 //! Props. 2-3 regeneration: stage-game dominance checks and threshold
 //! evaluation across the P_f sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use idpa_bench::harness::Harness;
 use idpa_game::forwarding::{
     dominance_threshold, expected_session_payoff, participation_threshold,
     ForwardingStageGame,
 };
 use std::hint::black_box;
 
-fn props23(c: &mut Criterion) {
+fn main() {
     let (cp, ct) = (5.0, 2.0);
     let p2 = participation_threshold(cp, ct, 40, 4.0, 20);
     let p3 = dominance_threshold(cp, ct);
@@ -23,22 +23,14 @@ fn props23(c: &mut Criterion) {
             expected_session_payoff(pf, cp, ct, 40, 4.0, 20)
         );
     }
-    let mut g = c.benchmark_group("props23");
-    g.bench_function("dominance_check_3p", |b| {
-        let game = ForwardingStageGame {
-            pf: 50.0, pr: 100.0, cp, ct, q_random: 0.2, q_nonrandom: 0.8,
-        };
-        b.iter(|| black_box(game.forwarding_is_dominant(black_box(3))))
+    let mut h = Harness::new();
+    let game = ForwardingStageGame {
+        pf: 50.0, pr: 100.0, cp, ct, q_random: 0.2, q_nonrandom: 0.8,
+    };
+    h.bench("props23/dominance_check_3p", || {
+        game.forwarding_is_dominant(black_box(3))
     });
-    g.bench_function("nash_enumeration_3p", |b| {
-        let game = ForwardingStageGame {
-            pf: 50.0, pr: 100.0, cp, ct, q_random: 0.2, q_nonrandom: 0.8,
-        };
-        let normal = game.to_normal_form(3);
-        b.iter(|| black_box(normal.pure_nash_equilibria()))
-    });
-    g.finish();
+    let normal = game.to_normal_form(3);
+    h.bench("props23/nash_enumeration_3p", || normal.pure_nash_equilibria());
+    h.write_json_default().expect("write bench report");
 }
-
-criterion_group!(benches, props23);
-criterion_main!(benches);

@@ -1,11 +1,10 @@
 //! Table 2 regeneration: routing efficiency over the f x tau grid,
 //! utility model I.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use idpa_bench::harness::Harness;
 use idpa_bench::{model_one, run_point};
-use std::hint::black_box;
 
-fn table2(c: &mut Criterion) {
+fn main() {
     println!("table2 (bench scale): routing efficiency, model I");
     for f in [0.1, 0.5, 0.9] {
         let row: Vec<String> = [0.5, 1.0, 2.0, 4.0]
@@ -14,15 +13,11 @@ fn table2(c: &mut Criterion) {
             .collect();
         println!("  f={f:.1}: {}", row.join("  "));
     }
-    let mut g = c.benchmark_group("table2");
-    g.sample_size(10);
+    let mut h = Harness::new();
     for tau in [0.5, 4.0] {
-        g.bench_function(format!("cell_f0.5_tau{tau}"), |b| {
-            b.iter(|| black_box(run_point(0.5, model_one(), black_box(tau), 42)))
+        h.bench(&format!("table2/cell_f0.5_tau{tau}"), || {
+            run_point(0.5, model_one(), tau, 42)
         });
     }
-    g.finish();
+    h.write_json_default().expect("write bench report");
 }
-
-criterion_group!(benches, table2);
-criterion_main!(benches);

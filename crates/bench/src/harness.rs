@@ -1,0 +1,233 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! Replaces the former criterion dev-dependency so the workspace builds
+//! and benches fully offline. Each bench target registers kernels on a
+//! [`Harness`]; a kernel is timed as the **median of N batch samples**
+//! (wall clock), where the batch iteration count is auto-calibrated so a
+//! batch is long enough for the clock to resolve. Results are printed as
+//! a table and merged into a flat JSON file (`name -> ns/iter`), so
+//! successive bench targets accumulate into one report.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+pub use std::hint::black_box as bb;
+
+/// Target wall-clock duration of one calibrated batch.
+const TARGET_BATCH_NS: f64 = 20_000_000.0; // 20 ms
+/// Batches sampled per kernel (median taken).
+const DEFAULT_SAMPLES: usize = 11;
+/// Samples for heavyweight kernels (single-iteration batches).
+const HEAVY_SAMPLES: usize = 5;
+/// A single iteration longer than this skips calibration (one iter per
+/// batch, fewer samples).
+const HEAVY_ITER_NS: f64 = 10_000_000.0; // 10 ms
+
+/// One measured kernel: `ns_per_iter` is the median-of-samples estimate.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Kernel name, conventionally `group/kernel`.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per batch used for the measurement.
+    pub iters_per_batch: u64,
+    /// Number of batch samples taken.
+    pub samples: usize,
+}
+
+/// Collects kernel measurements for one bench target.
+#[derive(Debug, Default)]
+pub struct Harness {
+    measurements: Vec<Measurement>,
+}
+
+impl Harness {
+    /// An empty harness.
+    #[must_use]
+    pub fn new() -> Self {
+        Harness::default()
+    }
+
+    /// Times `f` and records the measurement under `name`.
+    ///
+    /// Calibration: the iteration count doubles until one batch takes at
+    /// least [`TARGET_BATCH_NS`]; kernels whose single iteration already
+    /// exceeds [`HEAVY_ITER_NS`] run one iteration per batch with fewer
+    /// samples. The reported figure is the median batch, divided by the
+    /// batch iteration count.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) {
+        // Warm-up + calibration probe.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe_ns = probe_start.elapsed().as_nanos() as f64;
+
+        let (iters, samples) = if probe_ns >= HEAVY_ITER_NS {
+            (1u64, HEAVY_SAMPLES)
+        } else {
+            let per_iter = probe_ns.max(1.0);
+            let mut iters = (TARGET_BATCH_NS / per_iter).ceil() as u64;
+            iters = iters.clamp(1, 100_000_000);
+            (iters, DEFAULT_SAMPLES)
+        };
+
+        let mut batch_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            batch_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        batch_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = batch_ns[batch_ns.len() / 2];
+        let m = Measurement {
+            name: name.to_string(),
+            ns_per_iter: median / iters as f64,
+            iters_per_batch: iters,
+            samples,
+        };
+        println!(
+            "bench {:<44} {:>14} ns/iter  (x{} iters, {} samples)",
+            m.name,
+            format_ns(m.ns_per_iter),
+            m.iters_per_batch,
+            m.samples
+        );
+        self.measurements.push(m);
+    }
+
+    /// The measurements recorded so far.
+    #[must_use]
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Merges the measurements into the flat JSON report at `path`
+    /// (created if absent): existing keys not re-measured are preserved.
+    ///
+    /// # Errors
+    /// Propagates I/O failures reading or writing the report.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut map: BTreeMap<String, f64> = match std::fs::read_to_string(path) {
+            Ok(s) => parse_flat_json(&s),
+            Err(_) => BTreeMap::new(),
+        };
+        for m in &self.measurements {
+            map.insert(m.name.clone(), m.ns_per_iter);
+        }
+        let mut out = String::from("{\n");
+        let n = map.len();
+        for (i, (k, v)) in map.iter().enumerate() {
+            out.push_str(&format!("  \"{k}\": {v:.1}"));
+            out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(out.as_bytes())
+    }
+
+    /// Merges into the default report location: `$IDPA_BENCH_OUT`, or
+    /// `BENCH_pr1.json` at the workspace root.
+    ///
+    /// # Errors
+    /// Propagates I/O failures from [`Harness::write_json`].
+    pub fn write_json_default(&self) -> std::io::Result<()> {
+        let path = std::env::var("IDPA_BENCH_OUT").unwrap_or_else(|_| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr1.json").to_string()
+        });
+        self.write_json(&path)?;
+        println!("bench report merged into {path}");
+        Ok(())
+    }
+}
+
+/// Parses the flat `{"name": number, ...}` JSON this harness writes.
+/// Tolerant of whitespace; ignores malformed entries.
+fn parse_flat_json(s: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    let body = s.trim().trim_start_matches('{').trim_end_matches('}');
+    for entry in body.split(',') {
+        let Some((k, v)) = entry.split_once(':') else {
+            continue;
+        };
+        let key = k.trim().trim_matches('"');
+        if key.is_empty() {
+            continue;
+        }
+        if let Ok(num) = v.trim().parse::<f64>() {
+            map.insert(key.to_string(), num);
+        }
+    }
+    map
+}
+
+/// Human-readable ns with thousands separators.
+fn format_ns(ns: f64) -> String {
+    let raw = format!("{ns:.1}");
+    let (int_part, frac) = raw.split_once('.').unwrap_or((&raw, "0"));
+    let mut grouped = String::new();
+    for (i, ch) in int_part.chars().rev().enumerate() {
+        if i > 0 && i % 3 == 0 {
+            grouped.push('_');
+        }
+        grouped.push(ch);
+    }
+    let int_grouped: String = grouped.chars().rev().collect();
+    format!("{int_grouped}.{frac}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_kernel() {
+        let mut h = Harness::new();
+        let mut acc = 0u64;
+        h.bench("test/add", || {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(h.measurements().len(), 1);
+        assert!(h.measurements()[0].ns_per_iter > 0.0);
+        assert!(h.measurements()[0].iters_per_batch > 1);
+    }
+
+    #[test]
+    fn json_round_trip_merges() {
+        let dir = std::env::temp_dir().join("idpa_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        let mut h = Harness::new();
+        h.bench("a/one", || 1u64);
+        h.write_json(path).unwrap();
+        let first = parse_flat_json(&std::fs::read_to_string(path).unwrap());
+        assert!(first.contains_key("a/one"));
+
+        let mut h2 = Harness::new();
+        h2.bench("b/two", || 2u64);
+        h2.write_json(path).unwrap();
+        let merged = parse_flat_json(&std::fs::read_to_string(path).unwrap());
+        assert!(merged.contains_key("a/one") && merged.contains_key("b/two"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn parser_ignores_garbage() {
+        let map = parse_flat_json("{\"ok\": 1.5, \"bad\": x, nonsense}");
+        assert_eq!(map.len(), 1);
+        assert_eq!(map["ok"], 1.5);
+    }
+
+    #[test]
+    fn format_ns_groups_thousands() {
+        assert_eq!(format_ns(1_234_567.89), "1_234_567.9");
+        assert_eq!(format_ns(12.3), "12.3");
+    }
+}

@@ -1,10 +1,14 @@
 //! Shared fixtures for the benchmark harness.
 //!
-//! Each paper table/figure has a Criterion bench target under `benches/`
-//! that exercises exactly the code path regenerating it (the full-scale
+//! Each paper table/figure has a bench target under `benches/` that
+//! exercises exactly the code path regenerating it (the full-scale
 //! regeneration itself is `cargo run --release -p idpa-sim -- <name>`).
 //! Bench-scale runs use a reduced workload so `cargo bench --workspace`
-//! completes in minutes while stressing the same kernels.
+//! completes in minutes while stressing the same kernels. Timing is done
+//! by the in-tree median-of-N harness in [`harness`] (no external
+//! dependencies; results accumulate into `BENCH_pr1.json`).
+
+pub mod harness;
 
 use idpa_core::routing::RoutingStrategy;
 use idpa_core::utility::UtilityModel;

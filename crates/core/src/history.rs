@@ -31,12 +31,116 @@ pub struct HistoryRecord {
     pub successor: NodeId,
 }
 
+/// A multiset of connection indices, kept sorted with per-index
+/// reference counts.
+///
+/// This is the selectivity index's leaf: for one `(bundle, successor)` (or
+/// `(bundle, predecessor, successor)`) key it answers "on how many
+/// *distinct* prior connections did this edge appear?" without scanning
+/// records. The refcount absorbs duplicate records on one connection (a
+/// node occupying two positions on a path) so eviction of one duplicate
+/// does not lose the connection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct ConnCounter {
+    /// `(connection, records carrying it)`, sorted by connection.
+    entries: Vec<(u32, u32)>,
+}
+
+impl ConnCounter {
+    /// Registers one record for `conn`.
+    fn add(&mut self, conn: u32) {
+        match self.entries.binary_search_by_key(&conn, |&(c, _)| c) {
+            Ok(i) => self.entries[i].1 += 1,
+            // Records almost always arrive in connection order, so the
+            // insertion point is almost always the end: O(1) amortised.
+            Err(i) => self.entries.insert(i, (conn, 1)),
+        }
+    }
+
+    /// Unregisters one record for `conn` (eviction).
+    fn remove(&mut self, conn: u32) {
+        if let Ok(i) = self.entries.binary_search_by_key(&conn, |&(c, _)| c) {
+            self.entries[i].1 -= 1;
+            if self.entries[i].1 == 0 {
+                self.entries.remove(i);
+            }
+        }
+    }
+
+    /// Number of distinct connections `< priors` — O(1) on the hot path
+    /// (every retained connection is a prior), O(log n) otherwise.
+    fn distinct_below(&self, priors: u32) -> usize {
+        match self.entries.last() {
+            None => 0,
+            Some(&(last, _)) if last < priors => self.entries.len(),
+            _ => self.entries.partition_point(|&(c, _)| c < priors),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Per-bundle history: the retained records plus the incremental
+/// selectivity indexes maintained alongside them.
+#[derive(Debug, Clone, Default)]
+struct BundleHistory {
+    /// Retained records in insertion (connection) order.
+    records: Vec<HistoryRecord>,
+    /// `successor -> distinct prior connections` (drives `selectivity`).
+    by_succ: HashMap<NodeId, ConnCounter>,
+    /// `(predecessor, successor) -> distinct prior connections` (drives
+    /// `selectivity_from`).
+    by_pred_succ: HashMap<(NodeId, NodeId), ConnCounter>,
+}
+
+impl BundleHistory {
+    fn push(&mut self, record: HistoryRecord) {
+        self.by_succ.entry(record.successor).or_default().add(record.connection);
+        self.by_pred_succ
+            .entry((record.predecessor, record.successor))
+            .or_default()
+            .add(record.connection);
+        self.records.push(record);
+    }
+
+    /// Evicts the `n` oldest records, unwinding the indexes.
+    fn evict_oldest(&mut self, n: usize) {
+        for record in self.records.drain(..n) {
+            if let Some(counter) = self.by_succ.get_mut(&record.successor) {
+                counter.remove(record.connection);
+                if counter.is_empty() {
+                    self.by_succ.remove(&record.successor);
+                }
+            }
+            let key = (record.predecessor, record.successor);
+            if let Some(counter) = self.by_pred_succ.get_mut(&key) {
+                counter.remove(record.connection);
+                if counter.is_empty() {
+                    self.by_pred_succ.remove(&key);
+                }
+            }
+        }
+    }
+}
+
 /// A node's history profile `H^k(s)`, with an optional retention bound.
+///
+/// Selectivity queries sit on the per-hop critical path of every
+/// transmission (each candidate neighbor is scored with `σ(s, v)`), so the
+/// profile maintains incremental per-`(bundle, successor)` and
+/// per-`(bundle, predecessor, successor)` connection-count indexes in
+/// [`HistoryProfile::record`]: `selectivity`/`selectivity_from` are O(1)
+/// lookups instead of O(records) scans with a per-call `HashSet`
+/// allocation. [`HistoryProfile::selectivity_rescan`] keeps the naive scan
+/// as the reference oracle (property tests assert agreement under random
+/// record/evict sequences; the bench harness uses it as the baseline).
 #[derive(Debug, Clone)]
 pub struct HistoryProfile {
     owner: NodeId,
-    /// Records grouped by bundle, in insertion (connection) order.
-    records: HashMap<BundleId, Vec<HistoryRecord>>,
+    /// Per-bundle records and indexes.
+    records: HashMap<BundleId, BundleHistory>,
     /// Maximum records retained per bundle (`None` = unbounded). The paper
     /// notes "the amount of history information stored at a node also
     /// influences the quality of the edge" — this is the ablation knob.
@@ -88,9 +192,9 @@ impl HistoryProfile {
             successor,
         });
         if let Some(cap) = self.capacity_per_bundle {
-            if entry.len() > cap {
-                let drop = entry.len() - cap;
-                entry.drain(..drop);
+            if entry.records.len() > cap {
+                let drop = entry.records.len() - cap;
+                entry.evict_oldest(drop);
             }
         }
     }
@@ -98,7 +202,7 @@ impl HistoryProfile {
     /// All retained records for a bundle (insertion order).
     #[must_use]
     pub fn bundle_records(&self, bundle: BundleId) -> &[HistoryRecord] {
-        self.records.get(&bundle).map_or(&[], Vec::as_slice)
+        self.records.get(&bundle).map_or(&[], |b| b.records.as_slice())
     }
 
     /// Selectivity `σ(s, v)` when forming a new connection after `priors`
@@ -116,11 +220,24 @@ impl HistoryProfile {
         if priors == 0 {
             return 0.0;
         }
-        let Some(records) = self.records.get(&bundle) else {
+        let Some(entry) = self.records.get(&bundle) else {
             return 0.0;
         };
+        let count = entry.by_succ.get(&v).map_or(0, |c| c.distinct_below(priors));
+        count as f64 / f64::from(priors)
+    }
+
+    /// Reference implementation of [`HistoryProfile::selectivity`] by
+    /// full rescan of the retained records — the pre-index O(records)
+    /// algorithm, kept as the oracle for property tests and as the
+    /// benchmark baseline for the indexed fast path.
+    #[must_use]
+    pub fn selectivity_rescan(&self, bundle: BundleId, priors: u32, v: NodeId) -> f64 {
+        if priors == 0 {
+            return 0.0;
+        }
         let mut seen = std::collections::HashSet::new();
-        for r in records {
+        for r in self.bundle_records(bundle) {
             if r.connection < priors && r.successor == v {
                 seen.insert(r.connection);
             }
@@ -143,11 +260,31 @@ impl HistoryProfile {
         if priors == 0 {
             return 0.0;
         }
-        let Some(records) = self.records.get(&bundle) else {
+        let Some(entry) = self.records.get(&bundle) else {
             return 0.0;
         };
+        let count = entry
+            .by_pred_succ
+            .get(&(predecessor, v))
+            .map_or(0, |c| c.distinct_below(priors));
+        count as f64 / f64::from(priors)
+    }
+
+    /// Reference implementation of [`HistoryProfile::selectivity_from`] by
+    /// full rescan — see [`HistoryProfile::selectivity_rescan`].
+    #[must_use]
+    pub fn selectivity_from_rescan(
+        &self,
+        bundle: BundleId,
+        priors: u32,
+        predecessor: NodeId,
+        v: NodeId,
+    ) -> f64 {
+        if priors == 0 {
+            return 0.0;
+        }
         let mut seen = std::collections::HashSet::new();
-        for r in records {
+        for r in self.bundle_records(bundle) {
             if r.connection < priors && r.successor == v && r.predecessor == predecessor {
                 seen.insert(r.connection);
             }
@@ -158,7 +295,7 @@ impl HistoryProfile {
     /// Total records retained (all bundles).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.records.values().map(Vec::len).sum()
+        self.records.values().map(|b| b.records.len()).sum()
     }
 
     /// Whether no records are retained.
@@ -258,6 +395,86 @@ mod tests {
         // The record for connection 0 was evicted.
         assert_eq!(h.selectivity(B, 3, n(1)), 0.0);
         assert!((h.selectivity(B, 3, n(2)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// The tentpole's safety net: under random record sequences (with
+    /// duplicates, out-of-order connections, and capacity eviction) the
+    /// incremental index must agree exactly with a naive recount of the
+    /// retained records, for every (priors, predecessor, successor) probe.
+    #[test]
+    fn index_agrees_with_rescan_under_random_sequences() {
+        use idpa_desim::rng::Xoshiro256StarStar;
+        use rand::RngExt;
+
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xA11CE);
+        for case in 0..300 {
+            let capacity = match case % 3 {
+                0 => None,
+                1 => Some(1 + rng.random_range(0..4usize)),
+                _ => Some(1 + rng.random_range(0..12usize)),
+            };
+            let mut h = match capacity {
+                Some(cap) => HistoryProfile::with_capacity(n(0), cap),
+                None => HistoryProfile::new(n(0)),
+            };
+            let ops = rng.random_range(1..40usize);
+            for _ in 0..ops {
+                let bundle = BundleId(rng.random_range(0..3u64));
+                // Mostly monotone connections with occasional out-of-order
+                // and duplicate indices.
+                let conn = rng.random_range(0..12u32);
+                let pred = n(rng.random_range(0..4usize));
+                let succ = n(rng.random_range(0..5usize));
+                h.record(bundle, conn, pred, succ);
+            }
+            for bundle in (0..3).map(BundleId) {
+                for priors in 0..14u32 {
+                    for v in (0..5).map(n) {
+                        assert_eq!(
+                            h.selectivity(bundle, priors, v).to_bits(),
+                            h.selectivity_rescan(bundle, priors, v).to_bits(),
+                            "case {case}: selectivity({bundle:?}, {priors}, {v:?})"
+                        );
+                        for pred in (0..4).map(n) {
+                            assert_eq!(
+                                h.selectivity_from(bundle, priors, pred, v).to_bits(),
+                                h.selectivity_from_rescan(bundle, priors, pred, v).to_bits(),
+                                "case {case}: selectivity_from({bundle:?}, {priors}, {pred:?}, {v:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rescan_matches_index_on_basic_profile() {
+        let mut h = HistoryProfile::new(n(0));
+        h.record(B, 0, n(9), n(1));
+        h.record(B, 1, n(9), n(2));
+        h.record(B, 2, n(9), n(1));
+        assert_eq!(h.selectivity(B, 3, n(1)), h.selectivity_rescan(B, 3, n(1)));
+        assert_eq!(
+            h.selectivity_from(B, 3, n(9), n(2)),
+            h.selectivity_from_rescan(B, 3, n(9), n(2))
+        );
+    }
+
+    #[test]
+    fn eviction_of_one_duplicate_keeps_the_connection_counted() {
+        // Two records on connection 0 both forward to node 1; evicting one
+        // of them (capacity 1) must keep σ = 1 because a record for the
+        // connection remains.
+        let mut h = HistoryProfile::with_capacity(n(0), 1);
+        h.record(B, 0, n(8), n(1));
+        h.record(B, 0, n(9), n(1));
+        assert_eq!(h.bundle_records(B).len(), 1);
+        assert_eq!(h.selectivity(B, 1, n(1)), 1.0);
+        // The predecessor-scoped view lost the evicted position, kept the
+        // surviving one.
+        assert_eq!(h.selectivity_from(B, 1, n(8), n(1)), 0.0);
+        assert_eq!(h.selectivity_from(B, 1, n(9), n(1)), 1.0);
     }
 
     #[test]

@@ -17,8 +17,8 @@ use crate::contract::Contract;
 use crate::history::HistoryProfile;
 use crate::quality::EdgeQuality;
 use crate::routing::{
-    choose_next_hop, choose_next_hop_colluding, AdversaryStrategy, PathPolicy, RoutingStrategy,
-    RoutingView,
+    choose_next_hop_colluding_with, choose_next_hop_with, AdversaryStrategy, PathPolicy,
+    RouteScratch, RoutingStrategy, RoutingView,
 };
 
 /// The outcome of forming one connection.
@@ -120,6 +120,49 @@ pub fn form_connection_with_adversary(
     policy: &PathPolicy,
     rng: &mut Xoshiro256StarStar,
 ) -> PathOutcome {
+    let mut scratch = RouteScratch::new();
+    form_connection_with_scratch(
+        &mut scratch,
+        initiator,
+        connection_index,
+        contract,
+        priors,
+        view,
+        histories,
+        kinds,
+        quality,
+        good_strategy,
+        adversary,
+        policy,
+        rng,
+    )
+}
+
+/// [`form_connection_with_adversary`] reusing caller-owned scratch state.
+///
+/// The hot path of the simulator: buffers and the per-transmission memo
+/// caches in `scratch` are reused across hops of this connection (and the
+/// buffers across connections). This function calls
+/// [`RouteScratch::begin_transmission`] itself — histories are only
+/// mutated after all hop decisions are made, so the caches are valid for
+/// exactly the duration of the hop loop.
+#[allow(clippy::too_many_arguments)]
+pub fn form_connection_with_scratch(
+    scratch: &mut RouteScratch,
+    initiator: NodeId,
+    connection_index: u32,
+    contract: &Contract,
+    priors: u32,
+    view: &impl RoutingView,
+    histories: &mut [HistoryProfile],
+    kinds: &[NodeKind],
+    quality: &EdgeQuality,
+    good_strategy: RoutingStrategy,
+    adversary: AdversaryStrategy,
+    policy: &PathPolicy,
+    rng: &mut Xoshiro256StarStar,
+) -> PathOutcome {
+    scratch.begin_transmission();
     let mut forwarders: Vec<NodeId> = Vec::new();
     let mut hop_records: Vec<(NodeId, NodeId, NodeId)> = Vec::new(); // (node, pred, succ)
     let mut current = initiator;
@@ -131,7 +174,8 @@ pub fn form_connection_with_adversary(
             break;
         }
         let choice = if kinds[current.index()].is_good() {
-            choose_next_hop(
+            choose_next_hop_with(
+                scratch,
                 current,
                 good_strategy,
                 contract,
@@ -143,7 +187,8 @@ pub fn form_connection_with_adversary(
             )
         } else {
             match adversary {
-                AdversaryStrategy::Random => choose_next_hop(
+                AdversaryStrategy::Random => choose_next_hop_with(
+                    scratch,
                     current,
                     RoutingStrategy::Random,
                     contract,
@@ -154,7 +199,7 @@ pub fn form_connection_with_adversary(
                     rng,
                 ),
                 AdversaryStrategy::Colluding => {
-                    choose_next_hop_colluding(current, contract, kinds, view, rng)
+                    choose_next_hop_colluding_with(scratch, current, contract, kinds, view, rng)
                 }
             }
         };

@@ -9,6 +9,8 @@
 //! decides when the payload leaves the forwarding layer, which is how the
 //! paper keeps "path lengths which are appropriate for anonymity systems".
 
+use std::collections::HashMap;
+
 use idpa_desim::rng::Xoshiro256StarStar;
 use idpa_overlay::NodeId;
 use rand::RngExt;
@@ -25,12 +27,150 @@ use crate::utility::{model_one_utility, model_two_utility, UtilityModel};
 pub trait RoutingView {
     /// Neighbors of `s` currently alive (the candidate forwarders).
     fn live_neighbors(&self, s: NodeId) -> Vec<NodeId>;
+    /// Buffer-reusing variant of [`RoutingView::live_neighbors`]: clears
+    /// `out` and fills it with the live neighbors of `s`. The routing hot
+    /// path calls this so no `Vec` is allocated per hop; implementors that
+    /// can filter in place should override the default (which delegates to
+    /// `live_neighbors` for compatibility).
+    fn live_neighbors_into(&self, s: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.live_neighbors(s));
+    }
     /// `α_s(v)`: availability of `v` as estimated by `s` (§2.3).
     fn availability(&self, s: NodeId, v: NodeId) -> f64;
     /// Transmission cost `C^t(s, v)` for one forwarding instance.
     fn transmission_cost(&self, s: NodeId, v: NodeId) -> f64;
     /// Participation cost `C^p` of `s`.
     fn participation_cost(&self, s: NodeId) -> f64;
+}
+
+/// Reusable scratch state for routing decisions: candidate buffers shared
+/// across hops plus the per-transmission memo caches that de-duplicate
+/// work inside model II's exponential lookahead.
+///
+/// One transmission (one connection being formed) reads a fixed snapshot —
+/// histories are updated only after the confirmation returns, and the
+/// liveness view is fixed at the transmission's timestamp — so edge
+/// qualities `q(s, v)` and continuation values memoised during the
+/// transmission stay valid across all of its hops. Callers own one scratch
+/// (per run, or per connection) and call
+/// [`RouteScratch::begin_transmission`] whenever the underlying snapshot
+/// may have changed.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    /// Candidate next hops for the current decision.
+    candidates: Vec<NodeId>,
+    /// Colluding subset of the candidates (adversary routing).
+    colluders: Vec<NodeId>,
+    /// One neighbor buffer per lookahead depth, reused across the tree.
+    neighbor_bufs: Vec<Vec<NodeId>>,
+    /// DFS path of the lookahead (loop avoidance).
+    visited: Vec<NodeId>,
+    /// Order-independent fingerprint of `visited` (XOR of per-node
+    /// SplitMix64 hashes), the memo key component for continuations.
+    visited_fp: u64,
+    /// Memo: pre-mixed `(s, v)` key `-> q(s, v)` for this transmission.
+    edge_q: HashMap<u64, f64, PremixedState>,
+    /// Memo: pre-mixed `(from, depth, visited fingerprint)` key
+    /// `-> (sum, edges)` of the best continuation.
+    cont: HashMap<u64, (f64, usize), PremixedState>,
+}
+
+/// Build-hasher for keys that are already SplitMix64-mixed `u64`s: the
+/// hash *is* the key. A tuple key under the default SipHash state costs
+/// more than the memoised computation it replaces; identity hashing keeps
+/// a cache probe at a few nanoseconds.
+#[derive(Debug, Default, Clone)]
+struct PremixedState;
+
+#[derive(Debug)]
+struct PremixedHasher(u64);
+
+impl std::hash::Hasher for PremixedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("premixed maps only hash u64 keys")
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+impl std::hash::BuildHasher for PremixedState {
+    type Hasher = PremixedHasher;
+    fn build_hasher(&self) -> PremixedHasher {
+        PremixedHasher(0)
+    }
+}
+
+/// Mixed key for the edge memo.
+fn edge_key(s: NodeId, v: NodeId) -> u64 {
+    splitmix64(((s.index() as u64) << 32) | v.index() as u64)
+}
+
+/// Mixed key for the continuation memo: the visited fingerprint is
+/// already mixed, the `(from, depth)` pair is mixed in.
+fn cont_key(from: NodeId, depth: u8, visited_fp: u64) -> u64 {
+    visited_fp ^ splitmix64(((from.index() as u64) << 8) | u64::from(depth))
+}
+
+/// SplitMix64 finaliser (Stafford mix 13).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RouteScratch {
+    /// An empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        RouteScratch::default()
+    }
+
+    /// Invalidates the memo caches. Call at the start of every
+    /// transmission (or whenever histories or the liveness snapshot
+    /// change); buffers stay allocated.
+    pub fn begin_transmission(&mut self) {
+        self.edge_q.clear();
+        self.cont.clear();
+    }
+
+    fn reset_visited(&mut self) {
+        self.visited.clear();
+        self.visited_fp = 0;
+    }
+
+    fn push_visited(&mut self, v: NodeId) {
+        self.visited.push(v);
+        self.visited_fp ^= node_fingerprint(v);
+    }
+
+    fn pop_visited(&mut self) {
+        if let Some(v) = self.visited.pop() {
+            self.visited_fp ^= node_fingerprint(v);
+        }
+    }
+
+    fn take_neighbor_buf(&mut self, depth: usize) -> Vec<NodeId> {
+        while self.neighbor_bufs.len() <= depth {
+            self.neighbor_bufs.push(Vec::new());
+        }
+        std::mem::take(&mut self.neighbor_bufs[depth])
+    }
+
+    fn put_neighbor_buf(&mut self, depth: usize, buf: Vec<NodeId>) {
+        self.neighbor_bufs[depth] = buf;
+    }
+}
+
+/// SplitMix64 finaliser over the node index — the per-node hash XORed into
+/// the visited-set fingerprint.
+fn node_fingerprint(v: NodeId) -> u64 {
+    splitmix64(v.index() as u64)
 }
 
 /// How a node routes.
@@ -171,6 +311,28 @@ pub fn edge_quality_of(
     quality.edge(sigma, alpha)
 }
 
+/// Memoised `q(s, v)`: looks the edge up in the transmission cache and
+/// computes it via [`edge_quality_of`] on a miss.
+#[allow(clippy::too_many_arguments)]
+fn edge_quality_memo(
+    s: NodeId,
+    v: NodeId,
+    contract: &Contract,
+    priors: u32,
+    histories: &[HistoryProfile],
+    view: &impl RoutingView,
+    quality: &EdgeQuality,
+    scratch: &mut RouteScratch,
+) -> f64 {
+    let key = edge_key(s, v);
+    if let Some(&q) = scratch.edge_q.get(&key) {
+        return q;
+    }
+    let q = edge_quality_of(s, v, contract, priors, &histories[s.index()], view, quality);
+    scratch.edge_q.insert(key, q);
+    q
+}
+
 /// Picks the next hop at node `s` (which may be the initiator).
 ///
 /// Candidates are the live neighbors of `s`, excluding the responder (the
@@ -178,6 +340,87 @@ pub fn edge_quality_of(
 /// itself. Returns `None` when no candidate exists **or** (for utility
 /// strategies) when every candidate yields negative utility — the rational
 /// node declines to extend the path, and the caller delivers to R.
+///
+/// Allocation-free wrapper-compatible variant: reuses the candidate buffer
+/// and memo caches in `scratch`. The caller is responsible for calling
+/// [`RouteScratch::begin_transmission`] when the snapshot changes.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn choose_next_hop_with(
+    scratch: &mut RouteScratch,
+    s: NodeId,
+    strategy: RoutingStrategy,
+    contract: &Contract,
+    priors: u32,
+    histories: &[HistoryProfile],
+    view: &impl RoutingView,
+    quality: &EdgeQuality,
+    rng: &mut Xoshiro256StarStar,
+) -> Option<HopChoice> {
+    let mut candidates = std::mem::take(&mut scratch.candidates);
+    view.live_neighbors_into(s, &mut candidates);
+    candidates.retain(|&v| v != contract.responder && v != s);
+    let choice = if candidates.is_empty() {
+        None
+    } else {
+        match strategy {
+            RoutingStrategy::Random => {
+                let next = candidates[rng.random_range(0..candidates.len())];
+                Some(HopChoice {
+                    next,
+                    utility: f64::NAN,
+                    quality: f64::NAN,
+                })
+            }
+            RoutingStrategy::Utility(model) => {
+                let cp = view.participation_cost(s);
+                let mut best: Option<HopChoice> = None;
+                for &v in &candidates {
+                    let q_edge =
+                        edge_quality_memo(s, v, contract, priors, histories, view, quality, scratch);
+                    let ct = view.transmission_cost(s, v);
+                    let (u, q_seen) = match model {
+                        UtilityModel::ModelI => {
+                            (model_one_utility(contract.pf, contract.pr, q_edge, cp, ct), q_edge)
+                        }
+                        UtilityModel::ModelII { lookahead } => {
+                            let q_path = continuation_quality_with(
+                                scratch, s, v, q_edge, lookahead, contract, priors, histories,
+                                view, quality,
+                            );
+                            (model_two_utility(contract.pf, contract.pr, q_path, cp, ct), q_path)
+                        }
+                    };
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            u > b.utility + 1e-12
+                                // Paper's tie-break: higher quality wins.
+                                || ((u - b.utility).abs() <= 1e-12 && q_seen > b.quality)
+                        }
+                    };
+                    if better {
+                        best = Some(HopChoice {
+                            next: v,
+                            utility: u,
+                            quality: q_seen,
+                        });
+                    }
+                }
+                // A rational node does not extend the path at a loss.
+                best.filter(|b| b.utility >= 0.0)
+            }
+        }
+    };
+    scratch.candidates = candidates;
+    choice
+}
+
+/// Picks the next hop at node `s`, allocating fresh scratch state.
+///
+/// Convenience wrapper over [`choose_next_hop_with`] for one-off decisions
+/// (tests, interactive probing). Hot paths should hold a [`RouteScratch`]
+/// and call the `_with` variant instead.
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn choose_next_hop(
@@ -190,74 +433,57 @@ pub fn choose_next_hop(
     quality: &EdgeQuality,
     rng: &mut Xoshiro256StarStar,
 ) -> Option<HopChoice> {
-    let candidates: Vec<NodeId> = view
-        .live_neighbors(s)
-        .into_iter()
-        .filter(|&v| v != contract.responder && v != s)
-        .collect();
-    if candidates.is_empty() {
-        return None;
-    }
-    match strategy {
-        RoutingStrategy::Random => {
-            let next = candidates[rng.random_range(0..candidates.len())];
-            Some(HopChoice {
-                next,
-                utility: f64::NAN,
-                quality: f64::NAN,
-            })
-        }
-        RoutingStrategy::Utility(model) => {
-            let cp = view.participation_cost(s);
-            let mut best: Option<HopChoice> = None;
-            for &v in &candidates {
-                let q_edge =
-                    edge_quality_of(s, v, contract, priors, &histories[s.index()], view, quality);
-                let ct = view.transmission_cost(s, v);
-                let (u, q_seen) = match model {
-                    UtilityModel::ModelI => {
-                        (model_one_utility(contract.pf, contract.pr, q_edge, cp, ct), q_edge)
-                    }
-                    UtilityModel::ModelII { lookahead } => {
-                        let q_path = continuation_quality(
-                            s,
-                            v,
-                            q_edge,
-                            lookahead,
-                            contract,
-                            priors,
-                            histories,
-                            view,
-                            quality,
-                        );
-                        (model_two_utility(contract.pf, contract.pr, q_path, cp, ct), q_path)
-                    }
-                };
-                let better = match &best {
-                    None => true,
-                    Some(b) => {
-                        u > b.utility + 1e-12
-                            // Paper's tie-break: higher quality wins.
-                            || ((u - b.utility).abs() <= 1e-12 && q_seen > b.quality)
-                    }
-                };
-                if better {
-                    best = Some(HopChoice {
-                        next: v,
-                        utility: u,
-                        quality: q_seen,
-                    });
-                }
-            }
-            // A rational node does not extend the path at a loss.
-            best.filter(|b| b.utility >= 0.0)
-        }
-    }
+    let mut scratch = RouteScratch::new();
+    choose_next_hop_with(
+        &mut scratch,
+        s,
+        strategy,
+        contract,
+        priors,
+        histories,
+        view,
+        quality,
+        rng,
+    )
 }
 
 /// Picks the next hop for a **colluding** malicious node: a uniformly
 /// random malicious live neighbor if any exists, else uniformly random
-/// among all candidates (the base adversary behaviour).
+/// among all candidates (the base adversary behaviour). Buffer-reusing
+/// variant.
+#[must_use]
+pub fn choose_next_hop_colluding_with(
+    scratch: &mut RouteScratch,
+    s: NodeId,
+    contract: &Contract,
+    kinds: &[idpa_overlay::NodeKind],
+    view: &impl RoutingView,
+    rng: &mut Xoshiro256StarStar,
+) -> Option<HopChoice> {
+    let candidates = &mut scratch.candidates;
+    view.live_neighbors_into(s, candidates);
+    candidates.retain(|&v| v != contract.responder && v != s);
+    if candidates.is_empty() {
+        return None;
+    }
+    let colluders = &mut scratch.colluders;
+    colluders.clear();
+    colluders.extend(candidates.iter().copied().filter(|v| !kinds[v.index()].is_good()));
+    let pool: &[NodeId] = if colluders.is_empty() {
+        candidates
+    } else {
+        colluders
+    };
+    let next = pool[rng.random_range(0..pool.len())];
+    Some(HopChoice {
+        next,
+        utility: f64::NAN,
+        quality: f64::NAN,
+    })
+}
+
+/// Colluding next-hop choice with fresh scratch state; see
+/// [`choose_next_hop_colluding_with`].
 #[must_use]
 pub fn choose_next_hop_colluding(
     s: NodeId,
@@ -266,30 +492,8 @@ pub fn choose_next_hop_colluding(
     view: &impl RoutingView,
     rng: &mut Xoshiro256StarStar,
 ) -> Option<HopChoice> {
-    let candidates: Vec<NodeId> = view
-        .live_neighbors(s)
-        .into_iter()
-        .filter(|&v| v != contract.responder && v != s)
-        .collect();
-    if candidates.is_empty() {
-        return None;
-    }
-    let colluders: Vec<NodeId> = candidates
-        .iter()
-        .copied()
-        .filter(|v| !kinds[v.index()].is_good())
-        .collect();
-    let pool = if colluders.is_empty() {
-        &candidates
-    } else {
-        &colluders
-    };
-    let next = pool[rng.random_range(0..pool.len())];
-    Some(HopChoice {
-        next,
-        utility: f64::NAN,
-        quality: f64::NAN,
-    })
+    let mut scratch = RouteScratch::new();
+    choose_next_hop_colluding_with(&mut scratch, s, contract, kinds, view, rng)
 }
 
 /// Model II's continuation-path quality `q(π(s, j, R))`, normalised to
@@ -314,7 +518,42 @@ pub fn continuation_quality(
     view: &impl RoutingView,
     quality: &EdgeQuality,
 ) -> f64 {
-    let mut visited = vec![s, j];
+    let mut scratch = RouteScratch::new();
+    continuation_quality_with(
+        &mut scratch,
+        s,
+        j,
+        q_first_edge,
+        lookahead,
+        contract,
+        priors,
+        histories,
+        view,
+        quality,
+    )
+}
+
+/// Memoised, buffer-reusing variant of [`continuation_quality`]: the
+/// continuation values and edge qualities computed during the backward
+/// induction are cached in `scratch` and shared across all hops of one
+/// transmission.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn continuation_quality_with(
+    scratch: &mut RouteScratch,
+    s: NodeId,
+    j: NodeId,
+    q_first_edge: f64,
+    lookahead: u8,
+    contract: &Contract,
+    priors: u32,
+    histories: &[HistoryProfile],
+    view: &impl RoutingView,
+    quality: &EdgeQuality,
+) -> f64 {
+    scratch.reset_visited();
+    scratch.push_visited(s);
+    scratch.push_visited(j);
     let (total, edges) = continuation_rec(
         j,
         lookahead.saturating_sub(1),
@@ -323,7 +562,7 @@ pub fn continuation_quality(
         histories,
         view,
         quality,
-        &mut visited,
+        scratch,
     );
     (q_first_edge + total) / (1.0 + edges as f64)
 }
@@ -337,6 +576,11 @@ pub fn continuation_quality(
 /// lookahead horizon or at a dead end. Without this, the fixed-quality-1
 /// responder edge would dominate every comparison and model II would
 /// degenerate to model I.
+///
+/// Subtrees are memoised on `(from, depth, visited-set fingerprint)`: the
+/// value of a node at a given depth depends only on which nodes the path
+/// already excludes (as a set — order is irrelevant), so identical states
+/// reached through different branches are computed once per transmission.
 #[allow(clippy::too_many_arguments)]
 fn continuation_rec(
     from: NodeId,
@@ -346,29 +590,28 @@ fn continuation_rec(
     histories: &[HistoryProfile],
     view: &impl RoutingView,
     quality: &EdgeQuality,
-    visited: &mut Vec<NodeId>,
+    scratch: &mut RouteScratch,
 ) -> (f64, usize) {
     // Delivery to R: one final edge of fixed quality 1.
     let deliver = (quality.responder_edge(), 1usize);
     if depth == 0 {
         return deliver;
     }
+    let key = cont_key(from, depth, scratch.visited_fp);
+    if let Some(&hit) = scratch.cont.get(&key) {
+        return hit;
+    }
+    let mut neighbors = scratch.take_neighbor_buf(depth as usize);
+    view.live_neighbors_into(from, &mut neighbors);
     let mut best: Option<(f64, usize)> = None;
     let mut best_avg = f64::NEG_INFINITY;
-    for v in view.live_neighbors(from) {
-        if v == contract.responder || visited.contains(&v) {
+    for &v in &neighbors {
+        if v == contract.responder || scratch.visited.contains(&v) {
             continue;
         }
-        let q_edge = edge_quality_of(
-            from,
-            v,
-            contract,
-            priors,
-            &histories[from.index()],
-            view,
-            quality,
-        );
-        visited.push(v);
+        let q_edge =
+            edge_quality_memo(from, v, contract, priors, histories, view, quality, scratch);
+        scratch.push_visited(v);
         let (tail_sum, tail_edges) = continuation_rec(
             v,
             depth - 1,
@@ -377,9 +620,9 @@ fn continuation_rec(
             histories,
             view,
             quality,
-            visited,
+            scratch,
         );
-        visited.pop();
+        scratch.pop_visited();
         let cand = (q_edge + tail_sum, 1 + tail_edges);
         let cand_avg = cand.0 / cand.1 as f64;
         if cand_avg > best_avg + 1e-12 {
@@ -387,8 +630,11 @@ fn continuation_rec(
             best_avg = cand_avg;
         }
     }
+    scratch.put_neighbor_buf(depth as usize, neighbors);
     // Dead end: forced delivery.
-    best.unwrap_or(deliver)
+    let result = best.unwrap_or(deliver);
+    scratch.cont.insert(key, result);
+    result
 }
 
 #[cfg(test)]

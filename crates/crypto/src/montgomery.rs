@@ -107,7 +107,7 @@ impl MontgomeryCtx {
     }
 
     /// Converts out of Montgomery form.
-    fn from_mont(&self, a: &[u64]) -> BigUint {
+    fn decode_mont(&self, a: &[u64]) -> BigUint {
         let one: Vec<u64> = std::iter::once(1u64)
             .chain(std::iter::repeat(0))
             .take(self.s())
@@ -135,7 +135,7 @@ impl MontgomeryCtx {
                 acc = self.mont_mul(&acc, &base_m);
             }
         }
-        self.from_mont(&acc)
+        self.decode_mont(&acc)
     }
 }
 

@@ -74,7 +74,7 @@ impl RsaKeyPair {
     #[must_use]
     pub fn generate(modulus_bits: usize, rng: &mut Xoshiro256StarStar) -> Self {
         assert!(
-            modulus_bits >= 128 && modulus_bits % 2 == 0,
+            modulus_bits >= 128 && modulus_bits.is_multiple_of(2),
             "modulus_bits must be even and >= 128, got {modulus_bits}"
         );
         let e = f4();

@@ -1,118 +1,180 @@
 //! Property-based tests of the cryptographic substrate.
+//!
+//! Randomized with a fixed-seed Xoshiro256** stream (in-tree, offline)
+//! instead of an external property-testing framework: every property runs
+//! a few hundred generated cases and is exactly reproducible.
 
 use idpa_crypto::bigint::BigUint;
-use idpa_crypto::montgomery::MontgomeryCtx;
 use idpa_crypto::chacha20::ChaCha20;
 use idpa_crypto::hmac::{hmac_sha256, verify_hmac};
 use idpa_crypto::sha256::Sha256;
-use proptest::prelude::*;
+use idpa_desim::rng::Xoshiro256StarStar;
+
+const CASES: usize = 256;
+
+fn rng(seed: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(seed)
+}
+
+fn random_bytes(rng: &mut Xoshiro256StarStar, len: usize) -> Vec<u8> {
+    (0..len).map(|_| (rng.next() & 0xff) as u8).collect()
+}
+
+fn random_len(rng: &mut Xoshiro256StarStar, lo: usize, hi: usize) -> usize {
+    lo + (rng.next() as usize) % (hi - lo)
+}
 
 fn from_words(words: &[u64]) -> BigUint {
     let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
     BigUint::from_bytes_be(&bytes)
 }
 
-proptest! {
-    /// Exponent laws: a^(x+y) = a^x · a^y (mod m).
-    #[test]
-    fn modpow_exponent_addition(a in 2u64.., x in 0u64..2000, y in 0u64..2000, m in 2u64..) {
-        let a = BigUint::from_u64(a);
-        let m = BigUint::from_u64(m);
+fn random_biguint(rng: &mut Xoshiro256StarStar, max_words: usize) -> BigUint {
+    let n = 1 + (rng.next() as usize) % max_words;
+    let words: Vec<u64> = (0..n).map(|_| rng.next()).collect();
+    from_words(&words)
+}
+
+/// Exponent laws: a^(x+y) = a^x · a^y (mod m).
+#[test]
+fn modpow_exponent_addition() {
+    let mut r = rng(0x1001);
+    for _ in 0..CASES {
+        let a = BigUint::from_u64(2 + r.next() % (u64::MAX - 2));
+        let m = BigUint::from_u64(2 + r.next() % (u64::MAX - 2));
+        let x = r.next() % 2000;
+        let y = r.next() % 2000;
         let lhs = a.modpow(&BigUint::from_u64(x + y), &m);
         let rhs = a
             .modpow(&BigUint::from_u64(x), &m)
             .mulmod(&a.modpow(&BigUint::from_u64(y), &m), &m);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "a^(x+y) != a^x a^y for x={x} y={y}");
     }
+}
 
-    /// (a·b)^e = a^e · b^e (mod m) — the homomorphism blind signatures
-    /// rely on.
-    #[test]
-    fn modpow_is_multiplicative(a in 1u64.., b in 1u64.., e in 0u64..500, m in 2u64..) {
-        let (a, b, m) = (BigUint::from_u64(a), BigUint::from_u64(b), BigUint::from_u64(m));
-        let e = BigUint::from_u64(e);
+/// (a·b)^e = a^e · b^e (mod m) — the homomorphism blind signatures rely on.
+#[test]
+fn modpow_is_multiplicative() {
+    let mut r = rng(0x1002);
+    for _ in 0..CASES {
+        let a = BigUint::from_u64(1 + r.next() % (u64::MAX - 1));
+        let b = BigUint::from_u64(1 + r.next() % (u64::MAX - 1));
+        let m = BigUint::from_u64(2 + r.next() % (u64::MAX - 2));
+        let e = BigUint::from_u64(r.next() % 500);
         let lhs = a.mulmod(&b, &m).modpow(&e, &m);
         let rhs = a.modpow(&e, &m).mulmod(&b.modpow(&e, &m), &m);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    /// gcd divides both arguments and is the largest such (spot-check via
-    /// the gcd identity gcd(a,b)*lcm-free check: gcd divides both and
-    /// gcd(a/g, b/g) == 1).
-    #[test]
-    fn gcd_properties(a_w in prop::collection::vec(any::<u64>(), 1..3),
-                      b_w in prop::collection::vec(any::<u64>(), 1..3)) {
-        let a = from_words(&a_w);
-        let b = from_words(&b_w);
-        prop_assume!(!a.is_zero() && !b.is_zero());
+/// gcd divides both arguments and gcd(a/g, b/g) == 1.
+#[test]
+fn gcd_properties() {
+    let mut r = rng(0x1003);
+    let mut ran = 0;
+    while ran < CASES {
+        let a = random_biguint(&mut r, 2);
+        let b = random_biguint(&mut r, 2);
+        if a.is_zero() || b.is_zero() {
+            continue;
+        }
+        ran += 1;
         let g = a.gcd(&b);
-        prop_assert!(!g.is_zero());
-        prop_assert!(a.rem(&g).is_zero());
-        prop_assert!(b.rem(&g).is_zero());
+        assert!(!g.is_zero());
+        assert!(a.rem(&g).is_zero());
+        assert!(b.rem(&g).is_zero());
         let (aq, _) = a.divrem(&g);
         let (bq, _) = b.divrem(&g);
-        prop_assert!(aq.gcd(&bq).is_one());
+        assert!(aq.gcd(&bq).is_one());
     }
+}
 
-    /// SHA-256 digests are stable and sensitive to any single-bit flip.
-    #[test]
-    fn sha256_bit_sensitivity(data in prop::collection::vec(any::<u8>(), 1..200),
-                              bit in 0usize..8, idx_seed in any::<usize>()) {
+/// SHA-256 digests are stable and sensitive to any single-bit flip.
+#[test]
+fn sha256_bit_sensitivity() {
+    let mut r = rng(0x1004);
+    for _ in 0..CASES {
+        let len = random_len(&mut r, 1, 200);
+        let data = random_bytes(&mut r, len);
         let d1 = Sha256::digest(&data);
         let mut mutated = data.clone();
-        let idx = idx_seed % mutated.len();
+        let idx = (r.next() as usize) % mutated.len();
+        let bit = (r.next() % 8) as u8;
         mutated[idx] ^= 1 << bit;
         let d2 = Sha256::digest(&mutated);
-        prop_assert_ne!(d1, d2);
-        prop_assert_eq!(d1, Sha256::digest(&data), "deterministic");
+        assert_ne!(d1, d2);
+        assert_eq!(d1, Sha256::digest(&data), "deterministic");
     }
+}
 
-    /// Incremental hashing equals one-shot hashing at any split point.
-    #[test]
-    fn sha256_incremental_any_split(data in prop::collection::vec(any::<u8>(), 0..300),
-                                    split_seed in any::<usize>()) {
-        let split = if data.is_empty() { 0 } else { split_seed % (data.len() + 1) };
+/// Incremental hashing equals one-shot hashing at any split point.
+#[test]
+fn sha256_incremental_any_split() {
+    let mut r = rng(0x1005);
+    for _ in 0..CASES {
+        let len = random_len(&mut r, 0, 300);
+        let data = random_bytes(&mut r, len);
+        let split = if data.is_empty() {
+            0
+        } else {
+            (r.next() as usize) % (data.len() + 1)
+        };
         let mut h = Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+        assert_eq!(h.finalize(), Sha256::digest(&data));
     }
+}
 
-    /// HMAC verifies its own output and rejects any MAC bit flip.
-    #[test]
-    fn hmac_round_trip_and_rejection(key in prop::collection::vec(any::<u8>(), 0..100),
-                                     msg in prop::collection::vec(any::<u8>(), 0..100),
-                                     flip in 0usize..256) {
+/// HMAC verifies its own output and rejects any MAC bit flip.
+#[test]
+fn hmac_round_trip_and_rejection() {
+    let mut r = rng(0x1006);
+    for _ in 0..CASES {
+        let key_len = random_len(&mut r, 0, 100);
+        let key = random_bytes(&mut r, key_len);
+        let msg_len = random_len(&mut r, 0, 100);
+        let msg = random_bytes(&mut r, msg_len);
         let mac = hmac_sha256(&key, &msg);
-        prop_assert!(verify_hmac(&key, &msg, &mac));
+        assert!(verify_hmac(&key, &msg, &mac));
+        let flip = (r.next() % 256) as usize;
         let mut bad = mac;
         bad[flip / 8] ^= 1 << (flip % 8);
-        prop_assert!(!verify_hmac(&key, &msg, &bad));
+        assert!(!verify_hmac(&key, &msg, &bad));
     }
+}
 
-    /// Montgomery modpow agrees with plain modpow on arbitrary odd moduli.
-    #[test]
-    fn montgomery_agrees_with_plain(base_w in prop::collection::vec(any::<u64>(), 1..4),
-                                    exp in any::<u64>(),
-                                    modulus_w in prop::collection::vec(any::<u64>(), 1..4)) {
-        let base = from_words(&base_w);
-        let mut modulus = from_words(&modulus_w);
+/// Montgomery modpow agrees with plain modpow on arbitrary odd moduli.
+#[test]
+fn montgomery_agrees_with_plain() {
+    use idpa_crypto::montgomery::MontgomeryCtx;
+    let mut r = rng(0x1007);
+    let mut ran = 0;
+    while ran < CASES {
+        let base = random_biguint(&mut r, 3);
+        let mut modulus = random_biguint(&mut r, 3);
         modulus.set_bit(0); // force odd
-        prop_assume!(!modulus.is_one());
-        let exp = BigUint::from_u64(exp);
+        if modulus.is_one() {
+            continue;
+        }
+        ran += 1;
+        let exp = BigUint::from_u64(r.next());
         let ctx = MontgomeryCtx::new(&modulus);
-        prop_assert_eq!(ctx.modpow(&base, &exp), base.modpow(&exp, &modulus));
+        assert_eq!(ctx.modpow(&base, &exp), base.modpow(&exp, &modulus));
     }
+}
 
-    /// ChaCha20 decryption inverts encryption for any key/nonce/payload.
-    #[test]
-    fn chacha_round_trip(key in prop::collection::vec(any::<u8>(), 32..=32),
-                         nonce in prop::collection::vec(any::<u8>(), 12..=12),
-                         msg in prop::collection::vec(any::<u8>(), 0..500)) {
-        let key: [u8; 32] = key.try_into().unwrap();
-        let nonce: [u8; 12] = nonce.try_into().unwrap();
+/// ChaCha20 decryption inverts encryption for any key/nonce/payload.
+#[test]
+fn chacha_round_trip() {
+    let mut r = rng(0x1008);
+    for _ in 0..CASES {
+        let key: [u8; 32] = random_bytes(&mut r, 32).try_into().unwrap();
+        let nonce: [u8; 12] = random_bytes(&mut r, 12).try_into().unwrap();
+        let msg_len = random_len(&mut r, 0, 500);
+        let msg = random_bytes(&mut r, msg_len);
         let ct = ChaCha20::encrypt(&key, &nonce, &msg);
-        prop_assert_eq!(ct.len(), msg.len());
-        prop_assert_eq!(ChaCha20::decrypt(&key, &nonce, &ct), msg);
+        assert_eq!(ct.len(), msg.len());
+        assert_eq!(ChaCha20::decrypt(&key, &nonce, &ct), msg);
     }
 }

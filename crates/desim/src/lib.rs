@@ -16,13 +16,16 @@
 //! The kernel is intentionally single-threaded: determinism of the event
 //! order is a correctness requirement (experiments are compared across
 //! routing strategies with common random numbers). Parallelism lives one
-//! level up, across independent replications (see `idpa-sim`).
+//! level up, across independent replications — [`pool::parallel_map`]
+//! fans replications out over a deterministic work-queue thread pool whose
+//! results are bit-identical at any thread count (see `idpa-sim`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calendar;
 pub mod engine;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;

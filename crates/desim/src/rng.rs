@@ -32,6 +32,7 @@ impl SplitMix64 {
     }
 
     /// The next 64 random bits.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -94,6 +95,7 @@ impl Xoshiro256StarStar {
     }
 
     /// The next 64 random bits.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;

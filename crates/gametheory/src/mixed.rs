@@ -58,8 +58,10 @@ fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         // Eliminate below.
         for row in (col + 1)..n {
             let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (cell, &p) in rest[0][col..n].iter_mut().zip(&pivot[col..n]) {
+                *cell -= factor * p;
             }
             b[row] -= factor * b[col];
         }
@@ -116,9 +118,7 @@ fn try_supports(
         }
         a[row][k] = -1.0; // −v0
     }
-    for col in 0..k {
-        a[k][col] = 1.0;
-    }
+    a[k][..k].fill(1.0);
     b[k] = 1.0;
     let sol = solve_linear(a, b)?;
     let (y, v0) = (sol[..k].to_vec(), sol[k]);
@@ -132,9 +132,7 @@ fn try_supports(
         }
         a[row][k] = -1.0; // −v1
     }
-    for col in 0..k {
-        a[k][col] = 1.0;
-    }
+    a[k][..k].fill(1.0);
     b[k] = 1.0;
     let sol = solve_linear(a, b)?;
     let (x, v1) = (sol[..k].to_vec(), sol[k]);

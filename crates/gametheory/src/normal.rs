@@ -88,12 +88,12 @@ impl NormalFormGame {
         let mut profile = vec![0usize; self.n_players()];
         for _ in 0..total {
             out.push(profile.clone());
-            for d in 0..profile.len() {
-                profile[d] += 1;
-                if profile[d] < self.n_strategies[d] {
+            for (digit, &limit) in profile.iter_mut().zip(&self.n_strategies) {
+                *digit += 1;
+                if *digit < limit {
                     break;
                 }
-                profile[d] = 0;
+                *digit = 0;
             }
         }
         out

@@ -1,13 +1,18 @@
 //! Property-based tests of the payment system: under arbitrary operation
 //! sequences, value is conserved and cheats are rejected.
+//!
+//! Randomized with fixed-seed Xoshiro256** streams (in-tree, offline):
+//! each property runs hundreds of generated operation sequences and is
+//! exactly reproducible.
 
 use idpa_desim::rng::Xoshiro256StarStar;
 use idpa_payment::bank::{AccountId, Bank};
 use idpa_payment::token::{Token, Wallet};
-use proptest::prelude::*;
+
+const CASES: usize = 256;
 
 /// A randomised operation against the bank.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Withdraw { account: usize, amount: u64 },
     DepositNext { account: usize },
@@ -15,25 +20,39 @@ enum Op {
     Transfer { from: usize, to: usize, amount: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..4, 1u64..50).prop_map(|(account, amount)| Op::Withdraw { account, amount }),
-        (0usize..4).prop_map(|account| Op::DepositNext { account }),
-        (0usize..4).prop_map(|account| Op::ReplayLastDeposit { account }),
-        (0usize..4, 0usize..4, 1u64..50)
-            .prop_map(|(from, to, amount)| Op::Transfer { from, to, amount }),
-    ]
+fn random_op(rng: &mut Xoshiro256StarStar) -> Op {
+    match rng.next() % 4 {
+        0 => Op::Withdraw {
+            account: (rng.next() % 4) as usize,
+            amount: 1 + rng.next() % 49,
+        },
+        1 => Op::DepositNext {
+            account: (rng.next() % 4) as usize,
+        },
+        2 => Op::ReplayLastDeposit {
+            account: (rng.next() % 4) as usize,
+        },
+        _ => Op::Transfer {
+            from: (rng.next() % 4) as usize,
+            to: (rng.next() % 4) as usize,
+            amount: 1 + rng.next() % 49,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn random_ops(rng: &mut Xoshiro256StarStar, max_len: u64) -> Vec<Op> {
+    let len = 1 + (rng.next() % max_len) as usize;
+    (0..len).map(|_| random_op(rng)).collect()
+}
 
-    /// Conservation: deposits + outstanding tokens stay constant under any
-    /// mix of withdrawals, deposits, replays and transfers.
-    #[test]
-    fn value_conserved_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(), 1..25),
-                                           seed in any::<u64>()) {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+/// Conservation: deposits + outstanding tokens stay constant under any
+/// mix of withdrawals, deposits, replays and transfers.
+#[test]
+fn value_conserved_under_arbitrary_ops() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0x2001);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut gen, 24);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(gen.next());
         let mut bank = Bank::new(256, &mut rng);
         let accounts: Vec<AccountId> = (0..4).map(|_| bank.open_account(500)).collect();
         let initial = bank.total_deposits();
@@ -64,7 +83,7 @@ proptest! {
                 Op::ReplayLastDeposit { account } => {
                     if let Some(token) = &last_deposited {
                         // A replay must always bounce.
-                        prop_assert!(bank.deposit(accounts[account], token).is_err());
+                        assert!(bank.deposit(accounts[account], token).is_err());
                     }
                 }
                 Op::Transfer { from, to, amount } => {
@@ -72,10 +91,10 @@ proptest! {
                 }
             }
             // The conservation invariant holds after EVERY operation.
-            prop_assert_eq!(
+            assert_eq!(
                 bank.total_deposits() + bank.outstanding(),
                 initial,
-                "conservation violated after {:?}", op
+                "conservation violated after {op:?}"
             );
         }
 
@@ -85,16 +104,19 @@ proptest! {
         for token in &in_flight {
             bank.deposit(sink, token).unwrap();
         }
-        prop_assert_eq!(bank.total_deposits(), initial);
-        prop_assert_eq!(bank.outstanding(), 0);
+        assert_eq!(bank.total_deposits(), initial);
+        assert_eq!(bank.outstanding(), 0);
     }
+}
 
-    /// No sequence of operations can mint value into a single account
-    /// beyond what the system held initially.
-    #[test]
-    fn no_account_exceeds_total_supply(ops in prop::collection::vec(op_strategy(), 1..20),
-                                       seed in any::<u64>()) {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+/// No sequence of operations can mint value into a single account beyond
+/// what the system held initially.
+#[test]
+fn no_account_exceeds_total_supply() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0x2002);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut gen, 19);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(gen.next());
         let mut bank = Bank::new(256, &mut rng);
         let accounts: Vec<AccountId> = (0..4).map(|_| bank.open_account(100)).collect();
         let supply = bank.total_deposits();
@@ -123,7 +145,7 @@ proptest! {
                 }
             }
             for &acct in &accounts {
-                prop_assert!(bank.balance(acct).unwrap() <= supply);
+                assert!(bank.balance(acct).unwrap() <= supply);
             }
         }
     }

@@ -1,0 +1,310 @@
+//! In-tree replacement for the thin slice of the `rand` crate API used by
+//! this workspace.
+//!
+//! The repository implements its own generators (SplitMix64 and
+//! xoshiro256** in `idpa-desim`) so that bit streams cannot change under
+//! us; all it ever needed from the external `rand` crate were the trait
+//! surfaces — [`TryRng`] (the fallible core trait the generators
+//! implement), [`Rng`] (the infallible view) and [`RngExt`]
+//! (`random_range`). Vendoring this surface in-tree makes the workspace
+//! build with **no network and no registry index**: `cargo build
+//! --offline` needs nothing beyond the toolchain.
+//!
+//! The workspace maps the `rand` dependency name onto this crate
+//! (`rand = { path = "crates/rng", package = "idpa-rng" }`), so call sites
+//! keep their idiomatic `use rand::RngExt;` form.
+//!
+//! ```
+//! use idpa_rng::{Rng, RngExt, TryRng};
+//!
+//! struct Counter(u64);
+//! impl TryRng for Counter {
+//!     type Error = core::convert::Infallible;
+//!     fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+//!         Ok((self.try_next_u64()? >> 32) as u32)
+//!     }
+//!     fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+//!         self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+//!         Ok(self.0)
+//!     }
+//!     fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+//!         idpa_rng::fill_bytes_via_next(self, dst);
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let mut rng = Counter(1);
+//! let x: f64 = rng.random_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! let i = rng.random_range(0..10usize);
+//! assert!(i < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::convert::Infallible;
+use core::ops::{Range, RangeInclusive};
+
+/// The fallible core trait a random-number generator implements.
+///
+/// Mirrors `rand::TryRng`: generators that cannot fail use
+/// `Error = Infallible` and get the infallible [`Rng`] view for free.
+pub trait TryRng {
+    /// The error type, `Infallible` for deterministic software generators.
+    type Error;
+
+    /// The next 32 random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// The next 64 random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dst` with random bytes.
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// Infallible view over a [`TryRng`] whose error is uninhabited.
+///
+/// Blanket-implemented; never implement this directly.
+pub trait Rng {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<G: TryRng<Error = Infallible> + ?Sized> Rng for G {
+    fn next_u32(&mut self) -> u32 {
+        let Ok(v) = self.try_next_u32();
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let Ok(v) = self.try_next_u64();
+        v
+    }
+
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        let Ok(()) = self.try_fill_bytes(dst);
+    }
+}
+
+/// Helper for `try_fill_bytes` implementations: fills `dst` from repeated
+/// `try_next_u64` draws (little-endian), consuming one extra draw for a
+/// trailing partial chunk.
+pub fn fill_bytes_via_next<G: TryRng<Error = Infallible> + ?Sized>(rng: &mut G, dst: &mut [u8]) {
+    let mut chunks = dst.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let bytes = rng.next_u64().to_le_bytes();
+        rem.copy_from_slice(&bytes[..rem.len()]);
+    }
+}
+
+/// Convenience extension methods over any [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniform draw from `range` (half-open `a..b` or inclusive
+    /// `a..=b`), for the integer and float types the workspace samples.
+    ///
+    /// Panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+}
+
+impl<G: Rng + ?Sized> RngExt for G {}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_in<G: Rng>(self, rng: &mut G) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by masked rejection — unbiased and cheap
+/// (the mask keeps the acceptance probability above 1/2).
+fn uniform_below<G: Rng>(rng: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    let mask = u64::MAX >> (span - 1).leading_zeros();
+    loop {
+        let v = rng.next_u64() & mask;
+        if v < span {
+            return v;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in<G: Rng>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_in<G: Rng>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every value is admissible.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+/// A uniform draw in `[0, 1)` with 53 bits of precision.
+fn unit_f64<G: Rng>(rng: &mut G) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_in<G: Rng>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        loop {
+            let x = self.start + (self.end - self.start) * unit_f64(rng);
+            // Rounding at the top of a wide range can land exactly on
+            // `end`; redraw (vanishingly rare) to keep the bound open.
+            if x < self.end {
+                return x;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_in<G: Rng>(self, rng: &mut G) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + (hi - lo) * unit_f64(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64, locally: the test generator.
+    struct Sm(u64);
+
+    impl TryRng for Sm {
+        type Error = Infallible;
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.next_u64_impl() >> 32) as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            Ok(self.next_u64_impl())
+        }
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+            fill_bytes_via_next(self, dst);
+            Ok(())
+        }
+    }
+
+    impl Sm {
+        fn next_u64_impl(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = Sm(1);
+        for _ in 0..10_000 {
+            let a = rng.random_range(3usize..17);
+            assert!((3..17).contains(&a));
+            let b = rng.random_range(0u32..=6);
+            assert!(b <= 6);
+            let c = rng.random_range(5u64..6);
+            assert_eq!(c, 5);
+        }
+    }
+
+    #[test]
+    fn integer_range_covers_all_values() {
+        let mut rng = Sm(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Sm(3);
+        for _ in 0..10_000 {
+            let x = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.random_range(-2.0..=3.0);
+            assert!((-2.0..=3.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_mean_is_central() {
+        let mut rng = Sm(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn integer_distribution_is_roughly_uniform() {
+        let mut rng = Sm(5);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.random_range(0usize..7)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((9_000..11_000).contains(&c), "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_matches_next_u64_le() {
+        let mut a = Sm(6);
+        let mut b = Sm(6);
+        let mut buf = [0u8; 13];
+        a.fill_bytes(&mut buf);
+        assert_eq!(&buf[..8], &b.next_u64().to_le_bytes());
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut rng = Sm(7);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Sm(8);
+        let _ = rng.random_range(5usize..5);
+    }
+}

@@ -71,6 +71,7 @@ pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -
             let (x1, y1) = w[1];
             let c0 = col(x0, x_lo, x_hi, width);
             let c1 = col(x1, x_lo, x_hi, width);
+            #[allow(clippy::needless_range_loop)]
             for c in c0..=c1 {
                 let t = if c1 == c0 {
                     0.0

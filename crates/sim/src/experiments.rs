@@ -2,9 +2,11 @@
 //!
 //! Every experiment sweeps its axis with **common random numbers** (the
 //! same replication seeds across all points of the sweep) and runs
-//! replications in parallel with rayon. Output is a markdown table (shape
-//! comparison against the paper) plus a CSV per experiment under the
-//! output directory.
+//! replications in parallel on the in-tree deterministic work-queue pool
+//! ([`idpa_desim::pool`]): each replication derives its RNG streams from
+//! its own seed, so results are bit-identical at any thread count. Output
+//! is a markdown table (shape comparison against the paper) plus a CSV per
+//! experiment under the output directory.
 
 use std::path::PathBuf;
 
@@ -14,7 +16,6 @@ use idpa_desim::stats::{Ecdf, OnlineStats};
 use idpa_game::forwarding::{
     dominance_threshold, participation_threshold, ForwardingStageGame,
 };
-use rayon::prelude::*;
 
 use crate::chart::{cdf_chart, line_chart, Series};
 use crate::report::{fmt_ci, Table};
@@ -30,6 +31,10 @@ pub struct Options {
     pub quick: bool,
     /// Output directory for CSVs.
     pub out_dir: PathBuf,
+    /// Worker threads for replication fan-out (0 = auto-detect, also
+    /// overridable with `IDPA_THREADS`). Results are identical at any
+    /// value — only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -38,6 +43,7 @@ impl Default for Options {
             reps: 10,
             quick: false,
             out_dir: PathBuf::from("results"),
+            threads: 0,
         }
     }
 }
@@ -68,12 +74,23 @@ pub fn model_one() -> RoutingStrategy {
     RoutingStrategy::Utility(UtilityModel::ModelI)
 }
 
-/// Runs `reps` replications of `make(seed)` in parallel.
+/// Resolves the configured worker count (0 = auto).
+fn thread_count(opts: &Options) -> usize {
+    if opts.threads == 0 {
+        idpa_desim::pool::default_threads()
+    } else {
+        opts.threads
+    }
+}
+
+/// Runs `reps` replications of `make(seed)` in parallel on the
+/// deterministic work-queue pool. Replication `rep` always runs from seed
+/// `1000 + rep`, so the result vector is bit-identical at any thread
+/// count.
 fn replicate(opts: &Options, make: impl Fn(u64) -> ScenarioConfig + Sync) -> Vec<RunResult> {
-    (0..opts.reps)
-        .into_par_iter()
-        .map(|rep| SimulationRun::execute(make(1000 + rep)))
-        .collect()
+    idpa_desim::pool::parallel_map(thread_count(opts), opts.reps as usize, |rep| {
+        SimulationRun::execute(make(1000 + rep as u64))
+    })
 }
 
 fn stats_of(results: &[RunResult], f: impl Fn(&RunResult) -> f64) -> OnlineStats {
@@ -676,13 +693,14 @@ pub fn timeline(opts: &Options) -> String {
     for frac in fractions {
         // Generate the FULL world, then stop the engine early: each point
         // is a true prefix of the same trajectory (common random numbers).
-        let results: Vec<crate::runner::RunResult> = (0..opts.reps)
-            .into_par_iter()
-            .map(|rep| {
+        let results: Vec<crate::runner::RunResult> = idpa_desim::pool::parallel_map(
+            thread_count(opts),
+            opts.reps as usize,
+            |rep| {
                 let cfg = ScenarioConfig {
                     adversary_fraction: 0.3,
                     good_strategy: model_one(),
-                    ..opts.base_config(1000 + rep)
+                    ..opts.base_config(1000 + rep as u64)
                 };
                 let world = crate::world::World::generate(&cfg);
                 let horizon =
@@ -692,8 +710,8 @@ pub fn timeline(opts: &Options) -> String {
                 run.schedule_all(&mut engine);
                 engine.run(&mut run, Some(horizon));
                 run.finish()
-            })
-            .collect();
+            },
+        );
         let conns = stats_of(&results, |r| r.connections as f64);
         let pay = stats_of(&results, |r| r.avg_good_payoff);
         let anon = stats_of(&results, |r| r.avg_anonymity_degree);
@@ -791,11 +809,14 @@ pub fn crowds_analysis(opts: &Options) -> String {
     )
 }
 
+/// An experiment: renders its figure/table from the shared options.
+pub type Experiment = fn(&Options) -> String;
+
 /// Every experiment by name, in DESIGN.md order.
 #[must_use]
-pub fn registry() -> Vec<(&'static str, fn(&Options) -> String)> {
+pub fn registry() -> Vec<(&'static str, Experiment)> {
     vec![
-        ("fig3", (|o| fig_payoff_vs_f(o, model_one(), "fig3_payoff_model1")) as fn(&Options) -> String),
+        ("fig3", (|o| fig_payoff_vs_f(o, model_one(), "fig3_payoff_model1")) as Experiment),
         ("fig4", |o| fig_payoff_vs_f(o, model_two(), "fig4_payoff_model2")),
         ("fig5", fig5),
         ("fig6", |o| fig_payoff_cdf(o, 0.1, "fig6_payoff_cdf_f01")),
@@ -829,6 +850,33 @@ mod tests {
             reps: 2,
             quick: true,
             out_dir: std::env::temp_dir().join("idpa_exp_test"),
+            threads: 0,
+        }
+    }
+
+    #[test]
+    fn replicate_is_bit_identical_across_thread_counts() {
+        // The acceptance bar for the in-tree pool: per-replication seeds
+        // (1000 + rep) make the result vector independent of scheduling.
+        let make = |opts: &Options| {
+            replicate(opts, |seed| ScenarioConfig {
+                adversary_fraction: 0.3,
+                good_strategy: model_two(),
+                ..opts.base_config(seed)
+            })
+        };
+        let baseline = make(&Options {
+            reps: 4,
+            threads: 1,
+            ..quick_opts()
+        });
+        for threads in [2, 8] {
+            let parallel = make(&Options {
+                reps: 4,
+                threads,
+                ..quick_opts()
+            });
+            assert_eq!(baseline, parallel, "threads={threads} diverged");
         }
     }
 

@@ -1,7 +1,7 @@
 //! `idpa-sim` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! idpa-sim [EXPERIMENT ...] [--reps N] [--quick] [--out DIR] [--list]
+//! idpa-sim [EXPERIMENT ...] [--reps N] [--threads N] [--quick] [--out DIR] [--list]
 //! ```
 //!
 //! With no experiment names, runs everything in the registry. Markdown
@@ -49,6 +49,13 @@ fn main() -> ExitCode {
                 };
                 opts.reps = v;
             }
+            "--threads" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                opts.threads = v;
+            }
             "--out" => {
                 let Some(v) = iter.next() else {
                     eprintln!("--out needs a directory");
@@ -58,7 +65,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: idpa-sim [EXPERIMENT ...] [--reps N] [--quick] [--out DIR] [--list]"
+                    "usage: idpa-sim [EXPERIMENT ...] [--reps N] [--threads N] [--quick] [--out DIR] [--list]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -14,9 +14,9 @@ use idpa_core::bundle::{BundleAccounting, BundleId};
 use idpa_core::contract::Contract;
 use idpa_core::history::HistoryProfile;
 use idpa_core::metrics::{self, ReformationTracker};
-use idpa_core::path::form_connection_with_adversary;
+use idpa_core::path::form_connection_with_scratch;
 use idpa_core::quality::{EdgeQuality, Weights};
-use idpa_core::routing::RoutingView;
+use idpa_core::routing::{RouteScratch, RoutingView};
 use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
 use idpa_desim::{Engine, Process, SimTime};
 use idpa_netmodel::{CostModel, NodeSchedule};
@@ -49,14 +49,22 @@ struct RunView<'a> {
 
 impl RoutingView for RunView<'_> {
     fn live_neighbors(&self, s: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.live_neighbors_into(s, &mut out);
+        out
+    }
+
+    fn live_neighbors_into(&self, s: NodeId, out: &mut Vec<NodeId>) {
         // D(s) is maintained by the node itself (its probe estimator), so
         // neighbor replacement is visible to routing.
-        self.probes[s.index()]
-            .neighbors()
-            .iter()
-            .copied()
-            .filter(|v| self.schedules[v.index()].is_up(self.now))
-            .collect()
+        out.clear();
+        out.extend(
+            self.probes[s.index()]
+                .neighbors()
+                .iter()
+                .copied()
+                .filter(|v| self.schedules[v.index()].is_up(self.now)),
+        );
     }
 
     fn availability(&self, s: NodeId, v: NodeId) -> f64 {
@@ -80,7 +88,7 @@ impl RoutingView for RunView<'_> {
 /// which Figs. 3–4's decline with `f` and Figs. 6–7's CDFs are expressed;
 /// a lifetime-total-per-node aggregation would be dominated by `P_f` and
 /// mask the routing-benefit dilution the paper studies.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Per-(bundle, good forwarder) payoffs (the Figs. 6–7 CDF samples).
     pub good_payoffs: Vec<f64>,
@@ -126,6 +134,8 @@ pub struct SimulationRun {
     routing_rng: Xoshiro256StarStar,
     probe_rng: Xoshiro256StarStar,
     connections: u64,
+    /// Routing buffers and memo caches, reused across all transmissions.
+    scratch: RouteScratch,
 }
 
 impl SimulationRun {
@@ -160,6 +170,7 @@ impl SimulationRun {
             routing_rng: streams.stream("routing"),
             probe_rng: streams.stream("probing"),
             connections: 0,
+            scratch: RouteScratch::new(),
             cfg,
             world,
         }
@@ -256,7 +267,8 @@ impl SimulationRun {
             costs: &self.world.costs,
             now,
         };
-        let outcome = form_connection_with_adversary(
+        let outcome = form_connection_with_scratch(
+            &mut self.scratch,
             wl.initiator,
             conn,
             &contract,

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full offline verification: release build, test suite, and lint gate.
+# Everything runs with --offline — the workspace has no registry
+# dependencies (the `rand` name resolves to the in-tree crates/rng).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "verify: OK"

@@ -44,7 +44,7 @@ fn default_scenario_satisfies_dominance_condition() {
 fn default_scenario_satisfies_participation_condition() {
     let cfg = ScenarioConfig::default();
     let l = cfg.policy.expected_hops();
-    let k = (cfg.total_transmissions / cfg.n_pairs) as usize;
+    let k = cfg.total_transmissions / cfg.n_pairs;
     let threshold = participation_threshold(
         cfg.cost.participation_cost,
         10.0, // worst-case C^t under the default cost config

@@ -1,4 +1,8 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Randomized with fixed-seed Xoshiro256** streams (in-tree, offline)
+//! instead of an external property-testing framework: every property runs
+//! a few hundred generated cases and is exactly reproducible.
 
 use idpa::core::bundle::BundleAccounting;
 use idpa::core::history::HistoryProfile;
@@ -8,7 +12,27 @@ use idpa::desim::calendar::Calendar;
 use idpa::desim::stats::{Ecdf, OnlineStats};
 use idpa::netmodel::{ChurnConfig, ChurnModel, Pareto};
 use idpa::prelude::*;
-use proptest::prelude::*;
+use rand::RngExt as _;
+
+const CASES: usize = 256;
+
+fn rng(seed: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(seed)
+}
+
+fn random_len(r: &mut Xoshiro256StarStar, lo: usize, hi: usize) -> usize {
+    lo + (r.next() as usize) % (hi - lo)
+}
+
+fn random_u64s(r: &mut Xoshiro256StarStar, lo: usize, hi: usize) -> Vec<u64> {
+    let n = random_len(r, lo, hi);
+    (0..n).map(|_| r.next()).collect()
+}
+
+fn random_f64s(r: &mut Xoshiro256StarStar, lo: f64, hi: f64, min: usize, max: usize) -> Vec<f64> {
+    let n = random_len(r, min, max);
+    (0..n).map(|_| lo + r.random_range(0.0..1.0) * (hi - lo)).collect()
+}
 
 fn biguint_from(parts: &[u64]) -> BigUint {
     // Build from big-endian bytes of the parts.
@@ -16,107 +40,148 @@ fn biguint_from(parts: &[u64]) -> BigUint {
     BigUint::from_bytes_be(&bytes)
 }
 
-proptest! {
-    // ---------------- bigint ------------------------------------------
+// ---------------- bigint ------------------------------------------
 
-    /// Division reconstruction: a = q*b + r with r < b, for arbitrary
-    /// widths (covers the Knuth Algorithm D path).
-    #[test]
-    fn bigint_divrem_reconstructs(a in prop::collection::vec(any::<u64>(), 1..6),
-                                  b in prop::collection::vec(any::<u64>(), 1..4)) {
-        let a = biguint_from(&a);
-        let b = biguint_from(&b);
-        prop_assume!(!b.is_zero());
-        let (q, r) = a.divrem(&b);
-        prop_assert!(r < b);
-        prop_assert_eq!(q.mul(&b).add(&r), a);
+/// Division reconstruction: a = q*b + r with r < b, for arbitrary widths
+/// (covers the Knuth Algorithm D path).
+#[test]
+fn bigint_divrem_reconstructs() {
+    let mut r = rng(0x3001);
+    let mut ran = 0;
+    while ran < CASES {
+        let a = biguint_from(&random_u64s(&mut r, 1, 6));
+        let b = biguint_from(&random_u64s(&mut r, 1, 4));
+        if b.is_zero() {
+            continue;
+        }
+        ran += 1;
+        let (q, rem) = a.divrem(&b);
+        assert!(rem < b);
+        assert_eq!(q.mul(&b).add(&rem), a);
     }
+}
 
-    /// Add/sub round trip.
-    #[test]
-    fn bigint_add_sub_round_trip(a in prop::collection::vec(any::<u64>(), 1..5),
-                                 b in prop::collection::vec(any::<u64>(), 1..5)) {
-        let a = biguint_from(&a);
-        let b = biguint_from(&b);
-        prop_assert_eq!(a.add(&b).sub(&b), a);
+/// Add/sub round trip.
+#[test]
+fn bigint_add_sub_round_trip() {
+    let mut r = rng(0x3002);
+    for _ in 0..CASES {
+        let a = biguint_from(&random_u64s(&mut r, 1, 5));
+        let b = biguint_from(&random_u64s(&mut r, 1, 5));
+        assert_eq!(a.add(&b).sub(&b), a);
     }
+}
 
-    /// Multiplication is commutative and distributes over addition.
-    #[test]
-    fn bigint_mul_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-        let (a, b, c) = (BigUint::from_u64(a), BigUint::from_u64(b), BigUint::from_u64(c));
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
-        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+/// Multiplication is commutative and distributes over addition.
+#[test]
+fn bigint_mul_laws() {
+    let mut r = rng(0x3003);
+    for _ in 0..CASES {
+        let a = BigUint::from_u64(r.next());
+        let b = BigUint::from_u64(r.next());
+        let c = BigUint::from_u64(r.next());
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
     }
+}
 
-    /// Byte serialisation round-trips.
-    #[test]
-    fn bigint_bytes_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+/// Byte serialisation round-trips.
+#[test]
+fn bigint_bytes_round_trip() {
+    let mut r = rng(0x3004);
+    for _ in 0..CASES {
+        let len = random_len(&mut r, 0, 64);
+        let bytes: Vec<u8> = (0..len).map(|_| (r.next() & 0xff) as u8).collect();
         let n = BigUint::from_bytes_be(&bytes);
         let back = BigUint::from_bytes_be(&n.to_bytes_be());
-        prop_assert_eq!(n, back);
+        assert_eq!(n, back);
     }
+}
 
-    /// Modular inverse, when it exists, actually inverts.
-    #[test]
-    fn bigint_mod_inverse_inverts(a in 1u64.., m in 3u64..) {
-        let a = BigUint::from_u64(a);
-        let m = BigUint::from_u64(m);
+/// Modular inverse, when it exists, actually inverts.
+#[test]
+fn bigint_mod_inverse_inverts() {
+    let mut r = rng(0x3005);
+    for _ in 0..CASES {
+        let a = BigUint::from_u64(1 + r.next() % (u64::MAX - 1));
+        let m = BigUint::from_u64(3 + r.next() % (u64::MAX - 3));
         if let Some(inv) = a.mod_inverse(&m) {
-            prop_assert_eq!(a.mulmod(&inv, &m), BigUint::one());
+            assert_eq!(a.mulmod(&inv, &m), BigUint::one());
         }
     }
+}
 
-    // ---------------- stats -------------------------------------------
+// ---------------- stats -------------------------------------------
 
-    /// OnlineStats::merge equals pushing everything into one collector.
-    #[test]
-    fn stats_merge_is_concatenation(xs in prop::collection::vec(-1e6f64..1e6, 0..50),
-                                    ys in prop::collection::vec(-1e6f64..1e6, 0..50)) {
+/// OnlineStats::merge equals pushing everything into one collector.
+#[test]
+fn stats_merge_is_concatenation() {
+    let mut r = rng(0x3006);
+    for _ in 0..CASES {
+        let xs = random_f64s(&mut r, -1e6, 1e6, 0, 50);
+        let ys = random_f64s(&mut r, -1e6, 1e6, 0, 50);
         let mut a = OnlineStats::new();
         let mut b = OnlineStats::new();
         let mut whole = OnlineStats::new();
-        for &x in &xs { a.push(x); whole.push(x); }
-        for &y in &ys { b.push(y); whole.push(y); }
+        for &x in &xs {
+            a.push(x);
+            whole.push(x);
+        }
+        for &y in &ys {
+            b.push(y);
+            whole.push(y);
+        }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
+        assert_eq!(a.count(), whole.count());
         if whole.count() > 0 {
-            prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
-            prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
+            assert!((a.mean() - whole.mean()).abs() < 1e-6);
+            assert!((a.variance() - whole.variance()).abs() < 1e-3);
         }
     }
+}
 
-    /// ECDF is monotone non-decreasing and bounded by [0, 1].
-    #[test]
-    fn ecdf_is_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..100),
-                        probes in prop::collection::vec(-2e3f64..2e3, 2..20)) {
+/// ECDF is monotone non-decreasing and bounded by [0, 1].
+#[test]
+fn ecdf_is_monotone() {
+    let mut r = rng(0x3007);
+    for _ in 0..CASES {
+        let xs = random_f64s(&mut r, -1e3, 1e3, 1, 100);
+        let probes = random_f64s(&mut r, -2e3, 2e3, 2, 20);
         let mut e = Ecdf::from_samples(xs);
-        let mut sorted = probes.clone();
+        let mut sorted = probes;
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut prev = 0.0;
         for p in sorted {
             let v = e.eval(p);
-            prop_assert!((0.0..=1.0).contains(&v));
-            prop_assert!(v >= prev);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v >= prev);
             prev = v;
         }
     }
+}
 
-    /// Every quantile is an element of the sample.
-    #[test]
-    fn ecdf_quantile_is_a_sample(xs in prop::collection::vec(-1e3f64..1e3, 1..50),
-                                 q in 0.0f64..=1.0) {
+/// Every quantile is an element of the sample.
+#[test]
+fn ecdf_quantile_is_a_sample() {
+    let mut r = rng(0x3008);
+    for _ in 0..CASES {
+        let xs = random_f64s(&mut r, -1e3, 1e3, 1, 50);
+        let q = r.random_range(0.0..1.0);
         let mut e = Ecdf::from_samples(xs.clone());
         let v = e.quantile(q);
-        prop_assert!(xs.contains(&v));
+        assert!(xs.contains(&v));
     }
+}
 
-    // ---------------- desim calendar ------------------------------------
+// ---------------- desim calendar ------------------------------------
 
-    /// The calendar pops every scheduled event exactly once, in
-    /// non-decreasing time order.
-    #[test]
-    fn calendar_pops_sorted_and_complete(times in prop::collection::vec(0.0f64..1e4, 0..200)) {
+/// The calendar pops every scheduled event exactly once, in
+/// non-decreasing time order.
+#[test]
+fn calendar_pops_sorted_and_complete() {
+    let mut r = rng(0x3009);
+    for _ in 0..CASES {
+        let times = random_f64s(&mut r, 0.0, 1e4, 0, 200);
         let mut cal = Calendar::new();
         for (i, &t) in times.iter().enumerate() {
             cal.schedule(SimTime::new(t), i);
@@ -124,97 +189,126 @@ proptest! {
         let mut popped = Vec::new();
         let mut prev = SimTime::ZERO;
         while let Some(entry) = cal.pop() {
-            prop_assert!(entry.time >= prev);
+            assert!(entry.time >= prev);
             prev = entry.time;
             popped.push(entry.event);
         }
         popped.sort_unstable();
-        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+        assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
     }
+}
 
-    // ---------------- netmodel ------------------------------------------
+// ---------------- netmodel ------------------------------------------
 
-    /// Pareto samples never fall below the scale parameter and the CDF at
-    /// the empirical median is near 1/2.
-    #[test]
-    fn pareto_respects_support(median in 1.0f64..1e3, shape in 0.5f64..5.0, seed in any::<u64>()) {
+/// Pareto samples never fall below the scale parameter and the CDF at
+/// the empirical median is near 1/2.
+#[test]
+fn pareto_respects_support() {
+    let mut r = rng(0x300a);
+    for _ in 0..CASES {
+        let median = 1.0 + r.random_range(0.0..1.0) * 999.0;
+        let shape = 0.5 + r.random_range(0.0..1.0) * 4.5;
         let d = Pareto::from_median(median, shape);
-        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut sample_rng = Xoshiro256StarStar::seed_from_u64(r.next());
         for _ in 0..100 {
-            let x = d.sample(&mut rng);
-            prop_assert!(x >= d.scale());
-            prop_assert!((0.0..=1.0).contains(&d.cdf(x)));
+            let x = d.sample(&mut sample_rng);
+            assert!(x >= d.scale());
+            assert!((0.0..=1.0).contains(&d.cdf(x)));
         }
-        prop_assert!((d.cdf(median) - 0.5).abs() < 1e-9);
+        assert!((d.cdf(median) - 0.5).abs() < 1e-9);
     }
+}
 
-    /// Churn schedules are sorted, disjoint, within the horizon, and
-    /// availability lies in [0, 1].
-    #[test]
-    fn churn_schedules_are_wellformed(seed in any::<u64>(), n in 1usize..30) {
-        let cfg = ChurnConfig { n_nodes: n, ..ChurnConfig::default() };
-        let scheds = ChurnModel::new(cfg).generate(
-            &mut Xoshiro256StarStar::seed_from_u64(seed));
+/// Churn schedules are sorted, disjoint, within the horizon, and
+/// availability lies in [0, 1].
+#[test]
+fn churn_schedules_are_wellformed() {
+    let mut r = rng(0x300b);
+    // Schedule generation over a full horizon is the expensive kernel
+    // here; a reduced case count keeps the suite fast.
+    for _ in 0..CASES / 4 {
+        let n = random_len(&mut r, 1, 30);
+        let cfg = ChurnConfig {
+            n_nodes: n,
+            ..ChurnConfig::default()
+        };
+        let scheds =
+            ChurnModel::new(cfg).generate(&mut Xoshiro256StarStar::seed_from_u64(r.next()));
         for s in &scheds {
             let mut prev_end = 0.0;
             for &(a, b) in s.sessions() {
-                prop_assert!(a < b);
-                prop_assert!(a >= prev_end);
-                prop_assert!(b <= cfg.horizon + 1e-9);
+                assert!(a < b);
+                assert!(a >= prev_end);
+                assert!(b <= cfg.horizon + 1e-9);
                 prev_end = b;
             }
             let avail = s.availability();
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&avail));
+            assert!((0.0..=1.0 + 1e-9).contains(&avail));
         }
     }
+}
 
-    // ---------------- overlay -------------------------------------------
+// ---------------- overlay -------------------------------------------
 
-    /// Random topologies always have exact degree, no self-loops, no
-    /// duplicates.
-    #[test]
-    fn topology_invariants(seed in any::<u64>(), n in 2usize..40) {
+/// Random topologies always have exact degree, no self-loops, no
+/// duplicates.
+#[test]
+fn topology_invariants() {
+    let mut r = rng(0x300c);
+    for _ in 0..CASES {
+        let n = random_len(&mut r, 2, 40);
         let d = (n - 1).min(5);
-        let t = Topology::random(n, d, &mut Xoshiro256StarStar::seed_from_u64(seed));
+        let t = Topology::random(n, d, &mut Xoshiro256StarStar::seed_from_u64(r.next()));
         for i in 0..n {
             let nbrs = t.neighbors(NodeId(i));
-            prop_assert_eq!(nbrs.len(), d);
-            prop_assert!(nbrs.iter().all(|v| v.index() != i));
+            assert_eq!(nbrs.len(), d);
+            assert!(nbrs.iter().all(|v| v.index() != i));
             let mut uniq = nbrs.to_vec();
             uniq.dedup();
-            prop_assert_eq!(uniq.len(), d);
+            assert_eq!(uniq.len(), d);
         }
     }
+}
 
-    /// Probe availability estimates sum to 1 over the neighbor set once
-    /// anything was observed, and each lies in [0, 1].
-    #[test]
-    fn probe_availability_is_a_distribution(
-        seed in any::<u64>(),
-        liveness in prop::collection::vec(prop::collection::vec(any::<bool>(), 4), 1..30),
-    ) {
-        let mut est = ProbeEstimator::new(
-            NodeId(0), 1.0, (1..=4).map(NodeId).collect());
-        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+/// Probe availability estimates sum to 1 over the neighbor set once
+/// anything was observed, and each lies in [0, 1].
+#[test]
+fn probe_availability_is_a_distribution() {
+    let mut r = rng(0x300d);
+    for _ in 0..CASES {
+        let rounds = random_len(&mut r, 1, 30);
+        let liveness: Vec<[bool; 4]> = (0..rounds)
+            .map(|_| {
+                let bits = r.next();
+                [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0]
+            })
+            .collect();
+        let mut est = ProbeEstimator::new(NodeId(0), 1.0, (1..=4).map(NodeId).collect());
+        let mut probe_rng = Xoshiro256StarStar::seed_from_u64(r.next());
         let mut anything = false;
         for round in &liveness {
             anything |= round.iter().any(|&b| b);
-            est.probe_round(|v| round[v.index() - 1], &mut rng);
+            est.probe_round(|v| round[v.index() - 1], &mut probe_rng);
         }
         let total: f64 = (1..=4).map(|i| est.availability(NodeId(i))).sum();
         if anything {
-            prop_assert!((total - 1.0).abs() < 1e-9, "total {}", total);
+            assert!((total - 1.0).abs() < 1e-9, "total {total}");
         } else {
-            prop_assert_eq!(total, 0.0);
+            assert_eq!(total, 0.0);
         }
     }
+}
 
-    // ---------------- core ----------------------------------------------
+// ---------------- core ----------------------------------------------
 
-    /// Selectivity is a probability and the per-target selectivities over
-    /// one predecessor sum to at most 1.
-    #[test]
-    fn selectivity_is_bounded(succs in prop::collection::vec(0usize..5, 0..30)) {
+/// Selectivity is a probability and the per-target selectivities over
+/// one predecessor sum to at most 1.
+#[test]
+fn selectivity_is_bounded() {
+    let mut r = rng(0x300e);
+    for _ in 0..CASES {
+        let n_records = random_len(&mut r, 0, 30);
+        let succs: Vec<usize> = (0..n_records).map(|_| (r.next() % 5) as usize).collect();
         let mut h = HistoryProfile::new(NodeId(9));
         for (conn, &s) in succs.iter().enumerate() {
             h.record(BundleId(0), conn as u32, NodeId(8), NodeId(s));
@@ -223,62 +317,82 @@ proptest! {
         let mut total = 0.0;
         for v in 0..5 {
             let sigma = h.selectivity(BundleId(0), priors, NodeId(v));
-            prop_assert!((0.0..=1.0).contains(&sigma));
+            assert!((0.0..=1.0).contains(&sigma));
             total += sigma;
         }
-        prop_assert!(total <= 1.0 + 1e-9);
+        assert!(total <= 1.0 + 1e-9);
     }
+}
 
-    /// Bundle payoffs: gross benefits over a bundle sum to
-    /// `instances*P_f + P_r` (the routing pool is fully distributed).
-    #[test]
-    fn bundle_benefit_conservation(
-        paths in prop::collection::vec(prop::collection::vec(0usize..8, 1..5), 1..10),
-        pf in 1.0f64..100.0,
-        pr in 0.0f64..400.0,
-    ) {
+/// Bundle payoffs: gross benefits over a bundle sum to
+/// `instances*P_f + P_r` (the routing pool is fully distributed).
+#[test]
+fn bundle_benefit_conservation() {
+    let mut r = rng(0x300f);
+    for _ in 0..CASES {
+        let n_paths = random_len(&mut r, 1, 10);
+        let pf = 1.0 + r.random_range(0.0..1.0) * 99.0;
+        let pr = r.random_range(0.0..1.0) * 400.0;
         let mut b = BundleAccounting::new();
         let mut total_instances = 0usize;
-        for p in &paths {
-            let nodes: Vec<NodeId> = p.iter().map(|&i| NodeId(i)).collect();
+        for _ in 0..n_paths {
+            let len = random_len(&mut r, 1, 5);
+            let nodes: Vec<NodeId> = (0..len).map(|_| NodeId((r.next() % 8) as usize)).collect();
             let costs = vec![0.0; nodes.len()];
             total_instances += nodes.len();
             b.record_connection(&nodes, &costs);
         }
-        let gross: f64 = b.forwarder_set().iter()
+        let gross: f64 = b
+            .forwarder_set()
+            .iter()
             .map(|&f| b.gross_benefit(f, pf, pr))
             .sum();
         let expect = total_instances as f64 * pf + pr;
-        prop_assert!((gross - expect).abs() < 1e-6, "gross {} expect {}", gross, expect);
+        assert!((gross - expect).abs() < 1e-6, "gross {gross} expect {expect}");
     }
+}
 
-    /// The reformation tracker's new-edge fraction is a probability, and
-    /// replaying identical paths drives it down monotonically.
-    #[test]
-    fn reformation_fraction_bounded(edges in prop::collection::vec((0usize..10, 0usize..10), 1..10),
-                                    reps in 1usize..10) {
+/// The reformation tracker's new-edge fraction is a probability, and
+/// replaying identical paths drives it down monotonically.
+#[test]
+fn reformation_fraction_bounded() {
+    let mut r = rng(0x3010);
+    for _ in 0..CASES {
+        let n_edges = random_len(&mut r, 1, 10);
+        let path: Vec<(NodeId, NodeId)> = (0..n_edges)
+            .map(|_| {
+                (
+                    NodeId((r.next() % 10) as usize),
+                    NodeId((r.next() % 10) as usize),
+                )
+            })
+            .collect();
+        let reps = random_len(&mut r, 1, 10);
         let mut t = ReformationTracker::new();
-        let path: Vec<(NodeId, NodeId)> =
-            edges.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
         let mut prev = 1.0;
         for _ in 0..reps {
             t.record(&path);
             let frac = t.new_edge_fraction();
-            prop_assert!((0.0..=1.0).contains(&frac));
-            prop_assert!(frac <= prev + 1e-12);
+            assert!((0.0..=1.0).contains(&frac));
+            assert!(frac <= prev + 1e-12);
             prev = frac;
         }
     }
+}
 
-    /// Entropy-based degree of anonymity stays in [0, 1] for arbitrary
-    /// normalised distributions.
-    #[test]
-    fn anonymity_degree_bounded(weights in prop::collection::vec(0.01f64..10.0, 2..20)) {
+/// Entropy-based degree of anonymity stays in [0, 1] for arbitrary
+/// normalised distributions.
+#[test]
+fn anonymity_degree_bounded() {
+    let mut r = rng(0x3011);
+    for _ in 0..CASES {
+        let n = random_len(&mut r, 2, 20);
+        let weights: Vec<f64> = (0..n).map(|_| 0.01 + r.random_range(0.0..1.0) * 9.99).collect();
         let total: f64 = weights.iter().sum();
         let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
         let h = entropy_bits(&probs);
-        prop_assert!(h >= 0.0);
+        assert!(h >= 0.0);
         let d = anonymity_degree(&probs);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        assert!((0.0..=1.0 + 1e-9).contains(&d));
     }
 }
