@@ -14,7 +14,9 @@ fn main() {
     }
     let mut h = Harness::new();
     for f in [0.1, 0.5, 0.9] {
-        h.bench(&format!("fig3/point_f{f}"), || run_point(f, model_one(), 1.0, 42));
+        h.bench(&format!("fig3/point_f{f}"), || {
+            run_point(f, model_one(), 1.0, 42)
+        });
     }
     h.write_json_default().expect("write bench report");
 }

@@ -13,7 +13,9 @@ fn main() {
     }
     let mut h = Harness::new();
     for f in [0.1, 0.5] {
-        h.bench(&format!("fig4/point_f{f}"), || run_point(f, model_two(), 1.0, 42));
+        h.bench(&format!("fig4/point_f{f}"), || {
+            run_point(f, model_two(), 1.0, 42)
+        });
     }
     h.write_json_default().expect("write bench report");
 }

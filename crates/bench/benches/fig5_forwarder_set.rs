@@ -17,7 +17,9 @@ fn main() {
         );
     }
     let mut h = Harness::new();
-    h.bench("fig5/random", || run_point(0.1, RoutingStrategy::Random, 1.0, 42));
+    h.bench("fig5/random", || {
+        run_point(0.1, RoutingStrategy::Random, 1.0, 42)
+    });
     h.bench("fig5/model1", || run_point(0.1, model_one(), 1.0, 42));
     h.bench("fig5/model2", || run_point(0.1, model_two(), 1.0, 42));
     h.write_json_default().expect("write bench report");

@@ -253,7 +253,10 @@ fn bench_path_formation(h: &mut Harness) {
 
     for (label, strategy) in [
         ("core/path_random", RoutingStrategy::Random),
-        ("core/path_model1", RoutingStrategy::Utility(UtilityModel::ModelI)),
+        (
+            "core/path_model1",
+            RoutingStrategy::Utility(UtilityModel::ModelI),
+        ),
         (
             "core/path_model2_la2",
             RoutingStrategy::Utility(UtilityModel::ModelII { lookahead: 2 }),
@@ -297,6 +300,116 @@ fn bench_probing(h: &mut Harness) {
     });
 }
 
+/// Random degree-`d` neighbor sets over `n` nodes (distinct, non-self).
+fn random_neighbor_sets(n: usize, d: usize, rng: &mut Xoshiro256StarStar) -> Vec<Vec<NodeId>> {
+    use rand::RngExt;
+    (0..n)
+        .map(|i| {
+            let mut nbrs: Vec<NodeId> = Vec::with_capacity(d);
+            while nbrs.len() < d {
+                let v = NodeId(rng.random_range(0..n));
+                if v.index() != i && !nbrs.contains(&v) {
+                    nbrs.push(v);
+                }
+            }
+            nbrs
+        })
+        .collect()
+}
+
+/// The cost the lazy path avoids paying per tick: one full eager probe
+/// sweep (probe round + neighbor maintenance for every node) at network
+/// sizes where it dominates the event loop.
+fn bench_probe_tick(h: &mut Harness) {
+    use idpa_desim::rng::StreamFactory;
+    for (n, d) in [(1_000usize, 8usize), (10_000, 32)] {
+        let streams = StreamFactory::new(11);
+        let mut topo_rng = Xoshiro256StarStar::seed_from_u64(9);
+        let sets = random_neighbor_sets(n, d, &mut topo_rng);
+        let mut ests: Vec<ProbeEstimator> = sets
+            .into_iter()
+            .enumerate()
+            .map(|(i, nbrs)| ProbeEstimator::new(NodeId(i), 5.0, nbrs))
+            .collect();
+        let mut round = 0u64;
+        h.bench(&format!("overlay/probe_tick_eager_n{n}_d{d}"), || {
+            round += 1;
+            for est in &mut ests {
+                est.probe_round_seeded(&streams, |v| (v.index() as u64 + round) % 3 != 0);
+                est.maintain_seeded(&streams, 6, n);
+            }
+            ests[0].rounds()
+        });
+    }
+}
+
+/// Lazy catch-up after a long idle gap: nothing read any probe state for
+/// a full day of churn (288 probe ticks at T = 5), then the whole
+/// network's cells are synchronised at once. The lazy set does one
+/// closed-form advance per (node, slot) — O(session intervals) — where
+/// the eager estimator replays every probe of every tick.
+fn bench_lazy_catchup(h: &mut Harness) {
+    use idpa_desim::rng::StreamFactory;
+    use idpa_netmodel::NodeSchedule;
+    use idpa_overlay::LazyProbeSet;
+
+    let n = 256usize;
+    let d = 8usize;
+    let period = 5.0;
+    let horizon = 24.0 * 60.0; // 288 probe ticks
+    let mut topo_rng = Xoshiro256StarStar::seed_from_u64(10);
+    let sets = random_neighbor_sets(n, d, &mut topo_rng);
+    // Alternating sessions staggered by node index so probes see a mix of
+    // live and silent neighbors.
+    let schedules: Vec<NodeSchedule> = (0..n)
+        .map(|i| {
+            let mut sessions = Vec::new();
+            let mut t = (i % 7) as f64 * 3.0;
+            while t < horizon {
+                let up = 40.0 + (i % 5) as f64 * 25.0;
+                sessions.push((t, (t + up).min(horizon)));
+                t += up + 20.0 + (i % 3) as f64 * 15.0;
+            }
+            NodeSchedule::from_sessions(sessions)
+        })
+        .collect();
+    let streams = StreamFactory::new(11);
+    let pristine = LazyProbeSet::new(
+        period,
+        horizon,
+        schedules.clone(),
+        sets.clone(),
+        None,
+        streams.clone(),
+    );
+    h.bench("overlay/lazy_catchup_all_288_ticks", || {
+        let mut set = pristine.clone();
+        set.sync_all(horizon, 1);
+        set.session_time(NodeId(0), sets[0][0], horizon)
+    });
+    h.bench("overlay/eager_replay_all_288_ticks", || {
+        let mut ests: Vec<ProbeEstimator> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, nbrs)| ProbeEstimator::new(NodeId(i), period, nbrs.clone()))
+            .collect();
+        for k in 1.. {
+            let t = k as f64 * period;
+            if t >= horizon {
+                break;
+            }
+            let now = idpa_desim::SimTime::new(t);
+            for est in &mut ests {
+                if !schedules[est.owner().index()].is_up(now) {
+                    continue;
+                }
+                est.probe_round_seeded(&streams, |v| schedules[v.index()].is_up(now));
+            }
+        }
+        ests[0].session_time(sets[0][0])
+    });
+}
+
 fn bench_crypto(h: &mut Harness) {
     let mut rng = Xoshiro256StarStar::seed_from_u64(5);
     let keys = RsaKeyPair::generate(512, &mut rng);
@@ -328,14 +441,14 @@ fn bench_crypto(h: &mut Harness) {
     let key = [7u8; 32];
     let nonce = [1u8; 12];
     let zeros = vec![0u8; 4096];
-    h.bench("crypto/chacha20_4k", || ChaCha20::encrypt(&key, &nonce, &zeros));
+    h.bench("crypto/chacha20_4k", || {
+        ChaCha20::encrypt(&key, &nonce, &zeros)
+    });
 }
 
 fn bench_games(h: &mut Harness) {
     use idpa_game::NormalFormGame;
-    let game = NormalFormGame::from_fn(vec![3, 3, 3], |p| {
-        p.iter().map(|&s| s as f64).collect()
-    });
+    let game = NormalFormGame::from_fn(vec![3, 3, 3], |p| p.iter().map(|&s| s as f64).collect());
     h.bench("game/iterated_elimination_3x3x3", || {
         game.iterated_elimination()
     });
@@ -348,6 +461,8 @@ fn main() {
     bench_model2_lookahead(&mut h);
     bench_path_formation(&mut h);
     bench_probing(&mut h);
+    bench_probe_tick(&mut h);
+    bench_lazy_catchup(&mut h);
     bench_crypto(&mut h);
     bench_games(&mut h);
     h.write_json_default().expect("write bench report");

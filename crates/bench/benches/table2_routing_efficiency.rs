@@ -9,7 +9,12 @@ fn main() {
     for f in [0.1, 0.5, 0.9] {
         let row: Vec<String> = [0.5, 1.0, 2.0, 4.0]
             .iter()
-            .map(|&tau| format!("{:.1}", run_point(f, model_one(), tau, 42).routing_efficiency))
+            .map(|&tau| {
+                format!(
+                    "{:.1}",
+                    run_point(f, model_one(), tau, 42).routing_efficiency
+                )
+            })
             .collect();
         println!("  f={f:.1}: {}", row.join("  "));
     }

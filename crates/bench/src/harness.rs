@@ -7,6 +7,10 @@
 //! batch is long enough for the clock to resolve. Results are printed as
 //! a table and merged into a flat JSON file (`name -> ns/iter`), so
 //! successive bench targets accumulate into one report.
+//!
+//! Setting `IDPA_BENCH_SMOKE=1` turns every kernel into a single
+//! un-timed iteration and suppresses the report merge — CI uses this to
+//! prove each bench binary still runs without paying for measurement.
 
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -63,6 +67,17 @@ impl Harness {
         let probe_start = Instant::now();
         black_box(f());
         let probe_ns = probe_start.elapsed().as_nanos() as f64;
+
+        if smoke_mode() {
+            println!("bench {name:<44} smoke: 1 iter, not timed");
+            self.measurements.push(Measurement {
+                name: name.to_string(),
+                ns_per_iter: probe_ns,
+                iters_per_batch: 1,
+                samples: 1,
+            });
+            return;
+        }
 
         let (iters, samples) = if probe_ns >= HEAVY_ITER_NS {
             (1u64, HEAVY_SAMPLES)
@@ -130,18 +145,29 @@ impl Harness {
     }
 
     /// Merges into the default report location: `$IDPA_BENCH_OUT`, or
-    /// `BENCH_pr1.json` at the workspace root.
+    /// `BENCH_pr2.json` at the workspace root. A no-op under
+    /// `IDPA_BENCH_SMOKE=1` (smoke numbers are not measurements).
     ///
     /// # Errors
     /// Propagates I/O failures from [`Harness::write_json`].
     pub fn write_json_default(&self) -> std::io::Result<()> {
+        if smoke_mode() {
+            println!("bench report skipped (IDPA_BENCH_SMOKE=1)");
+            return Ok(());
+        }
         let path = std::env::var("IDPA_BENCH_OUT").unwrap_or_else(|_| {
-            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr1.json").to_string()
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json").to_string()
         });
         self.write_json(&path)?;
         println!("bench report merged into {path}");
         Ok(())
     }
+}
+
+/// Whether `IDPA_BENCH_SMOKE=1`: run each kernel once, skip the report.
+#[must_use]
+pub fn smoke_mode() -> bool {
+    std::env::var("IDPA_BENCH_SMOKE").is_ok_and(|v| v == "1")
 }
 
 /// Parses the flat `{"name": number, ...}` JSON this harness writes.

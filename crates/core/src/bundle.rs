@@ -188,8 +188,7 @@ mod tests {
         let mut b = BundleAccounting::new();
         b.record_connection(&[n(1), n(2)], &[2.0, 3.0]);
         b.record_connection(&[n(1)], &[2.0]);
-        let payoffs: BTreeMap<NodeId, f64> =
-            b.payoffs(50.0, 100.0, 5.0).into_iter().collect();
+        let payoffs: BTreeMap<NodeId, f64> = b.payoffs(50.0, 100.0, 5.0).into_iter().collect();
         // n1: 2*50 + 50 - 4 - 5 = 141 ; n2: 1*50 + 50 - 3 - 5 = 92
         assert!((payoffs[&n(1)] - 141.0).abs() < 1e-12);
         assert!((payoffs[&n(2)] - 92.0).abs() < 1e-12);

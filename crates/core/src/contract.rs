@@ -202,10 +202,7 @@ mod tests {
         let cheap = p.plan(BundleId(0), NodeId(1), 1.0);
         let lavish = Contract::from_tau(BundleId(0), NodeId(1), 100.0, 4.0);
         // At equal expected set size the minimal contract dominates.
-        assert!(
-            p.initiator_utility(&cheap, &anon, 5.0)
-                > p.initiator_utility(&lavish, &anon, 5.0)
-        );
+        assert!(p.initiator_utility(&cheap, &anon, 5.0) > p.initiator_utility(&lavish, &anon, 5.0));
     }
 
     #[test]

@@ -264,10 +264,7 @@ mod tests {
             .map(|h| PathRecord::issue(KEY, 2, h, NodeId(10 + h as usize)))
             .collect();
         let path = validate_path(&records, KEY).unwrap();
-        assert_eq!(
-            path,
-            vec![NodeId(10), NodeId(11), NodeId(12), NodeId(13)]
-        );
+        assert_eq!(path, vec![NodeId(10), NodeId(11), NodeId(12), NodeId(13)]);
     }
 
     #[test]

@@ -97,7 +97,10 @@ struct BundleHistory {
 
 impl BundleHistory {
     fn push(&mut self, record: HistoryRecord) {
-        self.by_succ.entry(record.successor).or_default().add(record.connection);
+        self.by_succ
+            .entry(record.successor)
+            .or_default()
+            .add(record.connection);
         self.by_pred_succ
             .entry((record.predecessor, record.successor))
             .or_default()
@@ -202,7 +205,9 @@ impl HistoryProfile {
     /// All retained records for a bundle (insertion order).
     #[must_use]
     pub fn bundle_records(&self, bundle: BundleId) -> &[HistoryRecord] {
-        self.records.get(&bundle).map_or(&[], |b| b.records.as_slice())
+        self.records
+            .get(&bundle)
+            .map_or(&[], |b| b.records.as_slice())
     }
 
     /// Selectivity `σ(s, v)` when forming a new connection after `priors`
@@ -223,7 +228,10 @@ impl HistoryProfile {
         let Some(entry) = self.records.get(&bundle) else {
             return 0.0;
         };
-        let count = entry.by_succ.get(&v).map_or(0, |c| c.distinct_below(priors));
+        let count = entry
+            .by_succ
+            .get(&v)
+            .map_or(0, |c| c.distinct_below(priors));
         count as f64 / f64::from(priors)
     }
 
@@ -487,8 +495,6 @@ mod tests {
             unbounded.record(B, c, n(9), n(1));
             bounded.record(B, c, n(9), n(1));
         }
-        assert!(
-            bounded.selectivity(B, 10, n(1)) < unbounded.selectivity(B, 10, n(1))
-        );
+        assert!(bounded.selectivity(B, 10, n(1)) < unbounded.selectivity(B, 10, n(1)));
     }
 }

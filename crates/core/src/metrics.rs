@@ -105,10 +105,7 @@ pub fn crowds_probable_innocence(n: usize, c: usize, p_forward: f64) -> bool {
 /// `n ≥ p_f/(p_f − 1/2) · (c + 1)`.
 #[must_use]
 pub fn crowds_min_network_size(c: usize, p_forward: f64) -> f64 {
-    assert!(
-        p_forward > 0.5,
-        "probable innocence needs p_forward > 1/2"
-    );
+    assert!(p_forward > 0.5, "probable innocence needs p_forward > 1/2");
     p_forward / (p_forward - 0.5) * (c + 1) as f64
 }
 
@@ -302,10 +299,7 @@ mod tests {
             if n_min.floor() as usize > c + 1 {
                 let n_bad = n_min.floor() as usize - 1;
                 if n_bad > c {
-                    assert!(
-                        !crowds_probable_innocence(n_bad, c, p_f),
-                        "c={c} n={n_bad}"
-                    );
+                    assert!(!crowds_probable_innocence(n_bad, c, p_f), "c={c} n={n_bad}");
                 }
             }
         }

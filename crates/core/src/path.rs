@@ -462,7 +462,10 @@ mod tests {
             availability: HashMap::new(),
         };
         let contract = Contract::new(BundleId(0), NodeId(1), 50.0, 100.0);
-        let mut histories = vec![HistoryProfile::new(NodeId(0)), HistoryProfile::new(NodeId(1))];
+        let mut histories = vec![
+            HistoryProfile::new(NodeId(0)),
+            HistoryProfile::new(NodeId(1)),
+        ];
         let kinds = vec![NodeKind::Good; 2];
         let quality = EdgeQuality::new(Weights::balanced());
         let out = form_connection(

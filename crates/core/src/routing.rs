@@ -376,19 +376,24 @@ pub fn choose_next_hop_with(
                 let cp = view.participation_cost(s);
                 let mut best: Option<HopChoice> = None;
                 for &v in &candidates {
-                    let q_edge =
-                        edge_quality_memo(s, v, contract, priors, histories, view, quality, scratch);
+                    let q_edge = edge_quality_memo(
+                        s, v, contract, priors, histories, view, quality, scratch,
+                    );
                     let ct = view.transmission_cost(s, v);
                     let (u, q_seen) = match model {
-                        UtilityModel::ModelI => {
-                            (model_one_utility(contract.pf, contract.pr, q_edge, cp, ct), q_edge)
-                        }
+                        UtilityModel::ModelI => (
+                            model_one_utility(contract.pf, contract.pr, q_edge, cp, ct),
+                            q_edge,
+                        ),
                         UtilityModel::ModelII { lookahead } => {
                             let q_path = continuation_quality_with(
                                 scratch, s, v, q_edge, lookahead, contract, priors, histories,
                                 view, quality,
                             );
-                            (model_two_utility(contract.pf, contract.pr, q_path, cp, ct), q_path)
+                            (
+                                model_two_utility(contract.pf, contract.pr, q_path, cp, ct),
+                                q_path,
+                            )
                         }
                     };
                     let better = match &best {
@@ -468,7 +473,12 @@ pub fn choose_next_hop_colluding_with(
     }
     let colluders = &mut scratch.colluders;
     colluders.clear();
-    colluders.extend(candidates.iter().copied().filter(|v| !kinds[v.index()].is_good()));
+    colluders.extend(
+        candidates
+            .iter()
+            .copied()
+            .filter(|v| !kinds[v.index()].is_good()),
+    );
     let pool: &[NodeId] = if colluders.is_empty() {
         candidates
     } else {

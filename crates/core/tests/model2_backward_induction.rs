@@ -145,18 +145,33 @@ fn deeper_lookahead_never_reduces_information() {
     let fix = Fixture::random(15, 4, 99);
     let contract = Contract::new(BundleId(0), NodeId(14), 50.0, 100.0);
     let quality = EdgeQuality::new(Weights::balanced());
-    let histories: Vec<HistoryProfile> =
-        (0..15).map(|i| HistoryProfile::new(NodeId(i))).collect();
+    let histories: Vec<HistoryProfile> = (0..15).map(|i| HistoryProfile::new(NodeId(i))).collect();
     for la in 1..=5u8 {
         for j in fix.live_neighbors(NodeId(0)) {
             if j == contract.responder {
                 continue;
             }
             let q1 = continuation_quality(
-                NodeId(0), j, 0.5, la, &contract, 0, &histories, &fix, &quality,
+                NodeId(0),
+                j,
+                0.5,
+                la,
+                &contract,
+                0,
+                &histories,
+                &fix,
+                &quality,
             );
             let q2 = continuation_quality(
-                NodeId(0), j, 0.5, la, &contract, 0, &histories, &fix, &quality,
+                NodeId(0),
+                j,
+                0.5,
+                la,
+                &contract,
+                0,
+                &histories,
+                &fix,
+                &quality,
             );
             assert_eq!(q1, q2, "deterministic");
             assert!((0.0..=1.0).contains(&q1), "bounded: {q1}");

@@ -345,8 +345,7 @@ impl BigUint {
             let top = (u128::from(u[j + n]) << 64) | u128::from(u[j + n - 1]);
             let mut qhat = top / u128::from(v[n - 1]);
             let mut rhat = top % u128::from(v[n - 1]);
-            while qhat >= B
-                || qhat * u128::from(v[n - 2]) > (rhat << 64) + u128::from(u[j + n - 2])
+            while qhat >= B || qhat * u128::from(v[n - 2]) > (rhat << 64) + u128::from(u[j + n - 2])
             {
                 qhat -= 1;
                 rhat += u128::from(v[n - 1]);
@@ -549,26 +548,24 @@ mod tests {
             let n = BigUint::from_bytes_be(bytes);
             let back = n.to_bytes_be();
             // Leading zeros are dropped.
-            let canonical: Vec<u8> = bytes
-                .iter()
-                .copied()
-                .skip_while(|&b| b == 0)
-                .collect();
+            let canonical: Vec<u8> = bytes.iter().copied().skip_while(|&b| b == 0).collect();
             assert_eq!(back, canonical, "input {bytes:?}");
         }
     }
 
     #[test]
     fn from_bytes_ignores_leading_zeros() {
-        assert_eq!(
-            BigUint::from_bytes_be(&[0, 0, 5]),
-            BigUint::from_u64(5)
-        );
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 5]), BigUint::from_u64(5));
     }
 
     #[test]
     fn add_matches_u128() {
-        let pairs = [(0u128, 0u128), (1, 2), (u64::MAX as u128, 1), (1 << 100, 1 << 99)];
+        let pairs = [
+            (0u128, 0u128),
+            (1, 2),
+            (u64::MAX as u128, 1),
+            (1 << 100, 1 << 99),
+        ];
         for (a, b) in pairs {
             assert_eq!(big(a).add(&big(b)), big(a + b));
         }

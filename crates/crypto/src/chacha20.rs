@@ -125,10 +125,7 @@ mod tests {
         let nonce = [0u8, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let c = ChaCha20::new(&key, &nonce, 1);
         let block = c.block(1);
-        assert_eq!(
-            hex(&block[..16]),
-            "10f1e7e4d13b5915500fdd1fa32071c4"
-        );
+        assert_eq!(hex(&block[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
         // Words 12..16 of the §2.3.2 state after the block function are
         // d19c12b5 b94e16de e883d0cb 4e3c50a2, serialized little-endian.
         assert_eq!(hex(&block[48..64]), "b5129cd1de164eb9cbd083e8a2503c4e");

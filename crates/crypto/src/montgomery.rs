@@ -40,9 +40,7 @@ impl MontgomeryCtx {
         let n_prime = inv.wrapping_neg();
 
         // R^2 mod n computed with plain BigUint arithmetic (setup only).
-        let r2_big = BigUint::one()
-            .shl(64 * n.len() * 2)
-            .rem(modulus);
+        let r2_big = BigUint::one().shl(64 * n.len() * 2).rem(modulus);
         let mut r2 = r2_big.to_limbs();
         r2.resize(n.len(), 0);
 

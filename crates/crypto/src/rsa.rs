@@ -115,8 +115,7 @@ impl RsaKeyPair {
     /// Signs SHA-256(message) interpreted as an integer mod n.
     #[must_use]
     pub fn sign_message(&self, message: &[u8]) -> BigUint {
-        let digest =
-            BigUint::from_bytes_be(&Sha256::digest(message)).rem(self.public.modulus());
+        let digest = BigUint::from_bytes_be(&Sha256::digest(message)).rem(self.public.modulus());
         self.raw_sign(&digest)
     }
 }
@@ -144,7 +143,9 @@ mod tests {
     fn sign_verify_round_trip() {
         let kp = test_keys(2);
         let sig = kp.sign_message(b"pay the forwarder 50 units");
-        assert!(kp.public().verify_message(b"pay the forwarder 50 units", &sig));
+        assert!(kp
+            .public()
+            .verify_message(b"pay the forwarder 50 units", &sig));
     }
 
     #[test]
@@ -182,7 +183,10 @@ mod tests {
 
     #[test]
     fn distinct_seeds_distinct_keys() {
-        assert_ne!(test_keys(8).public().modulus(), test_keys(9).public().modulus());
+        assert_ne!(
+            test_keys(8).public().modulus(),
+            test_keys(9).public().modulus()
+        );
     }
 
     #[test]

@@ -183,21 +183,42 @@ impl StreamFactory {
     /// per-node or per-replication streams ("node", 17).
     #[must_use]
     pub fn stream_indexed(&self, label: &str, index: u64) -> Xoshiro256StarStar {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        for byte in label.as_bytes() {
-            h ^= u64::from(*byte);
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-        for byte in index.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(FNV_PRIME);
-        }
+        let h = fnv1a(label, &[index]);
         // One extra SplitMix64 round decorrelates label-hash and seed.
         let mut mixer = SplitMix64::new(h ^ self.master_seed);
         Xoshiro256StarStar::seed_from_u64(mixer.next())
     }
+
+    /// A generator keyed by two indices — e.g. `(node, round)` — so that
+    /// per-event randomness can be drawn *by position* rather than from a
+    /// shared sequential stream. Two components that derive their draws this
+    /// way consume identical bits no matter in which order (or on which
+    /// thread) they materialize them, which is what makes lazily-evaluated
+    /// state bit-identical to its eagerly-evaluated counterpart.
+    #[must_use]
+    pub fn stream_indexed2(&self, label: &str, a: u64, b: u64) -> Xoshiro256StarStar {
+        let h = fnv1a(label, &[a, b]);
+        let mut mixer = SplitMix64::new(h ^ self.master_seed);
+        Xoshiro256StarStar::seed_from_u64(mixer.next())
+    }
+}
+
+/// FNV-1a over the label bytes followed by each index's LE bytes.
+fn fnv1a(label: &str, indices: &[u64]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for byte in label.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for index in indices {
+        for byte in index.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -278,6 +299,29 @@ mod tests {
         let mut b = f.stream_indexed("node", 1);
         let matches = (0..256).filter(|_| a.next() == b.next()).count();
         assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn two_index_streams_are_position_stable() {
+        let f = StreamFactory::new(7);
+        let mut a1 = f.stream_indexed2("probe", 3, 41);
+        let mut a2 = f.stream_indexed2("probe", 3, 41);
+        for _ in 0..64 {
+            assert_eq!(a1.next(), a2.next());
+        }
+    }
+
+    #[test]
+    fn two_index_streams_decorrelate_in_both_indices() {
+        let f = StreamFactory::new(7);
+        let mut base = f.stream_indexed2("probe", 3, 41);
+        let mut other_a = f.stream_indexed2("probe", 4, 41);
+        let mut other_b = f.stream_indexed2("probe", 3, 42);
+        let mut swapped = f.stream_indexed2("probe", 41, 3);
+        let b0 = base.next();
+        assert_ne!(b0, other_a.next());
+        assert_ne!(b0, other_b.next());
+        assert_ne!(b0, swapped.next());
     }
 
     #[test]

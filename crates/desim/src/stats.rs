@@ -162,9 +162,9 @@ impl ConfidenceInterval {
 #[must_use]
 pub fn t_critical_95(df: u64) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     match df {
         0 => f64::INFINITY,
@@ -511,10 +511,7 @@ mod tests {
     fn ecdf_points_form_step_function() {
         let mut e = Ecdf::from_samples([10.0, 30.0, 20.0]);
         let pts = e.points();
-        assert_eq!(
-            pts,
-            vec![(10.0, 1.0 / 3.0), (20.0, 2.0 / 3.0), (30.0, 1.0)]
-        );
+        assert_eq!(pts, vec![(10.0, 1.0 / 3.0), (20.0, 2.0 / 3.0), (30.0, 1.0)]);
     }
 
     #[test]

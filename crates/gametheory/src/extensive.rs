@@ -6,10 +6,75 @@
 //! as an arena of decision and terminal nodes; [`GameTree::solve`] computes
 //! the subgame perfect Nash equilibrium (SPNE) action at every decision
 //! node together with the induced value vector.
+//!
+//! Path-formation trees repeat subgames heavily — different histories that
+//! reach the same residual state induce structurally identical subtrees —
+//! so [`GameTree::solve`] memoizes solved subtrees by structural interning:
+//! each node is keyed on (player-to-move, child subgame identities) for
+//! decisions and on the exact payoff bit pattern for terminals, and a
+//! duplicate copies its representative's solution instead of re-solving.
+
+use std::collections::HashMap;
 
 /// Index of a node in the game tree arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeRef(pub usize);
+
+/// Subgame keys are flat `u64` sequences: `[0, payoff bits...]` for a
+/// terminal (exact bit patterns, so the memo can never merge almost-equal
+/// subgames) and `[1, player, child class ids...]` for a decision. Child
+/// ids are the *interned* identities of the children, making equality
+/// recursive without recursive comparison; the leading tag plus the
+/// sequence length keep the two variants collision-free.
+type SubgameKey = Vec<u64>;
+
+const KEY_TERMINAL: u64 = 0;
+const KEY_DECISION: u64 = 1;
+
+/// FNV-1a as a [`std::hash::Hasher`]: subgame keys are short `u64`
+/// sequences, and the default SipHash costs more than the backward
+/// induction it memoizes.
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+#[derive(Default)]
+struct FnvBuild;
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = FnvHasher;
+
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// Memoization counters from one [`GameTree::solve_counting`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Distinct subgames actually solved by backward induction.
+    pub solved: usize,
+    /// Nodes that re-used a structurally identical solved subtree.
+    pub memo_hits: usize,
+}
 
 #[derive(Debug, Clone)]
 enum Node {
@@ -33,20 +98,34 @@ pub struct GameTree {
 }
 
 /// Result of backward induction.
+///
+/// Value vectors are stored once per subgame equivalence class and read
+/// through [`SpneSolution::value`]; a node interned as a duplicate shares
+/// its representative's vector instead of carrying a copy.
 #[derive(Debug, Clone)]
 pub struct SpneSolution {
     /// For every decision node (by arena index): the equilibrium action
     /// index; `None` for terminal nodes.
     pub choice: Vec<Option<usize>>,
-    /// Value vector (one payoff per player) of every node under the SPNE.
-    pub value: Vec<Vec<f64>>,
+    /// Representative arena index of each node's subgame class
+    /// (`rep[i] == i` for nodes solved fresh).
+    rep: Vec<usize>,
+    /// SPNE value vector (one payoff per player), filled only at
+    /// representative indices.
+    value: Vec<Vec<f64>>,
 }
 
 impl SpneSolution {
+    /// Value vector (one payoff per player) of `node` under the SPNE.
+    #[must_use]
+    pub fn value(&self, node: NodeRef) -> &[f64] {
+        &self.value[self.rep[node.0]]
+    }
+
     /// The equilibrium payoffs at the root.
     #[must_use]
     pub fn root_value<'a>(&'a self, tree: &GameTree) -> &'a [f64] {
-        &self.value[tree.root.expect("empty tree").0]
+        self.value(tree.root.expect("empty tree"))
     }
 
     /// The equilibrium path from the root: `(node, action label)` pairs.
@@ -132,14 +211,92 @@ impl GameTree {
     /// solution deterministic (the caller can encode preferred tie-breaks
     /// by action order — the paper breaks ties "by selecting a neighbor
     /// with a higher quality").
+    ///
+    /// Structurally identical subgames are interned and solved once; the
+    /// result is identical to [`GameTree::solve_unmemoized`] because the
+    /// induced value and lowest-index tie-break depend only on subgame
+    /// structure.
     #[must_use]
     pub fn solve(&self) -> SpneSolution {
+        self.solve_counting().0
+    }
+
+    /// [`GameTree::solve`] plus memoization counters, for benchmarks and
+    /// diagnostics.
+    #[must_use]
+    pub fn solve_counting(&self) -> (SpneSolution, SolveStats) {
         assert!(self.root.is_some(), "no root set");
         let n = self.nodes.len();
         let mut choice = vec![None; n];
         let mut value = vec![Vec::new(); n];
+        // Representative arena index of each node's subgame equivalence
+        // class; rep[i] <= i, and rep[i] == i iff node i was solved fresh.
+        let mut rep = vec![0usize; n];
+        let mut interned: HashMap<SubgameKey, usize, FnvBuild> = HashMap::default();
+        // Keys are assembled in a reusable scratch and looked up as a
+        // slice (`Vec<u64>: Borrow<[u64]>`), so a memo hit allocates
+        // nothing beyond the copied value vector.
+        let mut scratch: SubgameKey = Vec::new();
+        let mut stats = SolveStats {
+            solved: 0,
+            memo_hits: 0,
+        };
         // Children always precede parents in the arena (enforced by the
         // builder), so a single forward pass is a valid bottom-up order.
+        for i in 0..n {
+            scratch.clear();
+            match &self.nodes[i] {
+                Node::Terminal { payoffs } => {
+                    scratch.push(KEY_TERMINAL);
+                    scratch.extend(payoffs.iter().map(|p| p.to_bits()));
+                }
+                Node::Decision { player, actions } => {
+                    scratch.push(KEY_DECISION);
+                    scratch.push(*player as u64);
+                    scratch.extend(actions.iter().map(|(_, c)| rep[c.0] as u64));
+                }
+            }
+            if let Some(&r) = interned.get(scratch.as_slice()) {
+                rep[i] = r;
+                choice[i] = choice[r];
+                stats.memo_hits += 1;
+                continue;
+            }
+            match &self.nodes[i] {
+                Node::Terminal { payoffs } => {
+                    value[i] = payoffs.clone();
+                }
+                Node::Decision { player, actions } => {
+                    let mut best_a = 0;
+                    let mut best_u = f64::NEG_INFINITY;
+                    for (a, (_, child)) in actions.iter().enumerate() {
+                        debug_assert!(child.0 < i, "arena not topological");
+                        let u = value[rep[child.0]][*player];
+                        if u > best_u + 1e-12 {
+                            best_u = u;
+                            best_a = a;
+                        }
+                    }
+                    choice[i] = Some(best_a);
+                    value[i] = value[rep[actions[best_a].1 .0]].clone();
+                }
+            }
+            rep[i] = i;
+            interned.insert(scratch.clone(), i);
+            stats.solved += 1;
+        }
+        (SpneSolution { choice, rep, value }, stats)
+    }
+
+    /// Reference backward induction without subgame interning — same
+    /// contract as [`GameTree::solve`], kept for differential testing and
+    /// the memoization benchmark baseline.
+    #[must_use]
+    pub fn solve_unmemoized(&self) -> SpneSolution {
+        assert!(self.root.is_some(), "no root set");
+        let n = self.nodes.len();
+        let mut choice = vec![None; n];
+        let mut value = vec![Vec::new(); n];
         for i in 0..n {
             match &self.nodes[i] {
                 Node::Terminal { payoffs } => {
@@ -161,7 +318,11 @@ impl GameTree {
                 }
             }
         }
-        SpneSolution { choice, value }
+        SpneSolution {
+            choice,
+            rep: (0..n).collect(),
+            value,
+        }
     }
 }
 
@@ -250,9 +411,9 @@ mod tests {
         for i in 0..t.len() {
             if let Node::Decision { player, actions } = &t.nodes[i] {
                 let chosen = sol.choice[i].unwrap();
-                let chosen_u = sol.value[actions[chosen].1 .0][*player];
+                let chosen_u = sol.value(actions[chosen].1)[*player];
                 for (_, child) in actions {
-                    assert!(sol.value[child.0][*player] <= chosen_u + 1e-12);
+                    assert!(sol.value(*child)[*player] <= chosen_u + 1e-12);
                 }
             }
         }
@@ -276,5 +437,118 @@ mod tests {
     fn wrong_payoff_arity_rejected() {
         let mut t = GameTree::new(2);
         let _ = t.terminal(vec![1.0]);
+    }
+
+    /// SplitMix64 — the gametheory crate deliberately has no dependencies,
+    /// so the differential test carries its own tiny generator.
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        /// Uniform-ish payoff on a small lattice so distinct subtrees often
+        /// collide in value — stressing both the tie-break and the interner.
+        fn payoff(&mut self) -> f64 {
+            self.below(7) as f64 - 3.0
+        }
+    }
+
+    /// Builds a random tree by levels: terminals first, then layers of
+    /// decision nodes whose children are drawn from everything built so
+    /// far (the arena stays topological by construction). Payoffs are
+    /// drawn from a small lattice so duplicate subgames occur naturally.
+    fn random_tree(rng: &mut SplitMix64) -> GameTree {
+        let n_players = 1 + rng.below(3) as usize;
+        let mut t = GameTree::new(n_players);
+        let mut refs = Vec::new();
+        for _ in 0..(2 + rng.below(6)) {
+            let payoffs = (0..n_players).map(|_| rng.payoff()).collect();
+            refs.push(t.terminal(payoffs));
+        }
+        for _ in 0..(3 + rng.below(20)) {
+            let player = rng.below(n_players as u64) as usize;
+            let n_actions = 1 + rng.below(3) as usize;
+            let actions: Vec<(String, NodeRef)> = (0..n_actions)
+                .map(|a| {
+                    let child = refs[rng.below(refs.len() as u64) as usize];
+                    (format!("a{a}"), child)
+                })
+                .collect();
+            refs.push(t.decision(player, actions));
+        }
+        let root = *refs.last().expect("non-empty");
+        t.set_root(root);
+        t
+    }
+
+    #[test]
+    fn memoized_solve_matches_unmemoized_on_random_trees() {
+        let mut rng = SplitMix64(0x5eed_2007);
+        for case in 0..512 {
+            let t = random_tree(&mut rng);
+            let (memo, stats) = t.solve_counting();
+            let plain = t.solve_unmemoized();
+            assert_eq!(memo.choice, plain.choice, "case {case}: choices diverged");
+            for i in 0..t.len() {
+                let a: Vec<u64> = memo.value(NodeRef(i)).iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u64> = plain
+                    .value(NodeRef(i))
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(a, b, "case {case}: value bits diverged at node {i}");
+            }
+            assert_eq!(stats.solved + stats.memo_hits, t.len(), "case {case}");
+        }
+    }
+
+    #[test]
+    fn interning_collapses_repeated_subgames() {
+        // A path-formation-style game where every history reaches the same
+        // residual subgame: a full binary tree of depth 6 over two players
+        // whose leaves all carry one of two payoff vectors depending only
+        // on parity of "left" moves — structurally there are only a few
+        // distinct subgames per level, so interning must collapse almost
+        // everything.
+        let mut t = GameTree::new(2);
+        let mut level: Vec<NodeRef> = (0..64)
+            .map(|leaf: u32| {
+                if leaf.count_ones() % 2 == 0 {
+                    t.terminal(vec![1.0, 0.0])
+                } else {
+                    t.terminal(vec![0.0, 1.0])
+                }
+            })
+            .collect();
+        let mut depth = 0;
+        while level.len() > 1 {
+            let player = depth % 2;
+            level = level
+                .chunks(2)
+                .map(|pair| t.decision(player, vec![("left", pair[0]), ("right", pair[1])]))
+                .collect();
+            depth += 1;
+        }
+        t.set_root(level[0]);
+        let (sol, stats) = t.solve_counting();
+        // 127 nodes, but only 2 distinct terminals and at most 4 distinct
+        // decision shapes per level (player × child-class pair): the memo
+        // must do nearly all the work.
+        assert_eq!(stats.solved + stats.memo_hits, t.len());
+        assert!(
+            stats.memo_hits > stats.solved * 5,
+            "interning barely fired: {stats:?}"
+        );
+        assert_eq!(sol.choice, t.solve_unmemoized().choice);
     }
 }

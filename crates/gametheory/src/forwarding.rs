@@ -144,8 +144,8 @@ impl ForwardingStageGame {
                     } else {
                         game.q_random
                     };
-                    let others_nonrandom = nonrandom_count
-                        - usize::from(a == StageAction::ForwardNonRandom.index());
+                    let others_nonrandom =
+                        nonrandom_count - usize::from(a == StageAction::ForwardNonRandom.index());
                     let coop = (1.0 + others_nonrandom as f64) / n_players as f64;
                     game.pf + q * game.pr * coop - (game.cp + game.ct)
                 })
@@ -173,7 +173,10 @@ impl ForwardingStageGame {
 /// length `l` and `k` connections.
 #[must_use]
 pub fn participation_threshold(cp: f64, ct: f64, n: usize, l: f64, k: usize) -> f64 {
-    assert!(l > 0.0 && k > 0, "need positive path length and connections");
+    assert!(
+        l > 0.0 && k > 0,
+        "need positive path length and connections"
+    );
     cp * n as f64 / (l * k as f64) + ct
 }
 

@@ -29,7 +29,7 @@ pub mod forwarding;
 pub mod mixed;
 pub mod normal;
 
-pub use extensive::{GameTree, NodeRef, SpneSolution};
-pub use mixed::{mixed_nash_2p, MixedEquilibrium};
+pub use extensive::{GameTree, NodeRef, SolveStats, SpneSolution};
 pub use forwarding::{ForwardingStageGame, StageAction};
+pub use mixed::{mixed_nash_2p, MixedEquilibrium};
 pub use normal::NormalFormGame;

@@ -29,10 +29,8 @@ impl MixedEquilibrium {
     /// Whether both distributions are (numerically) valid probabilities.
     #[must_use]
     pub fn is_valid(&self) -> bool {
-        let ok = |p: &[f64]| {
-            p.iter().all(|&x| x >= -EPS)
-                && (p.iter().sum::<f64>() - 1.0).abs() < 1e-6
-        };
+        let ok =
+            |p: &[f64]| p.iter().all(|&x| x >= -EPS) && (p.iter().sum::<f64>() - 1.0).abs() < 1e-6;
         ok(&self.p0) && ok(&self.p1)
     }
 }
@@ -99,11 +97,7 @@ fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
 
 /// Given supports `(s0, s1)` of equal size, solves the indifference system
 /// for the *other* player's mixture and checks feasibility + deviations.
-fn try_supports(
-    game: &NormalFormGame,
-    s0: &[usize],
-    s1: &[usize],
-) -> Option<MixedEquilibrium> {
+fn try_supports(game: &NormalFormGame, s0: &[usize], s1: &[usize]) -> Option<MixedEquilibrium> {
     let k = s0.len();
     debug_assert_eq!(k, s1.len());
 
@@ -297,9 +291,9 @@ mod tests {
         let pure = game.pure_nash_equilibria();
         let mixed = mixed_nash_2p(&game);
         for profile in pure {
-            let found = mixed.iter().any(|e| {
-                e.p0[profile[0]] > 0.99 && e.p1[profile[1]] > 0.99
-            });
+            let found = mixed
+                .iter()
+                .any(|e| e.p0[profile[0]] > 0.99 && e.p1[profile[1]] > 0.99);
             assert!(found, "pure {profile:?} missing from mixed set");
         }
     }

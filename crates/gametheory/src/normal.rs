@@ -18,10 +18,7 @@ impl NormalFormGame {
     /// `n_strategies[i]` is the number of pure strategies of player `i`;
     /// `payoff(profile)` returns one payoff per player.
     #[must_use]
-    pub fn from_fn(
-        n_strategies: Vec<usize>,
-        mut payoff: impl FnMut(&[usize]) -> Vec<f64>,
-    ) -> Self {
+    pub fn from_fn(n_strategies: Vec<usize>, mut payoff: impl FnMut(&[usize]) -> Vec<f64>) -> Self {
         assert!(!n_strategies.is_empty(), "game needs at least one player");
         assert!(
             n_strategies.iter().all(|&k| k > 0),
@@ -195,7 +192,8 @@ impl NormalFormGame {
             .into_iter()
             .filter(|profile| {
                 (0..self.n_players()).all(|player| {
-                    self.best_responses(profile, player).contains(&profile[player])
+                    self.best_responses(profile, player)
+                        .contains(&profile[player])
                 })
             })
             .collect()
@@ -252,11 +250,7 @@ impl NormalFormGame {
     /// where the coupling is monotone) this converges; matching-pennies
     /// style games cycle and return `None`.
     #[must_use]
-    pub fn best_response_dynamics(
-        &self,
-        start: &[usize],
-        max_rounds: usize,
-    ) -> Option<Vec<usize>> {
+    pub fn best_response_dynamics(&self, start: &[usize], max_rounds: usize) -> Option<Vec<usize>> {
         assert_eq!(start.len(), self.n_players(), "profile arity");
         let mut profile = start.to_vec();
         for _ in 0..max_rounds {

@@ -186,9 +186,7 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(4);
         let m1 = CostModel::generate(CostConfig::default(), &mut rng);
         // Same seed => same bandwidth matrix => exactly double cost.
-        assert!(
-            (m2.transmission_cost(0, 1) - 2.0 * m1.transmission_cost(0, 1)).abs() < 1e-12
-        );
+        assert!((m2.transmission_cost(0, 1) - 2.0 * m1.transmission_cost(0, 1)).abs() < 1e-12);
     }
 
     #[test]

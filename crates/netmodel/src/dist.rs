@@ -137,7 +137,10 @@ impl Pareto {
 /// exponential inter-arrivals (Knuth's method; fine for the small means used
 /// in the workload generator).
 pub fn poisson_count(mean: f64, rng: &mut Xoshiro256StarStar) -> u64 {
-    assert!(mean >= 0.0 && mean.is_finite(), "invalid Poisson mean {mean}");
+    assert!(
+        mean >= 0.0 && mean.is_finite(),
+        "invalid Poisson mean {mean}"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -250,7 +253,10 @@ mod tests {
         let n = 100_000;
         let p_tail = (0..n).filter(|_| p.sample(&mut r) > 600.0).count();
         let e_tail = (0..n).filter(|_| e.sample(&mut r) > 600.0).count();
-        assert!(p_tail > 5 * e_tail.max(1), "p_tail={p_tail}, e_tail={e_tail}");
+        assert!(
+            p_tail > 5 * e_tail.max(1),
+            "p_tail={p_tail}, e_tail={e_tail}"
+        );
     }
 
     #[test]

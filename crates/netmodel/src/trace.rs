@@ -142,8 +142,7 @@ mod tests {
             n_nodes: 12,
             ..ChurnConfig::default()
         };
-        let scheds = ChurnModel::new(cfg)
-            .generate(&mut Xoshiro256StarStar::seed_from_u64(1));
+        let scheds = ChurnModel::new(cfg).generate(&mut Xoshiro256StarStar::seed_from_u64(1));
         let csv = to_csv(&scheds);
         let back = from_csv(&csv, 12).unwrap();
         assert_eq!(back, scheds);

@@ -13,15 +13,21 @@
 //! * [`NodeId`] / [`NodeKind`] — peer identities and good/malicious roles,
 //! * [`Topology`] — the random fixed-degree neighbor relation `D(s)`,
 //! * [`ProbeEstimator`] — the §2.3 availability estimator
-//!   (`α_s(v) = t_s(v) / Σ_{u∈D(s)} t_s(u)`).
+//!   (`α_s(v) = t_s(v) / Σ_{u∈D(s)} t_s(u)`),
+//! * [`LazyProbeSet`] — the event-driven lazy form of the same estimator:
+//!   per-node cells materialized on demand from the analytic churn
+//!   schedule, bit-identical to driving [`ProbeEstimator`] eagerly at
+//!   every probe tick.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod node;
 pub mod probe;
+pub mod probe_lazy;
 pub mod topology;
 
 pub use node::{NodeId, NodeKind};
 pub use probe::ProbeEstimator;
+pub use probe_lazy::LazyProbeSet;
 pub use topology::Topology;

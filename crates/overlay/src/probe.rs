@@ -12,26 +12,66 @@
 //! any session time is non-zero), so it ranks neighbors by observed uptime
 //! rather than measuring absolute uptime fraction.
 
-use idpa_desim::rng::Xoshiro256StarStar;
+use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
 use rand::RngExt;
 
 use crate::node::NodeId;
 
-/// Per-node availability estimator driven by periodic liveness probes.
-#[derive(Debug, Clone)]
-pub struct ProbeEstimator {
+/// Stream label for the `rand(0, T)` first-sighting initialisation draw.
+pub(crate) const PROBE_INIT_LABEL: &str = "probe-init";
+/// Stream label for neighbor-replacement candidate draws.
+pub(crate) const PROBE_MAINT_LABEL: &str = "probe-maint";
+
+/// The `rand(0, T)` first-sighting draw, keyed by *position* — (owner,
+/// neighbor slot, probe round) — rather than taken from a shared sequential
+/// stream. Keying by position is what lets a lazily-materialized estimator
+/// reproduce the draw bit-for-bit without replaying every earlier round.
+pub(crate) fn init_session_draw(
+    streams: &StreamFactory,
     owner: NodeId,
+    slot: usize,
+    round: u64,
     period: f64,
-    neighbors: Vec<NodeId>,
-    /// Accumulated observed session time per neighbor, parallel to
-    /// `neighbors`.
-    session_time: Vec<f64>,
+) -> f64 {
+    debug_assert!(slot < (1 << 16), "neighbor slot index exceeds key space");
+    let key = (round << 16) | slot as u64;
+    let mut rng = streams.stream_indexed2(PROBE_INIT_LABEL, owner.index() as u64, key);
+    rng.random_range(0.0..period)
+}
+
+/// The candidate stream for one (owner, round) neighbor-maintenance pass.
+/// All stale slots of the round draw sequentially from this one stream, in
+/// slot order.
+pub(crate) fn maintenance_stream(
+    streams: &StreamFactory,
+    owner: NodeId,
+    round: u64,
+) -> Xoshiro256StarStar {
+    streams.stream_indexed2(PROBE_MAINT_LABEL, owner.index() as u64, round)
+}
+
+/// Per-node availability estimator driven by periodic liveness probes.
+///
+/// Session time is represented in closed form — `init + live_rounds · T`
+/// per neighbor — so that an estimator advanced one round at a time and one
+/// reconstructed analytically from a churn schedule produce bit-identical
+/// floating-point values (no dependence on f64 summation order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeEstimator {
+    pub(crate) owner: NodeId,
+    pub(crate) period: f64,
+    pub(crate) neighbors: Vec<NodeId>,
+    /// The `rand(0, T)` first-sighting initialisation per slot (0 until the
+    /// neighbor is first seen alive), parallel to `neighbors`.
+    pub(crate) init_time: Vec<f64>,
+    /// Live probe rounds observed *after* the first sighting, per slot.
+    pub(crate) live_rounds: Vec<u64>,
     /// Whether the neighbor was seen alive at least once (drives the
     /// "new neighbor found" initialisation rule).
-    ever_seen: Vec<bool>,
+    pub(crate) ever_seen: Vec<bool>,
     /// Round at which each neighbor was last observed alive (0 if never).
-    last_alive_round: Vec<u64>,
-    rounds: u64,
+    pub(crate) last_alive_round: Vec<u64>,
+    pub(crate) rounds: u64,
 }
 
 impl ProbeEstimator {
@@ -46,7 +86,8 @@ impl ProbeEstimator {
             owner,
             period,
             neighbors,
-            session_time: vec![0.0; n],
+            init_time: vec![0.0; n],
+            live_rounds: vec![0; n],
             ever_seen: vec![false; n],
             last_alive_round: vec![0; n],
             rounds: 0,
@@ -86,13 +127,80 @@ impl ProbeEstimator {
             }
             self.last_alive_round[i] = self.rounds;
             if self.ever_seen[i] {
-                self.session_time[i] += self.period;
+                self.live_rounds[i] += 1;
             } else {
                 // First sighting: the neighbor has been up for an unknown
                 // fraction of the period — initialise uniformly in (0, T).
                 self.ever_seen[i] = true;
-                self.session_time[i] = rng.random_range(0.0..self.period);
+                self.init_time[i] = rng.random_range(0.0..self.period);
             }
+        }
+    }
+
+    /// [`Self::probe_round`] with the first-sighting draw keyed by
+    /// (owner, slot, round) through `streams` instead of consumed from a
+    /// shared sequential generator. Estimators advanced this way are
+    /// independent across nodes — the order in which nodes probe (or
+    /// whether rounds are replayed lazily) cannot shift anyone's draws.
+    pub fn probe_round_seeded(
+        &mut self,
+        streams: &StreamFactory,
+        mut is_alive: impl FnMut(NodeId) -> bool,
+    ) {
+        self.rounds += 1;
+        for (i, &v) in self.neighbors.iter().enumerate() {
+            if !is_alive(v) {
+                continue;
+            }
+            self.last_alive_round[i] = self.rounds;
+            if self.ever_seen[i] {
+                self.live_rounds[i] += 1;
+            } else {
+                self.ever_seen[i] = true;
+                self.init_time[i] =
+                    init_session_draw(streams, self.owner, i, self.rounds, self.period);
+            }
+        }
+    }
+
+    /// Replaces every neighbor silent for `threshold`+ rounds with a fresh
+    /// random peer (not self, not already a neighbor; up to 16 candidate
+    /// draws each). Candidates come from the per-(owner, round)
+    /// [`maintenance_stream`], so the decision sequence is a pure function
+    /// of (master seed, owner, round, current estimator state).
+    pub fn maintain_seeded(&mut self, streams: &StreamFactory, threshold: u64, n_nodes: usize) {
+        let mut rng: Option<Xoshiro256StarStar> = None;
+        for i in 0..self.neighbors.len() {
+            if self.rounds - self.last_alive_round[i] < threshold {
+                continue;
+            }
+            let rng =
+                rng.get_or_insert_with(|| maintenance_stream(streams, self.owner, self.rounds));
+            let mut found = None;
+            for _ in 0..16 {
+                let c = NodeId(rng.random_range(0..n_nodes));
+                if c != self.owner && !self.neighbors.contains(&c) {
+                    found = Some(c);
+                    break;
+                }
+            }
+            if let Some(new) = found {
+                self.neighbors[i] = new;
+                self.init_time[i] = 0.0;
+                self.live_rounds[i] = 0;
+                self.ever_seen[i] = false;
+                self.last_alive_round[i] = self.rounds;
+            }
+        }
+    }
+
+    /// Session time of the neighbor in `slot`, in the closed form
+    /// `init + live_rounds · T`.
+    pub(crate) fn slot_session_time(&self, slot: usize) -> f64 {
+        if self.ever_seen[slot] {
+            self.init_time[slot] + self.live_rounds[slot] as f64 * self.period
+        } else {
+            0.0
         }
     }
 
@@ -103,7 +211,7 @@ impl ProbeEstimator {
         self.neighbors
             .iter()
             .position(|&u| u == v)
-            .map_or(0.0, |i| self.session_time[i])
+            .map_or(0.0, |i| self.slot_session_time(i))
     }
 
     /// The §2.3 availability estimate `α_s(v) ∈ [0, 1]`.
@@ -113,7 +221,9 @@ impl ProbeEstimator {
     /// sum to 1.
     #[must_use]
     pub fn availability(&self, v: NodeId) -> f64 {
-        let total: f64 = self.session_time.iter().sum();
+        let total: f64 = (0..self.neighbors.len())
+            .map(|i| self.slot_session_time(i))
+            .sum();
         if total <= 0.0 {
             return 0.0;
         }
@@ -150,7 +260,8 @@ impl ProbeEstimator {
             return false;
         };
         self.neighbors[i] = new;
-        self.session_time[i] = 0.0;
+        self.init_time[i] = 0.0;
+        self.live_rounds[i] = 0;
         self.ever_seen[i] = false;
         self.last_alive_round[i] = self.rounds;
         true
@@ -209,17 +320,17 @@ mod tests {
         let mut r = rng(3);
         // Node 1 alive for 4 rounds, node 2 for 2 rounds, node 3 never.
         for round in 0..4 {
-            est.probe_round(
-                |v| v == NodeId(1) || (v == NodeId(2) && round < 2),
-                &mut r,
-            );
+            est.probe_round(|v| v == NodeId(1) || (v == NodeId(2) && round < 2), &mut r);
         }
         let a1 = est.availability(NodeId(1));
         let a2 = est.availability(NodeId(2));
         let a3 = est.availability(NodeId(3));
         assert!(a1 > a2, "a1={a1} a2={a2}");
         assert_eq!(a3, 0.0);
-        assert!((a1 + a2 + a3 - 1.0).abs() < 1e-12, "availabilities sum to 1");
+        assert!(
+            (a1 + a2 + a3 - 1.0).abs() < 1e-12,
+            "availabilities sum to 1"
+        );
     }
 
     #[test]
@@ -274,10 +385,7 @@ mod tests {
         for round in 0..100 {
             // Node 1 up 80% of rounds, node 2 up 20%.
             est.probe_round(
-                |v| {
-                    (v == NodeId(1) && round % 5 != 0)
-                        || (v == NodeId(2) && round % 5 == 0)
-                },
+                |v| (v == NodeId(1) && round % 5 != 0) || (v == NodeId(2) && round % 5 == 0),
                 &mut r,
             );
         }
@@ -325,10 +433,82 @@ mod tests {
     }
 
     #[test]
+    fn seeded_probe_rounds_are_replayable() {
+        let streams = StreamFactory::new(99);
+        let mut a = estimator();
+        let mut b = estimator();
+        for round in 0..6u64 {
+            a.probe_round_seeded(&streams, |v| v.index() as u64 % 2 == round % 2);
+        }
+        for round in 0..6u64 {
+            b.probe_round_seeded(&streams, |v| v.index() as u64 % 2 == round % 2);
+        }
+        assert_eq!(a, b);
+        assert!(a.session_time(NodeId(1)) > 0.0);
+    }
+
+    #[test]
+    fn seeded_draws_do_not_depend_on_other_estimators() {
+        // The draw for (owner, slot, round) is keyed by position: advancing
+        // a completely different estimator in between must not perturb it.
+        let streams = StreamFactory::new(7);
+        let mut alone = estimator();
+        alone.probe_round_seeded(&streams, |_| true);
+
+        let mut other = ProbeEstimator::new(NodeId(9), 5.0, vec![NodeId(4)]);
+        let mut interleaved = estimator();
+        other.probe_round_seeded(&streams, |_| true);
+        interleaved.probe_round_seeded(&streams, |_| true);
+        assert_eq!(alone, interleaved);
+    }
+
+    #[test]
+    fn maintain_seeded_replaces_silent_neighbors_deterministically() {
+        let streams = StreamFactory::new(3);
+        let build = || {
+            let mut est = ProbeEstimator::new(NodeId(0), 1.0, vec![NodeId(1), NodeId(2)]);
+            // Neighbor 1 alive every round, neighbor 2 never seen.
+            for _ in 0..4 {
+                est.probe_round_seeded(&streams, |v| v == NodeId(1));
+                est.maintain_seeded(&streams, 3, 10);
+            }
+            est
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert!(a.neighbors().contains(&NodeId(1)), "live neighbor kept");
+        assert!(
+            !a.neighbors().contains(&NodeId(2)),
+            "silent neighbor replaced"
+        );
+        assert!(!a.neighbors().contains(&NodeId(0)), "never picks self");
+    }
+
+    #[test]
+    fn session_time_closed_form_matches_incremental_semantics() {
+        // init + k·T after k post-sighting rounds — exactly, not approximately.
+        let streams = StreamFactory::new(11);
+        let mut est = estimator();
+        est.probe_round_seeded(&streams, |v| v == NodeId(1));
+        let t0 = est.session_time(NodeId(1));
+        for _ in 0..7 {
+            est.probe_round_seeded(&streams, |v| v == NodeId(1));
+        }
+        assert_eq!(est.session_time(NodeId(1)), t0 + 7.0 * 5.0);
+    }
+
+    #[test]
     fn replace_rejects_duplicates_and_strangers() {
         let mut est = estimator();
-        assert!(!est.replace_neighbor(NodeId(1), NodeId(2)), "already a neighbor");
-        assert!(!est.replace_neighbor(NodeId(42), NodeId(7)), "not a neighbor");
+        assert!(
+            !est.replace_neighbor(NodeId(1), NodeId(2)),
+            "already a neighbor"
+        );
+        assert!(
+            !est.replace_neighbor(NodeId(42), NodeId(7)),
+            "not a neighbor"
+        );
         assert_eq!(est.neighbors(), &[NodeId(1), NodeId(2), NodeId(3)]);
     }
 }

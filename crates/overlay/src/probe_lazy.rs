@@ -1,0 +1,683 @@
+//! Event-driven lazy availability estimation.
+//!
+//! The eager [`ProbeEstimator`](crate::ProbeEstimator) is advanced by a
+//! global sweep at every probe tick — O(N·d) work per tick whether or not
+//! anyone reads the estimates. But the churn schedule is known analytically
+//! (`NodeSchedule` holds each node's `[up, down)` intervals), so the state
+//! an estimator would have reached at time `t` is computable in closed
+//! form: the number of probe ticks `k·T ≤ t` falling inside an intersection
+//! of the owner's and a neighbor's sessions gives the live-round count, and
+//! the `rand(0, T)` first-sighting draw is reproducible because it is keyed
+//! by (owner, slot, round) rather than consumed from a shared stream.
+//!
+//! [`LazyProbeSet`] therefore keeps one **cell** per node — the estimator
+//! plus the last tick it was synced to — and only touches a cell when it is
+//! *read* (a transmission queries availability or live neighbors) or when a
+//! neighbor-replacement decision falls due. Catch-up is O(sessions) per
+//! neighbor slot, amortized O(churn + queries) overall, instead of
+//! O(N·d·horizon/T). Cells are independent, so bulk catch-up for disjoint
+//! node sets runs deterministically through
+//! [`idpa_desim::pool::parallel_map`].
+//!
+//! # Equivalence to the eager estimator
+//!
+//! For the same master seed the lazy cell is **bit-identical** to an eager
+//! estimator driven with `probe_round_seeded`/`maintain_seeded` at every
+//! tick `k·T < horizon`, because every quantity is derived the same way on
+//! both paths:
+//!
+//! * tick times are `k as f64 * period` (a product, not a running sum), so
+//!   both paths evaluate liveness at exactly the same f64 instants;
+//! * session time is stored in closed form (`init + live_rounds · T`), so
+//!   no f64 summation-order differences can arise;
+//! * the first-sighting draw for (owner, slot, round) and the replacement
+//!   candidate stream for (owner, round) are position-keyed, so skipping
+//!   the rounds in between cannot shift them;
+//! * replacement decisions are replayed at exactly the ticks where a slot
+//!   crosses the silence threshold (computed in closed form from the
+//!   schedule intersections), in slot order, via the *same*
+//!   `maintain_seeded` code path.
+
+use std::cell::RefCell;
+
+use idpa_desim::pool::parallel_map;
+use idpa_desim::rng::StreamFactory;
+use idpa_netmodel::NodeSchedule;
+
+use crate::node::NodeId;
+use crate::probe::ProbeEstimator;
+
+/// The probe tick index `k` as a simulation time, computed as a product so
+/// that eager scheduling and lazy reconstruction agree to the last bit.
+#[inline]
+#[must_use]
+pub fn tick_time(k: u64, period: f64) -> f64 {
+    k as f64 * period
+}
+
+/// Smallest `k ≥ 0` with `k·period ≥ t`.
+fn first_tick_at_or_after(t: f64, period: f64) -> u64 {
+    if t <= 0.0 {
+        return 0;
+    }
+    let mut k = (t / period) as u64;
+    while tick_time(k, period) < t {
+        k += 1;
+    }
+    while k > 0 && tick_time(k - 1, period) >= t {
+        k -= 1;
+    }
+    k
+}
+
+/// Largest `k ≥ 0` with `k·period < t` (`None` if `t ≤ 0`).
+fn last_tick_before(t: f64, period: f64) -> Option<u64> {
+    if t <= 0.0 {
+        return None;
+    }
+    let mut k = (t / period).ceil() as u64 + 1;
+    while k > 0 && tick_time(k, period) >= t {
+        k -= 1;
+    }
+    while tick_time(k + 1, period) < t {
+        k += 1;
+    }
+    (tick_time(k, period) < t).then_some(k)
+}
+
+/// Largest `k ≥ 0` with `k·period ≤ t` (0 if `t < 0`).
+fn last_tick_at_or_before(t: f64, period: f64) -> u64 {
+    if t < 0.0 {
+        return 0;
+    }
+    let mut k = (t / period).ceil() as u64 + 1;
+    while k > 0 && tick_time(k, period) > t {
+        k -= 1;
+    }
+    while tick_time(k + 1, period) <= t {
+        k += 1;
+    }
+    k
+}
+
+/// Ticks `k` with `start ≤ k·period < end` — i.e. the ticks at which a node
+/// with session `[start, end)` is up, matching `NodeSchedule::is_up`
+/// exactly — intersected with `(after, upto]`. Inclusive range, or `None`
+/// if empty.
+fn session_tick_range(
+    start: f64,
+    end: f64,
+    period: f64,
+    after: u64,
+    upto: u64,
+) -> Option<(u64, u64)> {
+    let lo = first_tick_at_or_after(start, period).max(after + 1);
+    let hi = last_tick_before(end, period)?.min(upto);
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Index of the first session that can still contain a tick `> after`.
+/// Sessions are sorted and disjoint, so ends are increasing; a session
+/// ending at or before `after·T` cannot contain any tick `k·T` with
+/// `k > after` (its ticks satisfy `k·T < e ≤ after·T`).
+fn first_live_session(sessions: &[(f64, f64)], period: f64, after: u64) -> usize {
+    let frontier = tick_time(after, period);
+    sessions.partition_point(|&(_, e)| e <= frontier)
+}
+
+/// Number of ticks in `(after, upto]` at which `sessions` is up.
+fn count_up_ticks(sessions: &[(f64, f64)], period: f64, after: u64, upto: u64) -> u64 {
+    let upto_time = tick_time(upto, period);
+    let mut n = 0;
+    for &(s, e) in &sessions[first_live_session(sessions, period, after)..] {
+        if s > upto_time {
+            // Starts are sorted: no later session can contain a tick ≤ upto.
+            break;
+        }
+        if let Some((lo, hi)) = session_tick_range(s, e, period, after, upto) {
+            n += hi - lo + 1;
+        }
+    }
+    n
+}
+
+/// The `p`-th (1-indexed) up tick of `sessions` in `(after, upto]`.
+fn up_tick_at_position(
+    sessions: &[(f64, f64)],
+    period: f64,
+    after: u64,
+    upto: u64,
+    p: u64,
+) -> Option<u64> {
+    debug_assert!(p >= 1);
+    let upto_time = tick_time(upto, period);
+    let mut remaining = p;
+    for &(s, e) in &sessions[first_live_session(sessions, period, after)..] {
+        if s > upto_time {
+            break;
+        }
+        if let Some((lo, hi)) = session_tick_range(s, e, period, after, upto) {
+            let c = hi - lo + 1;
+            if remaining <= c {
+                return Some(lo + remaining - 1);
+            }
+            remaining -= c;
+        }
+    }
+    None
+}
+
+/// Visits every maximal run of ticks in `(after, upto]` at which *both*
+/// schedules are up, as inclusive tick ranges in increasing order.
+fn for_each_joint_range(
+    own: &[(f64, f64)],
+    nbr: &[(f64, f64)],
+    period: f64,
+    after: u64,
+    upto: u64,
+    mut f: impl FnMut(u64, u64),
+) {
+    let upto_time = tick_time(upto, period);
+    let mut i = first_live_session(own, period, after);
+    let mut j = first_live_session(nbr, period, after);
+    while i < own.len() && j < nbr.len() {
+        let (s1, e1) = own[i];
+        let (s2, e2) = nbr[j];
+        let lo_t = s1.max(s2);
+        let hi_t = e1.min(e2);
+        if lo_t > upto_time {
+            // Starts are sorted, so max(s1, s2) only grows from here: no
+            // later pair can intersect at a tick ≤ upto.
+            break;
+        }
+        if lo_t < hi_t {
+            if let Some((lo, hi)) = session_tick_range(lo_t, hi_t, period, after, upto) {
+                f(lo, hi);
+            }
+        }
+        if e1 <= e2 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Shared, immutable context of a [`LazyProbeSet`]: the analytic churn
+/// schedules, tick geometry and the position-keyed randomness source.
+#[derive(Debug, Clone)]
+struct LazyCtx {
+    period: f64,
+    /// Probe ticks are `1..=max_tick` (all `k` with `0 < k·T < horizon`).
+    max_tick: u64,
+    n_nodes: usize,
+    threshold: Option<u64>,
+    streams: StreamFactory,
+    schedules: Vec<NodeSchedule>,
+}
+
+/// One node's shard of probe state: the estimator plus its sync frontier.
+#[derive(Debug, Clone, PartialEq)]
+struct ProbeCell {
+    est: ProbeEstimator,
+    /// All ticks `≤ synced_tick` have been applied to `est`.
+    synced_tick: u64,
+}
+
+impl Default for ProbeCell {
+    fn default() -> Self {
+        ProbeCell {
+            est: ProbeEstimator::new(NodeId(0), 1.0, Vec::new()),
+            synced_tick: 0,
+        }
+    }
+}
+
+/// Below this many ticks, catching up by replaying the probe rounds
+/// directly is cheaper than the closed-form interval arithmetic (whose
+/// per-slot session-range scans have a fixed cost worth paying only for
+/// long idle gaps).
+const REPLAY_WINDOW: u64 = 8;
+
+/// Applies all probe rounds in ticks `(synced_tick, to]` to the cell in
+/// closed form. Must not cross a replacement-due tick (callers segment at
+/// those via [`next_due_tick`]).
+fn advance(cell: &mut ProbeCell, ctx: &LazyCtx, to: u64) {
+    let after = cell.synced_tick;
+    if to <= after {
+        return;
+    }
+    if to - after <= REPLAY_WINDOW {
+        // Short catch-up: run the probe rounds tick by tick — the eager
+        // code path itself, so equivalence is by construction.
+        for k in (after + 1)..=to {
+            let t = idpa_desim::SimTime::new(tick_time(k, ctx.period));
+            if ctx.schedules[cell.est.owner.index()].is_up(t) {
+                let sch = &ctx.schedules;
+                cell.est
+                    .probe_round_seeded(&ctx.streams, |v| sch[v.index()].is_up(t));
+            }
+        }
+        cell.synced_tick = to;
+        return;
+    }
+    let own = ctx.schedules[cell.est.owner.index()].sessions();
+    let new_rounds = count_up_ticks(own, ctx.period, after, to);
+    if new_rounds > 0 {
+        for i in 0..cell.est.neighbors.len() {
+            let nbr = ctx.schedules[cell.est.neighbors[i].index()].sessions();
+            let mut live = 0u64;
+            let mut first = None;
+            let mut last = 0u64;
+            for_each_joint_range(own, nbr, ctx.period, after, to, |lo, hi| {
+                live += hi - lo + 1;
+                if first.is_none() {
+                    first = Some(lo);
+                }
+                last = hi;
+            });
+            if live == 0 {
+                continue;
+            }
+            // Owner round numbers at the first/last joint tick.
+            let r_last = cell.est.rounds + count_up_ticks(own, ctx.period, after, last);
+            cell.est.last_alive_round[i] = r_last;
+            if cell.est.ever_seen[i] {
+                cell.est.live_rounds[i] += live;
+            } else {
+                let first = first.expect("live > 0 implies a first joint tick");
+                let r_first = cell.est.rounds + count_up_ticks(own, ctx.period, after, first);
+                cell.est.ever_seen[i] = true;
+                cell.est.init_time[i] = crate::probe::init_session_draw(
+                    &ctx.streams,
+                    cell.est.owner,
+                    i,
+                    r_first,
+                    ctx.period,
+                );
+                cell.est.live_rounds[i] = live - 1;
+            }
+        }
+        cell.est.rounds += new_rounds;
+    }
+    cell.synced_tick = to;
+}
+
+/// First tick in `(cell.synced_tick, upper]` at which slot `i` will be
+/// replacement-due: the owner is up, and after probing, the slot's silence
+/// `rounds − last_alive_round` reaches `thr`. `None` if no such tick.
+fn slot_due(cell: &ProbeCell, ctx: &LazyCtx, i: usize, thr: u64, upper: u64) -> Option<u64> {
+    debug_assert!(thr >= 1, "lazy maintenance needs threshold >= 1");
+    let after = cell.synced_tick;
+    let own = ctx.schedules[cell.est.owner.index()].sessions();
+    let nbr = ctx.schedules[cell.est.neighbors[i].index()].sessions();
+    let gap0 = cell.est.rounds - cell.est.last_alive_round[i];
+    // The slot falls due at the `due_pos`-th owner-up tick after the sync
+    // frontier, unless a joint-live tick resets the silence gap first. A
+    // tick that is itself joint-live is never due (the probe runs before
+    // maintenance and clears the gap).
+    let mut due_pos = if gap0 >= thr { 1 } else { thr - gap0 };
+    let mut joint: Vec<(u64, u64)> = Vec::new();
+    for_each_joint_range(own, nbr, ctx.period, after, upper, |lo, hi| {
+        joint.push((lo, hi))
+    });
+    for (lo, hi) in joint {
+        // Ticks lo..=hi are consecutive owner-up ticks (they lie inside one
+        // owner session), all joint-live.
+        let p_start = count_up_ticks(own, ctx.period, after, lo);
+        let p_end = p_start + (hi - lo);
+        if due_pos < p_start {
+            return up_tick_at_position(own, ctx.period, after, upper, due_pos);
+        }
+        due_pos = p_end + thr;
+    }
+    up_tick_at_position(own, ctx.period, after, upper, due_pos)
+}
+
+/// Earliest replacement-due tick over all slots in
+/// `(cell.synced_tick, upper]`.
+fn next_due_tick(cell: &ProbeCell, ctx: &LazyCtx, thr: u64, upper: u64) -> Option<u64> {
+    (0..cell.est.neighbors.len())
+        .filter_map(|i| slot_due(cell, ctx, i, thr, upper))
+        .min()
+}
+
+/// Syncs the cell through tick `target`, replaying maintenance at exactly
+/// the due ticks in between. The common case — the cell is already at the
+/// target, because reads cluster at one simulation time — stays inline;
+/// actual catch-up is the out-of-line slow path.
+#[inline]
+fn sync_cell(cell: &mut ProbeCell, ctx: &LazyCtx, target: u64) {
+    if cell.synced_tick < target {
+        sync_cell_slow(cell, ctx, target);
+    }
+}
+
+fn sync_cell_slow(cell: &mut ProbeCell, ctx: &LazyCtx, target: u64) {
+    let Some(thr) = ctx.threshold else {
+        advance(cell, ctx, target);
+        return;
+    };
+    while cell.synced_tick < target {
+        match next_due_tick(cell, ctx, thr, target) {
+            None => advance(cell, ctx, target),
+            Some(k) => {
+                advance(cell, ctx, k);
+                cell.est.maintain_seeded(&ctx.streams, thr, ctx.n_nodes);
+            }
+        }
+    }
+}
+
+/// Sharded, lazily-synced probe state for every node in the system.
+///
+/// Reads (`availability`, `with_neighbors`, …) sync the queried node's cell
+/// on demand through interior mutability; [`LazyProbeSet::sync_all`] bulk-
+/// syncs disjoint cells in parallel, bit-identically at any thread count.
+#[derive(Debug, Clone)]
+pub struct LazyProbeSet {
+    ctx: LazyCtx,
+    cells: Vec<RefCell<ProbeCell>>,
+    /// Memo of the last `now → target tick` mapping: reads cluster at a
+    /// single simulation time (all queries of one transmission), so the
+    /// tick arithmetic is paid once per distinct `now`.
+    tick_memo: std::cell::Cell<(f64, u64)>,
+}
+
+impl LazyProbeSet {
+    /// Builds the lazy probe state over analytic churn `schedules` and the
+    /// initial `neighbors` sets. Probe ticks are every `k·period < horizon`
+    /// (`k ≥ 1`); `threshold` enables neighbor replacement after that many
+    /// silent rounds (must be ≥ 1 — a threshold of 0 would replace a
+    /// neighbor at the very tick it is observed alive).
+    #[must_use]
+    pub fn new(
+        period: f64,
+        horizon: f64,
+        schedules: Vec<NodeSchedule>,
+        neighbors: Vec<Vec<NodeId>>,
+        threshold: Option<u64>,
+        streams: StreamFactory,
+    ) -> Self {
+        assert!(period > 0.0, "probing period must be positive");
+        assert_eq!(
+            schedules.len(),
+            neighbors.len(),
+            "one neighbor set per node"
+        );
+        if let Some(t) = threshold {
+            assert!(t >= 1, "replacement threshold must be >= 1");
+        }
+        let max_tick = last_tick_before(horizon, period).unwrap_or(0);
+        let cells = neighbors
+            .into_iter()
+            .enumerate()
+            .map(|(i, nbrs)| {
+                RefCell::new(ProbeCell {
+                    est: ProbeEstimator::new(NodeId(i), period, nbrs),
+                    synced_tick: 0,
+                })
+            })
+            .collect();
+        LazyProbeSet {
+            ctx: LazyCtx {
+                period,
+                max_tick,
+                n_nodes: schedules.len(),
+                threshold,
+                streams,
+                schedules,
+            },
+            cells,
+            tick_memo: std::cell::Cell::new((f64::NEG_INFINITY, 0)),
+        }
+    }
+
+    /// The probing period `T`.
+    #[must_use]
+    pub fn period(&self) -> f64 {
+        self.ctx.period
+    }
+
+    /// The last probe tick before the horizon.
+    #[must_use]
+    pub fn max_tick(&self) -> u64 {
+        self.ctx.max_tick
+    }
+
+    /// The tick the state at time `now` reflects: all ticks `k·T ≤ now`
+    /// (clamped to the horizon).
+    fn target_tick(&self, now: f64) -> u64 {
+        let (memo_now, memo_tick) = self.tick_memo.get();
+        if memo_now == now {
+            return memo_tick;
+        }
+        let tick = last_tick_at_or_before(now, self.ctx.period).min(self.ctx.max_tick);
+        self.tick_memo.set((now, tick));
+        tick
+    }
+
+    /// Syncs node `s`'s cell through `now` and hands it to `f`.
+    fn with_cell<R>(&self, s: NodeId, now: f64, f: impl FnOnce(&ProbeCell) -> R) -> R {
+        let target = self.target_tick(now);
+        let mut cell = self.cells[s.index()].borrow_mut();
+        sync_cell(&mut cell, &self.ctx, target);
+        f(&cell)
+    }
+
+    /// Syncs node `s` through every tick at or before `now`.
+    pub fn sync_node(&self, s: NodeId, now: f64) {
+        self.with_cell(s, now, |_| ());
+    }
+
+    /// `α_s(v)` as of time `now` (syncs `s` on demand).
+    #[must_use]
+    pub fn availability(&self, s: NodeId, v: NodeId, now: f64) -> f64 {
+        self.with_cell(s, now, |cell| cell.est.availability(v))
+    }
+
+    /// `t_s(v)` as of time `now` (syncs `s` on demand).
+    #[must_use]
+    pub fn session_time(&self, s: NodeId, v: NodeId, now: f64) -> f64 {
+        self.with_cell(s, now, |cell| cell.est.session_time(v))
+    }
+
+    /// Calls `f` with `s`'s current neighbor set as of `now` (syncs `s` on
+    /// demand — replacements up to `now` are visible).
+    pub fn with_neighbors<R>(&self, s: NodeId, now: f64, f: impl FnOnce(&[NodeId]) -> R) -> R {
+        self.with_cell(s, now, |cell| f(cell.est.neighbors()))
+    }
+
+    /// A snapshot of `s`'s estimator as of `now` — the exact state an eager
+    /// [`ProbeEstimator`] driven with `probe_round_seeded`/`maintain_seeded`
+    /// at every tick would hold.
+    #[must_use]
+    pub fn estimator(&self, s: NodeId, now: f64) -> ProbeEstimator {
+        self.with_cell(s, now, |cell| cell.est.clone())
+    }
+
+    /// The time of the next tick strictly after `now` at which some slot of
+    /// `s` falls replacement-due (`None` without a threshold, or if no slot
+    /// ever falls due again before the horizon). Syncs `s` to `now` first,
+    /// so the answer reflects all replacements up to `now`.
+    #[must_use]
+    pub fn next_due_after(&self, s: NodeId, now: f64) -> Option<f64> {
+        let thr = self.ctx.threshold?;
+        self.sync_node(s, now);
+        let cell = self.cells[s.index()].borrow();
+        next_due_tick(&cell, &self.ctx, thr, self.ctx.max_tick)
+            .map(|k| tick_time(k, self.ctx.period))
+    }
+
+    /// Syncs every cell through `now` on `threads` workers. Cells are
+    /// disjoint, so the result is bit-identical at any thread count.
+    pub fn sync_all(&mut self, now: f64, threads: usize) {
+        let target = self.target_tick(now);
+        let cells: Vec<ProbeCell> = self
+            .cells
+            .iter_mut()
+            .map(|c| std::mem::take(c.get_mut()))
+            .collect();
+        let ctx = &self.ctx;
+        let synced = parallel_map(threads, cells.len(), |i| {
+            let mut cell = cells[i].clone();
+            sync_cell(&mut cell, ctx, target);
+            cell
+        });
+        for (slot, cell) in self.cells.iter_mut().zip(synced) {
+            *slot.get_mut() = cell;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_helpers_agree_with_is_up_semantics() {
+        use idpa_desim::SimTime;
+        let sched = NodeSchedule::from_sessions(vec![(2.5, 10.0), (12.0, 13.0)]);
+        let period = 2.5;
+        for k in 1..8u64 {
+            let t = tick_time(k, period);
+            let counted = count_up_ticks(sched.sessions(), period, k - 1, k) == 1;
+            assert_eq!(sched.is_up(SimTime::new(t)), counted, "tick {k} at t={t}");
+        }
+    }
+
+    #[test]
+    fn boundary_ticks_land_like_is_up() {
+        // A session starting exactly on a tick includes it; one ending
+        // exactly on a tick excludes it ([start, end) semantics).
+        let period = 5.0;
+        let sessions = [(5.0, 20.0)];
+        assert_eq!(session_tick_range(5.0, 20.0, period, 0, 100), Some((1, 3)));
+        assert_eq!(count_up_ticks(&sessions, period, 0, 100), 3);
+    }
+
+    #[test]
+    fn last_tick_before_handles_exact_multiples() {
+        assert_eq!(last_tick_before(10.0, 5.0), Some(1));
+        assert_eq!(last_tick_before(10.1, 5.0), Some(2));
+        assert_eq!(last_tick_before(0.0, 5.0), None);
+        assert_eq!(last_tick_at_or_before(10.0, 5.0), 2);
+        assert_eq!(last_tick_at_or_before(9.9, 5.0), 1);
+    }
+
+    #[test]
+    fn lazy_matches_eager_simple_two_node_case() {
+        let streams = StreamFactory::new(17);
+        let period = 5.0;
+        let horizon = 100.0;
+        let schedules = vec![
+            NodeSchedule::from_sessions(vec![(0.0, 100.0)]),
+            NodeSchedule::from_sessions(vec![(12.0, 40.0), (60.0, 80.0)]),
+        ];
+        let neighbors = vec![vec![NodeId(1)], vec![NodeId(0)]];
+
+        // Eager reference.
+        let mut eager: Vec<ProbeEstimator> = (0..2)
+            .map(|i| ProbeEstimator::new(NodeId(i), period, neighbors[i].clone()))
+            .collect();
+        let mut k = 1u64;
+        while tick_time(k, period) < horizon {
+            let t = idpa_desim::SimTime::new(tick_time(k, period));
+            for i in 0..2 {
+                if schedules[i].is_up(t) {
+                    let sch = &schedules;
+                    eager[i].probe_round_seeded(&streams, |v| sch[v.index()].is_up(t));
+                }
+            }
+            k += 1;
+        }
+
+        let lazy = LazyProbeSet::new(period, horizon, schedules, neighbors, None, streams);
+        for i in 0..2 {
+            assert_eq!(lazy.estimator(NodeId(i), horizon), eager[i], "node {i}");
+        }
+    }
+
+    #[test]
+    fn queries_at_intermediate_times_see_partial_state() {
+        let streams = StreamFactory::new(5);
+        let schedules = vec![
+            NodeSchedule::from_sessions(vec![(0.0, 50.0)]),
+            NodeSchedule::from_sessions(vec![(0.0, 50.0)]),
+        ];
+        let lazy = LazyProbeSet::new(
+            5.0,
+            50.0,
+            schedules,
+            vec![vec![NodeId(1)], vec![NodeId(0)]],
+            None,
+            streams,
+        );
+        assert_eq!(lazy.session_time(NodeId(0), NodeId(1), 0.0), 0.0);
+        let early = lazy.session_time(NodeId(0), NodeId(1), 12.0);
+        let late = lazy.session_time(NodeId(0), NodeId(1), 40.0);
+        assert!(early > 0.0);
+        assert!(late > early, "early={early} late={late}");
+    }
+
+    #[test]
+    fn sync_all_is_thread_count_invariant() {
+        let streams = StreamFactory::new(23);
+        let n = 12;
+        let schedules: Vec<NodeSchedule> = (0..n)
+            .map(|i| {
+                let s = f64::from(i) * 1.7;
+                NodeSchedule::from_sessions(vec![(s, s + 37.0), (s + 50.0, s + 90.0)])
+            })
+            .collect();
+        let neighbors: Vec<Vec<NodeId>> = (0..n as usize)
+            .map(|i| vec![NodeId((i + 1) % n as usize), NodeId((i + 3) % n as usize)])
+            .collect();
+        let build = || {
+            LazyProbeSet::new(
+                1.0,
+                120.0,
+                schedules.clone(),
+                neighbors.clone(),
+                Some(4),
+                streams.clone(),
+            )
+        };
+        let mut one = build();
+        one.sync_all(120.0, 1);
+        for threads in [2, 8] {
+            let mut multi = build();
+            multi.sync_all(120.0, threads);
+            for i in 0..n as usize {
+                assert_eq!(
+                    one.estimator(NodeId(i), 120.0),
+                    multi.estimator(NodeId(i), 120.0),
+                    "node {i} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_due_respects_replacement_threshold() {
+        let streams = StreamFactory::new(40);
+        // Owner always up; the only neighbor is never up, so it falls due
+        // exactly at the threshold-th tick.
+        let schedules = vec![
+            NodeSchedule::from_sessions(vec![(0.0, 1000.0)]),
+            NodeSchedule::from_sessions(vec![(990.0, 1000.0)]),
+            NodeSchedule::from_sessions(vec![(0.0, 1000.0)]),
+        ];
+        let lazy = LazyProbeSet::new(
+            10.0,
+            1000.0,
+            schedules,
+            vec![vec![NodeId(1)], vec![NodeId(0)], vec![NodeId(0)]],
+            Some(3),
+            streams,
+        );
+        // Threshold 3 with ticks at 10, 20, 30, ...: rounds-since-alive for
+        // the never-seen slot reaches 3 at tick 3 (t = 30).
+        assert_eq!(lazy.next_due_after(NodeId(0), 0.0), Some(30.0));
+    }
+}

@@ -43,10 +43,7 @@ impl Topology {
             chosen.sort_unstable();
             neighbors.push(chosen);
         }
-        Topology {
-            neighbors,
-            degree,
-        }
+        Topology { neighbors, degree }
     }
 
     /// Builds a topology from explicit adjacency lists (used by tests and

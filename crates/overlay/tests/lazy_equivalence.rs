@@ -1,0 +1,214 @@
+//! Seeded property suite: the lazy probe set is **bit-identical** to the
+//! eager estimator driven at every tick, across random churn schedules,
+//! topologies, probing periods, replacement thresholds, and query times.
+//!
+//! The eager reference below is exactly what `idpa-sim` does in eager
+//! per-node-RNG mode: at every tick `k·T < horizon`, every live node runs
+//! `probe_round_seeded` and then (with a threshold) `maintain_seeded`.
+
+use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
+use idpa_desim::SimTime;
+use idpa_netmodel::NodeSchedule;
+use idpa_overlay::probe_lazy::tick_time;
+use idpa_overlay::{LazyProbeSet, NodeId, ProbeEstimator};
+use rand::RngExt;
+
+struct Case {
+    period: f64,
+    horizon: f64,
+    schedules: Vec<NodeSchedule>,
+    neighbors: Vec<Vec<NodeId>>,
+    threshold: Option<u64>,
+    streams: StreamFactory,
+}
+
+fn random_case(rng: &mut Xoshiro256StarStar) -> Case {
+    let n = rng.random_range(4..12usize);
+    let period = [0.5, 1.0, 2.5, 5.0][rng.random_range(0..4usize)];
+    let horizon = period * rng.random_range(20..120u32) as f64;
+    let schedules = (0..n)
+        .map(|_| {
+            let mut sessions = Vec::new();
+            // Random alternating up/down walk; some nodes join late, some
+            // sessions start or end exactly on a tick boundary to exercise
+            // the [start, end) edge cases.
+            let mut t = if rng.random_range(0..4u32) == 0 {
+                0.0
+            } else {
+                rng.random_range(0.0..horizon * 0.5)
+            };
+            while t < horizon {
+                let snap = rng.random_range(0..3u32) == 0;
+                let up = if snap {
+                    // Snap the duration so the boundary lands on a tick.
+                    period * rng.random_range(1..30u32) as f64
+                } else {
+                    rng.random_range(period * 0.3..period * 25.0)
+                };
+                let end = (t + up).min(horizon + period);
+                if end > t {
+                    sessions.push((t, end));
+                }
+                t = end + rng.random_range(period * 0.2..period * 20.0);
+            }
+            NodeSchedule::from_sessions(sessions)
+        })
+        .collect();
+    let degree = rng.random_range(1..4usize).min(n - 1);
+    let neighbors = (0..n)
+        .map(|i| {
+            let mut set = Vec::new();
+            while set.len() < degree {
+                let v = NodeId(rng.random_range(0..n));
+                if v.index() != i && !set.contains(&v) {
+                    set.push(v);
+                }
+            }
+            set
+        })
+        .collect();
+    let threshold = match rng.random_range(0..3u32) {
+        0 => None,
+        _ => Some(rng.random_range(1..6u64)),
+    };
+    Case {
+        period,
+        horizon,
+        schedules,
+        neighbors,
+        threshold,
+        streams: StreamFactory::new(rng.next()),
+    }
+}
+
+/// Drives eager estimators tick by tick, capturing full state snapshots at
+/// each requested tick frontier (the state after all ticks `<= frontier`).
+fn eager_reference(case: &Case, frontiers: &[u64]) -> Vec<Vec<ProbeEstimator>> {
+    let n = case.schedules.len();
+    let mut ests: Vec<ProbeEstimator> = (0..n)
+        .map(|i| ProbeEstimator::new(NodeId(i), case.period, case.neighbors[i].clone()))
+        .collect();
+    let mut snapshots = Vec::with_capacity(frontiers.len());
+    let mut next_frontier = 0usize;
+    let mut k = 1u64;
+    loop {
+        let t = tick_time(k, case.period);
+        let done = t >= case.horizon;
+        while next_frontier < frontiers.len() && (done || k > frontiers[next_frontier]) {
+            snapshots.push(ests.clone());
+            next_frontier += 1;
+        }
+        if done {
+            break;
+        }
+        let now = SimTime::new(t);
+        for (i, est) in ests.iter_mut().enumerate() {
+            if !case.schedules[i].is_up(now) {
+                continue;
+            }
+            let schedules = &case.schedules;
+            est.probe_round_seeded(&case.streams, |v| schedules[v.index()].is_up(now));
+            if let Some(thr) = case.threshold {
+                est.maintain_seeded(&case.streams, thr, n);
+            }
+        }
+        k += 1;
+    }
+    while snapshots.len() < frontiers.len() {
+        snapshots.push(ests.clone());
+    }
+    snapshots
+}
+
+#[test]
+fn lazy_probe_set_is_bit_identical_to_eager_reference() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x1d9a);
+    for case_idx in 0..256 {
+        let case = random_case(&mut rng);
+        let n = case.schedules.len();
+        let lazy = LazyProbeSet::new(
+            case.period,
+            case.horizon,
+            case.schedules.clone(),
+            case.neighbors.clone(),
+            case.threshold,
+            case.streams.clone(),
+        );
+
+        // Query at a few random times (sorted — the estimator is an
+        // online process) plus the horizon.
+        let mut times: Vec<f64> = (0..4)
+            .map(|_| rng.random_range(0.0..case.horizon))
+            .collect();
+        times.push(case.horizon);
+        times.sort_by(f64::total_cmp);
+        // Frontier per query time: largest k with k·T <= t, capped at the
+        // horizon tick.
+        let frontiers: Vec<u64> = times
+            .iter()
+            .map(|&t| {
+                let mut k = (t / case.period) as u64 + 2;
+                while tick_time(k, case.period) > t {
+                    k -= 1;
+                }
+                k.min(lazy.max_tick())
+            })
+            .collect();
+
+        let snapshots = eager_reference(&case, &frontiers);
+        for (q, (&t, eager_states)) in times.iter().zip(&snapshots).enumerate() {
+            for i in 0..n {
+                let lazy_est = lazy.estimator(NodeId(i), t);
+                assert_eq!(
+                    lazy_est, eager_states[i],
+                    "case {case_idx} query {q} (t={t}) node {i}: lazy != eager\n\
+                     period={} horizon={} threshold={:?}",
+                    case.period, case.horizon, case.threshold
+                );
+                // Derived quantities are bit-identical too.
+                for &v in eager_states[i].neighbors() {
+                    assert_eq!(
+                        lazy.availability(NodeId(i), v, t).to_bits(),
+                        eager_states[i].availability(v).to_bits(),
+                        "case {case_idx} availability mismatch"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_sync_all_matches_per_node_queries() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(777);
+    for _ in 0..16 {
+        let case = random_case(&mut rng);
+        let n = case.schedules.len();
+        let lazy_query = LazyProbeSet::new(
+            case.period,
+            case.horizon,
+            case.schedules.clone(),
+            case.neighbors.clone(),
+            case.threshold,
+            case.streams.clone(),
+        );
+        for threads in [1usize, 2, 8] {
+            let mut lazy_bulk = LazyProbeSet::new(
+                case.period,
+                case.horizon,
+                case.schedules.clone(),
+                case.neighbors.clone(),
+                case.threshold,
+                case.streams.clone(),
+            );
+            lazy_bulk.sync_all(case.horizon, threads);
+            for i in 0..n {
+                assert_eq!(
+                    lazy_bulk.estimator(NodeId(i), case.horizon),
+                    lazy_query.estimator(NodeId(i), case.horizon),
+                    "threads={threads} node={i}"
+                );
+            }
+        }
+    }
+}

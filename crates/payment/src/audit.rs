@@ -178,13 +178,18 @@ impl AuditLog {
         let mut bal: i128 = 0;
         for e in &self.entries {
             match e.event {
-                AuditEvent::Open { account: a, balance } if a == account => {
+                AuditEvent::Open {
+                    account: a,
+                    balance,
+                } if a == account => {
                     bal += i128::from(balance);
                 }
                 AuditEvent::Withdraw { account: a, value } if a == account => {
                     bal -= i128::from(value);
                 }
-                AuditEvent::Deposit { account: a, value, .. } if a == account => {
+                AuditEvent::Deposit {
+                    account: a, value, ..
+                } if a == account => {
                     bal += i128::from(value);
                 }
                 AuditEvent::Transfer { from, to, amount } => {

@@ -237,7 +237,8 @@ mod tests {
         let bob = b.open_account(0);
 
         let mut wallet = Wallet::new();
-        b.withdraw_into_wallet(alice, 37, &mut wallet, &mut r).unwrap();
+        b.withdraw_into_wallet(alice, 37, &mut wallet, &mut r)
+            .unwrap();
         assert_eq!(b.balance(alice), Some(63));
         assert_eq!(wallet.balance(), 37);
         assert_eq!(b.outstanding(), 37);
@@ -258,7 +259,8 @@ mod tests {
         let total_before = b.total_deposits();
 
         let mut wallet = Wallet::new();
-        b.withdraw_into_wallet(alice, 123, &mut wallet, &mut r).unwrap();
+        b.withdraw_into_wallet(alice, 123, &mut wallet, &mut r)
+            .unwrap();
         assert_eq!(b.total_deposits() + b.outstanding(), total_before);
 
         for token in wallet.take_exact(123).unwrap() {
@@ -288,7 +290,8 @@ mod tests {
         let carol = b.open_account(0);
 
         let mut wallet = Wallet::new();
-        b.withdraw_into_wallet(alice, 1, &mut wallet, &mut r).unwrap();
+        b.withdraw_into_wallet(alice, 1, &mut wallet, &mut r)
+            .unwrap();
         let token = wallet.take_exact(1).unwrap().pop().unwrap();
 
         b.deposit(bob, &token).unwrap();
@@ -317,7 +320,8 @@ mod tests {
         let alice = b.open_account(100);
         let bob = b.open_account(0);
         let mut wallet = Wallet::new();
-        b.withdraw_into_wallet(alice, 2, &mut wallet, &mut r).unwrap();
+        b.withdraw_into_wallet(alice, 2, &mut wallet, &mut r)
+            .unwrap();
         let mut token = wallet.take_exact(2).unwrap().pop().unwrap();
         token.value = 200; // claim a bigger denomination
         assert_eq!(b.deposit(bob, &token), Err(DepositError::InvalidSignature));
@@ -329,7 +333,8 @@ mod tests {
         let mut r = rng(15);
         let alice = b.open_account(100);
         let mut wallet = Wallet::new();
-        b.withdraw_into_wallet(alice, 1, &mut wallet, &mut r).unwrap();
+        b.withdraw_into_wallet(alice, 1, &mut wallet, &mut r)
+            .unwrap();
         let token = wallet.take_exact(1).unwrap().pop().unwrap();
         assert_eq!(
             b.deposit(AccountId(404), &token),
@@ -371,7 +376,8 @@ mod tests {
         let alice = b.open_account(100);
         let bob = b.open_account(0);
         let mut wallet = Wallet::new();
-        b.withdraw_into_wallet(alice, 5, &mut wallet, &mut r).unwrap();
+        b.withdraw_into_wallet(alice, 5, &mut wallet, &mut r)
+            .unwrap();
         for t in wallet.take_exact(5).unwrap() {
             b.deposit(bob, &t).unwrap();
         }

@@ -230,9 +230,6 @@ mod tests {
         book.add(Receipt::issue(KEY, 9, 0, 0, AccountId(5)));
         book.add(Receipt::issue(KEY, 9, 1, 0, AccountId(5)));
         book.add(Receipt::issue(KEY, 9, 1, 1, AccountId(6)));
-        assert_eq!(
-            book.forwarder_set(KEY, 9),
-            vec![AccountId(5), AccountId(6)]
-        );
+        assert_eq!(book.forwarder_set(KEY, 9), vec![AccountId(5), AccountId(6)]);
     }
 }

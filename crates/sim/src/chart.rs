@@ -21,9 +21,7 @@ impl Series {
     #[must_use]
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
         assert!(
-            points
-                .windows(2)
-                .all(|w| w[0].0 <= w[1].0),
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
             "series points must be sorted by x"
         );
         assert!(
@@ -103,14 +101,7 @@ pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -
         let _ = writeln!(out, "{label}{}", line.iter().collect::<String>());
     }
     let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(width));
-    let _ = writeln!(
-        out,
-        "{:>10}{:<w$.1}{:>8.1}",
-        "",
-        x_lo,
-        x_hi,
-        w = width - 7
-    );
+    let _ = writeln!(out, "{:>10}{:<w$.1}{:>8.1}", "", x_lo, x_hi, w = width - 7);
     let legend: Vec<String> = series
         .iter()
         .enumerate()
@@ -176,10 +167,7 @@ mod tests {
     #[test]
     fn grid_has_requested_dimensions() {
         let chart = line_chart("t", &simple(), 40, 10);
-        let grid_lines: Vec<&str> = chart
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let grid_lines: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
         assert_eq!(grid_lines.len(), 10);
         for l in grid_lines {
             let after = l.split('|').nth(1).unwrap();

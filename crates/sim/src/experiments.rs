@@ -13,14 +13,12 @@ use std::path::PathBuf;
 use idpa_core::routing::{AdversaryStrategy, RoutingStrategy};
 use idpa_core::utility::UtilityModel;
 use idpa_desim::stats::{Ecdf, OnlineStats};
-use idpa_game::forwarding::{
-    dominance_threshold, participation_threshold, ForwardingStageGame,
-};
+use idpa_game::forwarding::{dominance_threshold, participation_threshold, ForwardingStageGame};
 
 use crate::chart::{cdf_chart, line_chart, Series};
 use crate::report::{fmt_ci, Table};
 use crate::runner::{RunResult, SimulationRun};
-use crate::scenario::ScenarioConfig;
+use crate::scenario::{ProbeMode, ScenarioConfig};
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -35,6 +33,9 @@ pub struct Options {
     /// overridable with `IDPA_THREADS`). Results are identical at any
     /// value — only wall-clock time changes.
     pub threads: usize,
+    /// Probe advancement mode (`--probe-mode`); lazy and eager are
+    /// bit-identical under the default per-node probe RNG.
+    pub probe_mode: ProbeMode,
 }
 
 impl Default for Options {
@@ -44,19 +45,24 @@ impl Default for Options {
             quick: false,
             out_dir: PathBuf::from("results"),
             threads: 0,
+            probe_mode: ProbeMode::Lazy,
         }
     }
 }
 
 impl Options {
     fn base_config(&self, seed: u64) -> ScenarioConfig {
-        if self.quick {
+        let base = if self.quick {
             ScenarioConfig::quick_test(seed)
         } else {
             ScenarioConfig {
                 seed,
                 ..ScenarioConfig::default()
             }
+        };
+        ScenarioConfig {
+            probe_mode: self.probe_mode,
+            ..base
         }
     }
 }
@@ -91,6 +97,13 @@ fn replicate(opts: &Options, make: impl Fn(u64) -> ScenarioConfig + Sync) -> Vec
     idpa_desim::pool::parallel_map(thread_count(opts), opts.reps as usize, |rep| {
         SimulationRun::execute(make(1000 + rep as u64))
     })
+}
+
+/// Replicates the base configuration as-is — the replication kernel exposed
+/// for integration tests that pin thread-count and probe-mode invariance.
+#[must_use]
+pub fn replicate_base(opts: &Options) -> Vec<RunResult> {
+    replicate(opts, |seed| opts.base_config(seed))
 }
 
 fn stats_of(results: &[RunResult], f: impl Fn(&RunResult) -> f64) -> OnlineStats {
@@ -324,8 +337,22 @@ pub fn props23(_opts: &Options) -> String {
     let p2 = participation_threshold(cp, ct, n, l, k);
     let p3 = dominance_threshold(cp, ct);
 
-    let mut table = Table::new(&["P_f", "vs Prop.2 thr", "session payoff > 0", "vs Prop.3 thr", "forwarding dominant"]);
-    for pf in [p2 * 0.5, p2 * 0.99, p2 * 1.01, p3 * 0.99, p3 * 1.01, p3 * 2.0, 50.0] {
+    let mut table = Table::new(&[
+        "P_f",
+        "vs Prop.2 thr",
+        "session payoff > 0",
+        "vs Prop.3 thr",
+        "forwarding dominant",
+    ]);
+    for pf in [
+        p2 * 0.5,
+        p2 * 0.99,
+        p2 * 1.01,
+        p3 * 0.99,
+        p3 * 1.01,
+        p3 * 2.0,
+        50.0,
+    ] {
         let payoff = idpa_game::forwarding::expected_session_payoff(pf, cp, ct, n, l, k);
         let game = ForwardingStageGame {
             pf,
@@ -371,7 +398,10 @@ pub fn ablation_weights(opts: &Options) -> String {
         ]);
     }
     let _ = table.write_csv(&opts.out_dir, "ablation_weights");
-    format!("## ablation-weights: selectivity vs availability weighting\n\n{}", table.to_markdown())
+    format!(
+        "## ablation-weights: selectivity vs availability weighting\n\n{}",
+        table.to_markdown()
+    )
 }
 
 /// Ablation: τ continuum.
@@ -395,7 +425,10 @@ pub fn ablation_tau(opts: &Options) -> String {
         ]);
     }
     let _ = table.write_csv(&opts.out_dir, "ablation_tau");
-    format!("## ablation-tau: routing-to-forwarding benefit ratio\n\n{}", table.to_markdown())
+    format!(
+        "## ablation-tau: routing-to-forwarding benefit ratio\n\n{}",
+        table.to_markdown()
+    )
 }
 
 /// Ablation: neighbor degree `d`.
@@ -419,7 +452,10 @@ pub fn ablation_degree(opts: &Options) -> String {
         ]);
     }
     let _ = table.write_csv(&opts.out_dir, "ablation_degree");
-    format!("## ablation-degree: neighbor-set size d\n\n{}", table.to_markdown())
+    format!(
+        "## ablation-degree: neighbor-set size d\n\n{}",
+        table.to_markdown()
+    )
 }
 
 /// Ablation: probing period `T`.
@@ -441,7 +477,10 @@ pub fn ablation_probe(opts: &Options) -> String {
         ]);
     }
     let _ = table.write_csv(&opts.out_dir, "ablation_probe");
-    format!("## ablation-probe: probing period sensitivity\n\n{}", table.to_markdown())
+    format!(
+        "## ablation-probe: probing period sensitivity\n\n{}",
+        table.to_markdown()
+    )
 }
 
 /// Ablation: bounded history retention.
@@ -463,7 +502,10 @@ pub fn ablation_history(opts: &Options) -> String {
         ]);
     }
     let _ = table.write_csv(&opts.out_dir, "ablation_history");
-    format!("## ablation-history: history retention bound\n\n{}", table.to_markdown())
+    format!(
+        "## ablation-history: history retention bound\n\n{}",
+        table.to_markdown()
+    )
 }
 
 /// Ablation: model II lookahead horizon (depth of the §2.4.3 backward
@@ -497,7 +539,12 @@ pub fn ablation_lookahead(opts: &Options) -> String {
 /// intersection attack — more rounds per pair give the attacker more
 /// observations.
 pub fn ablation_rounds(opts: &Options) -> String {
-    let mut table = Table::new(&["avg rounds/pair", "exposure rate", "anonymity degree", "‖π‖"]);
+    let mut table = Table::new(&[
+        "avg rounds/pair",
+        "exposure rate",
+        "anonymity degree",
+        "‖π‖",
+    ]);
     for rounds in [5usize, 10, 20, 40] {
         let results = replicate(opts, |seed| {
             let mut cfg = opts.base_config(seed);
@@ -627,7 +674,10 @@ pub fn attack_availability(opts: &Options) -> String {
         }
     }
     let _ = table.write_csv(&opts.out_dir, "attack_availability");
-    format!("## attack-availability: §5 availability attack\n\n{}", table.to_markdown())
+    format!(
+        "## attack-availability: §5 availability attack\n\n{}",
+        table.to_markdown()
+    )
 }
 
 /// §4-motivated collusion attack: malicious nodes steer traffic to each
@@ -687,31 +737,32 @@ pub fn attack_collusion(opts: &Options) -> String {
 /// numbers make the prefixes identical) and snapshot payoff and anonymity.
 pub fn timeline(opts: &Options) -> String {
     let fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
-    let mut table = Table::new(&["horizon (min)", "connections", "avg good payoff", "anonymity degree"]);
+    let mut table = Table::new(&[
+        "horizon (min)",
+        "connections",
+        "avg good payoff",
+        "anonymity degree",
+    ]);
     let mut payoff_pts = Vec::new();
     let mut anon_pts = Vec::new();
     for frac in fractions {
         // Generate the FULL world, then stop the engine early: each point
         // is a true prefix of the same trajectory (common random numbers).
-        let results: Vec<crate::runner::RunResult> = idpa_desim::pool::parallel_map(
-            thread_count(opts),
-            opts.reps as usize,
-            |rep| {
+        let results: Vec<crate::runner::RunResult> =
+            idpa_desim::pool::parallel_map(thread_count(opts), opts.reps as usize, |rep| {
                 let cfg = ScenarioConfig {
                     adversary_fraction: 0.3,
                     good_strategy: model_one(),
                     ..opts.base_config(1000 + rep as u64)
                 };
                 let world = crate::world::World::generate(&cfg);
-                let horizon =
-                    idpa_desim::SimTime::new(cfg.churn.horizon * frac);
+                let horizon = idpa_desim::SimTime::new(cfg.churn.horizon * frac);
                 let mut run = SimulationRun::new(cfg, world);
                 let mut engine = idpa_desim::Engine::new();
                 run.schedule_all(&mut engine);
                 engine.run(&mut run, Some(horizon));
                 run.finish()
-            },
-        );
+            });
         let conns = stats_of(&results, |r| r.connections as f64);
         let pay = stats_of(&results, |r| r.avg_good_payoff);
         let anon = stats_of(&results, |r| r.avg_anonymity_degree);
@@ -816,8 +867,13 @@ pub type Experiment = fn(&Options) -> String;
 #[must_use]
 pub fn registry() -> Vec<(&'static str, Experiment)> {
     vec![
-        ("fig3", (|o| fig_payoff_vs_f(o, model_one(), "fig3_payoff_model1")) as Experiment),
-        ("fig4", |o| fig_payoff_vs_f(o, model_two(), "fig4_payoff_model2")),
+        (
+            "fig3",
+            (|o| fig_payoff_vs_f(o, model_one(), "fig3_payoff_model1")) as Experiment,
+        ),
+        ("fig4", |o| {
+            fig_payoff_vs_f(o, model_two(), "fig4_payoff_model2")
+        }),
         ("fig5", fig5),
         ("fig6", |o| fig_payoff_cdf(o, 0.1, "fig6_payoff_cdf_f01")),
         ("fig7", |o| fig_payoff_cdf(o, 0.5, "fig7_payoff_cdf_f05")),
@@ -850,7 +906,7 @@ mod tests {
             reps: 2,
             quick: true,
             out_dir: std::env::temp_dir().join("idpa_exp_test"),
-            threads: 0,
+            ..Options::default()
         }
     }
 

@@ -27,5 +27,5 @@ pub mod scenario;
 pub mod world;
 
 pub use runner::{RunResult, SimulationRun};
-pub use scenario::ScenarioConfig;
+pub use scenario::{ProbeMode, ProbeRngMode, ScenarioConfig};
 pub use world::World;

@@ -18,10 +18,7 @@ fn main() -> ExitCode {
     // churn trace of the paper-scale scenario as CSV (stdout), in the
     // format `idpa_netmodel::trace` re-imports for measured-trace replay.
     if args.first().map(String::as_str) == Some("trace-export") {
-        let seed: u64 = args
-            .get(1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(1);
+        let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
         let cfg = idpa_sim::ScenarioConfig {
             seed,
             ..idpa_sim::ScenarioConfig::default()
@@ -63,9 +60,20 @@ fn main() -> ExitCode {
                 };
                 opts.out_dir = v.into();
             }
+            "--probe-mode" => {
+                opts.probe_mode = match iter.next().map(String::as_str) {
+                    Some("eager") => idpa_sim::ProbeMode::Eager,
+                    Some("lazy") => idpa_sim::ProbeMode::Lazy,
+                    _ => {
+                        eprintln!("--probe-mode needs 'eager' or 'lazy'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: idpa-sim [EXPERIMENT ...] [--reps N] [--threads N] [--quick] [--out DIR] [--list]"
+                    "usage: idpa-sim [EXPERIMENT ...] [--reps N] [--threads N] [--quick] \
+                     [--probe-mode eager|lazy] [--out DIR] [--list]"
                 );
                 return ExitCode::SUCCESS;
             }

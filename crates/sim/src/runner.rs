@@ -1,9 +1,13 @@
 //! The event-driven simulation run.
 //!
-//! Two event kinds drive the run: periodic **probe ticks** (each live node
-//! probes its neighbors' liveness, maintaining its availability estimates
-//! `α_s(v)`) and **transmissions** (one connection of one (I, R) pair,
-//! formed hop by hop under the incentive mechanism). After the horizon the
+//! Transmissions (one connection of one (I, R) pair, formed hop by hop
+//! under the incentive mechanism) drive the run. Availability estimates
+//! `α_s(v)` advance in one of two modes: **eager** (`Ev::Probe` fires every
+//! probe tick and every live node runs a probing round) or **lazy** (the
+//! default — probe state materializes on demand from the analytic churn
+//! schedule when routing reads it, with per-node `Ev::Maintain` events at
+//! exactly the ticks a neighbor replacement falls due). Under per-node
+//! probe RNG streams the two modes are bit-identical. After the horizon the
 //! per-bundle accounting is settled into per-node payoffs
 //! (`m·P_f + P_r/‖π‖ − costs`).
 
@@ -20,16 +24,21 @@ use idpa_core::routing::{RouteScratch, RoutingView};
 use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
 use idpa_desim::{Engine, Process, SimTime};
 use idpa_netmodel::{CostModel, NodeSchedule};
-use idpa_overlay::{NodeId, ProbeEstimator};
+use idpa_overlay::{LazyProbeSet, NodeId, ProbeEstimator};
+use rand::RngExt;
 
-use crate::scenario::ScenarioConfig;
+use crate::scenario::{ProbeMode, ProbeRngMode, ScenarioConfig};
 use crate::world::World;
 
 /// Events of the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ev {
-    /// Global probe tick: every live node runs one probing round.
+    /// Global probe tick (eager mode): every live node runs one probing
+    /// round.
     Probe,
+    /// Per-node maintenance event (lazy mode): a neighbor replacement falls
+    /// due for this node at this tick.
+    Maintain(usize),
     /// One transmission of one (I, R) pair.
     Transmit {
         /// Index of the pair in the workload.
@@ -39,10 +48,16 @@ pub enum Ev {
     },
 }
 
+/// Probe state in either advancement mode.
+enum ProbeState {
+    Eager(Vec<ProbeEstimator>),
+    Lazy(LazyProbeSet),
+}
+
 /// The live snapshot the routing layer reads during one transmission.
 struct RunView<'a> {
     schedules: &'a [NodeSchedule],
-    probes: &'a [ProbeEstimator],
+    probes: &'a ProbeState,
     costs: &'a CostModel,
     now: SimTime,
 }
@@ -58,17 +73,22 @@ impl RoutingView for RunView<'_> {
         // D(s) is maintained by the node itself (its probe estimator), so
         // neighbor replacement is visible to routing.
         out.clear();
-        out.extend(
-            self.probes[s.index()]
-                .neighbors()
-                .iter()
-                .copied()
-                .filter(|v| self.schedules[v.index()].is_up(self.now)),
-        );
+        let live = |v: &NodeId| self.schedules[v.index()].is_up(self.now);
+        match self.probes {
+            ProbeState::Eager(probes) => {
+                out.extend(probes[s.index()].neighbors().iter().copied().filter(live));
+            }
+            ProbeState::Lazy(set) => set.with_neighbors(s, self.now.minutes(), |nbrs| {
+                out.extend(nbrs.iter().copied().filter(live));
+            }),
+        }
     }
 
     fn availability(&self, s: NodeId, v: NodeId) -> f64 {
-        self.probes[s.index()].availability(v)
+        match self.probes {
+            ProbeState::Eager(probes) => probes[s.index()].availability(v),
+            ProbeState::Lazy(set) => set.availability(s, v, self.now.minutes()),
+        }
     }
 
     fn transmission_cost(&self, s: NodeId, v: NodeId) -> f64 {
@@ -124,7 +144,7 @@ pub struct RunResult {
 pub struct SimulationRun {
     cfg: ScenarioConfig,
     world: World,
-    probes: Vec<ProbeEstimator>,
+    probes: ProbeState,
     histories: Vec<HistoryProfile>,
     bundles: Vec<BundleAccounting>,
     trackers: Vec<ReformationTracker>,
@@ -132,10 +152,19 @@ pub struct SimulationRun {
     initiator_costs: Vec<f64>,
     quality: EdgeQuality,
     routing_rng: Xoshiro256StarStar,
+    /// The legacy shared probe stream (consumed only under
+    /// [`ProbeRngMode::SharedLegacy`]).
     probe_rng: Xoshiro256StarStar,
+    /// Source of position-keyed probe draws under
+    /// [`ProbeRngMode::PerNode`].
+    streams: StreamFactory,
     connections: u64,
     /// Routing buffers and memo caches, reused across all transmissions.
     scratch: RouteScratch,
+    /// Scratch for legacy neighbor maintenance: stale-neighbor list and a
+    /// node-membership mask, reused across nodes and ticks.
+    stale_scratch: Vec<NodeId>,
+    member_mask: Vec<bool>,
 }
 
 impl SimulationRun {
@@ -143,15 +172,26 @@ impl SimulationRun {
     #[must_use]
     pub fn new(cfg: ScenarioConfig, world: World) -> Self {
         let streams = StreamFactory::new(cfg.seed);
-        let probes = (0..cfg.n_nodes)
-            .map(|i| {
-                ProbeEstimator::new(
-                    NodeId(i),
-                    cfg.probe_period,
-                    world.topology.neighbors(NodeId(i)).to_vec(),
-                )
-            })
+        let neighbor_sets: Vec<Vec<NodeId>> = (0..cfg.n_nodes)
+            .map(|i| world.topology.neighbors(NodeId(i)).to_vec())
             .collect();
+        let probes = match cfg.probe_mode {
+            ProbeMode::Eager => ProbeState::Eager(
+                neighbor_sets
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, nbrs)| ProbeEstimator::new(NodeId(i), cfg.probe_period, nbrs))
+                    .collect(),
+            ),
+            ProbeMode::Lazy => ProbeState::Lazy(LazyProbeSet::new(
+                cfg.probe_period,
+                cfg.churn.horizon,
+                world.schedules.clone(),
+                neighbor_sets,
+                cfg.neighbor_replacement_rounds,
+                streams.clone(),
+            )),
+        };
         let histories = (0..cfg.n_nodes)
             .map(|i| match cfg.history_capacity {
                 Some(cap) => HistoryProfile::with_capacity(NodeId(i), cap),
@@ -169,8 +209,11 @@ impl SimulationRun {
             initiator_costs: vec![0.0; n_pairs],
             routing_rng: streams.stream("routing"),
             probe_rng: streams.stream("probing"),
+            streams,
             connections: 0,
             scratch: RouteScratch::new(),
+            stale_scratch: Vec::new(),
+            member_mask: vec![false; cfg.n_nodes],
             cfg,
             world,
         }
@@ -188,12 +231,32 @@ impl SimulationRun {
         run.finish()
     }
 
-    /// Schedules every probe tick and transmission.
+    /// Schedules every probe-related event and transmission. Probe tick `k`
+    /// fires at `k·T` (computed as a product, so eager tick times agree
+    /// exactly with the lazy estimator's closed-form reconstruction): in
+    /// eager mode a global [`Ev::Probe`] per tick, in lazy mode only
+    /// per-node [`Ev::Maintain`] events at the ticks a replacement falls
+    /// due.
     pub fn schedule_all(&self, engine: &mut Engine<Ev>) {
-        let mut t = self.cfg.probe_period;
-        while t < self.cfg.churn.horizon {
-            engine.schedule_at(SimTime::new(t), Ev::Probe);
-            t += self.cfg.probe_period;
+        match &self.probes {
+            ProbeState::Eager(_) => {
+                let mut k = 1u64;
+                loop {
+                    let t = k as f64 * self.cfg.probe_period;
+                    if t >= self.cfg.churn.horizon {
+                        break;
+                    }
+                    engine.schedule_at(SimTime::new(t), Ev::Probe);
+                    k += 1;
+                }
+            }
+            ProbeState::Lazy(set) => {
+                for i in 0..self.cfg.n_nodes {
+                    if let Some(t) = set.next_due_after(NodeId(i), 0.0) {
+                        engine.schedule_at(SimTime::new(t), Ev::Maintain(i));
+                    }
+                }
+            }
         }
         for (pair, wl) in self.world.pairs.iter().enumerate() {
             for (conn, &time) in wl.times.iter().enumerate() {
@@ -209,57 +272,54 @@ impl SimulationRun {
     }
 
     fn handle_probe(&mut self, now: SimTime) {
-        for i in 0..self.cfg.n_nodes {
+        let ProbeState::Eager(probes) = &mut self.probes else {
+            // Lazy mode schedules no global probe ticks.
+            return;
+        };
+        let schedules = &self.world.schedules;
+        for (i, probe) in probes.iter_mut().enumerate() {
             // Only live nodes probe.
-            if !self.world.schedules[i].is_up(now) {
+            if !schedules[i].is_up(now) {
                 continue;
             }
-            let schedules = &self.world.schedules;
-            self.probes[i].probe_round(
-                |v| schedules[v.index()].is_up(now),
-                &mut self.probe_rng,
-            );
-            if let Some(threshold) = self.cfg.neighbor_replacement_rounds {
-                self.maintain_neighbors(i, threshold);
+            match self.cfg.probe_rng {
+                ProbeRngMode::PerNode => {
+                    probe.probe_round_seeded(&self.streams, |v| schedules[v.index()].is_up(now));
+                    if let Some(threshold) = self.cfg.neighbor_replacement_rounds {
+                        probe.maintain_seeded(&self.streams, threshold, self.cfg.n_nodes);
+                    }
+                }
+                ProbeRngMode::SharedLegacy => {
+                    probe.probe_round(|v| schedules[v.index()].is_up(now), &mut self.probe_rng);
+                    if let Some(threshold) = self.cfg.neighbor_replacement_rounds {
+                        maintain_neighbors_legacy(
+                            probe,
+                            &mut self.probe_rng,
+                            threshold,
+                            self.cfg.n_nodes,
+                            &mut self.stale_scratch,
+                            &mut self.member_mask,
+                        );
+                    }
+                }
             }
         }
     }
 
-    /// Replaces neighbors silent for `threshold`+ probe rounds with fresh
-    /// random peers — the dynamic-neighbor-set reading of §2.3's "if a new
-    /// neighbor is found" rule.
-    fn maintain_neighbors(&mut self, i: usize, threshold: u64) {
-        use rand::RngExt;
-        let stale: Vec<NodeId> = self.probes[i]
-            .neighbors()
-            .iter()
-            .copied()
-            .filter(|&v| {
-                self.probes[i]
-                    .rounds_since_alive(v)
-                    .is_some_and(|r| r >= threshold)
-            })
-            .collect();
-        for old in stale {
-            // Draw a replacement: not self, not already a neighbor.
-            let candidate = (0..16).find_map(|_| {
-                let c = NodeId(self.probe_rng.random_range(0..self.cfg.n_nodes));
-                (c.index() != i && !self.probes[i].neighbors().contains(&c)).then_some(c)
-            });
-            if let Some(new) = candidate {
-                self.probes[i].replace_neighbor(old, new);
-            }
+    /// Lazy-mode maintenance: sync the node through `now` (applying the
+    /// replacement that fell due), then schedule its next due tick.
+    fn handle_maintain(&mut self, engine: &mut Engine<Ev>, now: SimTime, node: usize) {
+        let ProbeState::Lazy(set) = &self.probes else {
+            return;
+        };
+        if let Some(t) = set.next_due_after(NodeId(node), now.minutes()) {
+            engine.schedule_at(SimTime::new(t), Ev::Maintain(node));
         }
     }
 
     fn handle_transmit(&mut self, now: SimTime, pair: usize, conn: u32) {
         let wl = &self.world.pairs[pair];
-        let contract = Contract::from_tau(
-            BundleId(pair as u64),
-            wl.responder,
-            wl.pf,
-            self.cfg.tau,
-        );
+        let contract = Contract::from_tau(BundleId(pair as u64), wl.responder, wl.pf, self.cfg.tau);
         let priors = self.bundles[pair].connections();
         let view = RunView {
             schedules: &self.world.schedules,
@@ -359,14 +419,16 @@ impl SimulationRun {
             .filter(|a| a.observations() > 0)
             .filter(|a| a.exposed())
             .count();
-        let observed_attacks = self
-            .attacks
-            .iter()
-            .filter(|a| a.observations() > 0)
-            .count();
+        let observed_attacks = self.attacks.iter().filter(|a| a.observations() > 0).count();
         // Anonymity is measured over the attacker's candidate pool: the
         // good (non-colluding) nodes.
-        let n_good = self.world.kinds.iter().filter(|k| k.is_good()).count().max(1);
+        let n_good = self
+            .world
+            .kinds
+            .iter()
+            .filter(|k| k.is_good())
+            .count()
+            .max(1);
         let degrees: Vec<f64> = self
             .attacks
             .iter()
@@ -416,17 +478,61 @@ impl SimulationRun {
     }
 }
 
+/// The pre-PR-2 neighbor-maintenance pass, kept for
+/// [`ProbeRngMode::SharedLegacy`] reproducibility: replaces neighbors
+/// silent for `threshold`+ rounds with candidates drawn from the shared
+/// probe stream. `stale` and `mask` are caller-owned scratch (the mask must
+/// be all-false on entry, sized to `n_nodes`; it is restored to all-false
+/// on exit), so the pass allocates nothing and candidate rejection is O(1)
+/// instead of an O(d) `contains` scan.
+fn maintain_neighbors_legacy(
+    probe: &mut ProbeEstimator,
+    rng: &mut Xoshiro256StarStar,
+    threshold: u64,
+    n_nodes: usize,
+    stale: &mut Vec<NodeId>,
+    mask: &mut [bool],
+) {
+    stale.clear();
+    stale.extend(
+        probe
+            .neighbors()
+            .iter()
+            .copied()
+            .filter(|&v| probe.rounds_since_alive(v).is_some_and(|r| r >= threshold)),
+    );
+    if stale.is_empty() {
+        return;
+    }
+    for v in probe.neighbors() {
+        mask[v.index()] = true;
+    }
+    for &old in stale.iter() {
+        // Draw a replacement: not self, not already a neighbor.
+        let candidate = (0..16).find_map(|_| {
+            let c = NodeId(rng.random_range(0..n_nodes));
+            (c != probe.owner() && !mask[c.index()]).then_some(c)
+        });
+        if let Some(new) = candidate {
+            if probe.replace_neighbor(old, new) {
+                mask[old.index()] = false;
+                mask[new.index()] = true;
+            }
+        }
+    }
+    for v in probe.neighbors() {
+        mask[v.index()] = false;
+    }
+}
+
 impl Process for SimulationRun {
     type Event = Ev;
 
-    fn handle(
-        &mut self,
-        engine: &mut Engine<Ev>,
-        event: Ev,
-    ) -> idpa_desim::engine::Control {
+    fn handle(&mut self, engine: &mut Engine<Ev>, event: Ev) -> idpa_desim::engine::Control {
         let now = engine.now();
         match event {
             Ev::Probe => self.handle_probe(now),
+            Ev::Maintain(node) => self.handle_maintain(engine, now, node),
             Ev::Transmit { pair, conn } => self.handle_transmit(now, pair, conn),
         }
         idpa_desim::engine::Control::Continue
@@ -561,8 +667,8 @@ mod tests {
     #[test]
     fn participation_payoffs_sum_to_node_totals() {
         let r = run_with(0.2, RoutingStrategy::Utility(UtilityModel::ModelI), 11);
-        let samples: f64 = r.good_payoffs.iter().sum::<f64>()
-            + r.malicious_payoffs.iter().sum::<f64>();
+        let samples: f64 =
+            r.good_payoffs.iter().sum::<f64>() + r.malicious_payoffs.iter().sum::<f64>();
         let totals: f64 = r.node_totals.iter().sum();
         assert!((samples - totals).abs() < 1e-6);
     }

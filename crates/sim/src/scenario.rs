@@ -12,6 +12,35 @@ use idpa_core::routing::{AdversaryStrategy, PathPolicy, RoutingStrategy};
 use idpa_core::utility::UtilityModel;
 use idpa_netmodel::{ChurnConfig, CostConfig};
 
+/// How availability-probe state is advanced during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeMode {
+    /// Global synchronous sweep: every probe tick, every live node runs a
+    /// probing round — O(N·d) per tick whether or not anyone reads the
+    /// estimates.
+    Eager,
+    /// Event-driven lazy estimation: per-node probe cells are materialized
+    /// on demand from the analytic churn schedule when read (or when a
+    /// neighbor replacement falls due) — amortized O(churn + queries),
+    /// bit-identical to `Eager` under [`ProbeRngMode::PerNode`].
+    Lazy,
+}
+
+/// Where probe randomness (first-sighting draws, replacement candidates)
+/// comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeRngMode {
+    /// Position-keyed per-node streams: the draw for (owner, slot, round)
+    /// is a pure function of the master seed, so eager and lazy advancement
+    /// consume identical bits. The compat mode in which `--probe-mode
+    /// eager` and `--probe-mode lazy` produce bit-identical results.
+    PerNode,
+    /// The pre-PR-2 behaviour: one shared sequential `probing` stream
+    /// consumed in node order each tick. Kept for reproducing old runs;
+    /// only meaningful under [`ProbeMode::Eager`].
+    SharedLegacy,
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioConfig {
@@ -58,6 +87,12 @@ pub struct ScenarioConfig {
     /// probing rule's "if a new neighbor is found" clause (§2.3) is what
     /// re-initialises the replacement's session time.
     pub neighbor_replacement_rounds: Option<u64>,
+    /// How probe state advances: eager per-tick sweep or event-driven lazy
+    /// materialization (the default).
+    pub probe_mode: ProbeMode,
+    /// Source of probe randomness; `PerNode` (the default) makes eager and
+    /// lazy modes bit-identical.
+    pub probe_rng: ProbeRngMode,
 }
 
 impl Default for ScenarioConfig {
@@ -99,6 +134,8 @@ impl Default for ScenarioConfig {
             availability_attack: false,
             history_capacity: None,
             neighbor_replacement_rounds: None,
+            probe_mode: ProbeMode::Lazy,
+            probe_rng: ProbeRngMode::PerNode,
         }
     }
 }
@@ -126,6 +163,16 @@ impl ScenarioConfig {
             "f out of range"
         );
         assert!(self.probe_period > 0.0);
+        if self.probe_mode == ProbeMode::Lazy {
+            assert!(
+                self.probe_rng == ProbeRngMode::PerNode,
+                "lazy probing requires per-node probe RNG streams"
+            );
+            assert!(
+                self.neighbor_replacement_rounds != Some(0),
+                "lazy probing requires a replacement threshold >= 1"
+            );
+        }
         assert!(
             self.warmup < self.churn.horizon,
             "warmup must precede the horizon"
@@ -211,6 +258,43 @@ mod tests {
     fn bad_fraction_rejected() {
         let cfg = ScenarioConfig {
             adversary_fraction: 1.5,
+            ..ScenarioConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn default_probe_mode_is_lazy_per_node() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.probe_mode, ProbeMode::Lazy);
+        assert_eq!(cfg.probe_rng, ProbeRngMode::PerNode);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-node probe RNG")]
+    fn lazy_with_shared_rng_rejected() {
+        let cfg = ScenarioConfig {
+            probe_rng: ProbeRngMode::SharedLegacy,
+            ..ScenarioConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "replacement threshold")]
+    fn lazy_with_zero_threshold_rejected() {
+        let cfg = ScenarioConfig {
+            neighbor_replacement_rounds: Some(0),
+            ..ScenarioConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn eager_legacy_combination_validates() {
+        let cfg = ScenarioConfig {
+            probe_mode: ProbeMode::Eager,
+            probe_rng: ProbeRngMode::SharedLegacy,
             ..ScenarioConfig::default()
         };
         cfg.validate();

@@ -9,13 +9,13 @@
 //! cargo run --release --example anonymous_payment
 //! ```
 
+use idpa::crypto::bigint::BigUint;
 use idpa::payment::bank::Bank;
 use idpa::payment::escrow::Escrow;
 use idpa::payment::receipt::{Receipt, ReceiptBook};
 use idpa::payment::token::Wallet;
 use idpa::payment::DepositError;
 use idpa::prelude::{StreamFactory, Token};
-use idpa::crypto::bigint::BigUint;
 
 fn main() {
     let streams = StreamFactory::new(42);
@@ -40,15 +40,20 @@ fn main() {
     let mut wallet = Wallet::new();
     bank.withdraw_into_wallet(initiator, budget, &mut wallet, &mut rng)
         .expect("funds available");
-    println!("    wallet: {} tokens, {} credits; bank never saw a serial",
-        wallet.len(), wallet.balance());
+    println!(
+        "    wallet: {} tokens, {} credits; bank never saw a serial",
+        wallet.len(),
+        wallet.balance()
+    );
 
     // --- escrow funding ---------------------------------------------------
     let bundle_id = 1u64;
     let tokens = wallet.take_exact(budget).expect("binary denominations");
-    let mut escrow =
-        Escrow::open(&mut bank, bundle_id, pf, pr, tokens).expect("tokens verify");
-    println!("[3] escrow funded with {} credits BEFORE any connection runs", escrow.funded());
+    let mut escrow = Escrow::open(&mut bank, bundle_id, pf, pr, tokens).expect("tokens verify");
+    println!(
+        "[3] escrow funded with {} credits BEFORE any connection runs",
+        escrow.funded()
+    );
     println!("    (non-payment by the initiator is now impossible)");
 
     // --- the bundle runs: receipts accumulate -----------------------------
@@ -57,13 +62,28 @@ fn main() {
     let bundle_key = b"bundle-1-shared-key";
     let mut book = ReceiptBook::new();
     for conn in 0..4u32 {
-        book.add(Receipt::issue(bundle_key, bundle_id, conn, 0, forwarders[0]));
+        book.add(Receipt::issue(
+            bundle_key,
+            bundle_id,
+            conn,
+            0,
+            forwarders[0],
+        ));
     }
     for conn in 0..2u32 {
-        book.add(Receipt::issue(bundle_key, bundle_id, conn, 1, forwarders[1]));
+        book.add(Receipt::issue(
+            bundle_key,
+            bundle_id,
+            conn,
+            1,
+            forwarders[1],
+        ));
     }
     book.add(Receipt::issue(bundle_key, bundle_id, 3, 1, forwarders[2]));
-    println!("[4] bundle complete: {} receipts collected on the reverse path", book.len());
+    println!(
+        "[4] bundle complete: {} receipts collected on the reverse path",
+        book.len()
+    );
 
     // --- cheating attempts -------------------------------------------------
     println!("[5] cheating attempts:");
@@ -93,12 +113,17 @@ fn main() {
     let report = escrow
         .settle(&mut bank, bundle_key, &book, &mut refund_wallet, &mut rng)
         .expect("valid receipts settle");
-    println!("[6] settlement: ‖π‖ = {}, {} receipts rejected",
-        report.forwarder_set_size, report.rejected_receipts);
+    println!(
+        "[6] settlement: ‖π‖ = {}, {} receipts rejected",
+        report.forwarder_set_size, report.rejected_receipts
+    );
     for (acct, amount) in &report.payouts {
         println!("    account {acct:?} paid {amount} credits (= m*P_f + P_r/‖π‖)");
     }
-    println!("    refund to initiator: {} credits as fresh blind tokens", report.refund);
+    println!(
+        "    refund to initiator: {} credits as fresh blind tokens",
+        report.refund
+    );
 
     // --- double-spend check -------------------------------------------------
     println!("[7] double-spend: refund tokens deposit once, then bounce");
@@ -114,8 +139,10 @@ fn main() {
 
     // --- conservation -------------------------------------------------------
     println!("[8] conservation: total deposits + outstanding tokens is constant");
-    println!("    total now: {} (started with 10000)",
-        bank.total_deposits() + bank.outstanding());
+    println!(
+        "    total now: {} (started with 10000)",
+        bank.total_deposits() + bank.outstanding()
+    );
     assert_eq!(bank.total_deposits() + bank.outstanding(), 10_000);
 
     println!("\nAll cheating scenarios rejected; payments settled; initiator");

@@ -24,12 +24,19 @@ fn main() {
     let world = World::generate(&cfg);
     let csv = trace_to_csv(&world.schedules);
     let sessions: usize = world.schedules.iter().map(|s| s.sessions().len()).sum();
-    println!("[1] exported churn trace: {} nodes, {} sessions, {} bytes of CSV",
-        world.schedules.len(), sessions, csv.len());
+    println!(
+        "[1] exported churn trace: {} nodes, {} sessions, {} bytes of CSV",
+        world.schedules.len(),
+        sessions,
+        csv.len()
+    );
 
     // [2] Re-import it, as one would a measured trace file.
     let replayed = trace_from_csv(&csv, cfg.n_nodes).expect("trace parses");
-    println!("[2] re-imported trace parses and round-trips: {}", replayed == world.schedules);
+    println!(
+        "[2] re-imported trace parses and round-trips: {}",
+        replayed == world.schedules
+    );
 
     // [3] Run the full mechanism over the replayed trace.
     let mut replay_world = world.clone();
@@ -40,11 +47,13 @@ fn main() {
     engine.run(&mut run, Some(SimTime::new(cfg.churn.horizon)));
     let result = run.finish();
 
-    println!("[3] replay run: {} connections, ‖π‖ = {:.1}, payoff = {:.1}, anonymity = {:.3}",
+    println!(
+        "[3] replay run: {} connections, ‖π‖ = {:.1}, payoff = {:.1}, anonymity = {:.3}",
         result.connections,
         result.avg_forwarder_set,
         result.avg_good_payoff,
-        result.avg_anonymity_degree);
+        result.avg_anonymity_degree
+    );
 
     // [4] Availability summary of the trace, the quantity the §2.3
     // probing estimator tracks.
@@ -60,5 +69,7 @@ fn main() {
         avail[avail.len() / 2],
         avail.last().unwrap()
     );
-    println!("\nTo export a trace for external tooling: cargo run -p idpa-sim -- trace-export [SEED]");
+    println!(
+        "\nTo export a trace for external tooling: cargo run -p idpa-sim -- trace-export [SEED]"
+    );
 }

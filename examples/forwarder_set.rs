@@ -102,10 +102,7 @@ fn main() {
     run(RoutingStrategy::Random, "random");
 
     println!("=== Figure 2: utility-driven routing keeps it stable ===");
-    run(
-        RoutingStrategy::Utility(UtilityModel::ModelI),
-        "utility",
-    );
+    run(RoutingStrategy::Utility(UtilityModel::ModelI), "utility");
 
     println!("The routing benefit P_r = 100 is shared over the forwarder set:");
     println!("a scattered set (paper's P_r/8) pays each forwarder far less than");

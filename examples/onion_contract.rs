@@ -10,15 +10,18 @@
 //! ```
 
 use idpa::core::envelope::{
-    decode_contract, encode_contract, peel_layer, seal_layers, validate_path, HopKey,
-    PathRecord, PathValidationError,
+    decode_contract, encode_contract, peel_layer, seal_layers, validate_path, HopKey, PathRecord,
+    PathValidationError,
 };
 use idpa::prelude::*;
 
 fn main() {
     // The contract for a bundle toward responder n9.
     let contract = Contract::new(BundleId(17), NodeId(9), 75.0, 150.0);
-    println!("[1] contract: P_f={} P_r={} responder={}", contract.pf, contract.pr, contract.responder);
+    println!(
+        "[1] contract: P_f={} P_r={} responder={}",
+        contract.pf, contract.pr, contract.responder
+    );
 
     // The initiator expects up to 3 hops; one key per hop position,
     // derived from the bundle secret.
@@ -27,17 +30,33 @@ fn main() {
 
     // Seal: layered ChaCha20, outermost layer for the first hop.
     let sealed = seal_layers(&encode_contract(&contract), &hop_keys);
-    println!("[2] contract sealed in {} onion layers ({} bytes)", hop_keys.len(), sealed.len());
-    assert!(decode_contract(&sealed).is_none(), "sealed blob must be opaque");
+    println!(
+        "[2] contract sealed in {} onion layers ({} bytes)",
+        hop_keys.len(),
+        sealed.len()
+    );
+    assert!(
+        decode_contract(&sealed).is_none(),
+        "sealed blob must be opaque"
+    );
 
     // Each hop peels its own layer; only the last sees the plaintext.
     let after0 = peel_layer(&sealed, &hop_keys[0], 0);
-    println!("[3] hop 0 peeled its layer: readable = {}", decode_contract(&after0).is_some());
+    println!(
+        "[3] hop 0 peeled its layer: readable = {}",
+        decode_contract(&after0).is_some()
+    );
     let after1 = peel_layer(&after0, &hop_keys[1], 1);
-    println!("    hop 1 peeled its layer: readable = {}", decode_contract(&after1).is_some());
+    println!(
+        "    hop 1 peeled its layer: readable = {}",
+        decode_contract(&after1).is_some()
+    );
     let after2 = peel_layer(&after1, &hop_keys[2], 2);
     let recovered = decode_contract(&after2).expect("innermost layer is the contract");
-    println!("    hop 2 peeled its layer: readable = true -> P_f={} P_r={}", recovered.pf, recovered.pr);
+    println!(
+        "    hop 2 peeled its layer: readable = true -> P_f={} P_r={}",
+        recovered.pf, recovered.pr
+    );
     assert_eq!(recovered, contract);
 
     // Reverse path: the forwarders f=n3, n5, n7 each append a MAC'd record.
@@ -50,8 +69,13 @@ fn main() {
 
     // The initiator recreates and validates the path before paying.
     let path = validate_path(&records, bundle_key).expect("honest chain validates");
-    println!("[4] initiator validated the path: I -> {} -> R",
-        path.iter().map(ToString::to_string).collect::<Vec<_>>().join(" -> "));
+    println!(
+        "[4] initiator validated the path: I -> {} -> R",
+        path.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
 
     // A malicious forwarder tries to splice itself out / divert credit.
     let mut tampered = records.clone();

@@ -18,21 +18,37 @@ fn main() {
         ..ScenarioConfig::default()
     };
 
-    println!("simulating: N={} d={} pairs={} transmissions={} f={}",
-        cfg.n_nodes, cfg.degree, cfg.n_pairs, cfg.total_transmissions,
-        cfg.adversary_fraction);
+    println!(
+        "simulating: N={} d={} pairs={} transmissions={} f={}",
+        cfg.n_nodes, cfg.degree, cfg.n_pairs, cfg.total_transmissions, cfg.adversary_fraction
+    );
 
     let result = SimulationRun::execute(cfg);
 
     println!();
     println!("connections formed ........ {}", result.connections);
-    println!("avg path length L ......... {:.2} hops", result.avg_path_length);
-    println!("avg forwarder set ‖π‖ ..... {:.2} nodes", result.avg_forwarder_set);
+    println!(
+        "avg path length L ......... {:.2} hops",
+        result.avg_path_length
+    );
+    println!(
+        "avg forwarder set ‖π‖ ..... {:.2} nodes",
+        result.avg_forwarder_set
+    );
     println!("path quality Q(π)=L/‖π‖ ... {:.3}", result.avg_path_quality);
     println!("avg good-node payoff ...... {:.1}", result.avg_good_payoff);
-    println!("routing efficiency ........ {:.1}", result.routing_efficiency);
-    println!("new-edge fraction E[X] .... {:.3}", result.new_edge_fraction);
-    println!("anonymity degree .......... {:.3}", result.avg_anonymity_degree);
+    println!(
+        "routing efficiency ........ {:.1}",
+        result.routing_efficiency
+    );
+    println!(
+        "new-edge fraction E[X] .... {:.3}",
+        result.new_edge_fraction
+    );
+    println!(
+        "anonymity degree .......... {:.3}",
+        result.avg_anonymity_degree
+    );
 
     // Compare against the adversary baseline: random routing.
     let random = SimulationRun::execute(ScenarioConfig {

@@ -39,7 +39,10 @@ fn attack_outcome(strategy: RoutingStrategy, label: &str) {
 
     println!("--- {label} ---");
     println!("user node ................. {user}");
-    println!("forwarder set ‖π‖ ......... {:.0}", result.avg_forwarder_set);
+    println!(
+        "forwarder set ‖π‖ ......... {:.0}",
+        result.avg_forwarder_set
+    );
     println!("path reformation rate ..... {:.2}", result.reformation_rate);
     println!(
         "anonymity degree left ..... {:.3}  (1 = attacker learned nothing)",
@@ -47,7 +50,11 @@ fn attack_outcome(strategy: RoutingStrategy, label: &str) {
     );
     println!(
         "initiator exposed ......... {}",
-        if result.attack_exposure_rate > 0.0 { "YES" } else { "no" }
+        if result.attack_exposure_rate > 0.0 {
+            "YES"
+        } else {
+            "no"
+        }
     );
     println!();
 }

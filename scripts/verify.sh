@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Full offline verification: release build, test suite, and lint gate.
-# Everything runs with --offline — the workspace has no registry
-# dependencies (the `rand` name resolves to the in-tree crates/rng).
+# Full offline verification: release build, test suite, lint, formatting,
+# and a bench smoke pass. Everything runs with --offline — the workspace
+# has no registry dependencies (the `rand` name resolves to the in-tree
+# crates/rng).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --all-targets --offline -- -D warnings
+cargo fmt --check
+
+# Every bench binary must at least run its kernels once (no timing, no
+# report file) so bench rot is caught without paying for a full run.
+IDPA_BENCH_SMOKE=1 cargo bench --offline -p idpa-bench
 
 echo "verify: OK"

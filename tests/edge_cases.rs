@@ -112,9 +112,7 @@ fn colluding_adversaries_with_no_colluder_neighbors_fall_back() {
 
 #[test]
 fn horizon_before_any_transmission_yields_empty_run() {
-    let cfg = ScenarioConfig {
-        ..base(8)
-    };
+    let cfg = ScenarioConfig { ..base(8) };
     let world = World::generate(&cfg);
     let mut run = SimulationRun::new(cfg, world);
     let mut engine = Engine::new();
@@ -131,10 +129,7 @@ fn horizon_before_any_transmission_yields_empty_run() {
 #[test]
 fn degenerate_weights_still_work() {
     for weights in [(0.0, 1.0), (1.0, 0.0)] {
-        let r = SimulationRun::execute(ScenarioConfig {
-            weights,
-            ..base(9)
-        });
+        let r = SimulationRun::execute(ScenarioConfig { weights, ..base(9) });
         assert_eq!(r.connections, 200, "weights {weights:?}");
     }
 }

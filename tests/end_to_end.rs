@@ -44,14 +44,8 @@ fn simulation_bundle_settles_through_real_bank() {
     let mut wallet = Wallet::new();
     bank.withdraw_into_wallet(initiator_acct, budget, &mut wallet, &mut rng)
         .unwrap();
-    let mut escrow = Escrow::open(
-        &mut bank,
-        7,
-        pf,
-        pr,
-        wallet.take_exact(budget).unwrap(),
-    )
-    .unwrap();
+    let mut escrow =
+        Escrow::open(&mut bank, 7, pf, pr, wallet.take_exact(budget).unwrap()).unwrap();
 
     let key = b"e2e bundle key";
     let mut book = ReceiptBook::new();

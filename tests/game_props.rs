@@ -4,8 +4,8 @@
 
 use idpa::game::extensive::GameTree;
 use idpa::game::forwarding::{
-    dominance_threshold, expected_session_payoff, participation_threshold,
-    ForwardingStageGame, StageAction,
+    dominance_threshold, expected_session_payoff, participation_threshold, ForwardingStageGame,
+    StageAction,
 };
 use idpa::prelude::*;
 
@@ -54,8 +54,14 @@ fn default_scenario_satisfies_participation_condition() {
     );
     assert!(cfg.pf_range.0 > threshold);
     assert!(
-        expected_session_payoff(cfg.pf_range.0, cfg.cost.participation_cost, 10.0, cfg.n_nodes, l, k)
-            > 0.0
+        expected_session_payoff(
+            cfg.pf_range.0,
+            cfg.cost.participation_cost,
+            10.0,
+            cfg.n_nodes,
+            l,
+            k
+        ) > 0.0
     );
 }
 

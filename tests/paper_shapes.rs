@@ -56,10 +56,7 @@ fn utility_models_beat_random_on_forwarder_set() {
         let random = mean_over_seeds(f, RoutingStrategy::Random, |r| r.avg_forwarder_set);
         for strategy in [MODEL1, MODEL2] {
             let set = mean_over_seeds(f, strategy, |r| r.avg_forwarder_set);
-            assert!(
-                set < random * 0.9,
-                "f={f} {strategy:?}: {set} !< {random}"
-            );
+            assert!(set < random * 0.9, "f={f} {strategy:?}: {set} !< {random}");
         }
     }
 }
@@ -130,10 +127,7 @@ fn higher_tau_raises_routing_efficiency() {
     };
     let low_tau = eff(0.5);
     let high_tau = eff(4.0);
-    assert!(
-        high_tau > low_tau,
-        "tau=0.5: {low_tau}, tau=4: {high_tau}"
-    );
+    assert!(high_tau > low_tau, "tau=0.5: {low_tau}, tau=4: {high_tau}");
 }
 
 /// Prop. 1 shape: utility routing has a lower new-edge fraction (fewer
@@ -183,8 +177,5 @@ fn availability_attack_pays_the_attacker() {
 fn utility_routing_preserves_anonymity_against_intersection() {
     let rnd = mean_over_seeds(0.3, RoutingStrategy::Random, |r| r.avg_anonymity_degree);
     let m1 = mean_over_seeds(0.3, MODEL1, |r| r.avg_anonymity_degree);
-    assert!(
-        m1 >= rnd - 0.05,
-        "model I anonymity {m1} vs random {rnd}"
-    );
+    assert!(m1 >= rnd - 0.05, "model I anonymity {m1} vs random {rnd}");
 }

@@ -31,7 +31,9 @@ fn random_u64s(r: &mut Xoshiro256StarStar, lo: usize, hi: usize) -> Vec<u64> {
 
 fn random_f64s(r: &mut Xoshiro256StarStar, lo: f64, hi: f64, min: usize, max: usize) -> Vec<f64> {
     let n = random_len(r, min, max);
-    (0..n).map(|_| lo + r.random_range(0.0..1.0) * (hi - lo)).collect()
+    (0..n)
+        .map(|_| lo + r.random_range(0.0..1.0) * (hi - lo))
+        .collect()
 }
 
 fn biguint_from(parts: &[u64]) -> BigUint {
@@ -348,7 +350,10 @@ fn bundle_benefit_conservation() {
             .map(|&f| b.gross_benefit(f, pf, pr))
             .sum();
         let expect = total_instances as f64 * pf + pr;
-        assert!((gross - expect).abs() < 1e-6, "gross {gross} expect {expect}");
+        assert!(
+            (gross - expect).abs() < 1e-6,
+            "gross {gross} expect {expect}"
+        );
     }
 }
 
@@ -387,7 +392,9 @@ fn anonymity_degree_bounded() {
     let mut r = rng(0x3011);
     for _ in 0..CASES {
         let n = random_len(&mut r, 2, 20);
-        let weights: Vec<f64> = (0..n).map(|_| 0.01 + r.random_range(0.0..1.0) * 9.99).collect();
+        let weights: Vec<f64> = (0..n)
+            .map(|_| 0.01 + r.random_range(0.0..1.0) * 9.99)
+            .collect();
         let total: f64 = weights.iter().sum();
         let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
         let h = entropy_bits(&probs);
