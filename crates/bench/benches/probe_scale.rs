@@ -28,7 +28,7 @@ fn probe_dominated(mode: ProbeMode) -> ScenarioConfig {
         ..ScenarioConfig::default()
     }
     .with_nodes(4000);
-    cfg.validate();
+    cfg.validate().expect("bench scenario must be valid");
     cfg
 }
 

@@ -55,7 +55,9 @@ mod tests {
 
     #[test]
     fn bench_config_is_valid() {
-        bench_config(1).validate();
+        bench_config(1)
+            .validate()
+            .expect("bench scenario must be valid");
     }
 
     #[test]

@@ -175,6 +175,105 @@ impl ReformationTracker {
     }
 }
 
+/// Degradation bookkeeping under fault injection: delivery ratio, retries
+/// per message, and the latency added by retry/reformation cycles.
+///
+/// A *message* is one scheduled transmission; each failed attempt costs a
+/// retry (a fresh path formation after backoff), and a message is
+/// *delivered* only when the initiator receives the confirmation. Messages
+/// whose retries are exhausted — or whose pending retries fall past the
+/// horizon — count against the delivery ratio.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeliveryTracker {
+    scheduled: u64,
+    delivered: u64,
+    abandoned: u64,
+    retries: u64,
+    latency_sum: f64,
+    latency_count: u64,
+}
+
+impl DeliveryTracker {
+    /// Fresh tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        DeliveryTracker::default()
+    }
+
+    /// Registers `n` scheduled messages (the denominator of the ratio).
+    pub fn record_scheduled(&mut self, n: u64) {
+        self.scheduled += n;
+    }
+
+    /// Registers one retry (a failed attempt with budget remaining).
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Registers a message whose retry budget ran out.
+    pub fn record_abandoned(&mut self) {
+        self.abandoned += 1;
+    }
+
+    /// Registers an end-to-end confirmed delivery. `latency` is the time
+    /// from the message's original schedule to completion; it feeds the
+    /// reformation-latency mean only when the message `retried`.
+    pub fn record_delivered(&mut self, latency: f64, retried: bool) {
+        self.delivered += 1;
+        if retried {
+            self.latency_sum += latency;
+            self.latency_count += 1;
+        }
+    }
+
+    /// Confirmed deliveries over scheduled messages (1.0 with nothing
+    /// scheduled, so a fault-free run reports perfect delivery).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.scheduled == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.scheduled as f64
+    }
+
+    /// Mean retries per scheduled message.
+    #[must_use]
+    pub fn retries_per_message(&self) -> f64 {
+        if self.scheduled == 0 {
+            return 0.0;
+        }
+        self.retries as f64 / self.scheduled as f64
+    }
+
+    /// Mean schedule-to-completion latency over delivered messages that
+    /// needed at least one reformation (0 when none did).
+    #[must_use]
+    pub fn reformation_latency(&self) -> f64 {
+        if self.latency_count == 0 {
+            return 0.0;
+        }
+        self.latency_sum / self.latency_count as f64
+    }
+
+    /// Messages that exhausted their retry budget.
+    #[must_use]
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Total retries across all messages.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Confirmed deliveries.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,5 +408,46 @@ mod tests {
     #[should_panic(expected = "p_forward > 1/2")]
     fn min_size_needs_majority_forwarding() {
         let _ = crowds_min_network_size(2, 0.4);
+    }
+
+    #[test]
+    fn delivery_tracker_fault_free_run_is_perfect() {
+        let mut t = DeliveryTracker::new();
+        t.record_scheduled(10);
+        for _ in 0..10 {
+            t.record_delivered(0.0, false);
+        }
+        assert_eq!(t.delivery_ratio(), 1.0);
+        assert_eq!(t.retries_per_message(), 0.0);
+        assert_eq!(t.reformation_latency(), 0.0);
+        assert_eq!(t.abandoned(), 0);
+    }
+
+    #[test]
+    fn delivery_tracker_degradation_accounting() {
+        let mut t = DeliveryTracker::new();
+        t.record_scheduled(4);
+        t.record_delivered(0.0, false); // clean
+        t.record_retry();
+        t.record_delivered(6.0, true); // one retry, 6 min late
+        t.record_retry();
+        t.record_retry();
+        t.record_delivered(10.0, true); // two retries, 10 min late
+        t.record_retry();
+        t.record_abandoned(); // budget exhausted
+        assert_eq!(t.delivery_ratio(), 0.75);
+        assert_eq!(t.retries_per_message(), 1.0);
+        assert_eq!(t.reformation_latency(), 8.0);
+        assert_eq!(t.abandoned(), 1);
+        assert_eq!(t.delivered(), 3);
+        assert_eq!(t.retries(), 4);
+    }
+
+    #[test]
+    fn delivery_tracker_empty_defaults() {
+        let t = DeliveryTracker::new();
+        assert_eq!(t.delivery_ratio(), 1.0);
+        assert_eq!(t.retries_per_message(), 0.0);
+        assert_eq!(t.reformation_latency(), 0.0);
     }
 }

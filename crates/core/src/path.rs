@@ -162,6 +162,110 @@ pub fn form_connection_with_scratch(
     policy: &PathPolicy,
     rng: &mut Xoshiro256StarStar,
 ) -> PathOutcome {
+    let pending = form_connection_pending(
+        scratch,
+        initiator,
+        contract,
+        priors,
+        view,
+        histories,
+        kinds,
+        quality,
+        good_strategy,
+        adversary,
+        policy,
+        rng,
+    );
+    pending.commit(contract.bundle, connection_index, histories);
+    pending.into_outcome()
+}
+
+/// A formed connection whose history records have **not** been committed.
+///
+/// §2.2 makes history confirmation-driven: "after R receives the payload,
+/// it sends back a confirmation through the reverse path" and only then do
+/// path nodes update their Table 1 records. Under fault injection a
+/// transmission can fail mid-path (no confirmation, no history) or the
+/// confirmation can be swallowed partway back (only the suffix that saw it
+/// records), so formation and commit must be separable. The zero-fault
+/// path commits everything immediately via
+/// [`form_connection_with_scratch`], which consumes exactly the same RNG
+/// draws as before the split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingConnection {
+    outcome: PathOutcome,
+    /// `(node, predecessor, successor)` per path position: entry 0 is the
+    /// initiator's record, entry `p >= 1` belongs to forwarder `f_p`.
+    hop_records: Vec<(NodeId, NodeId, NodeId)>,
+}
+
+impl PendingConnection {
+    /// The formed path (read-only until committed).
+    #[must_use]
+    pub fn outcome(&self) -> &PathOutcome {
+        &self.outcome
+    }
+
+    /// Extracts the outcome, discarding the uncommitted records.
+    #[must_use]
+    pub fn into_outcome(self) -> PathOutcome {
+        self.outcome
+    }
+
+    /// The per-position history records (initiator first).
+    #[must_use]
+    pub fn records(&self) -> &[(NodeId, NodeId, NodeId)] {
+        &self.hop_records
+    }
+
+    /// Commits every node's record — the full confirmation reached `I`.
+    pub fn commit(
+        &self,
+        bundle: crate::bundle::BundleId,
+        connection_index: u32,
+        histories: &mut [HistoryProfile],
+    ) {
+        for &(node, pred, succ) in &self.hop_records {
+            histories[node.index()].record(bundle, connection_index, pred, succ);
+        }
+    }
+
+    /// Commits only the records of path positions **strictly after**
+    /// `position` — the nodes a confirmation passed through before being
+    /// swallowed by the cheater at `position` (1-based forwarder index).
+    /// The cheater itself and everyone upstream (including `I`) record
+    /// nothing.
+    pub fn commit_suffix(
+        &self,
+        position: usize,
+        bundle: crate::bundle::BundleId,
+        connection_index: u32,
+        histories: &mut [HistoryProfile],
+    ) {
+        for &(node, pred, succ) in self.hop_records.iter().skip(position + 1) {
+            histories[node.index()].record(bundle, connection_index, pred, succ);
+        }
+    }
+}
+
+/// Forms a connection without committing history — see
+/// [`PendingConnection`]. Hop decisions read `histories` but never write;
+/// RNG consumption is identical to [`form_connection_with_scratch`].
+#[allow(clippy::too_many_arguments)]
+pub fn form_connection_pending(
+    scratch: &mut RouteScratch,
+    initiator: NodeId,
+    contract: &Contract,
+    priors: u32,
+    view: &impl RoutingView,
+    histories: &[HistoryProfile],
+    kinds: &[NodeKind],
+    quality: &EdgeQuality,
+    good_strategy: RoutingStrategy,
+    adversary: AdversaryStrategy,
+    policy: &PathPolicy,
+    rng: &mut Xoshiro256StarStar,
+) -> PendingConnection {
     scratch.begin_transmission();
     let mut forwarders: Vec<NodeId> = Vec::new();
     let mut hop_records: Vec<(NodeId, NodeId, NodeId)> = Vec::new(); // (node, pred, succ)
@@ -214,11 +318,6 @@ pub fn form_connection_with_scratch(
     // Final delivery edge: current → R.
     hop_records.push((current, predecessor, contract.responder));
 
-    // Confirmation returns along the reverse path: record history.
-    for &(node, pred, succ) in &hop_records {
-        histories[node.index()].record(contract.bundle, connection_index, pred, succ);
-    }
-
     // Cost accounting: each path node pays the transmission cost of its
     // outgoing edge; the first entry is the initiator's own cost.
     let initiator_cost = {
@@ -234,10 +333,13 @@ pub fn form_connection_with_scratch(
         })
         .collect();
 
-    PathOutcome {
-        forwarders,
-        hop_costs,
-        initiator_cost,
+    PendingConnection {
+        outcome: PathOutcome {
+            forwarders,
+            hop_costs,
+            initiator_cost,
+        },
+        hop_records,
     }
 }
 
@@ -433,6 +535,130 @@ mod tests {
             &second.forwarders[..common],
             "utility routing must stay on reinforced edges"
         );
+    }
+
+    #[test]
+    fn pending_commit_matches_inline_formation() {
+        // The committed-path entry point and the pending+commit pair must
+        // leave histories and RNG state bit-identical.
+        let view = FixtureView::ring(10);
+        let (contract, mut h_inline, kinds, quality) = setup(10);
+        let (_, mut h_pending, _, _) = setup(10);
+        let strategy = RoutingStrategy::Utility(UtilityModel::ModelI);
+        let policy = PathPolicy::new(0.75, 8);
+        let mut rng_a = rng(21);
+        let mut rng_b = rng(21);
+        let inline = form_connection(
+            NodeId(0),
+            0,
+            &contract,
+            0,
+            &view,
+            &mut h_inline,
+            &kinds,
+            &quality,
+            strategy,
+            &policy,
+            &mut rng_a,
+        );
+        let mut scratch = RouteScratch::new();
+        let pending = form_connection_pending(
+            &mut scratch,
+            NodeId(0),
+            &contract,
+            0,
+            &view,
+            &h_pending,
+            &kinds,
+            &quality,
+            strategy,
+            AdversaryStrategy::Random,
+            &policy,
+            &mut rng_b,
+        );
+        pending.commit(contract.bundle, 0, &mut h_pending);
+        assert_eq!(inline, *pending.outcome());
+        assert_eq!(rng_a, rng_b, "identical RNG consumption");
+        for i in 0..10 {
+            assert_eq!(
+                h_inline[i].bundle_records(contract.bundle),
+                h_pending[i].bundle_records(contract.bundle),
+                "node {i} history diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn uncommitted_connection_leaves_histories_untouched() {
+        let view = FixtureView::ring(10);
+        let (contract, histories, kinds, quality) = setup(10);
+        let mut scratch = RouteScratch::new();
+        let pending = form_connection_pending(
+            &mut scratch,
+            NodeId(0),
+            &contract,
+            0,
+            &view,
+            &histories,
+            &kinds,
+            &quality,
+            RoutingStrategy::Random,
+            AdversaryStrategy::Random,
+            &policy_default(),
+            &mut rng(22),
+        );
+        assert!(!pending.records().is_empty());
+        for h in &histories {
+            assert!(h.bundle_records(contract.bundle).is_empty());
+        }
+    }
+
+    #[test]
+    fn commit_suffix_records_only_downstream_of_cheater() {
+        let view = FixtureView::ring(10);
+        let (contract, mut histories, kinds, quality) = setup(10);
+        let mut scratch = RouteScratch::new();
+        // Find a seed with at least 3 forwarders so the suffix is nonempty.
+        let pending = (0..100)
+            .find_map(|seed| {
+                let p = form_connection_pending(
+                    &mut scratch,
+                    NodeId(0),
+                    &contract,
+                    0,
+                    &view,
+                    &histories,
+                    &kinds,
+                    &quality,
+                    RoutingStrategy::Random,
+                    AdversaryStrategy::Random,
+                    &policy_default(),
+                    &mut rng(seed),
+                );
+                (p.outcome().len() >= 3).then_some(p)
+            })
+            .expect("some seed forms a 3-hop path");
+        let cheater_pos = 1; // f_1 swallows the confirmation
+        pending.commit_suffix(cheater_pos, contract.bundle, 0, &mut histories);
+        // Initiator (position 0) and the cheater recorded nothing.
+        assert!(histories[0].bundle_records(contract.bundle).is_empty());
+        let cheater = pending.outcome().forwarders[cheater_pos - 1];
+        assert!(histories[cheater.index()]
+            .bundle_records(contract.bundle)
+            .is_empty());
+        // Every position after the cheater recorded exactly its entry.
+        for (p, &(node, pred, succ)) in pending.records().iter().enumerate().skip(cheater_pos + 1) {
+            let recs = histories[node.index()].bundle_records(contract.bundle);
+            assert!(
+                recs.iter()
+                    .any(|r| r.predecessor == pred && r.successor == succ),
+                "position {p} missing its record"
+            );
+        }
+    }
+
+    fn policy_default() -> PathPolicy {
+        PathPolicy::new(0.75, 8)
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * reproducible random-number streams ([`rng::SplitMix64`],
 //!   [`rng::Xoshiro256StarStar`], [`rng::StreamFactory`]) so that every
 //!   experiment in the paper reproduction is replayable from a single seed,
+//! * deterministic fault injection ([`fault::FaultPlan`]): crashes, drops,
+//!   delays, confirmation cheating and bank outages, all drawn by position
+//!   from the master seed so faulty runs replicate bit-identically,
 //! * statistics collectors ([`stats::OnlineStats`], [`stats::Ecdf`],
 //!   [`stats::Histogram`], [`stats::ConfidenceInterval`]) used to produce the
 //!   paper's mean-with-95%-CI figures and payoff CDFs.
@@ -25,6 +28,7 @@
 
 pub mod calendar;
 pub mod engine;
+pub mod fault;
 pub mod pool;
 pub mod rng;
 pub mod stats;
@@ -32,4 +36,5 @@ pub mod time;
 
 pub use calendar::{Calendar, EventEntry, EventId};
 pub use engine::{Engine, Process, StopReason};
+pub use fault::{CheatAction, EdgeFault, FaultConfig, FaultPlan, TransmissionFaults};
 pub use time::SimTime;

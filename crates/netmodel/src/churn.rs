@@ -104,6 +104,22 @@ impl NodeSchedule {
         }
     }
 
+    /// End of the session containing `t`, or `None` if the node is down at
+    /// `t`. Fault injection uses this to truncate a crashed forwarder's
+    /// current session: the node stays down from the crash until its next
+    /// scheduled join.
+    #[must_use]
+    pub fn session_end_at(&self, t: SimTime) -> Option<f64> {
+        let t = t.minutes();
+        match self.sessions.partition_point(|&(s, _)| s <= t) {
+            0 => None,
+            i => {
+                let (_, end) = self.sessions[i - 1];
+                (t < end).then_some(end)
+            }
+        }
+    }
+
     /// First join time, or `None` if the node never came up.
     #[must_use]
     pub fn first_join(&self) -> Option<f64> {
@@ -223,6 +239,20 @@ mod tests {
 
     fn default_model() -> ChurnModel {
         ChurnModel::new(ChurnConfig::default())
+    }
+
+    #[test]
+    fn session_end_at_matches_is_up() {
+        let sched = NodeSchedule::from_sessions(vec![(10.0, 20.0), (30.0, 45.0)]);
+        assert_eq!(sched.session_end_at(SimTime::new(5.0)), None);
+        assert_eq!(sched.session_end_at(SimTime::new(10.0)), Some(20.0));
+        assert_eq!(sched.session_end_at(SimTime::new(19.9)), Some(20.0));
+        assert_eq!(sched.session_end_at(SimTime::new(20.0)), None);
+        assert_eq!(sched.session_end_at(SimTime::new(31.0)), Some(45.0));
+        for t in 0..50 {
+            let t = SimTime::new(t as f64);
+            assert_eq!(sched.session_end_at(t).is_some(), sched.is_up(t));
+        }
     }
 
     #[test]

@@ -178,6 +178,73 @@ fn lazy_probe_set_is_bit_identical_to_eager_reference() {
     }
 }
 
+/// End-to-end: with an active fault plan (crashes, drops, delays,
+/// cheaters), a lazy-probe simulation run stays bit-identical to the eager
+/// one at any seed, and replication stays invariant to the thread count.
+/// The crash overlay suppresses routing liveness only — never the probe
+/// estimates the lazy set reconstructs analytically — which is the
+/// invariant this test pins.
+#[test]
+fn probe_modes_agree_under_active_fault_plan() {
+    use idpa_sim::experiments::Options;
+    use idpa_sim::{FaultConfig, ProbeMode, ScenarioConfig, SimulationRun};
+
+    let fault = FaultConfig {
+        crash_rate: 0.05,
+        drop_rate: 0.1,
+        delay_rate: 0.25,
+        cheat_fraction: 0.2,
+        ..FaultConfig::default()
+    };
+    for seed in [11u64, 23, 31] {
+        let mut cfg = ScenarioConfig {
+            adversary_fraction: 0.2,
+            neighbor_replacement_rounds: Some(3),
+            ..ScenarioConfig::quick_test(seed)
+        };
+        cfg.fault = fault;
+        let eager = SimulationRun::execute(ScenarioConfig {
+            probe_mode: ProbeMode::Eager,
+            ..cfg
+        });
+        let lazy = SimulationRun::execute(ScenarioConfig {
+            probe_mode: ProbeMode::Lazy,
+            ..cfg
+        });
+        assert_eq!(
+            eager, lazy,
+            "seed {seed}: lazy diverged from eager under an active fault plan"
+        );
+        assert!(
+            eager.delivery_ratio < 1.0 || eager.retries_per_message > 0.0,
+            "seed {seed}: the fault plan must actually bite for this test to mean anything"
+        );
+    }
+
+    // Replicated faulty runs are bit-identical at any worker count.
+    let folds: Vec<u64> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let opts = Options {
+                reps: 3,
+                quick: true,
+                threads,
+                fault,
+                ..Options::default()
+            };
+            let runs = idpa_sim::experiments::replicate_base(&opts);
+            runs.iter().fold(0u64, |acc, r| {
+                acc ^ r
+                    .delivery_ratio
+                    .to_bits()
+                    .wrapping_add(r.connections)
+                    .rotate_left(9)
+            })
+        })
+        .collect();
+    assert_eq!(folds[0], folds[1], "faulty replication is thread-invariant");
+}
+
 #[test]
 fn lazy_sync_all_matches_per_node_queries() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(777);

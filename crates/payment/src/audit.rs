@@ -50,6 +50,20 @@ pub enum AuditEvent {
         /// Amount moved.
         amount: u64,
     },
+    /// Detected-versus-paid discrepancy from §5 reconstructed-path
+    /// validation: a bundle whose manifests claim `expected` forwarding
+    /// instances but whose surviving receipts validate only `validated`.
+    /// Balance-neutral (nothing moves), but on the record for disputes.
+    Discrepancy {
+        /// The connection bundle the shortfall was detected in.
+        bundle: u64,
+        /// Forwarding instances the path manifests attest to.
+        expected: u64,
+        /// Instances backed by a valid receipt (what was actually paid).
+        validated: u64,
+        /// Forwarders flagged as confirmation cheaters for this bundle.
+        flagged: u64,
+    },
 }
 
 impl AuditEvent {
@@ -81,6 +95,18 @@ impl AuditEvent {
                 out.extend_from_slice(&from.0.to_be_bytes());
                 out.extend_from_slice(&to.0.to_be_bytes());
                 out.extend_from_slice(&amount.to_be_bytes());
+            }
+            AuditEvent::Discrepancy {
+                bundle,
+                expected,
+                validated,
+                flagged,
+            } => {
+                out.push(4);
+                out.extend_from_slice(&bundle.to_be_bytes());
+                out.extend_from_slice(&expected.to_be_bytes());
+                out.extend_from_slice(&validated.to_be_bytes());
+                out.extend_from_slice(&flagged.to_be_bytes());
             }
         }
         out
@@ -120,6 +146,15 @@ impl AuditLog {
     #[must_use]
     pub fn new() -> Self {
         AuditLog::default()
+    }
+
+    /// Reconstructs a log from entries read back from untrusted storage.
+    /// No recomputation happens here — call [`AuditLog::verify`] to check
+    /// the chain; this constructor exists precisely so that auditors (and
+    /// property tests) can load a possibly tampered log and interrogate it.
+    #[must_use]
+    pub fn from_entries(entries: Vec<AuditEntry>) -> Self {
+        AuditLog { entries }
     }
 
     /// Appends an event, extending the hash chain.
@@ -294,6 +329,38 @@ mod tests {
         assert_eq!(log.replay_balance(AccountId(0)), 80);
         assert_eq!(log.replay_balance(AccountId(1)), 20);
         assert_eq!(log.replay_balance(AccountId(42)), 0);
+    }
+
+    #[test]
+    fn discrepancy_entries_chain_and_are_balance_neutral() {
+        let mut log = sample_log();
+        let before = log.replay_balance(AccountId(0));
+        log.append(AuditEvent::Discrepancy {
+            bundle: 7,
+            expected: 12,
+            validated: 9,
+            flagged: 1,
+        });
+        assert_eq!(log.verify(), Ok(()));
+        assert_eq!(log.replay_balance(AccountId(0)), before);
+        let mut t = log.clone();
+        if let AuditEvent::Discrepancy { validated, .. } = &mut t.entries[4].event {
+            *validated = 12; // cover up the shortfall
+        }
+        assert_eq!(t.verify(), Err(4));
+    }
+
+    #[test]
+    fn from_entries_round_trips_and_preserves_tampering() {
+        let log = sample_log();
+        let reloaded = AuditLog::from_entries(log.entries().to_vec());
+        assert_eq!(reloaded.verify(), Ok(()));
+        assert_eq!(reloaded.head(), log.head());
+
+        let mut entries = log.entries().to_vec();
+        entries[2].hash[0] ^= 1;
+        let tampered = AuditLog::from_entries(entries);
+        assert_eq!(tampered.verify(), Err(2));
     }
 
     #[test]

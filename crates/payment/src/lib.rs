@@ -21,6 +21,11 @@
 //! * **Receipts** ([`receipt`]): per-forwarding-instance records MAC'd
 //!   with a per-bundle key, which is what lets the initiator validate the
 //!   reconstructed path and lets forwarders prove their participation.
+//! * **Reconstructed-path validation** ([`validation`]): the initiator
+//!   replays each connection's MAC'd path manifest against the surviving
+//!   receipts, pays only validated instances, and flags the most-upstream
+//!   forwarder below which every receipt went bad — the §5 "recreate the
+//!   path and validate it" step that makes confirmation cheating traceable.
 //! * **Escrow settlement** ([`escrow`]): the initiator funds an escrow with
 //!   bearer tokens *before* the connection bundle runs (no non-payment
 //!   cheating), and after the bundle completes each forwarder is paid
@@ -34,9 +39,11 @@ pub mod bank;
 pub mod escrow;
 pub mod receipt;
 pub mod token;
+pub mod validation;
 
 pub use audit::{AuditEvent, AuditLog};
 pub use bank::{AccountId, Bank, DepositError};
 pub use escrow::{Escrow, SettlementError, SettlementReport};
 pub use receipt::{Receipt, ReceiptBook};
 pub use token::{Token, TokenId, Wallet, WithdrawError};
+pub use validation::{ConnectionEvidence, PathManifest, PathValidator, ValidationReport};

@@ -1,0 +1,341 @@
+//! §5 reconstructed-path validation and cheater flagging.
+//!
+//! "Each intermediate forwarder also includes path information which is
+//! then used by I to recreate the path and validate it." The initiator's
+//! side of that sentence lives here: the responder seals the true path of
+//! each completed connection into a MAC'd [`PathManifest`] (it knows the
+//! path — the payload reached it hop by hop), every forwarder's receipt is
+//! countersigned under the same per-bundle key as the confirmation returns,
+//! and at settlement the initiator replays the evidence.
+//!
+//! A cheating forwarder on the reverse path cannot forge downstream
+//! receipts (it lacks the bundle key's signing view of slots it never
+//! held), so its profitable deviation is *destruction*: corrupt the
+//! receipts of the hops below it while keeping its own. The manifest makes
+//! that self-incriminating — the first invalid receipt sits directly below
+//! an intact prefix, and the forwarder at the deepest valid position is the
+//! most-upstream node that handled every corrupted receipt. Flagging it
+//! never accuses an honest forwarder; a cheater masked by another cheater
+//! upstream of it on one connection is exposed on any connection where it
+//! acts as the most-upstream corrupter. Detected-versus-paid discrepancies
+//! are recorded in the bank's [`crate::audit::AuditLog`] as
+//! [`crate::audit::AuditEvent::Discrepancy`] entries.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use idpa_crypto::hmac::{hmac_sha256, verify_hmac};
+
+use crate::bank::AccountId;
+use crate::receipt::Receipt;
+
+/// The responder's sealed statement of one connection's true path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathManifest {
+    /// The connection bundle.
+    pub bundle_id: u64,
+    /// Connection index within the bundle.
+    pub connection: u32,
+    /// Forwarder accounts in path order (`f_1 … f_n`, endpoints excluded).
+    pub hops: Vec<AccountId>,
+    /// MAC under the bundle key over all fields above.
+    pub mac: [u8; 32],
+}
+
+fn manifest_message(bundle_id: u64, connection: u32, hops: &[AccountId]) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(8 + 4 + 8 * hops.len());
+    msg.extend_from_slice(&bundle_id.to_be_bytes());
+    msg.extend_from_slice(&connection.to_be_bytes());
+    for h in hops {
+        msg.extend_from_slice(&h.0.to_be_bytes());
+    }
+    msg
+}
+
+impl PathManifest {
+    /// Seals the path under the bundle key (executed by the responder).
+    #[must_use]
+    pub fn issue(bundle_key: &[u8], bundle_id: u64, connection: u32, hops: Vec<AccountId>) -> Self {
+        let mac = hmac_sha256(bundle_key, &manifest_message(bundle_id, connection, &hops));
+        PathManifest {
+            bundle_id,
+            connection,
+            hops,
+            mac,
+        }
+    }
+
+    /// Verifies the seal.
+    #[must_use]
+    pub fn verify(&self, bundle_key: &[u8]) -> bool {
+        verify_hmac(
+            bundle_key,
+            &manifest_message(self.bundle_id, self.connection, &self.hops),
+            &self.mac,
+        )
+    }
+}
+
+/// Everything the initiator holds about one completed connection: the
+/// responder's manifest plus the receipts that survived the reverse path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionEvidence {
+    /// The responder's sealed path statement.
+    pub manifest: PathManifest,
+    /// Receipts as received (possibly corrupted by a cheater in transit).
+    pub receipts: Vec<Receipt>,
+}
+
+/// Accumulates a bundle's evidence and validates it at settlement.
+#[derive(Debug, Clone)]
+pub struct PathValidator {
+    key: Vec<u8>,
+    bundle_id: u64,
+    evidence: Vec<ConnectionEvidence>,
+}
+
+impl PathValidator {
+    /// A validator for one bundle under its shared key.
+    #[must_use]
+    pub fn new(bundle_key: &[u8], bundle_id: u64) -> Self {
+        PathValidator {
+            key: bundle_key.to_vec(),
+            bundle_id,
+            evidence: Vec::new(),
+        }
+    }
+
+    /// Records one completed connection's evidence.
+    pub fn add_connection(&mut self, evidence: ConnectionEvidence) {
+        self.evidence.push(evidence);
+    }
+
+    /// Completed connections recorded so far.
+    #[must_use]
+    pub fn connections(&self) -> usize {
+        self.evidence.len()
+    }
+
+    /// Replays all evidence: counts payable forwarding instances, measures
+    /// the corruption shortfall, and flags cheaters by the intact-prefix
+    /// rule described in the module docs.
+    #[must_use]
+    pub fn validate(&self) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        for ev in &self.evidence {
+            let m = &ev.manifest;
+            if m.bundle_id != self.bundle_id || !m.verify(&self.key) {
+                report.invalid_manifests += 1;
+                continue;
+            }
+            report.expected_instances += m.hops.len() as u64;
+            // Receipt for hop h (1-based): must exist, MAC-verify, and name
+            // the forwarder the manifest places there.
+            let mut prefix_valid = 0usize; // deepest intact prefix
+            let mut broken = false;
+            for (i, &account) in m.hops.iter().enumerate() {
+                let hop = (i + 1) as u32;
+                let receipt = ev
+                    .receipts
+                    .iter()
+                    .find(|r| r.connection == m.connection && r.hop == hop);
+                let valid = receipt.is_some_and(|r| {
+                    r.bundle_id == self.bundle_id && r.forwarder == account && r.verify(&self.key)
+                });
+                if valid {
+                    report.validated_instances += 1;
+                    *report.paid_counts.entry(account).or_insert(0) += 1;
+                    if !broken {
+                        prefix_valid = i + 1;
+                    }
+                } else {
+                    broken = true;
+                }
+            }
+            if broken {
+                if prefix_valid >= 1 {
+                    report.flagged.insert(m.hops[prefix_valid - 1]);
+                } else {
+                    report.unattributed += 1;
+                }
+            }
+        }
+        report
+    }
+}
+
+/// The outcome of validating one bundle's evidence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Forwarding instances the manifests say happened.
+    pub expected_instances: u64,
+    /// Instances backed by a valid receipt (what settlement will pay).
+    pub validated_instances: u64,
+    /// Payable instance counts per forwarder (the settlement input).
+    pub paid_counts: BTreeMap<AccountId, u64>,
+    /// Forwarders flagged as confirmation cheaters.
+    pub flagged: BTreeSet<AccountId>,
+    /// Connections whose corruption could not be pinned on any forwarder
+    /// (no intact prefix at all).
+    pub unattributed: u64,
+    /// Evidence entries whose manifest failed verification.
+    pub invalid_manifests: u64,
+}
+
+impl ValidationReport {
+    /// Fraction of earned forwarding payment lost to corruption
+    /// (`0` when everything validated, including the empty bundle).
+    #[must_use]
+    pub fn shortfall(&self) -> f64 {
+        if self.expected_instances == 0 {
+            return 0.0;
+        }
+        1.0 - self.validated_instances as f64 / self.expected_instances as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &[u8] = b"bundle key for validation tests";
+    const BUNDLE: u64 = 9;
+
+    fn account(i: u64) -> AccountId {
+        AccountId(i)
+    }
+
+    /// Builds a connection's evidence over the given path, corrupting the
+    /// receipts of every hop strictly below `corrupt_from` (1-based, as a
+    /// cheating forwarder at that position would).
+    fn evidence(connection: u32, path: &[u64], corrupt_from: Option<usize>) -> ConnectionEvidence {
+        let hops: Vec<AccountId> = path.iter().map(|&i| account(i)).collect();
+        let manifest = PathManifest::issue(KEY, BUNDLE, connection, hops.clone());
+        let receipts = hops
+            .iter()
+            .enumerate()
+            .map(|(i, &acct)| {
+                let mut r = Receipt::issue(KEY, BUNDLE, connection, (i + 1) as u32, acct);
+                if corrupt_from.is_some_and(|cf| i + 1 > cf) {
+                    r.mac[0] ^= 0x55;
+                }
+                r
+            })
+            .collect();
+        ConnectionEvidence { manifest, receipts }
+    }
+
+    #[test]
+    fn manifest_round_trip_and_tamper_detection() {
+        let m = PathManifest::issue(KEY, BUNDLE, 3, vec![account(1), account(2)]);
+        assert!(m.verify(KEY));
+        assert!(!m.verify(b"wrong key"));
+        let mut t = m.clone();
+        t.hops[1] = account(7);
+        assert!(!t.verify(KEY), "substituted hop must break the seal");
+        let mut t = m;
+        t.connection = 4;
+        assert!(!t.verify(KEY));
+    }
+
+    #[test]
+    fn clean_bundle_pays_everyone_and_flags_no_one() {
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        v.add_connection(evidence(0, &[1, 2, 3], None));
+        v.add_connection(evidence(1, &[1, 4], None));
+        let r = v.validate();
+        assert_eq!(r.expected_instances, 5);
+        assert_eq!(r.validated_instances, 5);
+        assert_eq!(r.shortfall(), 0.0);
+        assert!(r.flagged.is_empty());
+        assert_eq!(r.unattributed, 0);
+        assert_eq!(r.paid_counts[&account(1)], 2);
+        assert_eq!(r.paid_counts[&account(3)], 1);
+    }
+
+    #[test]
+    fn corruption_flags_the_most_upstream_acting_cheater() {
+        // Cheater at position 2 (account 5) corrupts hops 3..: the deepest
+        // intact prefix ends at position 2, so account 5 is flagged, and
+        // the honest victims below it are the ones who lose payment.
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        v.add_connection(evidence(0, &[4, 5, 6, 7], Some(2)));
+        let r = v.validate();
+        assert_eq!(r.flagged.iter().copied().collect::<Vec<_>>(), [account(5)]);
+        assert_eq!(r.expected_instances, 4);
+        assert_eq!(r.validated_instances, 2);
+        assert!((r.shortfall() - 0.5).abs() < 1e-12);
+        assert!(!r.paid_counts.contains_key(&account(6)));
+        assert!(!r.paid_counts.contains_key(&account(7)));
+    }
+
+    #[test]
+    fn every_injected_cheater_is_flagged_across_a_bundle() {
+        // Three cheaters (5, 6, 7). On any one connection only the most
+        // upstream acting cheater is exposed; across the bundle's
+        // connections each of them acts as the most-upstream corrupter on
+        // at least one path, so accumulation flags all three and never an
+        // honest node.
+        let cheaters = [5u64, 6, 7];
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        v.add_connection(evidence(0, &[1, 5, 6, 2], Some(2))); // 5 masks 6
+        v.add_connection(evidence(1, &[1, 6, 3, 2], Some(2))); // 6 exposed
+        v.add_connection(evidence(2, &[7, 4, 1], Some(1))); // 7 exposed
+        let r = v.validate();
+        let flagged: Vec<u64> = r.flagged.iter().map(|a| a.0).collect();
+        assert_eq!(flagged, cheaters, "all cheaters flagged, nobody else");
+        assert_eq!(r.unattributed, 0);
+    }
+
+    #[test]
+    fn missing_receipts_are_shortfall_not_false_accusation() {
+        // A dropped confirmation yields no evidence at all; a partially
+        // delivered receipt set with an intact prefix flags the boundary.
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        let mut ev = evidence(0, &[1, 2, 3], None);
+        ev.receipts.truncate(1); // hops 2 and 3 never arrived
+        v.add_connection(ev);
+        let r = v.validate();
+        assert_eq!(r.validated_instances, 1);
+        assert_eq!(
+            r.flagged.iter().copied().collect::<Vec<_>>(),
+            [account(1)],
+            "the holder of the deepest valid receipt is the suspect"
+        );
+    }
+
+    #[test]
+    fn fully_corrupted_connection_is_unattributed() {
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        v.add_connection(evidence(0, &[1, 2], Some(0)));
+        let r = v.validate();
+        assert_eq!(r.validated_instances, 0);
+        assert!(r.flagged.is_empty(), "no intact prefix, no accusation");
+        assert_eq!(r.unattributed, 1);
+        assert_eq!(r.shortfall(), 1.0);
+    }
+
+    #[test]
+    fn invalid_manifest_is_counted_and_skipped() {
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        let mut ev = evidence(0, &[1, 2], None);
+        ev.manifest.hops[0] = account(9); // forged path statement
+        v.add_connection(ev);
+        let r = v.validate();
+        assert_eq!(r.invalid_manifests, 1);
+        assert_eq!(r.expected_instances, 0);
+        assert_eq!(r.shortfall(), 0.0);
+    }
+
+    #[test]
+    fn receipt_for_wrong_forwarder_breaks_at_that_hop() {
+        // A receipt redirected to another account fails the manifest match
+        // even though its MAC verifies for the original fields.
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        let mut ev = evidence(0, &[1, 2, 3], None);
+        ev.receipts[1] = Receipt::issue(KEY, BUNDLE, 0, 2, account(8));
+        v.add_connection(ev);
+        let r = v.validate();
+        assert_eq!(r.validated_instances, 2);
+        assert_eq!(r.flagged.iter().copied().collect::<Vec<_>>(), [account(1)]);
+    }
+}

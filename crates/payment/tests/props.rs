@@ -6,6 +6,7 @@
 //! exactly reproducible.
 
 use idpa_desim::rng::Xoshiro256StarStar;
+use idpa_payment::audit::{AuditEntry, AuditEvent, AuditLog};
 use idpa_payment::bank::{AccountId, Bank};
 use idpa_payment::token::{Token, Wallet};
 
@@ -147,6 +148,172 @@ fn no_account_exceeds_total_supply() {
             for &acct in &accounts {
                 assert!(bank.balance(acct).unwrap() <= supply);
             }
+        }
+    }
+}
+
+/// A random balance-affecting (or discrepancy) audit event over a small
+/// account universe.
+fn random_audit_event(rng: &mut Xoshiro256StarStar) -> AuditEvent {
+    let acct = |rng: &mut Xoshiro256StarStar| AccountId(rng.next() % 4);
+    match rng.next() % 5 {
+        0 => AuditEvent::Open {
+            account: acct(rng),
+            balance: rng.next() % 200,
+        },
+        1 => AuditEvent::Withdraw {
+            account: acct(rng),
+            value: 1 + rng.next() % 49,
+        },
+        2 => {
+            let mut serial_prefix = [0u8; 8];
+            for b in &mut serial_prefix {
+                *b = (rng.next() % 256) as u8;
+            }
+            AuditEvent::Deposit {
+                account: acct(rng),
+                value: 1 + rng.next() % 49,
+                serial_prefix,
+            }
+        }
+        3 => AuditEvent::Transfer {
+            from: acct(rng),
+            to: acct(rng),
+            amount: 1 + rng.next() % 49,
+        },
+        _ => {
+            let expected = rng.next() % 30;
+            AuditEvent::Discrepancy {
+                bundle: rng.next() % 8,
+                expected,
+                validated: if expected == 0 {
+                    0
+                } else {
+                    rng.next() % expected
+                },
+                flagged: rng.next() % 3,
+            }
+        }
+    }
+}
+
+/// XORs one nonzero byte into some field of the entry: the sequence
+/// number, the chain hash, or any field of the event payload.
+fn flip_entry_byte(entry: &mut AuditEntry, rng: &mut Xoshiro256StarStar) {
+    let m = 1 + (rng.next() % 255) as u8;
+    let word = u64::from(m) << (8 * (rng.next() % 8));
+    match rng.next() % 3 {
+        0 => entry.seq ^= word,
+        1 => {
+            let i = (rng.next() % 32) as usize;
+            entry.hash[i] ^= m;
+        }
+        _ => match &mut entry.event {
+            AuditEvent::Open { account, balance } => match rng.next() % 2 {
+                0 => account.0 ^= word,
+                _ => *balance ^= word,
+            },
+            AuditEvent::Withdraw { account, value } => match rng.next() % 2 {
+                0 => account.0 ^= word,
+                _ => *value ^= word,
+            },
+            AuditEvent::Deposit {
+                account,
+                value,
+                serial_prefix,
+            } => match rng.next() % 3 {
+                0 => account.0 ^= word,
+                1 => *value ^= word,
+                _ => serial_prefix[(rng.next() % 8) as usize] ^= m,
+            },
+            AuditEvent::Transfer { from, to, amount } => match rng.next() % 3 {
+                0 => from.0 ^= word,
+                1 => to.0 ^= word,
+                _ => *amount ^= word,
+            },
+            AuditEvent::Discrepancy {
+                bundle,
+                expected,
+                validated,
+                flagged,
+            } => match rng.next() % 4 {
+                0 => *bundle ^= word,
+                1 => *expected ^= word,
+                2 => *validated ^= word,
+                _ => *flagged ^= word,
+            },
+        },
+    }
+}
+
+/// Tamper-evidence is byte-exact: flipping ANY byte of ANY entry — seq,
+/// hash, or any event field of any variant — makes `verify()` report that
+/// entry's index, never a different one and never `Ok`.
+#[test]
+fn any_single_byte_flip_is_detected_at_the_exact_entry() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0x2003);
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(gen.next());
+        let n = 1 + (rng.next() % 12) as usize;
+        let mut log = AuditLog::new();
+        for _ in 0..n {
+            log.append(random_audit_event(&mut rng));
+        }
+        assert_eq!(log.verify(), Ok(()));
+
+        let target = (rng.next() % n as u64) as usize;
+        let mut entries = log.entries().to_vec();
+        flip_entry_byte(&mut entries[target], &mut rng);
+        let tampered = AuditLog::from_entries(entries);
+        assert_eq!(
+            tampered.verify(),
+            Err(target),
+            "case {case}: flip in entry {target} of {n} must be pinned there"
+        );
+    }
+}
+
+/// A seeded Fisher–Yates shuffle.
+fn shuffle<T>(items: &mut [T], rng: &mut Xoshiro256StarStar) {
+    for i in (1..items.len()).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// `replay_balance` is a pure function of the event *multiset*: any two
+/// interleavings of the same events reconstruct identical per-account
+/// balances, and both orderings form valid chains when appended honestly.
+#[test]
+fn replay_balance_is_invariant_under_event_interleaving() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0x2004);
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(gen.next());
+        let n = 1 + (rng.next() % 16) as usize;
+        let events: Vec<AuditEvent> = (0..n).map(|_| random_audit_event(&mut rng)).collect();
+
+        let mut first = events.clone();
+        let mut second = events;
+        shuffle(&mut first, &mut rng);
+        shuffle(&mut second, &mut rng);
+
+        let build = |evs: Vec<AuditEvent>| {
+            let mut log = AuditLog::new();
+            for e in evs {
+                log.append(e);
+            }
+            log
+        };
+        let log_a = build(first);
+        let log_b = build(second);
+        assert_eq!(log_a.verify(), Ok(()));
+        assert_eq!(log_b.verify(), Ok(()));
+        for id in 0..4 {
+            assert_eq!(
+                log_a.replay_balance(AccountId(id)),
+                log_b.replay_balance(AccountId(id)),
+                "case {case}: account {id} diverges between interleavings"
+            );
         }
     }
 }

@@ -144,6 +144,7 @@ fn row(y: f64, lo: f64, hi: f64, height: usize) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
 

@@ -13,6 +13,7 @@ use std::path::PathBuf;
 use idpa_core::routing::{AdversaryStrategy, RoutingStrategy};
 use idpa_core::utility::UtilityModel;
 use idpa_desim::stats::{Ecdf, OnlineStats};
+use idpa_desim::FaultConfig;
 use idpa_game::forwarding::{dominance_threshold, participation_threshold, ForwardingStageGame};
 
 use crate::chart::{cdf_chart, line_chart, Series};
@@ -36,6 +37,9 @@ pub struct Options {
     /// Probe advancement mode (`--probe-mode`); lazy and eager are
     /// bit-identical under the default per-node probe RNG.
     pub probe_mode: ProbeMode,
+    /// Fault injection applied to every run (`--fault-*`; all-zero rates =
+    /// off, in which case runs are bit-identical to a fault-free build).
+    pub fault: FaultConfig,
 }
 
 impl Default for Options {
@@ -46,6 +50,7 @@ impl Default for Options {
             out_dir: PathBuf::from("results"),
             threads: 0,
             probe_mode: ProbeMode::Lazy,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -62,6 +67,7 @@ impl Options {
         };
         ScenarioConfig {
             probe_mode: self.probe_mode,
+            fault: self.fault,
             ..base
         }
     }
@@ -860,6 +866,67 @@ pub fn crowds_analysis(opts: &Options) -> String {
     )
 }
 
+/// Robustness sweep: delivery ratio, retries per message, reformation
+/// latency, and payment shortfall vs the per-edge drop rate, for each
+/// routing strategy. Any `--fault-*` options act as a fixed background
+/// (crashes, cheaters, bank outages) on top of the swept drop rate, so the
+/// same experiment renders both the clean-degradation curve and the
+/// compound-fault one.
+pub fn fault_degradation(opts: &Options) -> String {
+    let strategies: [(&str, RoutingStrategy); 3] = [
+        ("random", RoutingStrategy::Random),
+        ("model-1", model_one()),
+        ("model-2", model_two()),
+    ];
+    let drop_rates = [0.0, 0.05, 0.1, 0.2, 0.4];
+    let mut table = Table::new(&[
+        "drop rate",
+        "strategy",
+        "delivery ratio",
+        "retries/msg",
+        "reform latency",
+        "payment shortfall",
+    ]);
+    let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); strategies.len()];
+    for drop_rate in drop_rates {
+        let fault = FaultConfig {
+            drop_rate,
+            ..opts.fault
+        };
+        for (si, (label, strategy)) in strategies.iter().enumerate() {
+            let results = replicate(opts, |seed| ScenarioConfig {
+                fault,
+                good_strategy: *strategy,
+                ..opts.base_config(seed)
+            });
+            let delivery = stats_of(&results, |r| r.delivery_ratio);
+            let retries = stats_of(&results, |r| r.retries_per_message);
+            let latency = stats_of(&results, |r| r.reformation_latency);
+            let shortfall = stats_of(&results, |r| r.payment_shortfall);
+            curves[si].push((drop_rate, delivery.mean()));
+            table.row(vec![
+                format!("{drop_rate:.2}"),
+                (*label).into(),
+                fmt_ci(delivery.mean(), delivery.ci95().half_width),
+                format!("{:.3}", retries.mean()),
+                format!("{:.2}", latency.mean()),
+                format!("{:.2}", shortfall.mean()),
+            ]);
+        }
+    }
+    let _ = table.write_csv(&opts.out_dir, "fault_degradation");
+    let series: Vec<Series> = strategies
+        .iter()
+        .zip(&curves)
+        .map(|((label, _), pts)| Series::new(*label, pts.clone()))
+        .collect();
+    let chart = line_chart("delivery ratio vs per-edge drop rate", &series, 60, 12);
+    format!(
+        "## fault-degradation: retry-protocol resilience under injected faults\n\n{}\n```text\n{chart}```\n",
+        table.to_markdown()
+    )
+}
+
 /// An experiment: renders its figure/table from the shared options.
 pub type Experiment = fn(&Options) -> String;
 
@@ -892,6 +959,7 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
         ("attack-availability", attack_availability),
         ("attack-collusion", attack_collusion),
         ("attack-intersection", attack_intersection),
+        ("fault-degradation", fault_degradation),
         ("timeline", timeline),
         ("crowds-analysis", crowds_analysis),
     ]
@@ -959,6 +1027,17 @@ mod tests {
         assert!(out.contains("f=0.1"));
         assert!(out.contains("f=0.9"));
         assert!(out.contains("mean"));
+    }
+
+    #[test]
+    fn fault_degradation_runs_quick_and_reports_degradation() {
+        let out = fault_degradation(&Options {
+            reps: 1,
+            ..quick_opts()
+        });
+        assert!(out.contains("0.40"), "largest swept drop rate missing");
+        assert!(out.contains("model-2") || out.contains("model II"));
+        assert!(out.contains("delivery ratio"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! sizes, payoff CDFs and routing efficiency.
 //!
 //! * [`scenario`] — configuration mirroring the paper's §3 parameters;
+//! * [`error`] — typed scenario/driver errors ([`SimError`]);
 //! * [`world`] — the sampled static world (topology, churn trace, costs,
 //!   roles, workload);
 //! * [`runner`] — the event-driven run (probe events + transmissions);
@@ -18,14 +19,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod chart;
+pub mod error;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod world;
 
+pub use error::SimError;
+pub use idpa_desim::FaultConfig;
 pub use runner::{RunResult, SimulationRun};
 pub use scenario::{ProbeMode, ProbeRngMode, ScenarioConfig};
 pub use world::World;

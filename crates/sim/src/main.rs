@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! idpa-sim [EXPERIMENT ...] [--reps N] [--threads N] [--quick] [--out DIR] [--list]
+//!          [--fault-crash P] [--fault-drop P] [--fault-delay P] [--fault-cheat F]
+//!          [--fault-bank-downtime F] [--fault-retries N] [--fault-timeout MIN]
 //! ```
 //!
 //! With no experiment names, runs everything in the registry. Markdown
@@ -9,7 +11,18 @@
 
 use std::process::ExitCode;
 
-use idpa_sim::experiments::{registry, Options};
+use idpa_sim::experiments::{registry, Experiment, Options};
+
+/// Parses the next argument as the value of a `--fault-*` flag.
+fn fault_value(flag: &str, next: Option<&String>) -> Result<f64, ExitCode> {
+    match next.and_then(|s| s.parse::<f64>().ok()) {
+        Some(v) if v.is_finite() => Ok(v),
+        _ => {
+            eprintln!("{flag} needs a finite number");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,10 +83,55 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--fault-crash"
+            | "--fault-drop"
+            | "--fault-delay"
+            | "--fault-delay-mean"
+            | "--fault-cheat"
+            | "--fault-cheat-corrupt-share"
+            | "--fault-bank-downtime"
+            | "--fault-bank-outage-mean"
+            | "--fault-timeout" => {
+                let v = match fault_value(arg, iter.next()) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let f = &mut opts.fault;
+                match arg.as_str() {
+                    "--fault-crash" => f.crash_rate = v,
+                    "--fault-drop" => f.drop_rate = v,
+                    "--fault-delay" => f.delay_rate = v,
+                    "--fault-delay-mean" => f.delay_mean = v,
+                    "--fault-cheat" => f.cheat_fraction = v,
+                    "--fault-cheat-corrupt-share" => f.cheat_corrupt_share = v,
+                    "--fault-bank-downtime" => f.bank_downtime = v,
+                    "--fault-bank-outage-mean" => f.bank_outage_mean = v,
+                    _ => f.retry_timeout = v,
+                }
+            }
+            "--fault-retries" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--fault-retries needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                opts.fault.max_retries = v;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: idpa-sim [EXPERIMENT ...] [--reps N] [--threads N] [--quick] \
-                     [--probe-mode eager|lazy] [--out DIR] [--list]"
+                     [--probe-mode eager|lazy] [--out DIR] [--list] [FAULT FLAGS]\n\n\
+                     fault injection (all rates default to 0 = off; any nonzero rate\n\
+                     activates the deterministic fault plan):\n  \
+                     --fault-crash P               per-hop forwarder crash probability\n  \
+                     --fault-drop P                per-edge message drop probability\n  \
+                     --fault-delay P               per-edge extra-delay probability\n  \
+                     --fault-delay-mean MIN        mean of the injected edge delay\n  \
+                     --fault-cheat F               fraction of nodes that cheat on confirmations\n  \
+                     --fault-cheat-corrupt-share S share of cheats that corrupt (vs drop) receipts\n  \
+                     --fault-bank-downtime F       long-run fraction of time the bank is down\n  \
+                     --fault-bank-outage-mean MIN  mean length of one bank outage\n  \
+                     --fault-retries N             max retransmission attempts per message\n  \
+                     --fault-timeout MIN           base retry timeout (exponential backoff)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -85,8 +143,13 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Err(e) = opts.fault.validate() {
+        eprintln!("invalid fault configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+
     let reg = registry();
-    let to_run: Vec<&(&str, fn(&Options) -> String)> = if selected.is_empty() {
+    let to_run: Vec<&(&str, Experiment)> = if selected.is_empty() {
         reg.iter().collect()
     } else {
         let mut picked = Vec::new();

@@ -111,6 +111,7 @@ pub fn fmt_ci(mean: f64, half: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
 

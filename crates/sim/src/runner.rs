@@ -10,22 +10,40 @@
 //! probe RNG streams the two modes are bit-identical. After the horizon the
 //! per-bundle accounting is settled into per-node payoffs
 //! (`m·P_f + P_r/‖π‖ − costs`).
+//!
+//! With an active [`FaultConfig`] the run additionally injects seed-derived
+//! faults: each transmission attempt walks its formed path edge by edge
+//! (crash / drop / delay), the confirmation walks back through any cheating
+//! forwarders (drop / receipt corruption), and failed attempts are retried
+//! with exponential backoff up to `max_retries` before being abandoned.
+//! History stays confirmation-driven (§2.2): a failed attempt commits no
+//! Table 1 records, and a swallowed confirmation commits only the path
+//! suffix it actually traversed. Completed connections deposit a MAC'd path
+//! manifest plus per-hop receipts with a [`PathValidator`], whose
+//! settlement-time replay reconstructs π, pays only validated instances and
+//! flags cheaters. All fault draws come from dedicated position-keyed
+//! streams, so a run with every rate zero is bit-identical to the
+//! fault-free code path.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use idpa_core::adversary::IntersectionAttack;
 use idpa_core::bundle::{BundleAccounting, BundleId};
 use idpa_core::contract::Contract;
 use idpa_core::history::HistoryProfile;
-use idpa_core::metrics::{self, ReformationTracker};
-use idpa_core::path::form_connection_with_scratch;
+use idpa_core::metrics::{self, DeliveryTracker, ReformationTracker};
+use idpa_core::path::{form_connection_pending, form_connection_with_scratch, PendingConnection};
 use idpa_core::quality::{EdgeQuality, Weights};
 use idpa_core::routing::{RouteScratch, RoutingView};
 use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
-use idpa_desim::{Engine, Process, SimTime};
+use idpa_desim::{CheatAction, Engine, FaultPlan, Process, SimTime};
 use idpa_netmodel::{CostModel, NodeSchedule};
 use idpa_overlay::{LazyProbeSet, NodeId, ProbeEstimator};
-use rand::RngExt;
+use idpa_payment::audit::{AuditEvent, AuditLog};
+use idpa_payment::bank::AccountId;
+use idpa_payment::receipt::Receipt;
+use idpa_payment::validation::{ConnectionEvidence, PathManifest, PathValidator};
+use rand::{Rng, RngExt};
 
 use crate::scenario::{ProbeMode, ProbeRngMode, ScenarioConfig};
 use crate::world::World;
@@ -46,6 +64,15 @@ pub enum Ev {
         /// Connection index within the pair's bundle.
         conn: u32,
     },
+    /// A retry of a failed transmission attempt (fault injection only).
+    Retry {
+        /// Index of the pair in the workload.
+        pair: usize,
+        /// Connection index within the pair's bundle.
+        conn: u32,
+        /// Attempt number (1 = first retry).
+        attempt: u32,
+    },
 }
 
 /// Probe state in either advancement mode.
@@ -59,7 +86,20 @@ struct RunView<'a> {
     schedules: &'a [NodeSchedule],
     probes: &'a ProbeState,
     costs: &'a CostModel,
+    /// Per-node crash overlay (empty when fault injection is off): node `v`
+    /// is routable only once `now >= crashed[v]`. The overlay affects
+    /// routing liveness only — probe estimates still follow the analytic
+    /// churn schedule, which is what keeps eager and lazy probe modes
+    /// bit-identical under faults.
+    crashed: &'a [f64],
     now: SimTime,
+}
+
+impl RunView<'_> {
+    fn routable(&self, v: NodeId) -> bool {
+        self.schedules[v.index()].is_up(self.now)
+            && (self.crashed.is_empty() || self.now.minutes() >= self.crashed[v.index()])
+    }
 }
 
 impl RoutingView for RunView<'_> {
@@ -73,7 +113,7 @@ impl RoutingView for RunView<'_> {
         // D(s) is maintained by the node itself (its probe estimator), so
         // neighbor replacement is visible to routing.
         out.clear();
-        let live = |v: &NodeId| self.schedules[v.index()].is_up(self.now);
+        let live = |v: &NodeId| self.routable(*v);
         match self.probes {
             ProbeState::Eager(probes) => {
                 out.extend(probes[s.index()].neighbors().iter().copied().filter(live));
@@ -138,6 +178,50 @@ pub struct RunResult {
     /// Mean anonymity degree left by the intersection attack (1 = full
     /// anonymity).
     pub avg_anonymity_degree: f64,
+    /// Fraction of scheduled transmissions eventually delivered (1.0 in a
+    /// fault-free run).
+    pub delivery_ratio: f64,
+    /// Mean retry attempts per scheduled transmission.
+    pub retries_per_message: f64,
+    /// Mean extra latency (minutes) of deliveries that needed at least one
+    /// path reformation (0.0 when nothing was retried).
+    pub reformation_latency: f64,
+    /// Fraction of manifest-attested forwarding instances whose receipts
+    /// were destroyed by cheaters (payment lost to cheating).
+    pub payment_shortfall: f64,
+    /// Mean settlement delay (minutes) pairs wait for the bank to come back
+    /// up after their last completed connection.
+    pub settlement_delay: f64,
+    /// Nodes flagged by reconstructed-path validation (sorted).
+    pub flagged_cheaters: Vec<usize>,
+    /// Nodes the fault plan injected as cheaters (sorted).
+    pub injected_cheaters: Vec<usize>,
+    /// Detected-versus-paid [`AuditEvent::Discrepancy`] entries recorded.
+    pub audit_discrepancies: u64,
+}
+
+/// Mutable fault-injection state (present only when faults are active).
+struct FaultRuntime {
+    plan: FaultPlan,
+    delivery: DeliveryTracker,
+    /// Per-pair §5 evidence accumulators.
+    validators: Vec<PathValidator>,
+    /// Per-pair bundle keys (shared by manifest and receipts).
+    keys: Vec<[u8; 32]>,
+    /// Per-pair time of the last completed connection (`< 0` = none).
+    last_completion: Vec<f64>,
+}
+
+/// What ended a transmission attempt before confirmation reached `I`.
+enum AttemptFailure {
+    /// A forwarder crashed mid-transmission.
+    Crash,
+    /// The payload was dropped on an edge.
+    Drop,
+    /// Accumulated edge delays exceeded the initiator's retry timeout.
+    Timeout,
+    /// A cheater swallowed the confirmation at this 1-based path position.
+    ConfirmationDropped(usize),
 }
 
 /// The simulation process: owns all mutable run state.
@@ -165,6 +249,11 @@ pub struct SimulationRun {
     /// node-membership mask, reused across nodes and ticks.
     stale_scratch: Vec<NodeId>,
     member_mask: Vec<bool>,
+    /// Crash overlay: node `v` is unroutable until `crashed_until[v]`.
+    /// Empty when fault injection is off (the zero-overhead fast path).
+    crashed_until: Vec<f64>,
+    /// Fault-injection state; `None` runs the exact fault-free code path.
+    fault: Option<FaultRuntime>,
 }
 
 impl SimulationRun {
@@ -199,6 +288,37 @@ impl SimulationRun {
             })
             .collect();
         let n_pairs = world.pairs.len();
+        let (crashed_until, fault) = if cfg.fault.is_active() {
+            let plan = FaultPlan::new(cfg.fault, streams.clone(), cfg.n_nodes, cfg.churn.horizon);
+            let mut delivery = DeliveryTracker::new();
+            delivery.record_scheduled(cfg.total_transmissions as u64);
+            let keys: Vec<[u8; 32]> = (0..n_pairs)
+                .map(|p| {
+                    let mut key = [0u8; 32];
+                    streams
+                        .stream_indexed2("payment/bundle-key", p as u64, 0)
+                        .fill_bytes(&mut key);
+                    key
+                })
+                .collect();
+            let validators = keys
+                .iter()
+                .enumerate()
+                .map(|(p, key)| PathValidator::new(key, p as u64))
+                .collect();
+            (
+                vec![0.0; cfg.n_nodes],
+                Some(FaultRuntime {
+                    plan,
+                    delivery,
+                    validators,
+                    keys,
+                    last_completion: vec![-1.0; n_pairs],
+                }),
+            )
+        } else {
+            (Vec::new(), None)
+        };
         SimulationRun {
             quality: EdgeQuality::new(Weights::new(cfg.weights.0, cfg.weights.1)),
             probes,
@@ -214,6 +334,8 @@ impl SimulationRun {
             scratch: RouteScratch::new(),
             stale_scratch: Vec::new(),
             member_mask: vec![false; cfg.n_nodes],
+            crashed_until,
+            fault,
             cfg,
             world,
         }
@@ -317,7 +439,27 @@ impl SimulationRun {
         }
     }
 
-    fn handle_transmit(&mut self, now: SimTime, pair: usize, conn: u32) {
+    fn handle_transmit(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        now: SimTime,
+        pair: usize,
+        conn: u32,
+        attempt: u32,
+    ) {
+        // take/put-back keeps the fault state out of `self` while the
+        // faulty path mutably borrows the rest of the run.
+        let Some(mut fr) = self.fault.take() else {
+            self.transmit_plain(now, pair, conn);
+            return;
+        };
+        self.transmit_with_faults(engine, now, pair, conn, attempt, &mut fr);
+        self.fault = Some(fr);
+    }
+
+    /// The fault-free transmission: bit-identical to the pre-fault-layer
+    /// code path (the crash overlay is empty, commit happens inline).
+    fn transmit_plain(&mut self, now: SimTime, pair: usize, conn: u32) {
         let wl = &self.world.pairs[pair];
         let contract = Contract::from_tau(BundleId(pair as u64), wl.responder, wl.pf, self.cfg.tau);
         let priors = self.bundles[pair].connections();
@@ -325,6 +467,7 @@ impl SimulationRun {
             schedules: &self.world.schedules,
             probes: &self.probes,
             costs: &self.world.costs,
+            crashed: &self.crashed_until,
             now,
         };
         let outcome = form_connection_with_scratch(
@@ -345,11 +488,14 @@ impl SimulationRun {
         self.connections += 1;
         self.initiator_costs[pair] += outcome.initiator_cost;
         self.trackers[pair].record(&outcome.edges(wl.initiator, wl.responder));
+        self.observe_attack(pair, &outcome.forwarders, now);
+        self.bundles[pair].record_connection(&outcome.forwarders, &outcome.hop_costs);
+    }
 
-        // Intersection attack: if any malicious node sat on the path, the
-        // adversary observes the set of currently-live nodes.
-        let observed = outcome
-            .forwarders
+    /// Intersection attack: if any malicious node sat on the path, the
+    /// adversary observes the set of currently-live nodes.
+    fn observe_attack(&mut self, pair: usize, forwarders: &[NodeId], now: SimTime) {
+        let observed = forwarders
             .iter()
             .any(|f| !self.world.kinds[f.index()].is_good());
         if observed {
@@ -365,8 +511,225 @@ impl SimulationRun {
                 .collect();
             self.attacks[pair].observe(&active);
         }
+    }
 
+    /// One transmission attempt under fault injection: form the path, walk
+    /// the faults forward (crash / drop / delay) and the confirmation
+    /// backward (cheaters), then either complete the connection or schedule
+    /// a retry with exponential backoff.
+    fn transmit_with_faults(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        now: SimTime,
+        pair: usize,
+        conn: u32,
+        attempt: u32,
+        fr: &mut FaultRuntime,
+    ) {
+        let wl = &self.world.pairs[pair];
+        let contract = Contract::from_tau(BundleId(pair as u64), wl.responder, wl.pf, self.cfg.tau);
+        let priors = self.bundles[pair].connections();
+        let view = RunView {
+            schedules: &self.world.schedules,
+            probes: &self.probes,
+            costs: &self.world.costs,
+            crashed: &self.crashed_until,
+            now,
+        };
+        let pending = form_connection_pending(
+            &mut self.scratch,
+            wl.initiator,
+            &contract,
+            priors,
+            &view,
+            &self.histories,
+            &self.world.kinds,
+            &self.quality,
+            self.cfg.good_strategy,
+            self.cfg.adversary_strategy,
+            &self.cfg.policy,
+            &mut self.routing_rng,
+        );
+        let timeout = fr.plan.config().retry_timeout;
+        let forwarders = &pending.outcome().forwarders;
+        let n_edges = forwarders.len() + 1;
+        let faults =
+            fr.plan
+                .sample_transmission(pair as u64, u64::from(conn), u64::from(attempt), n_edges);
+
+        // Forward walk: edge i carries the payload from position i to i+1.
+        let mut failure: Option<AttemptFailure> = None;
+        let mut cum_delay = 0.0f64;
+        for (i, ef) in faults.edges.iter().enumerate() {
+            // The sender of edge i >= 1 is forwarder f_i; the initiator
+            // (edge 0's sender) never crashes out of its own transmission.
+            if ef.crash && i >= 1 {
+                let v = forwarders[i - 1];
+                let end = self.world.schedules[v.index()]
+                    .session_end_at(now)
+                    .unwrap_or_else(|| now.minutes());
+                let slot = &mut self.crashed_until[v.index()];
+                *slot = slot.max(end);
+                failure = Some(AttemptFailure::Crash);
+                break;
+            }
+            if ef.dropped {
+                failure = Some(AttemptFailure::Drop);
+                break;
+            }
+            cum_delay += ef.delay;
+            if cum_delay > timeout {
+                failure = Some(AttemptFailure::Timeout);
+                break;
+            }
+        }
+
+        // Reverse walk: the confirmation passes f_n, …, f_1. A cheater
+        // either swallows it (nothing upstream learns of the connection)
+        // or corrupts every receipt strictly downstream of itself.
+        let mut corrupt_from: Option<usize> = None;
+        if failure.is_none() {
+            for p in (1..=forwarders.len()).rev() {
+                if !fr.plan.is_cheater(forwarders[p - 1].index()) {
+                    continue;
+                }
+                match fr.plan.cheat_action(
+                    pair as u64,
+                    u64::from(conn),
+                    u64::from(attempt),
+                    p as u64,
+                ) {
+                    CheatAction::DropConfirmation => {
+                        failure = Some(AttemptFailure::ConfirmationDropped(p));
+                        break;
+                    }
+                    CheatAction::CorruptReceipts => corrupt_from = Some(p),
+                }
+            }
+        }
+
+        match failure {
+            None => self.complete_connection(now, pair, conn, attempt, pending, corrupt_from, fr),
+            Some(kind) => {
+                // §2.2: no confirmation, no history — except the suffix a
+                // swallowed confirmation actually traversed.
+                if let AttemptFailure::ConfirmationDropped(p) = kind {
+                    pending.commit_suffix(p, contract.bundle, conn, &mut self.histories);
+                }
+                if attempt < fr.plan.config().max_retries {
+                    fr.delivery.record_retry();
+                    let backoff = timeout * f64::from(2u32.pow(attempt));
+                    engine.schedule_in(
+                        backoff,
+                        Ev::Retry {
+                            pair,
+                            conn,
+                            attempt: attempt + 1,
+                        },
+                    );
+                } else {
+                    fr.delivery.record_abandoned();
+                }
+            }
+        }
+    }
+
+    /// The confirmation reached `I`: commit history, settle accounting and
+    /// deposit the §5 evidence (manifest + receipts, corrupted downstream
+    /// of `corrupt_from` when a cheater acted).
+    #[allow(clippy::too_many_arguments)]
+    fn complete_connection(
+        &mut self,
+        now: SimTime,
+        pair: usize,
+        conn: u32,
+        attempt: u32,
+        pending: PendingConnection,
+        corrupt_from: Option<usize>,
+        fr: &mut FaultRuntime,
+    ) {
+        let wl = &self.world.pairs[pair];
+        let bundle = BundleId(pair as u64);
+        pending.commit(bundle, conn, &mut self.histories);
+        let outcome = pending.into_outcome();
+        self.connections += 1;
+        self.initiator_costs[pair] += outcome.initiator_cost;
+        self.trackers[pair].record(&outcome.edges(wl.initiator, wl.responder));
+        self.observe_attack(pair, &outcome.forwarders, now);
         self.bundles[pair].record_connection(&outcome.forwarders, &outcome.hop_costs);
+
+        let scheduled = self.world.pairs[pair].times[conn as usize];
+        fr.delivery
+            .record_delivered(now.minutes() - scheduled, attempt > 0);
+        fr.last_completion[pair] = now.minutes();
+
+        // §5 evidence: the responder's MAC'd path manifest plus per-hop
+        // receipts; a corrupting cheater destroys every receipt strictly
+        // downstream of itself but keeps its own intact.
+        let key = &fr.keys[pair];
+        let account = |n: NodeId| AccountId(n.index() as u64);
+        let hops: Vec<AccountId> = outcome.forwarders.iter().map(|&f| account(f)).collect();
+        let manifest = PathManifest::issue(key, pair as u64, conn, hops);
+        let receipts = outcome
+            .forwarders
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                let mut r = Receipt::issue(key, pair as u64, conn, (i + 1) as u32, account(f));
+                if corrupt_from.is_some_and(|cf| i + 1 > cf) {
+                    r.mac[0] ^= 0x55;
+                }
+                r
+            })
+            .collect();
+        fr.validators[pair].add_connection(ConnectionEvidence { manifest, receipts });
+    }
+
+    /// Settles the fault layer: §5 validation over every bundle's evidence,
+    /// the aggregate payment shortfall, the audit trail of detected-vs-paid
+    /// discrepancies, and the bank-outage settlement delay.
+    fn settle_faults(fr: &FaultRuntime) -> (f64, f64, Vec<usize>, u64) {
+        let mut expected = 0u64;
+        let mut validated = 0u64;
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        let mut audit = AuditLog::new();
+        for (pair, validator) in fr.validators.iter().enumerate() {
+            let report = validator.validate();
+            expected += report.expected_instances;
+            validated += report.validated_instances;
+            flagged.extend(report.flagged.iter().map(|a| a.0 as usize));
+            if report.validated_instances < report.expected_instances {
+                audit.append(AuditEvent::Discrepancy {
+                    bundle: pair as u64,
+                    expected: report.expected_instances,
+                    validated: report.validated_instances,
+                    flagged: report.flagged.len() as u64,
+                });
+            }
+        }
+        debug_assert_eq!(audit.verify(), Ok(()));
+        let shortfall = if expected == 0 {
+            0.0
+        } else {
+            1.0 - validated as f64 / expected as f64
+        };
+        let delays: Vec<f64> = fr
+            .last_completion
+            .iter()
+            .filter(|&&t| t >= 0.0)
+            .map(|&t| fr.plan.next_bank_up(t) - t)
+            .collect();
+        let settlement_delay = if delays.is_empty() {
+            0.0
+        } else {
+            delays.iter().sum::<f64>() / delays.len() as f64
+        };
+        (
+            shortfall,
+            settlement_delay,
+            flagged.into_iter().collect(),
+            audit.len() as u64,
+        )
     }
 
     /// Settles all bundles into the aggregate result.
@@ -442,6 +805,32 @@ impl SimulationRun {
             })
             .collect();
 
+        let (
+            delivery_ratio,
+            retries_per_message,
+            reformation_latency,
+            payment_shortfall,
+            settlement_delay,
+            flagged_cheaters,
+            injected_cheaters,
+            audit_discrepancies,
+        ) = match &self.fault {
+            None => (1.0, 0.0, 0.0, 0.0, 0.0, Vec::new(), Vec::new(), 0),
+            Some(fr) => {
+                let (shortfall, settlement_delay, flagged, discrepancies) = Self::settle_faults(fr);
+                (
+                    fr.delivery.delivery_ratio(),
+                    fr.delivery.retries_per_message(),
+                    fr.delivery.reformation_latency(),
+                    shortfall,
+                    settlement_delay,
+                    flagged,
+                    fr.plan.cheaters(),
+                    discrepancies,
+                )
+            }
+        };
+
         RunResult {
             avg_good_payoff,
             avg_forwarder_set,
@@ -474,6 +863,14 @@ impl SimulationRun {
             good_payoffs,
             malicious_payoffs,
             node_totals: payoff,
+            delivery_ratio,
+            retries_per_message,
+            reformation_latency,
+            payment_shortfall,
+            settlement_delay,
+            flagged_cheaters,
+            injected_cheaters,
+            audit_discrepancies,
         }
     }
 }
@@ -533,7 +930,12 @@ impl Process for SimulationRun {
         match event {
             Ev::Probe => self.handle_probe(now),
             Ev::Maintain(node) => self.handle_maintain(engine, now, node),
-            Ev::Transmit { pair, conn } => self.handle_transmit(now, pair, conn),
+            Ev::Transmit { pair, conn } => self.handle_transmit(engine, now, pair, conn, 0),
+            Ev::Retry {
+                pair,
+                conn,
+                attempt,
+            } => self.handle_transmit(engine, now, pair, conn, attempt),
         }
         idpa_desim::engine::Control::Continue
     }

@@ -10,7 +10,10 @@
 
 use idpa_core::routing::{AdversaryStrategy, PathPolicy, RoutingStrategy};
 use idpa_core::utility::UtilityModel;
+use idpa_desim::FaultConfig;
 use idpa_netmodel::{ChurnConfig, CostConfig};
+
+use crate::error::SimError;
 
 /// How availability-probe state is advanced during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +96,9 @@ pub struct ScenarioConfig {
     /// Source of probe randomness; `PerNode` (the default) makes eager and
     /// lazy modes bit-identical.
     pub probe_rng: ProbeRngMode,
+    /// Deterministic fault injection (all-zero rates = faults off, and the
+    /// run is bit-identical to a build without the fault layer).
+    pub fault: FaultConfig,
 }
 
 impl Default for ScenarioConfig {
@@ -136,51 +142,179 @@ impl Default for ScenarioConfig {
             neighbor_replacement_rounds: None,
             probe_mode: ProbeMode::Lazy,
             probe_rng: ProbeRngMode::PerNode,
+            fault: FaultConfig::default(),
         }
     }
 }
 
+/// Returns `Err` with the offending field when `cond` is false.
+fn ensure(cond: bool, field: &'static str, message: String) -> Result<(), SimError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(SimError::InvalidConfig { field, message })
+    }
+}
+
 impl ScenarioConfig {
-    /// Validates cross-field consistency (panics with a message otherwise).
-    pub fn validate(&self) {
-        assert!(self.n_nodes >= 4, "need at least 4 nodes");
-        assert_eq!(self.churn.n_nodes, self.n_nodes, "churn size mismatch");
-        assert_eq!(self.cost.n_nodes, self.n_nodes, "cost size mismatch");
-        assert!(self.degree < self.n_nodes, "degree must be < N");
-        assert!(self.n_pairs > 0 && self.total_transmissions > 0);
-        assert!(self.max_connections > 0);
-        assert!(
+    /// Validates cross-field consistency. Returns a descriptive
+    /// [`SimError::InvalidConfig`] naming the offending field instead of
+    /// panicking, so misconfigured scenarios fail with a diagnostic at the
+    /// CLI (and in library callers) rather than a backtrace.
+    pub fn validate(&self) -> Result<(), SimError> {
+        ensure(
+            self.n_nodes >= 4,
+            "n_nodes",
+            format!("need at least 4 nodes (got {})", self.n_nodes),
+        )?;
+        ensure(
+            self.churn.n_nodes == self.n_nodes,
+            "churn.n_nodes",
+            format!(
+                "churn size mismatch ({} != n_nodes {})",
+                self.churn.n_nodes, self.n_nodes
+            ),
+        )?;
+        ensure(
+            self.cost.n_nodes == self.n_nodes,
+            "cost.n_nodes",
+            format!(
+                "cost size mismatch ({} != n_nodes {})",
+                self.cost.n_nodes, self.n_nodes
+            ),
+        )?;
+        ensure(
+            self.degree >= 1 && self.degree < self.n_nodes,
+            "degree",
+            format!(
+                "degree must be in 1..n_nodes (got {} with n_nodes {})",
+                self.degree, self.n_nodes
+            ),
+        )?;
+        ensure(
+            self.n_pairs > 0,
+            "n_pairs",
+            "need at least one (I, R) pair".into(),
+        )?;
+        ensure(
+            self.total_transmissions > 0,
+            "total_transmissions",
+            "need at least one transmission".into(),
+        )?;
+        ensure(
+            self.max_connections > 0,
+            "max_connections",
+            "per-pair connection cap must be positive".into(),
+        )?;
+        ensure(
             self.n_pairs * self.max_connections as usize >= self.total_transmissions,
-            "max_connections x n_pairs cannot absorb total_transmissions"
-        );
-        assert!(
+            "max_connections",
+            format!(
+                "max_connections x n_pairs cannot absorb total_transmissions \
+                 ({} x {} < {})",
+                self.max_connections, self.n_pairs, self.total_transmissions
+            ),
+        )?;
+        ensure(
             self.pf_range.0 > 0.0 && self.pf_range.1 >= self.pf_range.0,
-            "invalid P_f range"
-        );
-        assert!(self.tau >= 0.0);
-        assert!(
+            "pf_range",
+            format!(
+                "invalid P_f range [{}, {}] (need 0 < lo <= hi)",
+                self.pf_range.0, self.pf_range.1
+            ),
+        )?;
+        ensure(
+            self.tau >= 0.0,
+            "tau",
+            format!("tau must be nonnegative (got {})", self.tau),
+        )?;
+        ensure(
             (0.0..=1.0).contains(&self.adversary_fraction),
-            "f out of range"
-        );
-        assert!(self.probe_period > 0.0);
+            "adversary_fraction",
+            format!("f out of range [0, 1] (got {})", self.adversary_fraction),
+        )?;
+        ensure(
+            self.probe_period > 0.0,
+            "probe_period",
+            format!("probe period must be positive (got {})", self.probe_period),
+        )?;
         if self.probe_mode == ProbeMode::Lazy {
-            assert!(
+            ensure(
                 self.probe_rng == ProbeRngMode::PerNode,
-                "lazy probing requires per-node probe RNG streams"
-            );
-            assert!(
+                "probe_rng",
+                "lazy probing requires per-node probe RNG streams".into(),
+            )?;
+            ensure(
                 self.neighbor_replacement_rounds != Some(0),
-                "lazy probing requires a replacement threshold >= 1"
-            );
+                "neighbor_replacement_rounds",
+                "lazy probing requires a replacement threshold >= 1".into(),
+            )?;
         }
-        assert!(
+        ensure(
             self.warmup < self.churn.horizon,
-            "warmup must precede the horizon"
-        );
-        self.churn.validate();
-        self.cost.validate();
-        // Weights validated by construction in EdgeQuality.
-        let _ = idpa_core::quality::Weights::new(self.weights.0, self.weights.1);
+            "warmup",
+            format!(
+                "warmup must precede the horizon ({} >= {})",
+                self.warmup, self.churn.horizon
+            ),
+        )?;
+        // Sub-config fields, mirrored from ChurnConfig/CostConfig::validate
+        // so the whole scenario reports through SimError.
+        ensure(
+            self.churn.join_rate > 0.0,
+            "churn.join_rate",
+            "join rate must be positive".into(),
+        )?;
+        ensure(
+            self.churn.session_median > 0.0 && self.churn.session_shape > 0.0,
+            "churn.session_median",
+            "Pareto session parameters must be positive".into(),
+        )?;
+        ensure(
+            self.churn.downtime_mean > 0.0,
+            "churn.downtime_mean",
+            "downtime mean must be positive".into(),
+        )?;
+        ensure(
+            self.churn.horizon > 0.0,
+            "churn.horizon",
+            "horizon must be positive".into(),
+        )?;
+        ensure(
+            self.cost.participation_cost >= 0.0,
+            "cost.participation_cost",
+            "negative C^p".into(),
+        )?;
+        ensure(
+            self.cost.payload_size > 0.0,
+            "cost.payload_size",
+            "payload size must be positive".into(),
+        )?;
+        ensure(
+            0.0 < self.cost.bandwidth_lo && self.cost.bandwidth_lo <= self.cost.bandwidth_hi,
+            "cost.bandwidth_lo",
+            format!(
+                "invalid bandwidth range [{}, {}]",
+                self.cost.bandwidth_lo, self.cost.bandwidth_hi
+            ),
+        )?;
+        ensure(
+            self.cost.cost_scale > 0.0,
+            "cost.cost_scale",
+            "cost_scale must be positive".into(),
+        )?;
+        let (ws, wa) = self.weights;
+        ensure(
+            ws >= 0.0 && wa >= 0.0 && (ws + wa - 1.0).abs() <= 1e-9,
+            "weights",
+            format!("(w_s, w_a) must be nonnegative and sum to 1 (got ({ws}, {wa}))"),
+        )?;
+        self.fault
+            .validate()
+            .map_err(|message| SimError::InvalidConfig {
+                field: "fault",
+                message,
+            })
     }
 
     /// A scaled-down scenario for fast tests: 20 nodes, 20 pairs,
@@ -223,7 +357,8 @@ mod tests {
         assert_eq!(cfg.pf_range, (50.0, 100.0));
         assert_eq!(cfg.weights, (0.5, 0.5));
         assert_eq!(cfg.churn.session_median, 60.0);
-        cfg.validate();
+        assert!(!cfg.fault.is_active(), "faults default off");
+        cfg.validate().expect("paper defaults must validate");
     }
 
     #[test]
@@ -234,33 +369,88 @@ mod tests {
 
     #[test]
     fn quick_test_is_consistent() {
-        ScenarioConfig::quick_test(7).validate();
+        ScenarioConfig::quick_test(7)
+            .validate()
+            .expect("quick_test must validate");
     }
 
     #[test]
     fn with_nodes_updates_subconfigs() {
         let cfg = ScenarioConfig::default().with_nodes(10);
-        cfg.validate();
+        cfg.validate().expect("with_nodes must stay consistent");
         assert_eq!(cfg.churn.n_nodes, 10);
         assert_eq!(cfg.cost.n_nodes, 10);
     }
 
-    #[test]
-    #[should_panic(expected = "churn size mismatch")]
-    fn inconsistent_sizes_rejected() {
-        let mut cfg = ScenarioConfig::default();
-        cfg.n_nodes = 30; // without updating churn/cost
-        cfg.validate();
+    /// Asserts validation fails on `field` with `fragment` in the message.
+    fn assert_rejected(cfg: &ScenarioConfig, field: &str, fragment: &str) {
+        match cfg.validate() {
+            Err(SimError::InvalidConfig { field: f, message }) => {
+                assert_eq!(f, field);
+                assert!(message.contains(fragment), "message: {message}");
+            }
+            other => panic!("expected InvalidConfig on {field}, got {other:?}"),
+        }
     }
 
     #[test]
-    #[should_panic(expected = "f out of range")]
+    fn inconsistent_sizes_rejected() {
+        let cfg = ScenarioConfig {
+            n_nodes: 30, // without updating churn/cost
+            ..ScenarioConfig::default()
+        };
+        assert_rejected(&cfg, "churn.n_nodes", "churn size mismatch");
+    }
+
+    #[test]
     fn bad_fraction_rejected() {
         let cfg = ScenarioConfig {
             adversary_fraction: 1.5,
             ..ScenarioConfig::default()
         };
-        cfg.validate();
+        assert_rejected(&cfg, "adversary_fraction", "f out of range");
+    }
+
+    #[test]
+    fn oversized_degree_rejected_with_values_in_message() {
+        let cfg = ScenarioConfig {
+            degree: 40,
+            ..ScenarioConfig::default()
+        };
+        assert_rejected(&cfg, "degree", "40 with n_nodes 40");
+    }
+
+    #[test]
+    fn inverted_pf_range_rejected() {
+        let cfg = ScenarioConfig {
+            pf_range: (100.0, 50.0),
+            ..ScenarioConfig::default()
+        };
+        assert_rejected(&cfg, "pf_range", "invalid P_f range [100, 50]");
+    }
+
+    #[test]
+    fn warmup_beyond_horizon_rejected() {
+        let mut cfg = ScenarioConfig::default();
+        cfg.warmup = cfg.churn.horizon + 1.0;
+        assert_rejected(&cfg, "warmup", "warmup must precede the horizon");
+    }
+
+    #[test]
+    fn bad_fault_config_rejected_through_scenario() {
+        let mut cfg = ScenarioConfig::default();
+        cfg.fault.drop_rate = 1.5;
+        assert_rejected(&cfg, "fault", "drop_rate");
+    }
+
+    #[test]
+    fn active_fault_config_validates() {
+        let mut cfg = ScenarioConfig::default();
+        cfg.fault.drop_rate = 0.1;
+        cfg.fault.crash_rate = 0.05;
+        cfg.fault.cheat_fraction = 0.2;
+        cfg.validate().expect("active faults are a valid scenario");
+        assert!(cfg.fault.is_active());
     }
 
     #[test]
@@ -271,23 +461,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "per-node probe RNG")]
     fn lazy_with_shared_rng_rejected() {
         let cfg = ScenarioConfig {
             probe_rng: ProbeRngMode::SharedLegacy,
             ..ScenarioConfig::default()
         };
-        cfg.validate();
+        assert_rejected(&cfg, "probe_rng", "per-node probe RNG");
     }
 
     #[test]
-    #[should_panic(expected = "replacement threshold")]
     fn lazy_with_zero_threshold_rejected() {
         let cfg = ScenarioConfig {
             neighbor_replacement_rounds: Some(0),
             ..ScenarioConfig::default()
         };
-        cfg.validate();
+        assert_rejected(&cfg, "neighbor_replacement_rounds", "threshold >= 1");
     }
 
     #[test]
@@ -297,6 +485,6 @@ mod tests {
             probe_rng: ProbeRngMode::SharedLegacy,
             ..ScenarioConfig::default()
         };
-        cfg.validate();
+        cfg.validate().expect("eager legacy mode is valid");
     }
 }

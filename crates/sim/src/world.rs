@@ -13,6 +13,7 @@ use idpa_netmodel::{ChurnModel, CostModel, NodeSchedule};
 use idpa_overlay::{node::assign_roles, NodeId, NodeKind, Topology};
 use rand::RngExt;
 
+use crate::error::SimError;
 use crate::scenario::ScenarioConfig;
 
 /// One (I, R) pair's workload.
@@ -45,10 +46,21 @@ pub struct World {
 }
 
 impl World {
-    /// Samples a world from the scenario's master seed.
+    /// Samples a world from the scenario's master seed, panicking with the
+    /// diagnostic on an invalid scenario. Library callers that want to
+    /// handle misconfiguration should use [`World::try_generate`].
     #[must_use]
     pub fn generate(cfg: &ScenarioConfig) -> Self {
-        cfg.validate();
+        match Self::try_generate(cfg) {
+            Ok(world) => world,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Samples a world, surfacing configuration and workload-feasibility
+    /// problems as [`SimError`] instead of panicking.
+    pub fn try_generate(cfg: &ScenarioConfig) -> Result<Self, SimError> {
+        cfg.validate()?;
         let streams = StreamFactory::new(cfg.seed);
 
         let topology = Topology::random(cfg.n_nodes, cfg.degree, &mut streams.stream("topology"));
@@ -77,21 +89,24 @@ impl World {
             schedules = apply_availability_attack(schedules, &attackers, cfg.churn.horizon);
         }
 
-        let pairs = Self::generate_workload(cfg, &mut streams.stream("workload"));
+        let pairs = Self::generate_workload(cfg, &mut streams.stream("workload"))?;
 
-        World {
+        Ok(World {
             kinds,
             topology,
             schedules,
             costs,
             pairs,
-        }
+        })
     }
 
     /// Samples the (I, R) pairs and assigns each of the
     /// `total_transmissions` messages to a random pair (subject to
     /// `max_connections`), at a uniform time in `[warmup, horizon]`.
-    fn generate_workload(cfg: &ScenarioConfig, rng: &mut Xoshiro256StarStar) -> Vec<PairWorkload> {
+    fn generate_workload(
+        cfg: &ScenarioConfig,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Result<Vec<PairWorkload>, SimError> {
         let mut pairs: Vec<PairWorkload> = (0..cfg.n_pairs)
             .map(|_| {
                 let initiator = NodeId(rng.random_range(0..cfg.n_nodes));
@@ -115,10 +130,12 @@ impl World {
         let mut attempts = 0usize;
         while assigned < cfg.total_transmissions {
             attempts += 1;
-            assert!(
-                attempts < cfg.total_transmissions * 100,
-                "workload assignment cannot satisfy max_connections"
-            );
+            if attempts >= cfg.total_transmissions * 100 {
+                return Err(SimError::WorkloadInfeasible {
+                    assigned,
+                    requested: cfg.total_transmissions,
+                });
+            }
             let p = rng.random_range(0..pairs.len());
             if pairs[p].times.len() >= cfg.max_connections as usize {
                 continue;
@@ -128,9 +145,11 @@ impl World {
             assigned += 1;
         }
         for p in &mut pairs {
-            p.times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // Sampled times are finite by construction; total_cmp avoids
+            // the panicking partial-order unwrap.
+            p.times.sort_by(f64::total_cmp);
         }
-        pairs
+        Ok(pairs)
     }
 
     /// Number of good nodes.
@@ -168,6 +187,23 @@ mod tests {
         assert_eq!(a.topology, b.topology);
         assert_eq!(a.schedules, b.schedules);
         assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn try_generate_surfaces_invalid_config() {
+        let mut cfg = ScenarioConfig::quick_test(1);
+        cfg.degree = cfg.n_nodes; // degree must be < N
+        let err = World::try_generate(&cfg).expect_err("must reject");
+        assert!(
+            matches!(
+                err,
+                SimError::InvalidConfig {
+                    field: "degree",
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn fingerprint(r: &RunResult) -> u64 {
 }
 
 fn run(cfg: ScenarioConfig) -> RunResult {
-    cfg.validate();
+    cfg.validate().expect("scenario must be valid");
     SimulationRun::execute(cfg)
 }
 

@@ -15,4 +15,10 @@ cargo fmt --check
 # report file) so bench rot is caught without paying for a full run.
 IDPA_BENCH_SMOKE=1 cargo bench --offline -p idpa-bench
 
+# End-to-end fault-injection smoke: one severity per fault class (crash,
+# drop+delay, cheat, bank outage) crossed with every routing strategy at
+# quick scale. The example asserts the zero-fault rows are perfectly clean,
+# so this also guards the fault layer's "off means off" contract.
+IDPA_FAULT_SMOKE=1 cargo run --release --offline --example fault_matrix
+
 echo "verify: OK"

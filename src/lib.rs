@@ -62,7 +62,7 @@ pub mod prelude {
     pub use idpa_core::utility::{InitiatorUtility, UtilityModel};
     pub use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
     pub use idpa_desim::stats::{Ecdf, OnlineStats};
-    pub use idpa_desim::{Engine, Process, SimTime};
+    pub use idpa_desim::{Engine, FaultConfig, Process, SimTime};
     pub use idpa_overlay::{NodeId, NodeKind, ProbeEstimator, Topology};
     pub use idpa_payment::{Bank, Escrow, Receipt, ReceiptBook, Token, Wallet};
     pub use idpa_sim::{RunResult, ScenarioConfig, SimulationRun, World};
