@@ -41,14 +41,14 @@ pub struct HistoryRecord {
 /// node occupying two positions on a path) so eviction of one duplicate
 /// does not lose the connection.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct ConnCounter {
+pub(crate) struct ConnCounter {
     /// `(connection, records carrying it)`, sorted by connection.
     entries: Vec<(u32, u32)>,
 }
 
 impl ConnCounter {
     /// Registers one record for `conn`.
-    fn add(&mut self, conn: u32) {
+    pub(crate) fn add(&mut self, conn: u32) {
         match self.entries.binary_search_by_key(&conn, |&(c, _)| c) {
             Ok(i) => self.entries[i].1 += 1,
             // Records almost always arrive in connection order, so the
@@ -58,7 +58,7 @@ impl ConnCounter {
     }
 
     /// Unregisters one record for `conn` (eviction).
-    fn remove(&mut self, conn: u32) {
+    pub(crate) fn remove(&mut self, conn: u32) {
         if let Ok(i) = self.entries.binary_search_by_key(&conn, |&(c, _)| c) {
             self.entries[i].1 -= 1;
             if self.entries[i].1 == 0 {
@@ -69,7 +69,7 @@ impl ConnCounter {
 
     /// Number of distinct connections `< priors` — O(1) on the hot path
     /// (every retained connection is a prior), O(log n) otherwise.
-    fn distinct_below(&self, priors: u32) -> usize {
+    pub(crate) fn distinct_below(&self, priors: u32) -> usize {
         match self.entries.last() {
             None => 0,
             Some(&(last, _)) if last < priors => self.entries.len(),
@@ -77,8 +77,115 @@ impl ConnCounter {
         }
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+/// Read access to bundle-scoped selectivity state, abstracted over the
+/// storage layout.
+///
+/// The routing layer never cares *where* a node's Table 1 records live —
+/// only what `σ(s, v)` they imply. Implementations exist for the classic
+/// global layout (`[HistoryProfile]` / `Vec<HistoryProfile>`, indexed by
+/// `NodeId`), for the sharded [`crate::arena::HistoryArena`] views, and for
+/// the worker-local [`crate::arena::BundleMirror`]. All implementations
+/// must return bit-identical values for identical record sets — the arena
+/// property suite pins this.
+pub trait HistoryRead {
+    /// Selectivity `σ(s, v)` of node `s` toward `v` after `priors`
+    /// completed connections of `bundle` — see
+    /// [`HistoryProfile::selectivity`].
+    fn selectivity_at(&self, s: NodeId, bundle: BundleId, priors: u32, v: NodeId) -> f64;
+
+    /// Position-aware selectivity restricted to records whose predecessor
+    /// matches — see [`HistoryProfile::selectivity_from`].
+    fn selectivity_from_at(
+        &self,
+        s: NodeId,
+        bundle: BundleId,
+        priors: u32,
+        predecessor: NodeId,
+        v: NodeId,
+    ) -> f64;
+}
+
+/// Write access to history storage: commit one Table 1 record for `node`.
+///
+/// Mirrors [`HistoryProfile::record`] (including the per-bundle retention
+/// bound, which is a property of the storage, not of the caller).
+pub trait HistoryWrite {
+    /// Records that on connection `connection` of `bundle`, `node` received
+    /// from `predecessor` and forwarded to `successor`.
+    fn record_hop(
+        &mut self,
+        node: NodeId,
+        bundle: BundleId,
+        connection: u32,
+        predecessor: NodeId,
+        successor: NodeId,
+    );
+}
+
+impl HistoryRead for [HistoryProfile] {
+    fn selectivity_at(&self, s: NodeId, bundle: BundleId, priors: u32, v: NodeId) -> f64 {
+        self[s.index()].selectivity(bundle, priors, v)
+    }
+
+    fn selectivity_from_at(
+        &self,
+        s: NodeId,
+        bundle: BundleId,
+        priors: u32,
+        predecessor: NodeId,
+        v: NodeId,
+    ) -> f64 {
+        self[s.index()].selectivity_from(bundle, priors, predecessor, v)
+    }
+}
+
+impl HistoryWrite for [HistoryProfile] {
+    fn record_hop(
+        &mut self,
+        node: NodeId,
+        bundle: BundleId,
+        connection: u32,
+        predecessor: NodeId,
+        successor: NodeId,
+    ) {
+        self[node.index()].record(bundle, connection, predecessor, successor);
+    }
+}
+
+impl HistoryRead for Vec<HistoryProfile> {
+    fn selectivity_at(&self, s: NodeId, bundle: BundleId, priors: u32, v: NodeId) -> f64 {
+        self.as_slice().selectivity_at(s, bundle, priors, v)
+    }
+
+    fn selectivity_from_at(
+        &self,
+        s: NodeId,
+        bundle: BundleId,
+        priors: u32,
+        predecessor: NodeId,
+        v: NodeId,
+    ) -> f64 {
+        self.as_slice()
+            .selectivity_from_at(s, bundle, priors, predecessor, v)
+    }
+}
+
+impl HistoryWrite for Vec<HistoryProfile> {
+    fn record_hop(
+        &mut self,
+        node: NodeId,
+        bundle: BundleId,
+        connection: u32,
+        predecessor: NodeId,
+        successor: NodeId,
+    ) {
+        self.as_mut_slice()
+            .record_hop(node, bundle, connection, predecessor, successor);
     }
 }
 

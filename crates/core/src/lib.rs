@@ -16,6 +16,8 @@
 //!   initiator checks before paying (§2.2, §5);
 //! * [`history`] — per-node connection history profiles `H^k(s)` (Table 1)
 //!   and the *selectivity* `σ(s,v)` derived from them (§2.3);
+//! * [`arena`] — the same history state sharded into owner-keyed,
+//!   independently lockable shards for parallel connection formation;
 //! * [`quality`] — edge quality `q(s,v) = w_s·σ(s,v) + w_a·α(v)` and path
 //!   quality (§2.3);
 //! * [`utility`] — utility models I and II for forwarders, and the
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod arena;
 pub mod bundle;
 pub mod contract;
 pub mod envelope;
@@ -47,9 +50,10 @@ pub mod quality;
 pub mod routing;
 pub mod utility;
 
+pub use arena::{BundleMirror, HistoryArena};
 pub use bundle::{BundleAccounting, BundleId};
 pub use contract::Contract;
-pub use history::HistoryProfile;
+pub use history::{HistoryProfile, HistoryRead, HistoryWrite};
 pub use quality::{EdgeQuality, Weights};
 pub use routing::{PathPolicy, RoutingStrategy};
 pub use utility::{InitiatorUtility, UtilityModel};

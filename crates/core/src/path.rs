@@ -14,7 +14,7 @@ use idpa_overlay::{NodeId, NodeKind};
 use rand::RngExt;
 
 use crate::contract::Contract;
-use crate::history::HistoryProfile;
+use crate::history::{HistoryRead, HistoryWrite};
 use crate::quality::EdgeQuality;
 use crate::routing::{
     choose_next_hop_colluding_with, choose_next_hop_with, AdversaryStrategy, PathPolicy,
@@ -67,19 +67,21 @@ impl PathOutcome {
 /// * `good_strategy` — the routing strategy selfish-rational peers use
 ///   (the experiment axis of Figs. 5–7); malicious peers always route
 ///   randomly (§2.4).
-/// * `histories` — per-node history profiles, indexed by `NodeId`; updated
-///   in place with this connection's records as the confirmation returns.
+/// * `histories` — the per-node history store (any [`HistoryRead`] +
+///   [`HistoryWrite`] layout: flat profile vector or sharded arena view);
+///   updated in place with this connection's records as the confirmation
+///   returns.
 ///
 /// The initiator always attempts at least one forwarder hop (as in Crowds,
 /// the first hop is unconditional); the coin governs every later hop.
 #[allow(clippy::too_many_arguments)]
-pub fn form_connection(
+pub fn form_connection<H: HistoryRead + HistoryWrite + ?Sized>(
     initiator: NodeId,
     connection_index: u32,
     contract: &Contract,
     priors: u32,
     view: &impl RoutingView,
-    histories: &mut [HistoryProfile],
+    histories: &mut H,
     kinds: &[NodeKind],
     quality: &EdgeQuality,
     good_strategy: RoutingStrategy,
@@ -106,13 +108,13 @@ pub fn form_connection(
 /// model is [`AdversaryStrategy::Random`]; [`AdversaryStrategy::Colluding`]
 /// strengthens the adversary per the §4 collusion discussion).
 #[allow(clippy::too_many_arguments)]
-pub fn form_connection_with_adversary(
+pub fn form_connection_with_adversary<H: HistoryRead + HistoryWrite + ?Sized>(
     initiator: NodeId,
     connection_index: u32,
     contract: &Contract,
     priors: u32,
     view: &impl RoutingView,
-    histories: &mut [HistoryProfile],
+    histories: &mut H,
     kinds: &[NodeKind],
     quality: &EdgeQuality,
     good_strategy: RoutingStrategy,
@@ -147,14 +149,14 @@ pub fn form_connection_with_adversary(
 /// mutated after all hop decisions are made, so the caches are valid for
 /// exactly the duration of the hop loop.
 #[allow(clippy::too_many_arguments)]
-pub fn form_connection_with_scratch(
+pub fn form_connection_with_scratch<H: HistoryRead + HistoryWrite + ?Sized>(
     scratch: &mut RouteScratch,
     initiator: NodeId,
     connection_index: u32,
     contract: &Contract,
     priors: u32,
     view: &impl RoutingView,
-    histories: &mut [HistoryProfile],
+    histories: &mut H,
     kinds: &[NodeKind],
     quality: &EdgeQuality,
     good_strategy: RoutingStrategy,
@@ -168,7 +170,7 @@ pub fn form_connection_with_scratch(
         contract,
         priors,
         view,
-        histories,
+        &*histories,
         kinds,
         quality,
         good_strategy,
@@ -219,14 +221,14 @@ impl PendingConnection {
     }
 
     /// Commits every node's record — the full confirmation reached `I`.
-    pub fn commit(
+    pub fn commit<H: HistoryWrite + ?Sized>(
         &self,
         bundle: crate::bundle::BundleId,
         connection_index: u32,
-        histories: &mut [HistoryProfile],
+        histories: &mut H,
     ) {
         for &(node, pred, succ) in &self.hop_records {
-            histories[node.index()].record(bundle, connection_index, pred, succ);
+            histories.record_hop(node, bundle, connection_index, pred, succ);
         }
     }
 
@@ -235,15 +237,15 @@ impl PendingConnection {
     /// swallowed by the cheater at `position` (1-based forwarder index).
     /// The cheater itself and everyone upstream (including `I`) record
     /// nothing.
-    pub fn commit_suffix(
+    pub fn commit_suffix<H: HistoryWrite + ?Sized>(
         &self,
         position: usize,
         bundle: crate::bundle::BundleId,
         connection_index: u32,
-        histories: &mut [HistoryProfile],
+        histories: &mut H,
     ) {
         for &(node, pred, succ) in self.hop_records.iter().skip(position + 1) {
-            histories[node.index()].record(bundle, connection_index, pred, succ);
+            histories.record_hop(node, bundle, connection_index, pred, succ);
         }
     }
 }
@@ -252,13 +254,13 @@ impl PendingConnection {
 /// [`PendingConnection`]. Hop decisions read `histories` but never write;
 /// RNG consumption is identical to [`form_connection_with_scratch`].
 #[allow(clippy::too_many_arguments)]
-pub fn form_connection_pending(
+pub fn form_connection_pending<H: HistoryRead + ?Sized>(
     scratch: &mut RouteScratch,
     initiator: NodeId,
     contract: &Contract,
     priors: u32,
     view: &impl RoutingView,
-    histories: &[HistoryProfile],
+    histories: &H,
     kinds: &[NodeKind],
     quality: &EdgeQuality,
     good_strategy: RoutingStrategy,
@@ -347,6 +349,7 @@ pub fn form_connection_pending(
 mod tests {
     use super::*;
     use crate::bundle::BundleId;
+    use crate::history::HistoryProfile;
     use crate::quality::Weights;
     use crate::utility::UtilityModel;
     use std::collections::HashMap;

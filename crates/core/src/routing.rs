@@ -16,7 +16,7 @@ use idpa_overlay::NodeId;
 use rand::RngExt;
 
 use crate::contract::Contract;
-use crate::history::HistoryProfile;
+use crate::history::{HistoryProfile, HistoryRead};
 use crate::quality::EdgeQuality;
 use crate::utility::{model_one_utility, model_two_utility, UtilityModel};
 
@@ -117,7 +117,7 @@ fn cont_key(from: NodeId, depth: u8, visited_fp: u64) -> u64 {
 }
 
 /// SplitMix64 finaliser (Stafford mix 13).
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -312,14 +312,16 @@ pub fn edge_quality_of(
 }
 
 /// Memoised `q(s, v)`: looks the edge up in the transmission cache and
-/// computes it via [`edge_quality_of`] on a miss.
+/// computes it from the history store on a miss. Generic over the storage
+/// layout ([`HistoryRead`]): flat profile vector, sharded arena view, or
+/// worker-local bundle mirror.
 #[allow(clippy::too_many_arguments)]
-fn edge_quality_memo(
+fn edge_quality_memo<H: HistoryRead + ?Sized>(
     s: NodeId,
     v: NodeId,
     contract: &Contract,
     priors: u32,
-    histories: &[HistoryProfile],
+    histories: &H,
     view: &impl RoutingView,
     quality: &EdgeQuality,
     scratch: &mut RouteScratch,
@@ -328,7 +330,8 @@ fn edge_quality_memo(
     if let Some(&q) = scratch.edge_q.get(&key) {
         return q;
     }
-    let q = edge_quality_of(s, v, contract, priors, &histories[s.index()], view, quality);
+    let sigma = histories.selectivity_at(s, contract.bundle, priors, v);
+    let q = quality.edge(sigma, view.availability(s, v));
     scratch.edge_q.insert(key, q);
     q
 }
@@ -346,13 +349,13 @@ fn edge_quality_memo(
 /// [`RouteScratch::begin_transmission`] when the snapshot changes.
 #[must_use]
 #[allow(clippy::too_many_arguments)]
-pub fn choose_next_hop_with(
+pub fn choose_next_hop_with<H: HistoryRead + ?Sized>(
     scratch: &mut RouteScratch,
     s: NodeId,
     strategy: RoutingStrategy,
     contract: &Contract,
     priors: u32,
-    histories: &[HistoryProfile],
+    histories: &H,
     view: &impl RoutingView,
     quality: &EdgeQuality,
     rng: &mut Xoshiro256StarStar,
@@ -428,12 +431,12 @@ pub fn choose_next_hop_with(
 /// and call the `_with` variant instead.
 #[must_use]
 #[allow(clippy::too_many_arguments)]
-pub fn choose_next_hop(
+pub fn choose_next_hop<H: HistoryRead + ?Sized>(
     s: NodeId,
     strategy: RoutingStrategy,
     contract: &Contract,
     priors: u32,
-    histories: &[HistoryProfile],
+    histories: &H,
     view: &impl RoutingView,
     quality: &EdgeQuality,
     rng: &mut Xoshiro256StarStar,
@@ -517,14 +520,14 @@ pub fn choose_next_hop_colluding(
 /// keeping model II's quality on the same `[0, 1]` scale as model I's.
 #[must_use]
 #[allow(clippy::too_many_arguments)]
-pub fn continuation_quality(
+pub fn continuation_quality<H: HistoryRead + ?Sized>(
     s: NodeId,
     j: NodeId,
     q_first_edge: f64,
     lookahead: u8,
     contract: &Contract,
     priors: u32,
-    histories: &[HistoryProfile],
+    histories: &H,
     view: &impl RoutingView,
     quality: &EdgeQuality,
 ) -> f64 {
@@ -549,7 +552,7 @@ pub fn continuation_quality(
 /// transmission.
 #[must_use]
 #[allow(clippy::too_many_arguments)]
-pub fn continuation_quality_with(
+pub fn continuation_quality_with<H: HistoryRead + ?Sized>(
     scratch: &mut RouteScratch,
     s: NodeId,
     j: NodeId,
@@ -557,7 +560,7 @@ pub fn continuation_quality_with(
     lookahead: u8,
     contract: &Contract,
     priors: u32,
-    histories: &[HistoryProfile],
+    histories: &H,
     view: &impl RoutingView,
     quality: &EdgeQuality,
 ) -> f64 {
@@ -592,12 +595,12 @@ pub fn continuation_quality_with(
 /// already excludes (as a set — order is irrelevant), so identical states
 /// reached through different branches are computed once per transmission.
 #[allow(clippy::too_many_arguments)]
-fn continuation_rec(
+fn continuation_rec<H: HistoryRead + ?Sized>(
     from: NodeId,
     depth: u8,
     contract: &Contract,
     priors: u32,
-    histories: &[HistoryProfile],
+    histories: &H,
     view: &impl RoutingView,
     quality: &EdgeQuality,
     scratch: &mut RouteScratch,

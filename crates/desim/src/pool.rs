@@ -77,6 +77,31 @@ where
         .collect()
 }
 
+/// Maps `f` over explicit work items on `threads` workers, returning
+/// results in item order.
+///
+/// The shard-aware sibling of [`parallel_map`]: callers hand over a slice
+/// of prepared work items — e.g. connection-formation bundles that each
+/// carry the set of history shards their initiators map to — and `f`
+/// receives `(index, &item)`. Distribution is the same dynamic work queue,
+/// so the result vector is **bit-identical at any thread count**; only the
+/// wall-clock assignment of items to workers varies. Items whose shard
+/// sets are disjoint run concurrently without contending on any shared
+/// lock; overlapping items serialize inside `f` on the shards themselves
+/// (acquired in deterministic ascending order), never in the queue.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the scope joins.
+pub fn parallel_map_items<I, T, F>(threads: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    parallel_map(threads, items.len(), |i| f(i, &items[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +147,25 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn items_map_matches_index_map_at_any_thread_count() {
+        let items: Vec<u64> = (0..41).map(|i| i * 3 + 1).collect();
+        let seq = parallel_map_items(1, &items, |i, &x| x * 7 + i as u64);
+        assert_eq!(seq.len(), items.len());
+        for threads in [2, 4, 9] {
+            assert_eq!(
+                parallel_map_items(threads, &items, |i, &x| x * 7 + i as u64),
+                seq
+            );
+        }
+    }
+
+    #[test]
+    fn items_map_handles_empty_slice() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = parallel_map_items(4, &items, |_, &x| x);
+        assert!(out.is_empty());
     }
 }

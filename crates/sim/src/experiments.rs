@@ -40,6 +40,10 @@ pub struct Options {
     /// Fault injection applied to every run (`--fault-*`; all-zero rates =
     /// off, in which case runs are bit-identical to a fault-free build).
     pub fault: FaultConfig,
+    /// History-arena shard count (`--history-shards`; 0 = one shard per
+    /// worker thread). Results are identical at any value — sharding
+    /// partitions storage without changing record order.
+    pub history_shards: usize,
 }
 
 impl Default for Options {
@@ -51,6 +55,7 @@ impl Default for Options {
             threads: 0,
             probe_mode: ProbeMode::Lazy,
             fault: FaultConfig::default(),
+            history_shards: 0,
         }
     }
 }
@@ -68,6 +73,7 @@ impl Options {
         ScenarioConfig {
             probe_mode: self.probe_mode,
             fault: self.fault,
+            history_shards: self.history_shards,
             ..base
         }
     }

@@ -1,0 +1,449 @@
+//! Parallel connection-bundle formation over the sharded history arena.
+//!
+//! The event-loop runner interleaves every pair's transmissions on one
+//! timeline; this module is the throughput-oriented alternative for
+//! studies that only need the formed bundles: it forms each (I, R) pair's
+//! whole connection bundle independently, so disjoint initiator sets
+//! proceed in parallel on the deterministic pool
+//! ([`idpa_desim::pool::parallel_map_items`]).
+//!
+//! # Why this parallelism is safe (and bit-identical)
+//!
+//! * **History is bundle-scoped and owner-private** (§2.3): a routing
+//!   decision for bundle `p` reads only selectivity *for bundle `p`*, and
+//!   bundle `p`'s records are written only by pair `p`'s own
+//!   transmissions. A worker forming pair `p` therefore serves every
+//!   history read from its private [`BundleMirror`] — value-identical to
+//!   reading the shared store — and takes shard locks only to commit.
+//! * **Commits are deterministic**: a worker commits each formed path to
+//!   its mirror immediately (feeding the next connection's reads) and
+//!   flushes the finished bundle into the shared [`HistoryArena`] as one
+//!   bulk [`HistoryArena::absorb_mirror`] per pair, which locks the
+//!   covering shards in ascending order keyed by `NodeId`.
+//!   Per-`(node, bundle)` record order is the pair's own connection
+//!   order, independent of how workers interleave.
+//! * **Everything else a worker reads is immutable**: topology, analytic
+//!   churn schedules, costs, and a per-pair RNG stream keyed by position
+//!   (`stream_indexed2("formation/path", pair, 0)`), never by thread.
+//!
+//! Consequently [`form_bundles_sharded`] returns the same outcomes for
+//! every `(shard count, thread count)` combination, equal to the
+//! sequential [`form_bundles_global`] baseline over a flat
+//! `Vec<HistoryProfile>` — pinned by `tests/shard_invariance.rs`.
+
+use std::cell::RefCell;
+
+use idpa_core::arena::{BundleMirror, HistoryArena};
+use idpa_core::bundle::BundleId;
+use idpa_core::contract::Contract;
+use idpa_core::history::{HistoryProfile, HistoryRead};
+use idpa_core::path::{form_connection_pending, PathOutcome, PendingConnection};
+use idpa_core::quality::{EdgeQuality, Weights};
+use idpa_core::routing::{RouteScratch, RoutingView};
+use idpa_desim::pool::parallel_map_items;
+use idpa_desim::rng::StreamFactory;
+use idpa_overlay::NodeId;
+
+use crate::scenario::ScenarioConfig;
+use crate::world::World;
+
+/// The formed connection bundle of one (I, R) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairFormation {
+    /// Index of the pair in `world.pairs`.
+    pub pair: usize,
+    /// One outcome per scheduled transmission, in connection order.
+    pub outcomes: Vec<PathOutcome>,
+}
+
+/// One unit of pool work: the pairs whose initiators share a home shard,
+/// carrying the shard set so the scheduler (and the reader of a trace)
+/// knows which arena locks the item's commits will touch.
+#[derive(Debug, Clone)]
+pub struct FormationItem {
+    /// Arena shards hosting this item's initiators (here always one —
+    /// items are grouped by initiator home shard).
+    pub shards: Vec<usize>,
+    /// Pair indices formed by this item, in pair order.
+    pub pairs: Vec<usize>,
+}
+
+/// Groups pairs by the home shard of their initiator, ascending by shard
+/// id, preserving pair order within each item. The grouping only affects
+/// scheduling — per-pair results are independent of it.
+#[must_use]
+pub fn partition_pairs(world: &World, arena: &HistoryArena) -> Vec<FormationItem> {
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); arena.shard_count()];
+    for (pair, wl) in world.pairs.iter().enumerate() {
+        buckets[arena.shard_of(wl.initiator)].push(pair);
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, pairs)| !pairs.is_empty())
+        .map(|(shard, pairs)| FormationItem {
+            shards: vec![shard],
+            pairs,
+        })
+        .collect()
+}
+
+/// Liveness snapshot with per-query memoization: routing's lookahead
+/// revisits the same nodes many times per connection, so each
+/// `is_up(now)` binary search is answered once and cached until the
+/// snapshot time changes.
+struct LiveCache {
+    /// 0 = unknown, 1 = up, 2 = down, per node.
+    state: Vec<u8>,
+    touched: Vec<usize>,
+}
+
+/// Routing view of one pair's formation: topology neighbors filtered by
+/// the analytic churn schedule at the connection's scheduled time, the
+/// schedule's long-run availability as `α`, and the world cost model.
+struct FormationView<'w> {
+    world: &'w World,
+    avail: &'w [f64],
+    now: idpa_desim::SimTime,
+    live: RefCell<LiveCache>,
+}
+
+impl<'w> FormationView<'w> {
+    fn new(world: &'w World, avail: &'w [f64]) -> Self {
+        FormationView {
+            world,
+            avail,
+            now: idpa_desim::SimTime::ZERO,
+            live: RefCell::new(LiveCache {
+                state: vec![0; world.schedules.len()],
+                touched: Vec::new(),
+            }),
+        }
+    }
+
+    /// Moves the snapshot to a new time, invalidating the liveness cache.
+    fn set_now(&mut self, now: f64) {
+        self.now = idpa_desim::SimTime::new(now);
+        let cache = self.live.get_mut();
+        for &i in &cache.touched {
+            cache.state[i] = 0;
+        }
+        cache.touched.clear();
+    }
+
+    fn is_up(&self, v: NodeId) -> bool {
+        let mut cache = self.live.borrow_mut();
+        let i = v.index();
+        if cache.state[i] == 0 {
+            cache.state[i] = if self.world.schedules[i].is_up(self.now) {
+                1
+            } else {
+                2
+            };
+            cache.touched.push(i);
+        }
+        cache.state[i] == 1
+    }
+}
+
+impl RoutingView for FormationView<'_> {
+    fn live_neighbors(&self, s: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.live_neighbors_into(s, &mut out);
+        out
+    }
+
+    fn live_neighbors_into(&self, s: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            self.world
+                .topology
+                .neighbors(s)
+                .iter()
+                .copied()
+                .filter(|&v| self.is_up(v)),
+        );
+    }
+
+    fn availability(&self, _s: NodeId, v: NodeId) -> f64 {
+        self.avail[v.index()]
+    }
+
+    fn transmission_cost(&self, s: NodeId, v: NodeId) -> f64 {
+        self.world.costs.transmission_cost(s.index(), v.index())
+    }
+
+    fn participation_cost(&self, s: NodeId) -> f64 {
+        let _ = s;
+        self.world.costs.participation_cost()
+    }
+}
+
+/// Read adapter over a `RefCell`-guarded mutable history store, so one
+/// store can serve immutable reads during formation and mutable commits
+/// between connections. Both the global baseline and the sharded workers
+/// route reads through this adapter, keeping the per-query overhead
+/// identical across the arms the bench compares.
+struct CellReads<'a, 'm, H: ?Sized> {
+    cell: &'a RefCell<&'m mut H>,
+}
+
+impl<H: HistoryRead + ?Sized> HistoryRead for CellReads<'_, '_, H> {
+    fn selectivity_at(&self, s: NodeId, bundle: BundleId, priors: u32, v: NodeId) -> f64 {
+        self.cell.borrow().selectivity_at(s, bundle, priors, v)
+    }
+
+    fn selectivity_from_at(
+        &self,
+        s: NodeId,
+        bundle: BundleId,
+        priors: u32,
+        predecessor: NodeId,
+        v: NodeId,
+    ) -> f64 {
+        self.cell
+            .borrow()
+            .selectivity_from_at(s, bundle, priors, predecessor, v)
+    }
+}
+
+/// Shared per-run inputs, computed once and read by every worker.
+struct FormationCtx<'w> {
+    world: &'w World,
+    cfg: &'w ScenarioConfig,
+    avail: Vec<f64>,
+    streams: StreamFactory,
+    quality: EdgeQuality,
+}
+
+impl<'w> FormationCtx<'w> {
+    fn new(world: &'w World, cfg: &'w ScenarioConfig) -> Self {
+        FormationCtx {
+            world,
+            cfg,
+            // α per node from the analytic schedule, precomputed so the
+            // per-edge quality read is one indexed load.
+            avail: world.schedules.iter().map(|s| s.availability()).collect(),
+            streams: StreamFactory::new(cfg.seed),
+            quality: EdgeQuality::new(Weights::new(cfg.weights.0, cfg.weights.1)),
+        }
+    }
+
+    /// Forms every connection of one pair, reading history from `reads`
+    /// and handing each pending path to `commit`. The RNG stream is keyed
+    /// by pair position, so formation is independent of scheduling.
+    fn form_pair<H, F>(
+        &self,
+        pair: usize,
+        scratch: &mut RouteScratch,
+        reads: &H,
+        mut commit: F,
+    ) -> PairFormation
+    where
+        H: HistoryRead + ?Sized,
+        F: FnMut(&PendingConnection, u32),
+    {
+        let wl = &self.world.pairs[pair];
+        let bundle = BundleId(pair as u64);
+        let contract = Contract::from_tau(bundle, wl.responder, wl.pf, self.cfg.tau);
+        let mut rng = self
+            .streams
+            .stream_indexed2("formation/path", pair as u64, 0);
+        let mut view = FormationView::new(self.world, &self.avail);
+        let mut outcomes = Vec::with_capacity(wl.times.len());
+        for (conn, &t) in wl.times.iter().enumerate() {
+            view.set_now(t);
+            let pending = form_connection_pending(
+                scratch,
+                wl.initiator,
+                &contract,
+                conn as u32,
+                &view,
+                reads,
+                &self.world.kinds,
+                &self.quality,
+                self.cfg.good_strategy,
+                self.cfg.adversary_strategy,
+                &self.cfg.policy,
+                &mut rng,
+            );
+            commit(&pending, conn as u32);
+            outcomes.push(pending.into_outcome());
+        }
+        PairFormation { pair, outcomes }
+    }
+}
+
+/// The pre-sharding formation pathway, reproduced exactly: connections
+/// are formed **one at a time in global transmission-time order** — the
+/// event-loop runner's order, interleaving every pair on one timeline —
+/// against the flat `Vec<HistoryProfile>`. This is the baseline the
+/// `history_shard` bench compares the sharded executor against: same
+/// storage, same access pattern, same schedule the system used before
+/// bundle-grouped formation existed.
+///
+/// Interleaving does not change any formed path (each connection depends
+/// only on its own bundle's earlier connections and its pair's private
+/// RNG stream, both of which are ordered within the pair), but it does
+/// destroy locality: consecutive connections belong to different pairs in
+/// different regions of the overlay, so each one re-touches a cold slice
+/// of the 10k-profile vector and its heap-scattered per-bundle indexes.
+#[must_use]
+pub fn form_bundles_interleaved(
+    world: &World,
+    cfg: &ScenarioConfig,
+    histories: &mut Vec<HistoryProfile>,
+) -> Vec<PairFormation> {
+    let ctx = FormationCtx::new(world, cfg);
+    let mut scratch = RouteScratch::new();
+
+    // The runner's event order: every (pair, connection) on one timeline,
+    // ascending by scheduled time. Workload times are ascending within a
+    // pair, so per-pair connection order (and thus RNG stream position
+    // and `priors`) is preserved under the sort.
+    let mut events: Vec<(f64, usize, u32)> = world
+        .pairs
+        .iter()
+        .enumerate()
+        .flat_map(|(pair, wl)| {
+            wl.times
+                .iter()
+                .enumerate()
+                .map(move |(conn, &t)| (t, pair, conn as u32))
+        })
+        .collect();
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let mut rngs: Vec<_> = (0..world.pairs.len())
+        .map(|p| ctx.streams.stream_indexed2("formation/path", p as u64, 0))
+        .collect();
+    let mut outcomes: Vec<Vec<PathOutcome>> = world
+        .pairs
+        .iter()
+        .map(|wl| Vec::with_capacity(wl.times.len()))
+        .collect();
+    let mut view = FormationView::new(world, &ctx.avail);
+    let cell = RefCell::new(histories);
+    for (t, pair, conn) in events {
+        let wl = &world.pairs[pair];
+        let bundle = BundleId(pair as u64);
+        let contract = Contract::from_tau(bundle, wl.responder, wl.pf, cfg.tau);
+        view.set_now(t);
+        let reads = CellReads { cell: &cell };
+        let pending = form_connection_pending(
+            &mut scratch,
+            wl.initiator,
+            &contract,
+            conn,
+            &view,
+            &reads,
+            &world.kinds,
+            &ctx.quality,
+            cfg.good_strategy,
+            cfg.adversary_strategy,
+            &cfg.policy,
+            &mut rngs[pair],
+        );
+        pending.commit(bundle, conn, &mut **cell.borrow_mut());
+        outcomes[pair].push(pending.into_outcome());
+    }
+    outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(pair, outcomes)| PairFormation { pair, outcomes })
+        .collect()
+}
+
+/// Sequential pair-grouped formation against a flat `Vec<HistoryProfile>`
+/// — the pre-sharding storage layout with the new bundle-at-a-time
+/// schedule. Sits between [`form_bundles_interleaved`] (old schedule, old
+/// storage) and [`form_bundles_sharded`] (new schedule, sharded storage),
+/// isolating how much of the executor's win comes from grouping alone.
+#[must_use]
+pub fn form_bundles_global(
+    world: &World,
+    cfg: &ScenarioConfig,
+    histories: &mut Vec<HistoryProfile>,
+) -> Vec<PairFormation> {
+    let ctx = FormationCtx::new(world, cfg);
+    let mut scratch = RouteScratch::new();
+    let cell = RefCell::new(histories);
+    (0..world.pairs.len())
+        .map(|pair| {
+            let bundle = BundleId(pair as u64);
+            let reads = CellReads { cell: &cell };
+            ctx.form_pair(pair, &mut scratch, &reads, |pending, conn| {
+                pending.commit(bundle, conn, &mut **cell.borrow_mut());
+            })
+        })
+        .collect()
+}
+
+/// Parallel sharded formation: work items (pairs grouped by initiator
+/// home shard) run on `threads` pool workers; each worker serves every
+/// history read from its private [`BundleMirror`], commits formed paths
+/// to the mirror as it goes, and flushes the finished bundle into the
+/// shared arena in one bulk [`HistoryArena::absorb_mirror`] commit per
+/// pair (covering shards locked in ascending order). Bit-identical to
+/// [`form_bundles_global`] at every `(shard, thread)` combination — see
+/// the module docs.
+#[must_use]
+pub fn form_bundles_sharded(
+    world: &World,
+    cfg: &ScenarioConfig,
+    arena: &HistoryArena,
+    threads: usize,
+) -> Vec<PairFormation> {
+    let ctx = FormationCtx::new(world, cfg);
+    let items = partition_pairs(world, arena);
+    let formed: Vec<Vec<PairFormation>> = parallel_map_items(threads, &items, |_, item| {
+        let mut scratch = RouteScratch::new();
+        let mut mirror = BundleMirror::new(BundleId(0), cfg.history_capacity);
+        item.pairs
+            .iter()
+            .map(|&pair| {
+                let bundle = BundleId(pair as u64);
+                mirror.reset(bundle);
+                let formed = {
+                    let cell = RefCell::new(&mut mirror);
+                    let reads = CellReads { cell: &cell };
+                    ctx.form_pair(pair, &mut scratch, &reads, |pending, conn| {
+                        pending.commit(bundle, conn, &mut **cell.borrow_mut());
+                    })
+                };
+                // One bulk commit per pair: the finished mirror cells move
+                // into the arena wholesale (covering shards locked in
+                // ascending order), identical to committing every record
+                // under `lock_path` as it formed.
+                arena.absorb_mirror(&mut mirror);
+                formed
+            })
+            .collect()
+    });
+    let mut by_pair: Vec<Option<PairFormation>> = world.pairs.iter().map(|_| None).collect();
+    for pf in formed.into_iter().flatten() {
+        let slot = pf.pair;
+        by_pair[slot] = Some(pf);
+    }
+    by_pair
+        .into_iter()
+        .map(|o| o.expect("every pair is formed by exactly one item"))
+        .collect()
+}
+
+/// Convenience wrapper: builds an arena from the scenario's resolved
+/// shard count, forms all bundles on `threads` workers, and returns both.
+#[must_use]
+pub fn form_bundles(
+    world: &World,
+    cfg: &ScenarioConfig,
+    threads: usize,
+) -> (HistoryArena, Vec<PairFormation>) {
+    let arena = HistoryArena::with_capacity(
+        cfg.n_nodes,
+        cfg.resolved_history_shards(),
+        cfg.history_capacity,
+    );
+    let formed = form_bundles_sharded(world, cfg, &arena, threads);
+    (arena, formed)
+}

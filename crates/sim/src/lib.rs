@@ -12,6 +12,9 @@
 //! * [`world`] — the sampled static world (topology, churn trace, costs,
 //!   roles, workload);
 //! * [`runner`] — the event-driven run (probe events + transmissions);
+//! * [`formation`] — parallel per-pair bundle formation over the sharded
+//!   history arena (throughput studies; bit-identical at any shard or
+//!   thread count);
 //! * [`experiments`] — one driver per paper table/figure plus ablations;
 //! * [`report`] — markdown/CSV table emission;
 //! * [`chart`] — terminal line/CDF charts so regenerated figures are
@@ -19,17 +22,22 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(clippy::unwrap_used)]
+#![deny(clippy::unwrap_used)]
 
 pub mod chart;
 pub mod error;
 pub mod experiments;
+pub mod formation;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod world;
 
 pub use error::SimError;
+pub use formation::{
+    form_bundles, form_bundles_global, form_bundles_interleaved, form_bundles_sharded,
+    PairFormation,
+};
 pub use idpa_desim::FaultConfig;
 pub use runner::{RunResult, SimulationRun};
 pub use scenario::{ProbeMode, ProbeRngMode, ScenarioConfig};

@@ -73,6 +73,13 @@ fn main() -> ExitCode {
                 };
                 opts.out_dir = v.into();
             }
+            "--history-shards" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--history-shards needs a non-negative integer (0 = auto)");
+                    return ExitCode::FAILURE;
+                };
+                opts.history_shards = v;
+            }
             "--probe-mode" => {
                 opts.probe_mode = match iter.next().map(String::as_str) {
                     Some("eager") => idpa_sim::ProbeMode::Eager,
@@ -119,7 +126,10 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: idpa-sim [EXPERIMENT ...] [--reps N] [--threads N] [--quick] \
-                     [--probe-mode eager|lazy] [--out DIR] [--list] [FAULT FLAGS]\n\n\
+                     [--probe-mode eager|lazy] [--history-shards N] [--out DIR] [--list] \
+                     [FAULT FLAGS]\n\n\
+                     --history-shards N            history-arena shard count (0 = one per\n\
+                     \u{20}                             worker thread; results identical at any N)\n\n\
                      fault injection (all rates default to 0 = off; any nonzero rate\n\
                      activates the deterministic fault plan):\n  \
                      --fault-crash P               per-hop forwarder crash probability\n  \

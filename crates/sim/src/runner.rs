@@ -28,9 +28,9 @@
 use std::collections::{BTreeSet, HashSet};
 
 use idpa_core::adversary::IntersectionAttack;
+use idpa_core::arena::HistoryArena;
 use idpa_core::bundle::{BundleAccounting, BundleId};
 use idpa_core::contract::Contract;
-use idpa_core::history::HistoryProfile;
 use idpa_core::metrics::{self, DeliveryTracker, ReformationTracker};
 use idpa_core::path::{form_connection_pending, form_connection_with_scratch, PendingConnection};
 use idpa_core::quality::{EdgeQuality, Weights};
@@ -229,7 +229,11 @@ pub struct SimulationRun {
     cfg: ScenarioConfig,
     world: World,
     probes: ProbeState,
-    histories: Vec<HistoryProfile>,
+    /// Owner-keyed sharded history store. The event loop is sequential, so
+    /// it uses the zero-lock [`HistoryArena::exclusive`] view — the arena
+    /// partitions storage without changing values, keeping runs
+    /// bit-identical at every `--history-shards` count.
+    histories: HistoryArena,
     bundles: Vec<BundleAccounting>,
     trackers: Vec<ReformationTracker>,
     attacks: Vec<IntersectionAttack>,
@@ -281,12 +285,11 @@ impl SimulationRun {
                 streams.clone(),
             )),
         };
-        let histories = (0..cfg.n_nodes)
-            .map(|i| match cfg.history_capacity {
-                Some(cap) => HistoryProfile::with_capacity(NodeId(i), cap),
-                None => HistoryProfile::new(NodeId(i)),
-            })
-            .collect();
+        let histories = HistoryArena::with_capacity(
+            cfg.n_nodes,
+            cfg.resolved_history_shards(),
+            cfg.history_capacity,
+        );
         let n_pairs = world.pairs.len();
         let (crashed_until, fault) = if cfg.fault.is_active() {
             let plan = FaultPlan::new(cfg.fault, streams.clone(), cfg.n_nodes, cfg.churn.horizon);
@@ -477,7 +480,7 @@ impl SimulationRun {
             &contract,
             priors,
             &view,
-            &mut self.histories,
+            &mut self.histories.exclusive(),
             &self.world.kinds,
             &self.quality,
             self.cfg.good_strategy,
@@ -542,7 +545,7 @@ impl SimulationRun {
             &contract,
             priors,
             &view,
-            &self.histories,
+            &self.histories.exclusive(),
             &self.world.kinds,
             &self.quality,
             self.cfg.good_strategy,
@@ -614,7 +617,12 @@ impl SimulationRun {
                 // §2.2: no confirmation, no history — except the suffix a
                 // swallowed confirmation actually traversed.
                 if let AttemptFailure::ConfirmationDropped(p) = kind {
-                    pending.commit_suffix(p, contract.bundle, conn, &mut self.histories);
+                    pending.commit_suffix(
+                        p,
+                        contract.bundle,
+                        conn,
+                        &mut self.histories.exclusive(),
+                    );
                 }
                 if attempt < fr.plan.config().max_retries {
                     fr.delivery.record_retry();
@@ -650,7 +658,7 @@ impl SimulationRun {
     ) {
         let wl = &self.world.pairs[pair];
         let bundle = BundleId(pair as u64);
-        pending.commit(bundle, conn, &mut self.histories);
+        pending.commit(bundle, conn, &mut self.histories.exclusive());
         let outcome = pending.into_outcome();
         self.connections += 1;
         self.initiator_costs[pair] += outcome.initiator_cost;

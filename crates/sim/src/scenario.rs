@@ -99,6 +99,12 @@ pub struct ScenarioConfig {
     /// Deterministic fault injection (all-zero rates = faults off, and the
     /// run is bit-identical to a build without the fault layer).
     pub fault: FaultConfig,
+    /// Number of owner-keyed shards the history arena is split into
+    /// (`--history-shards`). `0` (the default) resolves to the worker
+    /// thread count; any value is clamped to `1..=n_nodes`. Results are
+    /// bit-identical at every shard count — sharding partitions storage
+    /// without changing per-`(node, bundle)` record order.
+    pub history_shards: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -143,6 +149,7 @@ impl Default for ScenarioConfig {
             probe_mode: ProbeMode::Lazy,
             probe_rng: ProbeRngMode::PerNode,
             fault: FaultConfig::default(),
+            history_shards: 0,
         }
     }
 }
@@ -341,6 +348,19 @@ impl ScenarioConfig {
         self.cost.n_nodes = n;
         self
     }
+
+    /// The effective history-arena shard count: `history_shards`, with `0`
+    /// resolving to the default worker thread count, clamped to
+    /// `1..=n_nodes`.
+    #[must_use]
+    pub fn resolved_history_shards(&self) -> usize {
+        let requested = if self.history_shards == 0 {
+            idpa_desim::pool::default_threads()
+        } else {
+            self.history_shards
+        };
+        requested.clamp(1, self.n_nodes.max(1))
+    }
 }
 
 #[cfg(test)]
@@ -451,6 +471,23 @@ mod tests {
         cfg.fault.cheat_fraction = 0.2;
         cfg.validate().expect("active faults are a valid scenario");
         assert!(cfg.fault.is_active());
+    }
+
+    #[test]
+    fn history_shards_resolve_and_clamp() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.history_shards, 0, "default is auto");
+        assert!(cfg.resolved_history_shards() >= 1);
+        let explicit = ScenarioConfig {
+            history_shards: 7,
+            ..ScenarioConfig::default()
+        };
+        assert_eq!(explicit.resolved_history_shards(), 7);
+        let oversized = ScenarioConfig {
+            history_shards: 10_000,
+            ..ScenarioConfig::default()
+        };
+        assert_eq!(oversized.resolved_history_shards(), 40, "clamped to N");
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Pins for the sharded history arena (PR 4).
+//!
+//! Two independent guarantees:
+//!
+//! 1. **The event-loop runner is shard-invariant** — the arena partitions
+//!    storage without changing values, so runs reproduce the PR 3
+//!    fingerprints at `--history-shards 1` *and at every other shard
+//!    count*, including under active fault plans.
+//! 2. **The parallel formation executor is layout- and
+//!    schedule-invariant** — sharded formation over the arena (any shard
+//!    or thread count) forms exactly the bundles the sequential
+//!    global-`Vec<HistoryProfile>` baseline forms, and commits exactly
+//!    the records the baseline commits.
+
+use idpa_core::bundle::BundleId;
+use idpa_core::history::HistoryProfile;
+use idpa_core::HistoryArena;
+use idpa_desim::FaultConfig;
+use idpa_sim::{
+    form_bundles_global, form_bundles_sharded, ProbeRngMode, RunResult, ScenarioConfig,
+    SimulationRun, World,
+};
+
+/// FNV-1a over the pre-fault-layer result fields (bit patterns) — the
+/// same fingerprint `tests/fault_injection.rs` pins, duplicated here so
+/// this suite stands alone.
+fn fingerprint(r: &RunResult) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bits: u64| {
+        for b in bits.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for v in r
+        .good_payoffs
+        .iter()
+        .chain(&r.malicious_payoffs)
+        .chain(&r.node_totals)
+        .chain([
+            &r.avg_good_payoff,
+            &r.avg_forwarder_set,
+            &r.avg_path_length,
+            &r.avg_path_quality,
+            &r.routing_efficiency,
+            &r.new_edge_fraction,
+            &r.reformation_rate,
+            &r.attack_exposure_rate,
+            &r.avg_anonymity_degree,
+        ])
+    {
+        eat(v.to_bits());
+    }
+    eat(r.connections);
+    h
+}
+
+fn base(seed: u64, replacement: Option<u64>) -> ScenarioConfig {
+    ScenarioConfig {
+        neighbor_replacement_rounds: replacement,
+        adversary_fraction: 0.2,
+        probe_rng: ProbeRngMode::PerNode,
+        ..ScenarioConfig::quick_test(seed)
+    }
+}
+
+fn run(cfg: ScenarioConfig) -> RunResult {
+    cfg.validate().expect("scenario must be valid");
+    SimulationRun::execute(cfg)
+}
+
+/// `(seed, replacement, fingerprint, avg_good_payoff bits)` captured on
+/// the PR 3 build — identical constants to `tests/fault_injection.rs`.
+const BASELINE: [(u64, Option<u64>, u64, u64); 6] = [
+    (1, None, 0xd51afc10a8e3c367, 0x40730bffb79ce582),
+    (1, Some(3), 0x172c5eda5998b960, 0x406d05c4bfa7690d),
+    (7, None, 0xb68cfd87107b7817, 0x4071c00b9e48bb2a),
+    (7, Some(3), 0x604446ccd329adb4, 0x406ddf312fe95040),
+    (42, None, 0x8e362e89db0da04a, 0x4074a18aa74a4ec1),
+    (42, Some(3), 0x4a5899e5e47b947e, 0x4072fbb62ff024b6),
+];
+
+#[test]
+fn runner_reproduces_pr3_fingerprints_at_every_shard_count() {
+    for (seed, replacement, expect_fp, expect_avg) in BASELINE {
+        for shards in [1usize, 4, 16] {
+            let r = run(ScenarioConfig {
+                history_shards: shards,
+                ..base(seed, replacement)
+            });
+            assert_eq!(
+                fingerprint(&r),
+                expect_fp,
+                "seed {seed} repl {replacement:?} shards {shards}: drifted from PR 3 baseline"
+            );
+            assert_eq!(r.avg_good_payoff.to_bits(), expect_avg);
+        }
+    }
+}
+
+#[test]
+fn runner_results_are_bit_identical_across_shard_counts_under_faults() {
+    let fault = FaultConfig {
+        crash_rate: 0.03,
+        drop_rate: 0.08,
+        delay_rate: 0.2,
+        cheat_fraction: 0.25,
+        ..FaultConfig::default()
+    };
+    for seed in [1u64, 7] {
+        let mut cfg = base(seed, Some(3));
+        cfg.fault = fault;
+        let reference = run(ScenarioConfig {
+            history_shards: 1,
+            ..cfg
+        });
+        for shards in [2usize, 3, 8, 20] {
+            let r = run(ScenarioConfig {
+                history_shards: shards,
+                ..cfg
+            });
+            assert_eq!(
+                reference, r,
+                "seed {seed}: faulty run diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+/// Builds the formation scenario: quick-test scale with an adversary
+/// share so both routing strategies are exercised.
+fn formation_cfg(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        adversary_fraction: 0.2,
+        ..ScenarioConfig::quick_test(seed)
+    }
+}
+
+fn fresh_profiles(cfg: &ScenarioConfig) -> Vec<HistoryProfile> {
+    (0..cfg.n_nodes)
+        .map(|i| match cfg.history_capacity {
+            Some(cap) => HistoryProfile::with_capacity(idpa_overlay::NodeId(i), cap),
+            None => HistoryProfile::new(idpa_overlay::NodeId(i)),
+        })
+        .collect()
+}
+
+/// Asserts the arena holds exactly the records the flat profile vector
+/// holds, for every `(node, bundle)` cell.
+fn assert_same_records(
+    arena: &HistoryArena,
+    profiles: &[HistoryProfile],
+    n_pairs: usize,
+    label: &str,
+) {
+    for (i, profile) in profiles.iter().enumerate() {
+        for p in 0..n_pairs {
+            let bundle = BundleId(p as u64);
+            assert_eq!(
+                arena.records(idpa_overlay::NodeId(i), bundle),
+                profile.bundle_records(bundle).to_vec(),
+                "{label}: node {i} bundle {p} records diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_formation_matches_global_at_every_shard_thread_combo() {
+    for seed in [11u64, 29] {
+        let cfg = formation_cfg(seed);
+        cfg.validate().expect("valid formation scenario");
+        let world = World::generate(&cfg);
+
+        let mut profiles = fresh_profiles(&cfg);
+        let global = form_bundles_global(&world, &cfg, &mut profiles);
+
+        for (shards, threads) in [(1usize, 1usize), (2, 1), (3, 2), (8, 4), (20, 8)] {
+            let arena = HistoryArena::with_capacity(cfg.n_nodes, shards, cfg.history_capacity);
+            let sharded = form_bundles_sharded(&world, &cfg, &arena, threads);
+            assert_eq!(
+                global, sharded,
+                "seed {seed}: outcomes diverged at shards={shards} threads={threads}"
+            );
+            assert_same_records(
+                &arena,
+                &profiles,
+                cfg.n_pairs,
+                &format!("seed {seed} shards={shards} threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_formation_matches_global_with_bounded_history() {
+    let cfg = ScenarioConfig {
+        history_capacity: Some(3),
+        ..formation_cfg(5)
+    };
+    cfg.validate().expect("valid bounded scenario");
+    let world = World::generate(&cfg);
+
+    let mut profiles = fresh_profiles(&cfg);
+    let global = form_bundles_global(&world, &cfg, &mut profiles);
+
+    let arena = HistoryArena::with_capacity(cfg.n_nodes, 8, cfg.history_capacity);
+    let sharded = form_bundles_sharded(&world, &cfg, &arena, 4);
+    assert_eq!(global, sharded, "bounded-history outcomes diverged");
+    assert_same_records(&arena, &profiles, cfg.n_pairs, "bounded history");
+}
+
+#[test]
+fn formation_outcomes_are_nontrivial() {
+    // Guard against the equality tests passing vacuously on empty output.
+    let cfg = formation_cfg(11);
+    let world = World::generate(&cfg);
+    let mut profiles = fresh_profiles(&cfg);
+    let formed = form_bundles_global(&world, &cfg, &mut profiles);
+    assert_eq!(formed.len(), cfg.n_pairs);
+    let total: usize = formed.iter().map(|f| f.outcomes.len()).sum();
+    assert_eq!(total, cfg.total_transmissions);
+    assert!(
+        formed
+            .iter()
+            .flat_map(|f| &f.outcomes)
+            .any(|o| !o.is_empty()),
+        "some connection must recruit a forwarder"
+    );
+    let recorded: usize = profiles.iter().map(HistoryProfile::len).sum();
+    assert!(recorded > 0, "formation must commit history records");
+}

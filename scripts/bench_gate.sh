@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Bench-trajectory gate: proves every bench binary still runs, then does a
+# short timed pass of the history_shard bench (N=1k only, via
+# IDPA_HS_QUICK=1) and fails if any freshly measured point regresses more
+# than IDPA_BENCH_GATE_PCT percent (default 20) against the best value
+# that key has ever had in a committed BENCH_*.json report.
+#
+# Runnable locally: ./scripts/bench_gate.sh
+#
+# Caveat the threshold exists for: CI runners and dev machines differ, so
+# absolute ns/iter comparisons across hardware are loose — the default 20%
+# margin catches trajectory-level regressions (an accidental O(N) in a
+# kernel), not single-digit drift. Raise IDPA_BENCH_GATE_PCT when gating
+# on noisy shared runners.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pct="${IDPA_BENCH_GATE_PCT:-20}"
+
+stage="bench smoke"
+fresh=""
+trap 'status=$?; [ -n "$fresh" ] && rm -f "$fresh"
+      if [ "$status" -ne 0 ]; then
+        echo "bench gate: FAILED in stage: $stage (exit $status)" >&2
+      fi' EXIT
+
+# 1. Every bench binary runs its kernels once (untimed) — bench rot check.
+IDPA_BENCH_SMOKE=1 cargo bench --offline -p idpa-bench
+
+# 2. Short timed pass of the sharded-formation bench.
+stage="timed history_shard pass"
+fresh="$(mktemp)"
+IDPA_HS_QUICK=1 IDPA_BENCH_OUT="$fresh" \
+    cargo bench --offline -p idpa-bench --bench history_shard
+
+# 3. Compare each fresh point against the best committed value for the
+# same key across every BENCH_*.json in the repo (flat "name": ns maps).
+stage="regression comparison"
+awk -v pct="$pct" -v freshfile="$fresh" '
+    function trim(s) { gsub(/[ \t",]/, "", s); return s }
+    FNR == 1 { isfresh = (FILENAME == freshfile) }
+    /:/ {
+        i = index($0, ":")
+        key = trim(substr($0, 1, i - 1))
+        val = trim(substr($0, i + 1)) + 0
+        if (key == "" || val <= 0) next
+        if (isfresh) fresh[key] = val
+        else if (!(key in best) || val < best[key]) best[key] = val
+    }
+    END {
+        bad = 0
+        for (k in fresh) {
+            if (k in best) {
+                limit = best[k] * (1 + pct / 100)
+                if (fresh[k] > limit) {
+                    printf "bench gate: REGRESSION %s: %.0f ns/iter exceeds %.0f (best committed %.0f +%s%%)\n", \
+                        k, fresh[k], limit, best[k], pct
+                    bad = 1
+                } else {
+                    printf "bench gate: ok %s: %.0f ns/iter (best committed %.0f)\n", \
+                        k, fresh[k], best[k]
+                }
+            } else {
+                printf "bench gate: new point %s: %.0f ns/iter (no committed prior)\n", k, fresh[k]
+            }
+        }
+        exit bad
+    }
+' BENCH_*.json "$fresh"
+
+stage="done"
+echo "bench gate: OK"

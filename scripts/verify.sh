@@ -3,22 +3,41 @@
 # and a bench smoke pass. Everything runs with --offline — the workspace
 # has no registry dependencies (the `rand` name resolves to the in-tree
 # crates/rng).
+#
+# Each step sets $stage before running, and the EXIT trap names the
+# failing stage in the last line of output, so a red CI job says which
+# stage died without scrolling the log.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+stage="startup"
+trap 'status=$?; if [ "$status" -ne 0 ]; then
+        echo "verify: FAILED in stage: $stage (exit $status)" >&2
+      fi' EXIT
+
+stage="build (cargo build --release --offline)"
 cargo build --release --offline
+
+stage="test (cargo test -q --offline)"
 cargo test -q --offline
+
+stage="lint (cargo clippy --all-targets -- -D warnings)"
 cargo clippy --all-targets --offline -- -D warnings
+
+stage="format (cargo fmt --check)"
 cargo fmt --check
 
 # Every bench binary must at least run its kernels once (no timing, no
 # report file) so bench rot is caught without paying for a full run.
+stage="bench smoke (IDPA_BENCH_SMOKE=1 cargo bench)"
 IDPA_BENCH_SMOKE=1 cargo bench --offline -p idpa-bench
 
 # End-to-end fault-injection smoke: one severity per fault class (crash,
 # drop+delay, cheat, bank outage) crossed with every routing strategy at
 # quick scale. The example asserts the zero-fault rows are perfectly clean,
 # so this also guards the fault layer's "off means off" contract.
+stage="fault smoke (IDPA_FAULT_SMOKE=1 fault_matrix example)"
 IDPA_FAULT_SMOKE=1 cargo run --release --offline --example fault_matrix
 
+stage="done"
 echo "verify: OK"
