@@ -1,0 +1,75 @@
+//! Maintenance-heavy lazy probing: a churny, replacement-dense scenario
+//! (tight replacement threshold, short probe period, wide neighbor sets)
+//! where the dominant lazy-mode cost is `next_due_after` — computing each
+//! node's next replacement-due tick after every maintenance event. The
+//! per-slot due-tick cache turns that from a full joint-session rescan of
+//! all `d` slots per event into a cached min over per-slot closed forms,
+//! recomputing only slots invalidated by an actual replacement.
+//!
+//! Eager and lazy arms are asserted bit-identical *before* timing (per-node
+//! RNG streams make the modes equivalent), so the ratio measures the
+//! maintenance bookkeeping, never behavioral drift.
+//!
+//! This is the regime where *eager wins*: with a replacement due nearly
+//! every tick, lazy degenerates to tick replay plus due-tick scheduling
+//! overhead (the cache cuts the lazy arm 1.65x; eager stays ~9x ahead).
+//! It is the deliberate mirror image of `probe_scale`, where sparse reads
+//! let lazy win 20x — together the two benches map the crossover.
+//!
+//! `IDPA_PM_QUICK=1` restricts the run to the N = 500 scale — the CI bench
+//! gate uses this for its short timed pass.
+
+use idpa_bench::harness::Harness;
+use idpa_sim::{ProbeMode, ScenarioConfig, SimulationRun};
+
+/// A maintenance-dominated scenario: replacements fall due every ~6 probe
+/// rounds per silent neighbor, so lazy cells re-derive their due ticks
+/// constantly while the transmission load stays light.
+fn maintenance_heavy(n_nodes: usize, mode: ProbeMode) -> ScenarioConfig {
+    let cfg = ScenarioConfig {
+        degree: 24,
+        n_pairs: 8,
+        total_transmissions: 64,
+        max_connections: 8,
+        probe_period: 1.0,
+        neighbor_replacement_rounds: Some(6),
+        probe_mode: mode,
+        seed: 9,
+        ..ScenarioConfig::default()
+    }
+    .with_nodes(n_nodes);
+    cfg.validate().expect("bench scenario must be valid");
+    cfg
+}
+
+fn bench_scale(h: &mut Harness, tag: &str, n_nodes: usize) {
+    let eager = maintenance_heavy(n_nodes, ProbeMode::Eager);
+    let lazy = maintenance_heavy(n_nodes, ProbeMode::Lazy);
+
+    // The speedup must not come from computing something different.
+    let a = SimulationRun::execute(eager);
+    let b = SimulationRun::execute(lazy);
+    assert_eq!(a, b, "lazy run diverged from eager run at {tag}");
+    println!(
+        "probe_maintenance/{tag}: eager == lazy (connections={}, avg payoff={:.3})",
+        a.connections, a.avg_good_payoff
+    );
+
+    h.bench(&format!("probe_maintenance/run_{tag}_eager"), || {
+        SimulationRun::execute(eager)
+    });
+    h.bench(&format!("probe_maintenance/run_{tag}_lazy"), || {
+        SimulationRun::execute(lazy)
+    });
+}
+
+fn main() {
+    let quick = std::env::var("IDPA_PM_QUICK").is_ok_and(|v| v == "1");
+
+    let mut h = Harness::new();
+    bench_scale(&mut h, "n500_d24_r6", 500);
+    if !quick {
+        bench_scale(&mut h, "n2k_d24_r6", 2000);
+    }
+    h.write_json_default().expect("write bench report");
+}

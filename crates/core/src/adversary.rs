@@ -91,6 +91,7 @@ impl IntersectionAttack {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
     use idpa_desim::SimTime;

@@ -29,6 +29,9 @@
 //! * [`bundle`] — bookkeeping for a bundle of recurring connections
 //!   between one (I, R) pair: forwarder set `‖π‖`, per-forwarder benefit
 //!   `m·P_f + P_r/‖π‖`, costs;
+//! * [`reputation`] — the per-initiator fault ledger behind the adaptive
+//!   third quality term `w_r·ρ` (observed drops, timeouts, and
+//!   validator-flagged cheaters; §5 cheating tolerance);
 //! * [`adversary`] — the malicious-node models (random routing,
 //!   availability attack) and the passive intersection attack (§1, §5);
 //! * [`metrics`] — path quality `Q(π) = L/‖π‖`, routing efficiency,
@@ -37,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub mod adversary;
 pub mod arena;
@@ -47,6 +51,7 @@ pub mod history;
 pub mod metrics;
 pub mod path;
 pub mod quality;
+pub mod reputation;
 pub mod routing;
 pub mod utility;
 
@@ -55,5 +60,6 @@ pub use bundle::{BundleAccounting, BundleId};
 pub use contract::Contract;
 pub use history::{HistoryProfile, HistoryRead, HistoryWrite};
 pub use quality::{EdgeQuality, Weights};
+pub use reputation::EdgeReputation;
 pub use routing::{PathPolicy, RoutingStrategy};
 pub use utility::{InitiatorUtility, UtilityModel};

@@ -346,6 +346,7 @@ pub fn form_connection_pending<H: HistoryRead + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
     use crate::bundle::BundleId;

@@ -1,4 +1,4 @@
-//! Edge quality (§2.3).
+//! Edge quality (§2.3, extended with the adaptive reputation term).
 //!
 //! `q(s, v) = w_s·σ(s, v) + w_a·α(v)` with `w_s + w_a = 1`: a convex
 //! combination of *selectivity* (how consistently the edge was used on the
@@ -6,29 +6,54 @@
 //! session-time share of the neighbor). "The edge quality of the last edge
 //! in the path π^k is always 1 because it ends in R." Path quality is the
 //! sum of its edge qualities.
+//!
+//! The adaptive fault-response layer generalises this to
+//! `q = w_s·σ + w_a·α + w_r·ρ`, where `ρ ∈ [0, 1]` is the initiator's
+//! observed reputation of the candidate ([`crate::reputation`]). `w_r = 0`
+//! reproduces the paper's two-term model *bit-identically*: the two-term
+//! expression is evaluated unchanged and the reputation product is never
+//! formed, so fingerprint-pinned baselines are unaffected.
 
-/// The weights `(w_s, w_a)` of selectivity and availability.
+/// The weights `(w_s, w_a, w_r)` of selectivity, availability, and
+/// reputation. `w_r` defaults to 0 (the paper's two-term model).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Weights {
     ws: f64,
     wa: f64,
+    wr: f64,
 }
 
 impl Weights {
-    /// Creates weights; they must be non-negative and sum to 1.
+    /// Creates two-term weights (`w_r = 0`); they must be non-negative and
+    /// sum to 1.
     #[must_use]
     pub fn new(ws: f64, wa: f64) -> Self {
         assert!(
             ws >= 0.0 && wa >= 0.0 && (ws + wa - 1.0).abs() < 1e-9,
             "weights must be non-negative and sum to 1, got ({ws}, {wa})"
         );
-        Weights { ws, wa }
+        Weights { ws, wa, wr: 0.0 }
+    }
+
+    /// Creates three-term weights including the reputation weight `w_r`;
+    /// all must be non-negative and sum to 1.
+    #[must_use]
+    pub fn with_reputation(ws: f64, wa: f64, wr: f64) -> Self {
+        assert!(
+            ws >= 0.0 && wa >= 0.0 && wr >= 0.0 && (ws + wa + wr - 1.0).abs() < 1e-9,
+            "weights must be non-negative and sum to 1, got ({ws}, {wa}, {wr})"
+        );
+        Weights { ws, wa, wr }
     }
 
     /// The paper's default `w_s = w_a = 0.5`.
     #[must_use]
     pub fn balanced() -> Self {
-        Weights { ws: 0.5, wa: 0.5 }
+        Weights {
+            ws: 0.5,
+            wa: 0.5,
+            wr: 0.0,
+        }
     }
 
     /// Selectivity weight `w_s`.
@@ -41,6 +66,12 @@ impl Weights {
     #[must_use]
     pub fn wa(&self) -> f64 {
         self.wa
+    }
+
+    /// Reputation weight `w_r` (0 in the paper's two-term model).
+    #[must_use]
+    pub fn wr(&self) -> f64 {
+        self.wr
     }
 }
 
@@ -63,12 +94,35 @@ impl EdgeQuality {
         self.weights
     }
 
+    /// Whether the reputation term is active (`w_r > 0`). Callers use this
+    /// to skip the reputation lookup entirely in the two-term model, which
+    /// keeps `w_r = 0` runs bit-identical to the pre-reputation build.
+    #[must_use]
+    pub fn uses_reputation(&self) -> bool {
+        self.weights.wr > 0.0
+    }
+
     /// `q = w_s·σ + w_a·α`. Inputs must already be in `[0, 1]`.
     #[must_use]
     pub fn edge(&self, selectivity: f64, availability: f64) -> f64 {
         debug_assert!((0.0..=1.0).contains(&selectivity), "σ={selectivity}");
         debug_assert!((0.0..=1.0).contains(&availability), "α={availability}");
         self.weights.ws * selectivity + self.weights.wa * availability
+    }
+
+    /// `q = w_s·σ + w_a·α + w_r·ρ`. The two-term part is the exact
+    /// expression [`EdgeQuality::edge`] evaluates (same operation order),
+    /// so at `w_r = 0` the caller can branch to `edge` and get the same
+    /// bits without ever reading ρ.
+    #[must_use]
+    pub fn edge_with_reputation(
+        &self,
+        selectivity: f64,
+        availability: f64,
+        reputation: f64,
+    ) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&reputation), "ρ={reputation}");
+        self.edge(selectivity, availability) + self.weights.wr * reputation
     }
 
     /// The fixed quality of the final edge into the responder.
@@ -149,9 +203,36 @@ mod tests {
     }
 
     #[test]
+    fn reputation_term_extends_the_convex_combination() {
+        let q = EdgeQuality::new(Weights::with_reputation(0.4, 0.4, 0.2));
+        assert!(q.uses_reputation());
+        assert!((q.edge_with_reputation(1.0, 1.0, 1.0) - 1.0).abs() < 1e-12);
+        // ρ = 0 strips the whole reputation share from the score.
+        assert!((q.edge_with_reputation(0.5, 0.5, 0.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reputation_weight_is_bitwise_the_two_term_model() {
+        let two = EdgeQuality::new(Weights::new(0.3, 0.7));
+        let three = EdgeQuality::new(Weights::with_reputation(0.3, 0.7, 0.0));
+        assert!(!three.uses_reputation());
+        for s in [0.0, 0.33, 0.71, 1.0] {
+            for a in [0.0, 0.25, 0.9, 1.0] {
+                assert_eq!(two.edge(s, a).to_bits(), three.edge(s, a).to_bits());
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "sum to 1")]
     fn weights_must_sum_to_one() {
         let _ = Weights::new(0.5, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn three_term_weights_must_sum_to_one() {
+        let _ = Weights::with_reputation(0.5, 0.5, 0.2);
     }
 
     #[test]

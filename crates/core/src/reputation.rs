@@ -1,0 +1,157 @@
+//! Per-initiator edge reputation — the ρ term of the adaptive quality model.
+//!
+//! The paper's edge quality `q(s,v) = w_s·σ(s,v) + w_a·α(v)` (§3) folds
+//! history and availability into next-hop choice, and §5 argues the payment
+//! system must *tolerate* cheating, not merely detect it at settlement. This
+//! module closes that loop: each initiator keeps a private ledger of what it
+//! has *observed* going wrong through each relay — confirmed drops,
+//! confirmation timeouts, and validator-flagged receipt corruption — and
+//! exposes a reputation score `ρ(v) ∈ [0, 1]` that enters the quality model
+//! as a third weighted term, `q = w_s·σ + w_a·α + w_r·ρ`
+//! ([`crate::quality::Weights::with_reputation`]).
+//!
+//! The ledger is strictly per-initiator: reputations are *local
+//! observations*, never gossiped, matching the paper's stance that each
+//! peer estimates neighbor behavior from its own probes and receipts. All
+//! updates are driven by deterministic simulation events, so adaptive runs
+//! replay bit-identically from the master seed.
+
+use idpa_overlay::NodeId;
+
+/// Observed faults after which a relay is suppressed from path formation
+/// (in addition to any validator cheat flag, which suppresses immediately).
+pub const SUPPRESSION_FAULTS: u32 = 2;
+
+/// One initiator's private fault ledger over all potential relays.
+///
+/// Scores decay harmonically with the observed fault count — one strike
+/// halves the reputation, two strikes third it — and a validator cheat
+/// flag zeroes it outright: receipt corruption is *attributed* misbehavior
+/// (the §5 intact-prefix rule pins it on a specific forwarder), whereas a
+/// drop or timeout could be the network's fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeReputation {
+    drops: Vec<u32>,
+    timeouts: Vec<u32>,
+    flagged: Vec<bool>,
+}
+
+impl EdgeReputation {
+    /// A clean ledger over `n_nodes` relays (everyone starts at ρ = 1).
+    #[must_use]
+    pub fn new(n_nodes: usize) -> Self {
+        EdgeReputation {
+            drops: vec![0; n_nodes],
+            timeouts: vec![0; n_nodes],
+            flagged: vec![false; n_nodes],
+        }
+    }
+
+    /// Records a confirmed loss (crash or packet drop) through `v`.
+    pub fn record_drop(&mut self, v: NodeId) {
+        self.drops[v.index()] += 1;
+    }
+
+    /// Records a confirmation timeout attributed to `v` (includes dropped
+    /// confirmations — from the initiator's seat a swallowed confirmation
+    /// is indistinguishable from a slow one).
+    pub fn record_timeout(&mut self, v: NodeId) {
+        self.timeouts[v.index()] += 1;
+    }
+
+    /// Marks `v` as a validator-flagged cheater (receipt corruption pinned
+    /// on `v` by the intact-prefix rule). Irrevocable within a run.
+    pub fn flag_cheater(&mut self, v: NodeId) {
+        self.flagged[v.index()] = true;
+    }
+
+    /// Observed drop count for `v`.
+    #[must_use]
+    pub fn drops(&self, v: NodeId) -> u32 {
+        self.drops[v.index()]
+    }
+
+    /// Observed timeout count for `v`.
+    #[must_use]
+    pub fn timeouts(&self, v: NodeId) -> u32 {
+        self.timeouts[v.index()]
+    }
+
+    /// Total observed (non-cheat) faults through `v`.
+    #[must_use]
+    pub fn fault_count(&self, v: NodeId) -> u32 {
+        self.drops[v.index()] + self.timeouts[v.index()]
+    }
+
+    /// Whether the validator has pinned receipt corruption on `v`.
+    #[must_use]
+    pub fn is_flagged(&self, v: NodeId) -> bool {
+        self.flagged[v.index()]
+    }
+
+    /// The reputation score ρ(v) ∈ [0, 1]: zero for flagged cheaters,
+    /// otherwise `1 / (1 + faults)`.
+    #[must_use]
+    pub fn score(&self, v: NodeId) -> f64 {
+        if self.flagged[v.index()] {
+            0.0
+        } else {
+            1.0 / (1.0 + f64::from(self.fault_count(v)))
+        }
+    }
+
+    /// Whether `v` should be excluded from path formation outright:
+    /// flagged cheaters immediately, repeat offenders after
+    /// [`SUPPRESSION_FAULTS`] observed faults.
+    #[must_use]
+    pub fn is_suppressed(&self, v: NodeId) -> bool {
+        self.flagged[v.index()] || self.fault_count(v) >= SUPPRESSION_FAULTS
+    }
+
+    /// Number of relays with at least one observation or flag.
+    #[must_use]
+    pub fn observed_nodes(&self) -> usize {
+        (0..self.drops.len())
+            .filter(|&i| self.drops[i] > 0 || self.timeouts[i] > 0 || self.flagged[i])
+            .count()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_ledger_scores_everyone_at_one() {
+        let rep = EdgeReputation::new(4);
+        for i in 0..4 {
+            assert!((rep.score(NodeId(i)) - 1.0).abs() < f64::EPSILON);
+            assert!(!rep.is_suppressed(NodeId(i)));
+        }
+        assert_eq!(rep.observed_nodes(), 0);
+    }
+
+    #[test]
+    fn faults_decay_score_harmonically() {
+        let mut rep = EdgeReputation::new(3);
+        rep.record_drop(NodeId(1));
+        assert!((rep.score(NodeId(1)) - 0.5).abs() < f64::EPSILON);
+        assert!(!rep.is_suppressed(NodeId(1)), "one strike is not enough");
+        rep.record_timeout(NodeId(1));
+        assert!((rep.score(NodeId(1)) - 1.0 / 3.0).abs() < f64::EPSILON);
+        assert!(rep.is_suppressed(NodeId(1)), "two strikes suppress");
+        assert_eq!(rep.fault_count(NodeId(1)), 2);
+        assert_eq!(rep.observed_nodes(), 1);
+    }
+
+    #[test]
+    fn cheat_flag_zeroes_and_suppresses_immediately() {
+        let mut rep = EdgeReputation::new(3);
+        rep.flag_cheater(NodeId(2));
+        assert_eq!(rep.score(NodeId(2)), 0.0);
+        assert!(rep.is_suppressed(NodeId(2)));
+        assert!(rep.is_flagged(NodeId(2)));
+        assert_eq!(rep.fault_count(NodeId(2)), 0, "flags are not fault counts");
+    }
+}

@@ -38,6 +38,13 @@ pub trait RoutingView {
     }
     /// `α_s(v)`: availability of `v` as estimated by `s` (§2.3).
     fn availability(&self, s: NodeId, v: NodeId) -> f64;
+    /// `ρ_s(v)`: reputation of `v` as observed by the deciding initiator
+    /// ([`crate::reputation::EdgeReputation::score`]). Only read when the
+    /// quality model's reputation weight `w_r` is non-zero; the default is
+    /// the clean-ledger score 1 (views without a fault ledger).
+    fn reputation(&self, _s: NodeId, _v: NodeId) -> f64 {
+        1.0
+    }
     /// Transmission cost `C^t(s, v)` for one forwarding instance.
     fn transmission_cost(&self, s: NodeId, v: NodeId) -> f64;
     /// Participation cost `C^p` of `s`.
@@ -331,7 +338,14 @@ fn edge_quality_memo<H: HistoryRead + ?Sized>(
         return q;
     }
     let sigma = histories.selectivity_at(s, contract.bundle, priors, v);
-    let q = quality.edge(sigma, view.availability(s, v));
+    // The two-term branch never reads ρ and evaluates the exact paper
+    // expression, so w_r = 0 runs are bit-identical to the pre-reputation
+    // build (fingerprint-pinned).
+    let q = if quality.uses_reputation() {
+        quality.edge_with_reputation(sigma, view.availability(s, v), view.reputation(s, v))
+    } else {
+        quality.edge(sigma, view.availability(s, v))
+    };
     scratch.edge_q.insert(key, q);
     q
 }
@@ -651,6 +665,7 @@ fn continuation_rec<H: HistoryRead + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
     use crate::bundle::BundleId;

@@ -164,6 +164,7 @@ impl<E> Calendar<E> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
 

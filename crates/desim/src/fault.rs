@@ -33,6 +33,22 @@
 use crate::rng::{StreamFactory, Xoshiro256StarStar};
 use rand::RngExt;
 
+/// How the initiator responds to observed faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultResponse {
+    /// The PR 3 baseline: fixed exponential backoff (`retry_timeout · 2^a`),
+    /// retry over a fresh formation with no memory of what failed. The
+    /// default, and the mode every fingerprint suite pins.
+    #[default]
+    Static,
+    /// Adaptive response: failures feed a per-initiator reputation ledger
+    /// that downweights and eventually suppresses suspects, validator cheat
+    /// flags take effect mid-run, confirmed failures invalidate the
+    /// suspect's probe-derived availability, and repeat offenders trigger
+    /// an escalated reform-excluding-suspect retry with flat backoff.
+    Adaptive,
+}
+
 /// Fault-injection rates and the retry protocol's parameters.
 ///
 /// All-zero rates (the default) disable the subsystem entirely.
@@ -64,6 +80,9 @@ pub struct FaultConfig {
     /// Initiator's per-attempt timeout (minutes); attempt `a`'s backoff is
     /// `retry_timeout · 2^a`.
     pub retry_timeout: f64,
+    /// How the initiator reacts to the faults it observes
+    /// (`--fault-response`; [`FaultResponse::Static`] preserves baselines).
+    pub response: FaultResponse,
 }
 
 impl Default for FaultConfig {
@@ -79,6 +98,7 @@ impl Default for FaultConfig {
             bank_outage_mean: 15.0,
             max_retries: 3,
             retry_timeout: 2.0,
+            response: FaultResponse::default(),
         }
     }
 }

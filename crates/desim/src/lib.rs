@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub mod calendar;
 pub mod engine;
@@ -36,5 +37,7 @@ pub mod time;
 
 pub use calendar::{Calendar, EventEntry, EventId};
 pub use engine::{Engine, Process, StopReason};
-pub use fault::{CheatAction, EdgeFault, FaultConfig, FaultPlan, TransmissionFaults};
+pub use fault::{
+    CheatAction, EdgeFault, FaultConfig, FaultPlan, FaultResponse, TransmissionFaults,
+};
 pub use time::SimTime;

@@ -9,7 +9,7 @@
 //! thread count** — item `i` is always computed by `f(i)` from its own
 //! seed, and only the wall-clock assignment of items to threads varies.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The default worker count: `IDPA_THREADS` if set, otherwise the
 /// machine's available parallelism (at least 1).
@@ -54,7 +54,11 @@ where
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = {
-                    let mut guard = next.lock().unwrap();
+                    // A poisoned lock means a sibling worker panicked in
+                    // `f`; the scope will re-raise that panic on join, so
+                    // recovering the guard here just lets this worker
+                    // drain cleanly instead of double-panicking.
+                    let mut guard = next.lock().unwrap_or_else(PoisonError::into_inner);
                     let i = *guard;
                     if i >= n {
                         break;
@@ -63,7 +67,7 @@ where
                     i
                 };
                 let value = f(i);
-                *slots[i].lock().unwrap() = Some(value);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
             });
         }
     });
@@ -71,7 +75,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every index was claimed and computed")
         })
         .collect()

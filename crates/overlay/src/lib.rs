@@ -17,16 +17,22 @@
 //! * [`LazyProbeSet`] — the event-driven lazy form of the same estimator:
 //!   per-node cells materialized on demand from the analytic churn
 //!   schedule, bit-identical to driving [`ProbeEstimator`] eagerly at
-//!   every probe tick.
+//!   every probe tick,
+//! * [`ProbeInvalidation`] — the adaptive fault-response overlay that
+//!   masks a relay's probe-derived availability after a confirmed
+//!   transmission failure through it, identically for both probe modes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
+pub mod invalidate;
 pub mod node;
 pub mod probe;
 pub mod probe_lazy;
 pub mod topology;
 
+pub use invalidate::ProbeInvalidation;
 pub use node::{NodeId, NodeKind};
 pub use probe::ProbeEstimator;
 pub use probe_lazy::LazyProbeSet;

@@ -216,12 +216,26 @@ struct LazyCtx {
     schedules: Vec<NodeSchedule>,
 }
 
+/// Sentinel in a cell's due cache: the slot's due tick must be recomputed.
+const DUE_UNKNOWN: u64 = u64::MAX;
+/// Sentinel in a cell's due cache: the slot never falls due again before
+/// the horizon.
+const DUE_NEVER: u64 = u64::MAX - 1;
+
 /// One node's shard of probe state: the estimator plus its sync frontier.
 #[derive(Debug, Clone, PartialEq)]
 struct ProbeCell {
     est: ProbeEstimator,
     /// All ticks `≤ synced_tick` have been applied to `est`.
     synced_tick: u64,
+    /// Per-slot cache of the next replacement-due tick, computed against
+    /// the full horizon ([`DUE_UNKNOWN`] = recompute, [`DUE_NEVER`] = no
+    /// further due tick). A slot's absolute due tick is a pure function of
+    /// the schedules and the slot's state trajectory, and [`advance`] only
+    /// moves the frontier *along* that trajectory — so cached values
+    /// survive plain advances and are dropped only after `maintain_seeded`
+    /// may have replaced slots.
+    due_cache: Vec<u64>,
 }
 
 impl Default for ProbeCell {
@@ -229,6 +243,7 @@ impl Default for ProbeCell {
         ProbeCell {
             est: ProbeEstimator::new(NodeId(0), 1.0, Vec::new()),
             synced_tick: 0,
+            due_cache: Vec::new(),
         }
     }
 }
@@ -303,43 +318,86 @@ fn advance(cell: &mut ProbeCell, ctx: &LazyCtx, to: u64) {
     cell.synced_tick = to;
 }
 
-/// First tick in `(cell.synced_tick, upper]` at which slot `i` will be
+/// First tick in `(synced_tick, upper]` at which slot `i` will be
 /// replacement-due: the owner is up, and after probing, the slot's silence
 /// `rounds − last_alive_round` reaches `thr`. `None` if no such tick.
-fn slot_due(cell: &ProbeCell, ctx: &LazyCtx, i: usize, thr: u64, upper: u64) -> Option<u64> {
+fn slot_due(
+    est: &ProbeEstimator,
+    synced_tick: u64,
+    ctx: &LazyCtx,
+    i: usize,
+    thr: u64,
+    upper: u64,
+) -> Option<u64> {
     debug_assert!(thr >= 1, "lazy maintenance needs threshold >= 1");
-    let after = cell.synced_tick;
-    let own = ctx.schedules[cell.est.owner.index()].sessions();
-    let nbr = ctx.schedules[cell.est.neighbors[i].index()].sessions();
-    let gap0 = cell.est.rounds - cell.est.last_alive_round[i];
+    let after = synced_tick;
+    let own = ctx.schedules[est.owner.index()].sessions();
+    let nbr = ctx.schedules[est.neighbors[i].index()].sessions();
+    let gap0 = est.rounds - est.last_alive_round[i];
     // The slot falls due at the `due_pos`-th owner-up tick after the sync
     // frontier, unless a joint-live tick resets the silence gap first. A
     // tick that is itself joint-live is never due (the probe runs before
-    // maintenance and clears the gap).
+    // maintenance and clears the gap). The two-pointer walk below visits
+    // the joint-live ranges in increasing order (the same order
+    // [`for_each_joint_range`] produces) and stops at the first range
+    // starting after the candidate due position, so a near due tick never
+    // pays for the schedule's full tail.
     let mut due_pos = if gap0 >= thr { 1 } else { thr - gap0 };
-    let mut joint: Vec<(u64, u64)> = Vec::new();
-    for_each_joint_range(own, nbr, ctx.period, after, upper, |lo, hi| {
-        joint.push((lo, hi))
-    });
-    for (lo, hi) in joint {
-        // Ticks lo..=hi are consecutive owner-up ticks (they lie inside one
-        // owner session), all joint-live.
-        let p_start = count_up_ticks(own, ctx.period, after, lo);
-        let p_end = p_start + (hi - lo);
-        if due_pos < p_start {
-            return up_tick_at_position(own, ctx.period, after, upper, due_pos);
+    let upper_time = tick_time(upper, ctx.period);
+    let mut oi = first_live_session(own, ctx.period, after);
+    let mut ni = first_live_session(nbr, ctx.period, after);
+    while oi < own.len() && ni < nbr.len() {
+        let (s1, e1) = own[oi];
+        let (s2, e2) = nbr[ni];
+        let lo_t = s1.max(s2);
+        let hi_t = e1.min(e2);
+        if lo_t > upper_time {
+            break;
         }
-        due_pos = p_end + thr;
+        if lo_t < hi_t {
+            if let Some((lo, hi)) = session_tick_range(lo_t, hi_t, ctx.period, after, upper) {
+                // Ticks lo..=hi are consecutive owner-up ticks (they lie
+                // inside one owner session), all joint-live.
+                let p_start = count_up_ticks(own, ctx.period, after, lo);
+                let p_end = p_start + (hi - lo);
+                if due_pos < p_start {
+                    return up_tick_at_position(own, ctx.period, after, upper, due_pos);
+                }
+                due_pos = p_end + thr;
+            }
+        }
+        if e1 <= e2 {
+            oi += 1;
+        } else {
+            ni += 1;
+        }
     }
     up_tick_at_position(own, ctx.period, after, upper, due_pos)
 }
 
-/// Earliest replacement-due tick over all slots in
-/// `(cell.synced_tick, upper]`.
-fn next_due_tick(cell: &ProbeCell, ctx: &LazyCtx, thr: u64, upper: u64) -> Option<u64> {
-    (0..cell.est.neighbors.len())
-        .filter_map(|i| slot_due(cell, ctx, i, thr, upper))
-        .min()
+/// Earliest replacement-due tick over all slots strictly after the sync
+/// frontier, up to the horizon. Served from the cell's per-slot due cache;
+/// only slots invalidated since the last maintenance are recomputed, so
+/// the repeated calls in [`sync_cell_slow`]'s advance/maintain loop (and
+/// from [`LazyProbeSet::next_due_after`]-driven event scheduling) cost a
+/// cheap `min` over ≤ degree cached values instead of a full closed-form
+/// scan per call.
+fn next_due_tick(cell: &mut ProbeCell, ctx: &LazyCtx, thr: u64) -> Option<u64> {
+    let ProbeCell {
+        est,
+        synced_tick,
+        due_cache,
+    } = cell;
+    due_cache.resize(est.neighbors.len(), DUE_UNKNOWN);
+    let mut min = DUE_NEVER;
+    for (i, slot) in due_cache.iter_mut().enumerate() {
+        if *slot == DUE_UNKNOWN {
+            *slot = slot_due(est, *synced_tick, ctx, i, thr, ctx.max_tick)
+                .map_or(DUE_NEVER, |k| k.min(DUE_NEVER - 1));
+        }
+        min = min.min(*slot);
+    }
+    (min < DUE_NEVER).then_some(min)
 }
 
 /// Syncs the cell through tick `target`, replaying maintenance at exactly
@@ -359,12 +417,17 @@ fn sync_cell_slow(cell: &mut ProbeCell, ctx: &LazyCtx, target: u64) {
         return;
     };
     while cell.synced_tick < target {
-        match next_due_tick(cell, ctx, thr, target) {
-            None => advance(cell, ctx, target),
-            Some(k) => {
+        match next_due_tick(cell, ctx, thr) {
+            Some(k) if k <= target => {
                 advance(cell, ctx, k);
                 cell.est.maintain_seeded(&ctx.streams, thr, ctx.n_nodes);
+                // Maintenance may have replaced slots; their trajectories
+                // (and hence due ticks) are new.
+                cell.due_cache.fill(DUE_UNKNOWN);
             }
+            // Next due tick beyond the target (or never): plain advance,
+            // cached dues stay valid for the next sync or query.
+            _ => advance(cell, ctx, target),
         }
     }
 }
@@ -416,6 +479,7 @@ impl LazyProbeSet {
                 RefCell::new(ProbeCell {
                     est: ProbeEstimator::new(NodeId(i), period, nbrs),
                     synced_tick: 0,
+                    due_cache: Vec::new(),
                 })
             })
             .collect();
@@ -504,9 +568,8 @@ impl LazyProbeSet {
     pub fn next_due_after(&self, s: NodeId, now: f64) -> Option<f64> {
         let thr = self.ctx.threshold?;
         self.sync_node(s, now);
-        let cell = self.cells[s.index()].borrow();
-        next_due_tick(&cell, &self.ctx, thr, self.ctx.max_tick)
-            .map(|k| tick_time(k, self.ctx.period))
+        let mut cell = self.cells[s.index()].borrow_mut();
+        next_due_tick(&mut cell, &self.ctx, thr).map(|k| tick_time(k, self.ctx.period))
     }
 
     /// Syncs every cell through `now` on `threads` workers. Cells are

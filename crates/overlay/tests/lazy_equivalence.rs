@@ -245,6 +245,61 @@ fn probe_modes_agree_under_active_fault_plan() {
     assert_eq!(folds[0], folds[1], "faulty replication is thread-invariant");
 }
 
+/// Same cross-mode guarantee under `--fault-response adaptive`: crash-aware
+/// probe invalidation is an overlay on the availability *read path*
+/// (`ProbeInvalidation`), never a mutation of probe state, so eager and
+/// lazy runs stay bit-identical even while invalidation masks, reputation
+/// suppression, and the `w_r` quality term are all active — and adaptive
+/// runs replay bit-identically from the master seed.
+#[test]
+fn probe_modes_agree_under_adaptive_fault_response() {
+    use idpa_sim::{FaultConfig, FaultResponse, ProbeMode, ScenarioConfig, SimulationRun};
+
+    let fault = FaultConfig {
+        crash_rate: 0.05,
+        drop_rate: 0.1,
+        delay_rate: 0.25,
+        cheat_fraction: 0.2,
+        response: FaultResponse::Adaptive,
+        ..FaultConfig::default()
+    };
+    for seed in [11u64, 23, 31] {
+        let mut cfg = ScenarioConfig {
+            adversary_fraction: 0.2,
+            neighbor_replacement_rounds: Some(3),
+            weights: (0.4, 0.4),
+            reputation_weight: 0.2,
+            ..ScenarioConfig::quick_test(seed)
+        };
+        cfg.fault = fault;
+        cfg.validate().expect("adaptive scenario must validate");
+        let eager = SimulationRun::execute(ScenarioConfig {
+            probe_mode: ProbeMode::Eager,
+            ..cfg
+        });
+        let lazy = SimulationRun::execute(ScenarioConfig {
+            probe_mode: ProbeMode::Lazy,
+            ..cfg
+        });
+        assert_eq!(
+            eager, lazy,
+            "seed {seed}: lazy diverged from eager under adaptive fault response"
+        );
+        let again = SimulationRun::execute(ScenarioConfig {
+            probe_mode: ProbeMode::Lazy,
+            ..cfg
+        });
+        assert_eq!(
+            lazy, again,
+            "seed {seed}: adaptive run must replay bit-identically"
+        );
+        assert!(
+            eager.retries_per_message > 0.0 || eager.delivery_ratio < 1.0,
+            "seed {seed}: the fault plan must bite for this test to mean anything"
+        );
+    }
+}
+
 #[test]
 fn lazy_sync_all_matches_per_node_queries() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(777);

@@ -209,6 +209,7 @@ impl Bank {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
     use crate::token::PendingWithdrawal;

@@ -228,6 +228,7 @@ impl Escrow {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
     use crate::receipt::Receipt;

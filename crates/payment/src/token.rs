@@ -191,6 +191,7 @@ pub fn denominations(amount: u64) -> Vec<u64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
     use idpa_crypto::rsa::RsaKeyPair;

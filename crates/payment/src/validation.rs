@@ -115,6 +115,49 @@ impl PathValidator {
         self.evidence.len()
     }
 
+    /// Replays one evidence entry into `report` — the shared kernel of
+    /// whole-bundle settlement ([`PathValidator::validate`]) and the
+    /// adaptive runner's per-connection check
+    /// ([`PathValidator::flag_connection`]).
+    fn apply_evidence(&self, ev: &ConnectionEvidence, report: &mut ValidationReport) {
+        let m = &ev.manifest;
+        if m.bundle_id != self.bundle_id || !m.verify(&self.key) {
+            report.invalid_manifests += 1;
+            return;
+        }
+        report.expected_instances += m.hops.len() as u64;
+        // Receipt for hop h (1-based): must exist, MAC-verify, and name
+        // the forwarder the manifest places there.
+        let mut prefix_valid = 0usize; // deepest intact prefix
+        let mut broken = false;
+        for (i, &account) in m.hops.iter().enumerate() {
+            let hop = (i + 1) as u32;
+            let receipt = ev
+                .receipts
+                .iter()
+                .find(|r| r.connection == m.connection && r.hop == hop);
+            let valid = receipt.is_some_and(|r| {
+                r.bundle_id == self.bundle_id && r.forwarder == account && r.verify(&self.key)
+            });
+            if valid {
+                report.validated_instances += 1;
+                *report.paid_counts.entry(account).or_insert(0) += 1;
+                if !broken {
+                    prefix_valid = i + 1;
+                }
+            } else {
+                broken = true;
+            }
+        }
+        if broken {
+            if prefix_valid >= 1 {
+                report.flagged.insert(m.hops[prefix_valid - 1]);
+            } else {
+                report.unattributed += 1;
+            }
+        }
+    }
+
     /// Replays all evidence: counts payable forwarding instances, measures
     /// the corruption shortfall, and flags cheaters by the intact-prefix
     /// rule described in the module docs.
@@ -122,44 +165,27 @@ impl PathValidator {
     pub fn validate(&self) -> ValidationReport {
         let mut report = ValidationReport::default();
         for ev in &self.evidence {
-            let m = &ev.manifest;
-            if m.bundle_id != self.bundle_id || !m.verify(&self.key) {
-                report.invalid_manifests += 1;
-                continue;
-            }
-            report.expected_instances += m.hops.len() as u64;
-            // Receipt for hop h (1-based): must exist, MAC-verify, and name
-            // the forwarder the manifest places there.
-            let mut prefix_valid = 0usize; // deepest intact prefix
-            let mut broken = false;
-            for (i, &account) in m.hops.iter().enumerate() {
-                let hop = (i + 1) as u32;
-                let receipt = ev
-                    .receipts
-                    .iter()
-                    .find(|r| r.connection == m.connection && r.hop == hop);
-                let valid = receipt.is_some_and(|r| {
-                    r.bundle_id == self.bundle_id && r.forwarder == account && r.verify(&self.key)
-                });
-                if valid {
-                    report.validated_instances += 1;
-                    *report.paid_counts.entry(account).or_insert(0) += 1;
-                    if !broken {
-                        prefix_valid = i + 1;
-                    }
-                } else {
-                    broken = true;
-                }
-            }
-            if broken {
-                if prefix_valid >= 1 {
-                    report.flagged.insert(m.hops[prefix_valid - 1]);
-                } else {
-                    report.unattributed += 1;
-                }
-            }
+            self.apply_evidence(ev, &mut report);
         }
         report
+    }
+
+    /// Validates a single recorded connection (by insertion order) with
+    /// the same intact-prefix rule as [`PathValidator::validate`] and
+    /// returns the forwarder it pins the corruption on, if any.
+    ///
+    /// This is the adaptive fault-response feedback hook: instead of
+    /// learning about cheaters only at end-of-run settlement, the
+    /// initiator checks each connection's evidence as its confirmation
+    /// returns and feeds the flag straight into its reputation ledger, so
+    /// the cheater is suppressed from the *rest of the same run's* path
+    /// formations. A connection flags at most one forwarder (the
+    /// most-upstream acting corrupter).
+    #[must_use]
+    pub fn flag_connection(&self, index: usize) -> Option<AccountId> {
+        let mut report = ValidationReport::default();
+        self.apply_evidence(self.evidence.get(index)?, &mut report);
+        report.flagged.into_iter().next()
     }
 }
 
@@ -324,6 +350,24 @@ mod tests {
         assert_eq!(r.invalid_manifests, 1);
         assert_eq!(r.expected_instances, 0);
         assert_eq!(r.shortfall(), 0.0);
+    }
+
+    #[test]
+    fn flag_connection_matches_whole_bundle_settlement() {
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        v.add_connection(evidence(0, &[1, 2, 3], None)); // clean
+        v.add_connection(evidence(1, &[4, 5, 6, 7], Some(2))); // 5 corrupts
+        v.add_connection(evidence(2, &[1, 2], Some(0))); // unattributable
+        assert_eq!(v.flag_connection(0), None);
+        assert_eq!(v.flag_connection(1), Some(account(5)));
+        assert_eq!(v.flag_connection(2), None);
+        assert_eq!(v.flag_connection(99), None, "out of range is no flag");
+        // The per-connection flags are exactly the settlement flags.
+        let settled = v.validate();
+        assert_eq!(
+            settled.flagged.iter().copied().collect::<Vec<_>>(),
+            [account(5)]
+        );
     }
 
     #[test]

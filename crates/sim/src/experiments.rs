@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use idpa_core::routing::{AdversaryStrategy, RoutingStrategy};
 use idpa_core::utility::UtilityModel;
 use idpa_desim::stats::{Ecdf, OnlineStats};
-use idpa_desim::FaultConfig;
+use idpa_desim::{FaultConfig, FaultResponse};
 use idpa_game::forwarding::{dominance_threshold, participation_threshold, ForwardingStageGame};
 
 use crate::chart::{cdf_chart, line_chart, Series};
@@ -44,6 +44,11 @@ pub struct Options {
     /// worker thread). Results are identical at any value — sharding
     /// partitions storage without changing record order.
     pub history_shards: usize,
+    /// `w_r`, the reputation weight of the adaptive quality model
+    /// (`--reputation-weight`; 0 = the paper's two-term model,
+    /// bit-identical to a build without the reputation layer). When
+    /// positive, `w_s` and `w_a` split the remaining `1 - w_r` evenly.
+    pub reputation_weight: f64,
 }
 
 impl Default for Options {
@@ -56,6 +61,7 @@ impl Default for Options {
             probe_mode: ProbeMode::Lazy,
             fault: FaultConfig::default(),
             history_shards: 0,
+            reputation_weight: 0.0,
         }
     }
 }
@@ -74,8 +80,16 @@ impl Options {
             probe_mode: self.probe_mode,
             fault: self.fault,
             history_shards: self.history_shards,
+            weights: Options::split_weights(self.reputation_weight),
+            reputation_weight: self.reputation_weight,
             ..base
         }
+    }
+
+    /// `(w_s, w_a)` for a given `w_r`: the remaining mass split evenly, so
+    /// `w_r = 0` reproduces the paper's `(0.5, 0.5)` exactly.
+    fn split_weights(wr: f64) -> (f64, f64) {
+        ((1.0 - wr) / 2.0, (1.0 - wr) / 2.0)
     }
 }
 
@@ -933,6 +947,82 @@ pub fn fault_degradation(opts: &Options) -> String {
     )
 }
 
+/// Adaptive-vs-static fault response under a compound fault load. Sweeps
+/// the cheat fraction (the one node-correlated fault class, where learned
+/// reputation has signal) over a fixed crash + drop background and compares
+/// `--fault-response static` against `adaptive` on delivery ratio, retries
+/// per message, and reformation latency. The adaptive arm runs the
+/// three-term quality model with `w_r` from `--reputation-weight`
+/// (defaulting to 0.2 when unset); the static arm is the exact PR 4
+/// baseline. Any `--fault-*` options replace the default background.
+pub fn fault_adaptation(opts: &Options) -> String {
+    let background = if opts.fault.is_active() {
+        opts.fault
+    } else {
+        FaultConfig {
+            crash_rate: 0.05,
+            drop_rate: 0.10,
+            ..FaultConfig::default()
+        }
+    };
+    let wr = if opts.reputation_weight > 0.0 {
+        opts.reputation_weight
+    } else {
+        0.2
+    };
+    let cheat_fractions = [0.0, 0.1, 0.2, 0.4];
+    let arms: [(&str, FaultResponse, f64); 2] = [
+        ("static", FaultResponse::Static, 0.0),
+        ("adaptive", FaultResponse::Adaptive, wr),
+    ];
+    let mut table = Table::new(&[
+        "cheat fraction",
+        "response",
+        "delivery ratio",
+        "retries/msg",
+        "reform latency",
+    ]);
+    let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); arms.len()];
+    for cheat_fraction in cheat_fractions {
+        for (ai, (label, response, arm_wr)) in arms.iter().enumerate() {
+            let fault = FaultConfig {
+                cheat_fraction,
+                response: *response,
+                ..background
+            };
+            let results = replicate(opts, |seed| ScenarioConfig {
+                fault,
+                weights: Options::split_weights(*arm_wr),
+                reputation_weight: *arm_wr,
+                good_strategy: model_two(),
+                ..opts.base_config(seed)
+            });
+            let delivery = stats_of(&results, |r| r.delivery_ratio);
+            let retries = stats_of(&results, |r| r.retries_per_message);
+            let latency = stats_of(&results, |r| r.reformation_latency);
+            curves[ai].push((cheat_fraction, delivery.mean()));
+            table.row(vec![
+                format!("{cheat_fraction:.2}"),
+                (*label).into(),
+                fmt_ci(delivery.mean(), delivery.ci95().half_width),
+                format!("{:.3}", retries.mean()),
+                format!("{:.2}", latency.mean()),
+            ]);
+        }
+    }
+    let _ = table.write_csv(&opts.out_dir, "fault_adaptation");
+    let series: Vec<Series> = arms
+        .iter()
+        .zip(&curves)
+        .map(|((label, _, _), pts)| Series::new(*label, pts.clone()))
+        .collect();
+    let chart = line_chart("delivery ratio vs cheat fraction", &series, 60, 12);
+    format!(
+        "## fault-adaptation: reputation-driven response vs the static retry protocol\n\n{}\n```text\n{chart}```\n",
+        table.to_markdown()
+    )
+}
+
 /// An experiment: renders its figure/table from the shared options.
 pub type Experiment = fn(&Options) -> String;
 
@@ -966,6 +1056,7 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
         ("attack-collusion", attack_collusion),
         ("attack-intersection", attack_intersection),
         ("fault-degradation", fault_degradation),
+        ("fault-adaptation", fault_adaptation),
         ("timeline", timeline),
         ("crowds-analysis", crowds_analysis),
     ]
@@ -1043,6 +1134,18 @@ mod tests {
         });
         assert!(out.contains("0.40"), "largest swept drop rate missing");
         assert!(out.contains("model-2") || out.contains("model II"));
+        assert!(out.contains("delivery ratio"));
+    }
+
+    #[test]
+    fn fault_adaptation_runs_quick_with_both_arms() {
+        let out = fault_adaptation(&Options {
+            reps: 1,
+            ..quick_opts()
+        });
+        assert!(out.contains("static"));
+        assert!(out.contains("adaptive"));
+        assert!(out.contains("0.40"), "largest swept cheat fraction missing");
         assert!(out.contains("delivery ratio"));
     }
 

@@ -38,7 +38,7 @@ pub use formation::{
     form_bundles, form_bundles_global, form_bundles_interleaved, form_bundles_sharded,
     PairFormation,
 };
-pub use idpa_desim::FaultConfig;
+pub use idpa_desim::{FaultConfig, FaultResponse};
 pub use runner::{RunResult, SimulationRun};
 pub use scenario::{ProbeMode, ProbeRngMode, ScenarioConfig};
 pub use world::World;

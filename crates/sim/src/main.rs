@@ -4,6 +4,7 @@
 //! idpa-sim [EXPERIMENT ...] [--reps N] [--threads N] [--quick] [--out DIR] [--list]
 //!          [--fault-crash P] [--fault-drop P] [--fault-delay P] [--fault-cheat F]
 //!          [--fault-bank-downtime F] [--fault-retries N] [--fault-timeout MIN]
+//!          [--fault-response static|adaptive] [--reputation-weight W]
 //! ```
 //!
 //! With no experiment names, runs everything in the registry. Markdown
@@ -116,6 +117,27 @@ fn main() -> ExitCode {
                     _ => f.retry_timeout = v,
                 }
             }
+            "--fault-response" => {
+                opts.fault.response = match iter.next().map(String::as_str) {
+                    Some("static") => idpa_sim::FaultResponse::Static,
+                    Some("adaptive") => idpa_sim::FaultResponse::Adaptive,
+                    _ => {
+                        eprintln!("--fault-response needs 'static' or 'adaptive'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--reputation-weight" => {
+                let v = match fault_value(arg, iter.next()) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                if !(0.0..=1.0).contains(&v) {
+                    eprintln!("--reputation-weight must be in [0, 1]");
+                    return ExitCode::FAILURE;
+                }
+                opts.reputation_weight = v;
+            }
             "--fault-retries" => {
                 let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
                     eprintln!("--fault-retries needs a non-negative integer");
@@ -141,7 +163,13 @@ fn main() -> ExitCode {
                      --fault-bank-downtime F       long-run fraction of time the bank is down\n  \
                      --fault-bank-outage-mean MIN  mean length of one bank outage\n  \
                      --fault-retries N             max retransmission attempts per message\n  \
-                     --fault-timeout MIN           base retry timeout (exponential backoff)"
+                     --fault-timeout MIN           base retry timeout (exponential backoff)\n  \
+                     --fault-response MODE         'static' (baseline retry protocol) or\n  \
+                     \u{20}                             'adaptive' (reputation-driven suppression,\n  \
+                     \u{20}                             probe invalidation, escalated reformation)\n  \
+                     --reputation-weight W         w_r of the adaptive quality model\n  \
+                     \u{20}                             q = w_s*sigma + w_a*alpha + w_r*rho\n  \
+                     \u{20}                             (0 = the paper's two-term model)"
                 );
                 return ExitCode::SUCCESS;
             }

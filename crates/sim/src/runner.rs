@@ -34,11 +34,12 @@ use idpa_core::contract::Contract;
 use idpa_core::metrics::{self, DeliveryTracker, ReformationTracker};
 use idpa_core::path::{form_connection_pending, form_connection_with_scratch, PendingConnection};
 use idpa_core::quality::{EdgeQuality, Weights};
+use idpa_core::reputation::EdgeReputation;
 use idpa_core::routing::{RouteScratch, RoutingView};
 use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
-use idpa_desim::{CheatAction, Engine, FaultPlan, Process, SimTime};
+use idpa_desim::{CheatAction, Engine, FaultPlan, FaultResponse, Process, SimTime};
 use idpa_netmodel::{CostModel, NodeSchedule};
-use idpa_overlay::{LazyProbeSet, NodeId, ProbeEstimator};
+use idpa_overlay::{LazyProbeSet, NodeId, ProbeEstimator, ProbeInvalidation};
 use idpa_payment::audit::{AuditEvent, AuditLog};
 use idpa_payment::bank::AccountId;
 use idpa_payment::receipt::Receipt;
@@ -92,6 +93,15 @@ struct RunView<'a> {
     /// churn schedule, which is what keeps eager and lazy probe modes
     /// bit-identical under faults.
     crashed: &'a [f64],
+    /// The forming initiator's private fault ledger (`Some` only under
+    /// `--fault-response adaptive`): suppressed relays are filtered from
+    /// candidate sets and ρ(v) feeds the `w_r` quality term.
+    reputation: Option<&'a EdgeReputation>,
+    /// Crash-aware probe invalidation (`Some` only in adaptive mode): a
+    /// masked relay's probe-derived availability reads as 0 until its
+    /// horizon, identically in eager and lazy probe modes — the mask is an
+    /// overlay on the read path, never on probe state.
+    invalid: Option<&'a ProbeInvalidation>,
     now: SimTime,
 }
 
@@ -113,7 +123,8 @@ impl RoutingView for RunView<'_> {
         // D(s) is maintained by the node itself (its probe estimator), so
         // neighbor replacement is visible to routing.
         out.clear();
-        let live = |v: &NodeId| self.routable(*v);
+        let live =
+            |v: &NodeId| self.routable(*v) && !self.reputation.is_some_and(|r| r.is_suppressed(*v));
         match self.probes {
             ProbeState::Eager(probes) => {
                 out.extend(probes[s.index()].neighbors().iter().copied().filter(live));
@@ -125,10 +136,20 @@ impl RoutingView for RunView<'_> {
     }
 
     fn availability(&self, s: NodeId, v: NodeId) -> f64 {
+        if self
+            .invalid
+            .is_some_and(|iv| iv.masked(v.index(), self.now.minutes()))
+        {
+            return 0.0;
+        }
         match self.probes {
             ProbeState::Eager(probes) => probes[s.index()].availability(v),
             ProbeState::Lazy(set) => set.availability(s, v, self.now.minutes()),
         }
+    }
+
+    fn reputation(&self, _s: NodeId, v: NodeId) -> f64 {
+        self.reputation.map_or(1.0, |r| r.score(v))
     }
 
     fn transmission_cost(&self, s: NodeId, v: NodeId) -> f64 {
@@ -210,6 +231,34 @@ struct FaultRuntime {
     keys: Vec<[u8; 32]>,
     /// Per-pair time of the last completed connection (`< 0` = none).
     last_completion: Vec<f64>,
+    /// Per-initiator private fault ledgers (indexed by initiator node).
+    /// Written only under `--fault-response adaptive`; in static mode they
+    /// stay pristine and are never handed to the routing view, keeping
+    /// static runs bit-identical to the pre-adaptive code path.
+    reputation: Vec<EdgeReputation>,
+    /// Global probe-availability mask, advanced on confirmed failures
+    /// (adaptive mode only).
+    probe_invalid: ProbeInvalidation,
+}
+
+impl FaultRuntime {
+    fn adaptive(&self) -> bool {
+        self.plan.config().response == FaultResponse::Adaptive
+    }
+}
+
+/// The forwarder an initiator blames for a fault on edge `i` (which carries
+/// the payload from path position `i` to `i + 1`): the receiving forwarder
+/// when there is one, else the sending forwarder. A direct
+/// initiator-to-responder edge has no forwarder to blame.
+fn edge_suspect(forwarders: &[NodeId], i: usize) -> Option<NodeId> {
+    if i < forwarders.len() {
+        Some(forwarders[i])
+    } else if i >= 1 {
+        Some(forwarders[i - 1])
+    } else {
+        None
+    }
 }
 
 /// What ended a transmission attempt before confirmation reached `I`.
@@ -317,13 +366,19 @@ impl SimulationRun {
                     validators,
                     keys,
                     last_completion: vec![-1.0; n_pairs],
+                    reputation: vec![EdgeReputation::new(cfg.n_nodes); cfg.n_nodes],
+                    probe_invalid: ProbeInvalidation::new(cfg.n_nodes),
                 }),
             )
         } else {
             (Vec::new(), None)
         };
         SimulationRun {
-            quality: EdgeQuality::new(Weights::new(cfg.weights.0, cfg.weights.1)),
+            quality: EdgeQuality::new(Weights::with_reputation(
+                cfg.weights.0,
+                cfg.weights.1,
+                cfg.reputation_weight,
+            )),
             probes,
             histories,
             bundles: vec![BundleAccounting::new(); n_pairs],
@@ -471,6 +526,8 @@ impl SimulationRun {
             probes: &self.probes,
             costs: &self.world.costs,
             crashed: &self.crashed_until,
+            reputation: None,
+            invalid: None,
             now,
         };
         let outcome = form_connection_with_scratch(
@@ -529,6 +586,7 @@ impl SimulationRun {
         attempt: u32,
         fr: &mut FaultRuntime,
     ) {
+        let adaptive = fr.adaptive();
         let wl = &self.world.pairs[pair];
         let contract = Contract::from_tau(BundleId(pair as u64), wl.responder, wl.pf, self.cfg.tau);
         let priors = self.bundles[pair].connections();
@@ -537,6 +595,8 @@ impl SimulationRun {
             probes: &self.probes,
             costs: &self.world.costs,
             crashed: &self.crashed_until,
+            reputation: adaptive.then(|| &fr.reputation[wl.initiator.index()]),
+            invalid: adaptive.then_some(&fr.probe_invalid),
             now,
         };
         let pending = form_connection_pending(
@@ -562,6 +622,7 @@ impl SimulationRun {
 
         // Forward walk: edge i carries the payload from position i to i+1.
         let mut failure: Option<AttemptFailure> = None;
+        let mut suspect: Option<NodeId> = None;
         let mut cum_delay = 0.0f64;
         for (i, ef) in faults.edges.iter().enumerate() {
             // The sender of edge i >= 1 is forwarder f_i; the initiator
@@ -574,15 +635,18 @@ impl SimulationRun {
                 let slot = &mut self.crashed_until[v.index()];
                 *slot = slot.max(end);
                 failure = Some(AttemptFailure::Crash);
+                suspect = Some(v);
                 break;
             }
             if ef.dropped {
                 failure = Some(AttemptFailure::Drop);
+                suspect = edge_suspect(forwarders, i);
                 break;
             }
             cum_delay += ef.delay;
             if cum_delay > timeout {
                 failure = Some(AttemptFailure::Timeout);
+                suspect = edge_suspect(forwarders, i);
                 break;
             }
         }
@@ -604,6 +668,7 @@ impl SimulationRun {
                 ) {
                     CheatAction::DropConfirmation => {
                         failure = Some(AttemptFailure::ConfirmationDropped(p));
+                        suspect = Some(forwarders[p - 1]);
                         break;
                     }
                     CheatAction::CorruptReceipts => corrupt_from = Some(p),
@@ -624,9 +689,50 @@ impl SimulationRun {
                         &mut self.histories.exclusive(),
                     );
                 }
+                // Adaptive response: charge the failure to the suspect's
+                // ledger and invalidate its probe-derived availability —
+                // immediately, not at session-end recovery. A crash masks
+                // until one probe period past the truncated session's end
+                // (the next round that could re-vouch for it); a drop or
+                // timeout masks for one probe period from now.
+                if adaptive {
+                    if let Some(v) = suspect {
+                        let initiator = self.world.pairs[pair].initiator;
+                        let rep = &mut fr.reputation[initiator.index()];
+                        let horizon = match kind {
+                            AttemptFailure::Crash => {
+                                rep.record_drop(v);
+                                self.crashed_until[v.index()] + self.cfg.probe_period
+                            }
+                            AttemptFailure::Drop => {
+                                rep.record_drop(v);
+                                now.minutes() + self.cfg.probe_period
+                            }
+                            AttemptFailure::Timeout | AttemptFailure::ConfirmationDropped(_) => {
+                                rep.record_timeout(v);
+                                now.minutes() + self.cfg.probe_period
+                            }
+                        };
+                        fr.probe_invalid.invalidate(v.index(), horizon);
+                    }
+                }
                 if attempt < fr.plan.config().max_retries {
                     fr.delivery.record_retry();
-                    let backoff = timeout * f64::from(2u32.pow(attempt));
+                    // Static: exponential backoff on the same schedule every
+                    // retry. Adaptive: once the suspect is suppressed the
+                    // next formation excludes it, so escalate straight to
+                    // reformation with a flat backoff instead of waiting
+                    // out the exponential schedule.
+                    let reform_now = adaptive
+                        && suspect.is_some_and(|v| {
+                            let initiator = self.world.pairs[pair].initiator;
+                            fr.reputation[initiator.index()].is_suppressed(v)
+                        });
+                    let backoff = if reform_now {
+                        timeout
+                    } else {
+                        timeout * f64::from(2u32.pow(attempt))
+                    };
                     engine.schedule_in(
                         backoff,
                         Ev::Retry {
@@ -691,6 +797,19 @@ impl SimulationRun {
             })
             .collect();
         fr.validators[pair].add_connection(ConnectionEvidence { manifest, receipts });
+
+        // In-run cheater feedback (adaptive only): when receipts came back
+        // corrupted, replay just this connection's evidence now instead of
+        // waiting for settlement. The §5 intact-prefix rule pins the
+        // corruption on one forwarder; flagging it in the initiator's
+        // ledger suppresses it from this run's subsequent path formations.
+        if fr.adaptive() && corrupt_from.is_some() {
+            let initiator = self.world.pairs[pair].initiator;
+            let idx = fr.validators[pair].connections() - 1;
+            if let Some(cheater) = fr.validators[pair].flag_connection(idx) {
+                fr.reputation[initiator.index()].flag_cheater(NodeId(cheater.0 as usize));
+            }
+        }
     }
 
     /// Settles the fault layer: §5 validation over every bundle's evidence,

@@ -63,6 +63,11 @@ pub struct ScenarioConfig {
     pub tau: f64,
     /// `(w_s, w_a)` edge-quality weights.
     pub weights: (f64, f64),
+    /// `w_r`, the weight of the per-initiator reputation term in the
+    /// adaptive quality model `q = w_s·σ + w_a·α + w_r·ρ`. The default `0`
+    /// reproduces the paper's two-term model bit-for-bit; when positive,
+    /// `w_s + w_a + w_r` must sum to 1.
+    pub reputation_weight: f64,
     /// Fraction `f` of malicious nodes.
     pub adversary_fraction: f64,
     /// Routing strategy of good nodes (the Figs. 5–7 axis).
@@ -134,6 +139,7 @@ impl Default for ScenarioConfig {
             pf_range: (50.0, 100.0),
             tau: 1.0,
             weights: (0.5, 0.5),
+            reputation_weight: 0.0,
             adversary_fraction: 0.0,
             good_strategy: RoutingStrategy::Utility(UtilityModel::ModelI),
             adversary_strategy: AdversaryStrategy::Random,
@@ -311,10 +317,14 @@ impl ScenarioConfig {
             "cost_scale must be positive".into(),
         )?;
         let (ws, wa) = self.weights;
+        let wr = self.reputation_weight;
         ensure(
-            ws >= 0.0 && wa >= 0.0 && (ws + wa - 1.0).abs() <= 1e-9,
+            ws >= 0.0 && wa >= 0.0 && wr >= 0.0 && (ws + wa + wr - 1.0).abs() <= 1e-9,
             "weights",
-            format!("(w_s, w_a) must be nonnegative and sum to 1 (got ({ws}, {wa}))"),
+            format!(
+                "(w_s, w_a, w_r) must be nonnegative and sum to 1 \
+                 (got ({ws}, {wa}, {wr}))"
+            ),
         )?;
         self.fault
             .validate()
@@ -471,6 +481,22 @@ mod tests {
         cfg.fault.cheat_fraction = 0.2;
         cfg.validate().expect("active faults are a valid scenario");
         assert!(cfg.fault.is_active());
+    }
+
+    #[test]
+    fn three_term_weights_validate_and_unbalanced_rejected() {
+        let cfg = ScenarioConfig {
+            weights: (0.4, 0.4),
+            reputation_weight: 0.2,
+            ..ScenarioConfig::default()
+        };
+        cfg.validate()
+            .expect("balanced three-term weights are valid");
+        let bad = ScenarioConfig {
+            reputation_weight: 0.2, // on top of (0.5, 0.5)
+            ..ScenarioConfig::default()
+        };
+        assert_rejected(&bad, "weights", "sum to 1");
     }
 
     #[test]

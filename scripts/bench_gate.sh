@@ -19,7 +19,9 @@ pct="${IDPA_BENCH_GATE_PCT:-20}"
 
 stage="bench smoke"
 fresh=""
+fresh_pm=""
 trap 'status=$?; [ -n "$fresh" ] && rm -f "$fresh"
+      [ -n "$fresh_pm" ] && rm -f "$fresh_pm"
       if [ "$status" -ne 0 ]; then
         echo "bench gate: FAILED in stage: $stage (exit $status)" >&2
       fi' EXIT
@@ -27,11 +29,21 @@ trap 'status=$?; [ -n "$fresh" ] && rm -f "$fresh"
 # 1. Every bench binary runs its kernels once (untimed) — bench rot check.
 IDPA_BENCH_SMOKE=1 cargo bench --offline -p idpa-bench
 
-# 2. Short timed pass of the sharded-formation bench.
+# 2. Short timed passes of the gated benches: sharded formation and
+# maintenance-heavy lazy probing. Each binary writes its own report; the
+# two are concatenated into one fresh file (the awk below parses flat
+# "name": ns lines, so back-to-back JSON objects compare fine), and the
+# comparison gates every point at once.
 stage="timed history_shard pass"
 fresh="$(mktemp)"
+fresh_pm="$(mktemp)"
 IDPA_HS_QUICK=1 IDPA_BENCH_OUT="$fresh" \
     cargo bench --offline -p idpa-bench --bench history_shard
+
+stage="timed probe_maintenance pass"
+IDPA_PM_QUICK=1 IDPA_BENCH_OUT="$fresh_pm" \
+    cargo bench --offline -p idpa-bench --bench probe_maintenance
+cat "$fresh_pm" >> "$fresh"
 
 # 3. Compare each fresh point against the best committed value for the
 # same key across every BENCH_*.json in the repo (flat "name": ns maps).

@@ -39,5 +39,13 @@ IDPA_BENCH_SMOKE=1 cargo bench --offline -p idpa-bench
 stage="fault smoke (IDPA_FAULT_SMOKE=1 fault_matrix example)"
 IDPA_FAULT_SMOKE=1 cargo run --release --offline --example fault_matrix
 
+# Adaptive-mode smoke: one quick static-vs-adaptive comparison through the
+# real CLI, exercising --fault-response and --reputation-weight end to end
+# (the adaptive arm runs reputation suppression, in-run cheater feedback,
+# probe invalidation and escalated reformation).
+stage="adaptive fault smoke (fault-adaptation experiment)"
+IDPA_FAULT_SMOKE=1 cargo run --release --offline -p idpa-sim -- fault-adaptation \
+    --quick --reps 2 --reputation-weight 0.2 --out target/verify-results
+
 stage="done"
 echo "verify: OK"

@@ -58,12 +58,13 @@ pub mod prelude {
     pub use idpa_core::history::HistoryProfile;
     pub use idpa_core::path::{form_connection, PathOutcome};
     pub use idpa_core::quality::{EdgeQuality, Weights};
+    pub use idpa_core::reputation::EdgeReputation;
     pub use idpa_core::routing::{PathPolicy, RoutingStrategy, RoutingView};
     pub use idpa_core::utility::{InitiatorUtility, UtilityModel};
     pub use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
     pub use idpa_desim::stats::{Ecdf, OnlineStats};
-    pub use idpa_desim::{Engine, FaultConfig, Process, SimTime};
-    pub use idpa_overlay::{NodeId, NodeKind, ProbeEstimator, Topology};
+    pub use idpa_desim::{Engine, FaultConfig, FaultResponse, Process, SimTime};
+    pub use idpa_overlay::{NodeId, NodeKind, ProbeEstimator, ProbeInvalidation, Topology};
     pub use idpa_payment::{Bank, Escrow, Receipt, ReceiptBook, Token, Wallet};
     pub use idpa_sim::{RunResult, ScenarioConfig, SimulationRun, World};
 }
