@@ -206,6 +206,7 @@ fn format_ns(ns: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
 

@@ -8,6 +8,9 @@
 //! by the in-tree median-of-N harness in [`harness`] (no external
 //! dependencies; results accumulate into `BENCH_pr1.json`).
 
+#![deny(clippy::unwrap_used)]
+
+pub mod alloc_counter;
 pub mod harness;
 
 use idpa_core::routing::RoutingStrategy;

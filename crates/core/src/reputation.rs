@@ -22,6 +22,14 @@ use idpa_overlay::NodeId;
 /// (in addition to any validator cheat flag, which suppresses immediately).
 pub const SUPPRESSION_FAULTS: u32 = 2;
 
+/// The observations one initiator holds against a single relay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct RelayFaults {
+    drops: u32,
+    timeouts: u32,
+    flagged: bool,
+}
+
 /// One initiator's private fault ledger over all potential relays.
 ///
 /// Scores decay harmonically with the observed fault count — one strike
@@ -29,11 +37,17 @@ pub const SUPPRESSION_FAULTS: u32 = 2;
 /// flag zeroes it outright: receipt corruption is *attributed* misbehavior
 /// (the §5 intact-prefix rule pins it on a specific forwarder), whereas a
 /// drop or timeout could be the network's fault.
+///
+/// Storage is sparse: a relay with no recorded observation occupies no
+/// memory (absent ≡ clean, ρ = 1), so a ledger's footprint scales with the
+/// relays an initiator has actually seen misbehave, not with the network
+/// size. Entries appear only on a recorded fault or flag, so equality over
+/// the sparse map coincides with value equality of the dense ledger it
+/// replaced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeReputation {
-    drops: Vec<u32>,
-    timeouts: Vec<u32>,
-    flagged: Vec<bool>,
+    n_nodes: usize,
+    observed: std::collections::HashMap<usize, RelayFaults>,
 }
 
 impl EdgeReputation {
@@ -41,62 +55,73 @@ impl EdgeReputation {
     #[must_use]
     pub fn new(n_nodes: usize) -> Self {
         EdgeReputation {
-            drops: vec![0; n_nodes],
-            timeouts: vec![0; n_nodes],
-            flagged: vec![false; n_nodes],
+            n_nodes,
+            observed: std::collections::HashMap::new(),
         }
+    }
+
+    fn get(&self, v: NodeId) -> RelayFaults {
+        assert!(v.index() < self.n_nodes, "relay {v} out of range");
+        self.observed.get(&v.index()).copied().unwrap_or_default()
+    }
+
+    fn get_mut(&mut self, v: NodeId) -> &mut RelayFaults {
+        assert!(v.index() < self.n_nodes, "relay {v} out of range");
+        self.observed.entry(v.index()).or_default()
     }
 
     /// Records a confirmed loss (crash or packet drop) through `v`.
     pub fn record_drop(&mut self, v: NodeId) {
-        self.drops[v.index()] += 1;
+        self.get_mut(v).drops += 1;
     }
 
     /// Records a confirmation timeout attributed to `v` (includes dropped
     /// confirmations — from the initiator's seat a swallowed confirmation
     /// is indistinguishable from a slow one).
     pub fn record_timeout(&mut self, v: NodeId) {
-        self.timeouts[v.index()] += 1;
+        self.get_mut(v).timeouts += 1;
     }
 
     /// Marks `v` as a validator-flagged cheater (receipt corruption pinned
     /// on `v` by the intact-prefix rule). Irrevocable within a run.
     pub fn flag_cheater(&mut self, v: NodeId) {
-        self.flagged[v.index()] = true;
+        self.get_mut(v).flagged = true;
     }
 
     /// Observed drop count for `v`.
     #[must_use]
     pub fn drops(&self, v: NodeId) -> u32 {
-        self.drops[v.index()]
+        self.get(v).drops
     }
 
     /// Observed timeout count for `v`.
     #[must_use]
     pub fn timeouts(&self, v: NodeId) -> u32 {
-        self.timeouts[v.index()]
+        self.get(v).timeouts
     }
 
     /// Total observed (non-cheat) faults through `v`.
     #[must_use]
     pub fn fault_count(&self, v: NodeId) -> u32 {
-        self.drops[v.index()] + self.timeouts[v.index()]
+        let f = self.get(v);
+        f.drops + f.timeouts
     }
 
     /// Whether the validator has pinned receipt corruption on `v`.
     #[must_use]
     pub fn is_flagged(&self, v: NodeId) -> bool {
-        self.flagged[v.index()]
+        self.get(v).flagged
     }
 
     /// The reputation score ρ(v) ∈ [0, 1]: zero for flagged cheaters,
     /// otherwise `1 / (1 + faults)`.
     #[must_use]
     pub fn score(&self, v: NodeId) -> f64 {
-        if self.flagged[v.index()] {
+        let f = self.get(v);
+        if f.flagged {
             0.0
         } else {
-            1.0 / (1.0 + f64::from(self.fault_count(v)))
+            1.0 / (1.0 + f64::from(f.drops + f.timeouts))
         }
     }
 
@@ -105,15 +130,25 @@ impl EdgeReputation {
     /// [`SUPPRESSION_FAULTS`] observed faults.
     #[must_use]
     pub fn is_suppressed(&self, v: NodeId) -> bool {
-        self.flagged[v.index()] || self.fault_count(v) >= SUPPRESSION_FAULTS
+        let f = self.get(v);
+        f.flagged || f.drops + f.timeouts >= SUPPRESSION_FAULTS
     }
 
     /// Number of relays with at least one observation or flag.
     #[must_use]
     pub fn observed_nodes(&self) -> usize {
-        (0..self.drops.len())
-            .filter(|&i| self.drops[i] > 0 || self.timeouts[i] > 0 || self.flagged[i])
+        self.observed
+            .values()
+            .filter(|f| f.drops > 0 || f.timeouts > 0 || f.flagged)
             .count()
+    }
+
+    /// Approximate heap footprint of the ledger, in bytes (sparse entries
+    /// only — a clean ledger reports zero).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.observed.capacity()
+            * (std::mem::size_of::<RelayFaults>() + std::mem::size_of::<usize>())
     }
 }
 

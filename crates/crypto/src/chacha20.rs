@@ -21,11 +21,19 @@ impl ChaCha20 {
     pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
         let mut k = [0u32; 8];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
-            k[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+            k[i] = u32::from_le_bytes(
+                chunk
+                    .try_into()
+                    .expect("chunks_exact(4) yields 4-byte slices"),
+            );
         }
         let mut n = [0u32; 3];
         for (i, chunk) in nonce.chunks_exact(4).enumerate() {
-            n[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+            n[i] = u32::from_le_bytes(
+                chunk
+                    .try_into()
+                    .expect("chunks_exact(4) yields 4-byte slices"),
+            );
         }
         ChaCha20 {
             key: k,

@@ -200,6 +200,7 @@ pub fn mixed_nash_2p(game: &NormalFormGame) -> Vec<MixedEquilibrium> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
 

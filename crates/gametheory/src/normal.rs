@@ -299,6 +299,7 @@ impl NormalFormGame {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
 

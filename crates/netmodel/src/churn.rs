@@ -230,6 +230,7 @@ impl ChurnModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
 

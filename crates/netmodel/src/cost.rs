@@ -12,7 +12,7 @@
 //!   "forwards traffic on low bandwidth links" to conserve its own access
 //!   bandwidth (the Shrivastava–Banerjee behaviour the paper cites).
 
-use idpa_desim::rng::Xoshiro256StarStar;
+use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
 use rand::RngExt;
 
 /// Parameters of the cost model.
@@ -61,13 +61,28 @@ impl CostConfig {
     }
 }
 
+/// How the symmetric bandwidth matrix is held.
+#[derive(Debug, Clone)]
+enum Bandwidth {
+    /// Upper-triangular storage of the full matrix: entry (i, j) for
+    /// i < j is at `i*n - i*(i+1)/2 + (j - i - 1)`. O(n²) memory, drawn
+    /// from one sequential stream — the historical layout every existing
+    /// scenario pins.
+    Dense(Vec<f64>),
+    /// No storage at all: each edge's bandwidth is the first draw of a
+    /// position-keyed stream (`"bandwidth/edge"` keyed by the ordered
+    /// pair), materialized on every lookup. O(1) memory; the *values*
+    /// differ from the dense layout (a different, but equally i.i.d.,
+    /// uniform draw per edge), so this is a scenario-level choice, not a
+    /// transparent execution mode.
+    Sparse(StreamFactory),
+}
+
 /// A symmetric peer-to-peer bandwidth matrix and the derived costs.
 #[derive(Debug, Clone)]
 pub struct CostModel {
     config: CostConfig,
-    /// Upper-triangular storage of the symmetric bandwidth matrix:
-    /// entry (i, j) for i < j is at `i*n - i*(i+1)/2 + (j - i - 1)`.
-    bandwidth: Vec<f64>,
+    bandwidth: Bandwidth,
 }
 
 impl CostModel {
@@ -80,7 +95,25 @@ impl CostModel {
         for _ in 0..n * (n - 1) / 2 {
             bandwidth.push(rng.random_range(config.bandwidth_lo..=config.bandwidth_hi));
         }
-        CostModel { config, bandwidth }
+        CostModel {
+            config,
+            bandwidth: Bandwidth::Dense(bandwidth),
+        }
+    }
+
+    /// A sparse model that stores no matrix: each symmetric edge's
+    /// bandwidth is re-derived on demand from its own position-keyed
+    /// stream. Memory is O(1) regardless of `n_nodes`, which is what lets
+    /// million-node worlds exist at all; the sampled values are *not*
+    /// those of [`CostModel::generate`] (different stream layout), so
+    /// scenarios opt in explicitly.
+    #[must_use]
+    pub fn generate_sparse(config: CostConfig, streams: StreamFactory) -> Self {
+        config.validate();
+        CostModel {
+            config,
+            bandwidth: Bandwidth::Sparse(streams),
+        }
     }
 
     /// The configuration.
@@ -100,7 +133,13 @@ impl CostModel {
     pub fn bandwidth(&self, i: usize, j: usize) -> f64 {
         assert!(i != j, "no self-link bandwidth");
         let (a, b) = if i < j { (i, j) } else { (j, i) };
-        self.bandwidth[self.tri_index(a, b)]
+        match &self.bandwidth {
+            Bandwidth::Dense(tri) => tri[self.tri_index(a, b)],
+            Bandwidth::Sparse(streams) => {
+                let mut rng = streams.stream_indexed2("bandwidth/edge", a as u64, b as u64);
+                rng.random_range(self.config.bandwidth_lo..=self.config.bandwidth_hi)
+            }
+        }
     }
 
     /// Per-unit transmission cost `l(i,j) = cost_scale / bandwidth(i,j)`.
@@ -212,5 +251,38 @@ mod tests {
         let a = model(7);
         let b = model(7);
         assert_eq!(a.bandwidth(0, 5), b.bandwidth(0, 5));
+    }
+
+    fn sparse(seed: u64, n: usize) -> CostModel {
+        let cfg = CostConfig {
+            n_nodes: n,
+            ..CostConfig::default()
+        };
+        CostModel::generate_sparse(cfg, StreamFactory::new(seed))
+    }
+
+    #[test]
+    fn sparse_is_symmetric_in_range_and_deterministic() {
+        let a = sparse(9, 1_000_000);
+        let b = sparse(9, 1_000_000);
+        for (i, j) in [(0usize, 1usize), (3, 999_999), (500_000, 7)] {
+            let bw = a.bandwidth(i, j);
+            assert_eq!(bw, a.bandwidth(j, i), "symmetry at ({i}, {j})");
+            assert_eq!(bw, b.bandwidth(i, j), "determinism at ({i}, {j})");
+            assert!((1.0..=10.0).contains(&bw), "bw={bw}");
+        }
+        assert!(a.max_transmission_cost() >= a.transmission_cost(0, 1));
+    }
+
+    #[test]
+    fn sparse_reads_are_position_stable() {
+        let m = sparse(11, 100);
+        let first = m.bandwidth(4, 17);
+        let _interleaved = (m.bandwidth(0, 1), m.bandwidth(98, 99));
+        assert_eq!(
+            m.bandwidth(4, 17),
+            first,
+            "lookups must not disturb each other"
+        );
     }
 }

@@ -157,6 +157,7 @@ pub fn poisson_count(mean: f64, rng: &mut Xoshiro256StarStar) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
 

@@ -131,6 +131,7 @@ pub fn from_csv(csv: &str, n_nodes: usize) -> Result<Vec<NodeSchedule>, TraceErr
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
     use crate::churn::{ChurnConfig, ChurnModel};

@@ -35,5 +35,5 @@ pub mod topology;
 pub use invalidate::ProbeInvalidation;
 pub use node::{NodeId, NodeKind};
 pub use probe::ProbeEstimator;
-pub use probe_lazy::LazyProbeSet;
+pub use probe_lazy::{cell_footprint, LazyProbeSet, Residency};
 pub use topology::Topology;

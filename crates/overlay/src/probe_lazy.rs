@@ -39,6 +39,8 @@
 //!   `maintain_seeded` code path.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use idpa_desim::pool::parallel_map;
 use idpa_desim::rng::StreamFactory;
@@ -213,7 +215,9 @@ struct LazyCtx {
     n_nodes: usize,
     threshold: Option<u64>,
     streams: StreamFactory,
-    schedules: Vec<NodeSchedule>,
+    /// Shared with the world (and any sibling probe sets): the analytic
+    /// schedules are the one O(N) structure every lifecycle keeps resident.
+    schedules: Arc<Vec<NodeSchedule>>,
 }
 
 /// Sentinel in a cell's due cache: the slot's due tick must be recomputed.
@@ -432,19 +436,128 @@ fn sync_cell_slow(cell: &mut ProbeCell, ctx: &LazyCtx, target: u64) {
     }
 }
 
+/// Residency statistics of a probe-cell store: how much per-node state is
+/// materialized, how much ever was, and what came back out. The byte
+/// figures are estimates from [`cell_footprint`], not allocator readings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Residency {
+    /// Cells resident right now.
+    pub materialized: usize,
+    /// High-water mark of simultaneously resident cells.
+    pub peak: usize,
+    /// Cells evicted back to their analytic summary.
+    pub evictions: u64,
+    /// Estimated bytes of currently resident cells.
+    pub bytes: usize,
+    /// High-water mark of the byte estimate.
+    pub peak_bytes: usize,
+}
+
+/// Estimated resident footprint of one materialized probe cell with
+/// `degree` neighbor slots: the per-slot arrays of the estimator
+/// (neighbor id, init time, live rounds, last-alive round, ever-seen)
+/// plus the due cache and the fixed cell struct. A *model*, deliberately a
+/// pure function of the degree so that every probe-state representation
+/// of the same scenario reports the same figure.
+#[must_use]
+pub fn cell_footprint(degree: usize) -> usize {
+    std::mem::size_of::<ProbeCell>() + degree * (5 * std::mem::size_of::<u64>() + 1)
+}
+
+/// One sparse-store entry: the cell plus the tick it was last touched at
+/// (the eviction clock).
+#[derive(Debug, Clone)]
+struct SparseCell {
+    cell: ProbeCell,
+    last_touch: u64,
+}
+
+/// The sparse cell store: cells exist only for touched nodes and can be
+/// dropped again — the analytic schedule plus the position-keyed streams
+/// *are* the compact summary, so a re-touch reconstructs the exact state
+/// the cell would have held had it never been evicted.
+#[derive(Debug, Clone)]
+struct SparseCells {
+    map: HashMap<usize, SparseCell>,
+    /// Initial neighbor sets, shared with the topology owner: the seed
+    /// every (re-)materialization starts its trajectory from.
+    init_neighbors: Arc<Vec<Vec<NodeId>>>,
+    stats: Residency,
+}
+
+impl SparseCells {
+    /// Materializes (if absent) and syncs node `s`'s cell through `target`.
+    fn touch(&mut self, s: NodeId, target: u64, ctx: &LazyCtx) -> &mut ProbeCell {
+        if !self.map.contains_key(&s.index()) {
+            let nbrs = self.init_neighbors[s.index()].clone();
+            let footprint = cell_footprint(nbrs.len());
+            let cell = ProbeCell {
+                est: ProbeEstimator::new(s, ctx.period, nbrs),
+                synced_tick: 0,
+                due_cache: Vec::new(),
+            };
+            self.stats.materialized += 1;
+            self.stats.peak = self.stats.peak.max(self.stats.materialized);
+            self.stats.bytes += footprint;
+            self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.bytes);
+            self.map.insert(
+                s.index(),
+                SparseCell {
+                    cell,
+                    last_touch: target,
+                },
+            );
+        }
+        let sc = self
+            .map
+            .get_mut(&s.index())
+            .expect("cell materialized above");
+        sc.last_touch = sc.last_touch.max(target);
+        sync_cell(&mut sc.cell, ctx, target);
+        &mut sc.cell
+    }
+}
+
+/// How a [`LazyProbeSet`] holds its cells.
+#[derive(Debug, Clone)]
+enum CellStore {
+    /// One pre-allocated cell per node — the historical O(N) layout.
+    Dense(Vec<RefCell<ProbeCell>>),
+    /// Cells materialize on first touch and are evicted when idle.
+    Sparse(RefCell<SparseCells>),
+}
+
 /// Sharded, lazily-synced probe state for every node in the system.
 ///
 /// Reads (`availability`, `with_neighbors`, …) sync the queried node's cell
 /// on demand through interior mutability; [`LazyProbeSet::sync_all`] bulk-
 /// syncs disjoint cells in parallel, bit-identically at any thread count.
+///
+/// Two storage layouts exist. The **dense** store ([`LazyProbeSet::new`])
+/// pre-allocates one cell per node. The **sparse** store
+/// ([`LazyProbeSet::new_sparse`]) allocates a cell the first time a node is
+/// touched and can evict idle cells again ([`LazyProbeSet::evict_idle`]);
+/// because a cell's state at tick `k` is a pure function of the schedules,
+/// the initial neighbor sets and the position-keyed streams, an evicted
+/// cell reconstructs **bit-identically** on re-touch, so the two layouts
+/// answer every query with exactly the same values.
 #[derive(Debug, Clone)]
 pub struct LazyProbeSet {
     ctx: LazyCtx,
-    cells: Vec<RefCell<ProbeCell>>,
+    cells: CellStore,
     /// Memo of the last `now → target tick` mapping: reads cluster at a
     /// single simulation time (all queries of one transmission), so the
     /// tick arithmetic is paid once per distinct `now`.
     tick_memo: std::cell::Cell<(f64, u64)>,
+}
+
+/// Validates the shared constructor inputs and derives the tick geometry.
+fn check_inputs(period: f64, horizon: f64, threshold: Option<u64>) -> u64 {
+    assert!(period > 0.0, "probing period must be positive");
+    if let Some(t) = threshold {
+        assert!(t >= 1, "replacement threshold must be >= 1");
+    }
+    last_tick_before(horizon, period).unwrap_or(0)
 }
 
 impl LazyProbeSet {
@@ -462,16 +575,33 @@ impl LazyProbeSet {
         threshold: Option<u64>,
         streams: StreamFactory,
     ) -> Self {
-        assert!(period > 0.0, "probing period must be positive");
+        Self::new_shared(
+            period,
+            horizon,
+            Arc::new(schedules),
+            neighbors,
+            threshold,
+            streams,
+        )
+    }
+
+    /// [`LazyProbeSet::new`] over schedules already shared elsewhere (the
+    /// world keeps them for routing liveness) — avoids the O(N) clone.
+    #[must_use]
+    pub fn new_shared(
+        period: f64,
+        horizon: f64,
+        schedules: Arc<Vec<NodeSchedule>>,
+        neighbors: Vec<Vec<NodeId>>,
+        threshold: Option<u64>,
+        streams: StreamFactory,
+    ) -> Self {
         assert_eq!(
             schedules.len(),
             neighbors.len(),
             "one neighbor set per node"
         );
-        if let Some(t) = threshold {
-            assert!(t >= 1, "replacement threshold must be >= 1");
-        }
-        let max_tick = last_tick_before(horizon, period).unwrap_or(0);
+        let max_tick = check_inputs(period, horizon, threshold);
         let cells = neighbors
             .into_iter()
             .enumerate()
@@ -492,7 +622,45 @@ impl LazyProbeSet {
                 streams,
                 schedules,
             },
-            cells,
+            cells: CellStore::Dense(cells),
+            tick_memo: std::cell::Cell::new((f64::NEG_INFINITY, 0)),
+        }
+    }
+
+    /// The sparse-store variant: no cell exists until its node is first
+    /// touched by a read or maintenance query, and idle cells can be
+    /// evicted back to nothing ([`LazyProbeSet::evict_idle`]). Resident
+    /// memory scales with the touched working set, never with `N`; query
+    /// results are bit-identical to the dense store's.
+    #[must_use]
+    pub fn new_sparse(
+        period: f64,
+        horizon: f64,
+        schedules: Arc<Vec<NodeSchedule>>,
+        neighbors: Arc<Vec<Vec<NodeId>>>,
+        threshold: Option<u64>,
+        streams: StreamFactory,
+    ) -> Self {
+        assert_eq!(
+            schedules.len(),
+            neighbors.len(),
+            "one neighbor set per node"
+        );
+        let max_tick = check_inputs(period, horizon, threshold);
+        LazyProbeSet {
+            ctx: LazyCtx {
+                period,
+                max_tick,
+                n_nodes: schedules.len(),
+                threshold,
+                streams,
+                schedules,
+            },
+            cells: CellStore::Sparse(RefCell::new(SparseCells {
+                map: HashMap::new(),
+                init_neighbors: neighbors,
+                stats: Residency::default(),
+            })),
             tick_memo: std::cell::Cell::new((f64::NEG_INFINITY, 0)),
         }
     }
@@ -521,12 +689,33 @@ impl LazyProbeSet {
         tick
     }
 
-    /// Syncs node `s`'s cell through `now` and hands it to `f`.
-    fn with_cell<R>(&self, s: NodeId, now: f64, f: impl FnOnce(&ProbeCell) -> R) -> R {
+    /// Syncs node `s`'s cell through `now` and hands it to `f`. Under the
+    /// sparse store this is the touch point: the cell materializes here if
+    /// absent, and its eviction clock advances to the queried tick.
+    fn with_cell_mut<R>(
+        &self,
+        s: NodeId,
+        now: f64,
+        f: impl FnOnce(&mut ProbeCell, &LazyCtx) -> R,
+    ) -> R {
         let target = self.target_tick(now);
-        let mut cell = self.cells[s.index()].borrow_mut();
-        sync_cell(&mut cell, &self.ctx, target);
-        f(&cell)
+        let ctx = &self.ctx;
+        match &self.cells {
+            CellStore::Dense(cells) => {
+                let mut cell = cells[s.index()].borrow_mut();
+                sync_cell(&mut cell, ctx, target);
+                f(&mut cell, ctx)
+            }
+            CellStore::Sparse(store) => {
+                let mut store = store.borrow_mut();
+                f(store.touch(s, target, ctx), ctx)
+            }
+        }
+    }
+
+    /// Read-only flavor of [`LazyProbeSet::with_cell_mut`].
+    fn with_cell<R>(&self, s: NodeId, now: f64, f: impl FnOnce(&ProbeCell) -> R) -> R {
+        self.with_cell_mut(s, now, |cell, _| f(cell))
     }
 
     /// Syncs node `s` through every tick at or before `now`.
@@ -567,28 +756,92 @@ impl LazyProbeSet {
     #[must_use]
     pub fn next_due_after(&self, s: NodeId, now: f64) -> Option<f64> {
         let thr = self.ctx.threshold?;
-        self.sync_node(s, now);
-        let mut cell = self.cells[s.index()].borrow_mut();
-        next_due_tick(&mut cell, &self.ctx, thr).map(|k| tick_time(k, self.ctx.period))
+        self.with_cell_mut(s, now, |cell, ctx| {
+            next_due_tick(cell, ctx, thr).map(|k| tick_time(k, ctx.period))
+        })
     }
 
-    /// Syncs every cell through `now` on `threads` workers. Cells are
-    /// disjoint, so the result is bit-identical at any thread count.
+    /// Syncs every *resident* cell through `now`; dense stores fan the work
+    /// out over `threads` workers. Cells are disjoint and each sync is a
+    /// pure function of (cell, schedules, target), so the result is
+    /// bit-identical at any thread count and any store iteration order.
     pub fn sync_all(&mut self, now: f64, threads: usize) {
         let target = self.target_tick(now);
-        let cells: Vec<ProbeCell> = self
-            .cells
-            .iter_mut()
-            .map(|c| std::mem::take(c.get_mut()))
-            .collect();
         let ctx = &self.ctx;
-        let synced = parallel_map(threads, cells.len(), |i| {
-            let mut cell = cells[i].clone();
-            sync_cell(&mut cell, ctx, target);
-            cell
+        match &mut self.cells {
+            CellStore::Dense(cells) => {
+                let taken: Vec<ProbeCell> = cells
+                    .iter_mut()
+                    .map(|c| std::mem::take(c.get_mut()))
+                    .collect();
+                let synced = parallel_map(threads, taken.len(), |i| {
+                    let mut cell = taken[i].clone();
+                    sync_cell(&mut cell, ctx, target);
+                    cell
+                });
+                for (slot, cell) in cells.iter_mut().zip(synced) {
+                    *slot.get_mut() = cell;
+                }
+            }
+            CellStore::Sparse(store) => {
+                for sc in store.get_mut().map.values_mut() {
+                    sync_cell(&mut sc.cell, ctx, target);
+                }
+            }
+        }
+    }
+
+    /// Evicts cells last touched more than `idle_ticks` probe ticks before
+    /// `now` back to their analytic summary. Sparse store only — a dense
+    /// store owns every cell for the run's lifetime, and the call is a
+    /// no-op returning 0. Returns the number evicted.
+    ///
+    /// Eviction is **value-invisible**: which cells are resident never
+    /// affects any query result (a later touch reconstructs the dropped
+    /// cell bit-identically from the schedules and streams), so the sweep
+    /// cadence is free to be a pure policy choice.
+    pub fn evict_idle(&self, now: f64, idle_ticks: u64) -> usize {
+        let CellStore::Sparse(store) = &self.cells else {
+            return 0;
+        };
+        let cutoff = self.target_tick(now).saturating_sub(idle_ticks);
+        let mut store = store.borrow_mut();
+        let SparseCells { map, stats, .. } = &mut *store;
+        let before = map.len();
+        map.retain(|_, sc| {
+            let keep = sc.last_touch >= cutoff;
+            if !keep {
+                stats.bytes -= cell_footprint(sc.cell.est.neighbors.len());
+            }
+            keep
         });
-        for (slot, cell) in self.cells.iter_mut().zip(synced) {
-            *slot.get_mut() = cell;
+        let evicted = before - map.len();
+        stats.materialized -= evicted;
+        stats.evictions += evicted as u64;
+        evicted
+    }
+
+    /// Residency statistics of the cell store. A dense store reports every
+    /// cell permanently resident (materialized = peak = N, no evictions)
+    /// using the same [`cell_footprint`] model, so the figure is comparable
+    /// across storage layouts.
+    #[must_use]
+    pub fn residency(&self) -> Residency {
+        match &self.cells {
+            CellStore::Dense(cells) => {
+                let bytes: usize = cells
+                    .iter()
+                    .map(|c| cell_footprint(c.borrow().est.neighbors.len()))
+                    .sum();
+                Residency {
+                    materialized: cells.len(),
+                    peak: cells.len(),
+                    evictions: 0,
+                    bytes,
+                    peak_bytes: bytes,
+                }
+            }
+            CellStore::Sparse(store) => store.borrow().stats,
         }
     }
 }
@@ -719,6 +972,139 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn staggered_world(n: usize) -> (Vec<NodeSchedule>, Vec<Vec<NodeId>>) {
+        let schedules: Vec<NodeSchedule> = (0..n)
+            .map(|i| {
+                let s = i as f64 * 1.7;
+                NodeSchedule::from_sessions(vec![(s, s + 37.0), (s + 50.0, s + 90.0)])
+            })
+            .collect();
+        let neighbors: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| vec![NodeId((i + 1) % n), NodeId((i + 3) % n)])
+            .collect();
+        (schedules, neighbors)
+    }
+
+    #[test]
+    fn sparse_store_matches_dense_queries() {
+        let streams = StreamFactory::new(31);
+        let (schedules, neighbors) = staggered_world(12);
+        let dense = LazyProbeSet::new(
+            1.0,
+            120.0,
+            schedules.clone(),
+            neighbors.clone(),
+            Some(4),
+            streams.clone(),
+        );
+        let sparse = LazyProbeSet::new_sparse(
+            1.0,
+            120.0,
+            Arc::new(schedules),
+            Arc::new(neighbors),
+            Some(4),
+            streams,
+        );
+        for now in [0.0, 13.0, 55.5, 120.0] {
+            for i in 0..12 {
+                assert_eq!(
+                    dense.estimator(NodeId(i), now),
+                    sparse.estimator(NodeId(i), now),
+                    "node {i} at t={now}"
+                );
+                assert_eq!(
+                    dense.next_due_after(NodeId(i), now),
+                    sparse.next_due_after(NodeId(i), now),
+                    "due of node {i} at t={now}"
+                );
+            }
+        }
+        let r = sparse.residency();
+        assert_eq!(r.materialized, 12);
+        assert_eq!(r.peak, 12);
+        assert_eq!(r.bytes, dense.residency().bytes);
+    }
+
+    #[test]
+    fn evicted_cells_reconstruct_bit_identically() {
+        let streams = StreamFactory::new(47);
+        let (schedules, neighbors) = staggered_world(10);
+        let dense = LazyProbeSet::new(
+            1.0,
+            120.0,
+            schedules.clone(),
+            neighbors.clone(),
+            Some(3),
+            streams.clone(),
+        );
+        let sparse = LazyProbeSet::new_sparse(
+            1.0,
+            120.0,
+            Arc::new(schedules),
+            Arc::new(neighbors),
+            Some(3),
+            streams,
+        );
+        // Touch everyone early, idle past the window, evict, then re-touch:
+        // the reconstructed state must equal the never-evicted dense cell.
+        for i in 0..10 {
+            let _ = sparse.availability(NodeId(i), NodeId((i + 1) % 10), 10.0);
+        }
+        assert_eq!(sparse.residency().materialized, 10);
+        let evicted = sparse.evict_idle(60.0, 8);
+        assert_eq!(evicted, 10, "all cells idle past the window");
+        let r = sparse.residency();
+        assert_eq!(r.materialized, 0);
+        assert_eq!(r.bytes, 0);
+        assert_eq!(r.evictions, 10);
+        assert_eq!(r.peak, 10, "peak survives eviction");
+        for i in 0..10 {
+            assert_eq!(
+                dense.estimator(NodeId(i), 97.0),
+                sparse.estimator(NodeId(i), 97.0),
+                "re-touched node {i}"
+            );
+        }
+        assert_eq!(sparse.residency().materialized, 10);
+        assert!(sparse.residency().peak_bytes >= sparse.residency().bytes);
+    }
+
+    #[test]
+    fn evict_is_noop_on_dense_store() {
+        let streams = StreamFactory::new(3);
+        let (schedules, neighbors) = staggered_world(4);
+        let dense = LazyProbeSet::new(1.0, 50.0, schedules, neighbors, None, streams);
+        assert_eq!(dense.evict_idle(50.0, 0), 0);
+        assert_eq!(dense.residency().materialized, 4);
+        assert_eq!(dense.residency().evictions, 0);
+    }
+
+    #[test]
+    fn sparse_sync_all_only_syncs_residents() {
+        let streams = StreamFactory::new(7);
+        let (schedules, neighbors) = staggered_world(8);
+        let mut sparse = LazyProbeSet::new_sparse(
+            1.0,
+            100.0,
+            Arc::new(schedules.clone()),
+            Arc::new(neighbors.clone()),
+            None,
+            streams.clone(),
+        );
+        let _ = sparse.availability(NodeId(2), NodeId(3), 20.0);
+        sparse.sync_all(80.0, 2);
+        assert_eq!(
+            sparse.residency().materialized,
+            1,
+            "sync_all must not materialize"
+        );
+        let dense = LazyProbeSet::new(1.0, 100.0, schedules, neighbors, None, streams);
+        assert_eq!(
+            dense.estimator(NodeId(2), 80.0),
+            sparse.estimator(NodeId(2), 80.0)
+        );
     }
 
     #[test]

@@ -30,15 +30,30 @@ impl Topology {
             degree < n,
             "degree {degree} impossible with {n} nodes (needs degree < n)"
         );
+        // Partial Fisher-Yates over the candidate set {0..n} \ {s}, run
+        // *sparsely*: the candidate array is never materialized. Position
+        // `i` of the virtual array holds `i` (or `i + 1` once past the
+        // excluded self entry); the handful of slots an earlier swap
+        // displaced live in a small map. The draws are `random_range(k..n-1)`
+        // either way — bounds depend only on `n`, not on array contents — so
+        // the bit stream, and therefore every sampled topology, is identical
+        // to the dense construction at O(d) instead of O(n) per node.
+        let mut displaced: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
         let mut neighbors = Vec::with_capacity(n);
         for s in 0..n {
-            // Partial Fisher-Yates over the candidate set {0..n} \ {s}.
-            let mut candidates: Vec<usize> = (0..n).filter(|&v| v != s).collect();
+            displaced.clear();
+            let virt = |i: usize| if i < s { i } else { i + 1 };
             let mut chosen = Vec::with_capacity(degree);
             for k in 0..degree {
-                let pick = rng.random_range(k..candidates.len());
-                candidates.swap(k, pick);
-                chosen.push(NodeId(candidates[k]));
+                let pick = rng.random_range(k..n - 1);
+                let picked = displaced.get(&pick).copied().unwrap_or_else(|| virt(pick));
+                // Complete the swap: position `pick` inherits position `k`'s
+                // value. Position `k` itself is never read again (later
+                // draws range over `k+1..`), so only this half matters.
+                let at_k = displaced.get(&k).copied().unwrap_or_else(|| virt(k));
+                displaced.insert(pick, at_k);
+                chosen.push(NodeId(picked));
             }
             chosen.sort_unstable();
             neighbors.push(chosen);
@@ -191,6 +206,35 @@ mod tests {
     #[should_panic(expected = "duplicate neighbor")]
     fn from_lists_rejects_duplicates() {
         let _ = Topology::from_lists(vec![vec![NodeId(1), NodeId(1)], vec![]]);
+    }
+
+    #[test]
+    fn sparse_sampling_matches_dense_reference() {
+        // The shipped sampler simulates the candidate array sparsely; this
+        // pins it bit-for-bit against the dense partial Fisher-Yates it
+        // replaced, across self-exclusion positions and near-full degrees.
+        for (n, d, seed) in [
+            (40usize, 5usize, 1u64),
+            (17, 16, 2),
+            (300, 3, 9),
+            (6, 5, 10),
+        ] {
+            let sparse = Topology::random(n, d, &mut rng(seed));
+            let mut r = rng(seed);
+            let mut lists = Vec::new();
+            for s in 0..n {
+                let mut candidates: Vec<usize> = (0..n).filter(|&v| v != s).collect();
+                let mut chosen = Vec::with_capacity(d);
+                for k in 0..d {
+                    let pick = r.random_range(k..candidates.len());
+                    candidates.swap(k, pick);
+                    chosen.push(NodeId(candidates[k]));
+                }
+                chosen.sort_unstable();
+                lists.push(chosen);
+            }
+            assert_eq!(sparse, Topology::from_lists(lists));
+        }
     }
 
     #[test]

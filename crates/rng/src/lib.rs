@@ -42,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 use core::convert::Infallible;
 use core::ops::{Range, RangeInclusive};

@@ -19,7 +19,7 @@ use idpa_game::forwarding::{dominance_threshold, participation_threshold, Forwar
 use crate::chart::{cdf_chart, line_chart, Series};
 use crate::report::{fmt_ci, Table};
 use crate::runner::{RunResult, SimulationRun};
-use crate::scenario::{ProbeMode, ScenarioConfig};
+use crate::scenario::{NodeLifecycle, ProbeMode, ScenarioConfig};
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -49,6 +49,10 @@ pub struct Options {
     /// bit-identical to a build without the reputation layer). When
     /// positive, `w_s` and `w_a` split the remaining `1 - w_r` evenly.
     pub reputation_weight: f64,
+    /// Node-state allocation (`--node-lifecycle`): eager (the default,
+    /// byte-identical to builds without the lifecycle layer) or lazy
+    /// (bit-identical results, resident memory bounded by active traffic).
+    pub node_lifecycle: NodeLifecycle,
 }
 
 impl Default for Options {
@@ -62,6 +66,7 @@ impl Default for Options {
             fault: FaultConfig::default(),
             history_shards: 0,
             reputation_weight: 0.0,
+            node_lifecycle: NodeLifecycle::Eager,
         }
     }
 }
@@ -82,6 +87,7 @@ impl Options {
             history_shards: self.history_shards,
             weights: Options::split_weights(self.reputation_weight),
             reputation_weight: self.reputation_weight,
+            node_lifecycle: self.node_lifecycle,
             ..base
         }
     }
@@ -1023,6 +1029,51 @@ pub fn fault_adaptation(opts: &Options) -> String {
     )
 }
 
+/// Scale study: the lazy node lifecycle at growing N under
+/// proportionally scaled paper churn ([`ScenarioConfig::scale`]). One run
+/// per point (the object of study is the resident-state footprint, not a
+/// CI): reports the run's throughput next to the peak materialized node
+/// count, idle evictions, and the slab's byte estimate — the `RunResult`
+/// resident-state metrics. Peak residency tracks the fixed 512-pair
+/// workload, so the `peak/N` column falls as N grows.
+pub fn scale_lifecycle(opts: &Options) -> String {
+    // IDPA_SCALE_SMOKE=1 (the verify.sh stage) caps the sweep at the
+    // quick tier even without --quick.
+    let smoke = std::env::var("IDPA_SCALE_SMOKE").is_ok_and(|v| v == "1");
+    let sizes: &[usize] = if opts.quick || smoke {
+        &[200, 2_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let mut table = Table::new(&[
+        "N",
+        "connections",
+        "peak materialized",
+        "peak/N",
+        "evictions",
+        "slab KiB",
+        "avg good payoff",
+    ]);
+    for (i, &n) in sizes.iter().enumerate() {
+        let cfg = ScenarioConfig::scale(n, 1000 + i as u64);
+        let r = SimulationRun::execute(cfg);
+        table.row(vec![
+            n.to_string(),
+            r.connections.to_string(),
+            r.peak_materialized_nodes.to_string(),
+            format!("{:.4}", r.peak_materialized_nodes as f64 / n as f64),
+            r.node_evictions.to_string(),
+            format!("{:.1}", r.slab_bytes as f64 / 1024.0),
+            format!("{:.0}", r.avg_good_payoff),
+        ]);
+    }
+    let _ = table.write_csv(&opts.out_dir, "scale_lifecycle");
+    format!(
+        "## scale-lifecycle: resident state under the lazy node lifecycle\n\n{}",
+        table.to_markdown()
+    )
+}
+
 /// An experiment: renders its figure/table from the shared options.
 pub type Experiment = fn(&Options) -> String;
 
@@ -1057,6 +1108,7 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
         ("attack-intersection", attack_intersection),
         ("fault-degradation", fault_degradation),
         ("fault-adaptation", fault_adaptation),
+        ("scale-lifecycle", scale_lifecycle),
         ("timeline", timeline),
         ("crowds-analysis", crowds_analysis),
     ]
@@ -1147,6 +1199,13 @@ mod tests {
         assert!(out.contains("adaptive"));
         assert!(out.contains("0.40"), "largest swept cheat fraction missing");
         assert!(out.contains("delivery ratio"));
+    }
+
+    #[test]
+    fn scale_lifecycle_runs_quick_with_bounded_residency() {
+        let out = scale_lifecycle(&quick_opts());
+        assert!(out.contains("peak materialized"));
+        assert!(out.contains("2000"), "largest quick size missing");
     }
 
     #[test]

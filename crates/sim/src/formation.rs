@@ -56,13 +56,14 @@ pub struct PairFormation {
     pub outcomes: Vec<PathOutcome>,
 }
 
-/// One unit of pool work: the pairs whose initiators share a home shard,
+/// One unit of pool work: a group of pairs formed by one worker pass,
 /// carrying the shard set so the scheduler (and the reader of a trace)
 /// knows which arena locks the item's commits will touch.
 #[derive(Debug, Clone)]
 pub struct FormationItem {
-    /// Arena shards hosting this item's initiators (here always one —
-    /// items are grouped by initiator home shard).
+    /// Arena shards hosting this item's initiators, sorted ascending
+    /// (a single shard under [`partition_pairs`]'s locality split,
+    /// possibly several under [`partition_pairs_balanced`]).
     pub shards: Vec<usize>,
     /// Pair indices formed by this item, in pair order.
     pub pairs: Vec<usize>,
@@ -71,6 +72,12 @@ pub struct FormationItem {
 /// Groups pairs by the home shard of their initiator, ascending by shard
 /// id, preserving pair order within each item. The grouping only affects
 /// scheduling — per-pair results are independent of it.
+///
+/// This is the original, locality-first split. Under skewed workloads
+/// (one popular initiator region owning most of the scheduled depth) it
+/// starves workers: a single item carries almost all the work while the
+/// rest finish early and idle. [`partition_pairs_balanced`] is the
+/// depth-aware replacement [`form_bundles_sharded`] uses.
 #[must_use]
 pub fn partition_pairs(world: &World, arena: &HistoryArena) -> Vec<FormationItem> {
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); arena.shard_count()];
@@ -86,6 +93,54 @@ pub fn partition_pairs(world: &World, arena: &HistoryArena) -> Vec<FormationItem
             pairs,
         })
         .collect()
+}
+
+/// Groups pairs into `buckets` depth-balanced work items: pairs are
+/// ordered by descending estimated bundle depth (their scheduled
+/// connection count — known exactly up front, since the workload is
+/// pre-sampled), ties broken by ascending pair index, and dealt
+/// round-robin. The deal is fully deterministic, and per-pair results are
+/// independent of grouping (each pair forms against its private mirror
+/// with a position-keyed RNG stream and commits in one bulk absorb), so
+/// results are bit-identical to any other split — only wall-clock balance
+/// changes. Each item records the arena shards its commits will touch,
+/// sorted ascending.
+#[must_use]
+pub fn partition_pairs_balanced(
+    world: &World,
+    arena: &HistoryArena,
+    buckets: usize,
+) -> Vec<FormationItem> {
+    let buckets = buckets.max(1).min(world.pairs.len().max(1));
+    let mut order: Vec<usize> = (0..world.pairs.len()).collect();
+    order.sort_by(|&a, &b| {
+        world.pairs[b]
+            .times
+            .len()
+            .cmp(&world.pairs[a].times.len())
+            .then(a.cmp(&b))
+    });
+    let mut items: Vec<FormationItem> = (0..buckets)
+        .map(|_| FormationItem {
+            shards: Vec::new(),
+            pairs: Vec::new(),
+        })
+        .collect();
+    for (i, &pair) in order.iter().enumerate() {
+        items[i % buckets].pairs.push(pair);
+    }
+    for item in &mut items {
+        let mut shards: Vec<usize> = item
+            .pairs
+            .iter()
+            .map(|&p| arena.shard_of(world.pairs[p].initiator))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        item.shards = shards;
+    }
+    items.retain(|item| !item.pairs.is_empty());
+    items
 }
 
 /// Liveness snapshot with per-query memoization: routing's lookahead
@@ -394,9 +449,27 @@ pub fn form_bundles_sharded(
     arena: &HistoryArena,
     threads: usize,
 ) -> Vec<PairFormation> {
+    // Depth-balanced split (one bucket per shard's worth of parallelism):
+    // under Zipf-skewed workloads the locality split starves workers,
+    // while regrouping is value-invisible — see `partition_pairs_balanced`.
+    let items = partition_pairs_balanced(world, arena, arena.shard_count());
+    form_bundles_items(world, cfg, arena, threads, &items)
+}
+
+/// Runs the parallel executor over an explicit work-item split. Results
+/// are independent of the split (see the module docs) — this entry point
+/// exists so equivalence tests can pin that claim by driving the same
+/// machinery with different partitions.
+#[must_use]
+pub fn form_bundles_items(
+    world: &World,
+    cfg: &ScenarioConfig,
+    arena: &HistoryArena,
+    threads: usize,
+    items: &[FormationItem],
+) -> Vec<PairFormation> {
     let ctx = FormationCtx::new(world, cfg);
-    let items = partition_pairs(world, arena);
-    let formed: Vec<Vec<PairFormation>> = parallel_map_items(threads, &items, |_, item| {
+    let formed: Vec<Vec<PairFormation>> = parallel_map_items(threads, items, |_, item| {
         let mut scratch = RouteScratch::new();
         let mut mirror = BundleMirror::new(BundleId(0), cfg.history_capacity);
         item.pairs

@@ -31,14 +31,16 @@ pub mod formation;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod slab;
 pub mod world;
 
 pub use error::SimError;
 pub use formation::{
-    form_bundles, form_bundles_global, form_bundles_interleaved, form_bundles_sharded,
-    PairFormation,
+    form_bundles, form_bundles_global, form_bundles_interleaved, form_bundles_items,
+    form_bundles_sharded, partition_pairs, partition_pairs_balanced, FormationItem, PairFormation,
 };
 pub use idpa_desim::{FaultConfig, FaultResponse};
 pub use runner::{RunResult, SimulationRun};
-pub use scenario::{ProbeMode, ProbeRngMode, ScenarioConfig};
+pub use scenario::{CostStorage, NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig};
+pub use slab::{NodeSlab, ReputationStore};
 pub use world::World;

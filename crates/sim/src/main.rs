@@ -91,6 +91,16 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--node-lifecycle" => {
+                opts.node_lifecycle = match iter.next().map(String::as_str) {
+                    Some("eager") => idpa_sim::NodeLifecycle::Eager,
+                    Some("lazy") => idpa_sim::NodeLifecycle::Lazy,
+                    _ => {
+                        eprintln!("--node-lifecycle needs 'eager' or 'lazy'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--fault-crash"
             | "--fault-drop"
             | "--fault-delay"
@@ -148,10 +158,15 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: idpa-sim [EXPERIMENT ...] [--reps N] [--threads N] [--quick] \
-                     [--probe-mode eager|lazy] [--history-shards N] [--out DIR] [--list] \
+                     [--probe-mode eager|lazy] [--node-lifecycle eager|lazy] \
+                     [--history-shards N] [--out DIR] [--list] \
                      [FAULT FLAGS]\n\n\
                      --history-shards N            history-arena shard count (0 = one per\n\
-                     \u{20}                             worker thread; results identical at any N)\n\n\
+                     \u{20}                             worker thread; results identical at any N)\n  \
+                     --node-lifecycle MODE         'eager' (all N nodes allocated up front,\n  \
+                     \u{20}                             the default) or 'lazy' (state materializes\n  \
+                     \u{20}                             on first touch, evicts when idle;\n  \
+                     \u{20}                             bit-identical results, bounded memory)\n\n\
                      fault injection (all rates default to 0 = off; any nonzero rate\n\
                      activates the deterministic fault plan):\n  \
                      --fault-crash P               per-hop forwarder crash probability\n  \

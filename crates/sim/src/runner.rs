@@ -45,8 +45,10 @@ use idpa_payment::bank::AccountId;
 use idpa_payment::receipt::Receipt;
 use idpa_payment::validation::{ConnectionEvidence, PathManifest, PathValidator};
 use rand::{Rng, RngExt};
+use std::sync::Arc;
 
-use crate::scenario::{ProbeMode, ProbeRngMode, ScenarioConfig};
+use crate::scenario::{NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig};
+use crate::slab::{NodeSlab, ReputationStore};
 use crate::world::World;
 
 /// Events of the simulation.
@@ -219,6 +221,19 @@ pub struct RunResult {
     pub injected_cheaters: Vec<usize>,
     /// Detected-versus-paid [`AuditEvent::Discrepancy`] entries recorded.
     pub audit_discrepancies: u64,
+    /// Peak number of simultaneously materialized per-node probe cells.
+    /// Equals N under the eager lifecycle; under `--node-lifecycle lazy`
+    /// it tracks the active working set. Identical across probe modes
+    /// (both report through the same footprint model).
+    pub peak_materialized_nodes: usize,
+    /// Node-state evictions performed by the lazy lifecycle's idle sweep
+    /// (always 0 under the eager lifecycle).
+    pub node_evictions: u64,
+    /// Estimated peak bytes of materialized per-node state: probe cells
+    /// (via [`idpa_overlay::cell_footprint`]) plus reputation-ledger
+    /// observations. A model, not an allocator reading — comparable
+    /// across lifecycles and probe modes.
+    pub slab_bytes: usize,
 }
 
 /// Mutable fault-injection state (present only when faults are active).
@@ -231,11 +246,12 @@ struct FaultRuntime {
     keys: Vec<[u8; 32]>,
     /// Per-pair time of the last completed connection (`< 0` = none).
     last_completion: Vec<f64>,
-    /// Per-initiator private fault ledgers (indexed by initiator node).
+    /// Per-initiator private fault ledgers (keyed by initiator node).
     /// Written only under `--fault-response adaptive`; in static mode they
     /// stay pristine and are never handed to the routing view, keeping
-    /// static runs bit-identical to the pre-adaptive code path.
-    reputation: Vec<EdgeReputation>,
+    /// static runs bit-identical to the pre-adaptive code path. Under the
+    /// lazy lifecycle, ledgers materialize on the first recorded fault.
+    reputation: ReputationStore,
     /// Global probe-availability mask, advanced on confirmed failures
     /// (adaptive mode only).
     probe_invalid: ProbeInvalidation,
@@ -307,6 +323,8 @@ pub struct SimulationRun {
     crashed_until: Vec<f64>,
     /// Fault-injection state; `None` runs the exact fault-free code path.
     fault: Option<FaultRuntime>,
+    /// Idle-eviction sweeper (`Some` only under `--node-lifecycle lazy`).
+    slab: Option<NodeSlab>,
 }
 
 impl SimulationRun {
@@ -317,19 +335,30 @@ impl SimulationRun {
         let neighbor_sets: Vec<Vec<NodeId>> = (0..cfg.n_nodes)
             .map(|i| world.topology.neighbors(NodeId(i)).to_vec())
             .collect();
-        let probes = match cfg.probe_mode {
-            ProbeMode::Eager => ProbeState::Eager(
+        let probes = match (cfg.probe_mode, cfg.node_lifecycle) {
+            (ProbeMode::Eager, _) => ProbeState::Eager(
                 neighbor_sets
                     .into_iter()
                     .enumerate()
                     .map(|(i, nbrs)| ProbeEstimator::new(NodeId(i), cfg.probe_period, nbrs))
                     .collect(),
             ),
-            ProbeMode::Lazy => ProbeState::Lazy(LazyProbeSet::new(
+            (ProbeMode::Lazy, NodeLifecycle::Eager) => ProbeState::Lazy(LazyProbeSet::new_shared(
                 cfg.probe_period,
                 cfg.churn.horizon,
-                world.schedules.clone(),
+                Arc::clone(&world.schedules),
                 neighbor_sets,
+                cfg.neighbor_replacement_rounds,
+                streams.clone(),
+            )),
+            // Lazy lifecycle: no cell exists until its node is touched,
+            // and idle cells are evicted by the slab sweep — bit-identical
+            // to the dense store at every query.
+            (ProbeMode::Lazy, NodeLifecycle::Lazy) => ProbeState::Lazy(LazyProbeSet::new_sparse(
+                cfg.probe_period,
+                cfg.churn.horizon,
+                Arc::clone(&world.schedules),
+                Arc::new(neighbor_sets),
                 cfg.neighbor_replacement_rounds,
                 streams.clone(),
             )),
@@ -366,7 +395,10 @@ impl SimulationRun {
                     validators,
                     keys,
                     last_completion: vec![-1.0; n_pairs],
-                    reputation: vec![EdgeReputation::new(cfg.n_nodes); cfg.n_nodes],
+                    reputation: match cfg.node_lifecycle {
+                        NodeLifecycle::Eager => ReputationStore::dense(cfg.n_nodes),
+                        NodeLifecycle::Lazy => ReputationStore::sparse(cfg.n_nodes),
+                    },
                     probe_invalid: ProbeInvalidation::new(cfg.n_nodes),
                 }),
             )
@@ -394,6 +426,8 @@ impl SimulationRun {
             member_mask: vec![false; cfg.n_nodes],
             crashed_until,
             fault,
+            slab: (cfg.node_lifecycle == NodeLifecycle::Lazy)
+                .then(|| NodeSlab::new(cfg.evict_idle_ticks, cfg.probe_period)),
             cfg,
             world,
         }
@@ -431,9 +465,17 @@ impl SimulationRun {
                 }
             }
             ProbeState::Lazy(set) => {
-                for i in 0..self.cfg.n_nodes {
-                    if let Some(t) = set.next_due_after(NodeId(i), 0.0) {
-                        engine.schedule_at(SimTime::new(t), Ev::Maintain(i));
+                // Maintenance events keep a node's cell warm at the ticks a
+                // replacement falls due, but they are value-invisible: a
+                // query's catch-up ([`sync_cell_slow`]) segments at every
+                // due tick regardless of whether a `Maintain` ever fired.
+                // The lazy lifecycle therefore schedules none at all —
+                // touching all N nodes here would defeat O(active) startup.
+                if self.cfg.node_lifecycle == NodeLifecycle::Eager {
+                    for i in 0..self.cfg.n_nodes {
+                        if let Some(t) = set.next_due_after(NodeId(i), 0.0) {
+                            engine.schedule_at(SimTime::new(t), Ev::Maintain(i));
+                        }
                     }
                 }
             }
@@ -505,6 +547,9 @@ impl SimulationRun {
         conn: u32,
         attempt: u32,
     ) {
+        if let (Some(slab), ProbeState::Lazy(set)) = (&mut self.slab, &self.probes) {
+            slab.maybe_sweep(set, now.minutes());
+        }
         // take/put-back keeps the fault state out of `self` while the
         // faulty path mutably borrows the rest of the run.
         let Some(mut fr) = self.fault.take() else {
@@ -595,7 +640,7 @@ impl SimulationRun {
             probes: &self.probes,
             costs: &self.world.costs,
             crashed: &self.crashed_until,
-            reputation: adaptive.then(|| &fr.reputation[wl.initiator.index()]),
+            reputation: adaptive.then(|| fr.reputation.get(wl.initiator.index())),
             invalid: adaptive.then_some(&fr.probe_invalid),
             now,
         };
@@ -698,7 +743,7 @@ impl SimulationRun {
                 if adaptive {
                     if let Some(v) = suspect {
                         let initiator = self.world.pairs[pair].initiator;
-                        let rep = &mut fr.reputation[initiator.index()];
+                        let rep = fr.reputation.get_mut(initiator.index());
                         let horizon = match kind {
                             AttemptFailure::Crash => {
                                 rep.record_drop(v);
@@ -726,7 +771,7 @@ impl SimulationRun {
                     let reform_now = adaptive
                         && suspect.is_some_and(|v| {
                             let initiator = self.world.pairs[pair].initiator;
-                            fr.reputation[initiator.index()].is_suppressed(v)
+                            fr.reputation.get(initiator.index()).is_suppressed(v)
                         });
                     let backoff = if reform_now {
                         timeout
@@ -807,7 +852,9 @@ impl SimulationRun {
             let initiator = self.world.pairs[pair].initiator;
             let idx = fr.validators[pair].connections() - 1;
             if let Some(cheater) = fr.validators[pair].flag_connection(idx) {
-                fr.reputation[initiator.index()].flag_cheater(NodeId(cheater.0 as usize));
+                fr.reputation
+                    .get_mut(initiator.index())
+                    .flag_cheater(NodeId(cheater.0 as usize));
             }
         }
     }
@@ -863,6 +910,26 @@ impl SimulationRun {
     #[must_use]
     pub fn finish(self) -> RunResult {
         let n = self.cfg.n_nodes;
+        // Resident-state metrics, through the same footprint model in every
+        // representation so probe modes agree exactly under each lifecycle.
+        let (peak_materialized_nodes, node_evictions, probe_bytes) = match &self.probes {
+            ProbeState::Eager(probes) => {
+                let bytes: usize = probes
+                    .iter()
+                    .map(|p| idpa_overlay::cell_footprint(p.neighbors().len()))
+                    .sum();
+                (probes.len(), 0, bytes)
+            }
+            ProbeState::Lazy(set) => {
+                let r = set.residency();
+                (r.peak, r.evictions, r.peak_bytes)
+            }
+        };
+        let slab_bytes = probe_bytes
+            + self
+                .fault
+                .as_ref()
+                .map_or(0, |fr| fr.reputation.approx_bytes());
         let cp = self.world.costs.participation_cost();
         let mut payoff = vec![0.0f64; n];
         let mut set_sizes = Vec::with_capacity(self.bundles.len());
@@ -998,6 +1065,9 @@ impl SimulationRun {
             flagged_cheaters,
             injected_cheaters,
             audit_discrepancies,
+            peak_materialized_nodes,
+            node_evictions,
+            slab_bytes,
         }
     }
 }

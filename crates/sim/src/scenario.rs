@@ -44,6 +44,39 @@ pub enum ProbeRngMode {
     SharedLegacy,
 }
 
+/// How per-node runtime state (probe cells, reputation ledgers) is
+/// allocated over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeLifecycle {
+    /// Every node's state is allocated up front — O(N) resident memory,
+    /// the historical behaviour and the default (byte-identical to builds
+    /// without the lifecycle layer).
+    Eager,
+    /// Nodes exist only as analytic [`idpa_netmodel::NodeSchedule`] entries
+    /// until first touched by a transmission, probe query, or fault
+    /// observation; first touch materializes their state from the schedule
+    /// at the current tick, and long-idle nodes are evicted back to the
+    /// analytic summary ([`ScenarioConfig::evict_idle_ticks`]). Resident
+    /// memory scales with active traffic, not N; results are bit-identical
+    /// to `Eager`.
+    Lazy,
+}
+
+/// How the symmetric bandwidth matrix backing the cost model is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostStorage {
+    /// The full O(N²) upper-triangular matrix, drawn from the sequential
+    /// `"bandwidth"` stream — the historical layout every existing
+    /// scenario pins. The default.
+    Dense,
+    /// No matrix: each edge's bandwidth is re-derived on demand from a
+    /// position-keyed stream. O(1) memory — required for million-node
+    /// worlds — but the sampled values differ from `Dense` (a different,
+    /// equally i.i.d. draw per edge), so this is a scenario-level choice,
+    /// not a transparent execution mode.
+    Sparse,
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioConfig {
@@ -110,6 +143,20 @@ pub struct ScenarioConfig {
     /// bit-identical at every shard count — sharding partitions storage
     /// without changing per-`(node, bundle)` record order.
     pub history_shards: usize,
+    /// How per-node runtime state is allocated (`--node-lifecycle`):
+    /// eagerly for all N nodes up front, or lazily on first touch with
+    /// idle eviction. Bit-identical either way; lazy bounds resident
+    /// memory by the active working set.
+    pub node_lifecycle: NodeLifecycle,
+    /// Bandwidth matrix storage. [`CostStorage::Sparse`] drops the O(N²)
+    /// matrix for million-node worlds at the price of *different* (still
+    /// i.i.d. uniform) edge draws than the dense layout.
+    pub cost_storage: CostStorage,
+    /// Under [`NodeLifecycle::Lazy`]: evict a node's materialized state
+    /// after this many probe ticks without a touch. Must be ≥ 1. Pure
+    /// policy — any value yields identical results, only residency
+    /// figures move.
+    pub evict_idle_ticks: u64,
 }
 
 impl Default for ScenarioConfig {
@@ -156,6 +203,9 @@ impl Default for ScenarioConfig {
             probe_rng: ProbeRngMode::PerNode,
             fault: FaultConfig::default(),
             history_shards: 0,
+            node_lifecycle: NodeLifecycle::Eager,
+            cost_storage: CostStorage::Dense,
+            evict_idle_ticks: 64,
         }
     }
 }
@@ -263,6 +313,18 @@ impl ScenarioConfig {
                 "lazy probing requires a replacement threshold >= 1".into(),
             )?;
         }
+        if self.node_lifecycle == NodeLifecycle::Lazy {
+            ensure(
+                self.evict_idle_ticks >= 1,
+                "evict_idle_ticks",
+                "lazy lifecycle needs an idle-eviction window >= 1 tick".into(),
+            )?;
+            ensure(
+                self.probe_rng == ProbeRngMode::PerNode,
+                "probe_rng",
+                "lazy lifecycle requires per-node probe RNG streams".into(),
+            )?;
+        }
         ensure(
             self.warmup < self.churn.horizon,
             "warmup",
@@ -348,6 +410,37 @@ impl ScenarioConfig {
         cfg.churn.n_nodes = 20;
         cfg.cost.n_nodes = 20;
         cfg
+    }
+
+    /// A large-N scale scenario: paper churn scaled proportionally
+    /// (`join_rate = n/20`, the default 2/min at N = 40), the lazy node
+    /// lifecycle, sparse cost storage (no O(N²) matrix), and a fixed-size
+    /// active workload — so per-tick cost and resident state track the
+    /// 512-pair traffic, not N. `adversary_fraction` stays 0: the attack
+    /// observer is an O(N)-per-connection layer this scenario does not
+    /// measure.
+    #[must_use]
+    pub fn scale(n: usize, seed: u64) -> Self {
+        let mut cfg = ScenarioConfig {
+            n_pairs: 512,
+            total_transmissions: 4096,
+            max_connections: 64,
+            node_lifecycle: NodeLifecycle::Lazy,
+            cost_storage: CostStorage::Sparse,
+            seed,
+            ..ScenarioConfig::default()
+        }
+        .with_nodes(n);
+        cfg.churn.join_rate = n as f64 / 20.0;
+        cfg
+    }
+
+    /// The million-node scenario — [`ScenarioConfig::scale`] at
+    /// N = 1,000,000. Completes in memory bounded by the active working
+    /// set (asserted by the `node_lifecycle` bench's counting allocator).
+    #[must_use]
+    pub fn scale_1m(seed: u64) -> Self {
+        Self::scale(1_000_000, seed)
     }
 
     /// Applies a new node count consistently across sub-configs.
@@ -539,6 +632,46 @@ mod tests {
             ..ScenarioConfig::default()
         };
         assert_rejected(&cfg, "neighbor_replacement_rounds", "threshold >= 1");
+    }
+
+    #[test]
+    fn default_lifecycle_is_eager_dense() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.node_lifecycle, NodeLifecycle::Eager);
+        assert_eq!(cfg.cost_storage, CostStorage::Dense);
+    }
+
+    #[test]
+    fn lazy_lifecycle_validates_and_zero_window_rejected() {
+        let cfg = ScenarioConfig {
+            node_lifecycle: NodeLifecycle::Lazy,
+            ..ScenarioConfig::default()
+        };
+        cfg.validate().expect("lazy lifecycle is a valid scenario");
+        let bad = ScenarioConfig {
+            evict_idle_ticks: 0,
+            ..cfg
+        };
+        assert_rejected(&bad, "evict_idle_ticks", "idle-eviction window");
+        let legacy = ScenarioConfig {
+            probe_mode: ProbeMode::Eager,
+            probe_rng: ProbeRngMode::SharedLegacy,
+            ..cfg
+        };
+        assert_rejected(&legacy, "probe_rng", "per-node probe RNG");
+    }
+
+    #[test]
+    fn scale_scenarios_validate_with_proportional_churn() {
+        let cfg = ScenarioConfig::scale(4_000, 3);
+        cfg.validate().expect("scale scenario must validate");
+        assert_eq!(cfg.node_lifecycle, NodeLifecycle::Lazy);
+        assert_eq!(cfg.cost_storage, CostStorage::Sparse);
+        assert_eq!(cfg.churn.join_rate, 200.0);
+        let big = ScenarioConfig::scale_1m(3);
+        big.validate().expect("scale_1m must validate");
+        assert_eq!(big.n_nodes, 1_000_000);
+        assert_eq!(big.churn.n_nodes, 1_000_000);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! The lazy node lifecycle's slab layer: sparse per-node runtime state.
+//!
+//! Under `--node-lifecycle lazy` a node's runtime state (probe cell,
+//! reputation ledger) exists only while the node is *active*: the probe
+//! cell materializes from the analytic churn schedule on first touch (see
+//! [`idpa_overlay::LazyProbeSet`]) and is evicted back to nothing when
+//! idle, and an initiator's fault ledger materializes on its first
+//! recorded observation. Both re-materialize value-identically — the probe
+//! cell because it is a pure function of (schedules, streams, tick), the
+//! ledger because an absent ledger *is* the clean ledger (see
+//! [`idpa_core::reputation::EdgeReputation`]'s sparse semantics) and
+//! recorded fault counts are never thrown away.
+//!
+//! [`NodeSlab`] is the sweep driver: a deterministic, event-time-keyed
+//! cadence that evicts idle probe cells. Eviction is value-invisible, so
+//! the cadence is pure policy — any sweep schedule yields bit-identical
+//! run results; only the residency statistics move.
+
+use std::collections::HashMap;
+
+use idpa_core::reputation::EdgeReputation;
+use idpa_overlay::LazyProbeSet;
+
+/// Storage for per-initiator fault ledgers.
+#[derive(Debug, Clone)]
+pub enum ReputationStore {
+    /// One ledger per node, allocated up front — the eager lifecycle.
+    Dense(Vec<EdgeReputation>),
+    /// Ledgers materialize on the first recorded observation. An absent
+    /// ledger reads as the shared clean ledger, which is value-identical
+    /// to a fresh [`EdgeReputation`] — so reads never materialize.
+    Sparse {
+        /// Ledger dimension handed to on-demand materialization.
+        n_nodes: usize,
+        /// Materialized ledgers, keyed by initiator index.
+        ledgers: HashMap<usize, EdgeReputation>,
+        /// The shared read target for initiators with no ledger yet.
+        clean: EdgeReputation,
+    },
+}
+
+impl ReputationStore {
+    /// The eager store: `n_nodes` clean ledgers.
+    #[must_use]
+    pub fn dense(n_nodes: usize) -> Self {
+        ReputationStore::Dense(vec![EdgeReputation::new(n_nodes); n_nodes])
+    }
+
+    /// The lazy store: no ledgers until a fault is recorded.
+    #[must_use]
+    pub fn sparse(n_nodes: usize) -> Self {
+        ReputationStore::Sparse {
+            n_nodes,
+            ledgers: HashMap::new(),
+            clean: EdgeReputation::new(n_nodes),
+        }
+    }
+
+    /// Initiator `i`'s ledger for reading. Sparse reads of an absent
+    /// ledger return the clean ledger (score 1, nothing suppressed) —
+    /// exactly what the dense store holds before the first observation.
+    #[must_use]
+    pub fn get(&self, i: usize) -> &EdgeReputation {
+        match self {
+            ReputationStore::Dense(v) => &v[i],
+            ReputationStore::Sparse { ledgers, clean, .. } => ledgers.get(&i).unwrap_or(clean),
+        }
+    }
+
+    /// Initiator `i`'s ledger for writing, materializing it if absent.
+    pub fn get_mut(&mut self, i: usize) -> &mut EdgeReputation {
+        match self {
+            ReputationStore::Dense(v) => &mut v[i],
+            ReputationStore::Sparse {
+                n_nodes, ledgers, ..
+            } => ledgers
+                .entry(i)
+                .or_insert_with(|| EdgeReputation::new(*n_nodes)),
+        }
+    }
+
+    /// Number of ledgers currently allocated.
+    #[must_use]
+    pub fn materialized(&self) -> usize {
+        match self {
+            ReputationStore::Dense(v) => v.len(),
+            ReputationStore::Sparse { ledgers, .. } => ledgers.len(),
+        }
+    }
+
+    /// Summed heap estimate of all ledger observations. Equal across the
+    /// two layouts for the same run: a dense ledger that never recorded
+    /// anything holds no heap entries, so only the ledgers the sparse
+    /// store would have materialized contribute.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            ReputationStore::Dense(v) => v.iter().map(EdgeReputation::approx_bytes).sum(),
+            ReputationStore::Sparse { ledgers, .. } => {
+                ledgers.values().map(EdgeReputation::approx_bytes).sum()
+            }
+        }
+    }
+}
+
+/// The idle-eviction sweep driver of the lazy lifecycle.
+///
+/// Sweeps are keyed to probe ticks of the event clock, so the cadence is a
+/// deterministic function of simulation time — but since eviction is
+/// value-invisible (evicted state reconstructs bit-identically on
+/// re-touch), the cadence only shapes the residency statistics, never a
+/// result.
+#[derive(Debug, Clone)]
+pub struct NodeSlab {
+    period: f64,
+    evict_idle_ticks: u64,
+    /// Sweep every this many ticks — half the idle window, so a cell is
+    /// evicted at most 1.5× the window after its last touch.
+    sweep_every: u64,
+    last_sweep_tick: u64,
+}
+
+impl NodeSlab {
+    /// A sweeper evicting state idle for `evict_idle_ticks` probe ticks
+    /// (of length `period` minutes each).
+    #[must_use]
+    pub fn new(evict_idle_ticks: u64, period: f64) -> Self {
+        assert!(evict_idle_ticks >= 1, "idle window must be >= 1 tick");
+        assert!(period > 0.0, "probe period must be positive");
+        NodeSlab {
+            period,
+            evict_idle_ticks,
+            sweep_every: (evict_idle_ticks / 2).max(1),
+            last_sweep_tick: 0,
+        }
+    }
+
+    /// Runs an eviction sweep over `probes` if one is due at `now`.
+    /// Returns the number of cells evicted (0 when no sweep ran).
+    pub fn maybe_sweep(&mut self, probes: &LazyProbeSet, now: f64) -> usize {
+        let tick = (now / self.period) as u64;
+        if tick < self.last_sweep_tick + self.sweep_every {
+            return 0;
+        }
+        self.last_sweep_tick = tick;
+        probes.evict_idle(now, self.evict_idle_ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idpa_overlay::NodeId;
+
+    #[test]
+    fn sparse_reads_match_dense_before_any_write() {
+        let dense = ReputationStore::dense(6);
+        let sparse = ReputationStore::sparse(6);
+        for i in 0..6 {
+            for v in 0..6 {
+                assert_eq!(
+                    dense.get(i).score(NodeId(v)),
+                    sparse.get(i).score(NodeId(v))
+                );
+                assert_eq!(
+                    dense.get(i).is_suppressed(NodeId(v)),
+                    sparse.get(i).is_suppressed(NodeId(v))
+                );
+            }
+        }
+        assert_eq!(sparse.materialized(), 0, "reads must not materialize");
+        assert_eq!(dense.approx_bytes(), sparse.approx_bytes());
+    }
+
+    #[test]
+    fn writes_materialize_and_stay_value_identical() {
+        let mut dense = ReputationStore::dense(5);
+        let mut sparse = ReputationStore::sparse(5);
+        for store in [&mut dense, &mut sparse] {
+            store.get_mut(2).record_drop(NodeId(4));
+            store.get_mut(2).record_timeout(NodeId(4));
+            store.get_mut(0).flag_cheater(NodeId(1));
+        }
+        assert_eq!(sparse.materialized(), 2);
+        for i in 0..5 {
+            assert_eq!(dense.get(i), sparse.get(i), "ledger {i}");
+        }
+        assert_eq!(dense.approx_bytes(), sparse.approx_bytes());
+        assert!(sparse.get(2).is_suppressed(NodeId(4)));
+    }
+
+    #[test]
+    fn sweep_cadence_is_tick_gated() {
+        use idpa_desim::rng::StreamFactory;
+        use idpa_netmodel::NodeSchedule;
+        use std::sync::Arc;
+        let schedules = Arc::new(vec![
+            NodeSchedule::from_sessions(vec![(0.0, 200.0)]),
+            NodeSchedule::from_sessions(vec![(0.0, 200.0)]),
+        ]);
+        let neighbors = Arc::new(vec![vec![NodeId(1)], vec![NodeId(0)]]);
+        let probes = LazyProbeSet::new_sparse(
+            5.0,
+            200.0,
+            schedules,
+            neighbors,
+            None,
+            StreamFactory::new(1),
+        );
+        let mut slab = NodeSlab::new(4, 5.0);
+        let _ = probes.availability(NodeId(0), NodeId(1), 10.0);
+        // Inside the first cadence window: no sweep.
+        assert_eq!(slab.maybe_sweep(&probes, 5.0), 0);
+        // Far past the idle window: the due sweep evicts the idle cell.
+        assert_eq!(slab.maybe_sweep(&probes, 150.0), 1);
+        assert_eq!(probes.residency().materialized, 0);
+    }
+}

@@ -7,6 +7,8 @@
 //! strategies being compared — the comparisons in Figs. 5–7 are
 //! within-world.
 
+use std::sync::Arc;
+
 use idpa_core::adversary::apply_availability_attack;
 use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
 use idpa_netmodel::{ChurnModel, CostModel, NodeSchedule};
@@ -14,7 +16,7 @@ use idpa_overlay::{node::assign_roles, NodeId, NodeKind, Topology};
 use rand::RngExt;
 
 use crate::error::SimError;
-use crate::scenario::ScenarioConfig;
+use crate::scenario::{CostStorage, ScenarioConfig};
 
 /// One (I, R) pair's workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,8 +39,11 @@ pub struct World {
     pub kinds: Vec<NodeKind>,
     /// The neighbor relation.
     pub topology: Topology,
-    /// Per-node churn schedules.
-    pub schedules: Vec<NodeSchedule>,
+    /// Per-node churn schedules — the one deliberately O(N) structure:
+    /// shared (`Arc`) with the probe sets and any lazy node slab, it *is*
+    /// the compact analytic summary every other piece of per-node state
+    /// materializes from.
+    pub schedules: Arc<Vec<NodeSchedule>>,
     /// The bandwidth/cost matrix.
     pub costs: CostModel,
     /// The (I, R) workload.
@@ -67,7 +72,14 @@ impl World {
 
         let mut schedules = ChurnModel::new(cfg.churn).generate(&mut streams.stream("churn"));
 
-        let costs = CostModel::generate(cfg.cost, &mut streams.stream("bandwidth"));
+        let costs = match cfg.cost_storage {
+            CostStorage::Dense => CostModel::generate(cfg.cost, &mut streams.stream("bandwidth")),
+            // Sparse storage never consumes the sequential "bandwidth"
+            // stream: edge draws come from position-keyed streams on
+            // demand. Streams are independent by label, so skipping it
+            // shifts nothing else.
+            CostStorage::Sparse => CostModel::generate_sparse(cfg.cost, streams.clone()),
+        };
 
         // Roles: shuffle ids once, take the tail as malicious. Using a
         // dedicated stream keeps the workload identical across f values.
@@ -94,7 +106,7 @@ impl World {
         Ok(World {
             kinds,
             topology,
-            schedules,
+            schedules: Arc::new(schedules),
             costs,
             pairs,
         })

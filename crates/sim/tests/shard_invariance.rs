@@ -17,8 +17,8 @@ use idpa_core::history::HistoryProfile;
 use idpa_core::HistoryArena;
 use idpa_desim::FaultConfig;
 use idpa_sim::{
-    form_bundles_global, form_bundles_sharded, ProbeRngMode, RunResult, ScenarioConfig,
-    SimulationRun, World,
+    form_bundles_global, form_bundles_items, form_bundles_sharded, partition_pairs,
+    partition_pairs_balanced, ProbeRngMode, RunResult, ScenarioConfig, SimulationRun, World,
 };
 
 /// FNV-1a over the pre-fault-layer result fields (bit patterns) — the
@@ -210,6 +210,101 @@ fn sharded_formation_matches_global_with_bounded_history() {
     let sharded = form_bundles_sharded(&world, &cfg, &arena, 4);
     assert_eq!(global, sharded, "bounded-history outcomes diverged");
     assert_same_records(&arena, &profiles, cfg.n_pairs, "bounded history");
+}
+
+/// Replaces the sampled workload with a deterministic Zipf profile: the
+/// rank-`p` pair carries `⌈64/(p+1)⌉` transmissions, so a handful of head
+/// pairs own most of the scheduled depth — the shape that starves workers
+/// under the ungrouped locality split.
+fn zipf_skew_workload(world: &mut World, cfg: &ScenarioConfig) {
+    let span = cfg.churn.horizon - cfg.warmup;
+    for (p, wl) in world.pairs.iter_mut().enumerate() {
+        let count = (64 / (p + 1)).max(1);
+        wl.times = (0..count)
+            .map(|j| cfg.warmup + span * (j as f64 + 1.0) / (count as f64 + 1.0))
+            .collect();
+    }
+}
+
+#[test]
+fn balanced_split_is_bit_identical_under_zipf_skew() {
+    for seed in [13u64, 31] {
+        let cfg = formation_cfg(seed);
+        cfg.validate().expect("valid formation scenario");
+        let mut world = World::generate(&cfg);
+        zipf_skew_workload(&mut world, &cfg);
+
+        let mut profiles = fresh_profiles(&cfg);
+        let global = form_bundles_global(&world, &cfg, &mut profiles);
+
+        for (shards, threads) in [(1usize, 1usize), (4, 2), (4, 8), (16, 2), (16, 8)] {
+            // The production path: depth-balanced split.
+            let arena = HistoryArena::with_capacity(cfg.n_nodes, shards, cfg.history_capacity);
+            let balanced = form_bundles_sharded(&world, &cfg, &arena, threads);
+            assert_eq!(
+                global, balanced,
+                "seed {seed}: balanced split diverged at shards={shards} threads={threads}"
+            );
+            assert_same_records(
+                &arena,
+                &profiles,
+                cfg.n_pairs,
+                &format!("zipf balanced seed {seed} shards={shards} threads={threads}"),
+            );
+
+            // The ungrouped locality split through the same executor —
+            // grouping must be value-invisible.
+            let arena2 = HistoryArena::with_capacity(cfg.n_nodes, shards, cfg.history_capacity);
+            let items = partition_pairs(&world, &arena2);
+            let ungrouped = form_bundles_items(&world, &cfg, &arena2, threads, &items);
+            assert_eq!(
+                global, ungrouped,
+                "seed {seed}: ungrouped split diverged at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn balanced_partition_is_deterministic_and_balanced() {
+    let cfg = formation_cfg(17);
+    let mut world = World::generate(&cfg);
+    zipf_skew_workload(&mut world, &cfg);
+    let arena = HistoryArena::with_capacity(cfg.n_nodes, 4, cfg.history_capacity);
+
+    let a = partition_pairs_balanced(&world, &arena, 4);
+    let b = partition_pairs_balanced(&world, &arena, 4);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.pairs, y.pairs, "partition must be deterministic");
+        assert_eq!(x.shards, y.shards);
+    }
+
+    // Every pair appears exactly once, item sizes differ by at most one
+    // (the round-robin deal), and shard covers are sorted and deduped.
+    let mut seen: Vec<usize> = a.iter().flat_map(|i| i.pairs.clone()).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..cfg.n_pairs).collect::<Vec<_>>());
+    let sizes: Vec<usize> = a.iter().map(|i| i.pairs.len()).collect();
+    let (min, max) = (sizes.iter().min(), sizes.iter().max());
+    assert!(
+        max.expect("nonempty") - min.expect("nonempty") <= 1,
+        "sizes {sizes:?}"
+    );
+    for item in &a {
+        assert!(item.shards.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    // The deal is depth-aware: no single item may hold the whole depth
+    // (which the locality split can under this Zipf workload).
+    let depth = |item: &idpa_sim::FormationItem| -> usize {
+        item.pairs.iter().map(|&p| world.pairs[p].times.len()).sum()
+    };
+    let total: usize = a.iter().map(depth).sum();
+    let heaviest = a.iter().map(depth).max().expect("nonempty");
+    assert!(
+        heaviest < total,
+        "one item holds the entire depth ({heaviest}/{total})"
+    );
 }
 
 #[test]

@@ -35,12 +35,12 @@ fn main() {
     let replayed = trace_from_csv(&csv, cfg.n_nodes).expect("trace parses");
     println!(
         "[2] re-imported trace parses and round-trips: {}",
-        replayed == world.schedules
+        replayed == *world.schedules
     );
 
     // [3] Run the full mechanism over the replayed trace.
     let mut replay_world = world.clone();
-    replay_world.schedules = replayed;
+    replay_world.schedules = replayed.into();
     let mut run = SimulationRun::new(cfg, replay_world);
     let mut engine = Engine::new();
     run.schedule_all(&mut engine);

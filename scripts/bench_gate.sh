@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Bench-trajectory gate: proves every bench binary still runs, then does a
-# short timed pass of the history_shard bench (N=1k only, via
-# IDPA_HS_QUICK=1) and fails if any freshly measured point regresses more
-# than IDPA_BENCH_GATE_PCT percent (default 20) against the best value
-# that key has ever had in a committed BENCH_*.json report.
+# Bench-trajectory gate: proves every bench binary still runs, then does
+# short timed passes of the gated benches (history_shard via
+# IDPA_HS_QUICK=1, probe_maintenance via IDPA_PM_QUICK=1, node_lifecycle
+# via IDPA_NL_QUICK=1) and fails if any freshly measured point regresses
+# more than IDPA_BENCH_GATE_PCT percent (default 20) against the best
+# value that key has ever had in a committed BENCH_*.json report.
 #
 # Runnable locally: ./scripts/bench_gate.sh
 #
@@ -20,8 +21,10 @@ pct="${IDPA_BENCH_GATE_PCT:-20}"
 stage="bench smoke"
 fresh=""
 fresh_pm=""
+fresh_nl=""
 trap 'status=$?; [ -n "$fresh" ] && rm -f "$fresh"
       [ -n "$fresh_pm" ] && rm -f "$fresh_pm"
+      [ -n "$fresh_nl" ] && rm -f "$fresh_nl"
       if [ "$status" -ne 0 ]; then
         echo "bench gate: FAILED in stage: $stage (exit $status)" >&2
       fi' EXIT
@@ -29,14 +32,15 @@ trap 'status=$?; [ -n "$fresh" ] && rm -f "$fresh"
 # 1. Every bench binary runs its kernels once (untimed) — bench rot check.
 IDPA_BENCH_SMOKE=1 cargo bench --offline -p idpa-bench
 
-# 2. Short timed passes of the gated benches: sharded formation and
-# maintenance-heavy lazy probing. Each binary writes its own report; the
-# two are concatenated into one fresh file (the awk below parses flat
-# "name": ns lines, so back-to-back JSON objects compare fine), and the
-# comparison gates every point at once.
+# 2. Short timed passes of the gated benches: sharded formation,
+# maintenance-heavy lazy probing, and the lazy node lifecycle. Each binary
+# writes its own report; they are concatenated into one fresh file (the
+# awk below parses flat "name": ns lines, so back-to-back JSON objects
+# compare fine), and the comparison gates every point at once.
 stage="timed history_shard pass"
 fresh="$(mktemp)"
 fresh_pm="$(mktemp)"
+fresh_nl="$(mktemp)"
 IDPA_HS_QUICK=1 IDPA_BENCH_OUT="$fresh" \
     cargo bench --offline -p idpa-bench --bench history_shard
 
@@ -44,6 +48,11 @@ stage="timed probe_maintenance pass"
 IDPA_PM_QUICK=1 IDPA_BENCH_OUT="$fresh_pm" \
     cargo bench --offline -p idpa-bench --bench probe_maintenance
 cat "$fresh_pm" >> "$fresh"
+
+stage="timed node_lifecycle pass"
+IDPA_NL_QUICK=1 IDPA_BENCH_OUT="$fresh_nl" \
+    cargo bench --offline -p idpa-bench --bench node_lifecycle
+cat "$fresh_nl" >> "$fresh"
 
 # 3. Compare each fresh point against the best committed value for the
 # same key across every BENCH_*.json in the repo (flat "name": ns maps).

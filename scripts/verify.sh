@@ -47,5 +47,13 @@ stage="adaptive fault smoke (fault-adaptation experiment)"
 IDPA_FAULT_SMOKE=1 cargo run --release --offline -p idpa-sim -- fault-adaptation \
     --quick --reps 2 --reputation-weight 0.2 --out target/verify-results
 
+# Scale smoke: the lazy node lifecycle end to end through the real CLI —
+# the scale-lifecycle experiment runs quick-tier sized worlds under
+# --node-lifecycle lazy and prints the resident-state metrics (peak
+# materialized nodes, evictions, slab bytes) in its report.
+stage="scale smoke (IDPA_SCALE_SMOKE=1 scale-lifecycle experiment)"
+IDPA_SCALE_SMOKE=1 cargo run --release --offline -p idpa-sim -- scale-lifecycle \
+    --quick --node-lifecycle lazy --out target/verify-results
+
 stage="done"
 echo "verify: OK"

@@ -113,10 +113,10 @@ fn measured_trace_replay_round_trips() {
     let world = World::generate(&cfg);
     let csv = trace_to_csv(&world.schedules);
     let replayed = trace_from_csv(&csv, cfg.n_nodes).expect("trace parses");
-    assert_eq!(replayed, world.schedules);
+    assert_eq!(replayed, *world.schedules);
 
     let mut replay_world = world.clone();
-    replay_world.schedules = replayed;
+    replay_world.schedules = replayed.into();
 
     let a = {
         let mut run = SimulationRun::new(cfg, world);
