@@ -430,6 +430,40 @@ fn bench_crypto(h: &mut Harness) {
     }
     let sig = keys.raw_sign(&m);
     h.bench("crypto/rsa512_verify", || keys.public().raw_verify(&sig));
+    {
+        // The uncached verification path the seed shipped (division-based
+        // modpow, no shared Montgomery context) — the before-side of the
+        // cached-context speedup that `crypto/rsa512_verify` now measures.
+        let n = keys.public().modulus().clone();
+        let e = keys.public().exponent().clone();
+        h.bench("crypto/rsa512_verify_plain_modpow", || sig.modpow(&e, &n));
+    }
+    {
+        // Batch vs individual verification of one settlement batch. For
+        // e = 65537 the small-exponents batch test costs ~64 Montgomery
+        // multiplies per item (64-bit coefficients, two interleaved
+        // accumulators) against ~18 for a cached individual verify, so the
+        // batch is expected to LOSE here — it beats only the uncached plain
+        // path above. These two kernels keep that trade-off measured; the
+        // settlement win comes from netting, not from this equation.
+        let items: Vec<(BigUint, BigUint)> = (0..256u64)
+            .map(|i| {
+                let m = BigUint::from_bytes_be(&Sha256::digest(&i.to_be_bytes()))
+                    .rem(keys.public().modulus());
+                (keys.raw_sign(&m), m)
+            })
+            .collect();
+        let mut coeff_rng = Xoshiro256StarStar::seed_from_u64(6);
+        h.bench("crypto/rsa512_batch_verify_256", || {
+            idpa_crypto::batch_verify(keys.public(), &items, |_| coeff_rng.next()).is_all_valid()
+        });
+        h.bench("crypto/rsa512_individual_verify_256", || {
+            items
+                .iter()
+                .filter(|(sig, m)| &keys.public().raw_verify(sig) == m)
+                .count()
+        });
+    }
     h.bench("crypto/blind_unblind", || {
         let bf = BlindingFactor::random(keys.public(), &mut rng);
         let blinded = bf.blind(keys.public(), &m);

@@ -45,7 +45,9 @@ impl BlindingFactor {
     /// Blinds message representative `m`: returns `m·r^e mod n`.
     #[must_use]
     pub fn blind(&self, key: &RsaPublicKey, m: &BigUint) -> BigUint {
-        let r_e = self.r.modpow(key.exponent(), key.modulus());
+        // r^e through the key's cached Montgomery context — the same
+        // context every other operation under this modulus shares.
+        let r_e = key.mont().modpow(&self.r, key.exponent());
         m.mulmod(&r_e, key.modulus())
     }
 

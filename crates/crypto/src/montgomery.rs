@@ -48,13 +48,13 @@ impl MontgomeryCtx {
     }
 
     /// Limb count `s` of the modulus.
-    fn s(&self) -> usize {
+    pub(crate) fn s(&self) -> usize {
         self.n.len()
     }
 
     /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod n`.
     /// Inputs are limb vectors of length `s` (Montgomery residues).
-    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+    pub(crate) fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
         let s = self.s();
         debug_assert_eq!(a.len(), s);
         debug_assert_eq!(b.len(), s);
@@ -98,14 +98,20 @@ impl MontgomeryCtx {
     }
 
     /// Converts into Montgomery form: `a·R mod n`.
-    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+    pub(crate) fn to_mont(&self, a: &BigUint) -> Vec<u64> {
         let mut limbs = a.rem(&self.modulus_big()).to_limbs();
         limbs.resize(self.s(), 0);
         self.mont_mul(&limbs, &self.r2)
     }
 
+    /// `1` in Montgomery form (`R mod n`), the multiplicative identity of
+    /// [`Self::mont_mul`].
+    pub(crate) fn one_mont(&self) -> Vec<u64> {
+        self.to_mont(&BigUint::one())
+    }
+
     /// Converts out of Montgomery form.
-    fn decode_mont(&self, a: &[u64]) -> BigUint {
+    pub(crate) fn decode_mont(&self, a: &[u64]) -> BigUint {
         let one: Vec<u64> = std::iter::once(1u64)
             .chain(std::iter::repeat(0))
             .take(self.s())
@@ -134,6 +140,62 @@ impl MontgomeryCtx {
             }
         }
         self.decode_mont(&acc)
+    }
+
+    /// `base^exponent mod n` by 4-bit fixed-window exponentiation.
+    ///
+    /// The window trades 14 table-building multiplies for one multiply per
+    /// 4 squarings instead of (on average) one per 2, so it only pays off
+    /// on long dense exponents — RSA private exponents, not `e = 65537`
+    /// (17 bits, Hamming weight 2, for which binary is already near
+    /// optimal). Short exponents therefore delegate to [`Self::modpow`].
+    #[must_use]
+    pub fn modpow_window(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        const WINDOW: usize = 4;
+        let bits = exponent.bits();
+        if bits <= 64 {
+            return self.modpow(base, exponent);
+        }
+        let base_m = self.to_mont(base);
+        // table[w] = base^w in Montgomery form, w in 0..16.
+        let mut table = Vec::with_capacity(1 << WINDOW);
+        table.push(self.one_mont());
+        for w in 1..1usize << WINDOW {
+            table.push(self.mont_mul(&table[w - 1], &base_m));
+        }
+        let windows = bits.div_ceil(WINDOW);
+        let mut acc = self.one_mont();
+        for wi in (0..windows).rev() {
+            for _ in 0..WINDOW {
+                acc = self.mont_mul(&acc, &acc);
+            }
+            let mut w = 0usize;
+            for b in 0..WINDOW {
+                let bit = wi * WINDOW + (WINDOW - 1 - b);
+                w <<= 1;
+                if bit < bits && exponent.bit(bit) {
+                    w |= 1;
+                }
+            }
+            if w != 0 {
+                acc = self.mont_mul(&acc, &table[w]);
+            }
+        }
+        self.decode_mont(&acc)
+    }
+
+    /// `base^exponent` staying in Montgomery form: `base_m` is a Montgomery
+    /// residue and so is the result. Used by the batch verifier, which
+    /// builds products in Montgomery form and only decodes once.
+    pub(crate) fn pow_mont(&self, base_m: &[u64], exponent: &BigUint) -> Vec<u64> {
+        let mut acc = self.one_mont();
+        for i in (0..exponent.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exponent.bit(i) {
+                acc = self.mont_mul(&acc, base_m);
+            }
+        }
+        acc
     }
 }
 
@@ -233,6 +295,41 @@ mod tests {
     #[should_panic(expected = "odd modulus")]
     fn even_modulus_rejected() {
         let _ = MontgomeryCtx::new(&BigUint::from_u64(100));
+    }
+
+    #[test]
+    fn window_matches_binary_modpow() {
+        let mut r = rng(4);
+        let p = generate_prime(128, &mut r);
+        let q = generate_prime(128, &mut r);
+        let n = p.mul(&q);
+        let ctx = MontgomeryCtx::new(&n);
+        for trial in 0..10 {
+            let base = random_bits(256, &mut r);
+            // Cover both the delegating (short) and windowed (long) paths.
+            let exp = random_bits(if trial % 2 == 0 { 48 } else { 250 }, &mut r);
+            assert_eq!(
+                ctx.modpow_window(&base, &exp),
+                base.modpow(&exp, &n),
+                "trial {trial}"
+            );
+        }
+        assert_eq!(
+            ctx.modpow_window(&BigUint::from_u64(5), &BigUint::zero()),
+            BigUint::one()
+        );
+    }
+
+    #[test]
+    fn pow_mont_stays_in_montgomery_form() {
+        let mut r = rng(5);
+        let p = generate_prime(96, &mut r);
+        let ctx = MontgomeryCtx::new(&p);
+        let base = random_bits(90, &mut r);
+        let exp = random_bits(80, &mut r);
+        let base_m = ctx.to_mont(&base);
+        let out = ctx.decode_mont(&ctx.pow_mont(&base_m, &exp));
+        assert_eq!(out, base.modpow(&exp, &p));
     }
 
     #[test]

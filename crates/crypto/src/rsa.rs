@@ -6,6 +6,8 @@
 //! arguments the paper needs are unlinkability and unforgeability at the
 //! protocol level, not modern EUF-CMA bounds).
 
+use std::sync::OnceLock;
+
 use idpa_desim::rng::Xoshiro256StarStar;
 
 use crate::bigint::BigUint;
@@ -14,11 +16,26 @@ use crate::prime::generate_prime;
 use crate::sha256::Sha256;
 
 /// An RSA public key `(n, e)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Carries a lazily built, cached [`MontgomeryCtx`] over `n` so that every
+/// repeated same-modulus operation — the bank verifying thousands of token
+/// signatures, blinding factors raised to `e` — shares one context instead
+/// of rebuilding `R^2 mod n` per call.
+#[derive(Debug, Clone)]
 pub struct RsaPublicKey {
     n: BigUint,
     e: BigUint,
+    mont: OnceLock<MontgomeryCtx>,
 }
+
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached context is derived from n; key identity is (n, e).
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
 
 impl RsaPublicKey {
     /// The modulus.
@@ -33,10 +50,16 @@ impl RsaPublicKey {
         &self.e
     }
 
+    /// The shared Montgomery context over `n`, built on first use.
+    #[must_use]
+    pub fn mont(&self) -> &MontgomeryCtx {
+        self.mont.get_or_init(|| MontgomeryCtx::new(&self.n))
+    }
+
     /// Raw RSA verification primitive: `sig^e mod n`.
     #[must_use]
     pub fn raw_verify(&self, sig: &BigUint) -> BigUint {
-        sig.modpow(&self.e, &self.n)
+        self.mont().modpow(sig, &self.e)
     }
 
     /// Verifies a signature over `message` produced by
@@ -53,9 +76,6 @@ impl RsaPublicKey {
 pub struct RsaKeyPair {
     public: RsaPublicKey,
     d: BigUint,
-    /// Montgomery context over n: signing exponentiates by the full-size
-    /// private exponent, where Montgomery reduction pays off most.
-    mont: MontgomeryCtx,
 }
 
 /// The conventional public exponent 65537.
@@ -91,12 +111,15 @@ impl RsaKeyPair {
             let Some(d) = e.mod_inverse(&phi) else {
                 continue;
             };
-            let mont = MontgomeryCtx::new(&n);
-            return RsaKeyPair {
-                public: RsaPublicKey { n, e },
-                d,
-                mont,
+            let public = RsaPublicKey {
+                n,
+                e,
+                mont: OnceLock::new(),
             };
+            // Warm the shared context at creation so the first signature
+            // does not pay the one-time R^2 setup.
+            let _ = public.mont();
+            return RsaKeyPair { public, d };
         }
     }
 
@@ -106,10 +129,11 @@ impl RsaKeyPair {
         &self.public
     }
 
-    /// Raw RSA signing primitive: `m^d mod n` (Montgomery fast path).
+    /// Raw RSA signing primitive: `m^d mod n` (Montgomery fast path with
+    /// fixed-window exponentiation — `d` is full modulus size and dense).
     #[must_use]
     pub fn raw_sign(&self, m: &BigUint) -> BigUint {
-        self.mont.modpow(m, &self.d)
+        self.public.mont().modpow_window(m, &self.d)
     }
 
     /// Signs SHA-256(message) interpreted as an integer mod n.

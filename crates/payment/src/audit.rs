@@ -50,6 +50,19 @@ pub enum AuditEvent {
         /// Amount moved.
         amount: u64,
     },
+    /// Net balance delta applied at an epoch boundary: the one entry that
+    /// replaces the per-bundle `Transfer` entries an account accumulated
+    /// during the epoch under epoch-batched settlement. Deltas of one
+    /// epoch's settlement sum to zero across accounts (transfers only move
+    /// value), so conservation survives netting.
+    EpochNet {
+        /// The settled epoch (0-based).
+        epoch: u64,
+        /// The account whose epoch activity is being netted.
+        account: AccountId,
+        /// Net signed delta applied to the balance.
+        delta: i64,
+    },
     /// Detected-versus-paid discrepancy from §5 reconstructed-path
     /// validation: a bundle whose manifests claim `expected` forwarding
     /// instances but whose surviving receipts validate only `validated`.
@@ -95,6 +108,16 @@ impl AuditEvent {
                 out.extend_from_slice(&from.0.to_be_bytes());
                 out.extend_from_slice(&to.0.to_be_bytes());
                 out.extend_from_slice(&amount.to_be_bytes());
+            }
+            AuditEvent::EpochNet {
+                epoch,
+                account,
+                delta,
+            } => {
+                out.push(5);
+                out.extend_from_slice(&epoch.to_be_bytes());
+                out.extend_from_slice(&account.0.to_be_bytes());
+                out.extend_from_slice(&delta.to_be_bytes());
             }
             AuditEvent::Discrepancy {
                 bundle,
@@ -235,6 +258,11 @@ impl AuditLog {
                         bal += i128::from(amount);
                     }
                 }
+                AuditEvent::EpochNet {
+                    account: a, delta, ..
+                } if a == account => {
+                    bal += i128::from(delta);
+                }
                 _ => {}
             }
         }
@@ -346,6 +374,30 @@ mod tests {
         let mut t = log.clone();
         if let AuditEvent::Discrepancy { validated, .. } = &mut t.entries[4].event {
             *validated = 12; // cover up the shortfall
+        }
+        assert_eq!(t.verify(), Err(4));
+    }
+
+    #[test]
+    fn epoch_net_entries_chain_and_replay_as_signed_deltas() {
+        let mut log = sample_log();
+        log.append(AuditEvent::EpochNet {
+            epoch: 3,
+            account: AccountId(0),
+            delta: -25,
+        });
+        log.append(AuditEvent::EpochNet {
+            epoch: 3,
+            account: AccountId(1),
+            delta: 25,
+        });
+        assert_eq!(log.verify(), Ok(()));
+        // Account 0: 80 - 25 = 55 ; account 1: 20 + 25 = 45.
+        assert_eq!(log.replay_balance(AccountId(0)), 55);
+        assert_eq!(log.replay_balance(AccountId(1)), 45);
+        let mut t = log.clone();
+        if let AuditEvent::EpochNet { delta, .. } = &mut t.entries[4].event {
+            *delta = -5; // understate the debit
         }
         assert_eq!(t.verify(), Err(4));
     }

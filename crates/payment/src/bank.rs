@@ -6,14 +6,17 @@
 //! signatures) it cannot link a deposit back to a withdrawal, so it never
 //! learns which initiator paid which forwarder.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
+use idpa_crypto::batch::{batch_verify, BatchOutcome};
 use idpa_crypto::bigint::BigUint;
 use idpa_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use idpa_desim::rng::Xoshiro256StarStar;
 
 use crate::audit::{AuditEvent, AuditLog};
-use crate::token::{denominations, PendingWithdrawal, Token, TokenId, Wallet, WithdrawError};
+use crate::token::{
+    denominations, token_digest, PendingWithdrawal, Token, TokenId, Wallet, WithdrawError,
+};
 
 /// Identifier of a bank account (peers and the escrow service hold these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,7 +33,22 @@ pub enum DepositError {
     UnknownAccount,
 }
 
+/// Error applying an epoch's netted balance deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochNetError {
+    /// A netted account does not exist.
+    UnknownAccount(AccountId),
+    /// A net debit exceeds the account's balance.
+    InsufficientFunds(AccountId),
+}
+
 /// The central bank.
+///
+/// `Clone` snapshots the entire bank — keys (the cached Montgomery context
+/// is shared), ledger, serial set and audit chain — which is what lets
+/// benches and tests replay the same settlement workload from a pristine
+/// state.
+#[derive(Clone)]
 pub struct Bank {
     keys: RsaKeyPair,
     accounts: HashMap<AccountId, u64>,
@@ -155,6 +173,125 @@ impl Bank {
             value: token.value,
             serial_prefix,
         });
+        Ok(())
+    }
+
+    /// Deposits a whole epoch's tokens in one pass, batch-verifying the
+    /// blind signatures ([`idpa_crypto::batch_verify`]) and deferring the
+    /// double-spend check to a single scan over the epoch's serial set.
+    ///
+    /// `coeff(i)` supplies the batch-verification coefficient for the item
+    /// at submission position `i` (position-keyed so verdicts replay).
+    ///
+    /// Exactly equivalent to calling [`Bank::deposit`] once per item in
+    /// submission order: same per-item results, same final balances,
+    /// serials, outstanding liability, and audit entries. The error
+    /// precedence of `deposit` is preserved — unknown account shadows a
+    /// bad signature, a bad signature never burns the serial, and the
+    /// first of two duplicate serials in the batch wins.
+    pub fn deposit_batch(
+        &mut self,
+        deposits: &[(AccountId, Token)],
+        mut coeff: impl FnMut(usize) -> u64,
+    ) -> Vec<Result<(), DepositError>> {
+        let mut results: Vec<Option<Result<(), DepositError>>> = vec![None; deposits.len()];
+
+        // 1. Account existence, checked first exactly as in `deposit`.
+        let to_verify: Vec<usize> = deposits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (account, _))| {
+                if self.accounts.contains_key(account) {
+                    Some(i)
+                } else {
+                    results[i] = Some(Err(DepositError::UnknownAccount));
+                    None
+                }
+            })
+            .collect();
+
+        // 2. One combined signature check; when it fails, the individual
+        //    fallback inside `batch_verify` names the exact offenders.
+        let items: Vec<(BigUint, BigUint)> = to_verify
+            .iter()
+            .map(|&i| {
+                let t = &deposits[i].1;
+                (
+                    t.signature.clone(),
+                    token_digest(&t.id, t.value, self.keys.public()),
+                )
+            })
+            .collect();
+        if let BatchOutcome::Rejected(bad) =
+            batch_verify(self.keys.public(), &items, |k| coeff(to_verify[k]))
+        {
+            for k in bad {
+                results[to_verify[k]] = Some(Err(DepositError::InvalidSignature));
+            }
+        }
+
+        // 3. Deferred double-spend scan in submission order — the growing
+        //    `spent` set rejects intra-batch duplicates — then apply.
+        for (i, (account, token)) in deposits.iter().enumerate() {
+            if results[i].is_some() {
+                continue;
+            }
+            results[i] = Some(if self.spent.contains(&token.id) {
+                Err(DepositError::DoubleSpend)
+            } else {
+                self.spent.insert(token.id);
+                self.outstanding = self.outstanding.saturating_sub(token.value);
+                *self.accounts.get_mut(account).expect("existence checked") += token.value;
+                let mut serial_prefix = [0u8; 8];
+                serial_prefix.copy_from_slice(&token.id.0[..8]);
+                self.audit.append(AuditEvent::Deposit {
+                    account: *account,
+                    value: token.value,
+                    serial_prefix,
+                });
+                Ok(())
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every item resolved"))
+            .collect()
+    }
+
+    /// Applies one net balance delta per account for a settled epoch,
+    /// atomically: every delta applies (one [`AuditEvent::EpochNet`] entry
+    /// per nonzero delta, ascending account order) or none does. For
+    /// transfer netting the deltas sum to zero, so `total_deposits` is
+    /// unchanged — [`crate::EpochLedger`] constructs exactly such nets.
+    pub fn apply_epoch_net(
+        &mut self,
+        epoch: u64,
+        net: &BTreeMap<AccountId, i64>,
+    ) -> Result<(), EpochNetError> {
+        for (&account, &delta) in net {
+            let Some(&balance) = self.accounts.get(&account) else {
+                return Err(EpochNetError::UnknownAccount(account));
+            };
+            if delta < 0 && balance < delta.unsigned_abs() {
+                return Err(EpochNetError::InsufficientFunds(account));
+            }
+        }
+        for (&account, &delta) in net {
+            if delta == 0 {
+                continue;
+            }
+            let balance = self.accounts.get_mut(&account).expect("validated above");
+            if delta < 0 {
+                *balance -= delta.unsigned_abs();
+            } else {
+                *balance += delta.unsigned_abs();
+            }
+            self.audit.append(AuditEvent::EpochNet {
+                epoch,
+                account,
+                delta,
+            });
+        }
         Ok(())
     }
 

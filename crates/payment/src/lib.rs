@@ -37,13 +37,15 @@
 
 pub mod audit;
 pub mod bank;
+pub mod epoch;
 pub mod escrow;
 pub mod receipt;
 pub mod token;
 pub mod validation;
 
 pub use audit::{AuditEvent, AuditLog};
-pub use bank::{AccountId, Bank, DepositError};
+pub use bank::{AccountId, Bank, DepositError, EpochNetError};
+pub use epoch::{EpochLedger, EpochSettlement};
 pub use escrow::{Escrow, SettlementError, SettlementReport};
 pub use receipt::{Receipt, ReceiptBook};
 pub use token::{Token, TokenId, Wallet, WithdrawError};

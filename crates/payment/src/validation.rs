@@ -170,6 +170,23 @@ impl PathValidator {
         report
     }
 
+    /// Replays the evidence entries in `[start, end)` (insertion order) —
+    /// the epoch-settlement kernel. [`PathValidator::apply_evidence`] is
+    /// per-entry independent, so partitioning a bundle's evidence into
+    /// epoch windows and merging the per-window reports (summing counters,
+    /// unioning `paid_counts`/`flagged`) reproduces the whole-bundle
+    /// [`PathValidator::validate`] exactly; out-of-range indices are
+    /// simply skipped.
+    #[must_use]
+    pub fn validate_range(&self, start: usize, end: usize) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        let end = end.min(self.evidence.len());
+        for ev in self.evidence.get(start..end).unwrap_or(&[]) {
+            self.apply_evidence(ev, &mut report);
+        }
+        report
+    }
+
     /// Validates a single recorded connection (by insertion order) with
     /// the same intact-prefix rule as [`PathValidator::validate`] and
     /// returns the forwarder it pins the corruption on, if any.

@@ -156,7 +156,12 @@ fn no_account_exceeds_total_supply() {
 /// account universe.
 fn random_audit_event(rng: &mut Xoshiro256StarStar) -> AuditEvent {
     let acct = |rng: &mut Xoshiro256StarStar| AccountId(rng.next() % 4);
-    match rng.next() % 5 {
+    match rng.next() % 6 {
+        5 => AuditEvent::EpochNet {
+            epoch: rng.next() % 8,
+            account: acct(rng),
+            delta: (rng.next() % 99) as i64 - 49,
+        },
         0 => AuditEvent::Open {
             account: acct(rng),
             balance: rng.next() % 200,
@@ -242,6 +247,15 @@ fn flip_entry_byte(entry: &mut AuditEntry, rng: &mut Xoshiro256StarStar) {
                 2 => *validated ^= word,
                 _ => *flagged ^= word,
             },
+            AuditEvent::EpochNet {
+                epoch,
+                account,
+                delta,
+            } => match rng.next() % 3 {
+                0 => *epoch ^= word,
+                1 => account.0 ^= word,
+                _ => *delta ^= word as i64,
+            },
         },
     }
 }
@@ -313,6 +327,191 @@ fn replay_balance_is_invariant_under_event_interleaving() {
                 log_a.replay_balance(AccountId(id)),
                 log_b.replay_balance(AccountId(id)),
                 "case {case}: account {id} diverges between interleavings"
+            );
+        }
+    }
+}
+
+/// One batch-deposit entry class the generator can emit.
+#[derive(Debug, Clone, Copy)]
+enum BatchEntry {
+    /// A fresh valid token to a known account.
+    Valid,
+    /// A replay of a serial already submitted (earlier in this batch or in
+    /// a previous epoch).
+    Duplicate,
+    /// A valid token with a tampered signature or inflated value.
+    Forged,
+    /// A valid token aimed at a nonexistent account.
+    UnknownAccount,
+}
+
+fn random_batch_entry(rng: &mut Xoshiro256StarStar) -> BatchEntry {
+    match rng.next() % 8 {
+        0 => BatchEntry::Duplicate,
+        1 => BatchEntry::Forged,
+        2 => BatchEntry::UnknownAccount,
+        _ => BatchEntry::Valid,
+    }
+}
+
+/// Builds twin banks (same seed => same keys, accounts, audit genesis) and
+/// a pool of identical tokens withdrawn from both.
+fn twin_banks_with_tokens(
+    seed: u64,
+    supply: u64,
+    n_tokens: u64,
+) -> (Bank, Bank, Vec<AccountId>, Vec<Token>) {
+    let mut bank_a = Bank::new(256, &mut Xoshiro256StarStar::seed_from_u64(seed));
+    let mut bank_b = Bank::new(256, &mut Xoshiro256StarStar::seed_from_u64(seed));
+    let accounts: Vec<AccountId> = (0..4).map(|_| bank_a.open_account(supply)).collect();
+    for _ in 0..4 {
+        bank_b.open_account(supply);
+    }
+    let withdraw = |bank: &mut Bank| {
+        let mut r = Xoshiro256StarStar::seed_from_u64(seed ^ 0x5eed);
+        let mut w = Wallet::new();
+        bank.withdraw_into_wallet(accounts[0], n_tokens, &mut w, &mut r)
+            .unwrap();
+        let b = w.balance();
+        w.take_exact(b).unwrap()
+    };
+    let tokens_a = withdraw(&mut bank_a);
+    let tokens_b = withdraw(&mut bank_b);
+    assert_eq!(tokens_a, tokens_b, "twin banks must mint identical tokens");
+    (bank_a, bank_b, accounts, tokens_a)
+}
+
+/// Batch deposit ≡ sequential deposits: over random batches mixing valid
+/// tokens, intra-batch and cross-epoch duplicate serials, forgeries, and
+/// unknown accounts, `deposit_batch` returns the exact per-item results of
+/// sequential `deposit` calls and leaves the bank in a byte-identical
+/// state — balances, `spent_serials`, `outstanding`, and the audit hash
+/// chain all match.
+#[test]
+fn batch_deposit_equals_sequential_deposits() {
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0x2005);
+    for case in 0..CASES {
+        let seed = gen.next();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(gen.next());
+        let n_tokens = 6 + rng.next() % 9;
+        let (mut seq, mut batch, accounts, mut pool) = twin_banks_with_tokens(seed, 500, n_tokens);
+        let modulus = seq.public_key().modulus().clone();
+
+        // Two epochs; serials submitted in epoch 0 can be replayed in
+        // epoch 1 (cross-epoch duplicates against the persistent set).
+        let mut submitted: Vec<Token> = Vec::new();
+        for _epoch in 0..2 {
+            let k = 1 + (rng.next() % 9) as usize;
+            let mut entries: Vec<(AccountId, Token)> = Vec::with_capacity(k);
+            for _ in 0..k {
+                let account = accounts[(rng.next() % 4) as usize];
+                match random_batch_entry(&mut rng) {
+                    BatchEntry::Duplicate if !submitted.is_empty() => {
+                        let i = (rng.next() % submitted.len() as u64) as usize;
+                        entries.push((account, submitted[i].clone()));
+                    }
+                    BatchEntry::Forged if !pool.is_empty() => {
+                        let mut t = pool.pop().unwrap();
+                        if rng.next() % 2 == 0 {
+                            t.signature =
+                                t.signature.add(&idpa_crypto::BigUint::one()).rem(&modulus);
+                        } else {
+                            t.value += 100;
+                        }
+                        entries.push((account, t));
+                    }
+                    BatchEntry::UnknownAccount if !pool.is_empty() => {
+                        entries.push((AccountId(9_999), pool.pop().unwrap()));
+                    }
+                    _ => {
+                        if let Some(t) = pool.pop() {
+                            entries.push((account, t));
+                        }
+                    }
+                }
+            }
+            submitted.extend(entries.iter().map(|(_, t)| t.clone()));
+
+            let sequential: Vec<_> = entries
+                .iter()
+                .map(|(account, token)| seq.deposit(*account, token))
+                .collect();
+            let mut coeff_rng = Xoshiro256StarStar::seed_from_u64(seed ^ 0xc0ef);
+            let batched = batch.deposit_batch(&entries, |_| coeff_rng.next());
+
+            assert_eq!(sequential, batched, "case {case}: per-item results");
+        }
+        for &a in &accounts {
+            assert_eq!(seq.balance(a), batch.balance(a), "case {case}");
+        }
+        assert_eq!(seq.spent_serials(), batch.spent_serials(), "case {case}");
+        assert_eq!(seq.outstanding(), batch.outstanding(), "case {case}");
+        assert_eq!(seq.total_deposits(), batch.total_deposits(), "case {case}");
+        assert_eq!(
+            seq.audit().head(),
+            batch.audit().head(),
+            "case {case}: audit chains diverge"
+        );
+    }
+}
+
+/// Epoch-ledger settlement conserves the economics of the sequential
+/// per-bundle operations it replaces: random interleavings of transfers
+/// and token deposits, accumulated over two epochs and settled in batches,
+/// end with the same balances, total deposits, outstanding liability, and
+/// spent-serial count as applying each operation immediately.
+#[test]
+fn epoch_ledger_settlement_matches_sequential_economics() {
+    use idpa_payment::EpochLedger;
+    let mut gen = Xoshiro256StarStar::seed_from_u64(0x2006);
+    for case in 0..CASES {
+        let seed = gen.next();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(gen.next());
+        let n_tokens = 4 + rng.next() % 7;
+        let (mut seq, mut epoch, accounts, mut pool) = twin_banks_with_tokens(seed, 300, n_tokens);
+        let mut ledger = EpochLedger::new();
+
+        for epoch_no in 0..2u64 {
+            let ops = 1 + rng.next() % 10;
+            for _ in 0..ops {
+                if rng.next() % 2 == 0 {
+                    let from = accounts[(rng.next() % 4) as usize];
+                    let to = accounts[(rng.next() % 4) as usize];
+                    let amount = 1 + rng.next() % 60;
+                    // Accrue only transfers the sequential arm accepted, so
+                    // both arms describe the same completed payments.
+                    if seq.transfer(from, to, amount).is_ok() {
+                        ledger.accrue_transfer(from, to, amount);
+                    }
+                } else if let Some(t) = pool.pop() {
+                    let account = accounts[(rng.next() % 4) as usize];
+                    seq.deposit(account, &t).unwrap();
+                    ledger.queue_deposit(account, t);
+                }
+            }
+            let mut coeff_rng = Xoshiro256StarStar::seed_from_u64(seed ^ epoch_no);
+            let report = ledger.settle(&mut epoch, |_| coeff_rng.next()).unwrap();
+            assert_eq!(report.epoch, epoch_no, "case {case}");
+            assert!(
+                report.deposit_results.iter().all(Result::is_ok),
+                "case {case}: fresh tokens must all settle"
+            );
+        }
+
+        for &a in &accounts {
+            assert_eq!(seq.balance(a), epoch.balance(a), "case {case}");
+        }
+        assert_eq!(seq.total_deposits(), epoch.total_deposits(), "case {case}");
+        assert_eq!(seq.outstanding(), epoch.outstanding(), "case {case}");
+        assert_eq!(seq.spent_serials(), epoch.spent_serials(), "case {case}");
+        // Both audit chains replay to the same per-account balances even
+        // though one records transfers and the other epoch nets.
+        for &a in &accounts {
+            assert_eq!(
+                seq.audit().replay_balance(a),
+                epoch.audit().replay_balance(a),
+                "case {case}: replayed balance diverges"
             );
         }
     }

@@ -19,7 +19,7 @@ use idpa_game::forwarding::{dominance_threshold, participation_threshold, Forwar
 use crate::chart::{cdf_chart, line_chart, Series};
 use crate::report::{fmt_ci, Table};
 use crate::runner::{RunResult, SimulationRun};
-use crate::scenario::{NodeLifecycle, ProbeMode, ScenarioConfig};
+use crate::scenario::{NodeLifecycle, ProbeMode, ScenarioConfig, SettlementMode};
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -53,6 +53,13 @@ pub struct Options {
     /// byte-identical to builds without the lifecycle layer) or lazy
     /// (bit-identical results, resident memory bounded by active traffic).
     pub node_lifecycle: NodeLifecycle,
+    /// Payment settlement mode (`--settlement`): per bundle after the
+    /// horizon (the default, byte-identical to builds without the epoch
+    /// layer) or batched at epoch boundaries (identical economics,
+    /// amortized bank operations).
+    pub settlement: SettlementMode,
+    /// Epoch length in minutes under epoch settlement (`--epoch-length`).
+    pub epoch_length: f64,
 }
 
 impl Default for Options {
@@ -67,6 +74,8 @@ impl Default for Options {
             history_shards: 0,
             reputation_weight: 0.0,
             node_lifecycle: NodeLifecycle::Eager,
+            settlement: SettlementMode::PerBundle,
+            epoch_length: 240.0,
         }
     }
 }
@@ -88,6 +97,8 @@ impl Options {
             weights: Options::split_weights(self.reputation_weight),
             reputation_weight: self.reputation_weight,
             node_lifecycle: self.node_lifecycle,
+            settlement: self.settlement,
+            epoch_length: self.epoch_length,
             ..base
         }
     }

@@ -41,6 +41,8 @@ pub use formation::{
 };
 pub use idpa_desim::{FaultConfig, FaultResponse};
 pub use runner::{RunResult, SimulationRun};
-pub use scenario::{CostStorage, NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig};
+pub use scenario::{
+    CostStorage, NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig, SettlementMode,
+};
 pub use slab::{NodeSlab, ReputationStore};
 pub use world::World;

@@ -5,6 +5,7 @@
 //!          [--fault-crash P] [--fault-drop P] [--fault-delay P] [--fault-cheat F]
 //!          [--fault-bank-downtime F] [--fault-retries N] [--fault-timeout MIN]
 //!          [--fault-response static|adaptive] [--reputation-weight W]
+//!          [--settlement per-bundle|epoch] [--epoch-length MIN]
 //! ```
 //!
 //! With no experiment names, runs everything in the registry. Markdown
@@ -101,6 +102,27 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--settlement" => {
+                opts.settlement = match iter.next().map(String::as_str) {
+                    Some("per-bundle") => idpa_sim::SettlementMode::PerBundle,
+                    Some("epoch") => idpa_sim::SettlementMode::Epoch,
+                    _ => {
+                        eprintln!("--settlement needs 'per-bundle' or 'epoch'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--epoch-length" => {
+                let v = match fault_value(arg, iter.next()) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                if v <= 0.0 {
+                    eprintln!("--epoch-length must be positive (minutes)");
+                    return ExitCode::FAILURE;
+                }
+                opts.epoch_length = v;
+            }
             "--fault-crash"
             | "--fault-drop"
             | "--fault-delay"
@@ -166,7 +188,12 @@ fn main() -> ExitCode {
                      --node-lifecycle MODE         'eager' (all N nodes allocated up front,\n  \
                      \u{20}                             the default) or 'lazy' (state materializes\n  \
                      \u{20}                             on first touch, evicts when idle;\n  \
-                     \u{20}                             bit-identical results, bounded memory)\n\n\
+                     \u{20}                             bit-identical results, bounded memory)\n  \
+                     --settlement MODE             'per-bundle' (each bundle settles alone,\n  \
+                     \u{20}                             the default) or 'epoch' (payouts netted and\n  \
+                     \u{20}                             deposits batch-verified at epoch boundaries;\n  \
+                     \u{20}                             identical economics, amortized bank load)\n  \
+                     --epoch-length MIN            epoch length for '--settlement epoch'\n\n\
                      fault injection (all rates default to 0 = off; any nonzero rate\n\
                      activates the deterministic fault plan):\n  \
                      --fault-crash P               per-hop forwarder crash probability\n  \

@@ -47,7 +47,7 @@ use idpa_payment::validation::{ConnectionEvidence, PathManifest, PathValidator};
 use rand::{Rng, RngExt};
 use std::sync::Arc;
 
-use crate::scenario::{NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig};
+use crate::scenario::{NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig, SettlementMode};
 use crate::slab::{NodeSlab, ReputationStore};
 use crate::world::World;
 
@@ -76,6 +76,10 @@ pub enum Ev {
         /// Attempt number (1 = first retry).
         attempt: u32,
     },
+    /// An epoch boundary under `--settlement epoch`: the evidence window
+    /// accrued since the previous boundary is validated, payouts are
+    /// netted per account and deposits batch-verified.
+    EpochSettle,
 }
 
 /// Probe state in either advancement mode.
@@ -234,6 +238,21 @@ pub struct RunResult {
     /// observations. A model, not an allocator reading — comparable
     /// across lifecycles and probe modes.
     pub slab_bytes: usize,
+    /// Epoch boundaries that settled at least one new connection under
+    /// `--settlement epoch` (0 in per-bundle mode).
+    pub epochs_settled: u64,
+    /// Mean bank-facing settlement operations (netted payouts plus
+    /// batch-verification calls) per settled epoch. A structural count,
+    /// not a timing — comparable across machines (0.0 in per-bundle
+    /// mode).
+    pub settlement_ops_per_epoch: f64,
+    /// Receipts collapsed into each netted payout operation — the
+    /// transfer-amortization factor epoch batching buys over per-bundle
+    /// settlement (0.0 in per-bundle mode).
+    pub epoch_netting_ratio: f64,
+    /// Receipts cleared per batch-verification call (structural batches
+    /// of up to 1024 deposits; 0.0 in per-bundle mode).
+    pub batch_verify_throughput: f64,
 }
 
 /// Mutable fault-injection state (present only when faults are active).
@@ -255,11 +274,93 @@ struct FaultRuntime {
     /// Global probe-availability mask, advanced on confirmed failures
     /// (adaptive mode only).
     probe_invalid: ProbeInvalidation,
+    /// Epoch-batched settlement accumulation (`Some` only under
+    /// `--settlement epoch`; `None` runs the exact per-bundle code path).
+    epoch: Option<EpochState>,
+}
+
+/// Running state of epoch-batched settlement: per-pair window cursors plus
+/// the accumulated totals the final aggregation reads. Because
+/// [`PathValidator::validate_range`] windows partition each pair's
+/// evidence, the accumulated totals equal a single whole-bundle
+/// validation — epoch mode changes *when* settlement work happens and how
+/// many bank operations it costs, never the economics.
+struct EpochState {
+    /// Per-pair count of evidence entries settled in prior windows.
+    cursors: Vec<usize>,
+    /// Per-pair manifest-attested instances over all settled windows.
+    expected: Vec<u64>,
+    /// Per-pair receipt-backed (payable) instances over all settled
+    /// windows.
+    validated: Vec<u64>,
+    /// Union of flagged forwarders across all settled windows.
+    flagged: BTreeSet<usize>,
+    /// Boundaries that settled at least one new connection.
+    epochs_settled: u64,
+    /// Netted payout operations: one per account paid per epoch, however
+    /// many receipts it earned in the window.
+    payout_ops: u64,
+    /// Batch-verification calls: one per window of up to 1024 deposits.
+    batch_ops: u64,
+    /// Receipts cleared through batched settlement.
+    receipts_netted: u64,
+}
+
+impl EpochState {
+    fn new(n_pairs: usize) -> Self {
+        EpochState {
+            cursors: vec![0; n_pairs],
+            expected: vec![0; n_pairs],
+            validated: vec![0; n_pairs],
+            flagged: BTreeSet::new(),
+            epochs_settled: 0,
+            payout_ops: 0,
+            batch_ops: 0,
+            receipts_netted: 0,
+        }
+    }
 }
 
 impl FaultRuntime {
     fn adaptive(&self) -> bool {
         self.plan.config().response == FaultResponse::Adaptive
+    }
+
+    /// Settles the evidence window accrued since the last epoch boundary:
+    /// validates each pair's new connections, folds the results into the
+    /// per-pair totals, and counts the bank-facing operations the batch
+    /// collapses the window into (one netted payout per paid account, one
+    /// batch-verification call per 1024 deposits). A no-op in per-bundle
+    /// mode and on boundaries with no new evidence.
+    fn settle_epoch_window(&mut self) {
+        let Some(es) = self.epoch.as_mut() else {
+            return;
+        };
+        let mut receipts = 0u64;
+        let mut settled_any = false;
+        let mut accounts: BTreeSet<u64> = BTreeSet::new();
+        for (pair, validator) in self.validators.iter().enumerate() {
+            let (start, end) = (es.cursors[pair], validator.connections());
+            if start == end {
+                continue;
+            }
+            settled_any = true;
+            let report = validator.validate_range(start, end);
+            es.cursors[pair] = end;
+            es.expected[pair] += report.expected_instances;
+            es.validated[pair] += report.validated_instances;
+            es.flagged
+                .extend(report.flagged.iter().map(|a| a.0 as usize));
+            accounts.extend(report.paid_counts.keys().map(|a| a.0));
+            receipts += report.validated_instances;
+        }
+        if !settled_any {
+            return;
+        }
+        es.epochs_settled += 1;
+        es.receipts_netted += receipts;
+        es.payout_ops += accounts.len() as u64;
+        es.batch_ops += receipts.div_ceil(1024);
     }
 }
 
@@ -400,6 +501,8 @@ impl SimulationRun {
                         NodeLifecycle::Lazy => ReputationStore::sparse(cfg.n_nodes),
                     },
                     probe_invalid: ProbeInvalidation::new(cfg.n_nodes),
+                    epoch: (cfg.settlement == SettlementMode::Epoch)
+                        .then(|| EpochState::new(n_pairs)),
                 }),
             )
         } else {
@@ -489,6 +592,21 @@ impl SimulationRun {
                         conn: conn as u32,
                     },
                 );
+            }
+        }
+        // Epoch boundaries land at exact multiples of the epoch length,
+        // like probe ticks; the window after the last in-horizon boundary
+        // flushes at `finish`. Nothing is scheduled in per-bundle mode, so
+        // the default event stream is untouched.
+        if self.fault.as_ref().is_some_and(|fr| fr.epoch.is_some()) {
+            let mut k = 1u64;
+            loop {
+                let t = k as f64 * self.cfg.epoch_length;
+                if t >= self.cfg.churn.horizon {
+                    break;
+                }
+                engine.schedule_at(SimTime::new(t), Ev::EpochSettle);
+                k += 1;
             }
         }
     }
@@ -906,9 +1024,62 @@ impl SimulationRun {
         )
     }
 
+    /// Epoch-mode counterpart of [`SimulationRun::settle_faults`]: the
+    /// same §5 aggregates, read from the per-window accumulation instead
+    /// of one final validation pass. The windows partition each pair's
+    /// evidence, so shortfall, flags and the discrepancy count equal the
+    /// per-bundle settlement exactly. Only the delay model differs: funds
+    /// leave the bank at the first epoch boundary at or after a pair's
+    /// last completion, further delayed by any bank outage covering that
+    /// boundary — an outage stalls an epoch, not a bundle.
+    fn settle_epochs(
+        fr: &FaultRuntime,
+        es: &EpochState,
+        epoch_length: f64,
+    ) -> (f64, f64, Vec<usize>, u64) {
+        let expected: u64 = es.expected.iter().sum();
+        let validated: u64 = es.validated.iter().sum();
+        let shortfall = if expected == 0 {
+            0.0
+        } else {
+            1.0 - validated as f64 / expected as f64
+        };
+        let discrepancies = es
+            .expected
+            .iter()
+            .zip(&es.validated)
+            .filter(|(e, v)| v < e)
+            .count() as u64;
+        let delays: Vec<f64> = fr
+            .last_completion
+            .iter()
+            .filter(|&&t| t >= 0.0)
+            .map(|&t| {
+                let boundary = (t / epoch_length).ceil() * epoch_length;
+                fr.plan.next_bank_up(boundary) - t
+            })
+            .collect();
+        let settlement_delay = if delays.is_empty() {
+            0.0
+        } else {
+            delays.iter().sum::<f64>() / delays.len() as f64
+        };
+        (
+            shortfall,
+            settlement_delay,
+            es.flagged.iter().copied().collect(),
+            discrepancies,
+        )
+    }
+
     /// Settles all bundles into the aggregate result.
     #[must_use]
-    pub fn finish(self) -> RunResult {
+    pub fn finish(mut self) -> RunResult {
+        // Epoch mode: flush the tail window (evidence accrued after the
+        // last in-horizon boundary) before aggregating.
+        if let Some(fr) = self.fault.as_mut() {
+            fr.settle_epoch_window();
+        }
         let n = self.cfg.n_nodes;
         // Resident-state metrics, through the same footprint model in every
         // representation so probe modes agree exactly under each lifecycle.
@@ -1011,7 +1182,10 @@ impl SimulationRun {
         ) = match &self.fault {
             None => (1.0, 0.0, 0.0, 0.0, 0.0, Vec::new(), Vec::new(), 0),
             Some(fr) => {
-                let (shortfall, settlement_delay, flagged, discrepancies) = Self::settle_faults(fr);
+                let (shortfall, settlement_delay, flagged, discrepancies) = match &fr.epoch {
+                    None => Self::settle_faults(fr),
+                    Some(es) => Self::settle_epochs(fr, es, self.cfg.epoch_length),
+                };
                 (
                     fr.delivery.delivery_ratio(),
                     fr.delivery.retries_per_message(),
@@ -1023,6 +1197,33 @@ impl SimulationRun {
                     discrepancies,
                 )
             }
+        };
+
+        let (
+            epochs_settled,
+            settlement_ops_per_epoch,
+            epoch_netting_ratio,
+            batch_verify_throughput,
+        ) = match self.fault.as_ref().and_then(|fr| fr.epoch.as_ref()) {
+            None => (0, 0.0, 0.0, 0.0),
+            Some(es) => (
+                es.epochs_settled,
+                if es.epochs_settled == 0 {
+                    0.0
+                } else {
+                    (es.payout_ops + es.batch_ops) as f64 / es.epochs_settled as f64
+                },
+                if es.payout_ops == 0 {
+                    0.0
+                } else {
+                    es.receipts_netted as f64 / es.payout_ops as f64
+                },
+                if es.batch_ops == 0 {
+                    0.0
+                } else {
+                    es.receipts_netted as f64 / es.batch_ops as f64
+                },
+            ),
         };
 
         RunResult {
@@ -1068,6 +1269,10 @@ impl SimulationRun {
             peak_materialized_nodes,
             node_evictions,
             slab_bytes,
+            epochs_settled,
+            settlement_ops_per_epoch,
+            epoch_netting_ratio,
+            batch_verify_throughput,
         }
     }
 }
@@ -1133,6 +1338,11 @@ impl Process for SimulationRun {
                 conn,
                 attempt,
             } => self.handle_transmit(engine, now, pair, conn, attempt),
+            Ev::EpochSettle => {
+                if let Some(fr) = self.fault.as_mut() {
+                    fr.settle_epoch_window();
+                }
+            }
         }
         idpa_desim::engine::Control::Continue
     }
@@ -1261,6 +1471,53 @@ mod tests {
         assert_eq!(static_run.connections, dynamic.connections);
         assert!(dynamic.avg_forwarder_set > 0.0);
         assert!((0.0..=1.0).contains(&dynamic.new_edge_fraction));
+    }
+
+    #[test]
+    fn epoch_settlement_preserves_economics() {
+        use crate::scenario::SettlementMode;
+        let mut cfg = ScenarioConfig::quick_test(21);
+        cfg.fault.drop_rate = 0.05;
+        cfg.fault.crash_rate = 0.02;
+        cfg.fault.cheat_fraction = 0.2;
+        cfg.fault.bank_downtime = 0.2;
+        cfg.fault.bank_outage_mean = 30.0;
+        let per_bundle = SimulationRun::execute(cfg);
+        let epoch = SimulationRun::execute(ScenarioConfig {
+            settlement: SettlementMode::Epoch,
+            epoch_length: 120.0,
+            ..cfg
+        });
+        // Economics are mode-invariant: only the delay model and the
+        // bank-facing operation counts may differ.
+        assert_eq!(per_bundle.good_payoffs, epoch.good_payoffs);
+        assert_eq!(per_bundle.node_totals, epoch.node_totals);
+        assert_eq!(per_bundle.delivery_ratio, epoch.delivery_ratio);
+        assert_eq!(per_bundle.payment_shortfall, epoch.payment_shortfall);
+        assert_eq!(per_bundle.flagged_cheaters, epoch.flagged_cheaters);
+        assert_eq!(per_bundle.injected_cheaters, epoch.injected_cheaters);
+        assert_eq!(per_bundle.audit_discrepancies, epoch.audit_discrepancies);
+        // Per-bundle mode reports no epoch activity at all.
+        assert_eq!(per_bundle.epochs_settled, 0);
+        assert_eq!(per_bundle.settlement_ops_per_epoch, 0.0);
+        // Epoch mode settled real windows and amortized transfers.
+        assert!(epoch.epochs_settled > 0, "no epochs settled");
+        assert!(epoch.epoch_netting_ratio >= 1.0);
+        assert!(epoch.batch_verify_throughput >= 1.0);
+    }
+
+    #[test]
+    fn epoch_mode_without_faults_reports_no_settlement() {
+        use crate::scenario::SettlementMode;
+        let cfg = ScenarioConfig {
+            settlement: SettlementMode::Epoch,
+            ..ScenarioConfig::quick_test(22)
+        };
+        // No fault layer means no evidence to settle: the run equals the
+        // fault-free baseline with all epoch metrics zero.
+        let r = SimulationRun::execute(cfg);
+        let baseline = SimulationRun::execute(ScenarioConfig::quick_test(22));
+        assert_eq!(r, baseline);
     }
 
     #[test]

@@ -77,6 +77,25 @@ pub enum CostStorage {
     Sparse,
 }
 
+/// When payment evidence is settled against the bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettlementMode {
+    /// Settle every bundle individually after the horizon — one signature
+    /// verification per receipt, one ledger transfer per payout. The
+    /// historical behaviour and the default (byte-identical to builds
+    /// without the epoch layer).
+    PerBundle,
+    /// Epoch-batched settlement: a settlement event fires every
+    /// [`ScenarioConfig::epoch_length`] minutes, validates the evidence
+    /// window accrued since the previous boundary, nets all payouts into
+    /// one balance delta per account and batch-verifies the window's
+    /// deposits. Economic outcomes (payoffs, shortfall, flags, audit
+    /// discrepancies) are identical to `PerBundle`; only the bank-facing
+    /// operation counts and the settlement-delay model change — a bank
+    /// outage delays an epoch boundary instead of a bundle.
+    Epoch,
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioConfig {
@@ -157,6 +176,16 @@ pub struct ScenarioConfig {
     /// policy — any value yields identical results, only residency
     /// figures move.
     pub evict_idle_ticks: u64,
+    /// When payment evidence settles against the bank (`--settlement`):
+    /// per bundle after the horizon (the default) or batched at epoch
+    /// boundaries. Meaningful only when fault injection is active (that is
+    /// when the §5 evidence layer runs); economics are identical in both
+    /// modes.
+    pub settlement: SettlementMode,
+    /// Epoch length in minutes under [`SettlementMode::Epoch`]
+    /// (`--epoch-length`). Must be positive in epoch mode; ignored
+    /// otherwise.
+    pub epoch_length: f64,
 }
 
 impl Default for ScenarioConfig {
@@ -206,6 +235,8 @@ impl Default for ScenarioConfig {
             node_lifecycle: NodeLifecycle::Eager,
             cost_storage: CostStorage::Dense,
             evict_idle_ticks: 64,
+            settlement: SettlementMode::PerBundle,
+            epoch_length: 240.0,
         }
     }
 }
@@ -323,6 +354,16 @@ impl ScenarioConfig {
                 self.probe_rng == ProbeRngMode::PerNode,
                 "probe_rng",
                 "lazy lifecycle requires per-node probe RNG streams".into(),
+            )?;
+        }
+        if self.settlement == SettlementMode::Epoch {
+            ensure(
+                self.epoch_length > 0.0,
+                "epoch_length",
+                format!(
+                    "epoch settlement needs a positive epoch length (got {})",
+                    self.epoch_length
+                ),
             )?;
         }
         ensure(
@@ -672,6 +713,36 @@ mod tests {
         big.validate().expect("scale_1m must validate");
         assert_eq!(big.n_nodes, 1_000_000);
         assert_eq!(big.churn.n_nodes, 1_000_000);
+    }
+
+    #[test]
+    fn default_settlement_is_per_bundle() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.settlement, SettlementMode::PerBundle);
+        assert_eq!(cfg.epoch_length, 240.0);
+    }
+
+    #[test]
+    fn epoch_settlement_validates_and_nonpositive_length_rejected() {
+        let cfg = ScenarioConfig {
+            settlement: SettlementMode::Epoch,
+            ..ScenarioConfig::default()
+        };
+        cfg.validate()
+            .expect("epoch settlement is a valid scenario");
+        let bad = ScenarioConfig {
+            epoch_length: 0.0,
+            ..cfg
+        };
+        assert_rejected(&bad, "epoch_length", "positive epoch length");
+        // A nonpositive length is fine in per-bundle mode (it is ignored).
+        let ignored = ScenarioConfig {
+            epoch_length: -1.0,
+            ..ScenarioConfig::default()
+        };
+        ignored
+            .validate()
+            .expect("length ignored in per-bundle mode");
     }
 
     #[test]

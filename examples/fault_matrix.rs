@@ -11,10 +11,17 @@
 //! IDPA_FAULT_SMOKE=1 cargo run --release --example fault_matrix   # CI smoke
 //! ```
 //!
-//! `IDPA_FAULT_SMOKE=1` shrinks the matrix to one severity per fault class
-//! at quick scale — a seconds-long end-to-end pass for `scripts/verify.sh`.
-//! Every run is a pure function of `(scenario seed, fault plan)`, so the
-//! numbers printed here are bit-stable across machines and thread counts.
+//! `IDPA_FAULT_SMOKE=1` (or `IDPA_SETTLE_SMOKE=1`) shrinks the matrix to
+//! one severity per fault class at quick scale — a seconds-long end-to-end
+//! pass for `scripts/verify.sh`. Every run is a pure function of
+//! `(scenario seed, fault plan)`, so the numbers printed here are
+//! bit-stable across machines and thread counts.
+//!
+//! The settlement section reruns the matrix under `--settlement epoch` and
+//! asserts the economics are mode-invariant: payoffs, delivery, shortfall,
+//! flags and audit discrepancies must match the per-bundle run exactly —
+//! only the bank-facing operation counts and the delay model (an outage
+//! stalls an epoch boundary instead of a bundle) may differ.
 
 use idpa::prelude::*;
 
@@ -77,7 +84,9 @@ fn fault_classes(smoke: bool) -> Vec<FaultClass> {
 }
 
 fn main() {
-    let smoke = std::env::var("IDPA_FAULT_SMOKE").is_ok_and(|v| v == "1");
+    let smoke = ["IDPA_FAULT_SMOKE", "IDPA_SETTLE_SMOKE"]
+        .iter()
+        .any(|k| std::env::var(k).is_ok_and(|v| v == "1"));
     let strategies: [(&str, RoutingStrategy); 3] = [
         ("random ", RoutingStrategy::Random),
         ("model I", RoutingStrategy::Utility(UtilityModel::ModelI)),
@@ -135,6 +144,59 @@ fn main() {
     println!("expected shape: drops cost retries but bounded retransmission keeps");
     println!("delivery high; cheaters are flagged by path validation and show up as");
     println!("payment shortfall; bank outages touch settlement, never delivery.");
+
+    // The same matrix under both settlement modes: epoch batching must be
+    // economically invisible. Each row asserts cross-mode equality of the
+    // payoff, delivery, shortfall, flag and audit metrics, then prints
+    // what actually changed — the delay model and the amortized
+    // bank-operation counts.
+    println!();
+    println!("fault class | dly/bundle | dly/epoch | epochs | ops/epoch | netting | batch thpt");
+    println!("------------+------------+-----------+--------+-----------+---------+-----------");
+    for class in fault_classes(smoke) {
+        let scenario = if smoke {
+            ScenarioConfig::quick_test(seed)
+        } else {
+            ScenarioConfig {
+                seed,
+                ..ScenarioConfig::default()
+            }
+        };
+        let cfg = ScenarioConfig {
+            good_strategy: RoutingStrategy::Utility(UtilityModel::ModelII { lookahead: 2 }),
+            adversary_fraction: 0.2,
+            fault: class.fault,
+            ..scenario
+        };
+        cfg.validate().expect("settlement matrix must be valid");
+        let per_bundle = SimulationRun::execute(cfg);
+        let epoch = SimulationRun::execute(ScenarioConfig {
+            settlement: SettlementMode::Epoch,
+            epoch_length: 240.0,
+            ..cfg
+        });
+        assert_eq!(per_bundle.good_payoffs, epoch.good_payoffs);
+        assert_eq!(per_bundle.node_totals, epoch.node_totals);
+        assert_eq!(per_bundle.delivery_ratio, epoch.delivery_ratio);
+        assert_eq!(per_bundle.retries_per_message, epoch.retries_per_message);
+        assert_eq!(per_bundle.payment_shortfall, epoch.payment_shortfall);
+        assert_eq!(per_bundle.flagged_cheaters, epoch.flagged_cheaters);
+        assert_eq!(per_bundle.audit_discrepancies, epoch.audit_discrepancies);
+        println!(
+            "{:<11} | {:>10.2} | {:>9.2} | {:>6} | {:>9.1} | {:>7.1} | {:>10.1}",
+            class.label,
+            per_bundle.settlement_delay,
+            epoch.settlement_delay,
+            epoch.epochs_settled,
+            epoch.settlement_ops_per_epoch,
+            epoch.epoch_netting_ratio,
+            epoch.batch_verify_throughput,
+        );
+    }
+    println!();
+    println!("expected shape: economics identical across modes (asserted); epoch rows");
+    println!("amortize many receipts into few netted payouts and batched verifies,");
+    println!("while outages now stall epoch boundaries, lengthening the settle delay.");
 
     // Static vs adaptive fault response under a compound load (crash +
     // drop + cheat — the regime where learned reputation has signal). The

@@ -2,7 +2,8 @@
 # Bench-trajectory gate: proves every bench binary still runs, then does
 # short timed passes of the gated benches (history_shard via
 # IDPA_HS_QUICK=1, probe_maintenance via IDPA_PM_QUICK=1, node_lifecycle
-# via IDPA_NL_QUICK=1) and fails if any freshly measured point regresses
+# via IDPA_NL_QUICK=1, settlement via IDPA_ST_QUICK=1) and fails if any
+# freshly measured point regresses
 # more than IDPA_BENCH_GATE_PCT percent (default 20) against the best
 # value that key has ever had in a committed BENCH_*.json report.
 #
@@ -22,9 +23,11 @@ stage="bench smoke"
 fresh=""
 fresh_pm=""
 fresh_nl=""
+fresh_st=""
 trap 'status=$?; [ -n "$fresh" ] && rm -f "$fresh"
       [ -n "$fresh_pm" ] && rm -f "$fresh_pm"
       [ -n "$fresh_nl" ] && rm -f "$fresh_nl"
+      [ -n "$fresh_st" ] && rm -f "$fresh_st"
       if [ "$status" -ne 0 ]; then
         echo "bench gate: FAILED in stage: $stage (exit $status)" >&2
       fi' EXIT
@@ -41,6 +44,7 @@ stage="timed history_shard pass"
 fresh="$(mktemp)"
 fresh_pm="$(mktemp)"
 fresh_nl="$(mktemp)"
+fresh_st="$(mktemp)"
 IDPA_HS_QUICK=1 IDPA_BENCH_OUT="$fresh" \
     cargo bench --offline -p idpa-bench --bench history_shard
 
@@ -53,6 +57,14 @@ stage="timed node_lifecycle pass"
 IDPA_NL_QUICK=1 IDPA_BENCH_OUT="$fresh_nl" \
     cargo bench --offline -p idpa-bench --bench node_lifecycle
 cat "$fresh_nl" >> "$fresh"
+
+# The settlement pass also asserts the epoch-vs-per-receipt speedup floor
+# inside the bench binary itself, so a collapsed batching win fails here
+# even before the ns/iter comparison below.
+stage="timed settlement pass"
+IDPA_ST_QUICK=1 IDPA_BENCH_OUT="$fresh_st" \
+    cargo bench --offline -p idpa-bench --bench settlement
+cat "$fresh_st" >> "$fresh"
 
 # 3. Compare each fresh point against the best committed value for the
 # same key across every BENCH_*.json in the repo (flat "name": ns maps).

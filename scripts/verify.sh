@@ -39,6 +39,17 @@ IDPA_BENCH_SMOKE=1 cargo bench --offline -p idpa-bench
 stage="fault smoke (IDPA_FAULT_SMOKE=1 fault_matrix example)"
 IDPA_FAULT_SMOKE=1 cargo run --release --offline --example fault_matrix
 
+# Epoch-settlement smoke: the fault matrix re-run with every fault class
+# settled under both modes. Each row asserts the economics (payoffs,
+# delivery, shortfall, flags, audit discrepancies) are identical between
+# per-bundle and epoch settlement, so this guards the mode-invariance
+# contract end to end; the CLI run then exercises the --settlement and
+# --epoch-length flags through a real experiment.
+stage="settlement smoke (IDPA_SETTLE_SMOKE=1 fault_matrix + epoch-mode CLI)"
+IDPA_SETTLE_SMOKE=1 cargo run --release --offline --example fault_matrix
+IDPA_FAULT_SMOKE=1 cargo run --release --offline -p idpa-sim -- fault-adaptation \
+    --quick --reps 2 --settlement epoch --epoch-length 240 --out target/verify-results
+
 # Adaptive-mode smoke: one quick static-vs-adaptive comparison through the
 # real CLI, exercising --fault-response and --reputation-weight end to end
 # (the adaptive arm runs reputation suppression, in-run cheater feedback,

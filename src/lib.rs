@@ -66,5 +66,5 @@ pub mod prelude {
     pub use idpa_desim::{Engine, FaultConfig, FaultResponse, Process, SimTime};
     pub use idpa_overlay::{NodeId, NodeKind, ProbeEstimator, ProbeInvalidation, Topology};
     pub use idpa_payment::{Bank, Escrow, Receipt, ReceiptBook, Token, Wallet};
-    pub use idpa_sim::{RunResult, ScenarioConfig, SimulationRun, World};
+    pub use idpa_sim::{RunResult, ScenarioConfig, SettlementMode, SimulationRun, World};
 }
