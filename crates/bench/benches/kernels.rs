@@ -184,12 +184,12 @@ fn bench_model2_lookahead(h: &mut Harness) {
     use rand::RngExt;
     let mut histories: Vec<HistoryProfile> =
         (0..40).map(|i| HistoryProfile::new(NodeId(i))).collect();
-    for i in 0..40usize {
+    for (i, hist) in histories.iter_mut().enumerate() {
         let nbrs = view.topology.neighbors(NodeId(i)).to_vec();
         for conn in 0..64u32 {
             let pred = nbrs[rng.random_range(0..nbrs.len())];
             let succ = nbrs[rng.random_range(0..nbrs.len())];
-            histories[i].record(BundleId(0), conn, pred, succ);
+            hist.record(BundleId(0), conn, pred, succ);
         }
     }
     // One transmission evaluates the continuation for every candidate of
@@ -295,7 +295,7 @@ fn bench_probing(h: &mut Harness) {
     let mut round = 0u64;
     h.bench("overlay/probe_round_d5", || {
         round += 1;
-        est.probe_round(|v| (v.index() as u64 + round) % 3 != 0, &mut rng);
+        est.probe_round(|v| !(v.index() as u64 + round).is_multiple_of(3), &mut rng);
         est.availability(NodeId(1))
     });
 }
@@ -335,7 +335,7 @@ fn bench_probe_tick(h: &mut Harness) {
         h.bench(&format!("overlay/probe_tick_eager_n{n}_d{d}"), || {
             round += 1;
             for est in &mut ests {
-                est.probe_round_seeded(&streams, |v| (v.index() as u64 + round) % 3 != 0);
+                est.probe_round_seeded(&streams, |v| !(v.index() as u64 + round).is_multiple_of(3));
                 est.maintain_seeded(&streams, 6, n);
             }
             ests[0].rounds()
@@ -439,13 +439,16 @@ fn bench_crypto(h: &mut Harness) {
         h.bench("crypto/rsa512_verify_plain_modpow", || sig.modpow(&e, &n));
     }
     {
-        // Batch vs individual verification of one settlement batch. For
-        // e = 65537 the small-exponents batch test costs ~64 Montgomery
-        // multiplies per item (64-bit coefficients, two interleaved
-        // accumulators) against ~18 for a cached individual verify, so the
-        // batch is expected to LOSE here — it beats only the uncached plain
-        // path above. These two kernels keep that trade-off measured; the
-        // settlement win comes from netting, not from this equation.
+        // Batch vs individual verification of one settlement-sized batch.
+        // The batch kernel runs the squared (QR-subgroup, up-to-sign)
+        // combined equation — the sound form of the small-exponents test
+        // over (Z/n)*. For e = 65537 it costs ~64 Montgomery multiplies per
+        // item (64-bit coefficients, two interleaved accumulators) against
+        // ~18 for a cached individual verify, so the batch is expected to
+        // LOSE here — it beats only the uncached plain path above, which is
+        // why the bank deposits with strict individual verification. These
+        // two kernels keep that trade-off measured; the settlement win
+        // comes from netting, not from this equation.
         let items: Vec<(BigUint, BigUint)> = (0..256u64)
             .map(|i| {
                 let m = BigUint::from_bytes_be(&Sha256::digest(&i.to_be_bytes()))

@@ -29,7 +29,7 @@ fn parity_tree(depth: u32, branching: usize) -> GameTree {
                 digit_sum += x % branching;
                 x /= branching;
             }
-            if digit_sum % 2 == 0 {
+            if digit_sum.is_multiple_of(2) {
                 t.terminal(vec![1.0, 0.0])
             } else {
                 t.terminal(vec![0.0, 1.0])

@@ -8,17 +8,20 @@
 //! transfer — with its hash-chained audit entry — per receipt, and one
 //! individually verified [`Bank::deposit`] per token. The epoch arm accrues
 //! every receipt into an [`EpochLedger`] and settles once at the boundary:
-//! token signatures batch-verified ([`Bank::deposit_batch`]), transfers
-//! collapsed into one net delta per account ([`Bank::apply_epoch_net`]).
+//! token deposits submitted in one strictly verified batch call
+//! ([`Bank::deposit_batch`]), transfers collapsed into one net delta per
+//! account ([`Bank::apply_epoch_net`]).
 //!
 //! Honesty notes:
 //!
-//! * The per-receipt arm uses today's cached-Montgomery individual verify,
-//!   not the division-based `modpow` the seed shipped — the baseline is
-//!   deliberately generous, so the asserted >= 5x epoch speedup is a lower
-//!   bound on the improvement over the pre-epoch bank. The crypto-primitive
-//!   deltas (plain modpow vs cached Montgomery vs small-exponents batch)
-//!   are measured separately in the `kernels` bench.
+//! * Both arms verify each token signature individually through the cached
+//!   Montgomery context — at `e = 65537` that beats any combined batch
+//!   equation (see `idpa_crypto::batch` and the `kernels` bench), so the
+//!   measured epoch speedup is pure transfer netting, and it is a lower
+//!   bound on the improvement over the division-based `modpow` deposits
+//!   the seed shipped. The crypto-primitive deltas (plain modpow vs cached
+//!   Montgomery vs squared batch equation) are measured separately in the
+//!   `kernels` bench.
 //! * Receipt MAC validation is identical in both settlement modes (the
 //!   evidence layer verifies each receipt exactly once either way), so it
 //!   is excluded from both arms.
@@ -49,7 +52,7 @@ struct Workload {
 
 fn build(n_receipts: usize, n_payers: usize, n_forwarders: usize, n_tokens: usize) -> Workload {
     use rand::RngExt;
-    let mut rng = Xoshiro256StarStar::seed_from_u64(0x5e77_1e);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x005e_771e);
     let mut bank = Bank::new(512, &mut rng);
     // Any payer can be hit with every receipt in the worst case.
     let payers: Vec<AccountId> = (0..n_payers)
@@ -113,10 +116,7 @@ fn settle_epoch(w: &Workload) -> (Bank, EpochSettlement) {
     for (account, token) in &w.deposits {
         ledger.queue_deposit(*account, token.clone());
     }
-    let mut coeff = Xoshiro256StarStar::seed_from_u64(17);
-    let report = ledger
-        .settle(&mut bank, |_| coeff.next())
-        .expect("netted debits are covered");
+    let report = ledger.settle(&mut bank).expect("netted debits are covered");
     (bank, report)
 }
 

@@ -85,9 +85,9 @@ fn assert_reads_agree<H: HistoryRead + ?Sized>(
     label: &str,
 ) {
     for s in 0..n_nodes {
-        for b in 0..n_bundles {
+        for (b, &bundle_priors) in priors_by_bundle.iter().enumerate().take(n_bundles) {
             let bundle = BundleId(b as u64);
-            for priors in [0, priors_by_bundle[b], priors_by_bundle[b] + 3] {
+            for priors in [0, bundle_priors, bundle_priors + 3] {
                 for v in 0..n_nodes {
                     let (s, v) = (NodeId(s), NodeId(v));
                     let want = oracle.selectivity_at(s, bundle, priors, v);
@@ -193,12 +193,12 @@ fn randomized_interleaved_commits_agree_across_all_views() {
         }
 
         // Stored records themselves must match, not just derived indexes.
-        for i in 0..n_nodes {
+        for (i, node_oracle) in oracle.iter().enumerate().take(n_nodes) {
             for b in 0..n_bundles {
                 let bundle = BundleId(b as u64);
                 assert_eq!(
                     arena.records(NodeId(i), bundle),
-                    oracle[i].bundle_records(bundle).to_vec(),
+                    node_oracle.bundle_records(bundle).to_vec(),
                     "{label}: raw records diverged at node {i} bundle {b}"
                 );
             }

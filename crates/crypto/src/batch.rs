@@ -1,42 +1,60 @@
-//! Probabilistic batch verification for RSA (blind) signatures.
+//! Probabilistic batch verification for RSA (blind) signatures — in the
+//! quadratic-residue subgroup, attesting validity *up to sign*.
 //!
-//! The bank settles an epoch by checking thousands of token signatures
-//! under one public key. Verifying each token alone costs one `sig^e mod n`
-//! exponentiation. The *small-exponents batch test* (Bellare, Garay,
-//! Rogaway 1998) checks the whole batch with one combined equation:
+//! The textbook *small-exponents batch test* (Bellare, Garay, Rogaway
+//! 1998) checks a batch with one combined equation,
+//! `(Π_i sig_i^{t_i})^e ≟ Π_i m_i^{t_i} (mod n)`, with fresh random
+//! coefficients `t_i`. Its soundness proof lives in **prime-order**
+//! groups. Over `(Z/n)*` it is broken (Boyd–Pavlovski 2000): `-1` is a
+//! publicly computable element of order 2, and with odd coefficients
+//! `(-1)^{t_i} = -1` deterministically — so negating any *even* number of
+//! valid signatures (`sig → n - sig`, each individually invalid for odd
+//! `e`) satisfies the combined equation with probability 1.
+//!
+//! This implementation therefore squares both sides,
 //!
 //! ```text
-//!   (Π_i sig_i^{t_i})^e  ≟  Π_i m_i^{t_i}   (mod n)
+//!   (Π_i sig_i^{t_i})^{2e}  ≟  Π_i (m_i^2)^{t_i}   (mod n)
 //! ```
 //!
-//! with fresh random coefficients `t_i`. If every signature is valid the
-//! equation always holds. If any is invalid, the equation holds with
-//! probability at most ~2^-(λ-1) over the choice of λ-bit coefficients
-//! (see the soundness note on [`batch_verify`]). The products are built by
-//! interleaved multi-exponentiation (Straus): one pass over the λ
-//! coefficient bits with two shared squarings per bit, multiplying in the
-//! items whose bit is set — all in Montgomery form with a single final
-//! decode-free comparison.
+//! which moves the check into the quadratic-residue subgroup and kills the
+//! `-1` attack — at a documented price: squaring cannot distinguish `sig`
+//! from `n - sig`, so a passing batch attests that every signature is
+//! valid **up to sign**. A caller that needs strict validity (the bank's
+//! deposit path) must verify individually; see the soundness note on
+//! [`batch_verify`] and `Bank::deposit_batch`, which does exactly that —
+//! at `e = 65537` individual verification through the cached Montgomery
+//! context is also *faster* than this equation, so the primitive here is
+//! kept for large-exponent settings and for the measured comparison in
+//! the `kernels` bench, not for the settlement hot path.
+//!
+//! The products are built by interleaved multi-exponentiation (Straus):
+//! one pass over the λ coefficient bits with two shared squarings per
+//! bit, multiplying in the items whose bit is set — all in Montgomery
+//! form with a single final decode-free comparison.
 //!
 //! Determinism: the caller supplies the coefficient stream (position-keyed
 //! from the simulation's seed hierarchy), so a batch verdict is a pure
 //! function of (key, items, stream) and replays bit-identically.
 //!
-//! When the combined check fails, [`batch_verify`] falls back to verifying
-//! each item individually and reports exactly the offending indices — so
-//! the cheater-flagging path above it stays exact, never probabilistic.
+//! When the combined check fails, [`batch_verify`] falls back to checking
+//! each item individually against the same up-to-sign relation and
+//! reports exactly the offending indices — the *reported verdict* is
+//! never probabilistic, only the fast path's work saving is.
 
 use crate::bigint::BigUint;
 use crate::rsa::RsaPublicKey;
 
-/// Verdict of a batch signature check.
+/// Verdict of a batch signature check (for the up-to-sign relation
+/// `sig^e ≡ ±m (mod n)` — see the module docs for why strict verdicts
+/// are impossible for this equation over `(Z/n)*`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchOutcome {
     /// The combined equation held: every signature in the batch is valid
-    /// (up to the ~2^-63 soundness error of the probabilistic test).
+    /// up to sign (with the soundness caveats on [`batch_verify`]).
     AllValid,
-    /// The combined equation failed; the listed indices (ascending) failed
-    /// individual verification. Exact, not probabilistic.
+    /// The combined equation failed; the listed indices (ascending) fail
+    /// the up-to-sign individual check. Exact, not probabilistic.
     Rejected(Vec<usize>),
 }
 
@@ -48,20 +66,38 @@ impl BatchOutcome {
     }
 }
 
-/// Batch-verifies `(signature, message-representative)` pairs under `key`.
+/// True when `sig^e ≡ ±m (mod n)` — the relation this module's combined
+/// equation decides.
+fn verifies_up_to_sign(key: &RsaPublicKey, sig: &BigUint, m: &BigUint) -> bool {
+    let n = key.modulus();
+    let v = key.raw_verify(sig);
+    let mr = m.rem(n);
+    if v == mr {
+        return true;
+    }
+    // -m mod n; for mr = 0 the negation is 0 and the first compare decided.
+    v == n.sub(&mr).rem(n)
+}
+
+/// Batch-checks `(signature, message-representative)` pairs under `key`
+/// for the up-to-sign relation `sig^e ≡ ±m (mod n)`.
 ///
-/// `coeff(i)` supplies the random coefficient for item `i`; the low 64 bits
-/// are used and forced odd (`t_i = coeff(i) | 1`), so every item
-/// participates with a nonzero coefficient. Soundness: suppose item `j` is
-/// invalid, i.e. `sig_j^e = m_j·δ` with `δ ≠ 1` in `(Z/n)`. Fixing all
-/// other coefficients, the combined equation reads `δ^{t_j} = c` for a
-/// constant `c`, and the number of `t_j` in the coefficient range
-/// satisfying it is at most the order-dependent solution count of that
-/// exponential equation — at most one residue class modulo
-/// `ord(δ) ≥ 2`, hence at most half the 2^63 odd 64-bit values. The test
-/// therefore accepts an invalid batch with probability ≤ 2^-62 per trial
-/// (and the fallback pass below removes even that residual from the
-/// *reported verdict*; only the fast path's work saving is probabilistic).
+/// `coeff(i)` supplies the random coefficient for item `i`; the low 64
+/// bits are used and forced odd (`t_i = coeff(i) | 1`), so every item
+/// participates with a nonzero coefficient.
+///
+/// Soundness (of the fast path): suppose item `j` is invalid up to sign,
+/// i.e. `sig_j^e = m_j·δ` with `δ² ≠ 1` in `(Z/n)*`. Fixing all other
+/// coefficients, the squared combined equation reads `δ^{2t_j} = c`, and
+/// the `t_j` satisfying it fall in at most one residue class modulo
+/// `ord(δ²)` — acceptance probability ≤ `1/ord(δ²)` over the 2⁶³ odd
+/// 64-bit coefficients, ≈ 2⁻⁶³ for any `δ` an adversary can actually
+/// produce: the elements of small order that would inflate it (nontrivial
+/// square roots of 1, low-order roots of unity) cannot be computed
+/// without factoring `n`. What squaring deliberately waives is the sign:
+/// `δ = -1` (a negated valid signature) passes, which is exactly why the
+/// bank's deposit path verifies strictly and individually instead of
+/// calling this.
 ///
 /// Empty batches are trivially valid.
 #[must_use]
@@ -75,14 +111,20 @@ pub fn batch_verify(
     }
     let ctx = key.mont();
 
-    // Montgomery residues of every signature and message, plus the odd
-    // 64-bit coefficient per item.
+    // Montgomery residues of every signature and squared message, plus
+    // the odd 64-bit coefficient per item.
     let sigs_m: Vec<Vec<u64>> = items.iter().map(|(sig, _)| ctx.to_mont(sig)).collect();
-    let msgs_m: Vec<Vec<u64>> = items.iter().map(|(_, m)| ctx.to_mont(m)).collect();
+    let msgs2_m: Vec<Vec<u64>> = items
+        .iter()
+        .map(|(_, m)| {
+            let mm = ctx.to_mont(m);
+            ctx.mont_mul(&mm, &mm)
+        })
+        .collect();
     let ts: Vec<u64> = (0..items.len()).map(|i| coeff(i) | 1).collect();
 
     // Interleaved Straus multi-exponentiation: acc_s = Π sig_i^{t_i},
-    // acc_m = Π m_i^{t_i}, sharing the squaring chain across all items.
+    // acc_m = Π (m_i²)^{t_i}, sharing the squaring chain across all items.
     let mut acc_s = ctx.one_mont();
     let mut acc_m = ctx.one_mont();
     for bit in (0..64).rev() {
@@ -91,29 +133,31 @@ pub fn batch_verify(
         for (i, &t) in ts.iter().enumerate() {
             if (t >> bit) & 1 == 1 {
                 acc_s = ctx.mont_mul(&acc_s, &sigs_m[i]);
-                acc_m = ctx.mont_mul(&acc_m, &msgs_m[i]);
+                acc_m = ctx.mont_mul(&acc_m, &msgs2_m[i]);
             }
         }
     }
 
-    // (Π sig^t)^e, staying in Montgomery form; mont_mul outputs are fully
+    // ((Π sig^t)^e)² — the squaring after the exponentiation is what puts
+    // the comparison in the QR subgroup. mont_mul outputs are fully
     // reduced, so residue equality is plain limb equality.
     let lhs = ctx.pow_mont(&acc_s, key.exponent());
-    if lhs == acc_m {
+    let lhs2 = ctx.mont_mul(&lhs, &lhs);
+    if lhs2 == acc_m {
         return BatchOutcome::AllValid;
     }
 
-    // Combined check failed: isolate the offender(s) exactly.
-    let n = key.modulus();
+    // Combined check failed: isolate the offender(s) exactly, against the
+    // same up-to-sign relation the equation decides.
     let bad: Vec<usize> = items
         .iter()
         .enumerate()
-        .filter(|(_, (sig, m))| key.raw_verify(sig) != m.rem(n))
+        .filter(|(_, (sig, m))| !verifies_up_to_sign(key, sig, m))
         .map(|(i, _)| i)
         .collect();
     debug_assert!(
         !bad.is_empty(),
-        "combined equation failed but every item verifies individually"
+        "combined equation failed but every item verifies up to sign"
     );
     BatchOutcome::Rejected(bad)
 }
@@ -137,6 +181,12 @@ mod tests {
                 (kp.raw_sign(&m), m)
             })
             .collect()
+    }
+
+    /// `sig → n - sig`: individually invalid for strict verification (odd
+    /// `e` flips the sign of `sig^e`), valid for the up-to-sign relation.
+    fn negate(kp: &RsaKeyPair, sig: &BigUint) -> BigUint {
+        kp.public().modulus().sub(sig)
     }
 
     #[test]
@@ -182,9 +232,55 @@ mod tests {
         );
     }
 
+    /// The Boyd–Pavlovski attack the naive equation fell to: an even
+    /// number of negated signatures cancelled in the combined product and
+    /// a batch of strictly-invalid items reported `AllValid`. Under the
+    /// squared equation the acceptance is the *documented* up-to-sign
+    /// semantics (any count of negations, even or odd), and every negated
+    /// signature still fails strict individual verification — which is
+    /// why strict callers verify per item.
+    #[test]
+    fn negated_signatures_accept_only_up_to_sign() {
+        let kp = RsaKeyPair::generate(256, &mut rng(5));
+        for negated in [vec![2usize], vec![1, 3]] {
+            let mut items = signed_batch(&kp, 4);
+            for &i in &negated {
+                items[i].0 = negate(&kp, &items[i].0);
+                // Strictly invalid: sig^e = -m ≠ m.
+                let (sig, m) = &items[i];
+                assert_ne!(
+                    kp.public().raw_verify(sig),
+                    m.rem(kp.public().modulus()),
+                    "negated signature must fail strict verification"
+                );
+            }
+            let mut r = rng(103);
+            assert_eq!(
+                batch_verify(kp.public(), &items, |_| r.next()),
+                BatchOutcome::AllValid,
+                "up-to-sign relation accepts ±sig by contract ({negated:?} negated)"
+            );
+        }
+    }
+
+    /// A negation (valid up to sign) must not mask a real forgery in the
+    /// same batch, and must not itself be reported.
+    #[test]
+    fn negation_does_not_mask_a_real_forgery() {
+        let kp = RsaKeyPair::generate(256, &mut rng(6));
+        let mut items = signed_batch(&kp, 6);
+        items[1].0 = negate(&kp, &items[1].0);
+        items[4].0 = items[4].0.add(&BigUint::one()).rem(kp.public().modulus());
+        let mut r = rng(104);
+        assert_eq!(
+            batch_verify(kp.public(), &items, |_| r.next()),
+            BatchOutcome::Rejected(vec![4])
+        );
+    }
+
     #[test]
     fn verdict_is_deterministic_in_the_coefficient_stream() {
-        let kp = RsaKeyPair::generate(256, &mut rng(5));
+        let kp = RsaKeyPair::generate(256, &mut rng(7));
         let items = signed_batch(&kp, 4);
         let run = |seed| {
             let mut r = rng(seed);

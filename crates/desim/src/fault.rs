@@ -391,6 +391,7 @@ fn exp_sample(rng: &mut Xoshiro256StarStar, mean: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
 

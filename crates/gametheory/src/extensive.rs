@@ -524,7 +524,7 @@ mod tests {
         let mut t = GameTree::new(2);
         let mut level: Vec<NodeRef> = (0..64)
             .map(|leaf: u32| {
-                if leaf.count_ones() % 2 == 0 {
+                if leaf.count_ones().is_multiple_of(2) {
                     t.terminal(vec![1.0, 0.0])
                 } else {
                     t.terminal(vec![0.0, 1.0])

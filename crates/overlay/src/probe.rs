@@ -299,7 +299,7 @@ mod tests {
         let mut r = rng(1);
         est.probe_round(|v| v == NodeId(1), &mut r);
         let t = est.session_time(NodeId(1));
-        assert!(t >= 0.0 && t < 5.0, "t={t}");
+        assert!((0.0..5.0).contains(&t), "t={t}");
         assert_eq!(est.session_time(NodeId(2)), 0.0);
     }
 
@@ -429,7 +429,7 @@ mod tests {
         // Next sighting re-initialises with the rand(0, T) rule.
         est.probe_round(|v| v == NodeId(7), &mut r);
         let t = est.session_time(NodeId(7));
-        assert!(t >= 0.0 && t < 5.0, "t={t}");
+        assert!((0.0..5.0).contains(&t), "t={t}");
     }
 
     #[test]

@@ -909,8 +909,8 @@ mod tests {
         }
 
         let lazy = LazyProbeSet::new(period, horizon, schedules, neighbors, None, streams);
-        for i in 0..2 {
-            assert_eq!(lazy.estimator(NodeId(i), horizon), eager[i], "node {i}");
+        for (i, e) in eager.iter().enumerate() {
+            assert_eq!(&lazy.estimator(NodeId(i), horizon), e, "node {i}");
         }
     }
 

@@ -125,7 +125,6 @@ fn lazy_probe_set_is_bit_identical_to_eager_reference() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(0x1d9a);
     for case_idx in 0..256 {
         let case = random_case(&mut rng);
-        let n = case.schedules.len();
         let lazy = LazyProbeSet::new(
             case.period,
             case.horizon,
@@ -157,19 +156,19 @@ fn lazy_probe_set_is_bit_identical_to_eager_reference() {
 
         let snapshots = eager_reference(&case, &frontiers);
         for (q, (&t, eager_states)) in times.iter().zip(&snapshots).enumerate() {
-            for i in 0..n {
+            for (i, eager_state) in eager_states.iter().enumerate() {
                 let lazy_est = lazy.estimator(NodeId(i), t);
                 assert_eq!(
-                    lazy_est, eager_states[i],
+                    &lazy_est, eager_state,
                     "case {case_idx} query {q} (t={t}) node {i}: lazy != eager\n\
                      period={} horizon={} threshold={:?}",
                     case.period, case.horizon, case.threshold
                 );
                 // Derived quantities are bit-identical too.
-                for &v in eager_states[i].neighbors() {
+                for &v in eager_state.neighbors() {
                     assert_eq!(
                         lazy.availability(NodeId(i), v, t).to_bits(),
-                        eager_states[i].availability(v).to_bits(),
+                        eager_state.availability(v).to_bits(),
                         "case {case_idx} availability mismatch"
                     );
                 }
@@ -305,7 +304,6 @@ fn lazy_sync_all_matches_per_node_queries() {
     let mut rng = Xoshiro256StarStar::seed_from_u64(777);
     for _ in 0..16 {
         let case = random_case(&mut rng);
-        let n = case.schedules.len();
         let lazy_query = LazyProbeSet::new(
             case.period,
             case.horizon,
@@ -324,7 +322,7 @@ fn lazy_sync_all_matches_per_node_queries() {
                 case.streams.clone(),
             );
             lazy_bulk.sync_all(case.horizon, threads);
-            for i in 0..n {
+            for i in 0..case.schedules.len() {
                 assert_eq!(
                     lazy_bulk.estimator(NodeId(i), case.horizon),
                     lazy_query.estimator(NodeId(i), case.horizon),

@@ -60,8 +60,10 @@ pub enum AuditEvent {
         epoch: u64,
         /// The account whose epoch activity is being netted.
         account: AccountId,
-        /// Net signed delta applied to the balance.
-        delta: i64,
+        /// Net signed delta applied to the balance. `i128` end to end: the
+        /// ledger accrues nets in `i128`, so the log must record what was
+        /// applied without narrowing (encoded as 16 big-endian bytes).
+        delta: i128,
     },
     /// Detected-versus-paid discrepancy from §5 reconstructed-path
     /// validation: a bundle whose manifests claim `expected` forwarding
@@ -261,7 +263,7 @@ impl AuditLog {
                 AuditEvent::EpochNet {
                     account: a, delta, ..
                 } if a == account => {
-                    bal += i128::from(delta);
+                    bal += delta;
                 }
                 _ => {}
             }

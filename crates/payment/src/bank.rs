@@ -8,15 +8,12 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use idpa_crypto::batch::{batch_verify, BatchOutcome};
 use idpa_crypto::bigint::BigUint;
 use idpa_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use idpa_desim::rng::Xoshiro256StarStar;
 
 use crate::audit::{AuditEvent, AuditLog};
-use crate::token::{
-    denominations, token_digest, PendingWithdrawal, Token, TokenId, Wallet, WithdrawError,
-};
+use crate::token::{denominations, PendingWithdrawal, Token, TokenId, Wallet, WithdrawError};
 
 /// Identifier of a bank account (peers and the escrow service hold these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,6 +37,8 @@ pub enum EpochNetError {
     UnknownAccount(AccountId),
     /// A net debit exceeds the account's balance.
     InsufficientFunds(AccountId),
+    /// A net credit would push the account's balance past `u64::MAX`.
+    BalanceOverflow(AccountId),
 }
 
 /// The central bank.
@@ -176,104 +175,55 @@ impl Bank {
         Ok(())
     }
 
-    /// Deposits a whole epoch's tokens in one pass, batch-verifying the
-    /// blind signatures ([`idpa_crypto::batch_verify`]) and deferring the
-    /// double-spend check to a single scan over the epoch's serial set.
+    /// Deposits a whole epoch's tokens in one call: each token is
+    /// verified **individually and strictly** through the cached per-key
+    /// Montgomery context, in submission order.
     ///
-    /// `coeff(i)` supplies the batch-verification coefficient for the item
-    /// at submission position `i` (position-keyed so verdicts replay).
-    ///
-    /// Exactly equivalent to calling [`Bank::deposit`] once per item in
-    /// submission order: same per-item results, same final balances,
-    /// serials, outstanding liability, and audit entries. The error
-    /// precedence of `deposit` is preserved — unknown account shadows a
-    /// bad signature, a bad signature never burns the serial, and the
-    /// first of two duplicate serials in the batch wins.
+    /// Exactly equivalent to calling [`Bank::deposit`] once per item —
+    /// same per-item results, same final balances, serials, outstanding
+    /// liability, and audit entries — *by construction*, not up to a
+    /// probabilistic bound. An earlier revision checked signatures with
+    /// the small-exponents combined equation; over `(Z/n)*` that test is
+    /// unsound (Boyd–Pavlovski: negating an even number of valid
+    /// signatures passes it with probability 1 while every negated token
+    /// fails [`Token::verify`]), and at `e = 65537` it is also slower
+    /// than cached individual verification (see `idpa_crypto::batch` and
+    /// the `kernels` bench). The epoch-settlement win is transfer
+    /// netting ([`Bank::apply_epoch_net`]), not the signature check.
     pub fn deposit_batch(
         &mut self,
         deposits: &[(AccountId, Token)],
-        mut coeff: impl FnMut(usize) -> u64,
     ) -> Vec<Result<(), DepositError>> {
-        let mut results: Vec<Option<Result<(), DepositError>>> = vec![None; deposits.len()];
-
-        // 1. Account existence, checked first exactly as in `deposit`.
-        let to_verify: Vec<usize> = deposits
+        deposits
             .iter()
-            .enumerate()
-            .filter_map(|(i, (account, _))| {
-                if self.accounts.contains_key(account) {
-                    Some(i)
-                } else {
-                    results[i] = Some(Err(DepositError::UnknownAccount));
-                    None
-                }
-            })
-            .collect();
-
-        // 2. One combined signature check; when it fails, the individual
-        //    fallback inside `batch_verify` names the exact offenders.
-        let items: Vec<(BigUint, BigUint)> = to_verify
-            .iter()
-            .map(|&i| {
-                let t = &deposits[i].1;
-                (
-                    t.signature.clone(),
-                    token_digest(&t.id, t.value, self.keys.public()),
-                )
-            })
-            .collect();
-        if let BatchOutcome::Rejected(bad) =
-            batch_verify(self.keys.public(), &items, |k| coeff(to_verify[k]))
-        {
-            for k in bad {
-                results[to_verify[k]] = Some(Err(DepositError::InvalidSignature));
-            }
-        }
-
-        // 3. Deferred double-spend scan in submission order — the growing
-        //    `spent` set rejects intra-batch duplicates — then apply.
-        for (i, (account, token)) in deposits.iter().enumerate() {
-            if results[i].is_some() {
-                continue;
-            }
-            results[i] = Some(if self.spent.contains(&token.id) {
-                Err(DepositError::DoubleSpend)
-            } else {
-                self.spent.insert(token.id);
-                self.outstanding = self.outstanding.saturating_sub(token.value);
-                *self.accounts.get_mut(account).expect("existence checked") += token.value;
-                let mut serial_prefix = [0u8; 8];
-                serial_prefix.copy_from_slice(&token.id.0[..8]);
-                self.audit.append(AuditEvent::Deposit {
-                    account: *account,
-                    value: token.value,
-                    serial_prefix,
-                });
-                Ok(())
-            });
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every item resolved"))
+            .map(|(account, token)| self.deposit(*account, token))
             .collect()
     }
 
     /// Applies one net balance delta per account for a settled epoch,
     /// atomically: every delta applies (one [`AuditEvent::EpochNet`] entry
-    /// per nonzero delta, ascending account order) or none does. For
-    /// transfer netting the deltas sum to zero, so `total_deposits` is
-    /// unchanged — [`crate::EpochLedger`] constructs exactly such nets.
+    /// per nonzero delta, ascending account order) or none does — a
+    /// failed validation (unknown account, uncovered debit, or a credit
+    /// overflowing `u64`) leaves every balance untouched. Deltas are
+    /// `i128`, so any sum of `u64` transfer amounts is representable
+    /// without wrapping. For transfer netting the deltas sum to zero, so
+    /// `total_deposits` is unchanged — [`crate::EpochLedger`] constructs
+    /// exactly such nets.
     pub fn apply_epoch_net(
         &mut self,
         epoch: u64,
-        net: &BTreeMap<AccountId, i64>,
+        net: &BTreeMap<AccountId, i128>,
     ) -> Result<(), EpochNetError> {
         for (&account, &delta) in net {
             let Some(&balance) = self.accounts.get(&account) else {
                 return Err(EpochNetError::UnknownAccount(account));
             };
-            if delta < 0 && balance < delta.unsigned_abs() {
+            let new = i128::from(balance) + delta;
+            if new < 0 {
                 return Err(EpochNetError::InsufficientFunds(account));
+            }
+            if new > i128::from(u64::MAX) {
+                return Err(EpochNetError::BalanceOverflow(account));
             }
         }
         for (&account, &delta) in net {
@@ -281,11 +231,7 @@ impl Bank {
                 continue;
             }
             let balance = self.accounts.get_mut(&account).expect("validated above");
-            if delta < 0 {
-                *balance -= delta.unsigned_abs();
-            } else {
-                *balance += delta.unsigned_abs();
-            }
+            *balance = u64::try_from(i128::from(*balance) + delta).expect("validated above");
             self.audit.append(AuditEvent::EpochNet {
                 epoch,
                 account,
@@ -463,6 +409,94 @@ mod tests {
         let mut token = wallet.take_exact(2).unwrap().pop().unwrap();
         token.value = 200; // claim a bigger denomination
         assert_eq!(b.deposit(bob, &token), Err(DepositError::InvalidSignature));
+    }
+
+    /// Regression for the Boyd–Pavlovski sign attack on batched deposits:
+    /// a negated signature (`sig → n - sig`) fails strict verification,
+    /// and `deposit_batch` must reject it exactly like `deposit` — even
+    /// when an even number of negated tokens share one batch (the case
+    /// the old combined-equation check accepted with probability 1).
+    #[test]
+    fn negated_signatures_rejected_by_batch_exactly_like_deposit() {
+        let (mut seq, mut batch) = (bank(30), bank(30));
+        let alice = seq.open_account(100);
+        batch.open_account(100);
+        let bob = seq.open_account(0);
+        batch.open_account(0);
+
+        // Four one-credit withdrawals, so the batch holds four tokens.
+        let mint = |bank: &mut Bank| {
+            let mut r = rng(32);
+            let mut wallet = Wallet::new();
+            let mut tokens = Vec::with_capacity(4);
+            for _ in 0..4 {
+                bank.withdraw_into_wallet(alice, 1, &mut wallet, &mut r)
+                    .unwrap();
+                tokens.extend(wallet.take_exact(1).unwrap());
+            }
+            tokens
+        };
+        let mut tokens = mint(&mut seq);
+        assert_eq!(tokens, mint(&mut batch), "twin mints agree");
+        assert_eq!(tokens.len(), 4);
+
+        // Negate an even number of signatures (indices 1 and 3).
+        let n = seq.public_key().modulus().clone();
+        for i in [1, 3] {
+            tokens[i].signature = n.sub(&tokens[i].signature);
+        }
+        let entries: Vec<(AccountId, Token)> = tokens.iter().map(|t| (bob, t.clone())).collect();
+
+        let sequential: Vec<_> = entries.iter().map(|(a, t)| seq.deposit(*a, t)).collect();
+        let batched = batch.deposit_batch(&entries);
+        assert_eq!(sequential, batched);
+        assert_eq!(
+            batched,
+            vec![
+                Ok(()),
+                Err(DepositError::InvalidSignature),
+                Ok(()),
+                Err(DepositError::InvalidSignature),
+            ]
+        );
+        assert_eq!(seq.balance(bob), batch.balance(bob));
+        assert_eq!(seq.audit().head(), batch.audit().head());
+    }
+
+    #[test]
+    fn epoch_net_rejects_overflowing_credit_atomically() {
+        let mut b = bank(33);
+        let rich = b.open_account(u64::MAX - 5);
+        let poor = b.open_account(100);
+        let mut net: BTreeMap<AccountId, i128> = BTreeMap::new();
+        net.insert(rich, 10);
+        net.insert(poor, -10);
+        assert_eq!(
+            b.apply_epoch_net(0, &net),
+            Err(EpochNetError::BalanceOverflow(rich))
+        );
+        assert_eq!(b.balance(rich), Some(u64::MAX - 5), "nothing applied");
+        assert_eq!(b.balance(poor), Some(100), "nothing applied");
+    }
+
+    #[test]
+    fn epoch_net_handles_deltas_beyond_i64() {
+        // Nets larger than i64::MAX in magnitude must validate, not wrap:
+        // a debit of 2·(i64::MAX) against a small balance is an
+        // InsufficientFunds error, never a silent wraparound credit.
+        let mut b = bank(34);
+        let a = b.open_account(7);
+        let c = b.open_account(0);
+        let huge = 2 * i128::from(i64::MAX);
+        let mut net: BTreeMap<AccountId, i128> = BTreeMap::new();
+        net.insert(a, -huge);
+        net.insert(c, huge);
+        assert_eq!(
+            b.apply_epoch_net(0, &net),
+            Err(EpochNetError::InsufficientFunds(a))
+        );
+        assert_eq!(b.balance(a), Some(7));
+        assert_eq!(b.balance(c), Some(0));
     }
 
     #[test]

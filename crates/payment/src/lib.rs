@@ -45,7 +45,7 @@ pub mod validation;
 
 pub use audit::{AuditEvent, AuditLog};
 pub use bank::{AccountId, Bank, DepositError, EpochNetError};
-pub use epoch::{EpochLedger, EpochSettlement};
+pub use epoch::{EpochLedger, EpochSettleError, EpochSettlement};
 pub use escrow::{Escrow, SettlementError, SettlementReport};
 pub use receipt::{Receipt, ReceiptBook};
 pub use token::{Token, TokenId, Wallet, WithdrawError};

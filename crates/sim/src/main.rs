@@ -191,8 +191,11 @@ fn main() -> ExitCode {
                      \u{20}                             bit-identical results, bounded memory)\n  \
                      --settlement MODE             'per-bundle' (each bundle settles alone,\n  \
                      \u{20}                             the default) or 'epoch' (payouts netted and\n  \
-                     \u{20}                             deposits batch-verified at epoch boundaries;\n  \
-                     \u{20}                             identical economics, amortized bank load)\n  \
+                     \u{20}                             deposits batched at epoch boundaries;\n  \
+                     \u{20}                             identical economics, amortized bank load).\n  \
+                     \u{20}                             Takes effect only with fault injection\n  \
+                     \u{20}                             active (the settlement layer rides on the\n  \
+                     \u{20}                             evidence layer); otherwise a warned no-op\n  \
                      --epoch-length MIN            epoch length for '--settlement epoch'\n\n\
                      fault injection (all rates default to 0 = off; any nonzero rate\n\
                      activates the deterministic fault plan):\n  \
@@ -226,6 +229,18 @@ fn main() -> ExitCode {
     if let Err(e) = opts.fault.validate() {
         eprintln!("invalid fault configuration: {e}");
         return ExitCode::FAILURE;
+    }
+
+    // The settlement layer rides on the fault/evidence layer; without any
+    // fault rate there is no evidence to settle and epoch mode reports
+    // all-zero settlement metrics. Warn rather than fail: all-zero rates
+    // are a legitimate baseline in fingerprint comparisons.
+    if opts.settlement == idpa_sim::SettlementMode::Epoch && !opts.fault.is_active() {
+        eprintln!(
+            "warning: --settlement epoch has no effect without fault injection \
+             (enable at least one --fault-* rate to activate the evidence and \
+             settlement layers); settlement metrics will be zero"
+        );
     }
 
     let reg = registry();

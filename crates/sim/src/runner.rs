@@ -242,7 +242,7 @@ pub struct RunResult {
     /// `--settlement epoch` (0 in per-bundle mode).
     pub epochs_settled: u64,
     /// Mean bank-facing settlement operations (netted payouts plus
-    /// batch-verification calls) per settled epoch. A structural count,
+    /// batched deposit calls) per settled epoch. A structural count,
     /// not a timing — comparable across machines (0.0 in per-bundle
     /// mode).
     pub settlement_ops_per_epoch: f64,
@@ -250,8 +250,10 @@ pub struct RunResult {
     /// transfer-amortization factor epoch batching buys over per-bundle
     /// settlement (0.0 in per-bundle mode).
     pub epoch_netting_ratio: f64,
-    /// Receipts cleared per batch-verification call (structural batches
-    /// of up to 1024 deposits; 0.0 in per-bundle mode).
+    /// Receipts cleared per batched deposit call (structural batches of
+    /// up to 1024 individually verified deposits; 0.0 in per-bundle
+    /// mode). The field name predates the strict-verification fix and is
+    /// kept for CSV/report stability.
     pub batch_verify_throughput: f64,
 }
 
@@ -300,7 +302,8 @@ struct EpochState {
     /// Netted payout operations: one per account paid per epoch, however
     /// many receipts it earned in the window.
     payout_ops: u64,
-    /// Batch-verification calls: one per window of up to 1024 deposits.
+    /// Batched deposit calls: one per window of up to 1024 individually
+    /// verified deposits.
     batch_ops: u64,
     /// Receipts cleared through batched settlement.
     receipts_netted: u64,

@@ -88,8 +88,9 @@ pub enum SettlementMode {
     /// Epoch-batched settlement: a settlement event fires every
     /// [`ScenarioConfig::epoch_length`] minutes, validates the evidence
     /// window accrued since the previous boundary, nets all payouts into
-    /// one balance delta per account and batch-verifies the window's
-    /// deposits. Economic outcomes (payoffs, shortfall, flags, audit
+    /// one balance delta per account and submits the window's deposits in
+    /// batched (individually verified) bank calls. Economic outcomes
+    /// (payoffs, shortfall, flags, audit
     /// discrepancies) are identical to `PerBundle`; only the bank-facing
     /// operation counts and the settlement-delay model change — a bank
     /// outage delays an epoch boundary instead of a bundle.

@@ -187,10 +187,10 @@ fn static_zero_weight_is_byte_identical_to_pr4_across_modes_shards_threads() {
             idpa_sim::experiments::replicate_base(&opts)
         })
         .collect();
-    for rep in 0..8 {
+    for (rep, base) in replicated[0].iter().enumerate() {
         for other in [1, 2] {
             assert_eq!(
-                replicated[0][rep], replicated[other][rep],
+                base, &replicated[other][rep],
                 "rep {rep}: static faulty replication diverged across thread counts"
             );
             cases += 1;

@@ -203,10 +203,10 @@ fn lazy_lifecycle_is_value_identical_to_eager_across_modes_shards_threads() {
             idpa_sim::experiments::replicate_base(&opts)
         })
         .collect();
-    for rep in 0..8 {
+    for (rep, base) in replicated[0].iter().enumerate() {
         for other in [1, 2] {
             assert_eq!(
-                replicated[0][rep], replicated[other][rep],
+                base, &replicated[other][rep],
                 "rep {rep}: lazy replication diverged across thread counts"
             );
             cases += 1;
