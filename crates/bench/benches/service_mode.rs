@@ -1,0 +1,180 @@
+//! Service-mode overhead and open-workload throughput.
+//!
+//! Three questions, one bench:
+//!
+//! 1. **What does the service loop cost when idle?** `run_service` with no
+//!    options must match [`SimulationRun::execute`] byte for byte (asserted
+//!    before timing) and should cost the same wall clock — the event-budget
+//!    chunking that enables graceful shutdown is bookkeeping on an `u64`,
+//!    nothing more.
+//! 2. **What does a checkpoint cost?** Snapshot encode and restore are timed
+//!    as kernels over a mid-run state (every accumulator, history cell,
+//!    reputation ledger and validator evidence list live), so the
+//!    `--snapshot-every` overhead is `encode + fs::write` per boundary and
+//!    can be sized against the interval.
+//! 3. **What does the open workload sustain?** A Poisson-arrival run through
+//!    the full service path, reported as connections per second of wall
+//!    clock.
+//!
+//! Before any timing the bench pins the equivalences the test suites rely
+//! on at bench scale: plain service == execute, checkpointed service ==
+//! execute, restored checkpoint resumes to the identical result.
+//!
+//! `IDPA_SVC_QUICK=1` halves the workload for the CI bench gate; quick and
+//! full tiers use distinct kernel names so their points never gate against
+//! each other.
+
+use idpa_bench::harness::{smoke_mode, Harness};
+use idpa_desim::{Engine, SimTime};
+use idpa_sim::snapshot::{encode, restore};
+use idpa_sim::{run_service, ScenarioConfig, ServiceOptions, SimulationRun, WorkloadMode, World};
+
+/// The closed-workload scenario for the overhead comparison.
+fn closed_cfg(transmissions: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig {
+        total_transmissions: transmissions,
+        adversary_fraction: 0.2,
+        seed: 0x5e41,
+        ..ScenarioConfig::default()
+    };
+    cfg.fault.crash_rate = 0.03;
+    cfg.fault.drop_rate = 0.05;
+    cfg
+}
+
+/// The open-workload scenario: Poisson arrivals at `rate` per pair per
+/// minute with steady-state windows over the last 20 hours.
+/// (`total_transmissions` is unused by the open scheduler but must stay
+/// nonzero for config validation.)
+fn open_cfg(rate: f64, transmissions: usize) -> ScenarioConfig {
+    let mut cfg = closed_cfg(transmissions);
+    cfg.workload = WorkloadMode::Open;
+    cfg.open_arrival_rate = rate;
+    cfg.window_len = 4.0 * 60.0;
+    cfg.window_warmup = 4.0 * 60.0;
+    cfg
+}
+
+/// A deep mid-run state (about half the events handled) for the snapshot
+/// kernels.
+fn mid_run(cfg: &ScenarioConfig) -> (SimulationRun, Engine<idpa_sim::runner::Ev>) {
+    let world = World::generate(cfg);
+    let mut run = SimulationRun::new(*cfg, world);
+    let mut engine = Engine::new();
+    run.schedule_all(&mut engine);
+    engine.set_event_budget(cfg.total_transmissions.max(2_000) as u64 * 2);
+    engine.run(&mut run, Some(SimTime::new(cfg.churn.horizon / 2.0)));
+    engine.clear_event_budget();
+    (run, engine)
+}
+
+fn main() {
+    let quick = std::env::var("IDPA_SVC_QUICK").is_ok_and(|v| v == "1");
+    let (transmissions, rate, tag) = if smoke_mode() {
+        (400, 0.005, "t400")
+    } else if quick {
+        (2_000, 0.02, "t2k")
+    } else {
+        (8_000, 0.08, "t8k")
+    };
+
+    let closed = closed_cfg(transmissions);
+    let open = open_cfg(rate, transmissions);
+
+    // Equivalence guards before any timing.
+    let baseline = SimulationRun::execute(closed);
+    let service = run_service(closed, &ServiceOptions::default()).expect("plain service run");
+    assert_eq!(baseline, service, "service loop perturbed a closed run");
+
+    let dir = std::env::temp_dir().join("idpa-bench-service");
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let path = dir.join(format!("service-{tag}.snap"));
+    let ckpt = run_service(
+        closed,
+        &ServiceOptions {
+            snapshot_every: Some(closed.churn.horizon / 6.0),
+            snapshot_path: Some(path.clone()),
+            ..ServiceOptions::default()
+        },
+    )
+    .expect("checkpointing run");
+    assert_eq!(baseline, ckpt, "checkpointing perturbed the run");
+    let resumed = run_service(
+        closed,
+        &ServiceOptions {
+            resume: Some(path.clone()),
+            ..ServiceOptions::default()
+        },
+    )
+    .expect("resumed run");
+    assert_eq!(baseline, resumed, "resume diverged at bench scale");
+    std::fs::remove_file(&path).ok();
+
+    // Snapshot kernels over a deep mid-run state.
+    let (mid, mid_engine) = mid_run(&closed);
+    let bytes = encode(&mid, &mid_engine);
+    println!(
+        "service/{tag}: snapshot is {} KiB at {} events handled",
+        bytes.len() / 1024,
+        mid_engine.events_handled()
+    );
+
+    let mut h = Harness::new();
+    h.bench(&format!("service/execute_closed_{tag}"), || {
+        SimulationRun::execute(closed).connections
+    });
+    h.bench(&format!("service/service_closed_{tag}"), || {
+        run_service(closed, &ServiceOptions::default())
+            .expect("service run")
+            .connections
+    });
+    h.bench(&format!("service/snapshot_encode_{tag}"), || {
+        encode(&mid, &mid_engine).len()
+    });
+    h.bench(&format!("service/snapshot_restore_{tag}"), || {
+        restore(&closed, &bytes)
+            .expect("bench snapshot restores")
+            .1
+            .events_handled()
+    });
+    let open_connections = run_service(open, &ServiceOptions::default())
+        .expect("open service run")
+        .connections;
+    h.bench(&format!("service/open_service_{tag}"), || {
+        run_service(open, &ServiceOptions::default())
+            .expect("open service run")
+            .connections
+    });
+
+    if !smoke_mode() {
+        let ns_of = |suffix: &str| {
+            h.measurements()
+                .iter()
+                .find(|m| m.name.ends_with(suffix))
+                .expect("kernel measured")
+                .ns_per_iter
+        };
+        let execute_ns = ns_of(&format!("execute_closed_{tag}"));
+        let service_ns = ns_of(&format!("service_closed_{tag}"));
+        let encode_ns = ns_of(&format!("snapshot_encode_{tag}"));
+        let open_ns = ns_of(&format!("open_service_{tag}"));
+        println!(
+            "service/{tag}: service loop overhead {:+.1}% over execute; \
+             checkpoint encode {:.2} ms ({:.0} MiB/s); \
+             open workload {:.0} connections/s wall",
+            (service_ns / execute_ns - 1.0) * 100.0,
+            encode_ns / 1e6,
+            bytes.len() as f64 * 1e9 / encode_ns / (1024.0 * 1024.0),
+            open_connections as f64 * 1e9 / open_ns
+        );
+        // Tripwire: the chunked service loop must stay within 25% of the
+        // straight-line runner (it is the same event sequence; the margin
+        // absorbs timer noise on a shared CI box).
+        assert!(
+            service_ns / execute_ns < 1.25,
+            "service loop overhead collapsed: {:.2}x execute",
+            service_ns / execute_ns
+        );
+    }
+    h.write_json_default().expect("write bench report");
+}

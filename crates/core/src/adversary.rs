@@ -88,6 +88,30 @@ impl IntersectionAttack {
     pub fn exposed(&self) -> bool {
         self.candidate_count() == 1
     }
+
+    /// Snapshot export: the observation count and, if any observation
+    /// happened, the candidate set sorted by node index. The
+    /// `None`/`Some` distinction is preserved — `None` means "every node
+    /// is a candidate" and must not collapse to an empty set.
+    #[must_use]
+    pub fn snapshot_state(&self) -> (u32, Option<Vec<NodeId>>) {
+        let candidates = self.candidates.as_ref().map(|c| {
+            let mut v: Vec<NodeId> = c.iter().copied().collect();
+            v.sort_unstable_by_key(|n| n.index());
+            v
+        });
+        (self.observations, candidates)
+    }
+
+    /// Rebuilds an attack from an [`IntersectionAttack::snapshot_state`]
+    /// export.
+    #[must_use]
+    pub fn from_snapshot(observations: u32, candidates: Option<Vec<NodeId>>) -> Self {
+        IntersectionAttack {
+            candidates: candidates.map(|v| v.into_iter().collect()),
+            observations,
+        }
+    }
 }
 
 #[cfg(test)]

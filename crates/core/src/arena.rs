@@ -414,6 +414,30 @@ impl HistoryArena {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Snapshot export: every `(node, bundle)` cell's retained records,
+    /// oldest first, sorted by `(node, bundle)` — a pure function of the
+    /// arena's value, independent of shard count and hash-map order.
+    ///
+    /// Restore is replay: push each cell's records through
+    /// [`HistoryArena::exclusive`]'s [`HistoryWrite::record_hop`] into a
+    /// fresh arena with the same retention bound. Eviction already
+    /// unwound the selectivity indexes to exactly the state the retained
+    /// records imply, and a cell's retained count never exceeds the
+    /// per-bundle capacity, so replay reproduces records, indexes and
+    /// membership-filter bits identically.
+    #[must_use]
+    pub fn snapshot_cells(&self) -> Vec<(u64, u64, Vec<HistoryRecord>)> {
+        let mut out = Vec::new();
+        for m in &self.shards {
+            let shard = unpoison(m.lock());
+            for (&(node, bundle), cell) in &shard.cells {
+                out.push((node, bundle, cell.records.clone()));
+            }
+        }
+        out.sort_unstable_by_key(|&(node, bundle, _)| (node, bundle));
+        out
+    }
 }
 
 /// Exclusive no-lock view over every shard — see

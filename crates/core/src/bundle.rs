@@ -126,6 +126,30 @@ impl BundleAccounting {
         }
         self.instances(node) as f64 * pf + pr / set as f64
     }
+
+    /// Snapshot export: the per-forwarder tallies (already sorted — the
+    /// map is a `BTreeMap`) plus `(connections, total_hops)`.
+    #[must_use]
+    pub fn snapshot_state(&self) -> (Vec<(NodeId, ForwarderTally)>, u32, u64) {
+        let tallies: Vec<(NodeId, ForwarderTally)> =
+            self.tallies.iter().map(|(&n, &t)| (n, t)).collect();
+        (tallies, self.connections, self.total_hops)
+    }
+
+    /// Rebuilds accounting from a [`BundleAccounting::snapshot_state`]
+    /// export.
+    #[must_use]
+    pub fn from_snapshot(
+        tallies: Vec<(NodeId, ForwarderTally)>,
+        connections: u32,
+        total_hops: u64,
+    ) -> Self {
+        BundleAccounting {
+            tallies: tallies.into_iter().collect(),
+            connections,
+            total_hops,
+        }
+    }
 }
 
 #[cfg(test)]

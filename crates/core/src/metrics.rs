@@ -173,6 +173,41 @@ impl ReformationTracker {
     pub fn distinct_edges(&self) -> usize {
         self.seen_edges.len()
     }
+
+    /// Snapshot export: the seen-edge set (sorted, so the export is a pure
+    /// function of the tracker's value) plus the four counters
+    /// `(connections, new_edges, total_edges, reformed_connections)`.
+    #[must_use]
+    pub fn snapshot_state(&self) -> (Vec<(NodeId, NodeId)>, u32, u64, u64, u32) {
+        let mut edges: Vec<(NodeId, NodeId)> = self.seen_edges.iter().copied().collect();
+        edges.sort_unstable_by_key(|&(a, b)| (a.index(), b.index()));
+        (
+            edges,
+            self.connections,
+            self.new_edges,
+            self.total_edges,
+            self.reformed_connections,
+        )
+    }
+
+    /// Rebuilds a tracker from a [`ReformationTracker::snapshot_state`]
+    /// export.
+    #[must_use]
+    pub fn from_snapshot(
+        edges: Vec<(NodeId, NodeId)>,
+        connections: u32,
+        new_edges: u64,
+        total_edges: u64,
+        reformed_connections: u32,
+    ) -> Self {
+        ReformationTracker {
+            seen_edges: edges.into_iter().collect(),
+            connections,
+            new_edges,
+            total_edges,
+            reformed_connections,
+        }
+    }
 }
 
 /// Degradation bookkeeping under fault injection: delivery ratio, retries
@@ -271,6 +306,34 @@ impl DeliveryTracker {
     #[must_use]
     pub fn delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// Snapshot export: `(scheduled, delivered, abandoned, retries,
+    /// latency_sum bits, latency_count)` — the latency sum travels as its
+    /// bit pattern so the restored mean is bit-identical.
+    #[must_use]
+    pub fn snapshot_state(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.scheduled,
+            self.delivered,
+            self.abandoned,
+            self.retries,
+            self.latency_sum.to_bits(),
+            self.latency_count,
+        )
+    }
+
+    /// Rebuilds a tracker from a [`DeliveryTracker::snapshot_state`] export.
+    #[must_use]
+    pub fn from_snapshot(state: (u64, u64, u64, u64, u64, u64)) -> Self {
+        DeliveryTracker {
+            scheduled: state.0,
+            delivered: state.1,
+            abandoned: state.2,
+            retries: state.3,
+            latency_sum: f64::from_bits(state.4),
+            latency_count: state.5,
+        }
     }
 }
 

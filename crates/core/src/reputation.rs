@@ -150,6 +150,43 @@ impl EdgeReputation {
         self.observed.capacity()
             * (std::mem::size_of::<RelayFaults>() + std::mem::size_of::<usize>())
     }
+
+    /// Snapshot export: `(relay, drops, timeouts, flagged)` for every relay
+    /// with a recorded entry, sorted by relay index — a pure function of the
+    /// ledger's value, independent of hash-map iteration order.
+    #[must_use]
+    pub fn snapshot_entries(&self) -> Vec<(usize, u32, u32, bool)> {
+        let mut entries: Vec<(usize, u32, u32, bool)> = self
+            .observed
+            .iter()
+            .map(|(&v, f)| (v, f.drops, f.timeouts, f.flagged))
+            .collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        entries
+    }
+
+    /// Rebuilds a ledger from a [`EdgeReputation::snapshot_entries`] export.
+    /// Callers must have validated `v < n_nodes` for every entry (the
+    /// snapshot decoder does). Entries are inserted one at a time into a
+    /// fresh map, so the restored map's capacity — which feeds
+    /// [`EdgeReputation::approx_bytes`] and through it the run's memory
+    /// metrics — depends only on the distinct entry count, exactly as it
+    /// did in the snapshotted run.
+    #[must_use]
+    pub fn from_snapshot(n_nodes: usize, entries: &[(usize, u32, u32, bool)]) -> Self {
+        let mut rep = EdgeReputation::new(n_nodes);
+        for &(v, drops, timeouts, flagged) in entries {
+            rep.observed.insert(
+                v,
+                RelayFaults {
+                    drops,
+                    timeouts,
+                    flagged,
+                },
+            );
+        }
+        rep
+    }
 }
 
 #[cfg(test)]

@@ -150,6 +150,61 @@ impl<E> Calendar<E> {
         self.heap.len()
     }
 
+    /// The sequence number the next [`Calendar::schedule`] call will use.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Snapshot export: every heap entry (including lazily cancelled ones)
+    /// as `(time, seq, event)`, sorted by `(time, seq)` — i.e. in the exact
+    /// order [`Calendar::pop`] would deliver them. The sort makes the
+    /// export a pure function of the pending set, independent of the heap's
+    /// internal arrangement.
+    #[must_use]
+    pub fn snapshot_entries(&self) -> Vec<(SimTime, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<(SimTime, u64, E)> = self
+            .heap
+            .iter()
+            .map(|h| (h.time, h.seq, h.event.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        entries
+    }
+
+    /// Snapshot export: the lazily cancelled sequence numbers, sorted.
+    #[must_use]
+    pub fn snapshot_cancelled(&self) -> Vec<u64> {
+        let mut seqs: Vec<u64> = self.cancelled.iter().copied().collect();
+        seqs.sort_unstable();
+        seqs
+    }
+
+    /// Rebuilds a calendar from a snapshot export: the heap entries with
+    /// their original sequence numbers, the cancelled set, and the next
+    /// sequence number to hand out. Pop order, cancellation semantics and
+    /// future [`EventId`] allocation all match the snapshotted calendar
+    /// exactly.
+    #[must_use]
+    pub fn from_snapshot(
+        entries: Vec<(SimTime, u64, E)>,
+        cancelled: Vec<u64>,
+        next_seq: u64,
+    ) -> Self {
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        for (time, seq, event) in entries {
+            heap.push(HeapEntry { time, seq, event });
+        }
+        Calendar {
+            heap,
+            next_seq,
+            cancelled: cancelled.into_iter().collect(),
+        }
+    }
+
     /// Number of pending live (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {

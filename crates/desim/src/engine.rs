@@ -88,10 +88,35 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Rebuilds an engine from snapshotted parts: a calendar restored via
+    /// [`Calendar::from_snapshot`], the clock, and the events-handled
+    /// counter. The event budget is not part of a snapshot (it is a
+    /// per-invocation backstop); set it again if needed.
+    #[must_use]
+    pub fn from_parts(calendar: Calendar<E>, now: SimTime, events_handled: u64) -> Self {
+        Engine {
+            calendar,
+            now,
+            events_handled,
+            event_budget: None,
+        }
+    }
+
+    /// Read access to the calendar, for snapshot export.
+    #[must_use]
+    pub fn calendar(&self) -> &Calendar<E> {
+        &self.calendar
+    }
+
     /// Caps the total number of events handled by [`Engine::run`]; a
     /// backstop against models that reschedule themselves forever.
     pub fn set_event_budget(&mut self, budget: u64) {
         self.event_budget = Some(budget);
+    }
+
+    /// Clears any event budget set by [`Engine::set_event_budget`].
+    pub fn clear_event_budget(&mut self) {
+        self.event_budget = None;
     }
 
     /// Current simulated time.

@@ -12,6 +12,9 @@
 //! * deterministic fault injection ([`fault::FaultPlan`]): crashes, drops,
 //!   delays, confirmation cheating and bank outages, all drawn by position
 //!   from the master seed so faulty runs replicate bit-identically,
+//! * a versioned, checksummed snapshot codec ([`codec`]) with typed decode
+//!   errors, the byte-level substrate for `idpa-sim`'s crash-safe
+//!   checkpoint/resume,
 //! * statistics collectors ([`stats::OnlineStats`], [`stats::Ecdf`],
 //!   [`stats::Histogram`], [`stats::ConfidenceInterval`]) used to produce the
 //!   paper's mean-with-95%-CI figures and payoff CDFs.
@@ -28,6 +31,7 @@
 #![deny(clippy::unwrap_used)]
 
 pub mod calendar;
+pub mod codec;
 pub mod engine;
 pub mod fault;
 pub mod pool;
@@ -36,6 +40,7 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::{Calendar, EventEntry, EventId};
+pub use codec::CodecError;
 pub use engine::{Engine, Process, StopReason};
 pub use fault::{
     CheatAction, EdgeFault, FaultConfig, FaultPlan, FaultResponse, TransmissionFaults,

@@ -94,6 +94,25 @@ impl Xoshiro256StarStar {
         Xoshiro256StarStar { s }
     }
 
+    /// The raw 256-bit state, for snapshotting a stream cursor mid-run.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by
+    /// [`Xoshiro256StarStar::state`]. The all-zero state (which no valid
+    /// capture produces, but a hostile snapshot could claim) is replaced by
+    /// the same guard constant as [`Xoshiro256StarStar::seed_from_u64`], so
+    /// the generator can never enter its one degenerate fixed point.
+    #[must_use]
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256StarStar { s }
+    }
+
     /// The next 64 random bits.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {

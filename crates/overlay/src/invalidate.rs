@@ -68,6 +68,20 @@ impl ProbeInvalidation {
     pub fn invalidated_nodes(&self) -> usize {
         self.until.iter().filter(|&&t| t > 0.0).count()
     }
+
+    /// Snapshot export: the per-node distrust horizons.
+    #[must_use]
+    pub fn snapshot_state(&self) -> Vec<f64> {
+        self.until.clone()
+    }
+
+    /// Rebuilds the overlay from a [`ProbeInvalidation::snapshot_state`]
+    /// export. Callers must have validated the vector (finite,
+    /// non-negative, one entry per node) — the snapshot decoder does.
+    #[must_use]
+    pub fn from_snapshot(until: Vec<f64>) -> Self {
+        ProbeInvalidation { until }
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,6 @@ pub mod topology;
 
 pub use invalidate::ProbeInvalidation;
 pub use node::{NodeId, NodeKind};
-pub use probe::ProbeEstimator;
-pub use probe_lazy::{cell_footprint, LazyProbeSet, Residency};
+pub use probe::{ProbeEstimator, ProbeEstimatorState};
+pub use probe_lazy::{cell_footprint, LazyProbeSet, ProbeCellState, ProbeCellsSnapshot, Residency};
 pub use topology::Topology;

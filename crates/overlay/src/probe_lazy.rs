@@ -47,7 +47,7 @@ use idpa_desim::rng::StreamFactory;
 use idpa_netmodel::NodeSchedule;
 
 use crate::node::NodeId;
-use crate::probe::ProbeEstimator;
+use crate::probe::{ProbeEstimator, ProbeEstimatorState};
 
 /// The probe tick index `k` as a simulation time, computed as a product so
 /// that eager scheduling and lazy reconstruction agree to the last bit.
@@ -844,6 +844,194 @@ impl LazyProbeSet {
             CellStore::Sparse(store) => store.borrow().stats,
         }
     }
+
+    /// Snapshot export of the mutable cell state. Pure caches (the per-slot
+    /// due cache, the tick memo) are *not* captured — they are recomputed
+    /// on demand after [`LazyProbeSet::restore_cells`], and every cached
+    /// value is a pure function of the state that *is* captured.
+    #[must_use]
+    pub fn snapshot_cells(&self) -> ProbeCellsSnapshot {
+        match &self.cells {
+            CellStore::Dense(cells) => ProbeCellsSnapshot::Dense(
+                cells
+                    .iter()
+                    .map(|c| {
+                        let c = c.borrow();
+                        ProbeCellState {
+                            est: c.est.snapshot_state(),
+                            synced_tick: c.synced_tick,
+                        }
+                    })
+                    .collect(),
+            ),
+            CellStore::Sparse(store) => {
+                let store = store.borrow();
+                let mut cells: Vec<(usize, ProbeCellState, u64)> = store
+                    .map
+                    .iter()
+                    .map(|(&i, sc)| {
+                        (
+                            i,
+                            ProbeCellState {
+                                est: sc.cell.est.snapshot_state(),
+                                synced_tick: sc.cell.synced_tick,
+                            },
+                            sc.last_touch,
+                        )
+                    })
+                    .collect();
+                cells.sort_unstable_by_key(|&(i, _, _)| i);
+                ProbeCellsSnapshot::Sparse {
+                    cells,
+                    stats: store.stats,
+                }
+            }
+        }
+    }
+
+    /// Overwrites the mutable cell state with a
+    /// [`LazyProbeSet::snapshot_cells`] export. The probe set must have
+    /// been freshly constructed with the same configuration (period,
+    /// horizon, schedules, initial neighbor sets, threshold, streams) —
+    /// resume rebuilds those deterministically and only the trajectory
+    /// state comes from the snapshot.
+    ///
+    /// Every field of the snapshot is validated *before* any mutation: on
+    /// `Err`, the probe set is untouched. Never panics.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first inconsistency found (store-kind
+    /// mismatch, length mismatch, out-of-range indices, non-parallel
+    /// estimator arrays, inconsistent residency stats, …).
+    pub fn restore_cells(&mut self, snap: ProbeCellsSnapshot) -> Result<(), &'static str> {
+        match (&mut self.cells, snap) {
+            (CellStore::Dense(cells), ProbeCellsSnapshot::Dense(states)) => {
+                if states.len() != cells.len() {
+                    return Err("dense probe snapshot has wrong cell count");
+                }
+                for (i, state) in states.iter().enumerate() {
+                    check_cell_state(&self.ctx, NodeId(i), state)?;
+                }
+                for (slot, state) in cells.iter_mut().zip(states) {
+                    *slot.get_mut() = ProbeCell {
+                        est: ProbeEstimator::from_snapshot(state.est),
+                        synced_tick: state.synced_tick,
+                        due_cache: Vec::new(),
+                    };
+                }
+            }
+            (CellStore::Sparse(store), ProbeCellsSnapshot::Sparse { cells, stats }) => {
+                let ctx = &self.ctx;
+                let mut bytes = 0usize;
+                let mut prev: Option<usize> = None;
+                for (node, state, _) in &cells {
+                    if *node >= ctx.n_nodes {
+                        return Err("sparse probe cell node out of range");
+                    }
+                    if prev.is_some_and(|p| p >= *node) {
+                        return Err("sparse probe cells not strictly sorted");
+                    }
+                    prev = Some(*node);
+                    check_cell_state(ctx, NodeId(*node), state)?;
+                    bytes += cell_footprint(state.est.neighbors.len());
+                }
+                if stats.materialized != cells.len()
+                    || stats.bytes != bytes
+                    || stats.peak < stats.materialized
+                    || stats.peak_bytes < stats.bytes
+                {
+                    return Err("sparse probe residency stats inconsistent");
+                }
+                let mut map = HashMap::new();
+                for (node, state, last_touch) in cells {
+                    map.insert(
+                        node,
+                        SparseCell {
+                            cell: ProbeCell {
+                                est: ProbeEstimator::from_snapshot(state.est),
+                                synced_tick: state.synced_tick,
+                                due_cache: Vec::new(),
+                            },
+                            last_touch,
+                        },
+                    );
+                }
+                let inner = store.get_mut();
+                inner.map = map;
+                inner.stats = stats;
+            }
+            _ => return Err("probe cell store kind mismatch"),
+        }
+        self.tick_memo = std::cell::Cell::new((f64::NEG_INFINITY, 0));
+        Ok(())
+    }
+}
+
+/// Validates one cell state against the probe set's immutable context —
+/// everything the sync and due-tick machinery would otherwise trust (and
+/// index arrays or subtract counters with).
+fn check_cell_state(
+    ctx: &LazyCtx,
+    owner: NodeId,
+    state: &ProbeCellState,
+) -> Result<(), &'static str> {
+    let e = &state.est;
+    if e.owner != owner {
+        return Err("probe cell owner mismatch");
+    }
+    if e.period.to_bits() != ctx.period.to_bits() {
+        return Err("probe cell period mismatch");
+    }
+    let n = e.neighbors.len();
+    if e.init_time.len() != n
+        || e.live_rounds.len() != n
+        || e.ever_seen.len() != n
+        || e.last_alive_round.len() != n
+    {
+        return Err("probe estimator arrays not parallel");
+    }
+    if e.neighbors.iter().any(|v| v.index() >= ctx.n_nodes) {
+        return Err("probe neighbor out of range");
+    }
+    if e.init_time.iter().any(|t| !t.is_finite() || *t < 0.0) {
+        return Err("probe init time invalid");
+    }
+    if e.last_alive_round.iter().any(|&r| r > e.rounds) {
+        return Err("probe last-alive round ahead of round counter");
+    }
+    if state.synced_tick > ctx.max_tick {
+        return Err("probe synced tick beyond horizon");
+    }
+    Ok(())
+}
+
+/// Snapshot of one probe cell: the estimator trajectory plus the sync
+/// frontier. Pure caches are excluded by design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeCellState {
+    /// The estimator's full mutable state.
+    pub est: ProbeEstimatorState,
+    /// All ticks `≤ synced_tick` have been applied to the estimator.
+    pub synced_tick: u64,
+}
+
+/// Snapshot export of a [`LazyProbeSet`]'s cell store, mirroring its two
+/// storage layouts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeCellsSnapshot {
+    /// One cell per node, indexed by node.
+    Dense(Vec<ProbeCellState>),
+    /// Only the resident cells, sorted by node index.
+    Sparse {
+        /// `(node index, cell state, last-touch tick)`, strictly sorted by
+        /// node index.
+        cells: Vec<(usize, ProbeCellState, u64)>,
+        /// The residency statistics at snapshot time (peaks and eviction
+        /// counts are part of the reported run result, so they must
+        /// survive a resume).
+        stats: Residency,
+    },
 }
 
 #[cfg(test)]

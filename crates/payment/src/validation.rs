@@ -115,6 +115,29 @@ impl PathValidator {
         self.evidence.len()
     }
 
+    /// Snapshot export: the recorded evidence entries, in insertion order.
+    /// (The key and bundle id are not exported — resume re-derives them
+    /// deterministically and rebuilds via [`PathValidator::from_snapshot`].)
+    #[must_use]
+    pub fn evidence(&self) -> &[ConnectionEvidence] {
+        &self.evidence
+    }
+
+    /// Rebuilds a validator from its deterministic identity (key, bundle
+    /// id) plus a [`PathValidator::evidence`] export.
+    #[must_use]
+    pub fn from_snapshot(
+        bundle_key: &[u8],
+        bundle_id: u64,
+        evidence: Vec<ConnectionEvidence>,
+    ) -> Self {
+        PathValidator {
+            key: bundle_key.to_vec(),
+            bundle_id,
+            evidence,
+        }
+    }
+
     /// Replays one evidence entry into `report` — the shared kernel of
     /// whole-bundle settlement ([`PathValidator::validate`]) and the
     /// adaptive runner's per-connection check

@@ -25,6 +25,27 @@ pub enum SimError {
         /// Transmissions requested by the scenario.
         requested: usize,
     },
+    /// A snapshot file failed to decode: bad magic, version skew, length or
+    /// checksum mismatch, truncation, or a structurally invalid field. The
+    /// detail string is the codec's diagnostic.
+    SnapshotCodec {
+        /// Human-readable decode failure (from [`idpa_desim::CodecError`]).
+        detail: String,
+    },
+    /// A snapshot file could not be read or written.
+    SnapshotIo {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O failure, rendered to text.
+        detail: String,
+    },
+    /// A structurally valid snapshot does not belong to this run: the
+    /// stored configuration fingerprint (or a derived invariant) differs
+    /// from the scenario being resumed.
+    SnapshotMismatch {
+        /// Which invariant failed.
+        what: &'static str,
+    },
 }
 
 impl SimError {
@@ -52,6 +73,15 @@ impl fmt::Display for SimError {
                 "workload assignment cannot satisfy max_connections \
                  (placed {assigned} of {requested} transmissions)"
             ),
+            SimError::SnapshotCodec { detail } => {
+                write!(f, "snapshot decode failed: {detail}")
+            }
+            SimError::SnapshotIo { path, detail } => {
+                write!(f, "snapshot I/O failed for {path}: {detail}")
+            }
+            SimError::SnapshotMismatch { what } => {
+                write!(f, "snapshot does not match this scenario: {what}")
+            }
         }
     }
 }

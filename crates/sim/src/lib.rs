@@ -18,7 +18,14 @@
 //! * [`experiments`] — one driver per paper table/figure plus ablations;
 //! * [`report`] — markdown/CSV table emission;
 //! * [`chart`] — terminal line/CDF charts so regenerated figures are
-//!   visually comparable to the paper's.
+//!   visually comparable to the paper's;
+//! * [`window`] — steady-state windowed metrics (delivery/payoff/retry
+//!   series with warm-up trimming);
+//! * [`snapshot`] — the versioned, checksummed snapshot codec for
+//!   crash-safe service runs;
+//! * [`service`] — the open-workload service runner: segmented execution
+//!   with periodic checkpoints, graceful wall-clock shutdown and
+//!   deterministic resume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +38,10 @@ pub mod formation;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod service;
 pub mod slab;
+pub mod snapshot;
+pub mod window;
 pub mod world;
 
 pub use error::SimError;
@@ -43,6 +53,9 @@ pub use idpa_desim::{FaultConfig, FaultResponse};
 pub use runner::{RunResult, SimulationRun};
 pub use scenario::{
     CostStorage, NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig, SettlementMode,
+    WorkloadMode,
 };
+pub use service::{run_service, ServiceOptions};
 pub use slab::{NodeSlab, ReputationStore};
+pub use window::WindowCollector;
 pub use world::World;

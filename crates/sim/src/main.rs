@@ -10,10 +10,15 @@
 //!
 //! With no experiment names, runs everything in the registry. Markdown
 //! goes to stdout; per-experiment CSVs to the output directory.
+//!
+//! `idpa-sim service [FLAGS]` runs one scenario as a crash-safe service
+//! instead: open or closed workload, periodic checkpoints, deterministic
+//! resume and graceful wall-clock shutdown (see `idpa-sim service --help`).
 
 use std::process::ExitCode;
 
 use idpa_sim::experiments::{registry, Experiment, Options};
+use idpa_sim::{run_service, ServiceOptions};
 
 /// Parses the next argument as the value of a `--fault-*` flag.
 fn fault_value(flag: &str, next: Option<&String>) -> Result<f64, ExitCode> {
@@ -24,6 +29,246 @@ fn fault_value(flag: &str, next: Option<&String>) -> Result<f64, ExitCode> {
             Err(ExitCode::FAILURE)
         }
     }
+}
+
+/// `idpa-sim service`: run one scenario as a crash-safe service.
+#[allow(clippy::too_many_lines)] // one linear flag loop, mirrors main()
+fn service_main(args: &[String]) -> ExitCode {
+    let mut seed = 1u64;
+    // `IDPA_SVC_SMOKE=1` forces the quick tier — the verify.sh service
+    // smoke stage sets it so CI can't accidentally launch a paper-scale
+    // service run.
+    let mut quick = std::env::var("IDPA_SVC_SMOKE").is_ok_and(|v| v == "1");
+    let mut cfg_mut: Vec<Box<dyn FnOnce(&mut idpa_sim::ScenarioConfig)>> = Vec::new();
+    let mut svc = ServiceOptions::default();
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--quick" => quick = true,
+            "--workload" => {
+                let mode = match iter.next().map(String::as_str) {
+                    Some("closed") => idpa_sim::WorkloadMode::Closed,
+                    Some("open") => idpa_sim::WorkloadMode::Open,
+                    _ => {
+                        eprintln!("--workload needs 'closed' or 'open'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                cfg_mut.push(Box::new(move |c| c.workload = mode));
+            }
+            "--open-arrival-rate"
+            | "--window-len"
+            | "--window-warmup"
+            | "--epoch-length"
+            | "--reputation-weight" => {
+                let v = match fault_value(arg, iter.next()) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let flag = arg.clone();
+                cfg_mut.push(Box::new(move |c| match flag.as_str() {
+                    "--open-arrival-rate" => c.open_arrival_rate = v,
+                    "--window-len" => c.window_len = v,
+                    "--window-warmup" => c.window_warmup = v,
+                    "--epoch-length" => c.epoch_length = v,
+                    _ => c.reputation_weight = v,
+                }));
+            }
+            "--probe-mode" => {
+                let mode = match iter.next().map(String::as_str) {
+                    Some("eager") => idpa_sim::ProbeMode::Eager,
+                    Some("lazy") => idpa_sim::ProbeMode::Lazy,
+                    _ => {
+                        eprintln!("--probe-mode needs 'eager' or 'lazy'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                cfg_mut.push(Box::new(move |c| c.probe_mode = mode));
+            }
+            "--node-lifecycle" => {
+                let mode = match iter.next().map(String::as_str) {
+                    Some("eager") => idpa_sim::NodeLifecycle::Eager,
+                    Some("lazy") => idpa_sim::NodeLifecycle::Lazy,
+                    _ => {
+                        eprintln!("--node-lifecycle needs 'eager' or 'lazy'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                cfg_mut.push(Box::new(move |c| c.node_lifecycle = mode));
+            }
+            "--settlement" => {
+                let mode = match iter.next().map(String::as_str) {
+                    Some("per-bundle") => idpa_sim::SettlementMode::PerBundle,
+                    Some("epoch") => idpa_sim::SettlementMode::Epoch,
+                    _ => {
+                        eprintln!("--settlement needs 'per-bundle' or 'epoch'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                cfg_mut.push(Box::new(move |c| c.settlement = mode));
+            }
+            "--history-shards" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--history-shards needs a non-negative integer (0 = auto)");
+                    return ExitCode::FAILURE;
+                };
+                cfg_mut.push(Box::new(move |c: &mut idpa_sim::ScenarioConfig| {
+                    c.history_shards = v;
+                }));
+            }
+            "--fault-crash"
+            | "--fault-drop"
+            | "--fault-delay"
+            | "--fault-delay-mean"
+            | "--fault-cheat"
+            | "--fault-cheat-corrupt-share"
+            | "--fault-bank-downtime"
+            | "--fault-bank-outage-mean"
+            | "--fault-timeout" => {
+                let v = match fault_value(arg, iter.next()) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let flag = arg.clone();
+                cfg_mut.push(Box::new(move |c| match flag.as_str() {
+                    "--fault-crash" => c.fault.crash_rate = v,
+                    "--fault-drop" => c.fault.drop_rate = v,
+                    "--fault-delay" => c.fault.delay_rate = v,
+                    "--fault-delay-mean" => c.fault.delay_mean = v,
+                    "--fault-cheat" => c.fault.cheat_fraction = v,
+                    "--fault-cheat-corrupt-share" => c.fault.cheat_corrupt_share = v,
+                    "--fault-bank-downtime" => c.fault.bank_downtime = v,
+                    "--fault-bank-outage-mean" => c.fault.bank_outage_mean = v,
+                    _ => c.fault.retry_timeout = v,
+                }));
+            }
+            "--fault-response" => {
+                let mode = match iter.next().map(String::as_str) {
+                    Some("static") => idpa_sim::FaultResponse::Static,
+                    Some("adaptive") => idpa_sim::FaultResponse::Adaptive,
+                    _ => {
+                        eprintln!("--fault-response needs 'static' or 'adaptive'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                cfg_mut.push(Box::new(move |c| c.fault.response = mode));
+            }
+            "--fault-retries" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--fault-retries needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                cfg_mut.push(Box::new(move |c: &mut idpa_sim::ScenarioConfig| {
+                    c.fault.max_retries = v;
+                }));
+            }
+            "--snapshot-every" => {
+                let v = match fault_value(arg, iter.next()) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                svc.snapshot_every = Some(v);
+            }
+            "--snapshot-path" => {
+                let Some(v) = iter.next() else {
+                    eprintln!("--snapshot-path needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                svc.snapshot_path = Some(v.into());
+            }
+            "--resume" => {
+                let Some(v) = iter.next() else {
+                    eprintln!("--resume needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                svc.resume = Some(v.into());
+            }
+            "--max-wall-secs" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--max-wall-secs needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                svc.max_wall_secs = Some(v);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: idpa-sim service [--seed N] [--quick] \
+                     [--workload closed|open] [--open-arrival-rate R]\n\
+                     \u{20}       [--window-len MIN] [--window-warmup MIN] \
+                     [--snapshot-every MIN] [--snapshot-path P]\n\
+                     \u{20}       [--resume P] [--max-wall-secs S] [MODE + FAULT FLAGS]\n\n  \
+                     --workload MODE         'closed' (the paper's fixed 2000-transmission\n  \
+                     \u{20}                       schedule, the default) or 'open' (Poisson\n  \
+                     \u{20}                       connection-request arrivals per pair)\n  \
+                     --open-arrival-rate R   per-pair arrival rate, requests per minute\n  \
+                     --window-len MIN        steady-state metric window length (0 = off)\n  \
+                     --window-warmup MIN     start-up transient trimmed before window 0\n  \
+                     --snapshot-every MIN    checkpoint every MIN simulated minutes\n  \
+                     --snapshot-path P       checkpoint file (written atomically)\n  \
+                     --resume P              resume from a checkpoint (same scenario flags!)\n  \
+                     --max-wall-secs S       graceful shutdown: stop, checkpoint, report\n  \
+                     \u{20}                       partial aggregates with interrupted=true\n\n\
+                     mode + fault flags are the experiment runner's: --probe-mode,\n\
+                     --node-lifecycle, --settlement, --epoch-length, --history-shards,\n\
+                     --reputation-weight and every --fault-* flag"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown service flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut cfg = if quick {
+        idpa_sim::ScenarioConfig::quick_test(seed)
+    } else {
+        idpa_sim::ScenarioConfig {
+            seed,
+            ..idpa_sim::ScenarioConfig::default()
+        }
+    };
+    for f in cfg_mut {
+        f(&mut cfg);
+    }
+
+    let started = std::time::Instant::now();
+    let result = match run_service(cfg, &svc) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("service run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("# idpa-sim service run (seed = {seed})\n");
+    println!("- simulated connections: {}", result.connections);
+    println!("- delivery ratio: {:.4}", result.delivery_ratio);
+    println!("- avg good payoff: {:.3}", result.avg_good_payoff);
+    println!("- interrupted: {}", result.interrupted);
+    if !result.windowed_delivery_ratio.is_empty() {
+        println!("\nwindow,delivery_ratio,payoff_rate,retry_rate");
+        for (i, ((d, p), r)) in result
+            .windowed_delivery_ratio
+            .iter()
+            .zip(&result.windowed_payoff_rate)
+            .zip(&result.windowed_retry_rate)
+            .enumerate()
+        {
+            println!("{i},{d:.6},{p:.6},{r:.6}");
+        }
+    }
+    eprintln!("[service run done in {:.1?}]", started.elapsed());
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -41,6 +286,12 @@ fn main() -> ExitCode {
         let world = idpa_sim::World::generate(&cfg);
         print!("{}", idpa_netmodel::trace::to_csv(&world.schedules));
         return ExitCode::SUCCESS;
+    }
+
+    // Service mode: `idpa-sim service [FLAGS]` — one scenario, run as a
+    // crash-safe open/closed-workload service with snapshot/resume.
+    if args.first().map(String::as_str) == Some("service") {
+        return service_main(&args[1..]);
     }
     let mut opts = Options::default();
     let mut selected: Vec<String> = Vec::new();

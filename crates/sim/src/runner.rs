@@ -47,8 +47,11 @@ use idpa_payment::validation::{ConnectionEvidence, PathManifest, PathValidator};
 use rand::{Rng, RngExt};
 use std::sync::Arc;
 
-use crate::scenario::{NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig, SettlementMode};
+use crate::scenario::{
+    NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig, SettlementMode, WorkloadMode,
+};
 use crate::slab::{NodeSlab, ReputationStore};
+use crate::window::WindowCollector;
 use crate::world::World;
 
 /// Events of the simulation.
@@ -80,10 +83,18 @@ pub enum Ev {
     /// accrued since the previous boundary is validated, payouts are
     /// netted per account and deposits batch-verified.
     EpochSettle,
+    /// An open-workload connection request (`--workload open`): the pair's
+    /// next Poisson arrival fires, starts a transmission at the current
+    /// time, and schedules the following arrival from the pair's
+    /// position-keyed gap stream.
+    Arrival {
+        /// Index of the pair in the workload.
+        pair: usize,
+    },
 }
 
 /// Probe state in either advancement mode.
-enum ProbeState {
+pub(crate) enum ProbeState {
     Eager(Vec<ProbeEstimator>),
     Lazy(LazyProbeSet),
 }
@@ -255,30 +266,43 @@ pub struct RunResult {
     /// mode). The field name predates the strict-verification fix and is
     /// kept for CSV/report stability.
     pub batch_verify_throughput: f64,
+    /// Per-window `delivered / scheduled` under `--window-len` (empty when
+    /// windowed collection is off). See [`crate::window::WindowCollector`].
+    pub windowed_delivery_ratio: Vec<f64>,
+    /// Per-window gross forwarding benefit per minute (empty when windowed
+    /// collection is off).
+    pub windowed_payoff_rate: Vec<f64>,
+    /// Per-window retries per scheduled transmission (empty when windowed
+    /// collection is off).
+    pub windowed_retry_rate: Vec<f64>,
+    /// Whether the run was cut short by a service-mode shutdown
+    /// (`--max-wall-secs`): the aggregates cover only the simulated time
+    /// actually executed. Always `false` for runs that reached the horizon.
+    pub interrupted: bool,
 }
 
 /// Mutable fault-injection state (present only when faults are active).
-struct FaultRuntime {
-    plan: FaultPlan,
-    delivery: DeliveryTracker,
+pub(crate) struct FaultRuntime {
+    pub(crate) plan: FaultPlan,
+    pub(crate) delivery: DeliveryTracker,
     /// Per-pair §5 evidence accumulators.
-    validators: Vec<PathValidator>,
+    pub(crate) validators: Vec<PathValidator>,
     /// Per-pair bundle keys (shared by manifest and receipts).
-    keys: Vec<[u8; 32]>,
+    pub(crate) keys: Vec<[u8; 32]>,
     /// Per-pair time of the last completed connection (`< 0` = none).
-    last_completion: Vec<f64>,
+    pub(crate) last_completion: Vec<f64>,
     /// Per-initiator private fault ledgers (keyed by initiator node).
     /// Written only under `--fault-response adaptive`; in static mode they
     /// stay pristine and are never handed to the routing view, keeping
     /// static runs bit-identical to the pre-adaptive code path. Under the
     /// lazy lifecycle, ledgers materialize on the first recorded fault.
-    reputation: ReputationStore,
+    pub(crate) reputation: ReputationStore,
     /// Global probe-availability mask, advanced on confirmed failures
     /// (adaptive mode only).
-    probe_invalid: ProbeInvalidation,
+    pub(crate) probe_invalid: ProbeInvalidation,
     /// Epoch-batched settlement accumulation (`Some` only under
     /// `--settlement epoch`; `None` runs the exact per-bundle code path).
-    epoch: Option<EpochState>,
+    pub(crate) epoch: Option<EpochState>,
 }
 
 /// Running state of epoch-batched settlement: per-pair window cursors plus
@@ -287,30 +311,30 @@ struct FaultRuntime {
 /// evidence, the accumulated totals equal a single whole-bundle
 /// validation — epoch mode changes *when* settlement work happens and how
 /// many bank operations it costs, never the economics.
-struct EpochState {
+pub(crate) struct EpochState {
     /// Per-pair count of evidence entries settled in prior windows.
-    cursors: Vec<usize>,
+    pub(crate) cursors: Vec<usize>,
     /// Per-pair manifest-attested instances over all settled windows.
-    expected: Vec<u64>,
+    pub(crate) expected: Vec<u64>,
     /// Per-pair receipt-backed (payable) instances over all settled
     /// windows.
-    validated: Vec<u64>,
+    pub(crate) validated: Vec<u64>,
     /// Union of flagged forwarders across all settled windows.
-    flagged: BTreeSet<usize>,
+    pub(crate) flagged: BTreeSet<usize>,
     /// Boundaries that settled at least one new connection.
-    epochs_settled: u64,
+    pub(crate) epochs_settled: u64,
     /// Netted payout operations: one per account paid per epoch, however
     /// many receipts it earned in the window.
-    payout_ops: u64,
+    pub(crate) payout_ops: u64,
     /// Batched deposit calls: one per window of up to 1024 individually
     /// verified deposits.
-    batch_ops: u64,
+    pub(crate) batch_ops: u64,
     /// Receipts cleared through batched settlement.
-    receipts_netted: u64,
+    pub(crate) receipts_netted: u64,
 }
 
 impl EpochState {
-    fn new(n_pairs: usize) -> Self {
+    pub(crate) fn new(n_pairs: usize) -> Self {
         EpochState {
             cursors: vec![0; n_pairs],
             expected: vec![0; n_pairs],
@@ -395,27 +419,27 @@ enum AttemptFailure {
 
 /// The simulation process: owns all mutable run state.
 pub struct SimulationRun {
-    cfg: ScenarioConfig,
-    world: World,
-    probes: ProbeState,
+    pub(crate) cfg: ScenarioConfig,
+    pub(crate) world: World,
+    pub(crate) probes: ProbeState,
     /// Owner-keyed sharded history store. The event loop is sequential, so
     /// it uses the zero-lock [`HistoryArena::exclusive`] view — the arena
     /// partitions storage without changing values, keeping runs
     /// bit-identical at every `--history-shards` count.
-    histories: HistoryArena,
-    bundles: Vec<BundleAccounting>,
-    trackers: Vec<ReformationTracker>,
-    attacks: Vec<IntersectionAttack>,
-    initiator_costs: Vec<f64>,
+    pub(crate) histories: HistoryArena,
+    pub(crate) bundles: Vec<BundleAccounting>,
+    pub(crate) trackers: Vec<ReformationTracker>,
+    pub(crate) attacks: Vec<IntersectionAttack>,
+    pub(crate) initiator_costs: Vec<f64>,
     quality: EdgeQuality,
-    routing_rng: Xoshiro256StarStar,
+    pub(crate) routing_rng: Xoshiro256StarStar,
     /// The legacy shared probe stream (consumed only under
     /// [`ProbeRngMode::SharedLegacy`]).
-    probe_rng: Xoshiro256StarStar,
+    pub(crate) probe_rng: Xoshiro256StarStar,
     /// Source of position-keyed probe draws under
     /// [`ProbeRngMode::PerNode`].
     streams: StreamFactory,
-    connections: u64,
+    pub(crate) connections: u64,
     /// Routing buffers and memo caches, reused across all transmissions.
     scratch: RouteScratch,
     /// Scratch for legacy neighbor maintenance: stale-neighbor list and a
@@ -424,11 +448,13 @@ pub struct SimulationRun {
     member_mask: Vec<bool>,
     /// Crash overlay: node `v` is unroutable until `crashed_until[v]`.
     /// Empty when fault injection is off (the zero-overhead fast path).
-    crashed_until: Vec<f64>,
+    pub(crate) crashed_until: Vec<f64>,
     /// Fault-injection state; `None` runs the exact fault-free code path.
-    fault: Option<FaultRuntime>,
+    pub(crate) fault: Option<FaultRuntime>,
     /// Idle-eviction sweeper (`Some` only under `--node-lifecycle lazy`).
-    slab: Option<NodeSlab>,
+    pub(crate) slab: Option<NodeSlab>,
+    /// Steady-state windowed metrics (`Some` only under `--window-len`).
+    pub(crate) windows: Option<WindowCollector>,
 }
 
 impl SimulationRun {
@@ -476,7 +502,11 @@ impl SimulationRun {
         let (crashed_until, fault) = if cfg.fault.is_active() {
             let plan = FaultPlan::new(cfg.fault, streams.clone(), cfg.n_nodes, cfg.churn.horizon);
             let mut delivery = DeliveryTracker::new();
-            delivery.record_scheduled(cfg.total_transmissions as u64);
+            // The closed workload's schedule is fixed up front; the open
+            // workload records each arrival as it fires.
+            if cfg.workload == WorkloadMode::Closed {
+                delivery.record_scheduled(cfg.total_transmissions as u64);
+            }
             let keys: Vec<[u8; 32]> = (0..n_pairs)
                 .map(|p| {
                     let mut key = [0u8; 32];
@@ -534,9 +564,21 @@ impl SimulationRun {
             fault,
             slab: (cfg.node_lifecycle == NodeLifecycle::Lazy)
                 .then(|| NodeSlab::new(cfg.evict_idle_ticks, cfg.probe_period)),
+            windows: (cfg.window_len > 0.0)
+                .then(|| WindowCollector::new(cfg.window_len, cfg.window_warmup)),
             cfg,
             world,
         }
+    }
+
+    /// The next exponential arrival gap for `pair` (minutes), drawn from
+    /// the pair's position-keyed stream: draw `k` is a pure function of
+    /// `(master seed, pair, k)`, so the arrival process is deterministic
+    /// and resumes mid-sequence from the per-pair arrival count alone.
+    fn arrival_gap(streams: &StreamFactory, pair: usize, k: u64, rate: f64) -> f64 {
+        let mut rng = streams.stream_indexed2("workload/arrival", pair as u64, k);
+        let u: f64 = rng.random_range(0.0..1.0);
+        -(1.0 - u).ln() / rate
     }
 
     /// Convenience: generate the world, run to the horizon, aggregate.
@@ -586,15 +628,31 @@ impl SimulationRun {
                 }
             }
         }
-        for (pair, wl) in self.world.pairs.iter().enumerate() {
-            for (conn, &time) in wl.times.iter().enumerate() {
-                engine.schedule_at(
-                    SimTime::new(time),
-                    Ev::Transmit {
-                        pair,
-                        conn: conn as u32,
-                    },
-                );
+        match self.cfg.workload {
+            WorkloadMode::Closed => {
+                for (pair, wl) in self.world.pairs.iter().enumerate() {
+                    for (conn, &time) in wl.times.iter().enumerate() {
+                        engine.schedule_at(
+                            SimTime::new(time),
+                            Ev::Transmit {
+                                pair,
+                                conn: conn as u32,
+                            },
+                        );
+                    }
+                }
+            }
+            WorkloadMode::Open => {
+                // Seed each pair's Poisson process: first arrival at
+                // `warmup + gap_0`. Subsequent arrivals are chained by the
+                // Arrival handler, drawing gap `k` at arrival `k - 1`.
+                for pair in 0..self.world.pairs.len() {
+                    let gap = Self::arrival_gap(&self.streams, pair, 0, self.cfg.open_arrival_rate);
+                    let t = self.cfg.warmup + gap;
+                    if t < self.cfg.churn.horizon {
+                        engine.schedule_at(SimTime::new(t), Ev::Arrival { pair });
+                    }
+                }
             }
         }
         // Epoch boundaries land at exact multiples of the epoch length,
@@ -660,6 +718,33 @@ impl SimulationRun {
         }
     }
 
+    /// An open-workload arrival: record the request as connection
+    /// `times.len()` of the pair (its send time is the arrival time, which
+    /// is what delivery latency is measured against), chain the next
+    /// arrival while the pair is under its connection cap, and start the
+    /// transmission immediately.
+    fn handle_arrival(&mut self, engine: &mut Engine<Ev>, now: SimTime, pair: usize) {
+        let conn = self.world.pairs[pair].times.len() as u32;
+        self.world.pairs[pair].times.push(now.minutes());
+        if let Some(fr) = self.fault.as_mut() {
+            fr.delivery.record_scheduled(1);
+        }
+        let count = self.world.pairs[pair].times.len();
+        if count < self.cfg.max_connections as usize {
+            let gap = Self::arrival_gap(
+                &self.streams,
+                pair,
+                count as u64,
+                self.cfg.open_arrival_rate,
+            );
+            let t = now.minutes() + gap;
+            if t < self.cfg.churn.horizon {
+                engine.schedule_at(SimTime::new(t), Ev::Arrival { pair });
+            }
+        }
+        self.handle_transmit(engine, now, pair, conn, 0);
+    }
+
     fn handle_transmit(
         &mut self,
         engine: &mut Engine<Ev>,
@@ -668,6 +753,11 @@ impl SimulationRun {
         conn: u32,
         attempt: u32,
     ) {
+        if attempt == 0 {
+            if let Some(w) = self.windows.as_mut() {
+                w.record_scheduled(now.minutes());
+            }
+        }
         if let (Some(slab), ProbeState::Lazy(set)) = (&mut self.slab, &self.probes) {
             slab.maybe_sweep(set, now.minutes());
         }
@@ -714,6 +804,13 @@ impl SimulationRun {
         self.connections += 1;
         self.initiator_costs[pair] += outcome.initiator_cost;
         self.trackers[pair].record(&outcome.edges(wl.initiator, wl.responder));
+        if let Some(w) = self.windows.as_mut() {
+            w.record_delivered(now.minutes());
+            w.record_payoff(
+                now.minutes(),
+                outcome.forwarders.len() as f64 * self.world.pairs[pair].pf,
+            );
+        }
         self.observe_attack(pair, &outcome.forwarders, now);
         self.bundles[pair].record_connection(&outcome.forwarders, &outcome.hop_costs);
     }
@@ -884,6 +981,9 @@ impl SimulationRun {
                 }
                 if attempt < fr.plan.config().max_retries {
                     fr.delivery.record_retry();
+                    if let Some(w) = self.windows.as_mut() {
+                        w.record_retry(now.minutes());
+                    }
                     // Static: exponential backoff on the same schedule every
                     // retry. Adaptive: once the suspect is suppressed the
                     // next formation excludes it, so escalate straight to
@@ -942,6 +1042,13 @@ impl SimulationRun {
         fr.delivery
             .record_delivered(now.minutes() - scheduled, attempt > 0);
         fr.last_completion[pair] = now.minutes();
+        if let Some(w) = self.windows.as_mut() {
+            w.record_delivered(now.minutes());
+            w.record_payoff(
+                now.minutes(),
+                outcome.forwarders.len() as f64 * self.world.pairs[pair].pf,
+            );
+        }
 
         // §5 evidence: the responder's MAC'd path manifest plus per-hop
         // receipts; a corrupting cheater destroys every receipt strictly
@@ -1229,6 +1336,12 @@ impl SimulationRun {
             ),
         };
 
+        let (windowed_delivery_ratio, windowed_payoff_rate, windowed_retry_rate) =
+            match &self.windows {
+                None => (Vec::new(), Vec::new(), Vec::new()),
+                Some(w) => (w.delivery_ratios(), w.payoff_rates(), w.retry_rates()),
+            };
+
         RunResult {
             avg_good_payoff,
             avg_forwarder_set,
@@ -1276,6 +1389,10 @@ impl SimulationRun {
             settlement_ops_per_epoch,
             epoch_netting_ratio,
             batch_verify_throughput,
+            windowed_delivery_ratio,
+            windowed_payoff_rate,
+            windowed_retry_rate,
+            interrupted: false,
         }
     }
 }
@@ -1346,6 +1463,7 @@ impl Process for SimulationRun {
                     fr.settle_epoch_window();
                 }
             }
+            Ev::Arrival { pair } => self.handle_arrival(engine, now, pair),
         }
         idpa_desim::engine::Control::Continue
     }
@@ -1521,6 +1639,89 @@ mod tests {
         let r = SimulationRun::execute(cfg);
         let baseline = SimulationRun::execute(ScenarioConfig::quick_test(22));
         assert_eq!(r, baseline);
+    }
+
+    #[test]
+    fn open_workload_arrivals_are_deterministic_and_capped() {
+        use crate::scenario::WorkloadMode;
+        let cfg = ScenarioConfig {
+            workload: WorkloadMode::Open,
+            open_arrival_rate: 0.05,
+            ..ScenarioConfig::quick_test(31)
+        };
+        let drive = |cfg: ScenarioConfig| {
+            let world = World::generate(&cfg);
+            let mut run = SimulationRun::new(cfg, world);
+            let mut engine = Engine::new();
+            run.schedule_all(&mut engine);
+            engine.run(&mut run, Some(SimTime::new(cfg.churn.horizon)));
+            run
+        };
+        let a = drive(cfg);
+        let b = drive(cfg);
+        let times_a: Vec<Vec<f64>> = a.world.pairs.iter().map(|p| p.times.clone()).collect();
+        let times_b: Vec<Vec<f64>> = b.world.pairs.iter().map(|p| p.times.clone()).collect();
+        assert_eq!(times_a, times_b, "Poisson arrivals replay from the seed");
+        assert!(a.connections > 0, "the arrival process produced traffic");
+        for p in &a.world.pairs {
+            assert!(p.times.len() <= cfg.max_connections as usize);
+            assert!(p.times.windows(2).all(|t| t[0] <= t[1]));
+            assert!(p
+                .times
+                .iter()
+                .all(|&t| t >= cfg.warmup && t < cfg.churn.horizon));
+        }
+        // The two full runs also aggregate identically.
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn open_workload_tracks_delivery_under_faults() {
+        use crate::scenario::WorkloadMode;
+        let mut cfg = ScenarioConfig {
+            workload: WorkloadMode::Open,
+            open_arrival_rate: 0.05,
+            ..ScenarioConfig::quick_test(33)
+        };
+        cfg.fault.drop_rate = 0.05;
+        cfg.fault.cheat_fraction = 0.2;
+        let r = SimulationRun::execute(cfg);
+        assert!(r.connections > 0);
+        assert!(
+            (0.0..=1.0).contains(&r.delivery_ratio),
+            "open-mode scheduling counts arrivals, not total_transmissions \
+             (got {})",
+            r.delivery_ratio
+        );
+    }
+
+    #[test]
+    fn windowed_metrics_ride_along_without_disturbing_aggregates() {
+        let base = ScenarioConfig::quick_test(32);
+        let windowed = SimulationRun::execute(ScenarioConfig {
+            window_len: 240.0,
+            window_warmup: 60.0,
+            ..base
+        });
+        let baseline = SimulationRun::execute(base);
+        // The collector is pure observation: every aggregate matches the
+        // run without it.
+        assert_eq!(windowed.good_payoffs, baseline.good_payoffs);
+        assert_eq!(windowed.node_totals, baseline.node_totals);
+        assert_eq!(windowed.connections, baseline.connections);
+        assert!(baseline.windowed_delivery_ratio.is_empty());
+        assert!(!windowed.windowed_delivery_ratio.is_empty());
+        // Fault-free transmissions complete at their scheduled instant, so
+        // every active window balances exactly.
+        for (&ratio, &rate) in windowed
+            .windowed_delivery_ratio
+            .iter()
+            .zip(&windowed.windowed_retry_rate)
+        {
+            assert!(ratio == 1.0 || ratio == 0.0, "ratio {ratio}");
+            assert_eq!(rate, 0.0, "no retries without faults");
+        }
+        assert!(windowed.windowed_payoff_rate.iter().any(|&r| r > 0.0));
     }
 
     #[test]

@@ -77,6 +77,23 @@ pub enum CostStorage {
     Sparse,
 }
 
+/// How connection requests arrive over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadMode {
+    /// The historical closed workload: `total_transmissions` send times are
+    /// drawn up front, uniformly in `[warmup, horizon)`, and scheduled as a
+    /// fixed batch. The default — byte-identical to builds without the
+    /// workload layer.
+    Closed,
+    /// Open workload: each (I, R) pair generates connection requests as an
+    /// independent Poisson process of rate
+    /// [`ScenarioConfig::open_arrival_rate`] per minute, starting at
+    /// `warmup` and capped at `max_connections` requests per pair. Arrival
+    /// gaps come from position-keyed streams, so the process is
+    /// deterministic under the master seed and survives snapshot/resume.
+    Open,
+}
+
 /// When payment evidence is settled against the bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SettlementMode {
@@ -187,6 +204,21 @@ pub struct ScenarioConfig {
     /// (`--epoch-length`). Must be positive in epoch mode; ignored
     /// otherwise.
     pub epoch_length: f64,
+    /// How connection requests arrive (`--workload`): the historical fixed
+    /// batch (the default) or a per-pair Poisson arrival process.
+    pub workload: WorkloadMode,
+    /// Poisson arrival rate per pair (requests per minute) under
+    /// [`WorkloadMode::Open`]. Must be positive in open mode; ignored
+    /// otherwise.
+    pub open_arrival_rate: f64,
+    /// Length in minutes of each steady-state metrics window
+    /// (`--window-len`). `0` (the default) disables windowed collection —
+    /// byte-identical to builds without the metrics layer.
+    pub window_len: f64,
+    /// Warm-up trim for windowed metrics (`--window-warmup`): windows only
+    /// start after this time, so transient start-up behaviour does not
+    /// pollute the steady-state series. Ignored when windows are disabled.
+    pub window_warmup: f64,
 }
 
 impl Default for ScenarioConfig {
@@ -238,6 +270,10 @@ impl Default for ScenarioConfig {
             evict_idle_ticks: 64,
             settlement: SettlementMode::PerBundle,
             epoch_length: 240.0,
+            workload: WorkloadMode::Closed,
+            open_arrival_rate: 0.0,
+            window_len: 0.0,
+            window_warmup: 0.0,
         }
     }
 }
@@ -364,6 +400,34 @@ impl ScenarioConfig {
                 format!(
                     "epoch settlement needs a positive epoch length (got {})",
                     self.epoch_length
+                ),
+            )?;
+        }
+        if self.workload == WorkloadMode::Open {
+            ensure(
+                self.open_arrival_rate > 0.0 && self.open_arrival_rate.is_finite(),
+                "open_arrival_rate",
+                format!(
+                    "open workload needs a positive finite arrival rate (got {})",
+                    self.open_arrival_rate
+                ),
+            )?;
+        }
+        ensure(
+            self.window_len >= 0.0 && self.window_len.is_finite(),
+            "window_len",
+            format!(
+                "window length must be finite and nonnegative (got {})",
+                self.window_len
+            ),
+        )?;
+        if self.window_len > 0.0 {
+            ensure(
+                self.window_warmup >= 0.0 && self.window_warmup < self.churn.horizon,
+                "window_warmup",
+                format!(
+                    "window warm-up must lie in [0, horizon) (got {} with horizon {})",
+                    self.window_warmup, self.churn.horizon
                 ),
             )?;
         }
@@ -744,6 +808,55 @@ mod tests {
         ignored
             .validate()
             .expect("length ignored in per-bundle mode");
+    }
+
+    #[test]
+    fn default_workload_is_closed_with_windows_off() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.workload, WorkloadMode::Closed);
+        assert_eq!(cfg.open_arrival_rate, 0.0);
+        assert_eq!(cfg.window_len, 0.0);
+        assert_eq!(cfg.window_warmup, 0.0);
+    }
+
+    #[test]
+    fn open_workload_needs_positive_rate() {
+        let cfg = ScenarioConfig {
+            workload: WorkloadMode::Open,
+            ..ScenarioConfig::default()
+        };
+        assert_rejected(&cfg, "open_arrival_rate", "positive finite arrival rate");
+        let ok = ScenarioConfig {
+            open_arrival_rate: 0.05,
+            ..cfg
+        };
+        ok.validate().expect("open workload with a rate is valid");
+        let inf = ScenarioConfig {
+            open_arrival_rate: f64::INFINITY,
+            ..cfg
+        };
+        assert_rejected(&inf, "open_arrival_rate", "positive finite arrival rate");
+    }
+
+    #[test]
+    fn window_bounds_are_validated() {
+        let bad_len = ScenarioConfig {
+            window_len: -1.0,
+            ..ScenarioConfig::default()
+        };
+        assert_rejected(&bad_len, "window_len", "finite and nonnegative");
+        let mut late = ScenarioConfig::default();
+        late.window_len = 60.0;
+        late.window_warmup = late.churn.horizon;
+        assert_rejected(&late, "window_warmup", "[0, horizon)");
+        // Warm-up is ignored while windows are disabled.
+        let ignored = ScenarioConfig {
+            window_warmup: 1e12,
+            ..ScenarioConfig::default()
+        };
+        ignored
+            .validate()
+            .expect("warm-up ignored with windows off");
     }
 
     #[test]

@@ -101,7 +101,35 @@ impl ReputationStore {
             }
         }
     }
+
+    /// Snapshot export: `(initiator, ledger entries)` for every
+    /// materialized ledger, sorted by initiator index. Dense stores export
+    /// all `n` ledgers (empty ones included, so the restored layout is
+    /// identical); sparse stores export exactly the materialized set, so
+    /// residency statistics survive a resume.
+    #[must_use]
+    pub fn snapshot_ledgers(&self) -> Vec<(usize, LedgerEntries)> {
+        match self {
+            ReputationStore::Dense(v) => v
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (i, l.snapshot_entries()))
+                .collect(),
+            ReputationStore::Sparse { ledgers, .. } => {
+                let mut out: Vec<(usize, LedgerEntries)> = ledgers
+                    .iter()
+                    .map(|(&i, l)| (i, l.snapshot_entries()))
+                    .collect();
+                out.sort_unstable_by_key(|e| e.0);
+                out
+            }
+        }
+    }
 }
+
+/// One ledger's snapshot rows: `(relay, drops, timeouts, flagged)` per
+/// recorded relay — the shape [`EdgeReputation::snapshot_entries`] exports.
+pub type LedgerEntries = Vec<(usize, u32, u32, bool)>;
 
 /// The idle-eviction sweep driver of the lazy lifecycle.
 ///
@@ -133,6 +161,20 @@ impl NodeSlab {
             sweep_every: (evict_idle_ticks / 2).max(1),
             last_sweep_tick: 0,
         }
+    }
+
+    /// Snapshot export: the tick of the last sweep that ran. This is the
+    /// slab's only mutable state — the cadence parameters are rebuilt from
+    /// configuration on resume.
+    #[must_use]
+    pub fn last_sweep_tick(&self) -> u64 {
+        self.last_sweep_tick
+    }
+
+    /// Restores the last-sweep tick from a snapshot, so the post-resume
+    /// sweep cadence continues exactly where the interrupted run left off.
+    pub fn set_last_sweep_tick(&mut self, tick: u64) {
+        self.last_sweep_tick = tick;
     }
 
     /// Runs an eviction sweep over `probes` if one is due at `now`.

@@ -1,0 +1,251 @@
+//! Windowed steady-state metrics.
+//!
+//! Long service-mode runs (and especially open-workload runs, where the
+//! Poisson arrival process keeps traffic flowing for the whole horizon)
+//! need more than end-of-run aggregates: a retry storm in hour 20 is
+//! invisible in a 24-hour mean. [`WindowCollector`] buckets the run into
+//! fixed windows of `window_len` minutes starting at `window_warmup`
+//! (start-up transients before the warm-up are trimmed entirely) and
+//! reports three per-window series alongside the aggregate
+//! [`crate::runner::RunResult`]:
+//!
+//! * **delivery ratio** — connections completed in the window per
+//!   transmission first scheduled in it (deliveries of earlier windows'
+//!   traffic can push a window above 1; the series is a flow balance, not
+//!   a cohort ratio),
+//! * **payoff rate** — gross forwarding benefit (`hops · P_f` per
+//!   completed connection) accrued per minute,
+//! * **retry rate** — retry attempts per transmission first scheduled in
+//!   the window.
+//!
+//! The collector is ordinary trajectory state: it is serialized into
+//! service-mode snapshots bucket by bucket (the `f64` accumulator by bit
+//! pattern), so a resumed run reports the same series as an uninterrupted
+//! one.
+
+/// One window's accumulators.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowAcc {
+    /// Transmissions first scheduled in this window.
+    pub scheduled: u64,
+    /// Connections completed in this window.
+    pub delivered: u64,
+    /// Retry attempts recorded in this window.
+    pub retries: u64,
+    /// Gross forwarding benefit accrued in this window.
+    pub payoff: f64,
+}
+
+/// Buckets run events into fixed steady-state windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowCollector {
+    len: f64,
+    warmup: f64,
+    windows: Vec<WindowAcc>,
+}
+
+impl WindowCollector {
+    /// A collector with windows of `len` minutes starting at `warmup`.
+    ///
+    /// # Panics
+    /// If `len` is not strictly positive or `warmup` is negative — callers
+    /// gate construction on a validated [`crate::scenario::ScenarioConfig`].
+    #[must_use]
+    pub fn new(len: f64, warmup: f64) -> Self {
+        assert!(len > 0.0, "window length must be positive");
+        assert!(warmup >= 0.0, "window warm-up must be nonnegative");
+        WindowCollector {
+            len,
+            warmup,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The window covering time `t`, or `None` inside the warm-up trim.
+    fn index(&self, t: f64) -> Option<usize> {
+        if t < self.warmup {
+            return None;
+        }
+        Some(((t - self.warmup) / self.len) as usize)
+    }
+
+    /// The accumulator for time `t`, growing the series as time advances.
+    fn acc(&mut self, t: f64) -> Option<&mut WindowAcc> {
+        let i = self.index(t)?;
+        if i >= self.windows.len() {
+            self.windows.resize(i + 1, WindowAcc::default());
+        }
+        Some(&mut self.windows[i])
+    }
+
+    /// Records a transmission first scheduled at `t`.
+    pub fn record_scheduled(&mut self, t: f64) {
+        if let Some(w) = self.acc(t) {
+            w.scheduled += 1;
+        }
+    }
+
+    /// Records a connection completed at `t`.
+    pub fn record_delivered(&mut self, t: f64) {
+        if let Some(w) = self.acc(t) {
+            w.delivered += 1;
+        }
+    }
+
+    /// Records a retry attempt at `t`.
+    pub fn record_retry(&mut self, t: f64) {
+        if let Some(w) = self.acc(t) {
+            w.retries += 1;
+        }
+    }
+
+    /// Records gross forwarding benefit accrued at `t`.
+    pub fn record_payoff(&mut self, t: f64, amount: f64) {
+        if let Some(w) = self.acc(t) {
+            w.payoff += amount;
+        }
+    }
+
+    /// The windows accumulated so far.
+    #[must_use]
+    pub fn windows(&self) -> &[WindowAcc] {
+        &self.windows
+    }
+
+    /// Per-window `delivered / scheduled` (0 for an idle window).
+    #[must_use]
+    pub fn delivery_ratios(&self) -> Vec<f64> {
+        self.windows
+            .iter()
+            .map(|w| {
+                if w.scheduled == 0 {
+                    0.0
+                } else {
+                    w.delivered as f64 / w.scheduled as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Per-window gross forwarding benefit per minute.
+    #[must_use]
+    pub fn payoff_rates(&self) -> Vec<f64> {
+        self.windows.iter().map(|w| w.payoff / self.len).collect()
+    }
+
+    /// Per-window `retries / scheduled` (0 for an idle window).
+    #[must_use]
+    pub fn retry_rates(&self) -> Vec<f64> {
+        self.windows
+            .iter()
+            .map(|w| {
+                if w.scheduled == 0 {
+                    0.0
+                } else {
+                    w.retries as f64 / w.scheduled as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot export: one `(scheduled, delivered, retries, payoff bits)`
+    /// row per window. The geometry (`len`, `warmup`) is configuration and
+    /// is rebuilt on resume, not exported.
+    #[must_use]
+    pub fn snapshot_state(&self) -> Vec<(u64, u64, u64, u64)> {
+        self.windows
+            .iter()
+            .map(|w| (w.scheduled, w.delivered, w.retries, w.payoff.to_bits()))
+            .collect()
+    }
+
+    /// Rebuilds a collector from a [`WindowCollector::snapshot_state`]
+    /// export. Callers must have validated the payoff bit patterns (finite)
+    /// — the snapshot decoder does.
+    #[must_use]
+    pub fn from_snapshot(len: f64, warmup: f64, state: &[(u64, u64, u64, u64)]) -> Self {
+        WindowCollector {
+            len,
+            warmup,
+            windows: state
+                .iter()
+                .map(|&(scheduled, delivered, retries, payoff)| WindowAcc {
+                    scheduled,
+                    delivered,
+                    retries,
+                    payoff: f64::from_bits(payoff),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_trim_boundaries_are_half_open() {
+        let mut c = WindowCollector::new(10.0, 60.0);
+        c.record_scheduled(59.999); // trimmed
+        c.record_scheduled(60.0); // first instant of window 0
+        c.record_scheduled(69.999); // still window 0
+        c.record_scheduled(70.0); // first instant of window 1
+        assert_eq!(c.windows().len(), 2);
+        assert_eq!(c.windows()[0].scheduled, 2);
+        assert_eq!(c.windows()[1].scheduled, 1);
+    }
+
+    #[test]
+    fn windows_roll_over_and_backfill_idle_gaps() {
+        let mut c = WindowCollector::new(5.0, 0.0);
+        c.record_delivered(1.0);
+        c.record_delivered(27.5); // window 5: windows 1..=4 are idle
+        assert_eq!(c.windows().len(), 6);
+        assert_eq!(c.windows()[0].delivered, 1);
+        assert!(c.windows()[1..5].iter().all(|w| *w == WindowAcc::default()));
+        assert_eq!(c.windows()[5].delivered, 1);
+        // Idle windows report 0 ratios, not NaN.
+        assert_eq!(c.delivery_ratios()[2], 0.0);
+        assert_eq!(c.retry_rates()[2], 0.0);
+    }
+
+    #[test]
+    fn rates_divide_by_the_right_denominator() {
+        let mut c = WindowCollector::new(4.0, 0.0);
+        c.record_scheduled(0.5);
+        c.record_scheduled(1.0);
+        c.record_delivered(2.0);
+        c.record_retry(3.0);
+        c.record_retry(3.5);
+        c.record_payoff(1.5, 100.0);
+        assert_eq!(c.delivery_ratios(), vec![0.5]);
+        assert_eq!(c.retry_rates(), vec![1.0]);
+        assert_eq!(c.payoff_rates(), vec![25.0]);
+    }
+
+    #[test]
+    fn deliveries_can_exceed_a_windows_own_schedule() {
+        // Flow balance, not cohort tracking: traffic scheduled in window 0
+        // may complete in window 1.
+        let mut c = WindowCollector::new(5.0, 0.0);
+        c.record_scheduled(4.0);
+        c.record_scheduled(6.0);
+        c.record_delivered(7.0);
+        c.record_delivered(8.0);
+        assert_eq!(c.delivery_ratios(), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let mut c = WindowCollector::new(10.0, 5.0);
+        c.record_scheduled(6.0);
+        c.record_delivered(7.0);
+        c.record_retry(16.0);
+        c.record_payoff(7.0, 123.456789);
+        let restored = WindowCollector::from_snapshot(10.0, 5.0, &c.snapshot_state());
+        assert_eq!(c, restored);
+        assert_eq!(c.payoff_rates(), restored.payoff_rates());
+    }
+}

@@ -16,7 +16,7 @@ use idpa_overlay::{node::assign_roles, NodeId, NodeKind, Topology};
 use rand::RngExt;
 
 use crate::error::SimError;
-use crate::scenario::{CostStorage, ScenarioConfig};
+use crate::scenario::{CostStorage, ScenarioConfig, WorkloadMode};
 
 /// One (I, R) pair's workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +115,12 @@ impl World {
     /// Samples the (I, R) pairs and assigns each of the
     /// `total_transmissions` messages to a random pair (subject to
     /// `max_connections`), at a uniform time in `[warmup, horizon]`.
+    ///
+    /// Under [`WorkloadMode::Open`] the pair sampling (initiator,
+    /// responder, `P_f`) is bit-identical to the closed mode — the same
+    /// draws from the same stream — but the time-assignment loop is
+    /// skipped entirely: send times are generated live by the runner's
+    /// Poisson arrival process, so every `times` vector stays empty.
     fn generate_workload(
         cfg: &ScenarioConfig,
         rng: &mut Xoshiro256StarStar,
@@ -137,6 +143,10 @@ impl World {
                 }
             })
             .collect();
+
+        if cfg.workload == WorkloadMode::Open {
+            return Ok(pairs);
+        }
 
         let mut assigned = 0usize;
         let mut attempts = 0usize;
@@ -263,6 +273,28 @@ mod tests {
                 .iter()
                 .all(|&t| t >= cfg.warmup && t < cfg.churn.horizon));
         }
+    }
+
+    #[test]
+    fn open_workload_keeps_pair_sampling_and_skips_times() {
+        let closed = ScenarioConfig::quick_test(11);
+        let open = ScenarioConfig {
+            workload: WorkloadMode::Open,
+            open_arrival_rate: 0.05,
+            ..closed
+        };
+        let wc = World::generate(&closed);
+        let wo = World::generate(&open);
+        assert_eq!(wc.pairs.len(), wo.pairs.len());
+        for (c, o) in wc.pairs.iter().zip(&wo.pairs) {
+            assert_eq!(c.initiator, o.initiator, "same pair draws either way");
+            assert_eq!(c.responder, o.responder);
+            assert_eq!(c.pf.to_bits(), o.pf.to_bits());
+            assert!(o.times.is_empty(), "open mode assigns no times up front");
+        }
+        // Everything downstream of the workload stream is untouched too.
+        assert_eq!(wc.topology, wo.topology);
+        assert_eq!(wc.kinds, wo.kinds);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 # Bench-trajectory gate: proves every bench binary still runs, then does
 # short timed passes of the gated benches (history_shard via
 # IDPA_HS_QUICK=1, probe_maintenance via IDPA_PM_QUICK=1, node_lifecycle
-# via IDPA_NL_QUICK=1, settlement via IDPA_ST_QUICK=1) and fails if any
+# via IDPA_NL_QUICK=1, settlement via IDPA_ST_QUICK=1, service_mode via
+# IDPA_SVC_QUICK=1) and fails if any
 # freshly measured point regresses
 # more than IDPA_BENCH_GATE_PCT percent (default 20) against the best
 # value that key has ever had in a committed BENCH_*.json report.
@@ -24,10 +25,12 @@ fresh=""
 fresh_pm=""
 fresh_nl=""
 fresh_st=""
+fresh_svc=""
 trap 'status=$?; [ -n "$fresh" ] && rm -f "$fresh"
       [ -n "$fresh_pm" ] && rm -f "$fresh_pm"
       [ -n "$fresh_nl" ] && rm -f "$fresh_nl"
       [ -n "$fresh_st" ] && rm -f "$fresh_st"
+      [ -n "$fresh_svc" ] && rm -f "$fresh_svc"
       if [ "$status" -ne 0 ]; then
         echo "bench gate: FAILED in stage: $stage (exit $status)" >&2
       fi' EXIT
@@ -45,6 +48,7 @@ fresh="$(mktemp)"
 fresh_pm="$(mktemp)"
 fresh_nl="$(mktemp)"
 fresh_st="$(mktemp)"
+fresh_svc="$(mktemp)"
 IDPA_HS_QUICK=1 IDPA_BENCH_OUT="$fresh" \
     cargo bench --offline -p idpa-bench --bench history_shard
 
@@ -65,6 +69,14 @@ stage="timed settlement pass"
 IDPA_ST_QUICK=1 IDPA_BENCH_OUT="$fresh_st" \
     cargo bench --offline -p idpa-bench --bench settlement
 cat "$fresh_st" >> "$fresh"
+
+# The service_mode pass also asserts (inside the binary) that the chunked
+# service loop stays within 25% of the straight-line runner and that
+# checkpointed + resumed runs match the uninterrupted result exactly.
+stage="timed service_mode pass"
+IDPA_SVC_QUICK=1 IDPA_BENCH_OUT="$fresh_svc" \
+    cargo bench --offline -p idpa-bench --bench service_mode
+cat "$fresh_svc" >> "$fresh"
 
 # 3. Compare each fresh point against the best committed value for the
 # same key across every BENCH_*.json in the repo (flat "name": ns maps).

@@ -66,5 +66,26 @@ stage="scale smoke (IDPA_SCALE_SMOKE=1 scale-lifecycle experiment)"
 IDPA_SCALE_SMOKE=1 cargo run --release --offline -p idpa-sim -- scale-lifecycle \
     --quick --node-lifecycle lazy --out target/verify-results
 
+# Service-mode smoke: a short open-workload run through the real CLI,
+# interrupted at t=0 by a zero wall-clock budget (which writes a final
+# checkpoint), then resumed from that checkpoint — the resumed output must
+# be line-identical to the uninterrupted run's, pinning the
+# snapshot/resume determinism contract end to end. IDPA_SVC_SMOKE=1
+# forces the quick tier inside the binary.
+stage="service smoke (IDPA_SVC_SMOKE=1 open run -> snapshot -> resume)"
+svc_dir="target/verify-service"
+mkdir -p "$svc_dir"
+svc_flags=(--seed 11 --workload open --open-arrival-rate 0.02
+           --window-len 120 --window-warmup 120)
+IDPA_SVC_SMOKE=1 cargo run --release --offline -p idpa-sim -- service \
+    "${svc_flags[@]}" > "$svc_dir/uninterrupted.txt"
+IDPA_SVC_SMOKE=1 cargo run --release --offline -p idpa-sim -- service \
+    "${svc_flags[@]}" --max-wall-secs 0 \
+    --snapshot-path "$svc_dir/run.snap" > /dev/null
+IDPA_SVC_SMOKE=1 cargo run --release --offline -p idpa-sim -- service \
+    "${svc_flags[@]}" --resume "$svc_dir/run.snap" > "$svc_dir/resumed.txt"
+diff "$svc_dir/uninterrupted.txt" "$svc_dir/resumed.txt"
+echo "service smoke: resumed run is line-identical to the uninterrupted run"
+
 stage="done"
 echo "verify: OK"
