@@ -1,0 +1,141 @@
+//! Adversary-zoo overhead: what does each strategy class (and its defense)
+//! cost the runner?
+//!
+//! Four kernels at paper scale, one scenario seed:
+//!
+//! 1. **baseline** — the adversary layer disabled (all-zero rates), the
+//!    PR 8 runner path;
+//! 2. **free riders** — 20% of nodes ghosting forwarding duty under the
+//!    adaptive response;
+//! 3. **whitewash** — 20% of nodes rejoining on schedule with identity-age
+//!    discounting armed;
+//! 4. **cliques / cliques+check** — two 4-cliques forging phantom
+//!    confirmations, with the cross-confirmation defense off and on.
+//!
+//! The in-binary gate: the clique cross-check must cost **≤ 10%** over the
+//! no-cross-check arm — the defense is a per-manifest-hop membership test
+//! against the observed-forwarder list, not a second validation pass.
+//! Disabled-layer overhead is pinned structurally instead (the zero-rate
+//! fingerprint tests prove the plan is never even constructed).
+//!
+//! `IDPA_AZ_QUICK=1` drops to quick scale for the CI bench gate; quick and
+//! full tiers use distinct kernel names so their points never gate against
+//! each other.
+
+use idpa_bench::harness::{smoke_mode, Harness};
+use idpa_desim::{AdversaryConfig, FaultConfig, FaultResponse};
+use idpa_sim::{ScenarioConfig, SimulationRun};
+
+fn base_cfg(transmissions: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        total_transmissions: transmissions,
+        adversary_fraction: 0.2,
+        seed: 0xa20,
+        // The default per-pair cap (40 x 100 pairs) cannot absorb the
+        // full tier's 8k transmissions; raise it so every tier validates.
+        max_connections: 160,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn main() {
+    let quick = std::env::var("IDPA_AZ_QUICK").is_ok_and(|v| v == "1");
+    let (transmissions, tag) = if smoke_mode() {
+        (400, "t400")
+    } else if quick {
+        (2_000, "t2k")
+    } else {
+        (8_000, "t8k")
+    };
+    let base = base_cfg(transmissions);
+
+    let free_riders = ScenarioConfig {
+        adversary: AdversaryConfig {
+            free_rider_fraction: 0.2,
+            ..AdversaryConfig::default()
+        },
+        fault: FaultConfig {
+            response: FaultResponse::Adaptive,
+            ..FaultConfig::default()
+        },
+        ..base
+    };
+    let whitewash = ScenarioConfig {
+        adversary: AdversaryConfig {
+            whitewash_fraction: 0.2,
+            whitewash_interval: 240.0,
+            whitewash_age_discount: true,
+            reputation_maturity: 120.0,
+            ..AdversaryConfig::default()
+        },
+        reputation_weight: 0.5,
+        weights: (0.25, 0.25),
+        ..base
+    };
+    let cliques = |cross_check: bool| ScenarioConfig {
+        adversary: AdversaryConfig {
+            clique_count: 2,
+            clique_size: 4,
+            clique_forge_rate: 1.0,
+            clique_cross_check: cross_check,
+            ..AdversaryConfig::default()
+        },
+        ..base
+    };
+
+    // Sanity before timing: the forgery fires, and the armed cross-check
+    // flags what the unarmed run pays out.
+    let unarmed = SimulationRun::execute(cliques(false));
+    let armed = SimulationRun::execute(cliques(true));
+    assert!(unarmed.clique_phantom_instances > 0, "forgery must fire");
+    assert_eq!(unarmed.clique_phantom_flagged, 0);
+    assert!(armed.clique_phantom_flagged as f64 >= 0.9 * armed.clique_phantom_instances as f64);
+
+    let mut h = Harness::new();
+    h.bench(&format!("adversary_zoo/baseline_{tag}"), || {
+        SimulationRun::execute(base).connections
+    });
+    h.bench(&format!("adversary_zoo/free_riders_{tag}"), || {
+        SimulationRun::execute(free_riders).connections
+    });
+    h.bench(&format!("adversary_zoo/whitewash_{tag}"), || {
+        SimulationRun::execute(whitewash).connections
+    });
+    h.bench(&format!("adversary_zoo/cliques_{tag}"), || {
+        SimulationRun::execute(cliques(false)).connections
+    });
+    h.bench(&format!("adversary_zoo/cliques_check_{tag}"), || {
+        SimulationRun::execute(cliques(true)).connections
+    });
+
+    if !smoke_mode() {
+        let ns_of = |suffix: &str| {
+            h.measurements()
+                .iter()
+                .find(|m| m.name.ends_with(suffix))
+                .expect("kernel measured")
+                .ns_per_iter
+        };
+        let baseline_ns = ns_of(&format!("baseline_{tag}"));
+        let cliques_ns = ns_of(&format!("cliques_{tag}"));
+        let check_ns = ns_of(&format!("cliques_check_{tag}"));
+        println!(
+            "adversary_zoo/{tag}: cliques {:+.1}% over baseline; \
+             cross-check {:+.1}% over cliques; \
+             {} phantoms injected, {} flagged when armed",
+            (cliques_ns / baseline_ns - 1.0) * 100.0,
+            (check_ns / cliques_ns - 1.0) * 100.0,
+            armed.clique_phantom_instances,
+            armed.clique_phantom_flagged,
+        );
+        // The gate: cross-confirmation is a membership test per manifest
+        // hop, not a second validation pass. The margin absorbs timer
+        // noise on a shared CI box.
+        assert!(
+            check_ns / cliques_ns < 1.10,
+            "clique cross-check overhead collapsed: {:.2}x the unarmed arm",
+            check_ns / cliques_ns
+        );
+    }
+    h.write_json_default().expect("write bench report");
+}

@@ -30,6 +30,12 @@ struct RelayFaults {
     flagged: bool,
 }
 
+/// Retired-archive snapshot rows, the shape
+/// [`EdgeReputation::snapshot_retired`] exports: `(relay, [(drops,
+/// timeouts, flagged) per shed identity, oldest first])`, sorted by relay
+/// index.
+pub type RetiredSnapshot = Vec<(usize, Vec<(u32, u32, bool)>)>;
+
 /// One initiator's private fault ledger over all potential relays.
 ///
 /// Scores decay harmonically with the observed fault count — one strike
@@ -44,10 +50,18 @@ struct RelayFaults {
 /// size. Entries appear only on a recorded fault or flag, so equality over
 /// the sparse map coincides with value equality of the dense ledger it
 /// replaced.
+/// Whitewash semantics: when a relay sheds its identity and rejoins
+/// fresh, the ledger's *active* entry for it is archived into a retired
+/// list, not destroyed — the new identity reads clean (ρ = 1, nothing
+/// suppressed), but the evicted identity's evidence survives for audit
+/// and is carried bit-identically through snapshot/resume.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeReputation {
     n_nodes: usize,
     observed: std::collections::HashMap<usize, RelayFaults>,
+    /// Archived observations of `v`'s shed identities, oldest first.
+    /// Empty for every relay until a whitewash is recorded.
+    retired: std::collections::HashMap<usize, Vec<RelayFaults>>,
 }
 
 impl EdgeReputation {
@@ -57,6 +71,7 @@ impl EdgeReputation {
         EdgeReputation {
             n_nodes,
             observed: std::collections::HashMap::new(),
+            retired: std::collections::HashMap::new(),
         }
     }
 
@@ -134,6 +149,45 @@ impl EdgeReputation {
         f.flagged || f.drops + f.timeouts >= SUPPRESSION_FAULTS
     }
 
+    /// Archives the active entry for `v` — the whitewash: `v` rejoined
+    /// under a fresh identity, so its live reputation resets to clean while
+    /// the shed identity's evidence moves to the retired list. Returns
+    /// whether an entry was actually archived (a relay this initiator
+    /// never observed has nothing to shed). A no-op on a clean entry, so
+    /// sparse ledgers never materialize state for it.
+    pub fn whitewash(&mut self, v: NodeId) -> bool {
+        assert!(v.index() < self.n_nodes, "relay {v} out of range");
+        match self.observed.remove(&v.index()) {
+            Some(entry) => {
+                self.retired.entry(v.index()).or_default().push(entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of shed identities archived for `v`.
+    #[must_use]
+    pub fn retired_generations(&self, v: NodeId) -> usize {
+        self.retired.get(&v.index()).map_or(0, std::vec::Vec::len)
+    }
+
+    /// Total faults (drops + timeouts) across `v`'s shed identities.
+    #[must_use]
+    pub fn retired_fault_count(&self, v: NodeId) -> u32 {
+        self.retired
+            .get(&v.index())
+            .map_or(0, |gens| gens.iter().map(|f| f.drops + f.timeouts).sum())
+    }
+
+    /// Whether any shed identity of `v` carried a validator cheat flag.
+    #[must_use]
+    pub fn retired_flagged(&self, v: NodeId) -> bool {
+        self.retired
+            .get(&v.index())
+            .is_some_and(|gens| gens.iter().any(|f| f.flagged))
+    }
+
     /// Number of relays with at least one observation or flag.
     #[must_use]
     pub fn observed_nodes(&self) -> usize {
@@ -147,8 +201,18 @@ impl EdgeReputation {
     /// only — a clean ledger reports zero).
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
-        self.observed.capacity()
-            * (std::mem::size_of::<RelayFaults>() + std::mem::size_of::<usize>())
+        // Entries and retired generations are counted by length, not
+        // allocated capacity: the estimate must be a pure function of the
+        // ledger's *value* so it survives snapshot/resume bit-identically.
+        // Capacity is not value-pure once whitewashing can remove active
+        // entries — a live map that grew past its current population and a
+        // freshly restored one hold the same value at different capacities.
+        self.observed.len() * (std::mem::size_of::<RelayFaults>() + std::mem::size_of::<usize>())
+            + self
+                .retired
+                .values()
+                .map(|gens| gens.len() * std::mem::size_of::<RelayFaults>())
+                .sum::<usize>()
     }
 
     /// Snapshot export: `(relay, drops, timeouts, flagged)` for every relay
@@ -165,13 +229,50 @@ impl EdgeReputation {
         entries
     }
 
+    /// Snapshot export of the retired archive:
+    /// `(relay, [(drops, timeouts, flagged) per shed identity, oldest
+    /// first])`, sorted by relay index.
+    #[must_use]
+    pub fn snapshot_retired(&self) -> RetiredSnapshot {
+        let mut entries: RetiredSnapshot = self
+            .retired
+            .iter()
+            .map(|(&v, gens)| {
+                (
+                    v,
+                    gens.iter()
+                        .map(|f| (f.drops, f.timeouts, f.flagged))
+                        .collect(),
+                )
+            })
+            .collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        entries
+    }
+
+    /// Restores the retired archive from a
+    /// [`EdgeReputation::snapshot_retired`] export. Callers must have
+    /// validated `v < n_nodes` for every entry (the snapshot decoder does).
+    pub fn restore_retired(&mut self, entries: &RetiredSnapshot) {
+        for (v, gens) in entries {
+            self.retired.insert(
+                *v,
+                gens.iter()
+                    .map(|&(drops, timeouts, flagged)| RelayFaults {
+                        drops,
+                        timeouts,
+                        flagged,
+                    })
+                    .collect(),
+            );
+        }
+    }
+
     /// Rebuilds a ledger from a [`EdgeReputation::snapshot_entries`] export.
     /// Callers must have validated `v < n_nodes` for every entry (the
-    /// snapshot decoder does). Entries are inserted one at a time into a
-    /// fresh map, so the restored map's capacity — which feeds
-    /// [`EdgeReputation::approx_bytes`] and through it the run's memory
-    /// metrics — depends only on the distinct entry count, exactly as it
-    /// did in the snapshotted run.
+    /// snapshot decoder does). [`EdgeReputation::approx_bytes`] — which
+    /// feeds the run's memory metrics — is a pure function of the entries,
+    /// so the restored ledger reports the snapshotted run's bytes exactly.
     #[must_use]
     pub fn from_snapshot(n_nodes: usize, entries: &[(usize, u32, u32, bool)]) -> Self {
         let mut rep = EdgeReputation::new(n_nodes);
@@ -215,6 +316,51 @@ mod tests {
         assert!(rep.is_suppressed(NodeId(1)), "two strikes suppress");
         assert_eq!(rep.fault_count(NodeId(1)), 2);
         assert_eq!(rep.observed_nodes(), 1);
+    }
+
+    #[test]
+    fn whitewash_resets_active_entry_but_archives_evidence() {
+        let mut rep = EdgeReputation::new(4);
+        rep.record_drop(NodeId(1));
+        rep.record_timeout(NodeId(1));
+        rep.flag_cheater(NodeId(1));
+        assert!(rep.is_suppressed(NodeId(1)));
+
+        assert!(rep.whitewash(NodeId(1)), "an observed entry is archived");
+        // The fresh identity reads clean…
+        assert_eq!(rep.score(NodeId(1)), 1.0);
+        assert!(!rep.is_suppressed(NodeId(1)));
+        assert_eq!(rep.fault_count(NodeId(1)), 0);
+        // …but the shed identity's evidence survives.
+        assert_eq!(rep.retired_generations(NodeId(1)), 1);
+        assert_eq!(rep.retired_fault_count(NodeId(1)), 2);
+        assert!(rep.retired_flagged(NodeId(1)));
+
+        // Whitewashing a never-observed relay archives nothing.
+        assert!(!rep.whitewash(NodeId(2)));
+        assert_eq!(rep.retired_generations(NodeId(2)), 0);
+
+        // A second strike-and-wash stacks a second generation.
+        rep.record_drop(NodeId(1));
+        assert!(rep.whitewash(NodeId(1)));
+        assert_eq!(rep.retired_generations(NodeId(1)), 2);
+        assert_eq!(rep.retired_fault_count(NodeId(1)), 3);
+    }
+
+    #[test]
+    fn retired_archive_round_trips_through_snapshot() {
+        let mut rep = EdgeReputation::new(5);
+        rep.record_drop(NodeId(3));
+        rep.whitewash(NodeId(3));
+        rep.record_timeout(NodeId(3));
+        rep.flag_cheater(NodeId(0));
+        rep.whitewash(NodeId(0));
+
+        let mut restored = EdgeReputation::from_snapshot(5, &rep.snapshot_entries());
+        restored.restore_retired(&rep.snapshot_retired());
+        assert_eq!(rep, restored);
+        assert_eq!(restored.retired_fault_count(NodeId(3)), 1);
+        assert!(restored.retired_flagged(NodeId(0)));
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! * deterministic fault injection ([`fault::FaultPlan`]): crashes, drops,
 //!   delays, confirmation cheating and bank outages, all drawn by position
 //!   from the master seed so faulty runs replicate bit-identically,
+//! * deterministic adversary strategies
+//!   ([`adversary_plan::AdversaryPlan`]): free riders, whitewashers and
+//!   colluding cliques, derived from position-keyed streams like the
+//!   fault plan,
 //! * a versioned, checksummed snapshot codec ([`codec`]) with typed decode
 //!   errors, the byte-level substrate for `idpa-sim`'s crash-safe
 //!   checkpoint/resume,
@@ -30,6 +34,7 @@
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used)]
 
+pub mod adversary_plan;
 pub mod calendar;
 pub mod codec;
 pub mod engine;
@@ -39,6 +44,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use adversary_plan::{AdversaryConfig, AdversaryPlan};
 pub use calendar::{Calendar, EventEntry, EventId};
 pub use codec::CodecError;
 pub use engine::{Engine, Process, StopReason};

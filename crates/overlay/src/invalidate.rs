@@ -51,6 +51,14 @@ impl ProbeInvalidation {
         }
     }
 
+    /// Clears `v`'s distrust window entirely. The one exception to
+    /// "horizons only extend": a whitewash rejoin — the distrust was
+    /// earned by the identity the node just shed, so the fresh identity
+    /// starts untracked, exactly like a genuinely new node.
+    pub fn forgive(&mut self, v: usize) {
+        self.until[v] = 0.0;
+    }
+
     /// Whether `v`'s probe estimate is currently masked.
     #[must_use]
     pub fn masked(&self, v: usize, now: f64) -> bool {
@@ -115,5 +123,18 @@ mod tests {
         assert!((inv.horizon(0) - 50.0).abs() < f64::EPSILON);
         inv.invalidate(0, 80.0);
         assert!((inv.horizon(0) - 80.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn forgive_clears_the_window_and_later_distrust_restarts() {
+        let mut inv = ProbeInvalidation::new(2);
+        inv.invalidate(0, 50.0);
+        inv.forgive(0);
+        assert!(!inv.masked(0, 0.0));
+        assert_eq!(inv.horizon(0), 0.0);
+        assert_eq!(inv.invalidated_nodes(), 0);
+        // The fresh identity can earn distrust again from scratch.
+        inv.invalidate(0, 10.0);
+        assert!((inv.horizon(0) - 10.0).abs() < f64::EPSILON);
     }
 }

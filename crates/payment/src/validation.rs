@@ -83,6 +83,15 @@ pub struct ConnectionEvidence {
     pub manifest: PathManifest,
     /// Receipts as received (possibly corrupted by a cheater in transit).
     pub receipts: Vec<Receipt>,
+    /// The hops the initiator *observed* forwarding, in path order — the
+    /// cross-confirmation defense against colluding cliques. A clique
+    /// responder holds the bundle key, so a manifest padded with phantom
+    /// clique mates carries a valid MAC and valid receipts; the only
+    /// authority the responder cannot forge is the initiator's own record
+    /// of who it handed the payload to. `None` disables the cross-check
+    /// for this entry (the pre-defense behavior, byte-identical for
+    /// honest evidence).
+    pub observed_hops: Option<Vec<AccountId>>,
 }
 
 /// Accumulates a bundle's evidence and validates it at settlement.
@@ -148,12 +157,33 @@ impl PathValidator {
             report.invalid_manifests += 1;
             return;
         }
-        report.expected_instances += m.hops.len() as u64;
         // Receipt for hop h (1-based): must exist, MAC-verify, and name
-        // the forwarder the manifest places there.
+        // the forwarder the manifest places there. With observed hops on
+        // record, a manifest entry that disagrees with the initiator's own
+        // observation is a *phantom*: its (valid!) receipt is withheld
+        // from payment and the vouched-for account is reported, without
+        // perturbing the intact-prefix walk over the genuine hops.
         let mut prefix_valid = 0usize; // deepest intact prefix
         let mut broken = false;
         for (i, &account) in m.hops.iter().enumerate() {
+            if let Some(obs) = &ev.observed_hops {
+                if obs.get(i) != Some(&account) {
+                    report.phantom_accounts.insert(account);
+                    let hop = (i + 1) as u32;
+                    let vouched = ev.receipts.iter().any(|r| {
+                        r.connection == m.connection
+                            && r.hop == hop
+                            && r.bundle_id == self.bundle_id
+                            && r.forwarder == account
+                            && r.verify(&self.key)
+                    });
+                    if vouched {
+                        report.phantom_instances += 1;
+                    }
+                    continue;
+                }
+            }
+            report.expected_instances += 1;
             let hop = (i + 1) as u32;
             let receipt = ev
                 .receipts
@@ -245,6 +275,12 @@ pub struct ValidationReport {
     pub unattributed: u64,
     /// Evidence entries whose manifest failed verification.
     pub invalid_manifests: u64,
+    /// Phantom forwarding instances caught by the observed-hops
+    /// cross-check: manifest entries with a valid receipt that the
+    /// initiator never actually routed through. Withheld from payment.
+    pub phantom_instances: u64,
+    /// Accounts the cross-check caught being vouched for phantom work.
+    pub phantom_accounts: BTreeSet<AccountId>,
 }
 
 impl ValidationReport {
@@ -287,7 +323,11 @@ mod tests {
                 r
             })
             .collect();
-        ConnectionEvidence { manifest, receipts }
+        ConnectionEvidence {
+            manifest,
+            receipts,
+            observed_hops: None,
+        }
     }
 
     #[test]
@@ -408,6 +448,94 @@ mod tests {
             settled.flagged.iter().copied().collect::<Vec<_>>(),
             [account(5)]
         );
+    }
+
+    /// Clique forgery: the responder pads the manifest with phantom mates
+    /// and issues them valid receipts (it holds the bundle key, so every
+    /// MAC verifies).
+    fn forged_evidence(connection: u32, genuine: &[u64], phantoms: &[u64]) -> ConnectionEvidence {
+        let mut hops: Vec<AccountId> = genuine.iter().map(|&i| account(i)).collect();
+        hops.extend(phantoms.iter().map(|&i| account(i)));
+        let manifest = PathManifest::issue(KEY, BUNDLE, connection, hops.clone());
+        let receipts = hops
+            .iter()
+            .enumerate()
+            .map(|(i, &acct)| Receipt::issue(KEY, BUNDLE, connection, (i + 1) as u32, acct))
+            .collect();
+        ConnectionEvidence {
+            manifest,
+            receipts,
+            observed_hops: Some(genuine.iter().map(|&i| account(i)).collect()),
+        }
+    }
+
+    #[test]
+    fn cross_check_withholds_phantom_payouts_and_names_the_accounts() {
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        v.add_connection(forged_evidence(0, &[1, 2], &[8, 9]));
+        let r = v.validate();
+        // Genuine work is paid in full; the forged MAC-valid suffix is not.
+        assert_eq!(r.expected_instances, 2);
+        assert_eq!(r.validated_instances, 2);
+        assert_eq!(r.shortfall(), 0.0, "forgery must not dilute shortfall");
+        assert_eq!(r.phantom_instances, 2);
+        let phantoms: Vec<u64> = r.phantom_accounts.iter().map(|a| a.0).collect();
+        assert_eq!(phantoms, [8, 9]);
+        assert!(!r.paid_counts.contains_key(&account(8)));
+        assert!(!r.paid_counts.contains_key(&account(9)));
+        assert!(
+            r.flagged.is_empty(),
+            "phantoms are reported, not confused with corrupters"
+        );
+    }
+
+    #[test]
+    fn cross_check_off_pays_the_forged_suffix() {
+        // Without observed hops the forgery is indistinguishable from
+        // genuine evidence — the attack wins, which is exactly what the
+        // adversary-zoo leakage metric measures.
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        let mut ev = forged_evidence(0, &[1, 2], &[8]);
+        ev.observed_hops = None;
+        v.add_connection(ev);
+        let r = v.validate();
+        assert_eq!(r.validated_instances, 3);
+        assert_eq!(r.paid_counts[&account(8)], 1);
+        assert_eq!(r.phantom_instances, 0);
+    }
+
+    #[test]
+    fn cross_check_with_matching_observation_is_invisible() {
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        let mut honest = evidence(0, &[1, 2, 3], None);
+        honest.observed_hops = Some(vec![account(1), account(2), account(3)]);
+        v.add_connection(honest);
+        let baseline = {
+            let mut vb = PathValidator::new(KEY, BUNDLE);
+            vb.add_connection(evidence(0, &[1, 2, 3], None));
+            vb.validate()
+        };
+        assert_eq!(v.validate(), baseline, "honest evidence is unaffected");
+    }
+
+    #[test]
+    fn cross_check_composes_with_receipt_corruption() {
+        // A cheater corrupts the genuine suffix while the responder pads
+        // phantoms: the intact-prefix rule still pins the corrupter, and
+        // the phantoms are still withheld.
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        let genuine = [4u64, 5, 6];
+        let mut ev = forged_evidence(0, &genuine, &[8]);
+        for r in &mut ev.receipts {
+            if r.hop > 1 && r.hop <= 3 {
+                r.mac[0] ^= 0x55; // corrupt genuine hops 2..=3
+            }
+        }
+        v.add_connection(ev);
+        let r = v.validate();
+        assert_eq!(r.flagged.iter().copied().collect::<Vec<_>>(), [account(4)]);
+        assert_eq!(r.phantom_instances, 1);
+        assert_eq!(r.validated_instances, 1);
     }
 
     #[test]

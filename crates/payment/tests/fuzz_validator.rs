@@ -1,0 +1,482 @@
+//! Deterministic structured fuzzing of the settlement-critical surfaces:
+//! [`PathValidator`] under adversarial receipt interleavings and
+//! byte-mutated manifests, [`Bank::deposit_batch`] under forged and
+//! double-spent tokens, and [`EpochLedger`] under arbitrary
+//! queue/accrue/settle interleavings.
+//!
+//! No external fuzzer: each case is generated from a seed by an in-tree
+//! mutation grammar, so every failure is a one-u64 reproducer. Seeds of
+//! past failures (and a spread of structural corner cases) are committed
+//! under `tests/fuzz_corpus/` at the repo root and replayed first on every
+//! run — the regression corpus grows, never shrinks.
+//!
+//! Tiers (all bit-deterministic):
+//!
+//! * default: a bounded pseudo-random sweep on top of the corpus;
+//! * `IDPA_FUZZ_SMOKE=1` — the corpus plus a short sweep, for the
+//!   `scripts/verify.sh` stage (≤ 30 s);
+//! * `IDPA_FUZZ_LONG=1` — the nightly CI tier, two orders of magnitude
+//!   more cases.
+
+use idpa_desim::rng::Xoshiro256StarStar;
+use idpa_payment::{
+    AccountId, Bank, ConnectionEvidence, EpochLedger, PathManifest, PathValidator, Receipt, Token,
+    ValidationReport, Wallet,
+};
+
+const KEY: &[u8] = b"fuzz bundle key";
+const BUNDLE: u64 = 77;
+
+/// Case budget for one fuzz target under the active tier.
+fn budget(default_cases: u64) -> u64 {
+    let is = |k: &str| std::env::var(k).is_ok_and(|v| v == "1");
+    if is("IDPA_FUZZ_LONG") {
+        default_cases * 100
+    } else if is("IDPA_FUZZ_SMOKE") {
+        default_cases / 4
+    } else {
+        default_cases
+    }
+}
+
+/// The committed regression corpus: one seed per line, `#` comments
+/// allowed, shared by every target. Replayed before the pseudo-random
+/// sweep; the file must exist and hold at least one seed so the corpus
+/// can't silently vanish.
+fn corpus_seeds() -> Vec<u64> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fuzz_corpus/seeds.txt"
+    );
+    let text = std::fs::read_to_string(path).expect("fuzz corpus must be present");
+    let seeds: Vec<u64> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.parse().expect("corpus line must be a u64 seed"))
+        .collect();
+    assert!(!seeds.is_empty(), "fuzz corpus must hold at least one seed");
+    seeds
+}
+
+/// Every seed the target will run: the corpus first, then the sweep.
+fn case_seeds(target: u64, cases: u64) -> Vec<u64> {
+    let mut seeds = corpus_seeds();
+    // The sweep derives per-target streams so the three targets explore
+    // different cases from the same corpus file.
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x5eed ^ target);
+    seeds.extend((0..cases).map(|_| rng.next()));
+    seeds
+}
+
+fn account(i: u64) -> AccountId {
+    AccountId(i)
+}
+
+/// One fuzzed connection: a genuine path, then seeded structural mutations
+/// — receipt corruption/duplication/reordering/truncation, manifest byte
+/// flips and hop edits, phantom padding with receipts minted under the
+/// real key (the clique forgery), and randomized `observed_hops`.
+#[allow(clippy::too_many_lines)] // one linear mutation grammar
+fn fuzz_evidence(rng: &mut Xoshiro256StarStar, connection: u32) -> ConnectionEvidence {
+    let n_hops = 1 + (rng.next() % 6) as usize;
+    let mut hops: Vec<AccountId> = (0..n_hops).map(|_| account(1 + rng.next() % 40)).collect();
+    let genuine = hops.clone();
+
+    // Clique-style phantom padding: extra hops appended to the manifest
+    // before sealing, with valid receipts minted below.
+    let phantoms = (rng.next() % 3) as usize;
+    for _ in 0..phantoms {
+        hops.push(account(100 + rng.next() % 8));
+    }
+
+    let mut manifest = PathManifest::issue(KEY, BUNDLE, connection, hops.clone());
+
+    let mut receipts: Vec<Receipt> = hops
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| Receipt::issue(KEY, BUNDLE, connection, (i + 1) as u32, a))
+        .collect();
+
+    // Receipt-level mutations, each applied with seeded probability.
+    for i in 0..receipts.len() {
+        match rng.next() % 12 {
+            0 => receipts[i].mac[(rng.next() % 32) as usize] ^= 1 << (rng.next() % 8),
+            1 => receipts[i].hop = (rng.next() % 10) as u32,
+            2 => receipts[i].forwarder = account(rng.next() % 50),
+            3 => receipts[i].bundle_id = rng.next() % 100,
+            4 => receipts[i].connection = (rng.next() % 8) as u32,
+            _ => {}
+        }
+    }
+    // Structural mutations of the receipt *set*.
+    match rng.next() % 8 {
+        0 if !receipts.is_empty() => {
+            // Duplicate a receipt somewhere else in the sequence.
+            let r = receipts[(rng.next() as usize) % receipts.len()].clone();
+            let at = (rng.next() as usize) % (receipts.len() + 1);
+            receipts.insert(at, r);
+        }
+        1 => receipts.reverse(),
+        2 => {
+            // Seeded shuffle (Fisher–Yates).
+            for i in (1..receipts.len()).rev() {
+                receipts.swap(i, (rng.next() as usize) % (i + 1));
+            }
+        }
+        3 => receipts.truncate((rng.next() as usize) % (receipts.len() + 1)),
+        4 => receipts.clear(),
+        _ => {}
+    }
+    // Manifest mutations: byte-flip the MAC, edit hops after sealing, or
+    // reseal under a different identity.
+    match rng.next() % 8 {
+        0 => manifest.mac[(rng.next() % 32) as usize] ^= 1 << (rng.next() % 8),
+        1 if !manifest.hops.is_empty() => {
+            let at = (rng.next() as usize) % manifest.hops.len();
+            manifest.hops[at] = account(rng.next() % 50);
+        }
+        2 => manifest.bundle_id = rng.next() % 100,
+        3 => manifest.connection = (rng.next() % 8) as u32,
+        _ => {}
+    }
+
+    // Cross-check arm: none, the genuine view, or a corrupted view.
+    let observed_hops = match rng.next() % 4 {
+        0 | 1 => None,
+        2 => Some(genuine),
+        _ => {
+            let mut obs = genuine;
+            if !obs.is_empty() && rng.next() % 2 == 0 {
+                let at = (rng.next() as usize) % obs.len();
+                obs[at] = account(rng.next() % 50);
+            }
+            if rng.next() % 3 == 0 {
+                obs.truncate(obs.len().saturating_sub(1));
+            }
+            Some(obs)
+        }
+    };
+
+    ConnectionEvidence {
+        manifest,
+        receipts,
+        observed_hops,
+    }
+}
+
+/// Merges `b` into `a` the way epoch settlement merges per-window reports.
+fn merge(a: &mut ValidationReport, b: ValidationReport) {
+    a.expected_instances += b.expected_instances;
+    a.validated_instances += b.validated_instances;
+    for (k, v) in b.paid_counts {
+        *a.paid_counts.entry(k).or_insert(0) += v;
+    }
+    a.flagged.extend(b.flagged);
+    a.unattributed += b.unattributed;
+    a.invalid_manifests += b.invalid_manifests;
+    a.phantom_instances += b.phantom_instances;
+    a.phantom_accounts.extend(b.phantom_accounts);
+}
+
+/// PathValidator under the full mutation grammar. Invariants: no panic on
+/// any input; payment never exceeds the manifests' claims; windowed
+/// validation partitions losslessly; flags and phantoms only ever name
+/// manifest hops; per-connection flagging agrees with whole-bundle
+/// settlement.
+#[test]
+fn fuzz_path_validator_invariants() {
+    for seed in case_seeds(1, budget(2000)) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        let n_conns = 1 + (rng.next() % 6) as u32;
+        for c in 0..n_conns {
+            v.add_connection(fuzz_evidence(&mut rng, c));
+        }
+        let report = v.validate();
+
+        assert!(
+            report.validated_instances <= report.expected_instances,
+            "seed {seed}: paid more instances than the manifests claim"
+        );
+        let paid_sum: u64 = report.paid_counts.values().sum();
+        assert_eq!(
+            paid_sum, report.validated_instances,
+            "seed {seed}: per-account payments disagree with the validated total"
+        );
+        assert!(
+            (0.0..=1.0).contains(&report.shortfall()),
+            "seed {seed}: shortfall out of range"
+        );
+
+        // Windowed settlement partitions losslessly at any split points.
+        let mut windows = ValidationReport::default();
+        let mut start = 0usize;
+        while start < v.connections() {
+            let end = start + 1 + (rng.next() as usize) % 3;
+            merge(&mut windows, v.validate_range(start, end));
+            start = end;
+        }
+        assert_eq!(
+            windows, report,
+            "seed {seed}: windowed validation diverged from whole-bundle"
+        );
+
+        // Flags, payments, and phantom reports only ever name accounts
+        // some manifest vouched for.
+        let manifest_accounts: std::collections::BTreeSet<AccountId> = v
+            .evidence()
+            .iter()
+            .flat_map(|e| e.manifest.hops.iter().copied())
+            .collect();
+        for f in &report.flagged {
+            assert!(
+                manifest_accounts.contains(f),
+                "seed {seed}: flagged an account no manifest names"
+            );
+        }
+        for a in report.paid_counts.keys() {
+            assert!(
+                manifest_accounts.contains(a),
+                "seed {seed}: paid an account no manifest names"
+            );
+        }
+        for a in &report.phantom_accounts {
+            assert!(
+                manifest_accounts.contains(a),
+                "seed {seed}: phantom-reported an account no manifest names"
+            );
+        }
+
+        // Per-connection flagging is exactly the union of whole-bundle
+        // flags (each connection pins at most one forwarder).
+        let mut union = std::collections::BTreeSet::new();
+        for i in 0..v.connections() {
+            union.extend(v.flag_connection(i));
+        }
+        assert_eq!(
+            union, report.flagged,
+            "seed {seed}: per-connection flags diverged from settlement"
+        );
+    }
+}
+
+/// With the cross-check armed and truthful (`observed_hops` = the hops the
+/// initiator routed), phantom-padded manifests never pay the phantoms: the
+/// paid instances are bounded by the genuine hop count, and every padded
+/// account with a valid receipt is reported.
+#[test]
+fn fuzz_cross_check_never_pays_phantoms() {
+    for seed in case_seeds(2, budget(2000)) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let n_genuine = 1 + (rng.next() % 5) as usize;
+        let genuine: Vec<AccountId> = (0..n_genuine)
+            .map(|_| account(1 + rng.next() % 40))
+            .collect();
+        let n_phantom = 1 + (rng.next() % 4) as usize;
+        let mut hops = genuine.clone();
+        for _ in 0..n_phantom {
+            hops.push(account(100 + rng.next() % 8));
+        }
+        let manifest = PathManifest::issue(KEY, BUNDLE, 0, hops.clone());
+        let receipts: Vec<Receipt> = hops
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Receipt::issue(KEY, BUNDLE, 0, (i + 1) as u32, a))
+            .collect();
+        let mut v = PathValidator::new(KEY, BUNDLE);
+        v.add_connection(ConnectionEvidence {
+            manifest,
+            receipts,
+            observed_hops: Some(genuine),
+        });
+        let report = v.validate();
+        assert_eq!(
+            report.validated_instances, n_genuine as u64,
+            "seed {seed}: phantom padding changed what gets paid"
+        );
+        assert_eq!(
+            report.phantom_instances, n_phantom as u64,
+            "seed {seed}: a vouched phantom went unreported"
+        );
+        for a in report.paid_counts.keys() {
+            assert!(
+                a.0 < 100,
+                "seed {seed}: a phantom account ended up in the paid set"
+            );
+        }
+    }
+}
+
+/// `Bank::deposit_batch` under forged, mutated and double-spent tokens:
+/// verdicts and end state must match the sequential `deposit` path on a
+/// twin bank exactly, for every interleaving.
+#[test]
+fn fuzz_deposit_batch_matches_sequential() {
+    // Key generation dominates; one bank pair serves all cases.
+    let mut seq = Bank::new(256, &mut Xoshiro256StarStar::seed_from_u64(9));
+    let mut bat = Bank::new(256, &mut Xoshiro256StarStar::seed_from_u64(9));
+    let alice = seq.open_account(1_000_000);
+    bat.open_account(1_000_000);
+    let bob = seq.open_account(0);
+    bat.open_account(0);
+
+    for seed in case_seeds(3, budget(24)) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        // Mint a small batch of genuine tokens on both banks (the twin
+        // mints consume identical RNG streams, so the tokens agree).
+        let mint = |bank: &mut Bank, seed: u64| -> Vec<Token> {
+            let mut r = Xoshiro256StarStar::seed_from_u64(seed);
+            let mut w = Wallet::new();
+            let mut tokens = Vec::new();
+            for _ in 0..4 {
+                bank.withdraw_into_wallet(alice, 1, &mut w, &mut r)
+                    .expect("withdraw");
+                tokens.extend(w.take_exact(1).expect("exact"));
+            }
+            tokens
+        };
+        let tokens_seq = mint(&mut seq, seed);
+        let tokens_bat = mint(&mut bat, seed);
+        assert_eq!(tokens_seq, tokens_bat, "seed {seed}: twin mints diverged");
+
+        // Mutate: forge values, flip serial bytes, duplicate for a
+        // double-spend — identically on both sides.
+        let mutate = |tokens: &[Token], rng: &mut Xoshiro256StarStar| -> Vec<(AccountId, Token)> {
+            let mut out = Vec::new();
+            for t in tokens {
+                let mut t = t.clone();
+                match rng.next() % 5 {
+                    0 => t.value = 1 + rng.next() % 500,
+                    1 => t.id.0[(rng.next() % 32) as usize] ^= 1 << (rng.next() % 8),
+                    2 => out.push((bob, t.clone())), // duplicate → 2nd is a double-spend
+                    _ => {}
+                }
+                out.push((bob, t));
+            }
+            out
+        };
+        let rng_state = rng.next();
+        let deposits = mutate(
+            &tokens_seq,
+            &mut Xoshiro256StarStar::seed_from_u64(rng_state),
+        );
+        let deposits_b = mutate(
+            &tokens_bat,
+            &mut Xoshiro256StarStar::seed_from_u64(rng_state),
+        );
+
+        let sequential: Vec<_> = deposits.iter().map(|(a, t)| seq.deposit(*a, t)).collect();
+        let batched = bat.deposit_batch(&deposits_b);
+        assert_eq!(
+            sequential, batched,
+            "seed {seed}: batch verdicts diverged from sequential deposits"
+        );
+        assert_eq!(seq.balance(bob), bat.balance(bob), "seed {seed}: balances");
+        assert_eq!(
+            seq.total_deposits(),
+            bat.total_deposits(),
+            "seed {seed}: totals"
+        );
+        assert_eq!(
+            seq.spent_serials(),
+            bat.spent_serials(),
+            "seed {seed}: serial sets"
+        );
+    }
+}
+
+/// `EpochLedger` under arbitrary queue/accrue/settle interleavings against
+/// a sequential twin: successful settles reproduce the sequential end
+/// state; failed settles (uncovered debits) keep the net for retry, apply
+/// only the deposits, and never advance the epoch.
+#[test]
+fn fuzz_epoch_ledger_interleavings() {
+    let mut seq = Bank::new(256, &mut Xoshiro256StarStar::seed_from_u64(21));
+    let mut epo = Bank::new(256, &mut Xoshiro256StarStar::seed_from_u64(21));
+    let accounts: Vec<AccountId> = (0..4).map(|i| seq.open_account(50 + i * 10)).collect();
+    for i in 0..4u64 {
+        epo.open_account(50 + i * 10);
+    }
+
+    for seed in case_seeds(4, budget(48)) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut ledger = EpochLedger::new();
+        let epoch_before = ledger.epoch();
+
+        // A random program of transfers (some deliberately uncoverable).
+        let mut pending: Vec<(AccountId, AccountId, u64)> = Vec::new();
+        for _ in 0..(1 + rng.next() % 8) {
+            let from = accounts[(rng.next() as usize) % accounts.len()];
+            let to = accounts[(rng.next() as usize) % accounts.len()];
+            let amount = rng.next() % 120; // can exceed a balance
+            ledger.accrue_transfer(from, to, amount);
+            pending.push((from, to, amount));
+        }
+
+        let before: Vec<_> = accounts.iter().map(|&a| epo.balance(a)).collect();
+        match ledger.settle(&mut epo) {
+            Ok(s) => {
+                assert_eq!(s.epoch, epoch_before, "seed {seed}: settled wrong epoch");
+                assert_eq!(ledger.epoch(), epoch_before + 1);
+                assert!(ledger.is_empty(), "seed {seed}: settle left state behind");
+                assert_eq!(
+                    s.transfers_netted,
+                    pending.len() as u64,
+                    "seed {seed}: transfer count"
+                );
+                // Replay on the twin. Sequential transfer ordering can
+                // bounce where the net covers it, so the twin applies the
+                // *net* — the semantics the ledger defines.
+                let mut net: std::collections::BTreeMap<AccountId, i128> = Default::default();
+                for &(from, to, amount) in &pending {
+                    *net.entry(from).or_insert(0) -= i128::from(amount);
+                    *net.entry(to).or_insert(0) += i128::from(amount);
+                }
+                seq.apply_epoch_net(s.epoch, &net).expect(
+                    "seed: the twin must accept the same net the ledger settled successfully",
+                );
+                for &a in &accounts {
+                    assert_eq!(
+                        seq.balance(a),
+                        epo.balance(a),
+                        "seed {seed}: balances diverged after settle"
+                    );
+                }
+            }
+            Err(e) => {
+                assert_eq!(e.epoch, epoch_before);
+                assert_eq!(
+                    ledger.epoch(),
+                    epoch_before,
+                    "seed {seed}: failed settle advanced the epoch"
+                );
+                assert!(
+                    !ledger.is_empty(),
+                    "seed {seed}: failed settle must keep the net for retry"
+                );
+                // A failed net leaves every balance untouched.
+                let after: Vec<_> = accounts.iter().map(|&a| epo.balance(a)).collect();
+                assert_eq!(before, after, "seed {seed}: failed settle moved balances");
+                // Keep the twins in lockstep for the next case.
+                let retry = ledger.settle(&mut epo);
+                if retry.is_err() {
+                    // Unrecoverable program (net debits exceed balances):
+                    // drop the ledger; both banks are untouched.
+                    continue;
+                }
+                let mut net: std::collections::BTreeMap<AccountId, i128> = Default::default();
+                for &(from, to, amount) in &pending {
+                    *net.entry(from).or_insert(0) -= i128::from(amount);
+                    *net.entry(to).or_insert(0) += i128::from(amount);
+                }
+                seq.apply_epoch_net(epoch_before, &net)
+                    .expect("twin retry must succeed when the ledger's did");
+            }
+        }
+    }
+    // The twins must still agree at the end of the whole sweep.
+    for &a in &accounts {
+        assert_eq!(seq.balance(a), epo.balance(a), "final balances diverged");
+    }
+}

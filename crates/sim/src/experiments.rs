@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use idpa_core::routing::{AdversaryStrategy, RoutingStrategy};
 use idpa_core::utility::UtilityModel;
 use idpa_desim::stats::{Ecdf, OnlineStats};
-use idpa_desim::{FaultConfig, FaultResponse};
+use idpa_desim::{AdversaryConfig, FaultConfig, FaultResponse};
 use idpa_game::forwarding::{dominance_threshold, participation_threshold, ForwardingStageGame};
 
 use crate::chart::{cdf_chart, line_chart, Series};
@@ -60,6 +60,10 @@ pub struct Options {
     pub settlement: SettlementMode,
     /// Epoch length in minutes under epoch settlement (`--epoch-length`).
     pub epoch_length: f64,
+    /// Adversary strategy classes applied to every run (`--adversary-*`;
+    /// all-zero rates = off, in which case runs are byte-identical to a
+    /// build without the adversary layer).
+    pub adversary: AdversaryConfig,
 }
 
 impl Default for Options {
@@ -76,6 +80,7 @@ impl Default for Options {
             node_lifecycle: NodeLifecycle::Eager,
             settlement: SettlementMode::PerBundle,
             epoch_length: 240.0,
+            adversary: AdversaryConfig::default(),
         }
     }
 }
@@ -99,6 +104,7 @@ impl Options {
             node_lifecycle: self.node_lifecycle,
             settlement: self.settlement,
             epoch_length: self.epoch_length,
+            adversary: self.adversary,
             ..base
         }
     }
@@ -1085,6 +1091,154 @@ pub fn scale_lifecycle(opts: &Options) -> String {
     )
 }
 
+/// The adversary zoo: each §4 strategy class run with its matching defense
+/// off and on, everything else held fixed, so every row pair isolates one
+/// defense's effect.
+///
+/// * **free riders** (Prop. 2's worst case: initiate but never forward) —
+///   defense = the adaptive response (reputation suppression plus probe
+///   invalidation routes around the ghosts);
+/// * **whitewashers** (accumulate faults, rejoin as a fresh identity) —
+///   defense = identity-age discounting of the reputation term
+///   (`w_r > 0` so the discount reaches path formation); a background
+///   drop rate gives the whitewashed identities faults worth shedding;
+/// * **colluding cliques** (a colluding responder pads its manifest with
+///   phantom clique-mate hops and mints them genuine receipts) — defense =
+///   the initiator's cross-confirmation check of manifest hops against the
+///   hops it actually observed forwarding.
+pub fn adversary_zoo(opts: &Options) -> String {
+    // IDPA_AZ_SMOKE=1 (the verify.sh stage) caps the matrix at the quick
+    // tier even without --quick.
+    let smoke = std::env::var("IDPA_AZ_SMOKE").is_ok_and(|v| v == "1");
+    let mut capped = opts.clone();
+    if smoke {
+        capped.quick = true;
+        capped.reps = capped.reps.min(2);
+    }
+    let opts = &capped;
+
+    let mut table = Table::new(&[
+        "class",
+        "defense",
+        "delivery",
+        "adversary payoff",
+        "compliant payoff",
+        "evasion rate",
+        "phantoms flagged/injected",
+        "payout leakage",
+    ]);
+
+    // Free riders: 20% of nodes ghost every forwarding duty.
+    for (label, response) in [
+        ("off", FaultResponse::Static),
+        ("on (adaptive)", FaultResponse::Adaptive),
+    ] {
+        let adversary = AdversaryConfig {
+            free_rider_fraction: 0.2,
+            ..AdversaryConfig::default()
+        };
+        let fault = FaultConfig {
+            response,
+            ..opts.fault
+        };
+        let results = replicate(opts, |seed| ScenarioConfig {
+            adversary,
+            fault,
+            good_strategy: model_two(),
+            ..opts.base_config(seed)
+        });
+        let delivery = stats_of(&results, |r| r.delivery_ratio);
+        let freeloader = stats_of(&results, |r| r.free_rider_payoff);
+        let compliant = stats_of(&results, |r| r.compliant_payoff);
+        table.row(vec![
+            "free-rider".into(),
+            label.into(),
+            fmt_ci(delivery.mean(), delivery.ci95().half_width),
+            format!("{:.1}", freeloader.mean()),
+            format!("{:.1}", compliant.mean()),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+
+    // Whitewashers: 20% of nodes shed their identity on a renewal
+    // schedule, against a background drop rate that makes the shed
+    // identity's ledger worth escaping.
+    for (label, discount) in [("off", false), ("on (age discount)", true)] {
+        let adversary = AdversaryConfig {
+            whitewash_fraction: 0.2,
+            whitewash_interval: 240.0,
+            whitewash_age_discount: discount,
+            reputation_maturity: 120.0,
+            ..AdversaryConfig::default()
+        };
+        let fault = FaultConfig {
+            drop_rate: 0.2,
+            response: FaultResponse::Adaptive,
+            ..opts.fault
+        };
+        let wr = 0.5;
+        let results = replicate(opts, |seed| ScenarioConfig {
+            adversary,
+            fault,
+            weights: Options::split_weights(wr),
+            reputation_weight: wr,
+            good_strategy: model_two(),
+            ..opts.base_config(seed)
+        });
+        let delivery = stats_of(&results, |r| r.delivery_ratio);
+        let evasion = stats_of(&results, |r| r.reputation_evasion_rate);
+        table.row(vec![
+            "whitewasher".into(),
+            label.into(),
+            fmt_ci(delivery.mean(), delivery.ci95().half_width),
+            "-".into(),
+            "-".into(),
+            format!("{:.3}", evasion.mean()),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+
+    // Colluding cliques: two 4-cliques forge phantom-forwarding evidence
+    // on every connection their responder completes.
+    for (label, cross_check) in [("off", false), ("on (cross-check)", true)] {
+        let adversary = AdversaryConfig {
+            clique_count: 2,
+            clique_size: 4,
+            clique_forge_rate: 1.0,
+            clique_cross_check: cross_check,
+            ..AdversaryConfig::default()
+        };
+        let results = replicate(opts, |seed| ScenarioConfig {
+            adversary,
+            good_strategy: model_two(),
+            ..opts.base_config(seed)
+        });
+        let delivery = stats_of(&results, |r| r.delivery_ratio);
+        let injected: u64 = results.iter().map(|r| r.clique_phantom_instances).sum();
+        let flagged: u64 = results.iter().map(|r| r.clique_phantom_flagged).sum();
+        let leakage = stats_of(&results, |r| r.clique_payout_leakage);
+        table.row(vec![
+            "clique".into(),
+            label.into(),
+            fmt_ci(delivery.mean(), delivery.ci95().half_width),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("{flagged}/{injected}"),
+            format!("{:.3}", leakage.mean()),
+        ]);
+    }
+
+    let _ = table.write_csv(&opts.out_dir, "adversary_zoo");
+    format!(
+        "## adversary-zoo: strategy classes vs their defenses\n\n{}",
+        table.to_markdown()
+    )
+}
+
 /// An experiment: renders its figure/table from the shared options.
 pub type Experiment = fn(&Options) -> String;
 
@@ -1120,6 +1274,7 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
         ("fault-degradation", fault_degradation),
         ("fault-adaptation", fault_adaptation),
         ("scale-lifecycle", scale_lifecycle),
+        ("adversary-zoo", adversary_zoo),
         ("timeline", timeline),
         ("crowds-analysis", crowds_analysis),
     ]

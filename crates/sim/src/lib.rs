@@ -49,7 +49,7 @@ pub use formation::{
     form_bundles, form_bundles_global, form_bundles_interleaved, form_bundles_items,
     form_bundles_sharded, partition_pairs, partition_pairs_balanced, FormationItem, PairFormation,
 };
-pub use idpa_desim::{FaultConfig, FaultResponse};
+pub use idpa_desim::{AdversaryConfig, AdversaryPlan, FaultConfig, FaultResponse};
 pub use runner::{RunResult, SimulationRun};
 pub use scenario::{
     CostStorage, NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig, SettlementMode,

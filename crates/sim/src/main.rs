@@ -6,6 +6,11 @@
 //!          [--fault-bank-downtime F] [--fault-retries N] [--fault-timeout MIN]
 //!          [--fault-response static|adaptive] [--reputation-weight W]
 //!          [--settlement per-bundle|epoch] [--epoch-length MIN]
+//!          [--adversary-free-riders F] [--adversary-whitewash F]
+//!          [--adversary-whitewash-interval MIN] [--adversary-cliques N]
+//!          [--adversary-clique-size K] [--adversary-forge-rate P]
+//!          [--adversary-age-discount] [--adversary-maturity MIN]
+//!          [--adversary-cross-check]
 //! ```
 //!
 //! With no experiment names, runs everything in the registry. Markdown
@@ -161,6 +166,41 @@ fn service_main(args: &[String]) -> ExitCode {
                 };
                 cfg_mut.push(Box::new(move |c| c.fault.response = mode));
             }
+            "--adversary-free-riders"
+            | "--adversary-whitewash"
+            | "--adversary-whitewash-interval"
+            | "--adversary-forge-rate"
+            | "--adversary-maturity" => {
+                let v = match fault_value(arg, iter.next()) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let flag = arg.clone();
+                cfg_mut.push(Box::new(move |c| match flag.as_str() {
+                    "--adversary-free-riders" => c.adversary.free_rider_fraction = v,
+                    "--adversary-whitewash" => c.adversary.whitewash_fraction = v,
+                    "--adversary-whitewash-interval" => c.adversary.whitewash_interval = v,
+                    "--adversary-forge-rate" => c.adversary.clique_forge_rate = v,
+                    _ => c.adversary.reputation_maturity = v,
+                }));
+            }
+            "--adversary-cliques" | "--adversary-clique-size" => {
+                let Some(v) = iter.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("{arg} needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                let flag = arg.clone();
+                cfg_mut.push(Box::new(move |c| match flag.as_str() {
+                    "--adversary-cliques" => c.adversary.clique_count = v,
+                    _ => c.adversary.clique_size = v,
+                }));
+            }
+            "--adversary-age-discount" => {
+                cfg_mut.push(Box::new(|c| c.adversary.whitewash_age_discount = true));
+            }
+            "--adversary-cross-check" => {
+                cfg_mut.push(Box::new(|c| c.adversary.clique_cross_check = true));
+            }
             "--fault-retries" => {
                 let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
                     eprintln!("--fault-retries needs a non-negative integer");
@@ -218,7 +258,7 @@ fn service_main(args: &[String]) -> ExitCode {
                      \u{20}                       partial aggregates with interrupted=true\n\n\
                      mode + fault flags are the experiment runner's: --probe-mode,\n\
                      --node-lifecycle, --settlement, --epoch-length, --history-shards,\n\
-                     --reputation-weight and every --fault-* flag"
+                     --reputation-weight and every --fault-* and --adversary-* flag"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -428,6 +468,36 @@ fn main() -> ExitCode {
                 };
                 opts.fault.max_retries = v;
             }
+            "--adversary-free-riders"
+            | "--adversary-whitewash"
+            | "--adversary-whitewash-interval"
+            | "--adversary-forge-rate"
+            | "--adversary-maturity" => {
+                let v = match fault_value(arg, iter.next()) {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                let a = &mut opts.adversary;
+                match arg.as_str() {
+                    "--adversary-free-riders" => a.free_rider_fraction = v,
+                    "--adversary-whitewash" => a.whitewash_fraction = v,
+                    "--adversary-whitewash-interval" => a.whitewash_interval = v,
+                    "--adversary-forge-rate" => a.clique_forge_rate = v,
+                    _ => a.reputation_maturity = v,
+                }
+            }
+            "--adversary-cliques" | "--adversary-clique-size" => {
+                let Some(v) = iter.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("{arg} needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                match arg.as_str() {
+                    "--adversary-cliques" => opts.adversary.clique_count = v,
+                    _ => opts.adversary.clique_size = v,
+                }
+            }
+            "--adversary-age-discount" => opts.adversary.whitewash_age_discount = true,
+            "--adversary-cross-check" => opts.adversary.clique_cross_check = true,
             "--help" | "-h" => {
                 println!(
                     "usage: idpa-sim [EXPERIMENT ...] [--reps N] [--threads N] [--quick] \
@@ -465,7 +535,19 @@ fn main() -> ExitCode {
                      \u{20}                             probe invalidation, escalated reformation)\n  \
                      --reputation-weight W         w_r of the adaptive quality model\n  \
                      \u{20}                             q = w_s*sigma + w_a*alpha + w_r*rho\n  \
-                     \u{20}                             (0 = the paper's two-term model)"
+                     \u{20}                             (0 = the paper's two-term model)\n\n\
+                     adversary strategy classes (all rates default to 0 = off; any\n\
+                     nonzero rate activates the deterministic adversary plan):\n  \
+                     --adversary-free-riders F     fraction of nodes that ghost forwarding duty\n  \
+                     --adversary-whitewash F       fraction of nodes that shed their identity\n  \
+                     --adversary-whitewash-interval MIN  mean minutes between rejoins\n  \
+                     --adversary-cliques N         number of colluding cliques\n  \
+                     --adversary-clique-size K     members per clique (>= 2)\n  \
+                     --adversary-forge-rate P      per-connection phantom-forge probability\n  \
+                     --adversary-age-discount      defense: identity-age reputation discount\n  \
+                     --adversary-maturity MIN      minutes to full weight under the discount\n  \
+                     --adversary-cross-check       defense: initiator cross-confirmation of\n  \
+                     \u{20}                             manifest hops vs observed forwarders"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -479,6 +561,10 @@ fn main() -> ExitCode {
 
     if let Err(e) = opts.fault.validate() {
         eprintln!("invalid fault configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = opts.adversary.validate() {
+        eprintln!("invalid adversary configuration: {e}");
         return ExitCode::FAILURE;
     }
 

@@ -37,7 +37,7 @@ use idpa_core::quality::{EdgeQuality, Weights};
 use idpa_core::reputation::EdgeReputation;
 use idpa_core::routing::{RouteScratch, RoutingView};
 use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
-use idpa_desim::{CheatAction, Engine, FaultPlan, FaultResponse, Process, SimTime};
+use idpa_desim::{AdversaryPlan, CheatAction, Engine, FaultPlan, FaultResponse, Process, SimTime};
 use idpa_netmodel::{CostModel, NodeSchedule};
 use idpa_overlay::{LazyProbeSet, NodeId, ProbeEstimator, ProbeInvalidation};
 use idpa_payment::audit::{AuditEvent, AuditLog};
@@ -91,6 +91,11 @@ pub enum Ev {
         /// Index of the pair in the workload.
         pair: usize,
     },
+    /// A whitewash rejoin (`--adversary-whitewash`): this node sheds its
+    /// accumulated reputation by rejoining under a fresh identity — every
+    /// active ledger entry against it is archived (the evidence survives),
+    /// and its probe-distrust mask is cleared.
+    Whitewash(usize),
 }
 
 /// Probe state in either advancement mode.
@@ -119,6 +124,12 @@ struct RunView<'a> {
     /// horizon, identically in eager and lazy probe modes — the mask is an
     /// overlay on the read path, never on probe state.
     invalid: Option<&'a ProbeInvalidation>,
+    /// Identity-age discounting (`Some` only under
+    /// `--adversary-age-discount`): a relay's reputation term is scaled by
+    /// `min(1, age/maturity)`, so a whitewashed identity rebuilds trust
+    /// instead of inheriting the clean ledger's full score. Age is a pure
+    /// function of the plan's precomputed rejoin schedule — never state.
+    age_discount: Option<&'a AdversaryPlan>,
     now: SimTime,
 }
 
@@ -166,7 +177,15 @@ impl RoutingView for RunView<'_> {
     }
 
     fn reputation(&self, _s: NodeId, v: NodeId) -> f64 {
-        self.reputation.map_or(1.0, |r| r.score(v))
+        let base = self.reputation.map_or(1.0, |r| r.score(v));
+        match self.age_discount {
+            None => base,
+            Some(plan) => {
+                let maturity = plan.config().reputation_maturity;
+                let age = plan.identity_age(v.index(), self.now.minutes());
+                base * (age / maturity).min(1.0)
+            }
+        }
     }
 
     fn transmission_cost(&self, s: NodeId, v: NodeId) -> f64 {
@@ -275,6 +294,31 @@ pub struct RunResult {
     /// Per-window retries per scheduled transmission (empty when windowed
     /// collection is off).
     pub windowed_retry_rate: Vec<f64>,
+    /// Nodes the adversary plan designated free riders (sorted; empty when
+    /// the strategy is off).
+    pub free_riders: Vec<usize>,
+    /// Transmission attempts that died because a free-riding forwarder
+    /// ghosted its forwarding duty.
+    pub free_rider_refusals: u64,
+    /// Mean lifetime forwarding payoff of free-riding nodes. Prop. 2 in
+    /// action: a node that refuses forwarding duty earns no `m·P_f`.
+    pub free_rider_payoff: f64,
+    /// Mean lifetime forwarding payoff of compliant good nodes (the
+    /// free-rider counterfactual; 0 when the strategy is off).
+    pub compliant_payoff: f64,
+    /// Whitewash rejoins executed.
+    pub whitewash_events: u64,
+    /// Fraction of whitewash rejoins that escaped at least one active
+    /// suppression — the reputation-evasion rate. Rejoins that found no
+    /// suppression to shed count in the denominator only.
+    pub reputation_evasion_rate: f64,
+    /// Phantom forwarding instances injected by clique-forged manifests.
+    pub clique_phantom_instances: u64,
+    /// Phantom instances the cross-confirmation check withheld from payout.
+    pub clique_phantom_flagged: u64,
+    /// Fraction of injected phantom instances that escaped into payouts
+    /// (0 with the cross-check on, ~1 with it off).
+    pub clique_payout_leakage: f64,
     /// Whether the run was cut short by a service-mode shutdown
     /// (`--max-wall-secs`): the aggregates cover only the simulated time
     /// actually executed. Always `false` for runs that reached the horizon.
@@ -303,6 +347,29 @@ pub(crate) struct FaultRuntime {
     /// Epoch-batched settlement accumulation (`Some` only under
     /// `--settlement epoch`; `None` runs the exact per-bundle code path).
     pub(crate) epoch: Option<EpochState>,
+    /// Deterministic adversary strategies (`Some` only when at least one
+    /// `--adversary-*` rate is nonzero; `None` leaves every code path
+    /// byte-identical to a build without the adversary layer).
+    pub(crate) adversary: Option<AdversaryPlan>,
+    /// Dynamic adversary counters (all zero when no strategy is active).
+    pub(crate) adv: AdversaryCounters,
+}
+
+/// Dynamic counters of the adversary layer — the only mutable adversary
+/// state (the plan itself is a precomputed pure schedule), so these are
+/// what crash-safe snapshots carry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct AdversaryCounters {
+    /// Whitewash rejoins executed so far.
+    pub(crate) whitewash_events: u64,
+    /// Rejoins that escaped at least one active suppression.
+    pub(crate) whitewash_evasions: u64,
+    /// Ledger entries archived by whitewashes.
+    pub(crate) whitewash_archived: u64,
+    /// Transmission attempts ghosted by free-riding forwarders.
+    pub(crate) free_rider_refusals: u64,
+    /// Phantom forwarding instances injected by clique forgery.
+    pub(crate) phantom_injected: u64,
 }
 
 /// Running state of epoch-batched settlement: per-pair window cursors plus
@@ -331,6 +398,9 @@ pub(crate) struct EpochState {
     pub(crate) batch_ops: u64,
     /// Receipts cleared through batched settlement.
     pub(crate) receipts_netted: u64,
+    /// Phantom instances withheld by the cross-confirmation check across
+    /// all settled windows.
+    pub(crate) phantom_flagged: u64,
 }
 
 impl EpochState {
@@ -344,6 +414,7 @@ impl EpochState {
             payout_ops: 0,
             batch_ops: 0,
             receipts_netted: 0,
+            phantom_flagged: 0,
         }
     }
 }
@@ -376,6 +447,7 @@ impl FaultRuntime {
             es.cursors[pair] = end;
             es.expected[pair] += report.expected_instances;
             es.validated[pair] += report.validated_instances;
+            es.phantom_flagged += report.phantom_instances;
             es.flagged
                 .extend(report.flagged.iter().map(|a| a.0 as usize));
             accounts.extend(report.paid_counts.keys().map(|a| a.0));
@@ -499,8 +571,20 @@ impl SimulationRun {
             cfg.history_capacity,
         );
         let n_pairs = world.pairs.len();
-        let (crashed_until, fault) = if cfg.fault.is_active() {
+        // Any adversary strategy rides on the fault runtime (evidence,
+        // delivery tracking, reputation ledgers), so an active adversary
+        // plan forces the runtime on even with every fault rate zero — a
+        // zero-rate FaultPlan consumes no streams and injects nothing.
+        let (crashed_until, fault) = if cfg.fault.is_active() || cfg.adversary.is_active() {
             let plan = FaultPlan::new(cfg.fault, streams.clone(), cfg.n_nodes, cfg.churn.horizon);
+            let adversary = cfg.adversary.is_active().then(|| {
+                AdversaryPlan::new(
+                    cfg.adversary,
+                    streams.clone(),
+                    cfg.n_nodes,
+                    cfg.churn.horizon,
+                )
+            });
             let mut delivery = DeliveryTracker::new();
             // The closed workload's schedule is fixed up front; the open
             // workload records each arrival as it fires.
@@ -536,6 +620,8 @@ impl SimulationRun {
                     probe_invalid: ProbeInvalidation::new(cfg.n_nodes),
                     epoch: (cfg.settlement == SettlementMode::Epoch)
                         .then(|| EpochState::new(n_pairs)),
+                    adversary,
+                    adv: AdversaryCounters::default(),
                 }),
             )
         } else {
@@ -670,6 +756,16 @@ impl SimulationRun {
                 k += 1;
             }
         }
+        // Whitewash rejoins fire at the plan's precomputed schedule (node
+        // order, so same-instant rejoins tie-break deterministically).
+        // Nothing is scheduled when the strategy is off.
+        if let Some(plan) = self.fault.as_ref().and_then(|fr| fr.adversary.as_ref()) {
+            for (node, t) in plan.whitewash_events() {
+                if t < self.cfg.churn.horizon {
+                    engine.schedule_at(SimTime::new(t), Ev::Whitewash(node));
+                }
+            }
+        }
     }
 
     fn handle_probe(&mut self, now: SimTime) {
@@ -784,6 +880,7 @@ impl SimulationRun {
             crashed: &self.crashed_until,
             reputation: None,
             invalid: None,
+            age_discount: None,
             now,
         };
         let outcome = form_connection_with_scratch(
@@ -860,6 +957,10 @@ impl SimulationRun {
             crashed: &self.crashed_until,
             reputation: adaptive.then(|| fr.reputation.get(wl.initiator.index())),
             invalid: adaptive.then_some(&fr.probe_invalid),
+            age_discount: fr
+                .adversary
+                .as_ref()
+                .filter(|p| p.config().whitewash_age_discount),
             now,
         };
         let pending = form_connection_pending(
@@ -910,6 +1011,21 @@ impl SimulationRun {
             if cum_delay > timeout {
                 failure = Some(AttemptFailure::Timeout);
                 suspect = edge_suspect(forwarders, i);
+                break;
+            }
+            // Free riders ghost their forwarding duty: the payload reaches
+            // the receiving forwarder of edge i and dies there — after the
+            // edge's own faults had their chance, before the next edge.
+            // To the initiator this is indistinguishable from a drop.
+            if i < forwarders.len()
+                && fr
+                    .adversary
+                    .as_ref()
+                    .is_some_and(|p| p.is_free_rider(forwarders[i].index()))
+            {
+                fr.adv.free_rider_refusals += 1;
+                failure = Some(AttemptFailure::Drop);
+                suspect = Some(forwarders[i]);
                 break;
             }
         }
@@ -1029,6 +1145,7 @@ impl SimulationRun {
         fr: &mut FaultRuntime,
     ) {
         let wl = &self.world.pairs[pair];
+        let responder = wl.responder;
         let bundle = BundleId(pair as u64);
         pending.commit(bundle, conn, &mut self.histories.exclusive());
         let outcome = pending.into_outcome();
@@ -1055,21 +1172,50 @@ impl SimulationRun {
         // downstream of itself but keeps its own intact.
         let key = &fr.keys[pair];
         let account = |n: NodeId| AccountId(n.index() as u64);
-        let hops: Vec<AccountId> = outcome.forwarders.iter().map(|&f| account(f)).collect();
-        let manifest = PathManifest::issue(key, pair as u64, conn, hops);
-        let receipts = outcome
-            .forwarders
+        let mut hops: Vec<AccountId> = outcome.forwarders.iter().map(|&f| account(f)).collect();
+        // Clique forgery: a colluding responder holds the bundle key, so
+        // it can pad its own manifest with clique mates that never
+        // forwarded and issue them genuine receipts. The initiator's
+        // private record of who it actually handed the payload to
+        // (`observed_hops`) is the one thing the responder cannot forge —
+        // attached only when the cross-confirmation defense is on, so the
+        // defenseless evidence stream is byte-identical to the attack-free
+        // one apart from the padding itself.
+        let mut observed_hops = None;
+        if let Some(plan) = fr.adversary.as_ref() {
+            if let Some(c) = plan
+                .clique_of(responder.index())
+                .filter(|_| plan.forges_confirmation(pair as u64, u64::from(conn)))
+            {
+                if plan.config().clique_cross_check {
+                    observed_hops = Some(hops.clone());
+                }
+                for &mate in plan.clique_members(c) {
+                    let a = AccountId(mate as u64);
+                    if mate != responder.index() && !hops.contains(&a) {
+                        hops.push(a);
+                        fr.adv.phantom_injected += 1;
+                    }
+                }
+            }
+        }
+        let receipts = hops
             .iter()
             .enumerate()
-            .map(|(i, &f)| {
-                let mut r = Receipt::issue(key, pair as u64, conn, (i + 1) as u32, account(f));
+            .map(|(i, &a)| {
+                let mut r = Receipt::issue(key, pair as u64, conn, (i + 1) as u32, a);
                 if corrupt_from.is_some_and(|cf| i + 1 > cf) {
                     r.mac[0] ^= 0x55;
                 }
                 r
             })
             .collect();
-        fr.validators[pair].add_connection(ConnectionEvidence { manifest, receipts });
+        let manifest = PathManifest::issue(key, pair as u64, conn, hops);
+        fr.validators[pair].add_connection(ConnectionEvidence {
+            manifest,
+            receipts,
+            observed_hops,
+        });
 
         // In-run cheater feedback (adaptive only): when receipts came back
         // corrupted, replay just this connection's evidence now instead of
@@ -1090,15 +1236,17 @@ impl SimulationRun {
     /// Settles the fault layer: §5 validation over every bundle's evidence,
     /// the aggregate payment shortfall, the audit trail of detected-vs-paid
     /// discrepancies, and the bank-outage settlement delay.
-    fn settle_faults(fr: &FaultRuntime) -> (f64, f64, Vec<usize>, u64) {
+    fn settle_faults(fr: &FaultRuntime) -> (f64, f64, Vec<usize>, u64, u64) {
         let mut expected = 0u64;
         let mut validated = 0u64;
+        let mut phantom_flagged = 0u64;
         let mut flagged: BTreeSet<usize> = BTreeSet::new();
         let mut audit = AuditLog::new();
         for (pair, validator) in fr.validators.iter().enumerate() {
             let report = validator.validate();
             expected += report.expected_instances;
             validated += report.validated_instances;
+            phantom_flagged += report.phantom_instances;
             flagged.extend(report.flagged.iter().map(|a| a.0 as usize));
             if report.validated_instances < report.expected_instances {
                 audit.append(AuditEvent::Discrepancy {
@@ -1131,6 +1279,7 @@ impl SimulationRun {
             settlement_delay,
             flagged.into_iter().collect(),
             audit.len() as u64,
+            phantom_flagged,
         )
     }
 
@@ -1146,7 +1295,7 @@ impl SimulationRun {
         fr: &FaultRuntime,
         es: &EpochState,
         epoch_length: f64,
-    ) -> (f64, f64, Vec<usize>, u64) {
+    ) -> (f64, f64, Vec<usize>, u64, u64) {
         let expected: u64 = es.expected.iter().sum();
         let validated: u64 = es.validated.iter().sum();
         let shortfall = if expected == 0 {
@@ -1179,6 +1328,7 @@ impl SimulationRun {
             settlement_delay,
             es.flagged.iter().copied().collect(),
             discrepancies,
+            es.phantom_flagged,
         )
     }
 
@@ -1289,13 +1439,15 @@ impl SimulationRun {
             flagged_cheaters,
             injected_cheaters,
             audit_discrepancies,
+            clique_phantom_flagged,
         ) = match &self.fault {
-            None => (1.0, 0.0, 0.0, 0.0, 0.0, Vec::new(), Vec::new(), 0),
+            None => (1.0, 0.0, 0.0, 0.0, 0.0, Vec::new(), Vec::new(), 0, 0),
             Some(fr) => {
-                let (shortfall, settlement_delay, flagged, discrepancies) = match &fr.epoch {
-                    None => Self::settle_faults(fr),
-                    Some(es) => Self::settle_epochs(fr, es, self.cfg.epoch_length),
-                };
+                let (shortfall, settlement_delay, flagged, discrepancies, phantom_flagged) =
+                    match &fr.epoch {
+                        None => Self::settle_faults(fr),
+                        Some(es) => Self::settle_epochs(fr, es, self.cfg.epoch_length),
+                    };
                 (
                     fr.delivery.delivery_ratio(),
                     fr.delivery.retries_per_message(),
@@ -1305,8 +1457,48 @@ impl SimulationRun {
                     flagged,
                     fr.plan.cheaters(),
                     discrepancies,
+                    phantom_flagged,
                 )
             }
+        };
+
+        // Per-class adversary metrics. All defaults (empty / zero) when no
+        // strategy is active — the existing result fingerprints exclude
+        // these fields, so zero-rate runs keep their pins.
+        let adv = self
+            .fault
+            .as_ref()
+            .map_or(AdversaryCounters::default(), |fr| fr.adv);
+        let free_riders: Vec<usize> = self
+            .fault
+            .as_ref()
+            .and_then(|fr| fr.adversary.as_ref())
+            .map(|p| p.free_riders())
+            .unwrap_or_default();
+        let (free_rider_payoff, compliant_payoff) = if free_riders.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mut is_fr = vec![false; n];
+            for &i in &free_riders {
+                is_fr[i] = true;
+            }
+            let rider: Vec<f64> = free_riders.iter().map(|&i| payoff[i]).collect();
+            let compliant: Vec<f64> = (0..n)
+                .filter(|&i| self.world.kinds[i].is_good() && !is_fr[i])
+                .map(|i| payoff[i])
+                .collect();
+            (mean(&rider), mean(&compliant))
+        };
+        let reputation_evasion_rate = if adv.whitewash_events == 0 {
+            0.0
+        } else {
+            adv.whitewash_evasions as f64 / adv.whitewash_events as f64
+        };
+        let clique_payout_leakage = if adv.phantom_injected == 0 {
+            0.0
+        } else {
+            adv.phantom_injected.saturating_sub(clique_phantom_flagged) as f64
+                / adv.phantom_injected as f64
         };
 
         let (
@@ -1392,8 +1584,38 @@ impl SimulationRun {
             windowed_delivery_ratio,
             windowed_payoff_rate,
             windowed_retry_rate,
+            free_riders,
+            free_rider_refusals: adv.free_rider_refusals,
+            free_rider_payoff,
+            compliant_payoff,
+            whitewash_events: adv.whitewash_events,
+            reputation_evasion_rate,
+            clique_phantom_instances: adv.phantom_injected,
+            clique_phantom_flagged,
+            clique_payout_leakage,
             interrupted: false,
         }
+    }
+
+    /// A whitewash rejoin: archives every active ledger entry against the
+    /// node (the fresh identity reads clean; the evidence survives in the
+    /// retired archives) and clears its probe-distrust mask — the distrust
+    /// was earned by the shed identity. Counted as an evasion when at
+    /// least one ledger was actively suppressing the node.
+    fn handle_whitewash(&mut self, node: usize) {
+        let Some(fr) = self.fault.as_mut() else {
+            return;
+        };
+        if fr.adversary.is_none() {
+            return;
+        }
+        let (archived, evaded) = fr.reputation.whitewash_node(NodeId(node));
+        fr.adv.whitewash_events += 1;
+        fr.adv.whitewash_archived += archived as u64;
+        if evaded > 0 {
+            fr.adv.whitewash_evasions += 1;
+        }
+        fr.probe_invalid.forgive(node);
     }
 }
 
@@ -1464,6 +1686,7 @@ impl Process for SimulationRun {
                 }
             }
             Ev::Arrival { pair } => self.handle_arrival(engine, now, pair),
+            Ev::Whitewash(node) => self.handle_whitewash(node),
         }
         idpa_desim::engine::Control::Continue
     }

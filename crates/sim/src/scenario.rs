@@ -10,7 +10,7 @@
 
 use idpa_core::routing::{AdversaryStrategy, PathPolicy, RoutingStrategy};
 use idpa_core::utility::UtilityModel;
-use idpa_desim::FaultConfig;
+use idpa_desim::{AdversaryConfig, FaultConfig};
 use idpa_netmodel::{ChurnConfig, CostConfig};
 
 use crate::error::SimError;
@@ -174,6 +174,11 @@ pub struct ScenarioConfig {
     /// Deterministic fault injection (all-zero rates = faults off, and the
     /// run is bit-identical to a build without the fault layer).
     pub fault: FaultConfig,
+    /// Deterministic adversary strategies (`--adversary-*`): free riders,
+    /// whitewashers and colluding cliques. All-zero rates (the default)
+    /// derive nothing and the run is bit-identical to a build without the
+    /// adversary layer.
+    pub adversary: AdversaryConfig,
     /// Number of owner-keyed shards the history arena is split into
     /// (`--history-shards`). `0` (the default) resolves to the worker
     /// thread count; any value is clamped to `1..=n_nodes`. Results are
@@ -264,6 +269,7 @@ impl Default for ScenarioConfig {
             probe_mode: ProbeMode::Lazy,
             probe_rng: ProbeRngMode::PerNode,
             fault: FaultConfig::default(),
+            adversary: AdversaryConfig::default(),
             history_shards: 0,
             node_lifecycle: NodeLifecycle::Eager,
             cost_storage: CostStorage::Dense,
@@ -498,6 +504,12 @@ impl ScenarioConfig {
             .validate()
             .map_err(|message| SimError::InvalidConfig {
                 field: "fault",
+                message,
+            })?;
+        self.adversary
+            .validate()
+            .map_err(|message| SimError::InvalidConfig {
+                field: "adversary",
                 message,
             })
     }
@@ -857,6 +869,21 @@ mod tests {
         ignored
             .validate()
             .expect("warm-up ignored with windows off");
+    }
+
+    #[test]
+    fn adversary_defaults_off_and_bad_rates_rejected_through_scenario() {
+        let cfg = ScenarioConfig::default();
+        assert!(!cfg.adversary.is_active(), "adversary layer defaults off");
+        cfg.validate().expect("adversary defaults must validate");
+        let mut bad = cfg;
+        bad.adversary.free_rider_fraction = 1.5;
+        assert_rejected(&bad, "adversary", "free_rider_fraction");
+        let mut active = cfg;
+        active.adversary.clique_count = 2;
+        active.adversary.clique_forge_rate = 0.5;
+        active.validate().expect("clique scenario must validate");
+        assert!(active.adversary.is_active());
     }
 
     #[test]

@@ -102,6 +102,40 @@ impl ReputationStore {
         }
     }
 
+    /// Whitewashes relay `v` across every materialized ledger: each
+    /// active entry for `v` is archived into its ledger's retired store
+    /// (see [`EdgeReputation::whitewash`]) so the fresh identity reads
+    /// clean while the evidence survives. An absent sparse ledger is the
+    /// clean ledger and holds nothing for `v`, so skipping it is
+    /// value-identical to the dense walk over empty entries.
+    ///
+    /// Returns `(archived, evaded)`: how many ledgers held an active
+    /// entry for `v`, and in how many of those `v` was suppressed at the
+    /// moment of the wash — the suppression the fresh identity escapes.
+    pub fn whitewash_node(&mut self, v: idpa_overlay::NodeId) -> (usize, usize) {
+        let mut archived = 0usize;
+        let mut evaded = 0usize;
+        let mut wash = |ledger: &mut EdgeReputation| {
+            let suppressed = ledger.is_suppressed(v);
+            if ledger.whitewash(v) {
+                archived += 1;
+                if suppressed {
+                    evaded += 1;
+                }
+            }
+        };
+        match self {
+            ReputationStore::Dense(ledgers) => ledgers.iter_mut().for_each(&mut wash),
+            ReputationStore::Sparse { ledgers, .. } => {
+                // Deterministic outcome regardless of map order: the wash
+                // of one ledger never reads another, and the counters are
+                // order-independent sums.
+                ledgers.values_mut().for_each(&mut wash);
+            }
+        }
+        (archived, evaded)
+    }
+
     /// Snapshot export: `(initiator, ledger entries)` for every
     /// materialized ledger, sorted by initiator index. Dense stores export
     /// all `n` ledgers (empty ones included, so the restored layout is
@@ -125,11 +159,51 @@ impl ReputationStore {
             }
         }
     }
+
+    /// Snapshot export of the retired (whitewashed) archives:
+    /// `(initiator, retired rows)` for every ledger holding at least one
+    /// retired generation, sorted by initiator index. Ledgers with empty
+    /// archives export nothing under either layout, so the dense and
+    /// sparse exports agree byte-for-byte.
+    #[must_use]
+    pub fn snapshot_retired(&self) -> Vec<(usize, RetiredEntries)> {
+        let collect = |iter: &mut dyn Iterator<Item = (usize, &EdgeReputation)>| {
+            let mut out: Vec<(usize, RetiredEntries)> = iter
+                .map(|(i, l)| (i, l.snapshot_retired()))
+                .filter(|(_, r)| !r.is_empty())
+                .collect();
+            out.sort_unstable_by_key(|e| e.0);
+            out
+        };
+        match self {
+            ReputationStore::Dense(v) => collect(&mut v.iter().enumerate()),
+            ReputationStore::Sparse { ledgers, .. } => {
+                collect(&mut ledgers.iter().map(|(&i, l)| (i, l)))
+            }
+        }
+    }
+
+    /// Restores retired archives exported by
+    /// [`ReputationStore::snapshot_retired`]. Every initiator in the
+    /// export had a materialized ledger at snapshot time (an archive is
+    /// only ever created by washing a materialized active entry), so
+    /// materializing through `get_mut` reproduces the interrupted run's
+    /// residency exactly.
+    pub fn restore_retired(&mut self, entries: &[(usize, RetiredEntries)]) {
+        for (i, rows) in entries {
+            self.get_mut(*i).restore_retired(rows);
+        }
+    }
 }
 
 /// One ledger's snapshot rows: `(relay, drops, timeouts, flagged)` per
 /// recorded relay — the shape [`EdgeReputation::snapshot_entries`] exports.
 pub type LedgerEntries = Vec<(usize, u32, u32, bool)>;
+
+/// One ledger's retired archive rows: per relay, the
+/// `(drops, timeouts, flagged)` of each whitewashed generation in wash
+/// order — the shape [`EdgeReputation::snapshot_retired`] exports.
+pub type RetiredEntries = Vec<(usize, Vec<(u32, u32, bool)>)>;
 
 /// The idle-eviction sweep driver of the lazy lifecycle.
 ///
@@ -229,6 +303,37 @@ mod tests {
         }
         assert_eq!(dense.approx_bytes(), sparse.approx_bytes());
         assert!(sparse.get(2).is_suppressed(NodeId(4)));
+    }
+
+    #[test]
+    fn whitewash_node_is_layout_invariant() {
+        let mut dense = ReputationStore::dense(5);
+        let mut sparse = ReputationStore::sparse(5);
+        for store in [&mut dense, &mut sparse] {
+            // Suppress node 4 in ledger 2, record-but-not-suppress it in
+            // ledger 0, and leave ledger 1 untouched.
+            for _ in 0..3 {
+                store.get_mut(2).record_drop(NodeId(4));
+            }
+            store.get_mut(0).record_timeout(NodeId(4));
+        }
+        for store in [&mut dense, &mut sparse] {
+            assert_eq!(store.whitewash_node(NodeId(4)), (2, 1));
+            // Second wash: nothing active remains anywhere.
+            assert_eq!(store.whitewash_node(NodeId(4)), (0, 0));
+        }
+        assert_eq!(dense.snapshot_retired(), sparse.snapshot_retired());
+        assert_eq!(dense.snapshot_retired().len(), 2);
+        // Fresh identity reads clean; the evidence survived.
+        for store in [&dense, &sparse] {
+            assert!(!store.get(2).is_suppressed(NodeId(4)));
+            assert_eq!(store.get(2).score(NodeId(4)), 1.0);
+            assert_eq!(store.get(2).retired_fault_count(NodeId(4)), 3);
+        }
+        // Round trip through a fresh store.
+        let mut restored = ReputationStore::sparse(5);
+        restored.restore_retired(&sparse.snapshot_retired());
+        assert_eq!(restored.snapshot_retired(), sparse.snapshot_retired());
     }
 
     #[test]

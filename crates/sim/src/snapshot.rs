@@ -59,7 +59,7 @@ use crate::world::World;
 /// Snapshot format version; bumped on any layout change so a stale
 /// snapshot fails with [`CodecError::UnsupportedVersion`] instead of
 /// misdecoding.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// The scenario fingerprint a snapshot is bound to: FNV-1a over the
 /// config's `Debug` rendering. Every field participates, including the
@@ -127,6 +127,10 @@ fn enc_ev(e: &mut Enc, ev: &Ev) {
             e.u8(5);
             e.usize(pair);
         }
+        Ev::Whitewash(node) => {
+            e.u8(6);
+            e.usize(node);
+        }
     }
 }
 
@@ -147,6 +151,7 @@ fn dec_ev(d: &mut Dec, n_nodes: usize, n_pairs: usize) -> Result<Ev, SimError> {
         5 => Ev::Arrival {
             pair: idx(d.usize().map_err(codec)?, n_pairs, "event pair index")?,
         },
+        6 => Ev::Whitewash(idx(d.usize().map_err(codec)?, n_nodes, "event node index")?),
         _ => return Err(mismatch("event tag")),
     })
 }
@@ -442,6 +447,24 @@ pub fn encode(run: &SimulationRun, engine: &Engine<Ev>) -> Vec<u8> {
                 }
             }
 
+            // Retired (whitewashed) ledger archives — dynamic evidence
+            // that must survive a resume bit-identically.
+            let retired = fr.reputation.snapshot_retired();
+            e.seq_len(retired.len());
+            for (initiator, relays) in &retired {
+                e.usize(*initiator);
+                e.seq_len(relays.len());
+                for (relay, gens) in relays {
+                    e.usize(*relay);
+                    e.seq_len(gens.len());
+                    for (drops, timeouts, flagged) in gens {
+                        e.u32(*drops);
+                        e.u32(*timeouts);
+                        e.bool(*flagged);
+                    }
+                }
+            }
+
             let until = fr.probe_invalid.snapshot_state();
             e.seq_len(until.len());
             for &t in &until {
@@ -467,6 +490,16 @@ pub fn encode(run: &SimulationRun, engine: &Engine<Ev>) -> Vec<u8> {
                         e.u64(r.forwarder.0);
                         e.raw(&r.mac);
                     }
+                    match &ev.observed_hops {
+                        None => e.bool(false),
+                        Some(obs) => {
+                            e.bool(true);
+                            e.seq_len(obs.len());
+                            for h in obs {
+                                e.u64(h.0);
+                            }
+                        }
+                    }
                 }
             }
 
@@ -491,8 +524,17 @@ pub fn encode(run: &SimulationRun, engine: &Engine<Ev>) -> Vec<u8> {
                     e.u64(es.payout_ops);
                     e.u64(es.batch_ops);
                     e.u64(es.receipts_netted);
+                    e.u64(es.phantom_flagged);
                 }
             }
+
+            // Adversary counters: the layer's only mutable state (the plan
+            // is a pure precomputed schedule, rebuilt from the config).
+            e.u64(fr.adv.whitewash_events);
+            e.u64(fr.adv.whitewash_evasions);
+            e.u64(fr.adv.whitewash_archived);
+            e.u64(fr.adv.free_rider_refusals);
+            e.u64(fr.adv.phantom_injected);
         }
     }
 
@@ -843,6 +885,38 @@ pub fn restore(
                     EdgeReputation::from_snapshot(n_nodes, &entries);
             }
 
+            let n_retired = d.seq_len(9).map_err(codec)?;
+            let mut retired = Vec::with_capacity(n_retired);
+            let mut last_init: Option<usize> = None;
+            for _ in 0..n_retired {
+                let initiator = idx(d.usize().map_err(codec)?, n_nodes, "retired initiator")?;
+                if last_init.is_some_and(|prev| prev >= initiator) {
+                    return Err(mismatch("retired initiator order"));
+                }
+                last_init = Some(initiator);
+                let n_relays = d.seq_len(9).map_err(codec)?;
+                let mut relays = Vec::with_capacity(n_relays);
+                let mut last_relay: Option<usize> = None;
+                for _ in 0..n_relays {
+                    let relay = idx(d.usize().map_err(codec)?, n_nodes, "retired relay")?;
+                    if last_relay.is_some_and(|prev| prev >= relay) {
+                        return Err(mismatch("retired relay order"));
+                    }
+                    last_relay = Some(relay);
+                    let n_gens = d.seq_len(9).map_err(codec)?;
+                    let mut gens = Vec::with_capacity(n_gens);
+                    for _ in 0..n_gens {
+                        let drops = d.u32().map_err(codec)?;
+                        let timeouts = d.u32().map_err(codec)?;
+                        let flagged = d.bool().map_err(codec)?;
+                        gens.push((drops, timeouts, flagged));
+                    }
+                    relays.push((relay, gens));
+                }
+                retired.push((initiator, relays));
+            }
+            fr.reputation.restore_retired(&retired);
+
             let n_until = d.seq_len(8).map_err(codec)?;
             if n_until != n_nodes {
                 return Err(mismatch("probe invalidation length"));
@@ -893,7 +967,21 @@ pub fn restore(
                             mac,
                         });
                     }
-                    evidence.push(ConnectionEvidence { manifest, receipts });
+                    let observed_hops = if d.bool().map_err(codec)? {
+                        let n_obs = d.seq_len(8).map_err(codec)?;
+                        let mut obs = Vec::with_capacity(n_obs);
+                        for _ in 0..n_obs {
+                            obs.push(AccountId(d.u64().map_err(codec)?));
+                        }
+                        Some(obs)
+                    } else {
+                        None
+                    };
+                    evidence.push(ConnectionEvidence {
+                        manifest,
+                        receipts,
+                        observed_hops,
+                    });
                 }
                 *v = PathValidator::from_snapshot(&fr.keys[pair], pair as u64, evidence);
             }
@@ -929,9 +1017,16 @@ pub fn restore(
                     es.payout_ops = d.u64().map_err(codec)?;
                     es.batch_ops = d.u64().map_err(codec)?;
                     es.receipts_netted = d.u64().map_err(codec)?;
+                    es.phantom_flagged = d.u64().map_err(codec)?;
                 }
                 _ => return Err(mismatch("settlement mode")),
             }
+
+            fr.adv.whitewash_events = d.u64().map_err(codec)?;
+            fr.adv.whitewash_evasions = d.u64().map_err(codec)?;
+            fr.adv.whitewash_archived = d.u64().map_err(codec)?;
+            fr.adv.free_rider_refusals = d.u64().map_err(codec)?;
+            fr.adv.phantom_injected = d.u64().map_err(codec)?;
         }
         _ => return Err(mismatch("fault block presence")),
     }

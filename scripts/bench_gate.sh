@@ -3,7 +3,7 @@
 # short timed passes of the gated benches (history_shard via
 # IDPA_HS_QUICK=1, probe_maintenance via IDPA_PM_QUICK=1, node_lifecycle
 # via IDPA_NL_QUICK=1, settlement via IDPA_ST_QUICK=1, service_mode via
-# IDPA_SVC_QUICK=1) and fails if any
+# IDPA_SVC_QUICK=1, adversary_zoo via IDPA_AZ_QUICK=1) and fails if any
 # freshly measured point regresses
 # more than IDPA_BENCH_GATE_PCT percent (default 20) against the best
 # value that key has ever had in a committed BENCH_*.json report.
@@ -26,11 +26,13 @@ fresh_pm=""
 fresh_nl=""
 fresh_st=""
 fresh_svc=""
+fresh_az=""
 trap 'status=$?; [ -n "$fresh" ] && rm -f "$fresh"
       [ -n "$fresh_pm" ] && rm -f "$fresh_pm"
       [ -n "$fresh_nl" ] && rm -f "$fresh_nl"
       [ -n "$fresh_st" ] && rm -f "$fresh_st"
       [ -n "$fresh_svc" ] && rm -f "$fresh_svc"
+      [ -n "$fresh_az" ] && rm -f "$fresh_az"
       if [ "$status" -ne 0 ]; then
         echo "bench gate: FAILED in stage: $stage (exit $status)" >&2
       fi' EXIT
@@ -49,6 +51,7 @@ fresh_pm="$(mktemp)"
 fresh_nl="$(mktemp)"
 fresh_st="$(mktemp)"
 fresh_svc="$(mktemp)"
+fresh_az="$(mktemp)"
 IDPA_HS_QUICK=1 IDPA_BENCH_OUT="$fresh" \
     cargo bench --offline -p idpa-bench --bench history_shard
 
@@ -77,6 +80,14 @@ stage="timed service_mode pass"
 IDPA_SVC_QUICK=1 IDPA_BENCH_OUT="$fresh_svc" \
     cargo bench --offline -p idpa-bench --bench service_mode
 cat "$fresh_svc" >> "$fresh"
+
+# The adversary_zoo pass also asserts (inside the binary) that the clique
+# cross-confirmation defense costs no more than 10% over the unarmed arm
+# and that it flags >= 90% of the phantoms the cliques inject.
+stage="timed adversary_zoo pass"
+IDPA_AZ_QUICK=1 IDPA_BENCH_OUT="$fresh_az" \
+    cargo bench --offline -p idpa-bench --bench adversary_zoo
+cat "$fresh_az" >> "$fresh"
 
 # 3. Compare each fresh point against the best committed value for the
 # same key across every BENCH_*.json in the repo (flat "name": ns maps).

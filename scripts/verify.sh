@@ -18,8 +18,11 @@ trap 'status=$?; if [ "$status" -ne 0 ]; then
 stage="build (cargo build --release --offline)"
 cargo build --release --offline
 
-stage="test (cargo test -q --offline)"
-cargo test -q --offline
+# --workspace matters: the root is itself a package (the idpa facade), so
+# a bare `cargo test` would run only its 48 tests and skip every member
+# crate's suite.
+stage="test (cargo test -q --offline --workspace)"
+cargo test -q --offline --workspace
 
 stage="lint (cargo clippy --all-targets -- -D warnings)"
 cargo clippy --all-targets --offline -- -D warnings
@@ -86,6 +89,25 @@ IDPA_SVC_SMOKE=1 cargo run --release --offline -p idpa-sim -- service \
     "${svc_flags[@]}" --resume "$svc_dir/run.snap" > "$svc_dir/resumed.txt"
 diff "$svc_dir/uninterrupted.txt" "$svc_dir/resumed.txt"
 echo "service smoke: resumed run is line-identical to the uninterrupted run"
+
+# Adversary-zoo smoke: every §4 strategy class (free riders, whitewashers,
+# colluding cliques) with its matching defense off and on, at quick scale.
+# The example asserts the economics (free riders earn zero, the rejoin
+# schedule fires, the cross-check flags >= 90% of phantom payouts), so this
+# guards the adversary layer end to end; the CLI run then exercises the
+# --adversary-* flags through a real experiment.
+stage="adversary smoke (IDPA_AZ_SMOKE=1 adversary_zoo example + CLI)"
+IDPA_AZ_SMOKE=1 cargo run --release --offline --example adversary_zoo
+IDPA_AZ_SMOKE=1 cargo run --release --offline -p idpa-sim -- adversary-zoo \
+    --quick --reps 2 --out target/verify-results
+
+# Fuzz smoke: the in-tree structured fuzzer over PathValidator,
+# Bank::deposit_batch and EpochLedger — the committed regression corpus
+# (tests/fuzz_corpus/) plus a short deterministic sweep. Bounded well under
+# 30 s; the nightly CI tier reruns it with IDPA_FUZZ_LONG=1 at 100x the
+# case budget.
+stage="fuzz smoke (IDPA_FUZZ_SMOKE=1 fuzz_validator)"
+IDPA_FUZZ_SMOKE=1 cargo test -q --offline -p idpa-payment --test fuzz_validator
 
 stage="done"
 echo "verify: OK"

@@ -63,7 +63,9 @@ pub mod prelude {
     pub use idpa_core::utility::{InitiatorUtility, UtilityModel};
     pub use idpa_desim::rng::{StreamFactory, Xoshiro256StarStar};
     pub use idpa_desim::stats::{Ecdf, OnlineStats};
-    pub use idpa_desim::{Engine, FaultConfig, FaultResponse, Process, SimTime};
+    pub use idpa_desim::{
+        AdversaryConfig, AdversaryPlan, Engine, FaultConfig, FaultResponse, Process, SimTime,
+    };
     pub use idpa_overlay::{NodeId, NodeKind, ProbeEstimator, ProbeInvalidation, Topology};
     pub use idpa_payment::{Bank, Escrow, Receipt, ReceiptBook, Token, Wallet};
     pub use idpa_sim::{RunResult, ScenarioConfig, SettlementMode, SimulationRun, World};
