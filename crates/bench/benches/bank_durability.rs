@@ -1,0 +1,220 @@
+//! Durable-bank overhead and recovery throughput: what does the
+//! write-ahead ledger cost at settlement time, and how fast does a cold
+//! bank (or a warm replica) come back from the log?
+//!
+//! Workload model: one settlement-shaped op stream — an escrow account
+//! funded up front, per-bundle payout transfers to a forwarder pool, and
+//! periodic receipt-clearing withdraw/deposit pairs with deterministic
+//! serials — applied through [`Ledger`] three ways:
+//!
+//! * `settle_off`: no WAL attached (the `--bank-durability off` path).
+//! * `settle_wal`: per-op durable appends (the per-bundle settlement
+//!   discipline: validate, log, then mutate).
+//! * `settle_wal_group`: group commit, one [`Ledger::commit_wal`] per
+//!   1024-op window (the epoch settlement discipline).
+//!
+//! Then two recovery arms over the WAL image the `settle_wal` arm
+//! produced:
+//!
+//! * `recover`: [`Ledger::recover`] from byte zero — the cold-start path
+//!   the torn-write property suite exercises.
+//! * `replica_feed`: [`BankReplica::feed`] of the same stream — the warm
+//!   standby that takes over on a bank crash.
+//!
+//! The binary asserts the ISSUE's acceptance bound inline: WAL-on
+//! settlement must stay within 15% of WAL-off (the gate's ns/iter
+//! comparison then holds the trajectory across commits). It also proves
+//! both recovery arms land on the live ledger's exact digest before any
+//! timing starts.
+//!
+//! `IDPA_BD_QUICK=1` shrinks the stream to 32k ops for the CI bench gate;
+//! quick and full tiers use distinct kernel names so their points never
+//! gate against each other.
+
+use idpa_bench::harness::{smoke_mode, Harness};
+use idpa_payment::{AccountId, BankReplica, Ledger, LedgerOp, TokenId, Wal};
+
+/// Escrow funding large enough that no transfer or withdrawal underflows.
+const ESCROW_FUND: u64 = 1 << 40;
+/// Ops per group-commit window in the `settle_wal_group` arm.
+const GROUP_WINDOW: usize = 1024;
+
+/// Deterministic serial for the clearing deposits, disjoint per flush.
+fn serial(flush: u64) -> TokenId {
+    let mut id = [0u8; 32];
+    id[..8].copy_from_slice(&flush.to_le_bytes());
+    id[16] = 0xBD;
+    TokenId(id)
+}
+
+/// A settlement-shaped op stream: escrow open, forwarder pool opens, then
+/// interleaved payout transfers and receipt-clearing pairs.
+fn build(n_ops: usize, n_forwarders: u64) -> Vec<LedgerOp> {
+    let mut ops = Vec::with_capacity(n_ops + n_forwarders as usize + 1);
+    ops.push(LedgerOp::Open {
+        balance: ESCROW_FUND,
+    });
+    for _ in 0..n_forwarders {
+        ops.push(LedgerOp::Open { balance: 0 });
+    }
+    let escrow = AccountId(0);
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut flush = 0u64;
+    while ops.len() < n_ops {
+        // A bundle of payouts, then one clearing pair — the per-bundle
+        // settlement rhythm.
+        for _ in 0..14 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ops.push(LedgerOp::Transfer {
+                from: escrow,
+                to: AccountId(1 + (x >> 33) % n_forwarders),
+                amount: 1 + (x & 3),
+            });
+        }
+        ops.push(LedgerOp::Withdraw {
+            account: escrow,
+            value: 8,
+        });
+        ops.push(LedgerOp::Deposit {
+            account: escrow,
+            serial: serial(flush),
+            value: 8,
+        });
+        flush += 1;
+    }
+    ops.truncate(n_ops);
+    ops
+}
+
+/// Apply the stream to a bare ledger — the `--bank-durability off` path.
+fn settle_off(ops: &[LedgerOp]) -> Ledger {
+    let mut ledger = Ledger::new();
+    for op in ops {
+        ledger.apply(op).expect("pre-generated op stream is valid");
+    }
+    ledger
+}
+
+/// Apply with a WAL attached, one durable append per op.
+fn settle_wal(ops: &[LedgerOp]) -> Ledger {
+    let mut ledger = Ledger::new();
+    ledger.attach_wal(Wal::new());
+    for op in ops {
+        ledger.apply(op).expect("pre-generated op stream is valid");
+    }
+    ledger
+}
+
+/// Apply with a WAL attached in group-commit mode, committing every
+/// `GROUP_WINDOW` ops — the epoch-boundary discipline.
+fn settle_wal_group(ops: &[LedgerOp]) -> Ledger {
+    let mut ledger = Ledger::new();
+    ledger.attach_wal(Wal::new());
+    ledger.set_group_commit(true);
+    for chunk in ops.chunks(GROUP_WINDOW) {
+        for op in chunk {
+            ledger.apply(op).expect("pre-generated op stream is valid");
+        }
+        ledger.commit_wal();
+    }
+    ledger
+}
+
+fn main() {
+    let quick = std::env::var("IDPA_BD_QUICK").is_ok_and(|v| v == "1");
+    let (n_ops, n_forwarders, tag) = if smoke_mode() {
+        (2_048, 32, "o2k")
+    } else if quick {
+        (32_768, 256, "o32k")
+    } else {
+        (1 << 19, 2_048, "o512k")
+    };
+    let ops = build(n_ops, n_forwarders);
+
+    // Equivalence guard before any timing: all three settlement arms and
+    // both recovery arms must land on the same ledger digest.
+    let off = settle_off(&ops);
+    let mut live = settle_wal(&ops);
+    let grouped = settle_wal_group(&ops);
+    assert_eq!(off.digest(), live.digest(), "WAL changed settlement");
+    assert_eq!(
+        off.digest(),
+        grouped.digest(),
+        "group commit changed settlement"
+    );
+    let wal = live.take_wal().expect("settle_wal attached a WAL");
+    assert_eq!(wal.committed_records(), n_ops as u64);
+    let bytes: Vec<u8> = wal.committed_bytes().to_vec();
+    let (recovered, report) = Ledger::recover(&bytes);
+    assert!(
+        report.is_clean(),
+        "a fully committed WAL must recover clean"
+    );
+    assert_eq!(recovered.digest(), off.digest(), "recovery diverged");
+    let mut replica = BankReplica::new();
+    replica.feed(&bytes);
+    assert_eq!(replica.ledger().digest(), off.digest(), "replica diverged");
+    println!(
+        "bank_durability/{tag}: {n_ops} ops -> {} WAL bytes ({:.1} bytes/op), clean recovery",
+        bytes.len(),
+        bytes.len() as f64 / n_ops as f64
+    );
+
+    let mut h = Harness::new();
+    h.bench(&format!("bank_durability/settle_off_{tag}"), || {
+        settle_off(&ops).digest()
+    });
+    h.bench(&format!("bank_durability/settle_wal_{tag}"), || {
+        settle_wal(&ops).digest()
+    });
+    h.bench(&format!("bank_durability/settle_wal_group_{tag}"), || {
+        settle_wal_group(&ops).digest()
+    });
+    h.bench(&format!("bank_durability/recover_{tag}"), || {
+        Ledger::recover(&bytes).0.digest()
+    });
+    h.bench(&format!("bank_durability/replica_feed_{tag}"), || {
+        let mut r = BankReplica::new();
+        r.feed(&bytes);
+        r.ledger().digest()
+    });
+
+    if !smoke_mode() {
+        let ns_of = |suffix: &str| {
+            h.measurements()
+                .iter()
+                .find(|m| m.name.ends_with(suffix))
+                .expect("all arms measured")
+                .ns_per_iter
+        };
+        let off_ns = ns_of(&format!("settle_off_{tag}"));
+        let wal_ns = ns_of(&format!("settle_wal_{tag}"));
+        let group_ns = ns_of(&format!("settle_wal_group_{tag}"));
+        let rec_ns = ns_of(&format!("recover_{tag}"));
+        let overhead = wal_ns / off_ns - 1.0;
+        println!(
+            "bank_durability/{tag}: off {:.2} ms, wal {:.2} ms (+{:.1}%), group {:.2} ms (+{:.1}%)",
+            off_ns / 1e6,
+            wal_ns / 1e6,
+            overhead * 100.0,
+            group_ns / 1e6,
+            (group_ns / off_ns - 1.0) * 100.0
+        );
+        println!(
+            "bank_durability/{tag}: recovery {:.2} ms ({:.2} M ops/s replayed)",
+            rec_ns / 1e6,
+            n_ops as f64 * 1e3 / rec_ns
+        );
+        // The ISSUE's acceptance bound: durable settlement costs at most
+        // 15% over the bare ledger. The gate's ns/iter comparison holds
+        // the absolute trajectory on top of this relative tripwire.
+        assert!(
+            overhead <= 0.15,
+            "WAL-on settlement overhead {:.1}% exceeds the 15% bound",
+            overhead * 100.0
+        );
+    }
+    h.write_json_default().expect("write bench report");
+}

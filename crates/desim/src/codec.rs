@@ -134,6 +134,14 @@ impl Enc {
         Enc { buf: Vec::new() }
     }
 
+    /// Wraps an existing buffer, appending after its current contents —
+    /// lets hot paths encode straight onto a destination (or reuse a
+    /// scratch allocation) instead of paying a fresh `Vec` per record.
+    #[must_use]
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Enc { buf }
+    }
+
     /// Consumes the encoder, returning the encoded bytes.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {

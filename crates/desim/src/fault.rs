@@ -75,6 +75,13 @@ pub struct FaultConfig {
     pub bank_downtime: f64,
     /// Mean length of one bank outage window, in minutes.
     pub bank_outage_mean: f64,
+    /// Per-settlement-flush probability that the bank process *crashes*
+    /// (distinct from an outage: state is lost mid-write and recovery
+    /// replays the WAL; requires durability to be enabled by the runner).
+    pub bank_crash_rate: f64,
+    /// Given a crash, probability that the final WAL record is torn
+    /// (partially written) rather than cleanly cut.
+    pub bank_crash_torn_share: f64,
     /// Bounded retries per message after the unconditional first attempt.
     pub max_retries: u32,
     /// Initiator's per-attempt timeout (minutes); attempt `a`'s backoff is
@@ -96,6 +103,8 @@ impl Default for FaultConfig {
             cheat_corrupt_share: 0.5,
             bank_downtime: 0.0,
             bank_outage_mean: 15.0,
+            bank_crash_rate: 0.0,
+            bank_crash_torn_share: 0.5,
             max_retries: 3,
             retry_timeout: 2.0,
             response: FaultResponse::default(),
@@ -113,9 +122,13 @@ impl FaultConfig {
             || self.delay_rate > 0.0
             || self.cheat_fraction > 0.0
             || self.bank_downtime > 0.0
+            || self.bank_crash_rate > 0.0
     }
 
     /// Checks field ranges; returns a description of the first violation.
+    /// The bank-outage and bank-crash knobs go through the same
+    /// probability gate as every other rate — one shared range check, so
+    /// a new fault class cannot silently skip validation.
     pub fn validate(&self) -> Result<(), String> {
         let probs = [
             ("crash_rate", self.crash_rate),
@@ -123,6 +136,8 @@ impl FaultConfig {
             ("delay_rate", self.delay_rate),
             ("cheat_fraction", self.cheat_fraction),
             ("cheat_corrupt_share", self.cheat_corrupt_share),
+            ("bank_crash_rate", self.bank_crash_rate),
+            ("bank_crash_torn_share", self.bank_crash_torn_share),
         ];
         for (name, v) in probs {
             if !(0.0..=1.0).contains(&v) {
@@ -345,6 +360,32 @@ impl FaultPlan {
         }
     }
 
+    /// Whether (and how) the bank process crashes during settlement flush
+    /// number `flush`. A pure function of the flush index, drawn from its
+    /// own keyed stream ("fault/bank-crash"), so adding or removing crash
+    /// draws never perturbs any other fault class — the same discipline as
+    /// [`FaultPlan::sample_transmission`]. Returns `None` when no crash
+    /// fires (always, at rate zero: the stream is never touched).
+    #[must_use]
+    pub fn bank_crash(&self, flush: u64) -> Option<BankCrashDraw> {
+        if self.cfg.bank_crash_rate <= 0.0 {
+            return None;
+        }
+        let mut rng = self.streams.stream_indexed2("fault/bank-crash", flush, 0);
+        let u_gate: f64 = rng.random_range(0.0..1.0);
+        if u_gate >= self.cfg.bank_crash_rate {
+            return None;
+        }
+        let u_pos = rng.next();
+        let u_torn: f64 = rng.random_range(0.0..1.0);
+        let u_tear = rng.next();
+        Some(BankCrashDraw {
+            u_pos,
+            torn: u_torn < self.cfg.bank_crash_torn_share,
+            u_tear,
+        })
+    }
+
     /// Whether the bank is reachable at time `t`.
     #[must_use]
     pub fn bank_available(&self, t: f64) -> bool {
@@ -381,6 +422,21 @@ impl FaultPlan {
     pub fn bank_outages(&self) -> &[(f64, f64)] {
         &self.bank_outages
     }
+}
+
+/// A seeded bank-crash decision for one settlement flush: *where* inside
+/// the flush the primary dies and whether the write in flight is torn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankCrashDraw {
+    /// Uniform draw locating the crash point: the runner reduces it
+    /// modulo the flush's operation count to pick the op that dies.
+    pub u_pos: u64,
+    /// Whether the final record is torn (partially written) rather than
+    /// cut at a record boundary.
+    pub torn: bool,
+    /// Uniform draw locating the tear: reduced modulo the record length
+    /// to pick how many bytes of the final record survive.
+    pub u_tear: u64,
 }
 
 /// Inverse-CDF exponential sample with the given mean (`u` uniform in
@@ -577,6 +633,58 @@ mod tests {
             .sum();
         let frac = down / 100_000.0;
         assert!((frac - 0.3).abs() < 0.05, "downtime fraction {frac}");
+    }
+
+    #[test]
+    fn bank_crash_draws_are_position_stable_and_rate_respecting() {
+        let cfg = FaultConfig {
+            bank_crash_rate: 0.3,
+            bank_crash_torn_share: 0.5,
+            ..FaultConfig::default()
+        };
+        assert!(cfg.is_active(), "crash class activates the fault layer");
+        assert_eq!(cfg.validate(), Ok(()));
+        let a = FaultPlan::new(cfg, StreamFactory::new(21), 10, 100.0);
+        let b = FaultPlan::new(cfg, StreamFactory::new(21), 10, 100.0);
+        let mut crashes = 0usize;
+        let mut torn = 0usize;
+        for flush in 0..2000u64 {
+            let d = a.bank_crash(flush);
+            assert_eq!(d, b.bank_crash(flush), "flush {flush} draw unstable");
+            if let Some(d) = d {
+                crashes += 1;
+                torn += usize::from(d.torn);
+            }
+        }
+        let rate = crashes as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.04, "empirical crash rate {rate}");
+        let share = torn as f64 / crashes as f64;
+        assert!((share - 0.5).abs() < 0.08, "empirical torn share {share}");
+    }
+
+    #[test]
+    fn zero_crash_rate_never_draws() {
+        let p = plan(14); // active plan, but bank_crash_rate defaults to 0
+        for flush in 0..100u64 {
+            assert_eq!(p.bank_crash(flush), None);
+        }
+    }
+
+    #[test]
+    fn bank_crash_rate_shares_the_probability_gate() {
+        let bad = FaultConfig {
+            bank_crash_rate: 1.5,
+            ..FaultConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("bank_crash_rate"));
+        let bad = FaultConfig {
+            bank_crash_torn_share: -0.1,
+            ..FaultConfig::default()
+        };
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .contains("bank_crash_torn_share"));
     }
 
     #[test]

@@ -231,6 +231,15 @@ impl AuditLog {
         Ok(())
     }
 
+    /// End-of-run chain assertion: `true` iff the whole hash chain
+    /// verifies. Every experiment/example run asserts this before
+    /// reporting results; use [`AuditLog::verify`] when the index of the
+    /// first corrupt entry is needed.
+    #[must_use]
+    pub fn verify_chain(&self) -> bool {
+        self.verify().is_ok()
+    }
+
     /// Net balance delta of `account` according to the log — the replay
     /// check used to audit the ledger.
     #[must_use]

@@ -5,15 +5,24 @@
 //! balances and deposited token serials, but by construction (blind
 //! signatures) it cannot link a deposit back to a withdrawal, so it never
 //! learns which initiator paid which forwarder.
+//!
+//! All state lives in the crypto-free [`Ledger`]; the bank adds RSA blind
+//! signing and verification on top. That split is what makes the ledger
+//! durable: attach a WAL ([`Bank::enable_wal`]) and every state mutation
+//! is logged before it applies, and [`Bank::recover`] rebuilds the exact
+//! pre-crash state from the intact log prefix (keys are long-lived
+//! material restored separately — the WAL never holds private keys).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 
 use idpa_crypto::bigint::BigUint;
 use idpa_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use idpa_desim::rng::Xoshiro256StarStar;
 
-use crate::audit::{AuditEvent, AuditLog};
-use crate::token::{denominations, PendingWithdrawal, Token, TokenId, Wallet, WithdrawError};
+use crate::audit::AuditLog;
+use crate::ledger::{Ledger, RecoveryReport};
+use crate::token::{denominations, PendingWithdrawal, Token, Wallet, WithdrawError};
+use crate::wal::Wal;
 
 /// Identifier of a bank account (peers and the escrow service hold these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,14 +59,7 @@ pub enum EpochNetError {
 #[derive(Clone)]
 pub struct Bank {
     keys: RsaKeyPair,
-    accounts: HashMap<AccountId, u64>,
-    spent: HashSet<TokenId>,
-    next_account: u64,
-    /// Total value of tokens signed but not yet deposited — outstanding
-    /// bearer liability (used by the conservation-of-value invariant).
-    outstanding: u64,
-    /// Tamper-evident log of every balance-affecting operation.
-    audit: AuditLog,
+    ledger: Ledger,
 }
 
 impl Bank {
@@ -66,12 +68,43 @@ impl Bank {
     pub fn new(modulus_bits: usize, rng: &mut Xoshiro256StarStar) -> Self {
         Bank {
             keys: RsaKeyPair::generate(modulus_bits, rng),
-            accounts: HashMap::new(),
-            spent: HashSet::new(),
-            next_account: 0,
-            outstanding: 0,
-            audit: AuditLog::new(),
+            ledger: Ledger::new(),
         }
+    }
+
+    /// Rebuilds a bank from its long-lived keys and a write-ahead log
+    /// image: replays the intact record prefix, discards any torn tail
+    /// (details in the report), and leaves the WAL attached so operation
+    /// resumes where the durable history ends. Never fails — corruption
+    /// only shortens the accepted prefix.
+    #[must_use]
+    pub fn recover(keys: RsaKeyPair, wal_bytes: &[u8]) -> (Self, RecoveryReport) {
+        let (ledger, report) = Ledger::recover(wal_bytes);
+        (Bank { keys, ledger }, report)
+    }
+
+    /// Attaches a fresh write-ahead log: from here on every state
+    /// mutation appends a checksummed record before applying.
+    pub fn enable_wal(&mut self) {
+        self.ledger.attach_wal(Wal::new());
+    }
+
+    /// The bank's keys (to pair with a WAL image in [`Bank::recover`]).
+    #[must_use]
+    pub fn keys(&self) -> &RsaKeyPair {
+        &self.keys
+    }
+
+    /// The underlying crypto-free ledger (invariant monitor input).
+    #[must_use]
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access (WAL mode switches, corruption-injection
+    /// tests).
+    pub fn ledger_mut(&mut self) -> &mut Ledger {
+        &mut self.ledger
     }
 
     /// The bank's public key (token verification).
@@ -82,20 +115,13 @@ impl Bank {
 
     /// Opens an account with an initial balance, returning its id.
     pub fn open_account(&mut self, initial_balance: u64) -> AccountId {
-        let id = AccountId(self.next_account);
-        self.next_account += 1;
-        self.accounts.insert(id, initial_balance);
-        self.audit.append(AuditEvent::Open {
-            account: id,
-            balance: initial_balance,
-        });
-        id
+        self.ledger.open_account(initial_balance)
     }
 
     /// Balance of an account, or `None` if unknown.
     #[must_use]
     pub fn balance(&self, account: AccountId) -> Option<u64> {
-        self.accounts.get(&account).copied()
+        self.ledger.balance(account)
     }
 
     /// Executes the bank side of a withdrawal: debits the account by the
@@ -107,19 +133,7 @@ impl Bank {
         declared_value: u64,
         blinded: &BigUint,
     ) -> Result<BigUint, WithdrawError> {
-        let balance = self
-            .accounts
-            .get_mut(&account)
-            .ok_or(WithdrawError::UnknownAccount)?;
-        if *balance < declared_value {
-            return Err(WithdrawError::InsufficientFunds);
-        }
-        *balance -= declared_value;
-        self.outstanding += declared_value;
-        self.audit.append(AuditEvent::Withdraw {
-            account,
-            value: declared_value,
-        });
+        self.ledger.withdraw(account, declared_value)?;
         Ok(self.keys.raw_sign(blinded))
     }
 
@@ -134,10 +148,10 @@ impl Bank {
     ) -> Result<(), WithdrawError> {
         // Check funds up-front so a partial failure cannot strand value.
         let balance = self
-            .accounts
-            .get(&account)
+            .ledger
+            .balance(account)
             .ok_or(WithdrawError::UnknownAccount)?;
-        if *balance < amount {
+        if balance < amount {
             return Err(WithdrawError::InsufficientFunds);
         }
         for value in denominations(amount) {
@@ -153,26 +167,13 @@ impl Bank {
     /// Deposits a bearer token into an account: verifies the signature,
     /// rejects double spends, credits the face value.
     pub fn deposit(&mut self, account: AccountId, token: &Token) -> Result<(), DepositError> {
-        if !self.accounts.contains_key(&account) {
+        if !self.ledger.has_account(account) {
             return Err(DepositError::UnknownAccount);
         }
         if !token.verify(self.keys.public()) {
             return Err(DepositError::InvalidSignature);
         }
-        if self.spent.contains(&token.id) {
-            return Err(DepositError::DoubleSpend);
-        }
-        self.spent.insert(token.id);
-        self.outstanding = self.outstanding.saturating_sub(token.value);
-        *self.accounts.get_mut(&account).expect("checked") += token.value;
-        let mut serial_prefix = [0u8; 8];
-        serial_prefix.copy_from_slice(&token.id.0[..8]);
-        self.audit.append(AuditEvent::Deposit {
-            account,
-            value: token.value,
-            serial_prefix,
-        });
-        Ok(())
+        self.ledger.deposit_serial(account, token.id, token.value)
     }
 
     /// Deposits a whole epoch's tokens in one call: each token is
@@ -201,8 +202,8 @@ impl Bank {
     }
 
     /// Applies one net balance delta per account for a settled epoch,
-    /// atomically: every delta applies (one [`AuditEvent::EpochNet`] entry
-    /// per nonzero delta, ascending account order) or none does — a
+    /// atomically: every delta applies (one [`crate::AuditEvent::EpochNet`]
+    /// entry per nonzero delta, ascending account order) or none does — a
     /// failed validation (unknown account, uncovered debit, or a credit
     /// overflowing `u64`) leaves every balance untouched. Deltas are
     /// `i128`, so any sum of `u64` transfer amounts is representable
@@ -214,31 +215,7 @@ impl Bank {
         epoch: u64,
         net: &BTreeMap<AccountId, i128>,
     ) -> Result<(), EpochNetError> {
-        for (&account, &delta) in net {
-            let Some(&balance) = self.accounts.get(&account) else {
-                return Err(EpochNetError::UnknownAccount(account));
-            };
-            let new = i128::from(balance) + delta;
-            if new < 0 {
-                return Err(EpochNetError::InsufficientFunds(account));
-            }
-            if new > i128::from(u64::MAX) {
-                return Err(EpochNetError::BalanceOverflow(account));
-            }
-        }
-        for (&account, &delta) in net {
-            if delta == 0 {
-                continue;
-            }
-            let balance = self.accounts.get_mut(&account).expect("validated above");
-            *balance = u64::try_from(i128::from(*balance) + delta).expect("validated above");
-            self.audit.append(AuditEvent::EpochNet {
-                epoch,
-                account,
-                delta,
-            });
-        }
-        Ok(())
+        self.ledger.apply_epoch_net(epoch, net)
     }
 
     /// Account-to-account ledger transfer (used by escrow payouts, which
@@ -250,44 +227,31 @@ impl Bank {
         to: AccountId,
         amount: u64,
     ) -> Result<(), WithdrawError> {
-        if !self.accounts.contains_key(&to) {
-            return Err(WithdrawError::UnknownAccount);
-        }
-        let src = self
-            .accounts
-            .get_mut(&from)
-            .ok_or(WithdrawError::UnknownAccount)?;
-        if *src < amount {
-            return Err(WithdrawError::InsufficientFunds);
-        }
-        *src -= amount;
-        *self.accounts.get_mut(&to).expect("checked above") += amount;
-        self.audit.append(AuditEvent::Transfer { from, to, amount });
-        Ok(())
+        self.ledger.transfer(from, to, amount)
     }
 
     /// Sum of all account balances.
     #[must_use]
     pub fn total_deposits(&self) -> u64 {
-        self.accounts.values().sum()
+        self.ledger.total_deposits()
     }
 
     /// Outstanding bearer-token liability (withdrawn, not yet deposited).
     #[must_use]
     pub fn outstanding(&self) -> u64 {
-        self.outstanding
+        self.ledger.outstanding()
     }
 
     /// Number of serials seen (telemetry / tests).
     #[must_use]
     pub fn spent_serials(&self) -> usize {
-        self.spent.len()
+        self.ledger.spent_serials()
     }
 
     /// The tamper-evident audit log.
     #[must_use]
     pub fn audit(&self) -> &AuditLog {
-        &self.audit
+        self.ledger.audit()
     }
 }
 
@@ -295,7 +259,7 @@ impl Bank {
 #[allow(clippy::unwrap_used)] // test-only assertions may panic freely
 mod tests {
     use super::*;
-    use crate::token::PendingWithdrawal;
+    use crate::token::{PendingWithdrawal, TokenId};
 
     fn rng(seed: u64) -> Xoshiro256StarStar {
         Xoshiro256StarStar::seed_from_u64(seed)
@@ -577,5 +541,47 @@ mod tests {
         let _ = b.withdraw_into_wallet(alice, 100, &mut w, &mut r); // fails
         let _ = b.transfer(alice, AccountId(404), 1); // fails
         assert_eq!(b.audit().len(), before, "failures must not be logged");
+    }
+
+    #[test]
+    fn wal_enabled_bank_recovers_to_identical_state() {
+        let mut b = bank(23);
+        b.enable_wal();
+        let mut r = rng(24);
+        let alice = b.open_account(100);
+        let bob = b.open_account(0);
+        let mut wallet = Wallet::new();
+        b.withdraw_into_wallet(alice, 9, &mut wallet, &mut r)
+            .unwrap();
+        for t in wallet.take_exact(9).unwrap() {
+            b.deposit(bob, &t).unwrap();
+        }
+        b.transfer(bob, alice, 4).unwrap();
+
+        let wal = b.ledger().wal().unwrap().committed_bytes().to_vec();
+        let (recovered, report) = Bank::recover(b.keys().clone(), &wal);
+        assert!(report.is_clean());
+        assert_eq!(recovered.ledger().digest(), {
+            let mut stripped = b.ledger().clone();
+            stripped.take_wal();
+            stripped.digest()
+        });
+        assert_eq!(recovered.balance(alice), b.balance(alice));
+        assert_eq!(recovered.balance(bob), b.balance(bob));
+        assert_eq!(recovered.audit().head(), b.audit().head());
+        assert!(recovered.audit().verify_chain());
+        // The recovered bank keeps its keys: round-trip a fresh token.
+        let mut b2 = recovered;
+        let mut w2 = Wallet::new();
+        let mut r2 = rng(25);
+        b2.withdraw_into_wallet(alice, 1, &mut w2, &mut r2).unwrap();
+        let t = w2.take_exact(1).unwrap().pop().unwrap();
+        assert!(t.verify(b2.public_key()));
+    }
+
+    #[test]
+    fn wal_off_bank_has_no_log_overhead() {
+        let b = bank(26);
+        assert!(b.ledger().wal().is_none(), "durability is opt-in");
     }
 }

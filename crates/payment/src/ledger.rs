@@ -1,0 +1,709 @@
+//! The crypto-free ledger core of the bank, with optional write-ahead
+//! durability.
+//!
+//! [`Ledger`] owns everything the bank knows that is *state* — account
+//! balances, the spent-serial set, outstanding bearer liability, the
+//! hash-chained audit log — and none of the cryptography. [`crate::Bank`]
+//! wraps it with RSA blind signing/verification; the simulation's durable
+//! shadow bank uses it directly on the crypto-free hot path.
+//!
+//! Durability contract (enforced by every mutating method): validate
+//! (read-only) → append the [`LedgerOp`] to the attached [`Wal`] → mutate.
+//! Only validated operations reach the log, so replaying any intact log
+//! prefix succeeds and reproduces the exact state that prefix describes —
+//! the property [`Ledger::recover`] relies on and the crash-anywhere suite
+//! in `tests/wal_recovery.rs` proves byte by byte.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use idpa_desim::codec::{fnv1a_64, Enc};
+
+use crate::audit::{AuditEvent, AuditLog};
+use crate::bank::{AccountId, DepositError, EpochNetError};
+use crate::token::{TokenId, WithdrawError};
+use crate::wal::{scan, LedgerOp, Wal};
+
+/// Why an intact-looking WAL record failed to apply during replay — this
+/// can only happen when the log was corrupted in a way the frame checksums
+/// cannot see (e.g. a spliced duplicate of a valid record), because the
+/// clean path logs only validated operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The operation references an account the replayed state lacks.
+    UnknownAccount,
+    /// A debit exceeds the replayed balance.
+    InsufficientFunds,
+    /// The deposit's serial is already in the replayed spent set.
+    DoubleSpend,
+    /// A credit would overflow a balance.
+    BalanceOverflow,
+}
+
+/// What recovery found in a WAL byte image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records replayed into the recovered ledger.
+    pub records_replayed: u64,
+    /// Bytes of the log accepted as the intact prefix.
+    pub bytes_replayed: usize,
+    /// Bytes discarded as the torn/corrupt tail.
+    pub torn_bytes: usize,
+    /// Human-readable reason the tail was discarded (`None` = the whole
+    /// image was intact and applied).
+    pub defect: Option<String>,
+}
+
+impl RecoveryReport {
+    /// Whether the whole image was intact and replayed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.torn_bytes == 0 && self.defect.is_none()
+    }
+}
+
+/// The bank's account/serial/liability state plus the audit chain, with an
+/// optional attached write-ahead log.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    accounts: HashMap<AccountId, u64>,
+    spent: HashSet<TokenId>,
+    next_account: u64,
+    /// Total value of tokens signed but not yet deposited — outstanding
+    /// bearer liability (used by the conservation-of-value invariant).
+    outstanding: u64,
+    /// Total value ever minted by `open_account` (`u128`: many max-value
+    /// accounts must not wrap the conservation check).
+    minted: u128,
+    /// Sum of all balances, maintained incrementally so the conservation
+    /// invariant is O(1) to check on the hot path.
+    total_balance: u128,
+    /// Tamper-evident log of every balance-affecting operation.
+    audit: AuditLog,
+    /// The write-ahead log; `None` runs the exact non-durable path.
+    wal: Option<Wal>,
+    /// Whether `log` stages records for group commit instead of appending
+    /// them durably one by one.
+    group_commit: bool,
+}
+
+impl Ledger {
+    /// An empty ledger with no WAL attached.
+    #[must_use]
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Attaches a write-ahead log; subsequent mutations append to it
+    /// before touching state.
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches and returns the WAL (the durable medium outlives the
+    /// in-memory ledger across a simulated crash).
+    pub fn take_wal(&mut self) -> Option<Wal> {
+        self.wal.take()
+    }
+
+    /// The attached WAL, if any.
+    #[must_use]
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Switches between per-op durability (`false`, the default) and
+    /// group commit (`true`: records stage until [`Ledger::commit_wal`]).
+    pub fn set_group_commit(&mut self, group: bool) {
+        self.group_commit = group;
+    }
+
+    /// Group-commits all staged records; returns how many became durable.
+    /// A no-op without a WAL or in per-op mode.
+    pub fn commit_wal(&mut self) -> u64 {
+        self.wal.as_mut().map_or(0, Wal::commit)
+    }
+
+    /// Appends a validated op to the WAL (stage or commit per the mode).
+    /// Called *before* the mutation it describes.
+    fn log(&mut self, op: &LedgerOp) {
+        if let Some(wal) = self.wal.as_mut() {
+            if self.group_commit {
+                wal.stage(op);
+            } else {
+                wal.append(op);
+            }
+        }
+    }
+
+    /// Opens an account with an initial balance, returning its id.
+    /// Ids are sequential, so log replay re-assigns them identically.
+    pub fn open_account(&mut self, initial_balance: u64) -> AccountId {
+        self.log(&LedgerOp::Open {
+            balance: initial_balance,
+        });
+        let id = AccountId(self.next_account);
+        self.next_account += 1;
+        self.accounts.insert(id, initial_balance);
+        self.minted += u128::from(initial_balance);
+        self.total_balance += u128::from(initial_balance);
+        self.audit.append(AuditEvent::Open {
+            account: id,
+            balance: initial_balance,
+        });
+        id
+    }
+
+    /// Balance of an account, or `None` if unknown.
+    #[must_use]
+    pub fn balance(&self, account: AccountId) -> Option<u64> {
+        self.accounts.get(&account).copied()
+    }
+
+    /// Whether the account exists.
+    #[must_use]
+    pub fn has_account(&self, account: AccountId) -> bool {
+        self.accounts.contains_key(&account)
+    }
+
+    /// Debits `value` from `account`, moving it to outstanding bearer
+    /// liability (the ledger half of a blind withdrawal).
+    pub fn withdraw(&mut self, account: AccountId, value: u64) -> Result<(), WithdrawError> {
+        let Some(&balance) = self.accounts.get(&account) else {
+            return Err(WithdrawError::UnknownAccount);
+        };
+        if balance < value {
+            return Err(WithdrawError::InsufficientFunds);
+        }
+        self.log(&LedgerOp::Withdraw { account, value });
+        *self.accounts.get_mut(&account).expect("checked above") = balance - value;
+        self.total_balance -= u128::from(value);
+        self.outstanding += value;
+        self.audit.append(AuditEvent::Withdraw { account, value });
+        Ok(())
+    }
+
+    /// Credits a deposited serial's face value: rejects unknown accounts
+    /// and double spends (the signature check lives in [`crate::Bank`]).
+    pub fn deposit_serial(
+        &mut self,
+        account: AccountId,
+        serial: TokenId,
+        value: u64,
+    ) -> Result<(), DepositError> {
+        if !self.accounts.contains_key(&account) {
+            return Err(DepositError::UnknownAccount);
+        }
+        if self.spent.contains(&serial) {
+            return Err(DepositError::DoubleSpend);
+        }
+        self.log(&LedgerOp::Deposit {
+            account,
+            serial,
+            value,
+        });
+        self.spent.insert(serial);
+        self.outstanding = self.outstanding.saturating_sub(value);
+        *self.accounts.get_mut(&account).expect("checked above") += value;
+        self.total_balance += u128::from(value);
+        let mut serial_prefix = [0u8; 8];
+        serial_prefix.copy_from_slice(&serial.0[..8]);
+        self.audit.append(AuditEvent::Deposit {
+            account,
+            value,
+            serial_prefix,
+        });
+        Ok(())
+    }
+
+    /// Account-to-account transfer. Checks the destination first, then the
+    /// source, then funds (the order [`crate::Bank::transfer`] pins).
+    pub fn transfer(
+        &mut self,
+        from: AccountId,
+        to: AccountId,
+        amount: u64,
+    ) -> Result<(), WithdrawError> {
+        if !self.accounts.contains_key(&to) {
+            return Err(WithdrawError::UnknownAccount);
+        }
+        let Some(&src) = self.accounts.get(&from) else {
+            return Err(WithdrawError::UnknownAccount);
+        };
+        if src < amount {
+            return Err(WithdrawError::InsufficientFunds);
+        }
+        self.log(&LedgerOp::Transfer { from, to, amount });
+        *self.accounts.get_mut(&from).expect("checked above") = src - amount;
+        *self.accounts.get_mut(&to).expect("checked above") += amount;
+        self.audit.append(AuditEvent::Transfer { from, to, amount });
+        Ok(())
+    }
+
+    /// Applies one net balance delta per account for a settled epoch,
+    /// atomically: every delta is validated before any applies, and the
+    /// whole net is one WAL record — the epoch-boundary group the log
+    /// commits together.
+    pub fn apply_epoch_net(
+        &mut self,
+        epoch: u64,
+        net: &BTreeMap<AccountId, i128>,
+    ) -> Result<(), EpochNetError> {
+        for (&account, &delta) in net {
+            let Some(&balance) = self.accounts.get(&account) else {
+                return Err(EpochNetError::UnknownAccount(account));
+            };
+            let new = i128::from(balance) + delta;
+            if new < 0 {
+                return Err(EpochNetError::InsufficientFunds(account));
+            }
+            if new > i128::from(u64::MAX) {
+                return Err(EpochNetError::BalanceOverflow(account));
+            }
+        }
+        self.log(&LedgerOp::EpochNet {
+            epoch,
+            deltas: net.clone(),
+        });
+        for (&account, &delta) in net {
+            if delta == 0 {
+                continue;
+            }
+            let balance = self.accounts.get_mut(&account).expect("validated above");
+            let old = u128::from(*balance);
+            *balance = u64::try_from(i128::from(*balance) + delta).expect("validated above");
+            self.total_balance = self.total_balance - old + u128::from(*balance);
+            self.audit.append(AuditEvent::EpochNet {
+                epoch,
+                account,
+                delta,
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies a replayed WAL record through the same validated paths the
+    /// live methods use (with the WAL detached during recovery, nothing is
+    /// re-logged). Failure means the log was corrupted in a way the frame
+    /// checksums cannot detect.
+    pub fn apply(&mut self, op: &LedgerOp) -> Result<(), ApplyError> {
+        match op {
+            LedgerOp::Open { balance } => {
+                self.open_account(*balance);
+                Ok(())
+            }
+            LedgerOp::Withdraw { account, value } => {
+                self.withdraw(*account, *value).map_err(ApplyError::from)
+            }
+            LedgerOp::Deposit {
+                account,
+                serial,
+                value,
+            } => self
+                .deposit_serial(*account, *serial, *value)
+                .map_err(ApplyError::from),
+            LedgerOp::Transfer { from, to, amount } => {
+                self.transfer(*from, *to, *amount).map_err(ApplyError::from)
+            }
+            LedgerOp::EpochNet { epoch, deltas } => self
+                .apply_epoch_net(*epoch, deltas)
+                .map_err(ApplyError::from),
+        }
+    }
+
+    /// Rebuilds a ledger from a WAL byte image: replays the longest intact
+    /// record prefix, discards the torn/corrupt tail, and re-attaches a
+    /// WAL holding exactly the replayed prefix — so the recovered ledger
+    /// continues the same log where the intact history ends.
+    ///
+    /// Never fails: corruption of any kind (torn frame, flipped byte,
+    /// spliced record that no longer applies) just shortens the accepted
+    /// prefix, reported in the [`RecoveryReport`].
+    #[must_use]
+    pub fn recover(bytes: &[u8]) -> (Ledger, RecoveryReport) {
+        let s = scan(bytes);
+        let mut ledger = Ledger::new();
+        let mut accepted = s.intact_len;
+        let mut records = 0u64;
+        let mut defect = s.defect.as_ref().map(ToString::to_string);
+        for (i, op) in s.ops.iter().enumerate() {
+            if let Err(e) = ledger.apply(op) {
+                // The frame was intact but the op contradicts the replayed
+                // state: cut the accepted prefix at this record's start.
+                accepted = if i == 0 { 0 } else { s.boundaries[i - 1] };
+                defect = Some(format!("record {i} failed to apply: {e:?}"));
+                break;
+            }
+            records += 1;
+        }
+        ledger.attach_wal(Wal::from_recovered(bytes[..accepted].to_vec(), records));
+        let report = RecoveryReport {
+            records_replayed: records,
+            bytes_replayed: accepted,
+            torn_bytes: bytes.len() - accepted,
+            defect,
+        };
+        (ledger, report)
+    }
+
+    /// Sum of all account balances (u64 view, matching
+    /// [`crate::Bank::total_deposits`]).
+    #[must_use]
+    pub fn total_deposits(&self) -> u64 {
+        self.accounts.values().sum()
+    }
+
+    /// Sum of all balances as maintained incrementally (exact, `u128`).
+    #[must_use]
+    pub fn total_balance(&self) -> u128 {
+        self.total_balance
+    }
+
+    /// Total value ever minted by account openings.
+    #[must_use]
+    pub fn minted(&self) -> u128 {
+        self.minted
+    }
+
+    /// Outstanding bearer-token liability (withdrawn, not yet deposited).
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// Number of accounts.
+    #[must_use]
+    pub fn accounts_len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Number of serials seen.
+    #[must_use]
+    pub fn spent_serials(&self) -> usize {
+        self.spent.len()
+    }
+
+    /// The tamper-evident audit log.
+    #[must_use]
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Mutable audit access for corruption-injection tests (the invariant
+    /// monitor must pinpoint a tampered entry).
+    #[doc(hidden)]
+    pub fn audit_mut(&mut self) -> &mut AuditLog {
+        &mut self.audit
+    }
+
+    /// The O(1) conservation-of-value invariant: balances + outstanding
+    /// liability equals everything ever minted. Exact (`u128`) — any
+    /// silent loss or creation of value breaks it.
+    #[must_use]
+    pub fn conservation_holds(&self) -> bool {
+        self.total_balance + u128::from(self.outstanding) == self.minted
+    }
+
+    /// Account balances in ascending id order (canonical iteration for
+    /// digests and deep invariant checks).
+    #[must_use]
+    pub fn sorted_accounts(&self) -> Vec<(AccountId, u64)> {
+        let mut v: Vec<(AccountId, u64)> = self.accounts.iter().map(|(&a, &b)| (a, b)).collect();
+        v.sort_unstable_by_key(|(a, _)| *a);
+        v
+    }
+
+    /// FNV-1a-64 digest of the canonical ledger state: sorted balances,
+    /// sorted spent serials, counters, and the audit-chain head (which
+    /// commits to the entire operation history). Two ledgers with equal
+    /// digests went through identical state trajectories.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut e = Enc::new();
+        let accounts = self.sorted_accounts();
+        e.seq_len(accounts.len());
+        for (a, b) in accounts {
+            e.u64(a.0);
+            e.u64(b);
+        }
+        let mut serials: Vec<&TokenId> = self.spent.iter().collect();
+        serials.sort_unstable_by_key(|t| t.0);
+        e.seq_len(serials.len());
+        for s in serials {
+            e.raw(&s.0);
+        }
+        e.u64(self.next_account);
+        e.u64(self.outstanding);
+        e.u64((self.minted >> 64) as u64);
+        e.u64(self.minted as u64);
+        e.u64((self.total_balance >> 64) as u64);
+        e.u64(self.total_balance as u64);
+        e.u64(self.audit.len() as u64);
+        e.raw(&self.audit.head());
+        fnv1a_64(&e.into_bytes())
+    }
+}
+
+impl From<WithdrawError> for ApplyError {
+    fn from(e: WithdrawError) -> Self {
+        match e {
+            WithdrawError::UnknownAccount => ApplyError::UnknownAccount,
+            WithdrawError::InsufficientFunds => ApplyError::InsufficientFunds,
+        }
+    }
+}
+
+impl From<DepositError> for ApplyError {
+    fn from(e: DepositError) -> Self {
+        match e {
+            DepositError::UnknownAccount => ApplyError::UnknownAccount,
+            DepositError::DoubleSpend => ApplyError::DoubleSpend,
+            // The ledger never checks signatures; unreachable by
+            // construction, mapped defensively.
+            DepositError::InvalidSignature => ApplyError::UnknownAccount,
+        }
+    }
+}
+
+impl From<EpochNetError> for ApplyError {
+    fn from(e: EpochNetError) -> Self {
+        match e {
+            EpochNetError::UnknownAccount(_) => ApplyError::UnknownAccount,
+            EpochNetError::InsufficientFunds(_) => ApplyError::InsufficientFunds,
+            EpochNetError::BalanceOverflow(_) => ApplyError::BalanceOverflow,
+        }
+    }
+}
+
+/// A warm standby that consumes the primary's WAL stream and can take
+/// over deterministically after a crash.
+///
+/// The replica applies intact records incrementally from its byte cursor;
+/// because the WAL is append-only and logs only validated operations, a
+/// replica fed to offset `c` is *bit-identical* to a primary whose durable
+/// log is `c` bytes long — which is exactly the failover guarantee the
+/// runner's crash class relies on.
+#[derive(Debug, Clone, Default)]
+pub struct BankReplica {
+    ledger: Ledger,
+    cursor: usize,
+}
+
+impl BankReplica {
+    /// A cold replica (empty ledger, cursor at the log's start).
+    #[must_use]
+    pub fn new() -> Self {
+        BankReplica::default()
+    }
+
+    /// A warm replica re-created after a failover: `ledger` is a clone of
+    /// the promoted primary's state (WAL detached), `cursor` the byte
+    /// length of the log it reflects.
+    #[must_use]
+    pub fn warm(mut ledger: Ledger, cursor: usize) -> Self {
+        ledger.take_wal();
+        BankReplica { ledger, cursor }
+    }
+
+    /// Applies every intact record between the cursor and the end of
+    /// `wal_bytes`, returning how many records were applied. A torn tail
+    /// (or a record that fails to apply) leaves the cursor at the last
+    /// good boundary; feeding again after the primary repairs or extends
+    /// the log resumes from there.
+    pub fn feed(&mut self, wal_bytes: &[u8]) -> u64 {
+        if self.cursor >= wal_bytes.len() {
+            return 0;
+        }
+        let s = scan(&wal_bytes[self.cursor..]);
+        let mut applied = 0u64;
+        for (i, op) in s.ops.iter().enumerate() {
+            if self.ledger.apply(op).is_err() {
+                break;
+            }
+            self.cursor += if i == 0 {
+                s.boundaries[0]
+            } else {
+                s.boundaries[i] - s.boundaries[i - 1]
+            };
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Byte offset of the log prefix the replica reflects.
+    #[must_use]
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// The replica's ledger state.
+    #[must_use]
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Promotes the replica: consumes it, returning the ledger (no WAL
+    /// attached — the caller re-attaches the recovered log) and the byte
+    /// cursor it had caught up to.
+    #[must_use]
+    pub fn promote(self) -> (Ledger, usize) {
+        (self.ledger, self.cursor)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only assertions may panic freely
+mod tests {
+    use super::*;
+
+    fn serial(tag: u8) -> TokenId {
+        TokenId([tag; 32])
+    }
+
+    /// A ledger with a WAL attached and a representative mixed workload.
+    fn sample() -> Ledger {
+        let mut l = Ledger::new();
+        l.attach_wal(Wal::new());
+        let a = l.open_account(1_000);
+        let b = l.open_account(0);
+        l.withdraw(a, 200).unwrap();
+        l.deposit_serial(b, serial(1), 150).unwrap();
+        l.deposit_serial(b, serial(2), 50).unwrap();
+        l.transfer(b, a, 30).unwrap();
+        let mut net = BTreeMap::new();
+        net.insert(a, -25i128);
+        net.insert(b, 25i128);
+        l.apply_epoch_net(0, &net).unwrap();
+        l
+    }
+
+    #[test]
+    fn conservation_holds_across_a_mixed_workload() {
+        let l = sample();
+        assert!(l.conservation_holds());
+        assert_eq!(l.total_balance(), u128::from(l.total_deposits()));
+        assert_eq!(l.outstanding(), 0);
+        assert_eq!(l.minted(), 1_000);
+    }
+
+    #[test]
+    fn recover_reproduces_the_exact_state() {
+        let l = sample();
+        let bytes = l.wal().unwrap().committed_bytes().to_vec();
+        let (r, report) = Ledger::recover(&bytes);
+        assert!(report.is_clean());
+        assert_eq!(report.records_replayed, 7);
+        assert_eq!(r.digest(), l.digest());
+        assert_eq!(r.sorted_accounts(), l.sorted_accounts());
+        assert_eq!(r.audit().head(), l.audit().head());
+        // The recovered ledger continues the same log.
+        assert_eq!(r.wal().unwrap().committed_bytes(), &bytes[..]);
+    }
+
+    #[test]
+    fn recover_discards_a_torn_tail() {
+        let l = sample();
+        let mut bytes = l.wal().unwrap().committed_bytes().to_vec();
+        let full = bytes.len();
+        bytes.truncate(full - 5);
+        let (r, report) = Ledger::recover(&bytes);
+        assert!(!report.is_clean());
+        assert_eq!(report.records_replayed, 6, "final record torn");
+        assert_eq!(report.bytes_replayed + report.torn_bytes, bytes.len());
+        assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn recover_rejects_a_spliced_duplicate_record() {
+        // Frame-intact corruption: duplicate the deposit of serial(1).
+        // Checksums pass, but replay hits a double spend — recovery must
+        // cut the prefix there, not panic or apply it.
+        let l = sample();
+        let bytes = l.wal().unwrap().committed_bytes();
+        let s = scan(bytes);
+        let dep_end = s.boundaries[3]; // records 0..=3 end (deposit #1)
+        let dep_start = s.boundaries[2];
+        let mut spliced = bytes[..dep_end].to_vec();
+        spliced.extend_from_slice(&bytes[dep_start..dep_end]);
+        let (r, report) = Ledger::recover(&spliced);
+        assert_eq!(report.records_replayed, 4);
+        assert_eq!(report.bytes_replayed, dep_end);
+        assert!(report
+            .defect
+            .as_deref()
+            .unwrap()
+            .contains("failed to apply"));
+        assert!(r.conservation_holds());
+    }
+
+    #[test]
+    fn replica_follows_the_stream_and_promotes_identically() {
+        let mut l = Ledger::new();
+        l.attach_wal(Wal::new());
+        let mut replica = BankReplica::new();
+        let a = l.open_account(500);
+        let b = l.open_account(0);
+        replica.feed(l.wal().unwrap().committed_bytes());
+        assert_eq!(replica.ledger().digest(), strip_wal(&l).digest());
+        l.withdraw(a, 100).unwrap();
+        l.deposit_serial(b, serial(9), 100).unwrap();
+        let fed = replica.feed(l.wal().unwrap().committed_bytes());
+        assert_eq!(fed, 2, "incremental feed applies only new records");
+        assert_eq!(replica.cursor(), l.wal().unwrap().committed_len());
+        let (promoted, cursor) = replica.promote();
+        assert_eq!(promoted.digest(), strip_wal(&l).digest());
+        assert_eq!(cursor, l.wal().unwrap().committed_len());
+    }
+
+    #[test]
+    fn group_commit_keeps_records_out_of_the_durable_image() {
+        let mut l = Ledger::new();
+        l.attach_wal(Wal::new());
+        l.set_group_commit(true);
+        l.open_account(10);
+        assert_eq!(l.wal().unwrap().committed_len(), 0);
+        assert_eq!(l.wal().unwrap().staged_records(), 1);
+        assert_eq!(l.commit_wal(), 1);
+        let (r, report) = Ledger::recover(l.wal().unwrap().committed_bytes());
+        assert!(report.is_clean());
+        assert_eq!(r.balance(AccountId(0)), Some(10));
+    }
+
+    #[test]
+    fn failed_operations_are_never_logged() {
+        let mut l = Ledger::new();
+        l.attach_wal(Wal::new());
+        let a = l.open_account(5);
+        let before = l.wal().unwrap().committed_records();
+        assert!(l.withdraw(a, 100).is_err());
+        assert!(l.transfer(a, AccountId(404), 1).is_err());
+        assert!(l.deposit_serial(AccountId(404), serial(3), 1).is_err());
+        let mut net = BTreeMap::new();
+        net.insert(a, -100i128);
+        assert!(l.apply_epoch_net(0, &net).is_err());
+        assert_eq!(
+            l.wal().unwrap().committed_records(),
+            before,
+            "validate → log → mutate: failures must leave no record"
+        );
+    }
+
+    #[test]
+    fn digest_tracks_every_state_component() {
+        let base = sample().digest();
+        let mut l2 = sample();
+        l2.open_account(0);
+        assert_ne!(l2.digest(), base, "accounts move the digest");
+        let mut l3 = sample();
+        let a0 = AccountId(0);
+        l3.withdraw(a0, 1).unwrap();
+        assert_ne!(l3.digest(), base, "outstanding moves the digest");
+    }
+
+    /// Clone without the WAL (digest ignores the WAL, but replica ledgers
+    /// never carry one — keep comparisons honest).
+    fn strip_wal(l: &Ledger) -> Ledger {
+        let mut c = l.clone();
+        c.take_wal();
+        c
+    }
+}

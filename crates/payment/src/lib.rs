@@ -39,14 +39,20 @@ pub mod audit;
 pub mod bank;
 pub mod epoch;
 pub mod escrow;
+pub mod ledger;
+pub mod monitor;
 pub mod receipt;
 pub mod token;
 pub mod validation;
+pub mod wal;
 
 pub use audit::{AuditEvent, AuditLog};
 pub use bank::{AccountId, Bank, DepositError, EpochNetError};
 pub use epoch::{EpochLedger, EpochSettleError, EpochSettlement};
 pub use escrow::{Escrow, SettlementError, SettlementReport};
+pub use ledger::{ApplyError, BankReplica, Ledger, RecoveryReport};
+pub use monitor::{InvariantKind, InvariantMonitor, InvariantViolation};
 pub use receipt::{Receipt, ReceiptBook};
 pub use token::{Token, TokenId, Wallet, WithdrawError};
 pub use validation::{ConnectionEvidence, PathManifest, PathValidator, ValidationReport};
+pub use wal::{LedgerOp, Wal, WalScan};

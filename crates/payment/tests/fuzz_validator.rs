@@ -480,3 +480,140 @@ fn fuzz_epoch_ledger_interleavings() {
         assert_eq!(seq.balance(a), epo.balance(a), "final balances diverged");
     }
 }
+
+/// WAL decode/recovery under a seeded corruption grammar: build a valid
+/// log from seeded ledger ops, then truncate, flip bytes, splice
+/// (duplicate/drop/swap) whole records, or inject garbage runs.
+/// Invariants: scanning and recovery never panic on any input; the
+/// accepted prefix never exceeds the input; record boundaries are
+/// strictly increasing and bounded by the intact length; recovery equals
+/// an independent replay of the accepted prefix, is idempotent, and
+/// always lands on a conservation-clean state.
+#[test]
+fn fuzz_wal_decode_and_recovery() {
+    use idpa_payment::ledger::Ledger;
+    use idpa_payment::wal::{scan, Wal};
+    use idpa_payment::TokenId;
+
+    for seed in case_seeds(5, budget(2000)) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+
+        // A valid log: seeded mix of every op kind on a small ledger.
+        let mut l = Ledger::new();
+        l.attach_wal(Wal::new());
+        let accounts: Vec<AccountId> = (0..3)
+            .map(|_| l.open_account(100 + rng.next() % 400))
+            .collect();
+        for i in 0..(2 + rng.next() % 10) {
+            let a = accounts[(rng.next() as usize) % accounts.len()];
+            let b = accounts[(rng.next() as usize) % accounts.len()];
+            match rng.next() % 4 {
+                0 | 1 => {
+                    // Withdraw/deposit pair: bearer value leaves `a` and
+                    // lands at `b`, keeping the history conservation-clean
+                    // (a bare deposit would mint value from nowhere).
+                    let v = 1 + rng.next() % 30;
+                    if l.withdraw(a, v).is_ok() {
+                        let mut id = [0u8; 32];
+                        id[..8].copy_from_slice(&(seed ^ i).to_le_bytes());
+                        id[9] = 0x5A;
+                        let _ = l.deposit_serial(b, TokenId(id), v);
+                    }
+                }
+                2 => {
+                    let _ = l.transfer(a, b, 1 + rng.next() % 20);
+                }
+                _ => {
+                    if a != b {
+                        let d = i128::from(1 + rng.next() % 10);
+                        let mut net: std::collections::BTreeMap<AccountId, i128> =
+                            Default::default();
+                        net.insert(a, -d);
+                        net.insert(b, d);
+                        let _ = l.apply_epoch_net(i, &net);
+                    }
+                }
+            }
+        }
+        let mut bytes = l.wal().expect("attached").committed_bytes().to_vec();
+        let clean_boundaries = scan(&bytes).boundaries;
+
+        // Seeded corruption grammar. Splices can produce frame-intact
+        // streams that are not a prefix of the real history, so the
+        // conservation assertion below is scoped to non-spliced cases
+        // (detecting spliced value creation is the invariant monitor's
+        // job, not recovery's).
+        let mut spliced = false;
+        for _ in 0..(rng.next() % 4) {
+            match rng.next() % 5 {
+                0 if !bytes.is_empty() => {
+                    bytes.truncate((rng.next() as usize) % (bytes.len() + 1));
+                }
+                1 if !bytes.is_empty() => {
+                    let at = (rng.next() as usize) % bytes.len();
+                    bytes[at] ^= 1 << (rng.next() % 8);
+                }
+                2 if clean_boundaries.len() > 1 => {
+                    // Splice: re-insert a whole record from the clean log.
+                    spliced = true;
+                    let i = (rng.next() as usize) % clean_boundaries.len();
+                    let start = if i == 0 { 0 } else { clean_boundaries[i - 1] };
+                    let rec: Vec<u8> = l.wal().expect("attached").committed_bytes()
+                        [start..clean_boundaries[i]]
+                        .to_vec();
+                    let at = (rng.next() as usize) % (bytes.len() + 1);
+                    for (k, byte) in rec.into_iter().enumerate() {
+                        bytes.insert(at + k, byte);
+                    }
+                }
+                3 => {
+                    // Garbage run at the tail (looks like a torn write).
+                    for _ in 0..(rng.next() % 24) {
+                        bytes.push((rng.next() & 0xff) as u8);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Invariants: total decode/recovery safety on arbitrary input.
+        let s = scan(&bytes);
+        assert!(s.intact_len <= bytes.len(), "seed {seed}");
+        assert_eq!(s.ops.len(), s.boundaries.len(), "seed {seed}");
+        for w in s.boundaries.windows(2) {
+            assert!(w[0] < w[1], "seed {seed}: boundaries not increasing");
+        }
+        if let Some(&last) = s.boundaries.last() {
+            assert!(last <= s.intact_len, "seed {seed}");
+        }
+
+        let (recovered, report) = Ledger::recover(&bytes);
+        assert!(report.bytes_replayed <= bytes.len(), "seed {seed}");
+        assert_eq!(
+            report.bytes_replayed + report.torn_bytes,
+            bytes.len(),
+            "seed {seed}: prefix + tail must cover the input"
+        );
+        // Recovery ≡ independent replay of the accepted prefix.
+        let mut oracle = Ledger::new();
+        for op in &scan(&bytes[..report.bytes_replayed]).ops {
+            oracle.apply(op).expect("seed: accepted prefix must apply");
+        }
+        assert_eq!(recovered.digest(), oracle.digest(), "seed {seed}");
+        if !spliced {
+            // Truncation and byte flips only shorten the accepted prefix
+            // of a conservation-clean history, so the recovered state
+            // must conserve value exactly.
+            assert!(recovered.conservation_holds(), "seed {seed}");
+        }
+        // Idempotence: recovering the recovered image is a fixed point.
+        let again = Ledger::recover(
+            recovered
+                .wal()
+                .expect("recover reattaches")
+                .committed_bytes(),
+        );
+        assert!(again.1.is_clean(), "seed {seed}");
+        assert_eq!(again.0.digest(), recovered.digest(), "seed {seed}");
+    }
+}

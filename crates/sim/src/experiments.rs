@@ -19,7 +19,7 @@ use idpa_game::forwarding::{dominance_threshold, participation_threshold, Forwar
 use crate::chart::{cdf_chart, line_chart, Series};
 use crate::report::{fmt_ci, Table};
 use crate::runner::{RunResult, SimulationRun};
-use crate::scenario::{NodeLifecycle, ProbeMode, ScenarioConfig, SettlementMode};
+use crate::scenario::{BankDurability, NodeLifecycle, ProbeMode, ScenarioConfig, SettlementMode};
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -60,6 +60,11 @@ pub struct Options {
     pub settlement: SettlementMode,
     /// Epoch length in minutes under epoch settlement (`--epoch-length`).
     pub epoch_length: f64,
+    /// Bank durability (`--bank-durability`): off (the default,
+    /// byte-identical to builds without the durable-bank layer) or a
+    /// write-ahead-logged ledger with a warm failover replica and the
+    /// runtime invariant monitor.
+    pub bank_durability: BankDurability,
     /// Adversary strategy classes applied to every run (`--adversary-*`;
     /// all-zero rates = off, in which case runs are byte-identical to a
     /// build without the adversary layer).
@@ -80,6 +85,7 @@ impl Default for Options {
             node_lifecycle: NodeLifecycle::Eager,
             settlement: SettlementMode::PerBundle,
             epoch_length: 240.0,
+            bank_durability: BankDurability::Off,
             adversary: AdversaryConfig::default(),
         }
     }
@@ -104,6 +110,7 @@ impl Options {
             node_lifecycle: self.node_lifecycle,
             settlement: self.settlement,
             epoch_length: self.epoch_length,
+            bank_durability: self.bank_durability,
             adversary: self.adversary,
             ..base
         }

@@ -32,6 +32,7 @@
 #![deny(clippy::unwrap_used)]
 
 pub mod chart;
+pub(crate) mod durability;
 pub mod error;
 pub mod experiments;
 pub mod formation;
@@ -52,8 +53,8 @@ pub use formation::{
 pub use idpa_desim::{AdversaryConfig, AdversaryPlan, FaultConfig, FaultResponse};
 pub use runner::{RunResult, SimulationRun};
 pub use scenario::{
-    CostStorage, NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig, SettlementMode,
-    WorkloadMode,
+    BankDurability, CostStorage, NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig,
+    SettlementMode, WorkloadMode,
 };
 pub use service::{run_service, ServiceOptions};
 pub use slab::{NodeSlab, ReputationStore};

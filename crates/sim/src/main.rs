@@ -6,6 +6,8 @@
 //!          [--fault-bank-downtime F] [--fault-retries N] [--fault-timeout MIN]
 //!          [--fault-response static|adaptive] [--reputation-weight W]
 //!          [--settlement per-bundle|epoch] [--epoch-length MIN]
+//!          [--bank-durability off|wal] [--fault-bank-crash P]
+//!          [--fault-bank-crash-torn F]
 //!          [--adversary-free-riders F] [--adversary-whitewash F]
 //!          [--adversary-whitewash-interval MIN] [--adversary-cliques N]
 //!          [--adversary-clique-size K] [--adversary-forge-rate P]
@@ -120,6 +122,17 @@ fn service_main(args: &[String]) -> ExitCode {
                 };
                 cfg_mut.push(Box::new(move |c| c.settlement = mode));
             }
+            "--bank-durability" => {
+                let mode = match iter.next().map(String::as_str) {
+                    Some("off") => idpa_sim::BankDurability::Off,
+                    Some("wal") => idpa_sim::BankDurability::Wal,
+                    _ => {
+                        eprintln!("--bank-durability needs 'off' or 'wal'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                cfg_mut.push(Box::new(move |c| c.bank_durability = mode));
+            }
             "--history-shards" => {
                 let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
                     eprintln!("--history-shards needs a non-negative integer (0 = auto)");
@@ -137,6 +150,8 @@ fn service_main(args: &[String]) -> ExitCode {
             | "--fault-cheat-corrupt-share"
             | "--fault-bank-downtime"
             | "--fault-bank-outage-mean"
+            | "--fault-bank-crash"
+            | "--fault-bank-crash-torn"
             | "--fault-timeout" => {
                 let v = match fault_value(arg, iter.next()) {
                     Ok(v) => v,
@@ -152,6 +167,8 @@ fn service_main(args: &[String]) -> ExitCode {
                     "--fault-cheat-corrupt-share" => c.fault.cheat_corrupt_share = v,
                     "--fault-bank-downtime" => c.fault.bank_downtime = v,
                     "--fault-bank-outage-mean" => c.fault.bank_outage_mean = v,
+                    "--fault-bank-crash" => c.fault.bank_crash_rate = v,
+                    "--fault-bank-crash-torn" => c.fault.bank_crash_torn_share = v,
                     _ => c.fault.retry_timeout = v,
                 }));
             }
@@ -257,8 +274,9 @@ fn service_main(args: &[String]) -> ExitCode {
                      --max-wall-secs S       graceful shutdown: stop, checkpoint, report\n  \
                      \u{20}                       partial aggregates with interrupted=true\n\n\
                      mode + fault flags are the experiment runner's: --probe-mode,\n\
-                     --node-lifecycle, --settlement, --epoch-length, --history-shards,\n\
-                     --reputation-weight and every --fault-* and --adversary-* flag"
+                     --node-lifecycle, --settlement, --epoch-length, --bank-durability,\n\
+                     --history-shards, --reputation-weight and every --fault-* and\n\
+                     --adversary-* flag"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -295,6 +313,21 @@ fn service_main(args: &[String]) -> ExitCode {
     println!("- delivery ratio: {:.4}", result.delivery_ratio);
     println!("- avg good payoff: {:.3}", result.avg_good_payoff);
     println!("- interrupted: {}", result.interrupted);
+    println!("- audit chain verified: {}", result.audit_chain_verified);
+    if result.bank_wal_records > 0 {
+        println!(
+            "- bank WAL: {} records / {} bytes, {} crashes ({} torn), {} records replayed",
+            result.bank_wal_records,
+            result.bank_wal_bytes,
+            result.bank_crashes,
+            result.bank_torn_tails,
+            result.bank_records_replayed
+        );
+        println!(
+            "- bank invariants: {} checks, {} violations, ledger digest {:#018x}",
+            result.bank_monitor_checks, result.bank_monitor_violations, result.bank_ledger_digest
+        );
+    }
     if !result.windowed_delivery_ratio.is_empty() {
         println!("\nwindow,delivery_ratio,payoff_rate,retry_rate");
         for (i, ((d, p), r)) in result
@@ -414,6 +447,16 @@ fn main() -> ExitCode {
                 }
                 opts.epoch_length = v;
             }
+            "--bank-durability" => {
+                opts.bank_durability = match iter.next().map(String::as_str) {
+                    Some("off") => idpa_sim::BankDurability::Off,
+                    Some("wal") => idpa_sim::BankDurability::Wal,
+                    _ => {
+                        eprintln!("--bank-durability needs 'off' or 'wal'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--fault-crash"
             | "--fault-drop"
             | "--fault-delay"
@@ -422,6 +465,8 @@ fn main() -> ExitCode {
             | "--fault-cheat-corrupt-share"
             | "--fault-bank-downtime"
             | "--fault-bank-outage-mean"
+            | "--fault-bank-crash"
+            | "--fault-bank-crash-torn"
             | "--fault-timeout" => {
                 let v = match fault_value(arg, iter.next()) {
                     Ok(v) => v,
@@ -437,6 +482,8 @@ fn main() -> ExitCode {
                     "--fault-cheat-corrupt-share" => f.cheat_corrupt_share = v,
                     "--fault-bank-downtime" => f.bank_downtime = v,
                     "--fault-bank-outage-mean" => f.bank_outage_mean = v,
+                    "--fault-bank-crash" => f.bank_crash_rate = v,
+                    "--fault-bank-crash-torn" => f.bank_crash_torn_share = v,
                     _ => f.retry_timeout = v,
                 }
             }
@@ -517,7 +564,11 @@ fn main() -> ExitCode {
                      \u{20}                             Takes effect only with fault injection\n  \
                      \u{20}                             active (the settlement layer rides on the\n  \
                      \u{20}                             evidence layer); otherwise a warned no-op\n  \
-                     --epoch-length MIN            epoch length for '--settlement epoch'\n\n\
+                     --epoch-length MIN            epoch length for '--settlement epoch'\n  \
+                     --bank-durability MODE        'off' (the default) or 'wal' (write-ahead\n  \
+                     \u{20}                             ledger log, torn-write crash recovery,\n  \
+                     \u{20}                             warm failover replica and the runtime\n  \
+                     \u{20}                             invariant monitor)\n\n\
                      fault injection (all rates default to 0 = off; any nonzero rate\n\
                      activates the deterministic fault plan):\n  \
                      --fault-crash P               per-hop forwarder crash probability\n  \
@@ -528,6 +579,12 @@ fn main() -> ExitCode {
                      --fault-cheat-corrupt-share S share of cheats that corrupt (vs drop) receipts\n  \
                      --fault-bank-downtime F       long-run fraction of time the bank is down\n  \
                      --fault-bank-outage-mean MIN  mean length of one bank outage\n  \
+                     --fault-bank-crash P          per-flush bank crash probability (kills the\n  \
+                     \u{20}                             primary mid-epoch; needs --bank-durability\n  \
+                     \u{20}                             wal, the warm replica takes over)\n  \
+                     --fault-bank-crash-torn F     share of bank crashes that tear the final\n  \
+                     \u{20}                             WAL record (partial write, discarded by\n  \
+                     \u{20}                             recovery)\n  \
                      --fault-retries N             max retransmission attempts per message\n  \
                      --fault-timeout MIN           base retry timeout (exponential backoff)\n  \
                      --fault-response MODE         'static' (baseline retry protocol) or\n  \
@@ -565,6 +622,15 @@ fn main() -> ExitCode {
     }
     if let Err(e) = opts.adversary.validate() {
         eprintln!("invalid adversary configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+    if opts.fault.bank_crash_rate > 0.0 && opts.bank_durability == idpa_sim::BankDurability::Off {
+        eprintln!(
+            "invalid fault configuration: --fault-bank-crash {} requires \
+             --bank-durability wal (a crash without a write-ahead log loses \
+             ledger state)",
+            opts.fault.bank_crash_rate
+        );
         return ExitCode::FAILURE;
     }
 

@@ -25,7 +25,7 @@
 //! streams, so a run with every rate zero is bit-identical to the
 //! fault-free code path.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use idpa_core::adversary::IntersectionAttack;
 use idpa_core::arena::HistoryArena;
@@ -47,8 +47,10 @@ use idpa_payment::validation::{ConnectionEvidence, PathManifest, PathValidator};
 use rand::{Rng, RngExt};
 use std::sync::Arc;
 
+use crate::durability::BankDurabilityState;
 use crate::scenario::{
-    NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig, SettlementMode, WorkloadMode,
+    BankDurability, NodeLifecycle, ProbeMode, ProbeRngMode, ScenarioConfig, SettlementMode,
+    WorkloadMode,
 };
 use crate::slab::{NodeSlab, ReputationStore};
 use crate::window::WindowCollector;
@@ -319,6 +321,29 @@ pub struct RunResult {
     /// Fraction of injected phantom instances that escaped into payouts
     /// (0 with the cross-check on, ~1 with it off).
     pub clique_payout_leakage: f64,
+    /// WAL records durably committed by the bank (`--bank-durability wal`
+    /// only; 0 when durability is off).
+    pub bank_wal_records: u64,
+    /// WAL bytes durably committed by the bank.
+    pub bank_wal_bytes: u64,
+    /// Seeded bank crashes injected by the fault plan's bank-crash class.
+    pub bank_crashes: u64,
+    /// Bank crashes that left a torn (partially written) final record.
+    pub bank_torn_tails: u64,
+    /// WAL records the warm replica replayed while taking over at
+    /// failovers.
+    pub bank_records_replayed: u64,
+    /// Runtime invariant-monitor checks executed against the durable
+    /// ledger (O(1) conservation per flush + full sweeps at failovers).
+    pub bank_monitor_checks: u64,
+    /// Invariant violations the monitor detected (0 on every healthy run).
+    pub bank_monitor_violations: u64,
+    /// Order-independent digest of the final durable-ledger state. Equal
+    /// across crash-anywhere and crash-free runs of the same scenario.
+    pub bank_ledger_digest: u64,
+    /// Whether every audit hash chain verified end-to-end (vacuously true
+    /// when no audit log was built).
+    pub audit_chain_verified: bool,
     /// Whether the run was cut short by a service-mode shutdown
     /// (`--max-wall-secs`): the aggregates cover only the simulated time
     /// actually executed. Always `false` for runs that reached the horizon.
@@ -353,6 +378,10 @@ pub(crate) struct FaultRuntime {
     pub(crate) adversary: Option<AdversaryPlan>,
     /// Dynamic adversary counters (all zero when no strategy is active).
     pub(crate) adv: AdversaryCounters,
+    /// The durable bank (`Some` only under `--bank-durability wal`):
+    /// WAL-backed ledger mirroring the settlement flow, warm replica,
+    /// seeded crash/failover, and the runtime invariant monitor.
+    pub(crate) bank: Option<BankDurabilityState>,
 }
 
 /// Dynamic counters of the adversary layer — the only mutable adversary
@@ -437,6 +466,7 @@ impl FaultRuntime {
         let mut receipts = 0u64;
         let mut settled_any = false;
         let mut accounts: BTreeSet<u64> = BTreeSet::new();
+        let mut paid: BTreeMap<u64, u64> = BTreeMap::new();
         for (pair, validator) in self.validators.iter().enumerate() {
             let (start, end) = (es.cursors[pair], validator.connections());
             if start == end {
@@ -451,6 +481,9 @@ impl FaultRuntime {
             es.flagged
                 .extend(report.flagged.iter().map(|a| a.0 as usize));
             accounts.extend(report.paid_counts.keys().map(|a| a.0));
+            for (a, c) in &report.paid_counts {
+                *paid.entry(a.0).or_insert(0) += c;
+            }
             receipts += report.validated_instances;
         }
         if !settled_any {
@@ -460,6 +493,10 @@ impl FaultRuntime {
         es.receipts_netted += receipts;
         es.payout_ops += accounts.len() as u64;
         es.batch_ops += receipts.div_ceil(1024);
+        // The durable bank commits the whole window as one WAL group.
+        if let Some(bank) = self.bank.as_mut() {
+            bank.settle_epoch(&paid, receipts, &self.plan);
+        }
     }
 }
 
@@ -575,7 +612,10 @@ impl SimulationRun {
         // delivery tracking, reputation ledgers), so an active adversary
         // plan forces the runtime on even with every fault rate zero — a
         // zero-rate FaultPlan consumes no streams and injects nothing.
-        let (crashed_until, fault) = if cfg.fault.is_active() || cfg.adversary.is_active() {
+        let (crashed_until, fault) = if cfg.fault.is_active()
+            || cfg.adversary.is_active()
+            || cfg.bank_durability == BankDurability::Wal
+        {
             let plan = FaultPlan::new(cfg.fault, streams.clone(), cfg.n_nodes, cfg.churn.horizon);
             let adversary = cfg.adversary.is_active().then(|| {
                 AdversaryPlan::new(
@@ -622,6 +662,8 @@ impl SimulationRun {
                         .then(|| EpochState::new(n_pairs)),
                     adversary,
                     adv: AdversaryCounters::default(),
+                    bank: (cfg.bank_durability == BankDurability::Wal)
+                        .then(|| BankDurabilityState::new(cfg.settlement == SettlementMode::Epoch)),
                 }),
             )
         } else {
@@ -1217,6 +1259,17 @@ impl SimulationRun {
             observed_hops,
         });
 
+        // Per-bundle durability: the durable bank settles each validated
+        // connection as its own WAL flush (epoch mode instead batches the
+        // whole window at the boundary, inside `settle_epoch_window`).
+        if self.cfg.settlement == SettlementMode::PerBundle {
+            if let Some(bank) = fr.bank.as_mut() {
+                let idx = fr.validators[pair].connections() - 1;
+                let report = fr.validators[pair].validate_range(idx, idx + 1);
+                bank.settle_connection(&report, &fr.plan);
+            }
+        }
+
         // In-run cheater feedback (adaptive only): when receipts came back
         // corrupted, replay just this connection's evidence now instead of
         // waiting for settlement. The §5 intact-prefix rule pins the
@@ -1257,7 +1310,10 @@ impl SimulationRun {
                 });
             }
         }
-        debug_assert_eq!(audit.verify(), Ok(()));
+        assert!(
+            audit.verify_chain(),
+            "settlement audit hash chain failed verification"
+        );
         let shortfall = if expected == 0 {
             0.0
         } else {
@@ -1430,6 +1486,21 @@ impl SimulationRun {
             })
             .collect();
 
+        // Durable-bank end-of-run summary (needs `&mut`, so it runs before
+        // the shared borrows below): final full invariant sweep, replica
+        // agreement check, audit-chain verification, WAL accounting.
+        let bank_outcome = self
+            .fault
+            .as_mut()
+            .and_then(|fr| fr.bank.as_mut())
+            .map(BankDurabilityState::finalize);
+        if let Some(out) = &bank_outcome {
+            assert!(
+                out.audit_ok,
+                "durable bank audit hash chain failed verification"
+            );
+        }
+
         let (
             delivery_ratio,
             retries_per_message,
@@ -1593,6 +1664,15 @@ impl SimulationRun {
             clique_phantom_instances: adv.phantom_injected,
             clique_phantom_flagged,
             clique_payout_leakage,
+            bank_wal_records: bank_outcome.map_or(0, |o| o.wal_records),
+            bank_wal_bytes: bank_outcome.map_or(0, |o| o.wal_bytes),
+            bank_crashes: bank_outcome.map_or(0, |o| o.counters.crashes),
+            bank_torn_tails: bank_outcome.map_or(0, |o| o.counters.torn_tails),
+            bank_records_replayed: bank_outcome.map_or(0, |o| o.counters.records_replayed),
+            bank_monitor_checks: bank_outcome.map_or(0, |o| o.counters.monitor_checks),
+            bank_monitor_violations: bank_outcome.map_or(0, |o| o.counters.monitor_violations),
+            bank_ledger_digest: bank_outcome.map_or(0, |o| o.ledger_digest),
+            audit_chain_verified: bank_outcome.is_none_or(|o| o.audit_ok),
             interrupted: false,
         }
     }

@@ -114,6 +114,24 @@ pub enum SettlementMode {
     Epoch,
 }
 
+/// Whether the settlement-side bank ledger is durable
+/// (`--bank-durability`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BankDurability {
+    /// No write-ahead log: the historical in-memory ledger. The default,
+    /// byte-identical to builds without the durability layer — and the
+    /// mode every fingerprint pin replays.
+    #[default]
+    Off,
+    /// Write-ahead logging: every settlement-side ledger mutation appends
+    /// a checksummed record before applying (group-committed at epoch
+    /// boundaries under epoch settlement), a warm replica follows the log
+    /// stream, and seeded bank crashes (`--fault-bank-crash`) trigger
+    /// deterministic recovery + failover. Requires the fault/evidence
+    /// layer to be active (settlement is what gets logged).
+    Wal,
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioConfig {
@@ -224,6 +242,11 @@ pub struct ScenarioConfig {
     /// start after this time, so transient start-up behaviour does not
     /// pollute the steady-state series. Ignored when windows are disabled.
     pub window_warmup: f64,
+    /// Settlement-ledger durability (`--bank-durability`). Off (the
+    /// default) keeps runs byte-identical to pre-durability builds;
+    /// [`BankDurability::Wal`] adds write-ahead logging, a warm replica,
+    /// and crash/failover handling for the `--fault-bank-crash` class.
+    pub bank_durability: BankDurability,
 }
 
 impl Default for ScenarioConfig {
@@ -280,6 +303,7 @@ impl Default for ScenarioConfig {
             open_arrival_rate: 0.0,
             window_len: 0.0,
             window_warmup: 0.0,
+            bank_durability: BankDurability::Off,
         }
     }
 }
@@ -511,7 +535,21 @@ impl ScenarioConfig {
             .map_err(|message| SimError::InvalidConfig {
                 field: "adversary",
                 message,
-            })
+            })?;
+        // Bank crashes without a durable ledger would silently lose
+        // settlement state — reject the combination up front instead.
+        ensure(
+            self.fault.bank_crash_rate == 0.0 || self.bank_durability == BankDurability::Wal,
+            "bank_durability",
+            format!(
+                "--fault-bank-crash {} requires --bank-durability wal \
+                 (a crash without a write-ahead log loses ledger state)",
+                self.fault.bank_crash_rate
+            ),
+        )
+        // `--bank-durability wal` on its own is fine: it forces the
+        // settlement runtime on (a zero-rate fault plan injects nothing),
+        // so the durable ledger always has a settlement flow to mirror.
     }
 
     /// A scaled-down scenario for fast tests: 20 nodes, 20 pairs,
@@ -797,6 +835,42 @@ mod tests {
         let cfg = ScenarioConfig::default();
         assert_eq!(cfg.settlement, SettlementMode::PerBundle);
         assert_eq!(cfg.epoch_length, 240.0);
+    }
+
+    #[test]
+    fn default_bank_durability_is_off() {
+        let cfg = ScenarioConfig::default();
+        assert_eq!(cfg.bank_durability, BankDurability::Off);
+        cfg.validate().expect("default scenario validates");
+    }
+
+    #[test]
+    fn bank_crash_without_durability_is_a_typed_error() {
+        let mut bad = ScenarioConfig::default();
+        bad.fault.bank_crash_rate = 0.1;
+        assert_rejected(&bad, "bank_durability", "--bank-durability wal");
+        // Turning durability on makes the same scenario valid.
+        let good = ScenarioConfig {
+            bank_durability: BankDurability::Wal,
+            ..bad
+        };
+        good.validate()
+            .expect("crash class with WAL durability validates");
+    }
+
+    #[test]
+    fn wal_durability_validates_with_and_without_other_faults() {
+        let idle = ScenarioConfig {
+            bank_durability: BankDurability::Wal,
+            ..ScenarioConfig::default()
+        };
+        idle.validate()
+            .expect("WAL durability alone validates (it forces the settlement runtime on)");
+        let mut with_faults = idle;
+        with_faults.fault.drop_rate = 0.05;
+        with_faults
+            .validate()
+            .expect("durability over an active fault layer validates");
     }
 
     #[test]

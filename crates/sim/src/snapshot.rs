@@ -50,16 +50,19 @@ use idpa_payment::bank::AccountId;
 use idpa_payment::receipt::Receipt;
 use idpa_payment::validation::{ConnectionEvidence, PathManifest, PathValidator};
 
+use std::collections::BTreeMap;
+
+use crate::durability::{BankDurabilityState, DurabilityCounters};
 use crate::error::SimError;
 use crate::runner::{Ev, ProbeState, SimulationRun};
-use crate::scenario::{NodeLifecycle, ProbeMode, ScenarioConfig};
+use crate::scenario::{NodeLifecycle, ProbeMode, ScenarioConfig, SettlementMode};
 use crate::window::WindowCollector;
 use crate::world::World;
 
 /// Snapshot format version; bumped on any layout change so a stale
 /// snapshot fails with [`CodecError::UnsupportedVersion`] instead of
 /// misdecoding.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// The scenario fingerprint a snapshot is bound to: FNV-1a over the
 /// config's `Debug` rendering. Every field participates, including the
@@ -535,6 +538,33 @@ pub fn encode(run: &SimulationRun, engine: &Engine<Ev>) -> Vec<u8> {
             e.u64(fr.adv.whitewash_archived);
             e.u64(fr.adv.free_rider_refusals);
             e.u64(fr.adv.phantom_injected);
+
+            // Durable-bank block (v3). The WAL image is the source of
+            // truth for ledger state: restore replays it through the same
+            // crash-recovery path a real restart would use. Alongside it,
+            // only the state the log cannot reproduce: the node-to-account
+            // map, the flush/epoch position keys, and the counters.
+            match &fr.bank {
+                None => e.bool(false),
+                Some(bank) => {
+                    e.bool(true);
+                    let (wal, accounts, flushes, epochs, counters) = bank.snapshot_parts();
+                    e.seq_len(wal.len());
+                    e.raw(wal);
+                    e.seq_len(accounts.len());
+                    for (&node, acct) in accounts {
+                        e.u64(node);
+                        e.u64(acct.0);
+                    }
+                    e.u64(flushes);
+                    e.u64(epochs);
+                    e.u64(counters.crashes);
+                    e.u64(counters.torn_tails);
+                    e.u64(counters.records_replayed);
+                    e.u64(counters.monitor_checks);
+                    e.u64(counters.monitor_violations);
+                }
+            }
         }
     }
 
@@ -1027,6 +1057,46 @@ pub fn restore(
             fr.adv.whitewash_archived = d.u64().map_err(codec)?;
             fr.adv.free_rider_refusals = d.u64().map_err(codec)?;
             fr.adv.phantom_injected = d.u64().map_err(codec)?;
+
+            let bank_present = d.bool().map_err(codec)?;
+            match (fr.bank.is_some(), bank_present) {
+                (false, false) => {}
+                (true, true) => {
+                    let wal_len = d.seq_len(1).map_err(codec)?;
+                    let wal = d.raw(wal_len).map_err(codec)?.to_vec();
+                    let n_accounts = d.seq_len(16).map_err(codec)?;
+                    let mut accounts: BTreeMap<u64, AccountId> = BTreeMap::new();
+                    let mut last: Option<u64> = None;
+                    for _ in 0..n_accounts {
+                        let node = d.u64().map_err(codec)?;
+                        if last.is_some_and(|prev| prev >= node) {
+                            return Err(mismatch("bank account node order"));
+                        }
+                        idx(node as usize, n_nodes, "bank account node")?;
+                        last = Some(node);
+                        let acct = AccountId(d.u64().map_err(codec)?);
+                        accounts.insert(node, acct);
+                    }
+                    let flushes = d.u64().map_err(codec)?;
+                    let epochs = d.u64().map_err(codec)?;
+                    let counters = DurabilityCounters {
+                        crashes: d.u64().map_err(codec)?,
+                        torn_tails: d.u64().map_err(codec)?,
+                        records_replayed: d.u64().map_err(codec)?,
+                        monitor_checks: d.u64().map_err(codec)?,
+                        monitor_violations: d.u64().map_err(codec)?,
+                    };
+                    fr.bank = Some(BankDurabilityState::restore(
+                        &wal,
+                        accounts,
+                        cfg.settlement == SettlementMode::Epoch,
+                        flushes,
+                        epochs,
+                        counters,
+                    ));
+                }
+                _ => return Err(mismatch("bank durability presence")),
+            }
         }
         _ => return Err(mismatch("fault block presence")),
     }
@@ -1045,7 +1115,7 @@ pub fn restore(
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use crate::scenario::{ProbeRngMode, WorkloadMode};
+    use crate::scenario::{BankDurability, ProbeRngMode, WorkloadMode};
     use idpa_desim::{FaultConfig, SimTime, StopReason};
 
     fn cfg(seed: u64) -> ScenarioConfig {
@@ -1098,6 +1168,34 @@ mod tests {
     }
 
     #[test]
+    fn resume_matches_uninterrupted_with_durable_bank() {
+        let c = ScenarioConfig {
+            bank_durability: BankDurability::Wal,
+            fault: FaultConfig {
+                drop_rate: 0.1,
+                bank_crash_rate: 0.2,
+                ..FaultConfig::default()
+            },
+            ..cfg(11)
+        };
+        resume_matches(c, 150);
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_with_durable_bank_epoch_mode() {
+        let c = ScenarioConfig {
+            bank_durability: BankDurability::Wal,
+            settlement: SettlementMode::Epoch,
+            fault: FaultConfig {
+                bank_crash_rate: 0.3,
+                ..FaultConfig::default()
+            },
+            ..cfg(13)
+        };
+        resume_matches(c, 200);
+    }
+
+    #[test]
     fn resume_matches_open_workload_with_windows() {
         let c = ScenarioConfig {
             workload: WorkloadMode::Open,
@@ -1128,7 +1226,7 @@ mod tests {
     fn wrong_config_is_rejected() {
         let c = cfg(5);
         let world = World::generate(&c);
-        let mut run = SimulationRun::new(c, world);
+        let run = SimulationRun::new(c, world);
         let mut engine = Engine::new();
         run.schedule_all(&mut engine);
         let bytes = encode(&run, &engine);

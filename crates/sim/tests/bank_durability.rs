@@ -1,0 +1,203 @@
+//! Durable-bank equivalence suite: **crash anywhere, fail over, and the
+//! run is indistinguishable from one that never crashed** — across
+//! settlement modes, shard counts and seeds, with and without torn final
+//! records, and straight through snapshot/resume. Plus the backstop the
+//! whole layer rides on: `--bank-durability off` replays the PR 4
+//! fingerprint pins byte-identically, so the default path never paid for
+//! the new machinery.
+
+use idpa_desim::{Engine, FaultConfig, SimTime};
+use idpa_sim::snapshot::{encode, restore};
+use idpa_sim::{
+    BankDurability, ProbeRngMode, RunResult, ScenarioConfig, SettlementMode, SimulationRun, World,
+};
+
+/// FNV-1a over the pre-fault-layer result fields — the same fingerprint
+/// `tests/fault_injection.rs` pins, duplicated so this suite stands alone.
+fn fingerprint(r: &RunResult) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bits: u64| {
+        for b in bits.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for v in r
+        .good_payoffs
+        .iter()
+        .chain(&r.malicious_payoffs)
+        .chain(&r.node_totals)
+        .chain([
+            &r.avg_good_payoff,
+            &r.avg_forwarder_set,
+            &r.avg_path_length,
+            &r.avg_path_quality,
+            &r.routing_efficiency,
+            &r.new_edge_fraction,
+            &r.reformation_rate,
+            &r.attack_exposure_rate,
+            &r.avg_anonymity_degree,
+        ])
+    {
+        eat(v.to_bits());
+    }
+    eat(r.connections);
+    h
+}
+
+/// `(seed, replacement, fingerprint, avg_good_payoff bits)` — the PR 4
+/// pins, identical constants to `tests/fault_injection.rs`.
+const BASELINE: [(u64, Option<u64>, u64, u64); 6] = [
+    (1, None, 0xd51afc10a8e3c367, 0x40730bffb79ce582),
+    (1, Some(3), 0x172c5eda5998b960, 0x406d05c4bfa7690d),
+    (7, None, 0xb68cfd87107b7817, 0x4071c00b9e48bb2a),
+    (7, Some(3), 0x604446ccd329adb4, 0x406ddf312fe95040),
+    (42, None, 0x8e362e89db0da04a, 0x4074a18aa74a4ec1),
+    (42, Some(3), 0x4a5899e5e47b947e, 0x4072fbb62ff024b6),
+];
+
+fn base(seed: u64, replacement: Option<u64>) -> ScenarioConfig {
+    ScenarioConfig {
+        neighbor_replacement_rounds: replacement,
+        adversary_fraction: 0.2,
+        probe_rng: ProbeRngMode::PerNode,
+        ..ScenarioConfig::quick_test(seed)
+    }
+}
+
+/// A scenario with real settlement traffic and the durable bank on.
+fn durable(seed: u64, settlement: SettlementMode, shards: usize, crash: f64) -> ScenarioConfig {
+    let mut cfg = base(seed, Some(3));
+    cfg.settlement = settlement;
+    cfg.history_shards = shards;
+    cfg.bank_durability = BankDurability::Wal;
+    cfg.fault = FaultConfig {
+        drop_rate: 0.08,
+        cheat_fraction: 0.2,
+        bank_crash_rate: crash,
+        bank_crash_torn_share: 0.5,
+        ..FaultConfig::default()
+    };
+    cfg.validate().expect("durable scenario must be valid");
+    cfg
+}
+
+/// Zeroes the fields that legitimately differ between a crashing and a
+/// non-crashing run — the recovery counters. Everything else (including
+/// WAL byte/record counts and the final ledger digest) must be equal.
+fn scrub(mut r: RunResult) -> RunResult {
+    r.bank_crashes = 0;
+    r.bank_torn_tails = 0;
+    r.bank_records_replayed = 0;
+    r.bank_monitor_checks = 0;
+    r
+}
+
+#[test]
+fn failover_anywhere_is_bit_identical_to_no_failover() {
+    let mut total_crashes = 0u64;
+    let mut total_torn = 0u64;
+    for settlement in [SettlementMode::PerBundle, SettlementMode::Epoch] {
+        for shards in [1usize, 4, 16] {
+            for seed in [1u64, 7] {
+                let calm = SimulationRun::execute(durable(seed, settlement, shards, 0.0));
+                let stormy = SimulationRun::execute(durable(seed, settlement, shards, 0.6));
+                assert_eq!(stormy.bank_monitor_violations, 0, "monitor must stay clean");
+                assert!(stormy.audit_chain_verified);
+                assert!(stormy.bank_wal_records > 0, "durable bank must log work");
+                assert_eq!(
+                    calm.bank_ledger_digest, stormy.bank_ledger_digest,
+                    "failover changed the final ledger ({settlement:?}, {shards} shards, seed {seed})"
+                );
+                total_crashes += stormy.bank_crashes;
+                total_torn += stormy.bank_torn_tails;
+                assert_eq!(
+                    scrub(calm),
+                    scrub(stormy),
+                    "failover-anywhere diverged ({settlement:?}, {shards} shards, seed {seed})"
+                );
+            }
+        }
+    }
+    assert!(
+        total_crashes > 10,
+        "crash class barely fired: {total_crashes}"
+    );
+    assert!(total_torn > 0, "torn-record path never exercised");
+}
+
+/// The full matrix of satellite (c): bank crashes x settlement mode x
+/// shard count, each case interrupted at a walking snapshot point,
+/// resumed, and required to equal the uninterrupted run bit-for-bit —
+/// recovery counters included (crash draws are position-keyed, so even
+/// they must reproduce across a resume).
+#[test]
+fn crash_recover_and_resume_matches_uninterrupted_across_the_matrix() {
+    let mut cases = 0u64;
+    for settlement in [SettlementMode::PerBundle, SettlementMode::Epoch] {
+        for shards in [1usize, 4, 16] {
+            for seed in [1u64, 7, 42] {
+                let cfg = durable(seed, settlement, shards, 0.4);
+                let baseline = SimulationRun::execute(cfg);
+                assert!(baseline.bank_wal_records > 0);
+
+                let horizon = SimTime::new(cfg.churn.horizon);
+                let world = World::generate(&cfg);
+                let mut run = SimulationRun::new(cfg, world);
+                let mut engine = Engine::new();
+                run.schedule_all(&mut engine);
+                engine.set_event_budget(60 + (cases * 53) % 350);
+                engine.run(&mut run, Some(horizon));
+
+                let bytes = encode(&run, &engine);
+                drop((run, engine));
+                let (mut resumed, mut engine) = restore(&cfg, &bytes).expect("restore");
+                engine.run(&mut resumed, Some(horizon));
+                assert_eq!(
+                    baseline,
+                    resumed.finish(),
+                    "crash+resume diverged ({settlement:?}, {shards} shards, seed {seed})"
+                );
+                cases += 1;
+            }
+        }
+    }
+    assert_eq!(cases, 18, "the matrix must not silently shrink");
+}
+
+/// `--bank-durability off` (the default) replays the PR 4 pins
+/// byte-identically: the durable-bank layer costs the legacy path nothing.
+#[test]
+fn durability_off_replays_the_pr4_pins() {
+    for (seed, replacement, pin, payoff_bits) in BASELINE {
+        let cfg = ScenarioConfig {
+            bank_durability: BankDurability::Off,
+            ..base(seed, replacement)
+        };
+        let r = SimulationRun::execute(cfg);
+        assert_eq!(
+            fingerprint(&r),
+            pin,
+            "durability-off drifted from the PR 4 pin (seed {seed}, {replacement:?})"
+        );
+        assert_eq!(r.avg_good_payoff.to_bits(), payoff_bits);
+        assert_eq!(r.bank_wal_records, 0);
+        assert_eq!(r.bank_ledger_digest, 0);
+        assert!(r.audit_chain_verified, "vacuously true with no audit log");
+    }
+}
+
+/// Re-running the same durable scenario reproduces every bank metric —
+/// the WAL image, the monitor counters and the digest are deterministic.
+#[test]
+fn durable_runs_replicate_bit_identically() {
+    let cfg = durable(7, SettlementMode::Epoch, 4, 0.3);
+    let a = SimulationRun::execute(cfg);
+    let b = SimulationRun::execute(cfg);
+    assert_eq!(a, b);
+    assert!(a.bank_crashes > 0, "crash class must fire at rate 0.3");
+    assert!(a.bank_monitor_checks > 0);
+    assert_eq!(a.bank_monitor_violations, 0);
+}

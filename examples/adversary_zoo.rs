@@ -70,6 +70,7 @@ fn main() {
         };
         cfg.validate().expect("free-rider scenario must be valid");
         let r = SimulationRun::execute(cfg);
+        assert!(r.audit_chain_verified, "audit chain must verify");
         free_rider_deliveries[i] = r.delivery_ratio;
         println!(
             "{label} | {:>8.3} | {:>8} | {:>17.1} | {:>16.1}",
@@ -120,6 +121,7 @@ fn main() {
         };
         cfg.validate().expect("whitewash scenario must be valid");
         let r = SimulationRun::execute(cfg);
+        assert!(r.audit_chain_verified, "audit chain must verify");
         println!(
             "{label} | {:>8.3} | {:>7} | {:>16} | {:>12.3}",
             r.delivery_ratio,
@@ -150,6 +152,7 @@ fn main() {
         };
         cfg.validate().expect("clique scenario must be valid");
         let r = SimulationRun::execute(cfg);
+        assert!(r.audit_chain_verified, "audit chain must verify");
         println!(
             "{label} | {:>8.3} | {:>8} | {:>7} | {:>14.3}",
             r.delivery_ratio,

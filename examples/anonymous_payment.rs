@@ -145,6 +145,14 @@ fn main() {
     );
     assert_eq!(bank.total_deposits() + bank.outstanding(), 10_000);
 
+    // --- audit chain --------------------------------------------------------
+    println!("[9] audit: the hash-chained audit log verifies end-to-end");
+    assert!(bank.ledger().audit().verify_chain());
+    println!(
+        "    {} chained entries, chain intact",
+        bank.ledger().audit().len()
+    );
+
     println!("\nAll cheating scenarios rejected; payments settled; initiator");
     println!("anonymity preserved (the bank never linked tokens to the withdrawal).");
 }

@@ -3,8 +3,8 @@
 # short timed passes of the gated benches (history_shard via
 # IDPA_HS_QUICK=1, probe_maintenance via IDPA_PM_QUICK=1, node_lifecycle
 # via IDPA_NL_QUICK=1, settlement via IDPA_ST_QUICK=1, service_mode via
-# IDPA_SVC_QUICK=1, adversary_zoo via IDPA_AZ_QUICK=1) and fails if any
-# freshly measured point regresses
+# IDPA_SVC_QUICK=1, adversary_zoo via IDPA_AZ_QUICK=1, bank_durability
+# via IDPA_BD_QUICK=1) and fails if any freshly measured point regresses
 # more than IDPA_BENCH_GATE_PCT percent (default 20) against the best
 # value that key has ever had in a committed BENCH_*.json report.
 #
@@ -27,12 +27,14 @@ fresh_nl=""
 fresh_st=""
 fresh_svc=""
 fresh_az=""
+fresh_bd=""
 trap 'status=$?; [ -n "$fresh" ] && rm -f "$fresh"
       [ -n "$fresh_pm" ] && rm -f "$fresh_pm"
       [ -n "$fresh_nl" ] && rm -f "$fresh_nl"
       [ -n "$fresh_st" ] && rm -f "$fresh_st"
       [ -n "$fresh_svc" ] && rm -f "$fresh_svc"
       [ -n "$fresh_az" ] && rm -f "$fresh_az"
+      [ -n "$fresh_bd" ] && rm -f "$fresh_bd"
       if [ "$status" -ne 0 ]; then
         echo "bench gate: FAILED in stage: $stage (exit $status)" >&2
       fi' EXIT
@@ -52,6 +54,7 @@ fresh_nl="$(mktemp)"
 fresh_st="$(mktemp)"
 fresh_svc="$(mktemp)"
 fresh_az="$(mktemp)"
+fresh_bd="$(mktemp)"
 IDPA_HS_QUICK=1 IDPA_BENCH_OUT="$fresh" \
     cargo bench --offline -p idpa-bench --bench history_shard
 
@@ -88,6 +91,14 @@ stage="timed adversary_zoo pass"
 IDPA_AZ_QUICK=1 IDPA_BENCH_OUT="$fresh_az" \
     cargo bench --offline -p idpa-bench --bench adversary_zoo
 cat "$fresh_az" >> "$fresh"
+
+# The bank_durability pass also asserts (inside the binary) that WAL-on
+# settlement stays within 15% of the bare ledger and that cold recovery
+# and the warm replica both land on the live ledger's exact digest.
+stage="timed bank_durability pass"
+IDPA_BD_QUICK=1 IDPA_BENCH_OUT="$fresh_bd" \
+    cargo bench --offline -p idpa-bench --bench bank_durability
+cat "$fresh_bd" >> "$fresh"
 
 # 3. Compare each fresh point against the best committed value for the
 # same key across every BENCH_*.json in the repo (flat "name": ns maps).

@@ -68,5 +68,7 @@ pub mod prelude {
     };
     pub use idpa_overlay::{NodeId, NodeKind, ProbeEstimator, ProbeInvalidation, Topology};
     pub use idpa_payment::{Bank, Escrow, Receipt, ReceiptBook, Token, Wallet};
-    pub use idpa_sim::{RunResult, ScenarioConfig, SettlementMode, SimulationRun, World};
+    pub use idpa_sim::{
+        BankDurability, RunResult, ScenarioConfig, SettlementMode, SimulationRun, World,
+    };
 }
